@@ -1,0 +1,9 @@
+% Monte Carlo price of a European call (Black-Scholes dynamics).
+n = 100000;
+S0 = 100; K = 105; rr = 0.05; sigma = 0.2; T = 1.0;
+z = randn(n, 1);
+ST = S0 .* exp((rr - 0.5 * sigma^2) * T + sigma * sqrt(T) .* z);
+payoff = max(ST - K, 0);
+price = exp(-rr * T) * mean(payoff);
+se = exp(-rr * T) * sqrt((mean(payoff .* payoff) - mean(payoff)^2) / n);
+fprintf('call price = %.4f +- %.4f\n', price, se);

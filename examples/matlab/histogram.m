@@ -1,0 +1,11 @@
+% Histogram of a random sample using guarded element updates.
+n = 20000;
+bins = 10;
+x = rand(n, 1);
+h = zeros(bins, 1);
+for b = 1:bins
+  lo = (b - 1) / bins;
+  hi = b / bins;
+  h(b) = sum((x >= lo) & (x < hi));
+end
+fprintf('largest bin = %d smallest bin = %d total = %d\n', max(h), min(h), sum(h));

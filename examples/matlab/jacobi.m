@@ -1,0 +1,21 @@
+% Jacobi iteration for a diagonally dominant system, written with
+% whole-array operations (the style the compiler parallelizes).
+n = 128;
+A = rand(n, n);
+A = A + A' + 2 * n * eye(n);
+b = rand(n, 1);
+d = diag_of(A);
+x = zeros(n, 1);
+for it = 1:60
+  r = b - A * x;
+  x = x + r ./ d;
+end
+fprintf('jacobi residual = %e\n', norm(b - A * x));
+
+function d = diag_of(A)
+  n = size(A, 1);
+  d = zeros(n, 1);
+  for i = 1:n
+    d(i) = A(i, i);
+  end
+end

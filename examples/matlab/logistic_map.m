@@ -1,0 +1,9 @@
+% Ensemble of logistic maps: element-wise chaos, no communication
+% beyond the final statistics.
+n = 50000;
+r = 3.6 + 0.3 .* rand(n, 1);
+x = rand(n, 1);
+for it = 1:100
+  x = r .* x .* (1 - x);
+end
+fprintf('mean=%.6f min=%.6f max=%.6f\n', mean(x), min(x), max(x));

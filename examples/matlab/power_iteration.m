@@ -1,0 +1,13 @@
+% Dominant eigenvalue of a random SPD matrix by power iteration.
+n = 96;
+A = rand(n, n);
+A = A + A' + n * eye(n);
+v = ones(n, 1);
+v = v ./ norm(v);
+lambda = 0;
+for it = 1:40
+  w = A * v;
+  lambda = v' * w;
+  v = w ./ norm(w);
+end
+fprintf('dominant eigenvalue ~ %.6f\n', lambda);
