@@ -1,0 +1,1 @@
+bench/main.ml: Analysis Analyze Apps Array Bechamel Benchmark Codegen Exec Hashtbl Interp List Measure Mlang Mpisim Otter Printf Runtime Spmd Staged String Sys Tables Test Time Toolkit

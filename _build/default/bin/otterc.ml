@@ -1,0 +1,232 @@
+(* otterc: command-line driver for the Otter MATLAB compiler.
+
+     otterc compile prog.m -o outdir     emit SPMD C + run-time library
+     otterc run prog.m -p 8 -m meiko     compile and execute on a
+                                         simulated parallel machine
+     otterc interp prog.m                run the reference interpreter
+     otterc dump prog.m --ir|--ast|--types
+     otterc bench ...                    (see bench/main.exe)
+
+   M-file functions referenced by the script are looked up as
+   <name>.m next to the input file, like a MATLAB path. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let path_of input name =
+  let file = Filename.concat (Filename.dirname input) (name ^ ".m") in
+  if Sys.file_exists file then begin
+    let p = Mlang.Parser.parse_program (read_file file) in
+    match p.Mlang.Ast.funcs with
+    | f :: _ when f.Mlang.Ast.fname = name -> Some f
+    | f :: _ -> Some { f with Mlang.Ast.fname = name }
+    | [] -> None
+  end
+  else None
+
+let handle_errors f =
+  try f () with
+  | Mlang.Source.Error (pos, msg) ->
+      Fmt.epr "error: %a: %s@." Mlang.Source.pp_pos pos msg;
+      exit 1
+  | Spmd.Lower.Unsupported (pos, msg) ->
+      Fmt.epr "error: %a: %s@." Mlang.Source.pp_pos pos msg;
+      exit 1
+  | Exec.Vm.Runtime_error msg | Interp.Eval.Runtime_error msg ->
+      Fmt.epr "run-time error: %s@." msg;
+      exit 1
+
+let compile_input input =
+  Otter.compile ~path:(path_of input) (read_file input)
+
+(* --- compile ------------------------------------------------------------- *)
+
+let input_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROG.m")
+
+let outdir_arg =
+  Arg.(value & opt string "." & info [ "o"; "output" ] ~docv:"DIR"
+         ~doc:"Directory for the generated C files.")
+
+let compile_cmd =
+  let run input outdir stats =
+    handle_errors (fun () ->
+        let c = compile_input input in
+        let base = Filename.remove_extension (Filename.basename input) in
+        if not (Sys.file_exists outdir) then Sys.mkdir outdir 0o755;
+        let write (f, content) =
+          let oc = open_out (Filename.concat outdir f) in
+          output_string oc content;
+          close_out oc
+        in
+        write (base ^ ".c", Codegen.emit_c ~name:(Filename.basename input) c.Otter.prog);
+        List.iter write Codegen.support_files;
+        Fmt.pr "wrote %s/%s.c (+ run-time library).@." outdir base;
+        Fmt.pr "sequential build: cc -O2 -o %s %s.c otter_rt_common.c \
+                otter_rt_seq.c -lm@."
+          base base;
+        Fmt.pr "MPI build:        mpicc -O2 -o %s %s.c otter_rt_common.c \
+                otter_rt_mpi.c -lm@."
+          base base;
+        if stats then Fmt.pr "@.%s" (Otter.report c))
+  in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print a compilation report (types, IR, peephole).")
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Translate a MATLAB script to SPMD C + MPI.")
+    Term.(const run $ input_arg $ outdir_arg $ stats_arg)
+
+(* --- run ------------------------------------------------------------------ *)
+
+let procs_arg =
+  Arg.(value & opt int 4 & info [ "p"; "procs" ] ~docv:"N"
+         ~doc:"Number of simulated processors.")
+
+let machine_arg =
+  Arg.(value & opt string "meiko" & info [ "m"; "machine" ] ~docv:"NAME"
+         ~doc:"Machine model: meiko, smp, cluster or workstation.")
+
+let get_machine name =
+  match Mpisim.Machine.by_name name with
+  | Some m -> m
+  | None ->
+      Fmt.epr "unknown machine '%s' (try meiko, smp, cluster, workstation)@."
+        name;
+      exit 2
+
+let run_cmd =
+  let run input nprocs machine timing =
+    handle_errors (fun () ->
+        let c = compile_input input in
+        let machine = get_machine machine in
+        let o = Otter.run_parallel ~machine ~nprocs c in
+        print_string o.Exec.Vm.output;
+        if timing then begin
+          let r = o.Exec.Vm.report in
+          Fmt.pr "[%s, %d CPUs] modeled time %.6f s, %d messages, %d bytes@."
+            machine.Mpisim.Machine.name nprocs r.Mpisim.Sim.makespan r.messages
+            r.bytes
+        end)
+  in
+  let timing_arg =
+    Arg.(value & flag & info [ "t"; "timing" ]
+           ~doc:"Print the modeled execution time and message counts.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Compile and execute on a simulated parallel machine.")
+    Term.(const run $ input_arg $ procs_arg $ machine_arg $ timing_arg)
+
+(* --- interp --------------------------------------------------------------- *)
+
+let interp_cmd =
+  let run input matcom timing =
+    handle_errors (fun () ->
+        let c = compile_input input in
+        let machine = Mpisim.Machine.workstation in
+        let o =
+          if matcom then Otter.run_matcom ~machine c
+          else Otter.run_interpreter ~machine c
+        in
+        print_string o.Interp.Eval.output;
+        if timing then
+          Fmt.pr "[%s] modeled time %.6f s@."
+            (if matcom then "MATCOM model" else "interpreter model")
+            o.Interp.Eval.time)
+  in
+  let matcom_arg =
+    Arg.(value & flag & info [ "matcom" ]
+           ~doc:"Use the MATCOM (compiled sequential) cost model.")
+  in
+  let timing_arg =
+    Arg.(value & flag & info [ "t"; "timing" ] ~doc:"Print the modeled time.")
+  in
+  Cmd.v
+    (Cmd.info "interp" ~doc:"Run the reference interpreter (the oracle).")
+    Term.(const run $ input_arg $ matcom_arg $ timing_arg)
+
+(* --- dump ----------------------------------------------------------------- *)
+
+let dump_cmd =
+  let run input what =
+    handle_errors (fun () ->
+        let c = compile_input input in
+        match what with
+        | `Ir -> print_string (Otter.dump_ir c)
+        | `Ssa -> print_string (Otter.dump_ssa c)
+        | `Ast -> print_string (Mlang.Pp.program_to_string c.Otter.ast)
+        | `Types ->
+            let vars =
+              Hashtbl.fold
+                (fun v t acc -> (v, t) :: acc)
+                c.Otter.info.Analysis.Infer.var_ty []
+            in
+            List.iter
+              (fun (v, t) -> Fmt.pr "%-16s : %a@." v Analysis.Ty.pp t)
+              (List.sort compare vars)
+        | `C -> print_string (Codegen.emit_c c.Otter.prog))
+  in
+  let what_arg =
+    Arg.(value
+         & vflag `Ir
+             [
+               (`Ir, info [ "ir" ] ~doc:"Dump the SPMD IR (default).");
+               (`Ssa, info [ "ssa" ] ~doc:"Dump the SSA form (pass 3).");
+               (`Ast, info [ "ast" ] ~doc:"Dump the resolved AST.");
+               (`Types, info [ "types" ] ~doc:"Dump inferred variable types.");
+               (`C, info [ "c" ] ~doc:"Dump the generated C.");
+             ])
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Show intermediate compiler results.")
+    Term.(const run $ input_arg $ what_arg)
+
+(* --- verify ---------------------------------------------------------------- *)
+
+let verify_cmd =
+  let run input nprocs machine vars =
+    handle_errors (fun () ->
+        let c = compile_input input in
+        let machine = get_machine machine in
+        let capture =
+          if vars <> [] then vars
+          else
+            (* default: every script variable *)
+            Hashtbl.fold
+              (fun v _ acc -> v :: acc)
+              c.Otter.info.Analysis.Infer.var_ty []
+        in
+        let mm = Otter.verify ~machine ~nprocs ~capture c in
+        if mm = [] then
+          Fmt.pr "verified: %d variables agree between the interpreter and \
+                  the %d-CPU compiled run.@."
+            (List.length capture) nprocs
+        else begin
+          List.iter
+            (fun m -> Fmt.pr "MISMATCH %s: %s@." m.Otter.variable m.Otter.detail)
+            mm;
+          exit 1
+        end)
+  in
+  let vars_arg =
+    Arg.(value & opt_all string [] & info [ "var" ] ~docv:"NAME"
+           ~doc:"Variable to compare (repeatable; default: all).")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Check compiled results against the reference interpreter.")
+    Term.(const run $ input_arg $ procs_arg $ machine_arg $ vars_arg)
+
+let main_cmd =
+  let doc = "Otter: a parallel MATLAB compiler (OCaml reproduction)" in
+  Cmd.group (Cmd.info "otterc" ~version:"1.0" ~doc)
+    [ compile_cmd; run_cmd; interp_cmd; dump_cmd; verify_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

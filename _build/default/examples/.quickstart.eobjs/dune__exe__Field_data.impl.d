@@ -1,0 +1,1 @@
+examples/field_data.ml: Analysis Exec Filename Fmt Interp List Mpisim Otter Printf String Sys

@@ -1,0 +1,1 @@
+examples/heat_stencil.ml: Exec Fmt List Mpisim Otter Printf

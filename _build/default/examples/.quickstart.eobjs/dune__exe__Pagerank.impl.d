@@ -1,0 +1,1 @@
+examples/pagerank.ml: Exec Fmt List Mlang Mpisim Otter Printf String

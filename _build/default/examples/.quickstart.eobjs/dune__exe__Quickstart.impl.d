@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Codegen Exec Fmt Hashtbl List Mpisim Otter String

@@ -1,0 +1,1 @@
+examples/wave_force.ml: Exec Fmt List Mpisim Otter Printf

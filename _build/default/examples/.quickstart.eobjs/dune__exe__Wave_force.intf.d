@@ -1,0 +1,1 @@
+examples/wave_force.mli:

@@ -1,0 +1,1 @@
+lib/analysis/builtins.ml: Float Hashtbl Mlang Ty

@@ -1,0 +1,1 @@
+lib/analysis/infer.ml: Ast Builtins Filename Float Fmt Hashtbl List Mlang Option Source Ssa Ty

@@ -1,0 +1,1 @@
+lib/analysis/infer.mli: Hashtbl Mlang Ty

@@ -1,0 +1,1 @@
+lib/analysis/resolve.ml: Ast Builtins Hashtbl List Mlang Option Source

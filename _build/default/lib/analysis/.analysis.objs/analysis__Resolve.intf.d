@@ -1,0 +1,1 @@
+lib/analysis/resolve.mli: Mlang

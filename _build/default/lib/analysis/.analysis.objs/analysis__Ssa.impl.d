@@ -1,0 +1,1 @@
+lib/analysis/ssa.ml: Ast Hashtbl List Map Mlang Option Printf Source String

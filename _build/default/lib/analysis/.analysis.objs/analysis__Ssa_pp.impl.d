@@ -1,0 +1,1 @@
+lib/analysis/ssa_pp.ml: Fmt List Mlang Ssa String

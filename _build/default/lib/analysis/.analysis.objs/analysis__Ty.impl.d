@@ -1,0 +1,1 @@
+lib/analysis/ty.ml: Fmt

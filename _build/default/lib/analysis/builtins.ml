@@ -1,0 +1,282 @@
+(* Registry of the built-in MATLAB functions Otter implements.
+
+   Each builtin carries a classification used by the expression-rewriting
+   pass (does a call become an element-wise loop, a reduction needing an
+   allreduce, a constructor, ...) and a type rule used by inference.
+   Type rules operate on abstract values: a type plus, for scalars, an
+   optional compile-time constant -- constants feed shape inference
+   (e.g. [n = 2048; zeros(n, 1)] yields a known 2048x1 shape). *)
+
+type aval = { aty : Ty.t; aconst : float option }
+
+let of_ty aty = { aty; aconst = None }
+let const_int n = { aty = Ty.int_scalar; aconst = Some (float_of_int n) }
+let const_real f = { aty = Ty.real_scalar; aconst = Some f }
+
+type kind =
+  | Map1 of string (* element-wise unary function *)
+  | Map2 of string (* element-wise binary function *)
+  | Reduce of string (* reduction: vector -> scalar, matrix -> row vector *)
+  | Scan of string (* cumulative sum/product along a vector *)
+  | Dot (* dot(u, v) *)
+  | Minmax of string (* reduction with 1 arg, element-wise with 2 *)
+  | Constructor of string (* zeros, ones, eye, rand, linspace *)
+  | Query of string (* size, length, numel *)
+  | Trapz (* trapezoidal integration *)
+  | Shift (* circshift *)
+  | Output of string (* disp, fprintf *)
+  | Constant of float (* pi, eps *)
+  | Error_fn (* error('message') *)
+  | Load (* load('file.txt'): matrix from a whitespace-separated file *)
+  | Repmat (* repmat(A, r, c): tile a matrix *)
+  | Sort (* sort(v): ascending sort, optional index output *)
+
+type t = {
+  name : string;
+  kind : kind;
+  min_args : int;
+  max_args : int; (* max_int for variadic *)
+  infer : aval list -> Mlang.Source.pos -> aval;
+}
+
+(* --- type-rule helpers ------------------------------------------------ *)
+
+let dim_of_arg (a : aval) =
+  match a.aconst with
+  | Some f when f >= 0. && Float.is_integer f -> Ty.Dconst (int_of_float f)
+  | Some _ | None -> Ty.Dunknown
+
+let fold1 f (a : aval) base =
+  let aconst =
+    match a.aconst with
+    | Some x when a.aty.Ty.rank = Ty.Rscalar -> Some (f x)
+    | Some _ | None -> None
+  in
+  { aty = { a.aty with Ty.base }; aconst }
+
+(* Unary element-wise rule: result has the argument's rank and shape. *)
+let map1_rule ?(result_base = fun _ -> Ty.Real) f args pos =
+  match args with
+  | [ a ] -> fold1 f a (result_base a.aty.Ty.base)
+  | _ -> Mlang.Source.error pos "wrong number of arguments"
+
+let preserve_int_base = function Ty.Integer -> Ty.Integer | b -> b
+
+let map2_rule f args pos =
+  match args with
+  | [ a; b ] ->
+      let ty =
+        Ty.elementwise_result
+          (fun x y -> preserve_int_base (Ty.join_base x y))
+          a.aty b.aty
+      in
+      let aconst =
+        match (a.aconst, b.aconst, ty.Ty.rank) with
+        | Some x, Some y, Ty.Rscalar -> Some (f x y)
+        | _ -> None
+      in
+      { aty = ty; aconst }
+  | _ -> Mlang.Source.error pos "wrong number of arguments"
+
+(* Reduction rule: vector -> scalar; matrix -> 1 x cols row vector.
+   A matrix of unknown shape is optimistically treated as a vector, a
+   choice the run time checks. *)
+let reduce_rule ?(result_base = fun b -> b) args pos =
+  match args with
+  | [ a ] ->
+      let base = result_base a.aty.Ty.base in
+      if Ty.is_scalar a.aty then { aty = Ty.scalar base; aconst = a.aconst }
+      else if Ty.is_vector a.aty || a.aty.Ty.shape = Ty.unknown_shape then
+        of_ty (Ty.scalar base)
+      else
+        of_ty
+          (Ty.matrix ~shape:{ Ty.rows = Ty.Dconst 1; cols = a.aty.Ty.shape.Ty.cols }
+             base)
+  | _ -> Mlang.Source.error pos "reduction takes one argument"
+
+let constructor_rule ~square ~base args _pos =
+  match args with
+  | [] -> of_ty (Ty.scalar base)
+  | [ n ] ->
+      let d = dim_of_arg n in
+      let shape =
+        if square then { Ty.rows = d; cols = d }
+        else { Ty.rows = Ty.Dconst 1; cols = d }
+      in
+      of_ty (Ty.matrix ~shape base)
+  | [ r; c ] ->
+      of_ty (Ty.matrix ~shape:{ Ty.rows = dim_of_arg r; cols = dim_of_arg c } base)
+  | _ -> of_ty (Ty.matrix base)
+
+let int_scalar_rule _args _pos = of_ty Ty.int_scalar
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 64
+
+let register name kind min_args max_args infer =
+  Hashtbl.replace table name { name; kind; min_args; max_args; infer }
+
+let () =
+  let real_of _ = Ty.Real in
+  let keep b = b in
+  (* element-wise unary *)
+  register "abs" (Map1 "abs") 1 1 (map1_rule ~result_base:keep Float.abs);
+  register "sqrt" (Map1 "sqrt") 1 1 (map1_rule ~result_base:real_of sqrt);
+  register "exp" (Map1 "exp") 1 1 (map1_rule ~result_base:real_of exp);
+  register "log" (Map1 "log") 1 1 (map1_rule ~result_base:real_of log);
+  register "log10" (Map1 "log10") 1 1 (map1_rule ~result_base:real_of log10);
+  register "log2" (Map1 "log2") 1 1
+    (map1_rule ~result_base:real_of (fun x -> log x /. log 2.));
+  register "sin" (Map1 "sin") 1 1 (map1_rule ~result_base:real_of sin);
+  register "cos" (Map1 "cos") 1 1 (map1_rule ~result_base:real_of cos);
+  register "tan" (Map1 "tan") 1 1 (map1_rule ~result_base:real_of tan);
+  register "asin" (Map1 "asin") 1 1 (map1_rule ~result_base:real_of asin);
+  register "acos" (Map1 "acos") 1 1 (map1_rule ~result_base:real_of acos);
+  register "atan" (Map1 "atan") 1 1 (map1_rule ~result_base:real_of atan);
+  register "tanh" (Map1 "tanh") 1 1 (map1_rule ~result_base:real_of tanh);
+  register "cosh" (Map1 "cosh") 1 1 (map1_rule ~result_base:real_of cosh);
+  register "sinh" (Map1 "sinh") 1 1 (map1_rule ~result_base:real_of sinh);
+  register "floor" (Map1 "floor") 1 1
+    (map1_rule ~result_base:(fun _ -> Ty.Integer) floor);
+  register "ceil" (Map1 "ceil") 1 1
+    (map1_rule ~result_base:(fun _ -> Ty.Integer) ceil);
+  register "round" (Map1 "round") 1 1
+    (map1_rule ~result_base:(fun _ -> Ty.Integer) Float.round);
+  register "fix" (Map1 "fix") 1 1
+    (map1_rule ~result_base:(fun _ -> Ty.Integer) Float.trunc);
+  register "sign" (Map1 "sign") 1 1
+    (map1_rule
+       ~result_base:(fun _ -> Ty.Integer)
+       (fun x -> if x > 0. then 1. else if x < 0. then -1. else 0.));
+  register "double" (Map1 "double") 1 1
+    (map1_rule ~result_base:real_of (fun x -> x));
+  (* element-wise binary *)
+  register "mod" (Map2 "mod") 2 2
+    (map2_rule (fun a b -> if b = 0. then a else a -. (b *. Float.floor (a /. b))));
+  register "rem" (Map2 "rem") 2 2
+    (map2_rule (fun a b -> if b = 0. then a else Float.rem a b));
+  register "atan2" (Map2 "atan2") 2 2 (map2_rule atan2);
+  register "hypot" (Map2 "hypot") 2 2 (map2_rule Float.hypot);
+  register "power" (Map2 "pow") 2 2 (map2_rule Float.pow);
+  (* reductions *)
+  register "sum" (Reduce "sum") 1 1 (reduce_rule ~result_base:keep);
+  register "cumsum" (Scan "cumsum") 1 1 (fun args pos ->
+      match args with
+      | [ a ] -> { a with aconst = None }
+      | _ -> Mlang.Source.error pos "cumsum takes one argument");
+  register "cumprod" (Scan "cumprod") 1 1 (fun args pos ->
+      match args with
+      | [ a ] -> { a with aconst = None }
+      | _ -> Mlang.Source.error pos "cumprod takes one argument");
+  register "prod" (Reduce "prod") 1 1 (reduce_rule ~result_base:keep);
+  register "mean" (Reduce "mean") 1 1 (reduce_rule ~result_base:real_of);
+  register "norm" (Reduce "norm") 1 1 (fun args pos ->
+      ignore (reduce_rule args pos);
+      of_ty Ty.real_scalar);
+  register "any" (Reduce "any") 1 1 (fun _ _ -> of_ty Ty.int_scalar);
+  register "all" (Reduce "all") 1 1 (fun _ _ -> of_ty Ty.int_scalar);
+  register "dot" Dot 2 2 (fun _ _ -> of_ty Ty.real_scalar);
+  register "min" (Minmax "min") 1 2 (fun args pos ->
+      match args with
+      | [ _ ] -> reduce_rule ~result_base:keep args pos
+      | _ -> map2_rule Float.min args pos);
+  register "max" (Minmax "max") 1 2 (fun args pos ->
+      match args with
+      | [ _ ] -> reduce_rule ~result_base:keep args pos
+      | _ -> map2_rule Float.max args pos);
+  (* constructors *)
+  register "zeros" (Constructor "zeros") 0 2
+    (constructor_rule ~square:true ~base:Ty.Real);
+  register "ones" (Constructor "ones") 0 2
+    (constructor_rule ~square:true ~base:Ty.Real);
+  register "rand" (Constructor "rand") 0 2
+    (constructor_rule ~square:true ~base:Ty.Real);
+  register "randn" (Constructor "randn") 0 2
+    (constructor_rule ~square:true ~base:Ty.Real);
+  register "eye" (Constructor "eye") 1 2
+    (constructor_rule ~square:true ~base:Ty.Real);
+  register "linspace" (Constructor "linspace") 3 3 (fun args pos ->
+      match args with
+      | [ _; _; n ] ->
+          of_ty
+            (Ty.matrix
+               ~shape:{ Ty.rows = Ty.Dconst 1; cols = dim_of_arg n }
+               Ty.Real)
+      | _ -> Mlang.Source.error pos "linspace takes three arguments");
+  (* queries *)
+  register "size" (Query "size") 1 2 (fun args _ ->
+      match args with
+      | [ _ ] ->
+          of_ty
+            (Ty.matrix
+               ~shape:{ Ty.rows = Ty.Dconst 1; cols = Ty.Dconst 2 }
+               Ty.Integer)
+      | _ -> of_ty Ty.int_scalar);
+  register "length" (Query "length") 1 1 (fun args _ ->
+      match args with
+      | [ a ] -> (
+          match (a.aty.Ty.rank, a.aty.Ty.shape) with
+          | Ty.Rscalar, _ -> const_int 1
+          | Ty.Rmatrix, { Ty.rows = Ty.Dconst r; cols = Ty.Dconst c } ->
+              const_int (max r c)
+          | Ty.Rmatrix, _ -> of_ty Ty.int_scalar)
+      | _ -> of_ty Ty.int_scalar);
+  register "numel" (Query "numel") 1 1 (fun args _ ->
+      match args with
+      | [ a ] -> (
+          match (a.aty.Ty.rank, a.aty.Ty.shape) with
+          | Ty.Rscalar, _ -> const_int 1
+          | Ty.Rmatrix, { Ty.rows = Ty.Dconst r; cols = Ty.Dconst c } ->
+              const_int (r * c)
+          | Ty.Rmatrix, _ -> of_ty Ty.int_scalar)
+      | _ -> of_ty Ty.int_scalar);
+  (* communication-bearing library functions *)
+  register "trapz" Trapz 1 2 (fun _ _ -> of_ty Ty.real_scalar);
+  register "circshift" Shift 2 2 (fun args pos ->
+      match args with
+      | [ a; _ ] -> of_ty a.aty
+      | _ -> Mlang.Source.error pos "circshift takes two arguments");
+  (* output and diagnostics *)
+  register "disp" (Output "disp") 1 1 int_scalar_rule;
+  register "fprintf" (Output "fprintf") 1 max_int int_scalar_rule;
+  register "error" Error_fn 1 1 int_scalar_rule;
+  register "repmat" Repmat 3 3 (fun args pos ->
+      match args with
+      | [ a; r; c ] -> (
+          match (dim_of_arg r, dim_of_arg c, a.aty.Ty.rank) with
+          | Ty.Dconst rr, Ty.Dconst cc, Ty.Rscalar ->
+              of_ty
+                (Ty.matrix
+                   ~shape:{ Ty.rows = Ty.Dconst rr; cols = Ty.Dconst cc }
+                   a.aty.Ty.base)
+          | Ty.Dconst rr, Ty.Dconst cc, Ty.Rmatrix -> (
+              match a.aty.Ty.shape with
+              | { Ty.rows = Ty.Dconst m; cols = Ty.Dconst n } ->
+                  of_ty
+                    (Ty.matrix
+                       ~shape:{ Ty.rows = Ty.Dconst (rr * m); cols = Ty.Dconst (cc * n) }
+                       a.aty.Ty.base)
+              | _ -> of_ty (Ty.matrix a.aty.Ty.base))
+          | _ -> of_ty (Ty.matrix a.aty.Ty.base))
+      | _ -> Mlang.Source.error pos "repmat takes three arguments");
+  register "sort" Sort 1 1 (fun args pos ->
+      match args with
+      | [ a ] -> { a with aconst = None }
+      | _ -> Mlang.Source.error pos "sort takes one argument");
+  (* external file input; the real type rule runs in Infer, which has
+     the data directory and the literal filename *)
+  register "load" Load 1 1 (fun _ _ -> of_ty Ty.real_matrix);
+  (* constants *)
+  register "pi" (Constant Float.pi) 0 0 (fun _ _ -> const_real Float.pi);
+  register "eps" (Constant epsilon_float) 0 0 (fun _ _ ->
+      const_real epsilon_float)
+
+let find name = Hashtbl.find_opt table name
+let is_builtin name = Hashtbl.mem table name
+let all () = Hashtbl.fold (fun _ b acc -> b :: acc) table []
+
+let check_arity b nargs pos =
+  if nargs < b.min_args || nargs > b.max_args then
+    Mlang.Source.error pos "%s: expects %d..%d arguments, got %d" b.name
+      b.min_args
+      (if b.max_args = max_int then 99 else b.max_args)
+      nargs

@@ -1,0 +1,17 @@
+(** Type / rank / shape inference (paper pass 3): abstract
+    interpretation over the SSA form, to fixpoint across loop phis,
+    with compile-time constant propagation feeding shape inference. *)
+
+type result = {
+  expr_ty : (int, Ty.t) Hashtbl.t; (** node id -> inferred type *)
+  var_ty : (string, Ty.t) Hashtbl.t; (** script variable -> joined type *)
+  func_var_ty : (string, (string, Ty.t) Hashtbl.t) Hashtbl.t;
+  func_returns : (string, Ty.t list) Hashtbl.t;
+}
+
+val program : ?datadir:string -> Mlang.Ast.program -> result
+(** Infer a resolved program.  [datadir] locates the sample data files
+    that [load] requires at compile time (paper section 3). *)
+
+val expr_type : result -> Mlang.Ast.expr -> Ty.t
+val var_type : result -> string -> Ty.t

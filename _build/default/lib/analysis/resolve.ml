@@ -1,0 +1,146 @@
+(* Identifier resolution (paper section 3, pass 2).
+
+   Starting from the script, decides for every name whether it denotes a
+   variable or a function, rewriting [Ident]/[Apply] nodes into
+   [Varref]/[Index]/[Call].  User M-file functions reachable from the
+   script are looked up through [path], resolved recursively, and added
+   to the program, so that after this pass the whole user program is in
+   one AST.  Functions are *not* inlined (paper: this keeps the emitted
+   C small at the cost of harder type propagation).
+
+   Variables shadow functions, and user functions shadow builtins, as in
+   MATLAB.  Node ids are preserved: a rewritten node denotes the same
+   value as the original. *)
+
+open Mlang
+
+type ctx = {
+  path : string -> Ast.func option;
+  input_funcs : (string, Ast.func) Hashtbl.t;
+  resolved : (string, Ast.func) Hashtbl.t;
+  mutable order : string list; (* reverse order of resolution *)
+}
+
+let is_function ctx name =
+  Hashtbl.mem ctx.resolved name
+  || Hashtbl.mem ctx.input_funcs name
+  || ctx.path name <> None
+  || Builtins.is_builtin name
+
+let rec resolve_expr ctx vars (e : Ast.expr) : Ast.expr =
+  let re = resolve_expr ctx vars in
+  match e.desc with
+  | Ast.Num _ | Ast.Str _ | Ast.Colon | Ast.End_marker | Ast.Varref _ -> e
+  | Ast.Ident name ->
+      if Hashtbl.mem vars name then { e with desc = Ast.Varref name }
+      else if is_function ctx name then begin
+        ensure_function ctx name e.epos;
+        { e with desc = Ast.Call (name, []) }
+      end
+      else Source.error e.epos "undefined variable or function '%s'" name
+  | Ast.Apply (name, args) ->
+      let args = List.map re args in
+      if Hashtbl.mem vars name then { e with desc = Ast.Index (name, args) }
+      else if is_function ctx name then begin
+        ensure_function ctx name e.epos;
+        { e with desc = Ast.Call (name, args) }
+      end
+      else Source.error e.epos "undefined variable or function '%s'" name
+  | Ast.Call (name, args) -> { e with desc = Ast.Call (name, List.map re args) }
+  | Ast.Index (name, args) -> { e with desc = Ast.Index (name, List.map re args) }
+  | Ast.Binop (op, a, b) -> { e with desc = Ast.Binop (op, re a, re b) }
+  | Ast.Unop (op, a) -> { e with desc = Ast.Unop (op, re a) }
+  | Ast.Range (a, step, b) ->
+      { e with desc = Ast.Range (re a, Option.map re step, re b) }
+  | Ast.Matrix rows -> { e with desc = Ast.Matrix (List.map (List.map re) rows) }
+
+and resolve_lhs ctx vars (l : Ast.lhs) : Ast.lhs =
+  match l.lv_indices with
+  | None -> l
+  | Some args ->
+      if not (Hashtbl.mem vars l.lv_name) then
+        Source.error l.lv_pos "indexed assignment to undefined variable '%s'"
+          l.lv_name;
+      { l with lv_indices = Some (List.map (resolve_expr ctx vars) args) }
+
+and resolve_stmt ctx vars (s : Ast.stmt) : Ast.stmt =
+  match s.sdesc with
+  | Ast.Assign (l, rhs, display) ->
+      let rhs = resolve_expr ctx vars rhs in
+      let l = resolve_lhs ctx vars l in
+      Hashtbl.replace vars l.Ast.lv_name ();
+      { s with sdesc = Ast.Assign (l, rhs, display) }
+  | Ast.Multi_assign (ls, rhs, display) ->
+      let rhs = resolve_expr ctx vars rhs in
+      (match rhs.desc with
+      | Ast.Call _ -> ()
+      | _ ->
+          Source.error s.spos
+            "multiple assignment requires a function call on the right");
+      let ls = List.map (resolve_lhs ctx vars) ls in
+      List.iter (fun l -> Hashtbl.replace vars l.Ast.lv_name ()) ls;
+      { s with sdesc = Ast.Multi_assign (ls, rhs, display) }
+  | Ast.Expr (e, display) ->
+      { s with sdesc = Ast.Expr (resolve_expr ctx vars e, display) }
+  | Ast.If (branches, els) ->
+      let branches =
+        List.map
+          (fun (c, b) ->
+            let c = resolve_expr ctx vars c in
+            (c, resolve_block ctx vars b))
+          branches
+      in
+      { s with sdesc = Ast.If (branches, resolve_block ctx vars els) }
+  | Ast.While (c, b) ->
+      let c = resolve_expr ctx vars c in
+      { s with sdesc = Ast.While (c, resolve_block ctx vars b) }
+  | Ast.For (v, range, b) ->
+      let range = resolve_expr ctx vars range in
+      Hashtbl.replace vars v ();
+      { s with sdesc = Ast.For (v, range, resolve_block ctx vars b) }
+  | Ast.Break | Ast.Continue | Ast.Return -> s
+
+and resolve_block ctx vars b = List.map (resolve_stmt ctx vars) b
+
+(* Resolve a user function's body once, keying a placeholder first so
+   that direct or mutual recursion terminates. *)
+and ensure_function ctx name pos =
+  if Builtins.is_builtin name && not (Hashtbl.mem ctx.input_funcs name)
+     && ctx.path name = None
+  then () (* plain builtin: nothing to pull in *)
+  else if not (Hashtbl.mem ctx.resolved name) then begin
+    let f =
+      match Hashtbl.find_opt ctx.input_funcs name with
+      | Some f -> f
+      | None -> (
+          match ctx.path name with
+          | Some f -> f
+          | None -> Source.error pos "cannot find function '%s'" name)
+    in
+    Hashtbl.add ctx.resolved name f;
+    let vars = Hashtbl.create 8 in
+    List.iter (fun p -> Hashtbl.replace vars p ()) f.Ast.params;
+    let body = resolve_block ctx vars f.Ast.fbody in
+    List.iter
+      (fun r ->
+        if not (Hashtbl.mem vars r) then
+          Source.error Source.no_pos
+            "function '%s': return value '%s' is never assigned" name r)
+      f.Ast.returns;
+    Hashtbl.replace ctx.resolved name { f with Ast.fbody = body };
+    ctx.order <- name :: ctx.order
+  end
+
+let run ?(path = fun _ -> None) (p : Ast.program) : Ast.program =
+  let input_funcs = Hashtbl.create 8 in
+  List.iter (fun f -> Hashtbl.replace input_funcs f.Ast.fname f) p.funcs;
+  let ctx = { path; input_funcs; resolved = Hashtbl.create 8; order = [] } in
+  let vars = Hashtbl.create 16 in
+  let script = resolve_block ctx vars p.script in
+  (* Functions present in the file but never referenced are still
+     resolved, so the whole file is checked. *)
+  List.iter (fun f -> ensure_function ctx f.Ast.fname Source.no_pos) p.funcs;
+  let funcs =
+    List.rev_map (fun name -> Hashtbl.find ctx.resolved name) ctx.order
+  in
+  { Ast.script; funcs }

@@ -1,0 +1,11 @@
+(** Identifier resolution (paper pass 2): decides variable vs function
+    for every name, rewrites [Ident]/[Apply] into
+    [Varref]/[Index]/[Call], and pulls every reachable M-file function
+    into the program (no inlining). *)
+
+val run :
+  ?path:(string -> Mlang.Ast.func option) ->
+  Mlang.Ast.program ->
+  Mlang.Ast.program
+(** [path] looks M-file functions up by name (MATLAB's search path).
+    Raises {!Mlang.Source.Error} on undefined names. *)

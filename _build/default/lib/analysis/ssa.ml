@@ -1,0 +1,269 @@
+(* Static single assignment conversion (paper section 3, pass 3).
+
+   MATLAB lets a variable change type, rank and shape during execution;
+   converting to SSA form gives every assignment its own name so the
+   static inference mechanism can attach exact attributes to each
+   version.  We produce a structured SSA program: the statement shapes of
+   the AST are kept, variables are renamed to versions written "x@3",
+   and phi pseudo-definitions appear at the joins of if statements and at
+   loop headers.
+
+   Version "x@0" denotes the uninitialized variable (possible when a
+   variable is only assigned on some paths); inference types it Bottom.
+
+   Expression node ids are preserved by renaming, which lets inference
+   results on the SSA form annotate the original AST nodes directly. *)
+
+open Mlang
+
+module Smap = Map.Make (String)
+
+type phi = { target : string; base : string; args : string list }
+
+type sstmt =
+  | Sassign of string * Ast.expr * bool (* version = renamed rhs *)
+  | Supdate of string * string * Ast.expr list * Ast.expr
+    (* new version, old version, renamed indices, renamed rhs:
+       an element or section update  a(i,j) = e *)
+  | Smulti of (string * string) list * Ast.expr
+    (* (new version, base) list = renamed call *)
+  | Sexpr of Ast.expr * bool
+  | Sif of (Ast.expr * sblock) list * sblock * phi list
+  | Swhile of phi list * Ast.expr * sblock
+  | Sfor of string * Ast.expr * phi list * sblock
+  | Sbreak
+  | Scontinue
+  | Sreturn
+
+and sblock = sstmt list
+
+type sfunc = {
+  sf_name : string;
+  sf_params : string list; (* versions, "p@1" *)
+  sf_returns : string list; (* base names; looked up in final env *)
+  sf_body : sblock;
+  sf_final_env : string Smap.t; (* base -> version at exit *)
+}
+
+(* [ns] namespaces versions so that function locals never collide with
+   script variables in the shared inference table: a function [f]'s
+   variable [x] gets versions "f:x@1", "f:x@2", ... *)
+type ctx = { counters : (string, int) Hashtbl.t; ns : string }
+
+(* "f:x@3" -> scope Some "f", base "x" *)
+let scope_of_version v =
+  match String.index_opt v ':' with
+  | Some i -> Some (String.sub v 0 i)
+  | None -> None
+
+let base_of_version v =
+  let start =
+    match String.index_opt v ':' with Some i -> i + 1 | None -> 0
+  in
+  let stop =
+    match String.index_opt v '@' with Some i -> i | None -> String.length v
+  in
+  String.sub v start (stop - start)
+
+let fresh ctx base =
+  let n = match Hashtbl.find_opt ctx.counters base with Some n -> n | None -> 0 in
+  Hashtbl.replace ctx.counters base (n + 1);
+  Printf.sprintf "%s%s@%d" ctx.ns base (n + 1)
+
+let version_of ?(ns = "") env base =
+  match Smap.find_opt base env with Some v -> v | None -> ns ^ base ^ "@0"
+
+let rec rename_expr ctx env (e : Ast.expr) : Ast.expr =
+  let re = rename_expr ctx env in
+  match e.desc with
+  | Ast.Num _ | Ast.Str _ | Ast.Colon | Ast.End_marker -> e
+  | Ast.Varref name ->
+      { e with desc = Ast.Varref (version_of ~ns:ctx.ns env name) }
+  | Ast.Index (name, args) ->
+      { e with desc = Ast.Index (version_of ~ns:ctx.ns env name, List.map re args) }
+  | Ast.Call (name, args) -> { e with desc = Ast.Call (name, List.map re args) }
+  | Ast.Binop (op, a, b) -> { e with desc = Ast.Binop (op, re a, re b) }
+  | Ast.Unop (op, a) -> { e with desc = Ast.Unop (op, re a) }
+  | Ast.Range (a, step, b) ->
+      { e with desc = Ast.Range (re a, Option.map re step, re b) }
+  | Ast.Matrix rows -> { e with desc = Ast.Matrix (List.map (List.map re) rows) }
+  | Ast.Ident name ->
+      Source.error e.epos "unresolved identifier '%s' reached SSA" name
+  | Ast.Apply (name, _) ->
+      Source.error e.epos "unresolved application '%s' reached SSA" name
+
+(* Base names assigned anywhere in a block (including nested blocks). *)
+let rec assigned_in_block acc (b : Ast.block) =
+  List.fold_left assigned_in_stmt acc b
+
+and assigned_in_stmt acc (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Assign (l, _, _) -> Smap.add l.lv_name () acc
+  | Ast.Multi_assign (ls, _, _) ->
+      List.fold_left (fun acc l -> Smap.add l.Ast.lv_name () acc) acc ls
+  | Ast.Expr _ | Ast.Break | Ast.Continue | Ast.Return -> acc
+  | Ast.If (branches, els) ->
+      let acc =
+        List.fold_left (fun acc (_, b) -> assigned_in_block acc b) acc branches
+      in
+      assigned_in_block acc els
+  | Ast.While (_, b) -> assigned_in_block acc b
+  | Ast.For (v, _, b) -> assigned_in_block (Smap.add v () acc) b
+
+let rec convert_block ctx env (b : Ast.block) : sblock * string Smap.t =
+  List.fold_left
+    (fun (acc, env) s ->
+      let s', env' = convert_stmt ctx env s in
+      (s' :: acc, env'))
+    ([], env) b
+  |> fun (acc, env) -> (List.rev acc, env)
+
+and convert_stmt ctx env (s : Ast.stmt) : sstmt * string Smap.t =
+  match s.sdesc with
+  | Ast.Assign ({ lv_name; lv_indices = None; _ }, rhs, display) ->
+      let rhs = rename_expr ctx env rhs in
+      let v = fresh ctx lv_name in
+      (Sassign (v, rhs, display), Smap.add lv_name v env)
+  | Ast.Assign ({ lv_name; lv_indices = Some idx; _ }, rhs, _) ->
+      let rhs = rename_expr ctx env rhs in
+      let idx = List.map (rename_expr ctx env) idx in
+      let old = version_of ~ns:ctx.ns env lv_name in
+      let v = fresh ctx lv_name in
+      (Supdate (v, old, idx, rhs), Smap.add lv_name v env)
+  | Ast.Multi_assign (ls, rhs, _) ->
+      let rhs = rename_expr ctx env rhs in
+      let defs, env =
+        List.fold_left
+          (fun (defs, env) (l : Ast.lhs) ->
+            let v = fresh ctx l.lv_name in
+            ((v, l.lv_name) :: defs, Smap.add l.lv_name v env))
+          ([], env) ls
+      in
+      (Smulti (List.rev defs, rhs), env)
+  | Ast.Expr (e, display) -> (Sexpr (rename_expr ctx env e, display), env)
+  | Ast.If (branches, els) ->
+      let rename_branch (c, b) =
+        let c = rename_expr ctx env c in
+        let b', env' = convert_block ctx env b in
+        (c, b', env')
+      in
+      let branches' = List.map rename_branch branches in
+      let els', els_env = convert_block ctx env els in
+      let all_envs = List.map (fun (_, _, e) -> e) branches' @ [ els_env ] in
+      let assigned =
+        let acc =
+          List.fold_left (fun acc (_, b) -> assigned_in_block acc b) Smap.empty
+            branches
+        in
+        assigned_in_block acc els
+      in
+      let phis, env =
+        Smap.fold
+          (fun base () (phis, env') ->
+            let args = List.map (fun e -> version_of ~ns:ctx.ns e base) all_envs in
+            let target = fresh ctx base in
+            ({ target; base; args } :: phis, Smap.add base target env'))
+          assigned ([], env)
+      in
+      ( Sif (List.map (fun (c, b, _) -> (c, b)) branches', els', List.rev phis),
+        env )
+  | Ast.While (cond, body) ->
+      let header_phis, body_env = loop_header ctx env body Smap.empty in
+      let cond = rename_expr ctx body_env cond in
+      let body', end_env = convert_block ctx body_env body in
+      let phis = fill_backedges ctx header_phis end_env in
+      (Swhile (phis, cond, body'), body_env)
+  | Ast.For (v, range, body) ->
+      let range = rename_expr ctx env range in
+      let loop_var = fresh ctx v in
+      let env_with_var = Smap.add v loop_var env in
+      let header_phis, body_env =
+        loop_header ctx env_with_var body (Smap.singleton v ())
+      in
+      let body', end_env = convert_block ctx body_env body in
+      let phis = fill_backedges ctx header_phis end_env in
+      (Sfor (loop_var, range, phis, body'), body_env)
+  | Ast.Break -> (Sbreak, env)
+  | Ast.Continue -> (Scontinue, env)
+  | Ast.Return -> (Sreturn, env)
+
+(* Create header phi versions for every variable assigned in the loop
+   body (excluding [skip], e.g. the for-loop variable itself which is
+   redefined by the loop construct).  Their back-edge arguments are not
+   known yet; [fill_backedges] completes them after the body has been
+   renamed. *)
+and loop_header ctx env body skip =
+  let assigned = assigned_in_block Smap.empty body in
+  let assigned = Smap.filter (fun v () -> not (Smap.mem v skip)) assigned in
+  Smap.fold
+    (fun base () (phis, env') ->
+      let entry = version_of ~ns:ctx.ns env base in
+      let target = fresh ctx base in
+      (({ target; base; args = [ entry ] } : phi) :: phis,
+       Smap.add base target env'))
+    assigned ([], env)
+
+and fill_backedges ctx phis end_env =
+  List.rev_map
+    (fun (p : phi) ->
+      { p with args = p.args @ [ version_of ~ns:ctx.ns end_env p.base ] })
+    phis
+
+let convert_body ?(ns = "") ?(params = []) (b : Ast.block) : sblock * string Smap.t * string list
+    =
+  let ctx = { counters = Hashtbl.create 16; ns } in
+  let env, param_versions =
+    List.fold_left
+      (fun (env, pvs) p ->
+        let v = fresh ctx p in
+        (Smap.add p v env, v :: pvs))
+      (Smap.empty, []) params
+  in
+  let body, final_env = convert_block ctx env b in
+  (body, final_env, List.rev param_versions)
+
+let convert_script (b : Ast.block) : sblock * string Smap.t =
+  let body, env, _ = convert_body b in
+  (body, env)
+
+let convert_func (f : Ast.func) : sfunc =
+  let body, final_env, param_versions =
+    convert_body ~ns:(f.fname ^ ":") ~params:f.params f.fbody
+  in
+  {
+    sf_name = f.fname;
+    sf_params = param_versions;
+    sf_returns = f.returns;
+    sf_body = body;
+    sf_final_env = final_env;
+  }
+
+(* --- well-formedness check used by tests and assertions --------------- *)
+
+(* Every version is defined at most once across the whole block. *)
+let single_assignment_holds (b : sblock) =
+  let seen = Hashtbl.create 64 in
+  let ok = ref true in
+  let def v =
+    if Hashtbl.mem seen v then ok := false else Hashtbl.add seen v ()
+  in
+  let rec go_block b = List.iter go_stmt b
+  and go_stmt = function
+    | Sassign (v, _, _) -> def v
+    | Supdate (v, _, _, _) -> def v
+    | Smulti (defs, _) -> List.iter (fun (v, _) -> def v) defs
+    | Sexpr _ | Sbreak | Scontinue | Sreturn -> ()
+    | Sif (branches, els, phis) ->
+        List.iter (fun (_, b) -> go_block b) branches;
+        go_block els;
+        List.iter (fun (p : phi) -> def p.target) phis
+    | Swhile (phis, _, b) ->
+        List.iter (fun (p : phi) -> def p.target) phis;
+        go_block b
+    | Sfor (v, _, phis, b) ->
+        def v;
+        List.iter (fun (p : phi) -> def p.target) phis;
+        go_block b
+  in
+  go_block b;
+  !ok

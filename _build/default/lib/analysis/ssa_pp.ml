@@ -1,0 +1,56 @@
+(* Rendering of the SSA form (otterc dump --ssa; debugging aid). *)
+
+let rec stmt ~indent ppf (s : Ssa.sstmt) =
+  let pad ppf = Fmt.pf ppf "%s" (String.make indent ' ') in
+  match s with
+  | Ssa.Sassign (v, rhs, _) -> Fmt.pf ppf "%t%s = %a" pad v Mlang.Pp.expr rhs
+  | Ssa.Supdate (v, old, idx, rhs) ->
+      Fmt.pf ppf "%t%s = update %s(%a) <- %a" pad v old
+        (Fmt.list ~sep:(Fmt.any ", ") Mlang.Pp.expr)
+        idx Mlang.Pp.expr rhs
+  | Ssa.Smulti (defs, rhs) ->
+      Fmt.pf ppf "%t[%a] = %a" pad
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (v, _) -> Fmt.string ppf v))
+        defs Mlang.Pp.expr rhs
+  | Ssa.Sexpr (e, _) -> Fmt.pf ppf "%t%a" pad Mlang.Pp.expr e
+  | Ssa.Sif (branches, els, phis) ->
+      List.iteri
+        (fun i (c, b) ->
+          Fmt.pf ppf "%t%s %a@\n%a" pad
+            (if i = 0 then "if" else "elseif")
+            Mlang.Pp.expr c (block ~indent:(indent + 2)) b)
+        branches;
+      if els <> [] then
+        Fmt.pf ppf "%telse@\n%a" pad (block ~indent:(indent + 2)) els;
+      Fmt.pf ppf "%tend" pad;
+      List.iter (fun p -> Fmt.pf ppf "@\n%a" (phi ~indent) p) phis
+  | Ssa.Swhile (phis, c, b) ->
+      List.iter (fun p -> Fmt.pf ppf "%a@\n" (phi ~indent) p) phis;
+      Fmt.pf ppf "%twhile %a@\n%a%tend" pad Mlang.Pp.expr c
+        (block ~indent:(indent + 2))
+        b pad
+  | Ssa.Sfor (v, range, phis, b) ->
+      Fmt.pf ppf "%tfor %s = %a@\n" pad v Mlang.Pp.expr range;
+      List.iter (fun p -> Fmt.pf ppf "%a@\n" (phi ~indent:(indent + 2)) p) phis;
+      Fmt.pf ppf "%a%tend" (block ~indent:(indent + 2)) b pad
+  | Ssa.Sbreak -> Fmt.pf ppf "%tbreak" pad
+  | Ssa.Scontinue -> Fmt.pf ppf "%tcontinue" pad
+  | Ssa.Sreturn -> Fmt.pf ppf "%treturn" pad
+
+and phi ~indent ppf (p : Ssa.phi) =
+  Fmt.pf ppf "%s%s = phi(%s)"
+    (String.make indent ' ')
+    p.target
+    (String.concat ", " p.args)
+
+and block ~indent ppf (b : Ssa.sblock) =
+  List.iter (fun s -> Fmt.pf ppf "%a@\n" (stmt ~indent) s) b
+
+let script_to_string (b : Ssa.sblock) = Fmt.str "%a" (block ~indent:0) b
+
+let func_to_string (f : Ssa.sfunc) =
+  Fmt.str "function [%s] = %s(%s)@\n%a end@\n"
+    (String.concat ", " f.sf_returns)
+    f.sf_name
+    (String.concat ", " f.sf_params)
+    (block ~indent:2) f.sf_body

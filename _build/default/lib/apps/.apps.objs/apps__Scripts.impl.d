@@ -1,0 +1,1 @@
+lib/apps/scripts.ml: List Printf

@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Analysis Buffer C_runtime C_runtime_mpi Float Hashtbl List Mlang Printf Spmd String

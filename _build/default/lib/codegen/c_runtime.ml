@@ -1,0 +1,712 @@
+(* The C run-time library shipped with generated programs.
+
+   [header] declares the MATRIX structure and the ML_* API used by the
+   emitted code (paper section 4).  [seq_impl] is a self-contained
+   single-process implementation, so any generated program can be
+   compiled with a plain C compiler and executed without MPI -- this is
+   also what the integration tests do.  [mpi_impl] is the
+   distributed-memory implementation: row-contiguous block distribution
+   of matrices, block distribution of vectors, replicated scalars,
+   collectives over MPI.
+
+   The rand() generator is the same splitmix64 counter hash as the
+   OCaml run time, so compiled C programs, simulated parallel runs and
+   the reference interpreter all compute identical data. *)
+
+let header =
+  {|/* otter_rt.h -- run-time library interface for Otter-generated code. */
+#ifndef OTTER_RT_H
+#define OTTER_RT_H
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <math.h>
+#include <stdint.h>
+
+/* A distributed matrix or vector.  Every process holds the global
+   header plus its local block: matrices with more than one row are
+   distributed by contiguous row blocks, row vectors by column blocks,
+   and the sequential build simply owns everything. */
+typedef struct {
+  int rows, cols;
+  int axis;   /* 0: distributed by rows; 1: by columns (row vectors) */
+  int low;    /* first owned row (axis 0) or column (axis 1) */
+  int count;  /* owned rows / columns */
+  double *data; /* axis 0: count*cols, row-major; axis 1: count */
+} MATRIX;
+
+typedef enum { ML_SUM, ML_PROD, ML_MIN, ML_MAX, ML_MEAN, ML_ANY, ML_ALL } ML_RED;
+
+typedef struct {
+  int kind;      /* 0: all, 1: scalar, 2: range, 3: vector */
+  double lo, step, hi; /* range/scalar (1-based, inclusive) */
+  const MATRIX *vec;   /* kind 3 */
+} ML_SEL;
+
+void ML_init(int *argc, char ***argv);
+void ML_finalize(void);
+int  ML_rank(void);
+int  ML_procs(void);
+
+void ML_reshape(MATRIX **m, int rows, int cols);
+void ML_free(MATRIX **m);
+int  ML_local_els(const MATRIX *m);
+void ML_copy(MATRIX **dst, const MATRIX *src);
+
+void ML_zeros(MATRIX **dst, int rows, int cols);
+void ML_ones(MATRIX **dst, int rows, int cols);
+void ML_eye(MATRIX **dst, int rows, int cols);
+void ML_rand(MATRIX **dst, int rows, int cols);
+void ML_randn(MATRIX **dst, int rows, int cols);
+void ML_linspace(MATRIX **dst, double a, double b, int n);
+void ML_range(MATRIX **dst, double lo, double step, double hi);
+void ML_literal(MATRIX **dst, int rows, int cols, const double *elems);
+void ML_load(MATRIX **dst, const char *path);
+double *ML_read_datafile(const char *path, int *rows, int *cols);
+
+void   ML_matrix_multiply(const MATRIX *a, const MATRIX *b, MATRIX **dst);
+double ML_dot(const MATRIX *a, const MATRIX *b);
+void   ML_transpose(const MATRIX *a, MATRIX **dst);
+void   ML_outer(const MATRIX *u, const MATRIX *v, MATRIX **dst);
+double ML_reduce_all(ML_RED op, const MATRIX *m);
+void   ML_reduce_cols(ML_RED op, const MATRIX *m, MATRIX **dst);
+double ML_norm(const MATRIX *m);
+void   ML_cumulative(int is_prod, const MATRIX *v, MATRIX **dst);
+double ML_reduce_index(ML_RED op, const MATRIX *v, double *index_out);
+void   ML_sort(const MATRIX *v, MATRIX **sorted, MATRIX **perm);
+double ML_trapz(const MATRIX *x, const MATRIX *y); /* x may be NULL */
+void   ML_circshift(const MATRIX *m, int k, MATRIX **dst);
+void   ML_section(const MATRIX *src, ML_SEL s1, ML_SEL s2, int nsel,
+                  MATRIX **dst);
+void   ML_set_section(MATRIX *dst, ML_SEL s1, ML_SEL s2, int nsel,
+                      const MATRIX *src, double fill);
+void   ML_concat(MATRIX **dst, int grid_rows, int grid_cols,
+                 const MATRIX **parts);
+
+/* Element access (indices are 0-based here; the compiler subtracts 1). */
+double  ML_broadcast(const MATRIX *m, int i, int j);
+double  ML_broadcast_linear(const MATRIX *m, int g); /* column-major */
+int     ML_owner(const MATRIX *m, int i, int j);
+int     ML_owner_linear(const MATRIX *m, int g);
+double *ML_realaddr2(MATRIX *m, int i, int j);
+double *ML_realaddr1(MATRIX *m, int g);
+
+double ML_numel(const MATRIX *m);
+double ML_length(const MATRIX *m);
+
+void ML_print_scalar(const char *name, double v);
+void ML_print_matrix(const char *name, const MATRIX *m);
+void ML_print_str(const char *name, const char *s);
+void ML_printf(const char *fmt, int nargs, ...); /* double varargs */
+void ML_error(const char *msg);
+
+double ML_mod(double a, double b);
+double ML_uniform_elem(int seed, long i);
+double ML_normal_elem(int seed, long i);
+int  ML_next_rand_seed(void);
+double ML_rem(double a, double b);
+double ML_sign(double x);
+double ML_fix(double x);
+double ML_log2(double x);
+double ML_round(double x);
+double ML_min2(double a, double b);
+double ML_max2(double a, double b);
+
+ML_SEL ML_sel_all(void);
+ML_SEL ML_sel_scalar(double i);
+ML_SEL ML_sel_range(double lo, double step, double hi);
+ML_SEL ML_sel_vec(const MATRIX *v);
+
+#endif /* OTTER_RT_H */
+|}
+
+let common_impl =
+  {|/* Shared between the sequential and MPI builds. */
+#include "otter_rt.h"
+#include <stdarg.h>
+
+static uint64_t ml_splitmix64(uint64_t z) {
+  z = (z ^ (z >> 33)) * 0xff51afd7ed558ccdULL;
+  z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53ULL;
+  return z ^ (z >> 33);
+}
+
+static int ml_rand_counter = 0;
+static const int ml_seed = 42;
+
+int ML_next_rand_seed(void) { ml_rand_counter++; return ml_seed + ml_rand_counter; }
+
+double ML_uniform_elem(int seed, long i) {
+  uint64_t h = ml_splitmix64((uint64_t)i +
+                             (uint64_t)(seed + 1) * 0x9e3779b97f4a7c15ULL);
+  return (double)(h >> 11) * 0x1p-53;
+}
+
+double ML_normal_elem(int seed, long i) {
+  double u1 = ML_uniform_elem(seed, i), u2 = ML_uniform_elem(seed + 77731, i);
+  if (u1 <= 0) u1 = 1e-300;
+  return sqrt(-2.0 * log(u1)) * cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+double ML_mod(double a, double b) { return b == 0 ? a : a - b * floor(a / b); }
+double ML_rem(double a, double b) { return b == 0 ? a : fmod(a, b); }
+double ML_sign(double x) { return x > 0 ? 1.0 : (x < 0 ? -1.0 : 0.0); }
+double ML_fix(double x) { return trunc(x); }
+double ML_log2(double x) { return log(x) / log(2.0); }
+double ML_round(double x) { return (x >= 0) ? floor(x + 0.5) : ceil(x - 0.5); }
+double ML_min2(double a, double b) { return a < b ? a : b; }
+double ML_max2(double a, double b) { return a > b ? a : b; }
+
+double ML_numel(const MATRIX *m) { return (double)m->rows * m->cols; }
+double ML_length(const MATRIX *m) {
+  return (double)(m->rows > m->cols ? m->rows : m->cols);
+}
+
+ML_SEL ML_sel_all(void) { ML_SEL s = {0, 0, 0, 0, NULL}; return s; }
+ML_SEL ML_sel_scalar(double i) { ML_SEL s = {1, i, 1, i, NULL}; return s; }
+ML_SEL ML_sel_range(double lo, double step, double hi) {
+  ML_SEL s = {2, lo, step, hi, NULL}; return s;
+}
+ML_SEL ML_sel_vec(const MATRIX *v) { ML_SEL s = {3, 0, 0, 0, v}; return s; }
+
+/* Interpret the MATLAB-style format at run time: \n, \t escapes and
+   the conversions %d %i %f %g %e (all arguments are doubles). */
+void ML_printf(const char *fmt, int nargs, ...) {
+  va_list ap;
+  double args[64];
+  int i, n = 0;
+  va_start(ap, nargs);
+  for (i = 0; i < nargs && i < 64; i++) args[n++] = va_arg(ap, double);
+  va_end(ap);
+  if (ML_rank() != 0) return;
+  {
+    const char *p = fmt;
+    int a = 0;
+    while (*p) {
+      if (p[0] == '\\' && p[1]) {
+        if (p[1] == 'n') putchar('\n');
+        else if (p[1] == 't') putchar('\t');
+        else putchar(p[1]);
+        p += 2;
+      } else if (p[0] == '%' && p[1]) {
+        char spec[32];
+        int k = 0;
+        spec[k++] = '%';
+        p++;
+        while (*p && k < 30 &&
+               (*p == '.' || *p == '-' || *p == '+' || *p == ' ' ||
+                (*p >= '0' && *p <= '9')))
+          spec[k++] = *p++;
+        if (*p == '%') { putchar('%'); p++; continue; }
+        if (*p == 'd' || *p == 'i') {
+          spec[k++] = 'd'; spec[k] = 0;
+          printf(spec, (int)(a < n ? args[a] : 0)); a++;
+        } else if (*p == 'f' || *p == 'g' || *p == 'e') {
+          spec[k++] = *p; spec[k] = 0;
+          printf(spec, a < n ? args[a] : 0.0); a++;
+        } else {
+          putchar(*p);
+        }
+        p++;
+      } else {
+        putchar(*p++);
+      }
+    }
+  }
+}
+
+/* Read a whitespace-separated numeric matrix (one row per line).
+   Shared by both run-time flavours; every process reads the file. */
+double *ML_read_datafile(const char *path, int *rows, int *cols) {
+  FILE *f = fopen(path, "r");
+  double *data = NULL;
+  size_t cap = 0, n = 0;
+  int r = 0, c = 0, line_c = 0, in_line = 0;
+  int ch;
+  if (!f) { ML_error("load: cannot open data file"); return NULL; }
+  {
+    char tok[64];
+    int ti = 0;
+    while ((ch = fgetc(f)) != EOF) {
+      if (ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r') {
+        if (ti > 0) {
+          tok[ti] = 0;
+          if (n == cap) {
+            cap = cap ? cap * 2 : 64;
+            data = (double *)realloc(data, cap * sizeof(double));
+          }
+          data[n++] = atof(tok);
+          line_c++;
+          in_line = 1;
+          ti = 0;
+        }
+        if (ch == '\n' && in_line) {
+          if (r == 0) c = line_c;
+          else if (line_c != c) ML_error("load: ragged data file");
+          r++;
+          line_c = 0;
+          in_line = 0;
+        }
+      } else if (ti < 63) {
+        tok[ti++] = (char)ch;
+      }
+    }
+    if (ti > 0) {
+      tok[ti] = 0;
+      if (n == cap) {
+        cap = cap ? cap * 2 : 64;
+        data = (double *)realloc(data, cap * sizeof(double));
+      }
+      data[n++] = atof(tok);
+      line_c++;
+      in_line = 1;
+    }
+    if (in_line) {
+      if (r == 0) c = line_c;
+      else if (line_c != c) ML_error("load: ragged data file");
+      r++;
+    }
+  }
+  fclose(f);
+  *rows = r;
+  *cols = c;
+  return data;
+}
+
+void ML_print_scalar(const char *name, double v) {
+  if (ML_rank() != 0) return;
+  if (name && name[0]) printf("%s = %g\n", name, v);
+  else printf("%g\n", v);
+}
+
+void ML_print_str(const char *name, const char *s) {
+  if (ML_rank() != 0) return;
+  if (name && name[0]) printf("%s = %s\n", name, s);
+  else printf("%s\n", s);
+}
+
+void ML_error(const char *msg) {
+  if (ML_rank() == 0) fprintf(stderr, "error: %s\n", msg);
+  ML_finalize();
+  exit(1);
+}
+|}
+
+let seq_impl =
+  {|/* otter_rt_seq.c -- single-process implementation of the Otter
+   run-time library.  Link this (plus otter_rt_common.c) with generated
+   code to run it on one CPU without MPI. */
+#include "otter_rt.h"
+
+void ML_init(int *argc, char ***argv) { (void)argc; (void)argv; }
+void ML_finalize(void) {}
+int ML_rank(void) { return 0; }
+int ML_procs(void) { return 1; }
+
+void ML_reshape(MATRIX **m, int rows, int cols) {
+  if (*m && (*m)->rows == rows && (*m)->cols == cols) return;
+  if (*m) { free((*m)->data); free(*m); }
+  *m = (MATRIX *)malloc(sizeof(MATRIX));
+  (*m)->rows = rows; (*m)->cols = cols;
+  (*m)->axis = rows == 1 ? 1 : 0;
+  (*m)->low = 0;
+  (*m)->count = rows == 1 ? cols : rows;
+  (*m)->data = (double *)calloc((size_t)rows * cols, sizeof(double));
+}
+
+void ML_free(MATRIX **m) {
+  if (*m) { free((*m)->data); free(*m); *m = NULL; }
+}
+
+int ML_local_els(const MATRIX *m) { return m->rows * m->cols; }
+
+void ML_copy(MATRIX **dst, const MATRIX *src) {
+  ML_reshape(dst, src->rows, src->cols);
+  memcpy((*dst)->data, src->data, sizeof(double) * src->rows * src->cols);
+}
+
+void ML_zeros(MATRIX **dst, int rows, int cols) {
+  ML_reshape(dst, rows, cols);
+  memset((*dst)->data, 0, sizeof(double) * rows * cols);
+}
+
+void ML_ones(MATRIX **dst, int rows, int cols) {
+  int i;
+  ML_reshape(dst, rows, cols);
+  for (i = 0; i < rows * cols; i++) (*dst)->data[i] = 1.0;
+}
+
+void ML_eye(MATRIX **dst, int rows, int cols) {
+  int i;
+  ML_zeros(dst, rows, cols);
+  for (i = 0; i < (rows < cols ? rows : cols); i++)
+    (*dst)->data[i * cols + i] = 1.0;
+}
+
+void ML_rand(MATRIX **dst, int rows, int cols) {
+  long i;
+  int seed = ML_next_rand_seed();
+  ML_reshape(dst, rows, cols);
+  for (i = 0; i < (long)rows * cols; i++)
+    (*dst)->data[i] = ML_uniform_elem(seed, i);
+}
+
+void ML_randn(MATRIX **dst, int rows, int cols) {
+  long i;
+  int seed = ML_next_rand_seed();
+  ML_reshape(dst, rows, cols);
+  for (i = 0; i < (long)rows * cols; i++)
+    (*dst)->data[i] = ML_normal_elem(seed, i);
+}
+
+void ML_linspace(MATRIX **dst, double a, double b, int n) {
+  int i;
+  double d = n > 1 ? (b - a) / (n - 1) : 0.0;
+  ML_reshape(dst, 1, n);
+  for (i = 0; i < n; i++) (*dst)->data[i] = a + i * d;
+}
+
+static int ml_range_len(double lo, double step, double hi) {
+  double raw;
+  if (step == 0) return 0;
+  raw = (hi - lo) / step + 1e-9;
+  return raw < 0 ? 0 : (int)floor(raw) + 1;
+}
+
+void ML_range(MATRIX **dst, double lo, double step, double hi) {
+  int n = ml_range_len(lo, step, hi), i;
+  ML_reshape(dst, 1, n);
+  for (i = 0; i < n; i++) (*dst)->data[i] = lo + i * step;
+}
+
+void ML_literal(MATRIX **dst, int rows, int cols, const double *elems) {
+  ML_reshape(dst, rows, cols);
+  memcpy((*dst)->data, elems, sizeof(double) * rows * cols);
+}
+
+void ML_load(MATRIX **dst, const char *path) {
+  int rows, cols;
+  double *data = ML_read_datafile(path, &rows, &cols);
+  ML_reshape(dst, rows, cols);
+  memcpy((*dst)->data, data, sizeof(double) * (size_t)rows * cols);
+  free(data);
+}
+
+void ML_matrix_multiply(const MATRIX *a, const MATRIX *b, MATRIX **dst) {
+  int i, j, k;
+  MATRIX *c = NULL;
+  if (a->cols != b->rows) ML_error("matmul: inner dimensions disagree");
+  ML_reshape(&c, a->rows, b->cols);
+  for (i = 0; i < a->rows; i++)
+    for (j = 0; j < b->cols; j++) {
+      double acc = 0.0;
+      for (k = 0; k < a->cols; k++)
+        acc += a->data[i * a->cols + k] * b->data[k * b->cols + j];
+      c->data[i * b->cols + j] = acc;
+    }
+  ML_free(dst);
+  *dst = c;
+}
+
+double ML_dot(const MATRIX *a, const MATRIX *b) {
+  int i;
+  double acc = 0.0;
+  if (a->rows * a->cols != b->rows * b->cols) ML_error("dot: length mismatch");
+  for (i = 0; i < a->rows * a->cols; i++) acc += a->data[i] * b->data[i];
+  return acc;
+}
+
+void ML_transpose(const MATRIX *a, MATRIX **dst) {
+  int i, j;
+  MATRIX *c = NULL;
+  ML_reshape(&c, a->cols, a->rows);
+  for (i = 0; i < a->rows; i++)
+    for (j = 0; j < a->cols; j++)
+      c->data[j * a->rows + i] = a->data[i * a->cols + j];
+  ML_free(dst);
+  *dst = c;
+}
+
+void ML_outer(const MATRIX *u, const MATRIX *v, MATRIX **dst) {
+  int i, j, m = u->rows * u->cols, n = v->rows * v->cols;
+  MATRIX *c = NULL;
+  ML_reshape(&c, m, n);
+  for (i = 0; i < m; i++)
+    for (j = 0; j < n; j++) c->data[i * n + j] = u->data[i] * v->data[j];
+  ML_free(dst);
+  *dst = c;
+}
+
+static double ml_red_init(ML_RED op) {
+  switch (op) {
+  case ML_PROD: case ML_ALL: return 1.0;
+  case ML_MIN: return INFINITY;
+  case ML_MAX: return -INFINITY;
+  default: return 0.0;
+  }
+}
+
+static double ml_red_comb(ML_RED op, double a, double b) {
+  switch (op) {
+  case ML_SUM: case ML_MEAN: return a + b;
+  case ML_PROD: return a * b;
+  case ML_MIN: return a < b ? a : b;
+  case ML_MAX: return a > b ? a : b;
+  case ML_ANY: return (a != 0 || b != 0) ? 1.0 : 0.0;
+  case ML_ALL: return (a != 0 && b != 0) ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+double ML_reduce_all(ML_RED op, const MATRIX *m) {
+  int i;
+  double acc = ml_red_init(op);
+  for (i = 0; i < m->rows * m->cols; i++)
+    acc = ml_red_comb(op, acc, m->data[i]);
+  if (op == ML_MEAN) acc /= (double)(m->rows * m->cols);
+  return acc;
+}
+
+void ML_reduce_cols(ML_RED op, const MATRIX *m, MATRIX **dst) {
+  int i, j;
+  MATRIX *c = NULL;
+  ML_reshape(&c, 1, m->cols);
+  for (j = 0; j < m->cols; j++) {
+    double acc = ml_red_init(op);
+    for (i = 0; i < m->rows; i++)
+      acc = ml_red_comb(op, acc, m->data[i * m->cols + j]);
+    if (op == ML_MEAN) acc /= (double)m->rows;
+    c->data[j] = acc;
+  }
+  ML_free(dst);
+  *dst = c;
+}
+
+double ML_norm(const MATRIX *m) { return sqrt(ML_dot(m, m)); }
+
+void ML_cumulative(int is_prod, const MATRIX *v, MATRIX **dst) {
+  int n = v->rows * v->cols, i;
+  double acc = is_prod ? 1.0 : 0.0;
+  MATRIX *c = NULL;
+  if (v->rows > 1 && v->cols > 1)
+    ML_error("cumsum/cumprod of a full matrix is not supported");
+  ML_reshape(&c, v->rows, v->cols);
+  for (i = 0; i < n; i++) {
+    acc = is_prod ? acc * v->data[i] : acc + v->data[i];
+    c->data[i] = acc;
+  }
+  ML_free(dst);
+  *dst = c;
+}
+
+double ML_reduce_index(ML_RED op, const MATRIX *v, double *index_out) {
+  int n = v->rows * v->cols, i, best_i = 0;
+  double best;
+  if (n == 0) ML_error("min/max of an empty vector");
+  if (v->rows > 1 && v->cols > 1)
+    ML_error("[m, i] = min/max of a full matrix is not supported");
+  best = v->data[0];
+  for (i = 1; i < n; i++) {
+    if (op == ML_MIN ? v->data[i] < best : v->data[i] > best) {
+      best = v->data[i];
+      best_i = i;
+    }
+  }
+  *index_out = (double)(best_i + 1);
+  return best;
+}
+
+static const double *ml_sort_keys;
+
+static int ml_sort_cmp(const void *pa, const void *pb) {
+  int a = *(const int *)pa, b = *(const int *)pb;
+  if (ml_sort_keys[a] < ml_sort_keys[b]) return -1;
+  if (ml_sort_keys[a] > ml_sort_keys[b]) return 1;
+  return a - b; /* stable: lower original index first */
+}
+
+void ML_sort(const MATRIX *v, MATRIX **sorted, MATRIX **perm) {
+  int n = v->rows * v->cols, i;
+  int *order = (int *)malloc(sizeof(int) * (n > 0 ? n : 1));
+  MATRIX *s = NULL, *p = NULL;
+  if (v->rows > 1 && v->cols > 1)
+    ML_error("sort of a full matrix is not supported");
+  for (i = 0; i < n; i++) order[i] = i;
+  ml_sort_keys = v->data;
+  qsort(order, n, sizeof(int), ml_sort_cmp);
+  ML_reshape(&s, v->rows, v->cols);
+  for (i = 0; i < n; i++) s->data[i] = v->data[order[i]];
+  ML_free(sorted);
+  *sorted = s;
+  if (perm) {
+    ML_reshape(&p, v->rows, v->cols);
+    for (i = 0; i < n; i++) p->data[i] = (double)(order[i] + 1);
+    ML_free(perm);
+    *perm = p;
+  }
+  free(order);
+}
+
+double ML_trapz(const MATRIX *x, const MATRIX *y) {
+  int i, n = y->rows * y->cols;
+  double acc = 0.0;
+  for (i = 0; i + 1 < n; i++) {
+    double dx = x ? (x->data[i + 1] - x->data[i]) : 1.0;
+    acc += dx * (y->data[i] + y->data[i + 1]) * 0.5;
+  }
+  return acc;
+}
+
+void ML_circshift(const MATRIX *m, int k, MATRIX **dst) {
+  int n = m->rows * m->cols, i, s;
+  MATRIX *c = NULL;
+  ML_reshape(&c, m->rows, m->cols);
+  if (n > 0) {
+    s = ((k % n) + n) % n;
+    for (i = 0; i < n; i++) c->data[i] = m->data[((i - s) % n + n) % n];
+  }
+  ML_free(dst);
+  *dst = c;
+}
+
+static int ml_sel_count(ML_SEL s, int extent) {
+  switch (s.kind) {
+  case 0: return extent;
+  case 1: return 1;
+  case 2: return ml_range_len(s.lo, s.step, s.hi);
+  default: return s.vec->rows * s.vec->cols;
+  }
+}
+
+static int ml_sel_get(ML_SEL s, int extent, int k) {
+  int i;
+  switch (s.kind) {
+  case 0: i = k; break;
+  case 1: i = (int)s.lo - 1; break;
+  case 2: i = (int)(s.lo + k * s.step) - 1; break;
+  default: i = (int)s.vec->data[k] - 1; break;
+  }
+  if (i < 0 || i >= extent) ML_error("index out of bounds");
+  return i;
+}
+
+void ML_section(const MATRIX *src, ML_SEL s1, ML_SEL s2, int nsel,
+                MATRIX **dst) {
+  MATRIX *c = NULL;
+  if (nsel == 1) {
+    int n = src->rows * src->cols;
+    int len = ml_sel_count(s1, n), k;
+    int rows = src->cols == 1 ? len : 1, cols = src->cols == 1 ? 1 : len;
+    if (src->rows > 1 && src->cols > 1)
+      ML_error("linear sections of a full matrix are not supported");
+    ML_reshape(&c, rows, cols);
+    for (k = 0; k < len; k++)
+      c->data[k] = src->data[ml_sel_get(s1, n, k)];
+  } else {
+    int nr = ml_sel_count(s1, src->rows), nc = ml_sel_count(s2, src->cols);
+    int i, j;
+    ML_reshape(&c, nr, nc);
+    for (i = 0; i < nr; i++)
+      for (j = 0; j < nc; j++)
+        c->data[i * nc + j] =
+            src->data[ml_sel_get(s1, src->rows, i) * src->cols +
+                      ml_sel_get(s2, src->cols, j)];
+  }
+  ML_free(dst);
+  *dst = c;
+}
+
+void ML_set_section(MATRIX *dst, ML_SEL s1, ML_SEL s2, int nsel,
+                    const MATRIX *src, double fill) {
+  if (nsel == 1) {
+    int n = dst->rows * dst->cols;
+    int len = ml_sel_count(s1, n), k;
+    if (dst->rows > 1 && dst->cols > 1)
+      ML_error("linear section assignment on a full matrix is not supported");
+    if (src && src->rows * src->cols != len)
+      ML_error("section assignment size mismatch");
+    for (k = 0; k < len; k++)
+      dst->data[ml_sel_get(s1, n, k)] = src ? src->data[k] : fill;
+  } else {
+    int nr = ml_sel_count(s1, dst->rows), nc = ml_sel_count(s2, dst->cols);
+    int i, j;
+    if (src && src->rows * src->cols != nr * nc)
+      ML_error("section assignment size mismatch");
+    for (i = 0; i < nr; i++)
+      for (j = 0; j < nc; j++)
+        dst->data[ml_sel_get(s1, dst->rows, i) * dst->cols +
+                  ml_sel_get(s2, dst->cols, j)] =
+            src ? src->data[i * nc + j] : fill;
+  }
+}
+
+void ML_concat(MATRIX **dst, int grid_rows, int grid_cols,
+               const MATRIX **parts) {
+  int total_rows = 0, total_cols = 0, gi, gj;
+  MATRIX *c = NULL;
+  for (gi = 0; gi < grid_rows; gi++)
+    total_rows += parts[gi * grid_cols]->rows;
+  for (gj = 0; gj < grid_cols; gj++) total_cols += parts[gj]->cols;
+  ML_reshape(&c, total_rows, total_cols);
+  {
+    int roff = 0;
+    for (gi = 0; gi < grid_rows; gi++) {
+      int h = parts[gi * grid_cols]->rows, coff = 0;
+      for (gj = 0; gj < grid_cols; gj++) {
+        const MATRIX *b = parts[gi * grid_cols + gj];
+        int i, j;
+        if (b->rows != h) ML_error("inconsistent row counts in matrix literal");
+        if (coff + b->cols > total_cols)
+          ML_error("inconsistent column counts in matrix literal");
+        for (i = 0; i < b->rows; i++)
+          for (j = 0; j < b->cols; j++)
+            c->data[(roff + i) * total_cols + coff + j] =
+                b->data[i * b->cols + j];
+        coff += b->cols;
+      }
+      roff += h;
+    }
+  }
+  ML_free(dst);
+  *dst = c;
+}
+
+double ML_broadcast(const MATRIX *m, int i, int j) {
+  if (i < 0 || i >= m->rows || j < 0 || j >= m->cols)
+    ML_error("index out of bounds");
+  return m->data[i * m->cols + j];
+}
+
+double ML_broadcast_linear(const MATRIX *m, int g) {
+  if (g < 0 || g >= m->rows * m->cols) ML_error("index out of bounds");
+  if (m->rows == 1 || m->cols == 1) return m->data[g];
+  return m->data[(g % m->rows) * m->cols + (g / m->rows)];
+}
+
+int ML_owner(const MATRIX *m, int i, int j) { (void)m; (void)i; (void)j; return 1; }
+int ML_owner_linear(const MATRIX *m, int g) { (void)m; (void)g; return 1; }
+
+double *ML_realaddr2(MATRIX *m, int i, int j) {
+  if (i < 0 || i >= m->rows || j < 0 || j >= m->cols)
+    ML_error("index out of bounds");
+  return &m->data[i * m->cols + j];
+}
+
+double *ML_realaddr1(MATRIX *m, int g) {
+  if (g < 0 || g >= m->rows * m->cols) ML_error("index out of bounds");
+  if (m->rows == 1 || m->cols == 1) return &m->data[g];
+  return &m->data[(g % m->rows) * m->cols + (g / m->rows)];
+}
+
+void ML_print_matrix(const char *name, const MATRIX *m) {
+  int i, j;
+  if (ML_rank() != 0) return;
+  if (name && name[0]) printf("%s =\n", name);
+  for (i = 0; i < m->rows; i++) {
+    printf("  ");
+    for (j = 0; j < m->cols; j++) printf(" %10.4f", m->data[i * m->cols + j]);
+    printf("\n");
+  }
+}
+|}

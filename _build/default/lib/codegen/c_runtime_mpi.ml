@@ -1,0 +1,653 @@
+(* The distributed-memory implementation of the run-time library:
+   C with MPI calls, mirroring the simulator's OCaml run time
+   operation for operation (row-contiguous matrix blocks, column
+   blocks for row vectors, replicated scalars, owner-computes).
+
+   This is the artifact the paper ships to a real parallel machine:
+     mpicc -O2 prog.c otter_rt_common.c otter_rt_mpi.c -lm
+   It cannot be executed in this repository's test environment (no MPI
+   implementation is installed), but the test suite syntax-checks it
+   against a stub mpi.h so the code stays buildable. *)
+
+let mpi_impl =
+  {|/* otter_rt_mpi.c -- distributed-memory implementation of the Otter
+   run-time library over MPI (paper section 4). */
+#include "otter_rt.h"
+#include <mpi.h>
+
+static int ml_rank_ = 0, ml_procs_ = 1;
+
+void ML_init(int *argc, char ***argv) {
+  MPI_Init(argc, argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &ml_rank_);
+  MPI_Comm_size(MPI_COMM_WORLD, &ml_procs_);
+}
+
+void ML_finalize(void) { MPI_Finalize(); }
+int ML_rank(void) { return ml_rank_; }
+int ML_procs(void) { return ml_procs_; }
+
+/* --- block distribution (BLOCK_LOW / BLOCK_HIGH) --------------------- */
+
+static int ml_low(int r, int p, int n) { return (int)((long)r * n / p); }
+static int ml_high(int r, int p, int n) { return (int)((long)(r + 1) * n / p); }
+
+static int ml_owner_of(int p, int n, int i) {
+  int r;
+  if (n == 0) return 0;
+  r = (int)(((long)(i + 1) * p - 1) / n);
+  if (r > p - 1) r = p - 1;
+  while (ml_low(r, p, n) > i) r--;
+  while (ml_high(r, p, n) <= i) r++;
+  return r;
+}
+
+/* --- MATRIX allocation ------------------------------------------------ */
+
+void ML_reshape(MATRIX **m, int rows, int cols) {
+  int axis = rows == 1 ? 1 : 0;
+  int n = axis == 0 ? rows : cols;
+  int low = ml_low(ml_rank_, ml_procs_, n);
+  int count = ml_high(ml_rank_, ml_procs_, n) - low;
+  long local = axis == 0 ? (long)count * cols : count;
+  if (*m && (*m)->rows == rows && (*m)->cols == cols) return;
+  if (*m) { free((*m)->data); free(*m); }
+  *m = (MATRIX *)malloc(sizeof(MATRIX));
+  (*m)->rows = rows; (*m)->cols = cols;
+  (*m)->axis = axis; (*m)->low = low; (*m)->count = count;
+  (*m)->data = (double *)calloc(local > 0 ? local : 1, sizeof(double));
+}
+
+void ML_free(MATRIX **m) {
+  if (*m) { free((*m)->data); free(*m); *m = NULL; }
+}
+
+int ML_local_els(const MATRIX *m) {
+  return m->axis == 0 ? m->count * m->cols : m->count;
+}
+
+void ML_copy(MATRIX **dst, const MATRIX *src) {
+  ML_reshape(dst, src->rows, src->cols);
+  memcpy((*dst)->data, src->data,
+         sizeof(double) * (size_t)ML_local_els(src));
+}
+
+/* Global row-major linear index of local element i. */
+static long ml_global_of_local(const MATRIX *m, long i) {
+  return m->axis == 0 ? (long)m->low * m->cols + i : m->low + i;
+}
+
+/* Gather the whole matrix (row-major) on every process. */
+static double *ml_to_dense(const MATRIX *m) {
+  int p = ml_procs_, r;
+  int n = m->axis == 0 ? m->rows : m->cols;
+  int unit = m->axis == 0 ? m->cols : 1;
+  int *counts = (int *)malloc(sizeof(int) * p);
+  int *displs = (int *)malloc(sizeof(int) * p);
+  double *full = (double *)malloc(sizeof(double) *
+                                  ((size_t)m->rows * m->cols + 1));
+  for (r = 0; r < p; r++) {
+    counts[r] = (ml_high(r, p, n) - ml_low(r, p, n)) * unit;
+    displs[r] = ml_low(r, p, n) * unit;
+  }
+  MPI_Allgatherv(m->data, ML_local_els(m), MPI_DOUBLE, full, counts, displs,
+                 MPI_DOUBLE, MPI_COMM_WORLD);
+  free(counts);
+  free(displs);
+  return full;
+}
+
+/* --- constructors ------------------------------------------------------ */
+
+static void ml_fill(MATRIX *m, double (*f)(int, long), int seed) {
+  long i;
+  for (i = 0; i < ML_local_els(m); i++)
+    m->data[i] = f(seed, ml_global_of_local(m, i));
+}
+
+static double ml_zero_at(int s, long i) { (void)s; (void)i; return 0.0; }
+static double ml_one_at(int s, long i) { (void)s; (void)i; return 1.0; }
+
+void ML_zeros(MATRIX **dst, int rows, int cols) {
+  ML_reshape(dst, rows, cols);
+  ml_fill(*dst, ml_zero_at, 0);
+}
+
+void ML_ones(MATRIX **dst, int rows, int cols) {
+  ML_reshape(dst, rows, cols);
+  ml_fill(*dst, ml_one_at, 0);
+}
+
+void ML_eye(MATRIX **dst, int rows, int cols) {
+  long i;
+  ML_zeros(dst, rows, cols);
+  for (i = 0; i < ML_local_els(*dst); i++) {
+    long g = ml_global_of_local(*dst, i);
+    if (g / cols == g % cols) (*dst)->data[i] = 1.0;
+  }
+}
+
+void ML_rand(MATRIX **dst, int rows, int cols) {
+  int seed = ML_next_rand_seed();
+  ML_reshape(dst, rows, cols);
+  ml_fill(*dst, ML_uniform_elem, seed);
+}
+
+void ML_randn(MATRIX **dst, int rows, int cols) {
+  int seed = ML_next_rand_seed();
+  ML_reshape(dst, rows, cols);
+  ml_fill(*dst, ML_normal_elem, seed);
+}
+
+void ML_linspace(MATRIX **dst, double a, double b, int n) {
+  long i;
+  double d = n > 1 ? (b - a) / (n - 1) : 0.0;
+  ML_reshape(dst, 1, n);
+  for (i = 0; i < ML_local_els(*dst); i++)
+    (*dst)->data[i] = a + ml_global_of_local(*dst, i) * d;
+}
+
+static int ml_range_len(double lo, double step, double hi) {
+  double raw;
+  if (step == 0) return 0;
+  raw = (hi - lo) / step + 1e-9;
+  return raw < 0 ? 0 : (int)floor(raw) + 1;
+}
+
+void ML_range(MATRIX **dst, double lo, double step, double hi) {
+  long i;
+  int n = ml_range_len(lo, step, hi);
+  ML_reshape(dst, 1, n);
+  for (i = 0; i < ML_local_els(*dst); i++)
+    (*dst)->data[i] = lo + ml_global_of_local(*dst, i) * step;
+}
+
+void ML_literal(MATRIX **dst, int rows, int cols, const double *elems) {
+  long i;
+  ML_reshape(dst, rows, cols);
+  for (i = 0; i < ML_local_els(*dst); i++)
+    (*dst)->data[i] = elems[ml_global_of_local(*dst, i)];
+}
+
+/* --- linear algebra ---------------------------------------------------- */
+
+void ML_load(MATRIX **dst, const char *path) {
+  int rows, cols;
+  long i;
+  double *data = ML_read_datafile(path, &rows, &cols);
+  ML_reshape(dst, rows, cols);
+  for (i = 0; i < ML_local_els(*dst); i++)
+    (*dst)->data[i] = data[ml_global_of_local(*dst, i)];
+  free(data);
+}
+
+void ML_matrix_multiply(const MATRIX *a, const MATRIX *b, MATRIX **dst) {
+  int m = a->rows, k = a->cols, n = b->cols;
+  MATRIX *c = NULL;
+  if (a->cols != b->rows) ML_error("matmul: inner dimensions disagree");
+  if (m > 1) {
+    double *bf = ml_to_dense(b);
+    int li, j, kk;
+    ML_reshape(&c, m, n);
+    for (li = 0; li < c->count; li++)
+      for (j = 0; j < n; j++) {
+        double acc = 0.0;
+        for (kk = 0; kk < k; kk++)
+          acc += a->data[(long)li * k + kk] * bf[(long)kk * n + j];
+        c->data[(long)li * n + j] = acc;
+      }
+    free(bf);
+  } else {
+    /* (1 x k) * (k x n): partial sums over B's owned rows. */
+    double *af = ml_to_dense(a);
+    double *partial = (double *)calloc(n > 0 ? n : 1, sizeof(double));
+    double *full = (double *)malloc(sizeof(double) * (n > 0 ? n : 1));
+    int lr, j;
+    if (b->axis == 0) {
+      for (lr = 0; lr < b->count; lr++)
+        for (j = 0; j < n; j++)
+          partial[j] += af[b->low + lr] * b->data[(long)lr * n + j];
+    } else {
+      for (j = 0; j < b->count; j++)
+        partial[b->low + j] = af[0] * b->data[j];
+    }
+    MPI_Allreduce(partial, full, n, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+    ML_reshape(&c, 1, n);
+    for (j = 0; j < c->count; j++) c->data[j] = full[c->low + j];
+    free(af); free(partial); free(full);
+  }
+  ML_free(dst);
+  *dst = c;
+}
+
+double ML_dot(const MATRIX *a, const MATRIX *b) {
+  long i;
+  double local = 0.0, global = 0.0;
+  if ((long)a->rows * a->cols != (long)b->rows * b->cols)
+    ML_error("dot: length mismatch");
+  for (i = 0; i < ML_local_els(a); i++) local += a->data[i] * b->data[i];
+  MPI_Allreduce(&local, &global, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+  return global;
+}
+
+void ML_transpose(const MATRIX *a, MATRIX **dst) {
+  MATRIX *c = NULL;
+  if (a->rows == 1 || a->cols == 1) {
+    /* vector transpose: identical element blocks, no communication */
+    ML_reshape(&c, a->cols, a->rows);
+    memcpy(c->data, a->data, sizeof(double) * (size_t)ML_local_els(a));
+  } else {
+    /* all-to-all block exchange (O(rows*cols/P) per process) */
+    double *dense = ml_to_dense(a); /* simple, correct fallback */
+    long i;
+    ML_reshape(&c, a->cols, a->rows);
+    for (i = 0; i < ML_local_els(c); i++) {
+      long g = ml_global_of_local(c, i); /* row-major in the transpose */
+      long ti = g / a->rows, tj = g % a->rows;
+      c->data[i] = dense[tj * a->cols + ti];
+    }
+    free(dense);
+  }
+  ML_free(dst);
+  *dst = c;
+}
+
+void ML_outer(const MATRIX *u, const MATRIX *v, MATRIX **dst) {
+  int m = u->rows * u->cols, n = v->rows * v->cols;
+  double *vf = ml_to_dense(v);
+  MATRIX *c = NULL;
+  int li, j;
+  ML_reshape(&c, m, n);
+  for (li = 0; li < c->count; li++)
+    for (j = 0; j < n; j++)
+      c->data[(long)li * n + j] = u->data[li] * vf[j];
+  free(vf);
+  ML_free(dst);
+  *dst = c;
+}
+
+/* --- reductions --------------------------------------------------------- */
+
+static double ml_red_init(ML_RED op) {
+  switch (op) {
+  case ML_PROD: case ML_ALL: return 1.0;
+  case ML_MIN: return INFINITY;
+  case ML_MAX: return -INFINITY;
+  default: return 0.0;
+  }
+}
+
+static double ml_red_comb(ML_RED op, double a, double b) {
+  switch (op) {
+  case ML_SUM: case ML_MEAN: return a + b;
+  case ML_PROD: return a * b;
+  case ML_MIN: return a < b ? a : b;
+  case ML_MAX: return a > b ? a : b;
+  case ML_ANY: return (a != 0 || b != 0) ? 1.0 : 0.0;
+  case ML_ALL: return (a != 0 && b != 0) ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+static MPI_Op ml_mpi_op(ML_RED op) {
+  switch (op) {
+  case ML_SUM: case ML_MEAN: return MPI_SUM;
+  case ML_PROD: return MPI_PROD;
+  case ML_MIN: case ML_ALL: return MPI_MIN;
+  case ML_MAX: case ML_ANY: return MPI_MAX;
+  }
+  return MPI_SUM;
+}
+
+double ML_reduce_all(ML_RED op, const MATRIX *m) {
+  long i;
+  double local = ml_red_init(op), global;
+  for (i = 0; i < ML_local_els(m); i++)
+    local = ml_red_comb(op, local, m->data[i]);
+  MPI_Allreduce(&local, &global, 1, MPI_DOUBLE, ml_mpi_op(op), MPI_COMM_WORLD);
+  if (op == ML_MEAN) global /= (double)m->rows * m->cols;
+  return global;
+}
+
+void ML_reduce_cols(ML_RED op, const MATRIX *m, MATRIX **dst) {
+  int n = m->cols, li, j;
+  double *partial = (double *)malloc(sizeof(double) * (n > 0 ? n : 1));
+  double *full = (double *)malloc(sizeof(double) * (n > 0 ? n : 1));
+  MATRIX *c = NULL;
+  for (j = 0; j < n; j++) partial[j] = ml_red_init(op);
+  for (li = 0; li < m->count; li++)
+    for (j = 0; j < n; j++)
+      partial[j] = ml_red_comb(op, partial[j], m->data[(long)li * n + j]);
+  MPI_Allreduce(partial, full, n, MPI_DOUBLE, ml_mpi_op(op), MPI_COMM_WORLD);
+  ML_reshape(&c, 1, n);
+  for (j = 0; j < c->count; j++) {
+    c->data[j] = full[c->low + j];
+    if (op == ML_MEAN) c->data[j] /= (double)m->rows;
+  }
+  free(partial); free(full);
+  ML_free(dst);
+  *dst = c;
+}
+
+double ML_norm(const MATRIX *m) { return sqrt(ML_dot(m, m)); }
+
+void ML_cumulative(int is_prod, const MATRIX *v, MATRIX **dst) {
+  long i, n = ML_local_els(v);
+  double local = is_prod ? 1.0 : 0.0, offset = is_prod ? 1.0 : 0.0;
+  double acc;
+  MATRIX *c = NULL;
+  if (v->rows > 1 && v->cols > 1)
+    ML_error("cumsum/cumprod of a full matrix is not supported");
+  ML_reshape(&c, v->rows, v->cols);
+  for (i = 0; i < n; i++)
+    local = is_prod ? local * v->data[i] : local + v->data[i];
+  MPI_Exscan(&local, &offset, 1, MPI_DOUBLE, is_prod ? MPI_PROD : MPI_SUM,
+             MPI_COMM_WORLD);
+  if (ml_rank_ == 0) offset = is_prod ? 1.0 : 0.0;
+  acc = offset;
+  for (i = 0; i < n; i++) {
+    acc = is_prod ? acc * v->data[i] : acc + v->data[i];
+    c->data[i] = acc;
+  }
+  ML_free(dst);
+  *dst = c;
+}
+
+double ML_reduce_index(ML_RED op, const MATRIX *v, double *index_out) {
+  long i, n = ML_local_els(v);
+  struct { double value; int loc; } inout, result;
+  if (v->rows > 1 && v->cols > 1)
+    ML_error("[m, i] = min/max of a full matrix is not supported");
+  inout.value = op == ML_MIN ? INFINITY : -INFINITY;
+  inout.loc = 0x7fffffff; /* empty local block loses every comparison */
+  for (i = 0; i < n; i++) {
+    if (op == ML_MIN ? v->data[i] < inout.value : v->data[i] > inout.value) {
+      inout.value = v->data[i];
+      inout.loc = (int)ml_global_of_local(v, i);
+    }
+  }
+  MPI_Allreduce(&inout, &result, 1, MPI_DOUBLE_INT,
+                op == ML_MIN ? MPI_MINLOC : MPI_MAXLOC, MPI_COMM_WORLD);
+  *index_out = (double)(result.loc + 1);
+  return result.value;
+}
+
+static const double *ml_sort_keys;
+
+static int ml_sort_cmp(const void *pa, const void *pb) {
+  int a = *(const int *)pa, b = *(const int *)pb;
+  if (ml_sort_keys[a] < ml_sort_keys[b]) return -1;
+  if (ml_sort_keys[a] > ml_sort_keys[b]) return 1;
+  return a - b;
+}
+
+void ML_sort(const MATRIX *v, MATRIX **sorted, MATRIX **perm) {
+  long n = (long)v->rows * v->cols, i;
+  double *dense = ml_to_dense(v);
+  int *order = (int *)malloc(sizeof(int) * (n > 0 ? n : 1));
+  MATRIX *s = NULL, *p = NULL;
+  if (v->rows > 1 && v->cols > 1)
+    ML_error("sort of a full matrix is not supported");
+  for (i = 0; i < n; i++) order[i] = (int)i;
+  ml_sort_keys = dense;
+  qsort(order, (size_t)n, sizeof(int), ml_sort_cmp);
+  ML_reshape(&s, v->rows, v->cols);
+  for (i = 0; i < ML_local_els(s); i++)
+    s->data[i] = dense[order[ml_global_of_local(s, i)]];
+  ML_free(sorted);
+  *sorted = s;
+  if (perm) {
+    ML_reshape(&p, v->rows, v->cols);
+    for (i = 0; i < ML_local_els(p); i++)
+      p->data[i] = (double)(order[ml_global_of_local(p, i)] + 1);
+    ML_free(perm);
+    *perm = p;
+  }
+  free(order);
+  free(dense);
+}
+
+double ML_trapz(const MATRIX *x, const MATRIX *y) {
+  long n = (long)y->rows * y->cols;
+  int low = y->low, count = y->count, high = y->low + y->count;
+  double boundary[2] = {0, 0};
+  double local = 0.0, global = 0.0;
+  long i;
+  MPI_Status st;
+  if (n < 2) return 0.0;
+  /* ship the first sample(s) to the owner of index low-1 */
+  if (count > 0 && low > 0) {
+    double payload[2];
+    payload[0] = y->data[0];
+    payload[1] = x ? x->data[0] : 0.0;
+    MPI_Send(payload, 2, MPI_DOUBLE,
+             ml_owner_of(ml_procs_, (int)n, low - 1), 71, MPI_COMM_WORLD);
+  }
+  if (count > 0 && high < n)
+    MPI_Recv(boundary, 2, MPI_DOUBLE,
+             ml_owner_of(ml_procs_, (int)n, high), 71, MPI_COMM_WORLD, &st);
+  for (i = low; i <= high - 1 && i <= n - 2; i++) {
+    double y0 = y->data[i - low];
+    double y1 = i + 1 < high ? y->data[i + 1 - low] : boundary[0];
+    double dx;
+    if (x) {
+      double x0 = x->data[i - low];
+      double x1 = i + 1 < high ? x->data[i + 1 - low] : boundary[1];
+      dx = x1 - x0;
+    } else
+      dx = 1.0;
+    local += dx * (y0 + y1) * 0.5;
+  }
+  MPI_Allreduce(&local, &global, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+  return global;
+}
+
+void ML_circshift(const MATRIX *m, int k, MATRIX **dst) {
+  long n = (long)m->rows * m->cols, i;
+  double *dense = ml_to_dense(m);
+  MATRIX *c = NULL;
+  ML_reshape(&c, m->rows, m->cols);
+  if (n > 0) {
+    long s = ((k % n) + n) % n;
+    for (i = 0; i < ML_local_els(c); i++) {
+      long g = ml_global_of_local(c, i);
+      c->data[i] = dense[((g - s) % n + n) % n];
+    }
+  }
+  free(dense);
+  ML_free(dst);
+  *dst = c;
+}
+
+/* --- sections ----------------------------------------------------------- */
+
+static int ml_sel_count(ML_SEL s, int extent) {
+  switch (s.kind) {
+  case 0: return extent;
+  case 1: return 1;
+  case 2: return ml_range_len(s.lo, s.step, s.hi);
+  default: return s.vec->rows * s.vec->cols;
+  }
+}
+
+static int ml_sel_get(ML_SEL s, const double *vec_dense, int extent, int k) {
+  int i;
+  switch (s.kind) {
+  case 0: i = k; break;
+  case 1: i = (int)s.lo - 1; break;
+  case 2: i = (int)(s.lo + k * s.step) - 1; break;
+  default: i = (int)vec_dense[k] - 1; break;
+  }
+  if (i < 0 || i >= extent) ML_error("index out of bounds");
+  return i;
+}
+
+void ML_section(const MATRIX *src, ML_SEL s1, ML_SEL s2, int nsel,
+                MATRIX **dst) {
+  double *dense = ml_to_dense(src);
+  double *v1 = s1.kind == 3 ? ml_to_dense(s1.vec) : NULL;
+  double *v2 = (nsel > 1 && s2.kind == 3) ? ml_to_dense(s2.vec) : NULL;
+  MATRIX *c = NULL;
+  long i;
+  if (nsel == 1) {
+    int n = src->rows * src->cols;
+    int len = ml_sel_count(s1, n);
+    int rows = src->cols == 1 ? len : 1, cols = src->cols == 1 ? 1 : len;
+    if (src->rows > 1 && src->cols > 1)
+      ML_error("linear sections of a full matrix are not supported");
+    ML_reshape(&c, rows, cols);
+    for (i = 0; i < ML_local_els(c); i++)
+      c->data[i] = dense[ml_sel_get(s1, v1, n, (int)ml_global_of_local(c, i))];
+  } else {
+    int nr = ml_sel_count(s1, src->rows), nc = ml_sel_count(s2, src->cols);
+    ML_reshape(&c, nr, nc);
+    for (i = 0; i < ML_local_els(c); i++) {
+      long g = ml_global_of_local(c, i);
+      int ri = ml_sel_get(s1, v1, src->rows, (int)(g / nc));
+      int rj = ml_sel_get(s2, v2, src->cols, (int)(g % nc));
+      c->data[i] = dense[(long)ri * src->cols + rj];
+    }
+  }
+  free(dense);
+  if (v1) free(v1);
+  if (v2) free(v2);
+  ML_free(dst);
+  *dst = c;
+}
+
+void ML_set_section(MATRIX *dst, ML_SEL s1, ML_SEL s2, int nsel,
+                    const MATRIX *src, double fill) {
+  double *sdense = src ? ml_to_dense(src) : NULL;
+  double *v1 = s1.kind == 3 ? ml_to_dense(s1.vec) : NULL;
+  double *v2 = (nsel > 1 && s2.kind == 3) ? ml_to_dense(s2.vec) : NULL;
+  if (nsel == 1) {
+    long n = (long)dst->rows * dst->cols;
+    int len = ml_sel_count(s1, (int)n), k;
+    if (dst->rows > 1 && dst->cols > 1)
+      ML_error("linear section assignment on a full matrix is not supported");
+    if (src && (long)src->rows * src->cols != len)
+      ML_error("section assignment size mismatch");
+    for (k = 0; k < len; k++) {
+      int g = ml_sel_get(s1, v1, (int)n, k);
+      int i = dst->cols == 1 ? g : 0, j = dst->cols == 1 ? 0 : g;
+      if (ML_owner(dst, i, j))
+        *ML_realaddr2(dst, i, j) = src ? sdense[k] : fill;
+    }
+  } else {
+    int nr = ml_sel_count(s1, dst->rows), nc = ml_sel_count(s2, dst->cols);
+    int a, b;
+    if (src && (long)src->rows * src->cols != (long)nr * nc)
+      ML_error("section assignment size mismatch");
+    for (a = 0; a < nr; a++)
+      for (b = 0; b < nc; b++) {
+        int i = ml_sel_get(s1, v1, dst->rows, a);
+        int j = ml_sel_get(s2, v2, dst->cols, b);
+        if (ML_owner(dst, i, j))
+          *ML_realaddr2(dst, i, j) = src ? sdense[(long)a * nc + b] : fill;
+      }
+  }
+  if (sdense) free(sdense);
+  if (v1) free(v1);
+  if (v2) free(v2);
+}
+
+void ML_concat(MATRIX **dst, int grid_rows, int grid_cols,
+               const MATRIX **parts) {
+  int total_rows = 0, total_cols = 0, gi, gj;
+  long i;
+  double *full;
+  MATRIX *c = NULL;
+  for (gi = 0; gi < grid_rows; gi++)
+    total_rows += parts[gi * grid_cols]->rows;
+  for (gj = 0; gj < grid_cols; gj++) total_cols += parts[gj]->cols;
+  full = (double *)calloc((size_t)total_rows * total_cols + 1, sizeof(double));
+  {
+    int roff = 0;
+    for (gi = 0; gi < grid_rows; gi++) {
+      int h = parts[gi * grid_cols]->rows, coff = 0;
+      for (gj = 0; gj < grid_cols; gj++) {
+        const MATRIX *b = parts[gi * grid_cols + gj];
+        double *bd = ml_to_dense(b);
+        int r2, c2;
+        if (b->rows != h) ML_error("inconsistent row counts in matrix literal");
+        for (r2 = 0; r2 < b->rows; r2++)
+          for (c2 = 0; c2 < b->cols; c2++)
+            full[(long)(roff + r2) * total_cols + coff + c2] =
+                bd[(long)r2 * b->cols + c2];
+        free(bd);
+        coff += b->cols;
+      }
+      roff += h;
+    }
+  }
+  ML_reshape(&c, total_rows, total_cols);
+  for (i = 0; i < ML_local_els(c); i++)
+    c->data[i] = full[ml_global_of_local(c, i)];
+  free(full);
+  ML_free(dst);
+  *dst = c;
+}
+
+/* --- element access ----------------------------------------------------- */
+
+int ML_owner(const MATRIX *m, int i, int j) {
+  if (m->axis == 0) return i >= m->low && i < m->low + m->count;
+  return j >= m->low && j < m->low + m->count;
+}
+
+int ML_owner_linear(const MATRIX *m, int g) {
+  if (m->rows == 1) return ML_owner(m, 0, g);
+  if (m->cols == 1) return ML_owner(m, g, 0);
+  return ML_owner(m, g % m->rows, g / m->rows);
+}
+
+double *ML_realaddr2(MATRIX *m, int i, int j) {
+  if (i < 0 || i >= m->rows || j < 0 || j >= m->cols)
+    ML_error("index out of bounds");
+  if (m->axis == 0) return &m->data[(long)(i - m->low) * m->cols + j];
+  return &m->data[j - m->low];
+}
+
+double *ML_realaddr1(MATRIX *m, int g) {
+  if (g < 0 || g >= m->rows * m->cols) ML_error("index out of bounds");
+  if (m->rows == 1) return ML_realaddr2(m, 0, g);
+  if (m->cols == 1) return ML_realaddr2(m, g, 0);
+  return ML_realaddr2(m, g % m->rows, g / m->rows);
+}
+
+double ML_broadcast(const MATRIX *m, int i, int j) {
+  double v = 0.0;
+  int root;
+  if (i < 0 || i >= m->rows || j < 0 || j >= m->cols)
+    ML_error("index out of bounds");
+  root = m->axis == 0 ? ml_owner_of(ml_procs_, m->rows, i)
+                      : ml_owner_of(ml_procs_, m->cols, j);
+  if (ML_owner(m, i, j)) v = *ML_realaddr2((MATRIX *)m, i, j);
+  MPI_Bcast(&v, 1, MPI_DOUBLE, root, MPI_COMM_WORLD);
+  return v;
+}
+
+double ML_broadcast_linear(const MATRIX *m, int g) {
+  if (g < 0 || g >= m->rows * m->cols) ML_error("index out of bounds");
+  if (m->rows == 1) return ML_broadcast(m, 0, g);
+  if (m->cols == 1) return ML_broadcast(m, g, 0);
+  return ML_broadcast(m, g % m->rows, g / m->rows);
+}
+
+/* --- output ------------------------------------------------------------- */
+
+void ML_print_matrix(const char *name, const MATRIX *m) {
+  double *dense = ml_to_dense(m);
+  if (ml_rank_ == 0) {
+    int i, j;
+    if (name && name[0]) printf("%s =\n", name);
+    for (i = 0; i < m->rows; i++) {
+      printf("  ");
+      for (j = 0; j < m->cols; j++)
+        printf(" %10.4f", dense[(long)i * m->cols + j]);
+      printf("\n");
+    }
+  }
+  free(dense);
+}
+|}

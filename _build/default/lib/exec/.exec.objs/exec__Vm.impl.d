@@ -1,0 +1,1 @@
+lib/exec/vm.ml: Array Buffer Filename Float Fmt Hashtbl Ir List Mlang Mpisim Option Printf Runtime Spmd String

@@ -1,0 +1,1 @@
+lib/exec/vm.mli: Mpisim Runtime Spmd

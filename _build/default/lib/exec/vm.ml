@@ -1,0 +1,672 @@
+(* The SPMD virtual machine: executes the compiler's IR on the machine
+   simulator.  Each simulated rank runs this interpreter over the same
+   program; scalars are replicated, matrices are the distributed
+   run-time MATRIX values, and every run-time library instruction maps
+   onto [Runtime.Ops].  Floating-point work is charged to the rank's
+   virtual clock; communication is charged by the messages the run-time
+   library sends.
+
+   This is the moral equivalent of running the emitted C program linked
+   against the MPI run-time library on the real machine. *)
+
+open Spmd
+module Dmat = Runtime.Dmat
+module Ops = Runtime.Ops
+
+exception Runtime_error of string
+
+let error fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
+
+type value = Vscalar of float | Vmat of Dmat.t | Vstr of string
+
+exception Break_exc
+exception Continue_exc
+exception Return_exc
+
+type frame = {
+  env : (string, value) Hashtbl.t;
+  prog : Ir.prog;
+  funcs : (string, Ir.func) Hashtbl.t;
+  out : Buffer.t; (* rank 0 appends program output here *)
+  mutable rand_calls : int; (* replicated rand() sequence number *)
+  seed : int;
+  datadir : string;
+}
+
+let lookup fr v =
+  match Hashtbl.find_opt fr.env v with
+  | Some x -> x
+  | None -> error "variable '%s' used before it is defined" v
+
+let scalar_of fr v =
+  match lookup fr v with
+  | Vscalar f -> f
+  | Vmat m when Dmat.numel m = 1 -> Ops.bcast_elem m ~i:0 ~j:0
+  | Vmat _ -> error "variable '%s' is a matrix where a scalar is required" v
+  | Vstr _ -> error "variable '%s' is a string where a scalar is required" v
+
+let mat_of fr v =
+  match lookup fr v with
+  | Vmat m -> m
+  | Vscalar _ -> error "variable '%s' is a scalar where a matrix is required" v
+  | Vstr _ -> error "variable '%s' is a string where a matrix is required" v
+
+(* --- scalar expression evaluation -------------------------------------- *)
+
+let truthy f = f <> 0.
+let of_bool b = if b then 1. else 0.
+
+let scalar_binop (op : Mlang.Ast.binop) a b =
+  match op with
+  | Mlang.Ast.Add -> a +. b
+  | Mlang.Ast.Sub -> a -. b
+  | Mlang.Ast.Mul | Mlang.Ast.Emul -> a *. b
+  | Mlang.Ast.Div | Mlang.Ast.Ediv -> a /. b
+  | Mlang.Ast.Ldiv | Mlang.Ast.Eldiv -> b /. a
+  | Mlang.Ast.Pow | Mlang.Ast.Epow -> Float.pow a b
+  | Mlang.Ast.Lt -> of_bool (a < b)
+  | Mlang.Ast.Le -> of_bool (a <= b)
+  | Mlang.Ast.Gt -> of_bool (a > b)
+  | Mlang.Ast.Ge -> of_bool (a >= b)
+  | Mlang.Ast.Eq -> of_bool (a = b)
+  | Mlang.Ast.Ne -> of_bool (a <> b)
+  | Mlang.Ast.And | Mlang.Ast.Shortand -> of_bool (truthy a && truthy b)
+  | Mlang.Ast.Or | Mlang.Ast.Shortor -> of_bool (truthy a || truthy b)
+
+let scalar_builtin name args =
+  match (name, args) with
+  | "abs", [ x ] -> Float.abs x
+  | "sqrt", [ x ] -> sqrt x
+  | "exp", [ x ] -> exp x
+  | "log", [ x ] -> log x
+  | "log10", [ x ] -> log10 x
+  | "log2", [ x ] -> log x /. log 2.
+  | "sin", [ x ] -> sin x
+  | "cos", [ x ] -> cos x
+  | "tan", [ x ] -> tan x
+  | "asin", [ x ] -> asin x
+  | "acos", [ x ] -> acos x
+  | "atan", [ x ] -> atan x
+  | "sinh", [ x ] -> sinh x
+  | "cosh", [ x ] -> cosh x
+  | "tanh", [ x ] -> tanh x
+  | "floor", [ x ] -> floor x
+  | "ceil", [ x ] -> ceil x
+  | "round", [ x ] -> Float.round x
+  | "fix", [ x ] -> Float.trunc x
+  | "sign", [ x ] -> if x > 0. then 1. else if x < 0. then -1. else 0.
+  | "double", [ x ] -> x
+  | "mod", [ a; b ] -> if b = 0. then a else a -. (b *. Float.floor (a /. b))
+  | "rem", [ a; b ] -> if b = 0. then a else Float.rem a b
+  | "atan2", [ a; b ] -> atan2 a b
+  | "hypot", [ a; b ] -> Float.hypot a b
+  | "pow", [ a; b ] | "power", [ a; b ] -> Float.pow a b
+  | "min", [ a; b ] -> Float.min a b
+  | "max", [ a; b ] -> Float.max a b
+  | _ -> error "unknown scalar builtin '%s'/%d" name (List.length args)
+
+(* Evaluation counts the scalar operations performed so that replicated
+   scalar arithmetic is charged to the virtual clock. *)
+let rec eval_s fr ops (s : Ir.sexpr) : float =
+  match s with
+  | Ir.Sconst f -> f
+  | Ir.Sstr _ -> error "string literal in numeric context"
+  | Ir.Svar v -> scalar_of fr v
+  | Ir.Sbin (op, a, b) ->
+      incr ops;
+      scalar_binop op (eval_s fr ops a) (eval_s fr ops b)
+  | Ir.Sneg a ->
+      incr ops;
+      -.eval_s fr ops a
+  | Ir.Snot a ->
+      incr ops;
+      of_bool (not (truthy (eval_s fr ops a)))
+  | Ir.Scall (name, args) ->
+      incr ops;
+      scalar_builtin name (List.map (eval_s fr ops) args)
+  | Ir.Sdim (v, code) -> (
+      match lookup fr v with
+      | Vscalar _ -> 1.
+      | Vstr _ -> error "size of a string"
+      | Vmat m -> (
+          match code with
+          | 0 -> float_of_int (Dmat.numel m)
+          | 1 -> float_of_int m.Dmat.rows
+          | 2 -> float_of_int m.Dmat.cols
+          | _ -> float_of_int (max m.Dmat.rows m.Dmat.cols)))
+
+let eval_scalar fr s =
+  let ops = ref 0 in
+  let v = eval_s fr ops s in
+  if !ops > 0 then Mpisim.Sim.flops (float_of_int !ops);
+  v
+
+(* --- element-wise loops ------------------------------------------------- *)
+
+(* Compile an element expression to a closure over the local element
+   index; scalar subtrees are evaluated once, outside the loop. *)
+let rec compile_e fr ops (e : Ir.eexpr) (model : Dmat.t) : int -> float =
+  match e with
+  | Ir.Emat v ->
+      let m = mat_of fr v in
+      if m.Dmat.rows <> model.Dmat.rows || m.Dmat.cols <> model.Dmat.cols then
+        error "nonconformant element-wise operands (%dx%d vs %dx%d)"
+          m.Dmat.rows m.Dmat.cols model.Dmat.rows model.Dmat.cols;
+      let data = m.Dmat.data in
+      fun i -> data.(i)
+  | Ir.Escalar s ->
+      let c = eval_s fr (ref 0) s in
+      fun _ -> c
+  | Ir.Ebin (op, a, b) ->
+      incr ops;
+      let fa = compile_e fr ops a model and fb = compile_e fr ops b model in
+      fun i -> scalar_binop op (fa i) (fb i)
+  | Ir.Eneg a ->
+      incr ops;
+      let fa = compile_e fr ops a model in
+      fun i -> -.fa i
+  | Ir.Enot a ->
+      incr ops;
+      let fa = compile_e fr ops a model in
+      fun i -> of_bool (not (truthy (fa i)))
+  | Ir.Ecall1 (name, a) ->
+      incr ops;
+      let fa = compile_e fr ops a model in
+      fun i -> scalar_builtin name [ fa i ]
+  | Ir.Ecall2 (name, a, b) ->
+      incr ops;
+      let fa = compile_e fr ops a model and fb = compile_e fr ops b model in
+      fun i -> scalar_builtin name [ fa i; fb i ]
+
+let exec_elem fr ~dst ~model expr =
+  let m = mat_of fr model in
+  let ops = ref 0 in
+  let f = compile_e fr ops expr m in
+  let r = Dmat.create ~rows:m.Dmat.rows ~cols:m.Dmat.cols in
+  let len = Dmat.local_len r in
+  for i = 0 to len - 1 do
+    r.Dmat.data.(i) <- f i
+  done;
+  Mpisim.Sim.flops (float_of_int (len * max 1 !ops));
+  Hashtbl.replace fr.env dst (Vmat r)
+
+(* --- indices ------------------------------------------------------------ *)
+
+(* MATLAB indices are 1-based; linear indexing over a matrix is
+   column-major. *)
+let elem_coords fr (m : Dmat.t) idx =
+  match idx with
+  | [ i ] ->
+      let g = int_of_float (eval_scalar fr i) - 1 in
+      if m.Dmat.rows = 1 then (0, g)
+      else if m.Dmat.cols = 1 then (g, 0)
+      else (g mod m.Dmat.rows, g / m.Dmat.rows)
+  | [ i; j ] ->
+      ( int_of_float (eval_scalar fr i) - 1,
+        int_of_float (eval_scalar fr j) - 1 )
+  | _ -> error "unsupported number of indices"
+
+let range_indices lo step hi =
+  let n =
+    if step = 0. then 0
+    else
+      let raw = ((hi -. lo) /. step) +. 1e-9 in
+      if raw < 0. then 0 else int_of_float (Float.floor raw) + 1
+  in
+  Array.init n (fun k -> int_of_float (lo +. (float_of_int k *. step)) - 1)
+
+let sel_indices fr (extent : int) (s : Ir.sel) : int array =
+  match s with
+  | Ir.Sel_all -> Array.init extent (fun i -> i)
+  | Ir.Sel_scalar e -> [| int_of_float (eval_scalar fr e) - 1 |]
+  | Ir.Sel_range (lo, step, hi) ->
+      let lo = eval_scalar fr lo in
+      let step = match step with Some s -> eval_scalar fr s | None -> 1. in
+      let hi = eval_scalar fr hi in
+      range_indices lo step hi
+  | Ir.Sel_vec v ->
+      let m = mat_of fr v in
+      let dense = Dmat.to_dense m in
+      Array.map (fun f -> int_of_float f - 1) dense
+
+(* --- printing ----------------------------------------------------------- *)
+
+let is_root () = Mpisim.Sim.rank () = 0
+
+let print_scalar fr name v =
+  if is_root () then
+    if name = "" then Buffer.add_string fr.out (Printf.sprintf "%g\n" v)
+    else Buffer.add_string fr.out (Printf.sprintf "%s = %g\n" name v)
+
+(* --- instruction execution ---------------------------------------------- *)
+
+let rkind_to_red = function
+  | Ir.Rsum -> Ops.Rsum
+  | Ir.Rprod -> Ops.Rprod
+  | Ir.Rmin -> Ops.Rmin
+  | Ir.Rmax -> Ops.Rmax
+  | Ir.Rany -> Ops.Rany
+  | Ir.Rall -> Ops.Rall
+  | Ir.Rmean -> Ops.Rsum (* handled separately *)
+
+let rec exec_inst fr (i : Ir.inst) =
+  match i with
+  | Ir.Iscalar (v, s) -> Hashtbl.replace fr.env v (Vscalar (eval_scalar fr s))
+  | Ir.Ielem { dst; model; expr } -> exec_elem fr ~dst ~model expr
+  | Ir.Icopy (d, s) -> (
+      match lookup fr s with
+      | Vmat m ->
+          (* memory traffic of the copy, at roughly one word per flop *)
+          Mpisim.Sim.flops (float_of_int (Dmat.local_len m));
+          Hashtbl.replace fr.env d (Vmat (Dmat.copy m))
+      | v -> Hashtbl.replace fr.env d v)
+  | Ir.Imatmul (d, a, b) ->
+      Hashtbl.replace fr.env d (Vmat (Ops.matmul (mat_of fr a) (mat_of fr b)))
+  | Ir.Idot (d, a, b) ->
+      Hashtbl.replace fr.env d (Vscalar (Ops.dot (mat_of fr a) (mat_of fr b)))
+  | Ir.Itranspose (d, a) ->
+      Hashtbl.replace fr.env d (Vmat (Ops.transpose (mat_of fr a)))
+  | Ir.Iouter (d, a, b) ->
+      Hashtbl.replace fr.env d (Vmat (Ops.outer (mat_of fr a) (mat_of fr b)))
+  | Ir.Ireduce_all (d, k, a) ->
+      let m = mat_of fr a in
+      let v =
+        match k with
+        | Ir.Rmean -> Ops.mean_all m
+        | _ -> Ops.reduce_all (rkind_to_red k) m
+      in
+      Hashtbl.replace fr.env d (Vscalar v)
+  | Ir.Ireduce_cols (d, k, a) ->
+      let m = mat_of fr a in
+      let v =
+        match k with
+        | Ir.Rmean -> Ops.mean_cols m
+        | _ -> Ops.reduce_cols (rkind_to_red k) m
+      in
+      Hashtbl.replace fr.env d (Vmat v)
+  | Ir.Inorm (d, a) -> Hashtbl.replace fr.env d (Vscalar (Ops.norm2 (mat_of fr a)))
+  | Ir.Iscan (d, k, a) ->
+      let sk = match k with Ir.Scumsum -> Ops.Cumsum | Ir.Scumprod -> Ops.Cumprod in
+      Hashtbl.replace fr.env d (Vmat (Ops.cumulative sk (mat_of fr a)))
+  | Ir.Isort { vdst; idst; arg } ->
+      let sorted, perm =
+        Ops.sort_vector ~with_index:(idst <> None) (mat_of fr arg)
+      in
+      Hashtbl.replace fr.env vdst (Vmat sorted);
+      (match (idst, perm) with
+      | Some d, Some p -> Hashtbl.replace fr.env d (Vmat p)
+      | None, _ -> ()
+      | Some _, None -> assert false)
+  | Ir.Ireduce_loc { vdst; idst; kind; arg } ->
+      let op = rkind_to_red kind in
+      let v, i = Ops.reduce_with_index op (mat_of fr arg) in
+      Hashtbl.replace fr.env vdst (Vscalar v);
+      Hashtbl.replace fr.env idst (Vscalar (float_of_int i))
+  | Ir.Itrapz (d, x, y) ->
+      let x = Option.map (mat_of fr) x in
+      Hashtbl.replace fr.env d (Vscalar (Ops.trapz ?x (mat_of fr y)))
+  | Ir.Ishift (d, s, k) ->
+      let k = int_of_float (eval_scalar fr k) in
+      Hashtbl.replace fr.env d (Vmat (Ops.circshift (mat_of fr s) k))
+  | Ir.Ibcast (d, m, idx) ->
+      let mm = mat_of fr m in
+      let i, j = elem_coords fr mm idx in
+      Hashtbl.replace fr.env d (Vscalar (Ops.bcast_elem mm ~i ~j))
+  | Ir.Isetelem (m, idx, v) ->
+      let mm = mat_of fr m in
+      let i, j = elem_coords fr mm idx in
+      let value = eval_scalar fr v in
+      Ops.set_elem mm ~i ~j value
+  | Ir.Iload { dst; file } -> (
+      let path = Filename.concat fr.datadir file in
+      match Mlang.Datafile.read path with
+      | rows, cols, data ->
+          Mpisim.Sim.flops (float_of_int (rows * cols));
+          Hashtbl.replace fr.env dst (Vmat (Dmat.of_dense ~rows ~cols data))
+      | exception Mlang.Datafile.Bad_data msg ->
+          error "load(%S): %s" file msg)
+  | Ir.Iconstruct { dst; kind; args } -> exec_construct fr dst kind args
+  | Ir.Iliteral { dst; rows; cols; elems } ->
+      let values = List.map (eval_scalar fr) elems in
+      let dense = Array.of_list values in
+      Hashtbl.replace fr.env dst (Vmat (Dmat.of_dense ~rows ~cols dense))
+  | Ir.Isection { dst; src; sels } -> exec_section fr dst src sels
+  | Ir.Isetsection { dst; sels; src } -> exec_setsection fr dst sels src
+  | Ir.Iconcat { dst; grid_rows; grid_cols; parts } ->
+      exec_concat fr dst grid_rows grid_cols parts
+  | Ir.Icalluser { rets; name; args } -> exec_call fr rets name args
+  | Ir.Iprint (name, Ir.Pscalar s) -> print_scalar fr name (eval_scalar fr s)
+  | Ir.Iprint (name, Ir.Pmat v) -> (
+      let m = mat_of fr v in
+      match Dmat.format_root ~root:0 ~name:(if name = "" then "" else name) m with
+      | Some text when is_root () ->
+          if name = "" then begin
+            (* disp: no "name =" line *)
+            match String.index_opt text '\n' with
+            | Some k ->
+                Buffer.add_string fr.out
+                  (String.sub text (k + 1) (String.length text - k - 1))
+            | None -> Buffer.add_string fr.out text
+          end
+          else Buffer.add_string fr.out text
+      | _ -> ())
+  | Ir.Iprint (name, Ir.Pstr s) ->
+      if is_root () then
+        if name = "" then Buffer.add_string fr.out (s ^ "\n")
+        else Buffer.add_string fr.out (Printf.sprintf "%s = %s\n" name s)
+  | Ir.Iprintf args -> (
+      match args with
+      | Ir.Sstr fmt :: rest ->
+          let values =
+            List.map
+              (fun a ->
+                match a with
+                | Ir.Sstr s -> Mlang.Fmtutil.S s
+                | _ -> Mlang.Fmtutil.F (eval_scalar fr a))
+              rest
+          in
+          if is_root () then
+            Buffer.add_string fr.out (Mlang.Fmtutil.format fmt values)
+      | _ -> error "fprintf: first argument must be a format string")
+  | Ir.Ierror msg -> error "%s" msg
+  | Ir.Iif (branches, els) ->
+      let rec pick = function
+        | [] -> exec_block fr els
+        | (c, blk) :: rest ->
+            if truthy (eval_scalar fr c) then exec_block fr blk else pick rest
+      in
+      pick branches
+  | Ir.Iwhile (c, blk) -> (
+      try
+        while truthy (eval_scalar fr c) do
+          try exec_block fr blk with Continue_exc -> ()
+        done
+      with Break_exc -> ())
+  | Ir.Ifor (v, start, step, stop, blk) -> (
+      let start = eval_scalar fr start in
+      let step = match step with Some s -> eval_scalar fr s | None -> 1. in
+      let stop = eval_scalar fr stop in
+      try
+        let k = ref 0 in
+        let continue_loop () =
+          let x = start +. (float_of_int !k *. step) in
+          if step >= 0. then x <= stop +. 1e-12 else x >= stop -. 1e-12
+        in
+        while continue_loop () do
+          let x = start +. (float_of_int !k *. step) in
+          Hashtbl.replace fr.env v (Vscalar x);
+          (try exec_block fr blk with Continue_exc -> ());
+          incr k
+        done
+      with Break_exc -> ())
+  | Ir.Ibreak -> raise Break_exc
+  | Ir.Icontinue -> raise Continue_exc
+  | Ir.Ireturn -> raise Return_exc
+
+and exec_construct fr dst kind args =
+  let arg n = List.nth args n in
+  let dims () =
+    match args with
+    | [ n ] ->
+        let n = int_of_float (eval_scalar fr n) in
+        (n, n)
+    | [ r; c ] ->
+        (int_of_float (eval_scalar fr r), int_of_float (eval_scalar fr c))
+    | _ -> error "constructor expects 1 or 2 size arguments"
+  in
+  let m =
+    match kind with
+    | Ir.Czeros ->
+        let r, c = dims () in
+        Dmat.create ~rows:r ~cols:c
+    | Ir.Cones ->
+        let r, c = dims () in
+        Dmat.init ~rows:r ~cols:c (fun _ -> 1.)
+    | Ir.Ceye ->
+        let r, c = dims () in
+        Dmat.init_rc ~rows:r ~cols:c (fun i j -> if i = j then 1. else 0.)
+    | Ir.Crand ->
+        fr.rand_calls <- fr.rand_calls + 1;
+        let seed = fr.seed + fr.rand_calls in
+        let r, c = dims () in
+        Dmat.init ~rows:r ~cols:c (fun g -> Runtime.Rng.uniform ~seed g)
+    | Ir.Crandn ->
+        fr.rand_calls <- fr.rand_calls + 1;
+        let seed = fr.seed + fr.rand_calls in
+        let r, c = dims () in
+        Dmat.init ~rows:r ~cols:c (fun g -> Runtime.Rng.normal ~seed g)
+    | Ir.Clinspace ->
+        let a = eval_scalar fr (arg 0)
+        and b = eval_scalar fr (arg 1)
+        and n = int_of_float (eval_scalar fr (arg 2)) in
+        let d = if n > 1 then (b -. a) /. float_of_int (n - 1) else 0. in
+        Dmat.init ~rows:1 ~cols:n (fun g -> a +. (float_of_int g *. d))
+    | Ir.Crange ->
+        let lo = eval_scalar fr (arg 0)
+        and step = eval_scalar fr (arg 1)
+        and hi = eval_scalar fr (arg 2) in
+        let n =
+          if step = 0. then 0
+          else
+            let raw = ((hi -. lo) /. step) +. 1e-9 in
+            if raw < 0. then 0 else int_of_float (Float.floor raw) + 1
+        in
+        Dmat.init ~rows:1 ~cols:(max n 0) (fun g ->
+            lo +. (float_of_int g *. step))
+  in
+  let len = Dmat.local_len m in
+  if len > 0 then Mpisim.Sim.flops (float_of_int len);
+  Hashtbl.replace fr.env dst (Vmat m)
+
+and exec_section fr dst src sels =
+  let m = mat_of fr src in
+  match sels with
+  | [ s ] ->
+      if not (Dmat.is_vector m) then
+        error "linear sections of a full matrix are not supported";
+      let n = Dmat.numel m in
+      let idx = sel_indices fr n s in
+      let len = Array.length idx in
+      let rows, cols = if m.Dmat.cols = 1 then (len, 1) else (1, len) in
+      Hashtbl.replace fr.env dst (Vmat (Ops.section_linear m idx ~rows ~cols))
+  | [ s1; s2 ] ->
+      let ri = sel_indices fr m.Dmat.rows s1 in
+      let rj = sel_indices fr m.Dmat.cols s2 in
+      Hashtbl.replace fr.env dst (Vmat (Ops.section m ri rj))
+  | _ -> error "unsupported number of index selectors"
+
+(* dst(sels) = src: every rank walks the selected positions and the
+   owner of each target element stores the value (owner computes). *)
+and exec_setsection fr dst sels src =
+  let m = mat_of fr dst in
+  let value =
+    match src with
+    | Ir.Ascalar s ->
+        let c = eval_scalar fr s in
+        fun _ -> c
+    | Ir.Amat v ->
+        let dense = Dmat.to_dense (mat_of fr v) in
+        fun k ->
+          if k >= Array.length dense then
+            error "section assignment size mismatch"
+          else dense.(k)
+  in
+  let check_src_len n =
+    match src with
+    | Ir.Amat v ->
+        let s = mat_of fr v in
+        if Dmat.numel s <> n then error "section assignment size mismatch"
+    | Ir.Ascalar _ -> ()
+  in
+  (match sels with
+  | [ s ] ->
+      if not (Dmat.is_vector m) then
+        error "linear section assignment on a full matrix is not supported";
+      let n = Dmat.numel m in
+      let idx = sel_indices fr n s in
+      check_src_len (Array.length idx);
+      Array.iteri
+        (fun k g ->
+          if g < 0 || g >= n then error "index out of bounds";
+          let i, j = if m.Dmat.cols = 1 then (g, 0) else (0, g) in
+          if Dmat.owner m ~i ~j then Dmat.set_local m ~i ~j (value k))
+        idx;
+      Mpisim.Sim.flops (float_of_int (Array.length idx))
+  | [ s1; s2 ] ->
+      let ri = sel_indices fr m.Dmat.rows s1 in
+      let rj = sel_indices fr m.Dmat.cols s2 in
+      check_src_len (Array.length ri * Array.length rj);
+      Array.iteri
+        (fun a i ->
+          Array.iteri
+            (fun b j ->
+              if i < 0 || i >= m.Dmat.rows || j < 0 || j >= m.Dmat.cols then
+                error "index out of bounds";
+              if Dmat.owner m ~i ~j then
+                Dmat.set_local m ~i ~j (value ((a * Array.length rj) + b)))
+            rj)
+        ri;
+      Mpisim.Sim.flops (float_of_int (Array.length ri * Array.length rj))
+  | _ -> error "unsupported number of index selectors")
+
+(* [A, B; C, D]: gather the blocks, assemble densely, redistribute. *)
+and exec_concat fr dst grid_rows grid_cols parts =
+  let blocks = List.map (fun v -> mat_of fr v) parts in
+  let dense_blocks = List.map (fun b -> (b, Dmat.to_dense b)) blocks in
+  let grid =
+    Array.init grid_rows (fun i ->
+        Array.init grid_cols (fun j ->
+            List.nth dense_blocks ((i * grid_cols) + j)))
+  in
+  (* widths/heights per grid row and column *)
+  let row_heights =
+    Array.map
+      (fun row ->
+        let h = (fst row.(0)).Dmat.rows in
+        Array.iter
+          (fun (b, _) ->
+            if b.Dmat.rows <> h then
+              error "inconsistent row counts in matrix literal")
+          row;
+        h)
+      grid
+  in
+  let total_cols =
+    Array.fold_left (fun acc (b, _) -> acc + b.Dmat.cols) 0 grid.(0)
+  in
+  Array.iter
+    (fun row ->
+      let w = Array.fold_left (fun acc (b, _) -> acc + b.Dmat.cols) 0 row in
+      if w <> total_cols then
+        error "inconsistent column counts in matrix literal")
+    grid;
+  let total_rows = Array.fold_left ( + ) 0 row_heights in
+  let out = Array.make (total_rows * total_cols) 0. in
+  let roff = ref 0 in
+  Array.iter
+    (fun row ->
+      let h = (fst row.(0)).Dmat.rows in
+      let coff = ref 0 in
+      Array.iter
+        (fun (b, data) ->
+          for i = 0 to h - 1 do
+            Array.blit data
+              (i * b.Dmat.cols)
+              out
+              (((!roff + i) * total_cols) + !coff)
+              b.Dmat.cols
+          done;
+          coff := !coff + b.Dmat.cols)
+        row;
+      roff := !roff + h)
+    grid;
+  Mpisim.Sim.flops (float_of_int (total_rows * total_cols));
+  Hashtbl.replace fr.env dst
+    (Vmat (Dmat.of_dense ~rows:total_rows ~cols:total_cols out))
+
+and exec_call fr rets name args =
+  let f =
+    match Hashtbl.find_opt fr.funcs name with
+    | Some f -> f
+    | None -> error "unknown function '%s'" name
+  in
+  if List.length args <> List.length f.Ir.f_params then
+    error "function '%s' expects %d arguments" name (List.length f.Ir.f_params);
+  let callee =
+    {
+      fr with
+      env = Hashtbl.create 16;
+    }
+  in
+  List.iter2
+    (fun (p, _) a ->
+      let v =
+        match a with
+        | Ir.Ascalar (Ir.Sstr s) -> Vstr s
+        | Ir.Ascalar s -> Vscalar (eval_scalar fr s)
+        | Ir.Amat v -> (
+            match lookup fr v with
+            | Vmat m -> Vmat (Dmat.copy m) (* call by value *)
+            | other -> other)
+      in
+      Hashtbl.replace callee.env p v)
+    f.Ir.f_params args;
+  (try exec_block callee f.Ir.f_body with Return_exc -> ());
+  fr.rand_calls <- callee.rand_calls;
+  List.iter2
+    (fun r (rv, _) ->
+      match Hashtbl.find_opt callee.env rv with
+      | Some v -> Hashtbl.replace fr.env r v
+      | None -> error "function '%s' did not assign return value '%s'" name rv)
+    rets f.Ir.f_rets
+
+and exec_block fr (b : Ir.block) = List.iter (exec_inst fr) b
+
+(* --- entry points -------------------------------------------------------- *)
+
+type captured = Cscalar of float | Cmat of int * int * float array
+
+type outcome = {
+  output : string;
+  captures : (string * captured) list;
+  report : Mpisim.Sim.report;
+}
+
+(* Run [prog] on [nprocs] simulated processors of [machine].  [capture]
+   names variables whose final values are gathered for verification. *)
+let run ?(capture = []) ?(seed = 42) ?(datadir = ".") ~machine ~nprocs
+    (prog : Ir.prog) : outcome
+    =
+  let out = Buffer.create 256 in
+  (* Run-time library failures (bounds, conformability) surface as
+     Runtime_error like every other execution failure. *)
+  let wrap f = try f () with Failure msg -> raise (Runtime_error msg) in
+  ignore wrap;
+  let funcs = Hashtbl.create 8 in
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace funcs f.Ir.f_name f) prog.Ir.p_funcs;
+  let results, report =
+    wrap @@ fun () ->
+    Mpisim.Sim.run ~machine ~nprocs (fun _rank ->
+        let fr =
+          {
+            env = Hashtbl.create 64;
+            prog;
+            funcs;
+            out;
+            rand_calls = 0;
+            seed;
+            datadir;
+          }
+        in
+        exec_block fr prog.Ir.p_body;
+        List.filter_map
+          (fun name ->
+            match Hashtbl.find_opt fr.env name with
+            | Some (Vscalar f) -> Some (name, Cscalar f)
+            | Some (Vmat m) ->
+                let dense = Dmat.to_dense m in
+                Some (name, Cmat (m.Dmat.rows, m.Dmat.cols, dense))
+            | Some (Vstr _) | None -> None)
+          capture)
+  in
+  { output = Buffer.contents out; captures = results.(0); report }

@@ -1,0 +1,30 @@
+(** The SPMD virtual machine: executes the compiler's IR on the machine
+    simulator — the moral equivalent of running the emitted C linked
+    against the MPI run-time library on the modeled hardware. *)
+
+exception Runtime_error of string
+(** Any execution failure: undefined variables, bounds, conformability,
+    user [error(...)] calls. *)
+
+type value = Vscalar of float | Vmat of Runtime.Dmat.t | Vstr of string
+
+type captured = Cscalar of float | Cmat of int * int * float array
+(** A variable's final value, gathered dense (row-major). *)
+
+type outcome = {
+  output : string; (** what rank 0 printed *)
+  captures : (string * captured) list;
+  report : Mpisim.Sim.report;
+}
+
+val run :
+  ?capture:string list ->
+  ?seed:int ->
+  ?datadir:string ->
+  machine:Mpisim.Machine.t ->
+  nprocs:int ->
+  Spmd.Ir.prog ->
+  outcome
+(** Run the program on [nprocs] simulated processors of [machine];
+    [capture] names script variables whose final values are returned
+    for verification. *)

@@ -1,0 +1,1 @@
+lib/interp/dense.ml: Array Printf

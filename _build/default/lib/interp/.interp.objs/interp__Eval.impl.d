@@ -1,0 +1,1 @@
+lib/interp/eval.ml: Analysis Array Ast Buffer Cost Dense Filename Float Fmt Fmtutil Hashtbl List Mlang Mpisim Option Printf Runtime Source

@@ -1,0 +1,1 @@
+lib/interp/eval.mli: Cost Dense Mlang Mpisim

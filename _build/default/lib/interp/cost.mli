@@ -1,0 +1,18 @@
+(** Cost models for the sequential baselines of Figure 2: the MathWorks
+    interpreter and the MATCOM compiled-C++ translator.  Calibration
+    constants are documented in EXPERIMENTS.md. *)
+
+type mode = Interpreter | Matcom
+
+type model = { mode : mode; machine : Mpisim.Machine.t }
+
+val make : mode -> Mpisim.Machine.t -> model
+
+val charge_dispatch : model -> unit
+(** One evaluated AST node (dispatch, dynamic type tests). *)
+
+val charge_elem : model -> elems:int -> ops:int -> unit
+(** One element-wise pass over matrix data (unfused: one per op). *)
+
+val charge_kernel : model -> flops:float -> unit
+(** A library kernel (matmul, reductions, constructors). *)

@@ -1,0 +1,1 @@
+lib/ir/ir_pp.ml: Analysis Float Fmt Ir List Mlang String

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Analysis Ast Float Fmt Hashtbl Ir List Mlang Option Printf Source

@@ -1,0 +1,1 @@
+lib/ir/lower.mli: Analysis Ir Mlang

@@ -1,0 +1,1 @@
+lib/ir/peephole.ml: Analysis Hashtbl Ir List Mlang Option String

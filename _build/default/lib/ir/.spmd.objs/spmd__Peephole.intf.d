@@ -1,0 +1,1 @@
+lib/ir/peephole.mli: Ir

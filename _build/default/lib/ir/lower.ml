@@ -1,0 +1,857 @@
+(* Expression rewriting: typed AST -> SPMD IR (paper passes 4 and 5).
+
+   The pass classifies every expression node by its inferred rank:
+
+   - all-scalar expressions stay replicated scalar computations;
+   - subexpressions whose evaluation needs interprocessor communication
+     (matrix multiply, transposition, reductions, element reads,
+     sections, shifts, ...) are lifted to statement level as run-time
+     library calls assigning compiler temporaries;
+   - what remains of an element-wise matrix expression tree is fused
+     into a single [Ielem] loop over locally owned elements;
+   - scalar stores into matrix elements become owner-guarded updates,
+     and scalar reads of matrix elements become broadcasts, exactly as
+     in the paper's pass-5 example. *)
+
+open Mlang
+module Ty = Analysis.Ty
+
+exception Unsupported of Source.pos * string
+
+let unsupported pos fmt = Fmt.kstr (fun m -> raise (Unsupported (pos, m))) fmt
+
+type ctx = {
+  info : Analysis.Infer.result;
+  vars : (string, Ty.t) Hashtbl.t; (* current scope: name -> type *)
+  mutable tmp : int;
+  mutable end_subst : Ir.sexpr option; (* value of 'end' in current index *)
+}
+
+type operand = Oscalar of Ir.sexpr | Omat of Ir.var | Ostr of string
+
+(* Set of user-function names, filled by [lower_program] so that calls
+   resolve to user code even when a builtin shares the name. *)
+let user_funcs_marker : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let ty_of ctx (e : Ast.expr) = Analysis.Infer.expr_type ctx.info e
+let is_scalar_node ctx e = (ty_of ctx e).Ty.rank = Ty.Rscalar
+
+let fresh ctx ty =
+  ctx.tmp <- ctx.tmp + 1;
+  let name = Printf.sprintf "ML_tmp%d" ctx.tmp in
+  Hashtbl.replace ctx.vars name ty;
+  name
+
+let emit out i = out := i :: !out
+
+(* Strip value-preserving unary wrappers (transposes of vectors do not
+   change the element distribution, uplus is the identity). *)
+let rec strip_transpose (e : Ast.expr) =
+  match e.desc with
+  | Ast.Unop ((Ast.Transpose | Ast.Ctranspose | Ast.Uplus), a) ->
+      strip_transpose a
+  | _ -> e
+
+let is_vector_ty (t : Ty.t) = Ty.is_vector t
+
+(* --- expressions -------------------------------------------------------- *)
+
+let rec lower_expr ctx out (e : Ast.expr) : operand =
+  match e.desc with
+  | Ast.Num f -> Oscalar (Ir.Sconst f)
+  | Ast.Str s -> Ostr s
+  | Ast.Varref v ->
+      if is_scalar_node ctx e then Oscalar (Ir.Svar v) else Omat v
+  | Ast.Colon -> unsupported e.epos "':' outside an index"
+  | Ast.End_marker -> (
+      match ctx.end_subst with
+      | Some s -> Oscalar s
+      | None -> unsupported e.epos "'end' outside an index")
+  | Ast.Binop (op, a, b) -> lower_binop ctx out e op a b
+  | Ast.Unop (op, a) -> lower_unop ctx out e op a
+  | Ast.Range (a, step, b) ->
+      let sa = scalar ctx out a in
+      let ss = match step with Some s -> scalar ctx out s | None -> Ir.Sconst 1. in
+      let sb = scalar ctx out b in
+      let t = fresh ctx (ty_of ctx e) in
+      emit out (Ir.Iconstruct { dst = t; kind = Ir.Crange; args = [ sa; ss; sb ] });
+      Omat t
+  | Ast.Matrix rows -> lower_literal ctx out e rows
+  | Ast.Index (v, args) -> lower_index ctx out e v args
+  | Ast.Call (name, args) -> lower_call ctx out e name args
+  | Ast.Ident n | Ast.Apply (n, _) ->
+      Source.error e.epos "unresolved '%s' reached code generation" n
+
+(* Lower in scalar context; a 1x1 matrix value is read out with a
+   broadcast of its only element. *)
+and scalar ctx out (e : Ast.expr) : Ir.sexpr =
+  match lower_expr ctx out e with
+  | Oscalar s -> s
+  | Omat v ->
+      let t = fresh ctx Ty.real_scalar in
+      emit out (Ir.Ibcast (t, v, [ Ir.Sconst 1. ]));
+      Ir.Svar t
+  | Ostr _ -> unsupported e.epos "string used as a numeric value"
+
+(* Lower to a matrix variable, materializing a temporary if needed. *)
+and mat_operand ctx out (e : Ast.expr) : Ir.var =
+  match lower_expr ctx out e with
+  | Omat v -> v
+  | Oscalar s ->
+      (* A scalar where a matrix is required: make a 1x1 matrix. *)
+      let t = fresh ctx (Ty.matrix ~shape:Ty.scalar_shape Ty.Real) in
+      emit out (Ir.Iliteral { dst = t; rows = 1; cols = 1; elems = [ s ] });
+      t
+  | Ostr _ -> unsupported e.epos "string used as a matrix value"
+
+and lower_binop ctx out e op a b =
+  let scalar_result = is_scalar_node ctx e in
+  if scalar_result then
+    match op with
+    | Ast.Mul
+      when (not (is_scalar_node ctx a)) && not (is_scalar_node ctx b) ->
+        (* (1 x k) * (k x 1): an inner product -> ML_dot. *)
+        let va = mat_operand ctx out (strip_transpose a) in
+        let vb = mat_operand ctx out (strip_transpose b) in
+        let t = fresh ctx Ty.real_scalar in
+        emit out (Ir.Idot (t, va, vb));
+        Oscalar (Ir.Svar t)
+    | _ -> Oscalar (Ir.Sbin (op, scalar ctx out a, scalar ctx out b))
+  else if Ast.is_elementwise op then fused_elementwise ctx out e
+  else
+    match op with
+    | Ast.Mul ->
+        if is_scalar_node ctx a || is_scalar_node ctx b then
+          fused_elementwise ctx out e
+        else
+          let ta = ty_of ctx a and tb = ty_of ctx b in
+          if
+            is_vector_ty ta && is_vector_ty tb
+            && ta.Ty.shape.Ty.cols = Ty.Dconst 1
+            && tb.Ty.shape.Ty.rows = Ty.Dconst 1
+          then begin
+            (* (m x 1) * (1 x n): outer product -> ML_outer. *)
+            let u = mat_operand ctx out (strip_transpose a) in
+            let v = mat_operand ctx out (strip_transpose b) in
+            let t = fresh ctx (ty_of ctx e) in
+            emit out (Ir.Iouter (t, u, v));
+            Omat t
+          end
+          else begin
+            let va = mat_operand ctx out a in
+            let vb = mat_operand ctx out b in
+            let t = fresh ctx (ty_of ctx e) in
+            emit out (Ir.Imatmul (t, va, vb));
+            Omat t
+          end
+    | Ast.Div | Ast.Ldiv ->
+        if is_scalar_node ctx b || is_scalar_node ctx a then
+          fused_elementwise ctx out e
+        else unsupported e.epos "matrix division is not supported"
+    | Ast.Pow -> unsupported e.epos "matrix power is not supported; use .^"
+    | Ast.Shortand | Ast.Shortor ->
+        unsupported e.epos "&&/|| require scalar operands"
+    | Ast.Add | Ast.Sub | Ast.Emul | Ast.Ediv | Ast.Eldiv | Ast.Epow | Ast.Lt
+    | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne | Ast.And | Ast.Or ->
+        fused_elementwise ctx out e
+
+and lower_unop ctx out e op a =
+  match op with
+  | Ast.Uplus -> lower_expr ctx out a
+  | Ast.Neg | Ast.Not ->
+      if is_scalar_node ctx e then
+        let s = scalar ctx out a in
+        Oscalar (match op with Ast.Neg -> Ir.Sneg s | _ -> Ir.Snot s)
+      else fused_elementwise ctx out e
+  | Ast.Transpose | Ast.Ctranspose ->
+      if is_scalar_node ctx e then lower_expr ctx out a
+      else begin
+        let v = mat_operand ctx out a in
+        let t = fresh ctx (ty_of ctx e) in
+        emit out (Ir.Itranspose (t, v));
+        Omat t
+      end
+
+(* Fuse an element-wise expression tree into a single local loop. *)
+and fused_elementwise ctx out (e : Ast.expr) : operand =
+  let ee = build_eexpr ctx out e in
+  let model =
+    let rec first_mat = function
+      | Ir.Emat v -> Some v
+      | Ir.Escalar _ -> None
+      | Ir.Ebin (_, x, y) | Ir.Ecall2 (_, x, y) -> (
+          match first_mat x with Some v -> Some v | None -> first_mat y)
+      | Ir.Eneg x | Ir.Enot x | Ir.Ecall1 (_, x) -> first_mat x
+    in
+    match first_mat ee with
+    | Some v -> v
+    | None -> unsupported e.epos "element-wise expression has no matrix operand"
+  in
+  let t = fresh ctx (ty_of ctx e) in
+  emit out (Ir.Ielem { dst = t; model; expr = ee });
+  Omat t
+
+and build_eexpr ctx out (e : Ast.expr) : Ir.eexpr =
+  if is_scalar_node ctx e then Ir.Escalar (scalar ctx out e)
+  else
+    match e.desc with
+    | Ast.Varref v -> Ir.Emat v
+    | Ast.Binop (op, a, b) when Ast.is_elementwise op ->
+        Ir.Ebin (op, build_eexpr ctx out a, build_eexpr ctx out b)
+    | Ast.Binop (Ast.Mul, a, b)
+      when is_scalar_node ctx a || is_scalar_node ctx b ->
+        Ir.Ebin (Ast.Emul, build_eexpr ctx out a, build_eexpr ctx out b)
+    | Ast.Binop (Ast.Div, a, b) when is_scalar_node ctx b ->
+        Ir.Ebin (Ast.Ediv, build_eexpr ctx out a, build_eexpr ctx out b)
+    | Ast.Binop (Ast.Ldiv, a, b) when is_scalar_node ctx a ->
+        (* a \ b  =  b ./ a *)
+        Ir.Ebin (Ast.Ediv, build_eexpr ctx out b, build_eexpr ctx out a)
+    | Ast.Unop (Ast.Neg, a) -> Ir.Eneg (build_eexpr ctx out a)
+    | Ast.Unop (Ast.Not, a) -> Ir.Enot (build_eexpr ctx out a)
+    | Ast.Unop (Ast.Uplus, a) -> build_eexpr ctx out a
+    | Ast.Call (name, [ a ])
+      when (match Analysis.Builtins.find name with
+           | Some { Analysis.Builtins.kind = Analysis.Builtins.Map1 _; _ } ->
+               true
+           | _ -> false) ->
+        Ir.Ecall1 (name, build_eexpr ctx out a)
+    | Ast.Call (name, [ a; b ])
+      when (match Analysis.Builtins.find name with
+           | Some
+               {
+                 Analysis.Builtins.kind =
+                   Analysis.Builtins.Map2 _ | Analysis.Builtins.Minmax _;
+                 _;
+               } ->
+               true
+           | _ -> false) ->
+        Ir.Ecall2 (name, build_eexpr ctx out a, build_eexpr ctx out b)
+    | _ ->
+        (* Not element-wise: lift to a temporary via a library call. *)
+        Ir.Emat (mat_operand ctx out e)
+
+and lower_literal ctx out e rows =
+  let all_scalar =
+    List.for_all (List.for_all (fun el -> is_scalar_node ctx el)) rows
+  in
+  let nrows = List.length rows in
+  let ncols = match rows with [] -> 0 | r :: _ -> List.length r in
+  List.iter
+    (fun r ->
+      if List.length r <> ncols then
+        unsupported e.epos "matrix literal rows have different lengths")
+    rows;
+  if all_scalar then begin
+    let elems = List.concat_map (List.map (fun el -> scalar ctx out el)) rows in
+    if nrows = 1 && ncols = 1 then Oscalar (List.hd elems)
+    else begin
+      let t = fresh ctx (ty_of ctx e) in
+      emit out (Ir.Iliteral { dst = t; rows = nrows; cols = ncols; elems });
+      Omat t
+    end
+  end
+  else begin
+    (* Concatenation of matrix blocks: materialize every block and let
+       the run-time library assemble and redistribute. *)
+    let parts =
+      List.concat_map (List.map (fun el -> mat_operand ctx out el)) rows
+    in
+    let t = fresh ctx (ty_of ctx e) in
+    emit out
+      (Ir.Iconcat { dst = t; grid_rows = nrows; grid_cols = ncols; parts });
+    Omat t
+  end
+
+(* Index expressions: scalar reads become broadcasts, everything else a
+   section.  'end' is substituted with the extent of the indexed slot. *)
+and lower_index ctx out e v args =
+  let vty =
+    match Hashtbl.find_opt ctx.vars v with
+    | Some t -> t
+    | None -> Ty.real_matrix
+  in
+  if vty.Ty.rank = Ty.Rscalar then Oscalar (Ir.Svar v)
+  else begin
+    let nargs = List.length args in
+    let slot_dim i =
+      if nargs = 1 then Ir.Sdim (v, 0) (* linear: numel *)
+      else Ir.Sdim (v, i + 1)
+    in
+    let with_end i f =
+      let saved = ctx.end_subst in
+      ctx.end_subst <- Some (slot_dim i);
+      let r = f () in
+      ctx.end_subst <- saved;
+      r
+    in
+    if is_scalar_node ctx e then begin
+      (* Element read -> ML_broadcast.  All index args are scalars. *)
+      let idx =
+        List.mapi (fun i a -> with_end i (fun () -> scalar ctx out a)) args
+      in
+      let t = fresh ctx (Ty.scalar (ty_of ctx e).Ty.base) in
+      emit out (Ir.Ibcast (t, v, idx));
+      Oscalar (Ir.Svar t)
+    end
+    else begin
+      let sel_of i (a : Ast.expr) =
+        with_end i (fun () ->
+            match a.desc with
+            | Ast.Colon -> Ir.Sel_all
+            | Ast.Range (lo, step, hi) ->
+                let slo = scalar ctx out lo in
+                let sstep = Option.map (scalar ctx out) step in
+                let shi = scalar ctx out hi in
+                Ir.Sel_range (slo, sstep, shi)
+            | _ ->
+                if is_scalar_node ctx a then Ir.Sel_scalar (scalar ctx out a)
+                else Ir.Sel_vec (mat_operand ctx out a))
+      in
+      let sels = List.mapi sel_of args in
+      let t = fresh ctx (ty_of ctx e) in
+      emit out (Ir.Isection { dst = t; src = v; sels });
+      Omat t
+    end
+  end
+
+and lower_call ctx out (e : Ast.expr) name args =
+  let module B = Analysis.Builtins in
+  match B.find name with
+  | Some b when not (Hashtbl.mem user_funcs_marker name) -> (
+      match b.B.kind with
+      | B.Map1 _ | B.Map2 _ ->
+          if is_scalar_node ctx e then
+            Oscalar (Ir.Scall (name, List.map (scalar ctx out) args))
+          else fused_elementwise ctx out e
+      | B.Minmax _ -> (
+          match args with
+          | [ _ ] -> lower_reduction ctx out e name args
+          | _ ->
+              if is_scalar_node ctx e then
+                Oscalar (Ir.Scall (name, List.map (scalar ctx out) args))
+              else fused_elementwise ctx out e)
+      | B.Reduce _ -> lower_reduction ctx out e name args
+      | B.Scan sk -> (
+          match args with
+          | [ a ] ->
+              if is_scalar_node ctx a then lower_expr ctx out a
+              else begin
+                let v = mat_operand ctx out a in
+                let kind =
+                  if sk = "cumsum" then Ir.Scumsum else Ir.Scumprod
+                in
+                let t = fresh ctx (ty_of ctx e) in
+                emit out (Ir.Iscan (t, kind, v));
+                Omat t
+              end
+          | _ -> unsupported e.epos "'%s' takes one argument" name)
+      | B.Dot -> (
+          match args with
+          | [ a; b ] ->
+              let va = mat_operand ctx out (strip_transpose a) in
+              let vb = mat_operand ctx out (strip_transpose b) in
+              let t = fresh ctx Ty.real_scalar in
+              emit out (Ir.Idot (t, va, vb));
+              Oscalar (Ir.Svar t)
+          | _ -> unsupported e.epos "dot takes two arguments")
+      | B.Trapz -> (
+          let t = fresh ctx Ty.real_scalar in
+          match args with
+          | [ y ] ->
+              emit out (Ir.Itrapz (t, None, mat_operand ctx out y));
+              Oscalar (Ir.Svar t)
+          | [ x; y ] ->
+              let vx = mat_operand ctx out x in
+              let vy = mat_operand ctx out y in
+              emit out (Ir.Itrapz (t, Some vx, vy));
+              Oscalar (Ir.Svar t)
+          | _ -> unsupported e.epos "trapz takes one or two arguments")
+      | B.Shift -> (
+          match args with
+          | [ v; k ] ->
+              let vv = mat_operand ctx out v in
+              let sk = scalar ctx out k in
+              let t = fresh ctx (ty_of ctx e) in
+              emit out (Ir.Ishift (t, vv, sk));
+              Omat t
+          | _ -> unsupported e.epos "circshift takes two arguments")
+      | B.Constructor _ -> lower_constructor ctx out e name args
+      | B.Query q -> lower_query ctx out e q args
+      | B.Constant c -> Oscalar (Ir.Sconst c)
+      | B.Sort -> (
+          match args with
+          | [ a ] ->
+              if is_scalar_node ctx a then lower_expr ctx out a
+              else begin
+                let v = mat_operand ctx out a in
+                let t = fresh ctx (ty_of ctx e) in
+                emit out (Ir.Isort { vdst = t; idst = None; arg = v });
+                Omat t
+              end
+          | _ -> unsupported e.epos "sort takes one argument")
+      | B.Repmat -> (
+          (* desugar to a concat grid of the same block *)
+          match args with
+          | [ a; r; c ] -> (
+              let const_of (x : Ast.expr) =
+                match scalar ctx out x with
+                | Ir.Sconst f when Float.is_integer f && f >= 1. ->
+                    int_of_float f
+                | _ ->
+                    unsupported e.epos
+                      "repmat: tile counts must be positive compile-time \
+                       constants"
+              in
+              let rr = const_of r and cc = const_of c in
+              let v = mat_operand ctx out a in
+              if rr = 1 && cc = 1 then Omat v
+              else begin
+                let t = fresh ctx (ty_of ctx e) in
+                emit out
+                  (Ir.Iconcat
+                     {
+                       dst = t;
+                       grid_rows = rr;
+                       grid_cols = cc;
+                       parts = List.init (rr * cc) (fun _ -> v);
+                     });
+                Omat t
+              end)
+          | _ -> unsupported e.epos "repmat takes three arguments")
+      | B.Load -> (
+          match args with
+          | [ { Ast.desc = Ast.Str fname; _ } ] ->
+              let t = fresh ctx (ty_of ctx e) in
+              emit out (Ir.Iload { dst = t; file = fname });
+              Omat t
+          | _ -> unsupported e.epos "load takes one literal filename")
+      | B.Output _ | B.Error_fn ->
+          unsupported e.epos "'%s' cannot be used inside an expression" name)
+  | _ ->
+      (* User function call. *)
+      let rty = ty_of ctx e in
+      let t = fresh ctx rty in
+      let cargs = List.map (call_arg ctx out) args in
+      emit out (Ir.Icalluser { rets = [ t ]; name; args = cargs });
+      if rty.Ty.rank = Ty.Rscalar then Oscalar (Ir.Svar t) else Omat t
+
+and call_arg ctx out (a : Ast.expr) : Ir.call_arg =
+  match lower_expr ctx out a with
+  | Oscalar s -> Ir.Ascalar s
+  | Omat v -> Ir.Amat v
+  | Ostr s -> Ir.Ascalar (Ir.Sstr s)
+
+and lower_reduction ctx out e name args =
+  let kind =
+    match name with
+    | "sum" -> Ir.Rsum
+    | "prod" -> Ir.Rprod
+    | "mean" -> Ir.Rmean
+    | "min" -> Ir.Rmin
+    | "max" -> Ir.Rmax
+    | "any" -> Ir.Rany
+    | "all" -> Ir.Rall
+    | _ when name = "norm" -> Ir.Rsum (* unused; norm handled below *)
+    | _ -> unsupported e.epos "unknown reduction '%s'" name
+  in
+  match args with
+  | [ a ] ->
+      if is_scalar_node ctx a then
+        (* Reducing a scalar is the identity (any/all compare with 0). *)
+        let s = scalar ctx out a in
+        match name with
+        | "any" | "all" -> Oscalar (Ir.Sbin (Ast.Ne, s, Ir.Sconst 0.))
+        | "norm" -> Oscalar (Ir.Scall ("abs", [ s ]))
+        | _ -> Oscalar s
+      else begin
+        let v = mat_operand ctx out a in
+        if name = "norm" then begin
+          let t = fresh ctx Ty.real_scalar in
+          emit out (Ir.Inorm (t, v));
+          Oscalar (Ir.Svar t)
+        end
+        else begin
+          let aty = ty_of ctx a in
+          let vector_like =
+            Ty.is_vector aty
+            || aty.Ty.shape.Ty.rows = Ty.Dunknown
+            || aty.Ty.shape.Ty.cols = Ty.Dunknown
+          in
+          if vector_like then begin
+            let t = fresh ctx Ty.real_scalar in
+            emit out (Ir.Ireduce_all (t, kind, v));
+            Oscalar (Ir.Svar t)
+          end
+          else begin
+            let t = fresh ctx (ty_of ctx e) in
+            emit out (Ir.Ireduce_cols (t, kind, v));
+            Omat t
+          end
+        end
+      end
+  | _ -> unsupported e.epos "'%s' takes one argument" name
+
+and lower_constructor ctx out e name args =
+  let kind =
+    match name with
+    | "zeros" -> Ir.Czeros
+    | "ones" -> Ir.Cones
+    | "eye" -> Ir.Ceye
+    | "rand" -> Ir.Crand
+    | "randn" -> Ir.Crandn
+    | "linspace" -> Ir.Clinspace
+    | _ -> unsupported e.epos "unknown constructor '%s'" name
+  in
+  match (name, args) with
+  | "zeros", [] -> Oscalar (Ir.Sconst 0.)
+  | "ones", [] -> Oscalar (Ir.Sconst 1.)
+  | ("rand" | "randn"), [] ->
+      unsupported e.epos "scalar %s() is not supported in compiled code" name
+  | _ ->
+      let sargs = List.map (scalar ctx out) args in
+      let t = fresh ctx (ty_of ctx e) in
+      emit out (Ir.Iconstruct { dst = t; kind; args = sargs });
+      Omat t
+
+and lower_query ctx out e q args =
+  match (q, args) with
+  | "size", [ a ] ->
+      if is_scalar_node ctx a then begin
+        let t = fresh ctx (ty_of ctx e) in
+        emit out
+          (Ir.Iliteral
+             { dst = t; rows = 1; cols = 2; elems = [ Ir.Sconst 1.; Ir.Sconst 1. ] });
+        Omat t
+      end
+      else begin
+        let v = mat_operand ctx out a in
+        let t = fresh ctx (ty_of ctx e) in
+        emit out
+          (Ir.Iliteral
+             { dst = t; rows = 1; cols = 2; elems = [ Ir.Sdim (v, 1); Ir.Sdim (v, 2) ] });
+        Omat t
+      end
+  | "size", [ a; d ] -> (
+      if is_scalar_node ctx a then Oscalar (Ir.Sconst 1.)
+      else
+        let v = mat_operand ctx out a in
+        match scalar ctx out d with
+        | Ir.Sconst 1. -> Oscalar (Ir.Sdim (v, 1))
+        | Ir.Sconst 2. -> Oscalar (Ir.Sdim (v, 2))
+        | _ -> unsupported e.epos "size(A, d): d must be the constant 1 or 2")
+  | "length", [ a ] ->
+      if is_scalar_node ctx a then Oscalar (Ir.Sconst 1.)
+      else Oscalar (Ir.Sdim (mat_operand ctx out a, 3))
+  | "numel", [ a ] ->
+      if is_scalar_node ctx a then Oscalar (Ir.Sconst 1.)
+      else Oscalar (Ir.Sdim (mat_operand ctx out a, 0))
+  | _ -> unsupported e.epos "unsupported query '%s'" q
+
+(* --- statements --------------------------------------------------------- *)
+
+let display_inst name ty =
+  if (ty : Ty.t).Ty.rank = Ty.Rscalar then
+    Ir.Iprint (name, Ir.Pscalar (Ir.Svar name))
+  else Ir.Iprint (name, Ir.Pmat name)
+
+(* MATLAB condition semantics: a matrix is true when it is nonempty
+   and every element is nonzero. *)
+let lower_cond ctx out (c : Ast.expr) : Ir.sexpr =
+  if is_scalar_node ctx c then scalar ctx out c
+  else begin
+    let v = mat_operand ctx out c in
+    let t = fresh ctx Ty.int_scalar in
+    emit out (Ir.Ireduce_all (t, Ir.Rall, v));
+    Ir.Sbin
+      ( Mlang.Ast.And,
+        Ir.Svar t,
+        Ir.Sbin (Mlang.Ast.Gt, Ir.Sdim (v, 0), Ir.Sconst 0.) )
+  end
+
+let rec lower_stmt ctx out (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Assign ({ lv_name; lv_indices = None; _ }, rhs, display) ->
+      let rty = ty_of ctx rhs in
+      let target_ty =
+        match Hashtbl.find_opt ctx.vars lv_name with
+        | Some t -> t
+        | None ->
+            Hashtbl.replace ctx.vars lv_name rty;
+            rty
+      in
+      if target_ty.Ty.rank = Ty.Rscalar then begin
+        if rty.Ty.rank <> Ty.Rscalar then
+          unsupported s.spos
+            "variable '%s' is scalar but is assigned a matrix" lv_name;
+        emit out (Ir.Iscalar (lv_name, scalar ctx out rhs))
+      end
+      else begin
+        if rty.Ty.rank = Ty.Rscalar then
+          unsupported s.spos
+            "variable '%s' changes rank (matrix elsewhere, scalar here); \
+             not supported by the compiler"
+            lv_name;
+        let v = mat_operand ctx out rhs in
+        emit out (Ir.Icopy (lv_name, v))
+      end;
+      if display then emit out (display_inst lv_name target_ty)
+  | Ast.Assign ({ lv_name; lv_indices = Some idx; lv_pos }, rhs, display) ->
+      let vty =
+        match Hashtbl.find_opt ctx.vars lv_name with
+        | Some t -> t
+        | None -> Source.error lv_pos "undefined variable '%s'" lv_name
+      in
+      if vty.Ty.rank = Ty.Rscalar then
+        (* a(1) = x on a scalar variable: plain assignment *)
+        emit out (Ir.Iscalar (lv_name, scalar ctx out rhs))
+      else begin
+        let nargs = List.length idx in
+        let slot_dim i =
+          if nargs = 1 then Ir.Sdim (lv_name, 0) else Ir.Sdim (lv_name, i + 1)
+        in
+        let with_end i f =
+          let saved = ctx.end_subst in
+          ctx.end_subst <- Some (slot_dim i);
+          let r = f () in
+          ctx.end_subst <- saved;
+          r
+        in
+        let scalar_store =
+          is_scalar_node ctx rhs
+          && List.for_all
+               (fun (a : Ast.expr) ->
+                 match a.desc with
+                 | Ast.Colon | Ast.Range _ -> false
+                 | _ -> is_scalar_node ctx a)
+               idx
+        in
+        if scalar_store then begin
+          (* a(i, j) = scalar: the paper's guarded element store *)
+          let sidx =
+            List.mapi (fun i a -> with_end i (fun () -> scalar ctx out a)) idx
+          in
+          let sv = scalar ctx out rhs in
+          emit out (Ir.Isetelem (lv_name, sidx, sv))
+        end
+        else begin
+          (* a(sels) = rhs: owner-computes scatter of a section *)
+          let sel_of i (a : Ast.expr) =
+            with_end i (fun () ->
+                match a.desc with
+                | Ast.Colon -> Ir.Sel_all
+                | Ast.Range (lo, step, hi) ->
+                    let slo = scalar ctx out lo in
+                    let sstep = Option.map (scalar ctx out) step in
+                    let shi = scalar ctx out hi in
+                    Ir.Sel_range (slo, sstep, shi)
+                | _ ->
+                    if is_scalar_node ctx a then
+                      Ir.Sel_scalar (scalar ctx out a)
+                    else Ir.Sel_vec (mat_operand ctx out a))
+          in
+          let sels = List.mapi sel_of idx in
+          let src =
+            if is_scalar_node ctx rhs then Ir.Ascalar (scalar ctx out rhs)
+            else Ir.Amat (mat_operand ctx out rhs)
+          in
+          emit out (Ir.Isetsection { dst = lv_name; sels; src })
+        end
+      end;
+      if display then emit out (display_inst lv_name vty)
+  | Ast.Multi_assign (ls, rhs, display) -> lower_multi ctx out s ls rhs display
+  | Ast.Expr ({ desc = Ast.Call ("disp", [ arg ]); _ }, _) -> (
+      match lower_expr ctx out arg with
+      | Oscalar se -> emit out (Ir.Iprint ("", Ir.Pscalar se))
+      | Omat v -> emit out (Ir.Iprint ("", Ir.Pmat v))
+      | Ostr str -> emit out (Ir.Iprint ("", Ir.Pstr str)))
+  | Ast.Expr ({ desc = Ast.Call ("fprintf", args); _ }, _) ->
+      let sargs =
+        List.map
+          (fun a ->
+            match lower_expr ctx out a with
+            | Oscalar se -> se
+            | Ostr str -> Ir.Sstr str
+            | Omat _ -> unsupported s.spos "fprintf of a whole matrix")
+          args
+      in
+      emit out (Ir.Iprintf sargs)
+  | Ast.Expr ({ desc = Ast.Call ("error", [ { desc = Ast.Str msg; _ } ]); _ }, _)
+    ->
+      emit out (Ir.Ierror msg)
+  | Ast.Expr (e, display) -> (
+      match lower_expr ctx out e with
+      | Oscalar se -> if display then emit out (Ir.Iprint ("ans", Ir.Pscalar se))
+      | Omat v -> if display then emit out (Ir.Iprint ("ans", Ir.Pmat v))
+      | Ostr str -> if display then emit out (Ir.Iprint ("ans", Ir.Pstr str)))
+  | Ast.If (branches, els) ->
+      let lb (c, blk) =
+        let sc = lower_cond ctx out c in
+        (sc, lower_block ctx blk)
+      in
+      let branches = List.map lb branches in
+      emit out (Ir.Iif (branches, lower_block ctx els))
+  | Ast.While (c, blk) ->
+      (* The condition is re-evaluated each iteration; its temporaries
+         must live inside the loop.  We lower it into the loop head via
+         a scalar temp pattern: while (1) { c = ...; if (!c) break; } *)
+      let cond_out = ref [] in
+      let sc = lower_cond ctx cond_out c in
+      let body = lower_block ctx blk in
+      if !cond_out = [] then emit out (Ir.Iwhile (sc, body))
+      else begin
+        let head = List.rev !cond_out in
+        let guarded =
+          head @ [ Ir.Iif ([ (Ir.Snot sc, [ Ir.Ibreak ]) ], []) ] @ body
+        in
+        emit out (Ir.Iwhile (Ir.Sconst 1., guarded))
+      end
+  | Ast.For (v, range, blk) ->
+      Hashtbl.replace ctx.vars v Ty.int_scalar;
+      (match range.desc with
+      | Ast.Range (a, st, b) ->
+          let start = scalar ctx out a in
+          let step = Option.map (scalar ctx out) st in
+          let stop = scalar ctx out b in
+          let body = lower_block ctx blk in
+          emit out (Ir.Ifor (v, start, step, stop, body))
+      | _ when is_scalar_node ctx range ->
+          let sv = scalar ctx out range in
+          let body = lower_block ctx blk in
+          emit out (Ir.Ifor (v, sv, None, sv, body))
+      | _ ->
+          let rty = ty_of ctx range in
+          if not (Ty.is_vector rty || rty.Ty.shape = Ty.unknown_shape) then
+            unsupported s.spos
+              "for over the columns of a full matrix is not supported; \
+               iterate over an index range";
+          (* for x = vec: hidden index loop, one element broadcast per
+             iteration *)
+          let vec = mat_operand ctx out range in
+          let k = fresh ctx Ty.int_scalar in
+          let body = lower_block ctx blk in
+          let fetch = Ir.Ibcast (v, vec, [ Ir.Svar k ]) in
+          emit out
+            (Ir.Ifor (k, Ir.Sconst 1., None, Ir.Sdim (vec, 0), fetch :: body)))
+  | Ast.Break -> emit out Ir.Ibreak
+  | Ast.Continue -> emit out Ir.Icontinue
+  | Ast.Return -> emit out Ir.Ireturn
+
+and lower_multi ctx out s ls rhs display =
+  match rhs.desc with
+  | Ast.Call ("size", [ a ]) when List.length ls = 2 ->
+      let v = mat_operand ctx out a in
+      List.iteri
+        (fun i (l : Ast.lhs) ->
+          if l.lv_indices <> None then
+            unsupported l.lv_pos "indexed targets in [r,c] = size(...)";
+          Hashtbl.replace ctx.vars l.lv_name Ty.int_scalar;
+          emit out (Ir.Iscalar (l.lv_name, Ir.Sdim (v, i + 1))))
+        ls
+  | Ast.Call ("sort", [ arg ]) when List.length ls = 2
+         && not (Hashtbl.mem user_funcs_marker "sort") ->
+      let v = mat_operand ctx out arg in
+      (match ls with
+      | [ lv; li ] ->
+          if lv.lv_indices <> None || li.lv_indices <> None then
+            unsupported s.spos "indexed targets in [s, i] = sort(...)";
+          if not (Hashtbl.mem ctx.vars lv.lv_name) then
+            Hashtbl.replace ctx.vars lv.lv_name (ty_of ctx rhs);
+          if not (Hashtbl.mem ctx.vars li.lv_name) then
+            Hashtbl.replace ctx.vars li.lv_name
+              (Ty.matrix Ty.Integer);
+          emit out
+            (Ir.Isort { vdst = lv.lv_name; idst = Some li.lv_name; arg = v })
+      | _ -> assert false)
+  | Ast.Call (name, [ arg ]) when (name = "min" || name = "max")
+         && List.length ls = 2
+         && not (Hashtbl.mem user_funcs_marker name) ->
+      (* [m, i] = min(v) / max(v) *)
+      let v = mat_operand ctx out arg in
+      let kind = if name = "min" then Ir.Rmin else Ir.Rmax in
+      (match ls with
+      | [ lm; li ] ->
+          if lm.lv_indices <> None || li.lv_indices <> None then
+            unsupported s.spos "indexed targets in [m, i] = %s(...)" name;
+          if not (Hashtbl.mem ctx.vars lm.lv_name) then
+            Hashtbl.replace ctx.vars lm.lv_name Ty.real_scalar;
+          if not (Hashtbl.mem ctx.vars li.lv_name) then
+            Hashtbl.replace ctx.vars li.lv_name Ty.int_scalar;
+          emit out
+            (Ir.Ireduce_loc
+               { vdst = lm.lv_name; idst = li.lv_name; kind; arg = v })
+      | _ -> assert false)
+  | Ast.Call (name, args) when Hashtbl.mem user_funcs_marker name ->
+      let cargs = List.map (call_arg ctx out) args in
+      let rets =
+        List.map
+          (fun (l : Ast.lhs) ->
+            if l.lv_indices <> None then
+              unsupported l.lv_pos "indexed targets in multiple assignment";
+            l.lv_name)
+          ls
+      in
+      (* Return types were recorded during inference. *)
+      (match Hashtbl.find_opt ctx.info.Analysis.Infer.func_returns name with
+      | Some tys ->
+          List.iteri
+            (fun i r ->
+              match List.nth_opt tys i with
+              | Some t ->
+                  if not (Hashtbl.mem ctx.vars r) then
+                    Hashtbl.replace ctx.vars r t
+              | None -> ())
+            rets
+      | None -> ());
+      emit out (Ir.Icalluser { rets; name; args = cargs });
+      if display then
+        List.iter
+          (fun r ->
+            match Hashtbl.find_opt ctx.vars r with
+            | Some t -> emit out (display_inst r t)
+            | None -> ())
+          rets
+  | _ ->
+      unsupported s.spos
+        "multiple assignment requires size(...) or a user function"
+
+and lower_block ctx (b : Ast.block) : Ir.block =
+  let out = ref [] in
+  List.iter (lower_stmt ctx out) b;
+  List.rev !out
+
+(* --- program ------------------------------------------------------------ *)
+
+let vars_alist tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+let lower_func info (f : Ast.func) : Ir.func =
+  let vars = Hashtbl.create 16 in
+  (match Hashtbl.find_opt info.Analysis.Infer.func_var_ty f.Ast.fname with
+  | Some tys -> Hashtbl.iter (fun k v -> Hashtbl.replace vars k v) tys
+  | None -> ());
+  let ctx = { info; vars; tmp = 0; end_subst = None } in
+  let body = lower_block ctx f.Ast.fbody in
+  let ty_of_var v =
+    match Hashtbl.find_opt vars v with Some t -> t | None -> Ty.real_scalar
+  in
+  {
+    Ir.f_name = f.Ast.fname;
+    f_params = List.map (fun p -> (p, ty_of_var p)) f.Ast.params;
+    f_rets = List.map (fun r -> (r, ty_of_var r)) f.Ast.returns;
+    f_vars = List.sort compare (vars_alist vars);
+    f_body = body;
+  }
+
+let lower_program (info : Analysis.Infer.result) (p : Ast.program) : Ir.prog =
+  Hashtbl.reset user_funcs_marker;
+  List.iter
+    (fun (f : Ast.func) -> Hashtbl.replace user_funcs_marker f.Ast.fname ())
+    p.funcs;
+  let vars = Hashtbl.create 32 in
+  Hashtbl.iter (fun k v -> Hashtbl.replace vars k v) info.Analysis.Infer.var_ty;
+  let ctx = { info; vars; tmp = 0; end_subst = None } in
+  let body = lower_block ctx p.script in
+  {
+    Ir.p_vars = List.sort compare (vars_alist vars);
+    p_body = body;
+    p_funcs = List.map (lower_func info) p.funcs;
+  }

@@ -1,0 +1,12 @@
+(** Expression rewriting: typed AST -> SPMD IR (paper passes 4 and 5).
+
+    Scalar expressions stay replicated; communication-bearing
+    subexpressions are lifted to statement-level run-time calls;
+    element-wise matrix trees fuse into single local loops; element
+    stores get owner guards and element reads become broadcasts. *)
+
+exception Unsupported of Mlang.Source.pos * string
+(** A construct outside the compiled subset (the interpreter may still
+    support it). *)
+
+val lower_program : Analysis.Infer.result -> Mlang.Ast.program -> Ir.prog

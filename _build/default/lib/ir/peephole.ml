@@ -1,0 +1,178 @@
+(* Peephole optimization over run-time call sequences (paper pass 6).
+
+   Rewrites applied until fixpoint:
+   - copy forwarding: a library call into a compiler temporary
+     immediately copied into a named variable writes the variable
+     directly;
+   - broadcast reuse: two broadcasts of the same matrix element with no
+     intervening redefinition share one communication;
+   - transpose of transpose collapses to a copy;
+   - shift of shift collapses to a single shift of the summed offset;
+   - dead pure instructions defining unused temporaries are removed.
+
+   All rewrites are restricted to straight-line sequences within one
+   block; use counts are computed over the whole program, so a
+   temporary consumed inside a nested block is never considered dead. *)
+
+let is_temp v =
+  String.length v > 6 && String.sub v 0 6 = "ML_tmp"
+
+type counts = (string, int) Hashtbl.t
+
+let count_uses (b : Ir.block) : counts =
+  let tbl = Hashtbl.create 64 in
+  let bump v = Hashtbl.replace tbl v (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v)) in
+  Ir.iter_insts (fun i -> List.iter bump (Ir.inst_uses i)) b;
+  tbl
+
+let uses counts v = Option.value ~default:0 (Hashtbl.find_opt counts v)
+
+(* Rename the destination of a pure defining instruction. *)
+let rename_def (i : Ir.inst) ~from ~into : Ir.inst option =
+  let r v = if v = from then into else v in
+  match i with
+  | Ir.Iscalar (d, s) when d = from -> Some (Ir.Iscalar (into, s))
+  | Ir.Ielem e when e.dst = from -> Some (Ir.Ielem { e with dst = into })
+  | Ir.Icopy (d, s) when d = from -> Some (Ir.Icopy (into, s))
+  | Ir.Imatmul (d, a, b) when d = from -> Some (Ir.Imatmul (into, a, b))
+  | Ir.Idot (d, a, b) when d = from -> Some (Ir.Idot (into, a, b))
+  | Ir.Itranspose (d, a) when d = from -> Some (Ir.Itranspose (into, a))
+  | Ir.Iouter (d, a, b) when d = from -> Some (Ir.Iouter (into, a, b))
+  | Ir.Ireduce_all (d, k, a) when d = from -> Some (Ir.Ireduce_all (into, k, a))
+  | Ir.Ireduce_cols (d, k, a) when d = from ->
+      Some (Ir.Ireduce_cols (into, k, a))
+  | Ir.Inorm (d, a) when d = from -> Some (Ir.Inorm (into, a))
+  | Ir.Itrapz (d, x, y) when d = from -> Some (Ir.Itrapz (into, x, y))
+  | Ir.Ishift (d, s, k) when d = from -> Some (Ir.Ishift (into, s, k))
+  | Ir.Ibcast (d, m, idx) when d = from -> Some (Ir.Ibcast (into, m, idx))
+  | Ir.Iconstruct c when c.dst = from -> Some (Ir.Iconstruct { c with dst = into })
+  | Ir.Iliteral l when l.dst = from -> Some (Ir.Iliteral { l with dst = into })
+  | Ir.Isection s when s.dst = from -> Some (Ir.Isection { s with dst = into })
+  | Ir.Icalluser c when List.mem from c.rets ->
+      Some (Ir.Icalluser { c with rets = List.map r c.rets })
+  | _ -> None
+
+type stats = {
+  mutable copies_forwarded : int;
+  mutable broadcasts_reused : int;
+  mutable transposes_collapsed : int;
+  mutable shifts_combined : int;
+  mutable dead_removed : int;
+}
+
+let fresh_stats () =
+  {
+    copies_forwarded = 0;
+    broadcasts_reused = 0;
+    transposes_collapsed = 0;
+    shifts_combined = 0;
+    dead_removed = 0;
+  }
+
+(* One forward pass over a straight-line block (recursing into nested
+   blocks).  [counts] are global use counts for the surrounding
+   program. *)
+let rec rewrite_block stats counts (b : Ir.block) : Ir.block =
+  let rec go = function
+    | [] -> []
+    (* copy forwarding; writing the target in place is only legal when
+       the defining instruction does not read it, or reads it strictly
+       point-wise (element-wise loops) *)
+    | def :: Ir.Icopy (x, t) :: rest
+      when is_temp t && uses counts t = 1 && List.mem t (Ir.inst_defs def)
+           && ((match def with Ir.Ielem _ -> true | _ -> false)
+              || not (List.mem x (Ir.inst_uses def))) -> (
+        match rename_def def ~from:t ~into:x with
+        | Some def' ->
+            stats.copies_forwarded <- stats.copies_forwarded + 1;
+            go (def' :: rest)
+        | None -> descend def :: go (Ir.Icopy (x, t) :: rest))
+    (* transpose of transpose *)
+    | Ir.Itranspose (t, a) :: Ir.Itranspose (u, t') :: rest
+      when t = t' && is_temp t && uses counts t = 1 ->
+        stats.transposes_collapsed <- stats.transposes_collapsed + 1;
+        go (Ir.Icopy (u, a) :: rest)
+    (* shift of shift *)
+    | Ir.Ishift (t, v, k1) :: Ir.Ishift (u, t', k2) :: rest
+      when t = t' && is_temp t && uses counts t = 1 ->
+        stats.shifts_combined <- stats.shifts_combined + 1;
+        go (Ir.Ishift (u, v, Ir.Sbin (Mlang.Ast.Add, k1, k2)) :: rest)
+    (* broadcast reuse *)
+    | (Ir.Ibcast (d1, m1, idx1) as i1) :: Ir.Ibcast (d2, m2, idx2) :: rest
+      when m1 = m2 && idx1 = idx2 ->
+        stats.broadcasts_reused <- stats.broadcasts_reused + 1;
+        go (i1 :: Ir.Iscalar (d2, Ir.Svar d1) :: rest)
+    | i :: rest -> descend i :: go rest
+  and descend (i : Ir.inst) : Ir.inst =
+    match i with
+    | Ir.Iif (branches, els) ->
+        Ir.Iif
+          ( List.map (fun (c, blk) -> (c, rewrite_block stats counts blk)) branches,
+            rewrite_block stats counts els )
+    | Ir.Iwhile (c, blk) -> Ir.Iwhile (c, rewrite_block stats counts blk)
+    | Ir.Ifor (v, a, st, b2, blk) ->
+        Ir.Ifor (v, a, st, b2, rewrite_block stats counts blk)
+    | _ -> i
+  in
+  go b
+
+(* Remove pure instructions whose only definitions are unused temps. *)
+let rec dce stats counts (b : Ir.block) : Ir.block =
+  List.filter_map
+    (fun (i : Ir.inst) ->
+      match i with
+      | Ir.Iif (branches, els) ->
+          Some
+            (Ir.Iif
+               ( List.map (fun (c, blk) -> (c, dce stats counts blk)) branches,
+                 dce stats counts els ))
+      | Ir.Iwhile (c, blk) -> Some (Ir.Iwhile (c, dce stats counts blk))
+      | Ir.Ifor (v, a, st, b2, blk) ->
+          Some (Ir.Ifor (v, a, st, b2, dce stats counts blk))
+      | _ ->
+          let defs = Ir.inst_defs i in
+          if
+            Ir.inst_pure i && defs <> []
+            && List.for_all (fun d -> is_temp d && uses counts d = 0) defs
+          then begin
+            stats.dead_removed <- stats.dead_removed + 1;
+            None
+          end
+          else Some i)
+    b
+
+let optimize_block stats (b : Ir.block) : Ir.block =
+  let b = ref b in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 10 do
+    incr rounds;
+    let counts = count_uses !b in
+    let b1 = rewrite_block stats counts !b in
+    let counts1 = count_uses b1 in
+    let b2 = dce stats counts1 b1 in
+    changed := b2 <> !b;
+    b := b2
+  done;
+  !b
+
+(* Drop now-unused temporaries from the variable tables. *)
+let live_vars (b : Ir.block) (vars : (Ir.var * Analysis.Ty.t) list) =
+  let referenced = Hashtbl.create 64 in
+  Ir.iter_insts
+    (fun i ->
+      List.iter (fun v -> Hashtbl.replace referenced v ()) (Ir.inst_uses i);
+      List.iter (fun v -> Hashtbl.replace referenced v ()) (Ir.inst_defs i))
+    b;
+  List.filter (fun (v, _) -> (not (is_temp v)) || Hashtbl.mem referenced v) vars
+
+let optimize ?(stats = fresh_stats ()) (p : Ir.prog) : Ir.prog =
+  let body = optimize_block stats p.Ir.p_body in
+  let funcs =
+    List.map
+      (fun (f : Ir.func) ->
+        let fb = optimize_block stats f.f_body in
+        { f with Ir.f_body = fb; f_vars = live_vars fb f.f_vars })
+      p.Ir.p_funcs
+  in
+  { Ir.p_vars = live_vars body p.Ir.p_vars; p_body = body; p_funcs = funcs }

@@ -1,0 +1,19 @@
+(** Peephole optimization over run-time call sequences (paper pass 6):
+    copy forwarding, broadcast reuse, transpose/shift collapsing, dead
+    temporary elimination. *)
+
+type stats = {
+  mutable copies_forwarded : int;
+  mutable broadcasts_reused : int;
+  mutable transposes_collapsed : int;
+  mutable shifts_combined : int;
+  mutable dead_removed : int;
+}
+
+val fresh_stats : unit -> stats
+
+val is_temp : Ir.var -> bool
+(** Is this a compiler-generated temporary (rewrites only touch those)? *)
+
+val optimize : ?stats:stats -> Ir.prog -> Ir.prog
+(** Apply all rewrites to fixpoint; [stats] accumulates what fired. *)

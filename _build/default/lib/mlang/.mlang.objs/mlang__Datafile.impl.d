@@ -1,0 +1,1 @@
+lib/mlang/datafile.ml: Array Float List Printf String

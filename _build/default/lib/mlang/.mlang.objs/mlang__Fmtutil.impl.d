@@ -1,0 +1,1 @@
+lib/mlang/fmtutil.ml: Array Buffer Fmt Printf Scanf String

@@ -1,0 +1,1 @@
+lib/mlang/lexer.ml: Array Buffer List Source String Token

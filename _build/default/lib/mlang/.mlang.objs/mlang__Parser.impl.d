@@ -1,0 +1,1 @@
+lib/mlang/parser.ml: Array Ast Lexer List Source Token

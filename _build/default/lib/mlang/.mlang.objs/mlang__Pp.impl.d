@@ -1,0 +1,1 @@
+lib/mlang/pp.ml: Ast Float Fmt List String

@@ -1,0 +1,1 @@
+lib/mlang/source.ml: Fmt

@@ -1,0 +1,1 @@
+lib/mlang/source.mli: Fmt Format

@@ -1,0 +1,1 @@
+lib/mlang/token.ml: Fmt

@@ -1,0 +1,176 @@
+(* Abstract syntax for the MATLAB subset accepted by Otter.
+
+   Every expression and statement node carries a unique integer id; later
+   passes (type inference in particular) attach information to nodes
+   through these ids, so copies made by the compiler must either preserve
+   ids (when the copy denotes the same value, e.g. SSA renaming) or use
+   [fresh_id] (when it denotes a new computation). *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul (* matrix multiply *)
+  | Div (* matrix right divide *)
+  | Ldiv (* matrix left divide *)
+  | Pow (* matrix power *)
+  | Emul (* .* *)
+  | Ediv (* ./ *)
+  | Eldiv (* .\ *)
+  | Epow (* .^ *)
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And (* & element-wise *)
+  | Or (* | element-wise *)
+  | Shortand (* && *)
+  | Shortor (* || *)
+
+type unop = Neg | Uplus | Not | Transpose (* .' *) | Ctranspose (* ' *)
+
+type expr = { desc : desc; epos : Source.pos; eid : int }
+
+and desc =
+  | Num of float
+  | Str of string
+  | Ident of string (* unresolved name (variable or function) *)
+  | Varref of string (* resolved variable reference *)
+  | Colon (* bare ':' used as an index *)
+  | End_marker (* 'end' used inside an index expression *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Range of expr * expr option * expr (* start : step? : stop *)
+  | Apply of string * expr list (* unresolved name(args) *)
+  | Call of string * expr list (* resolved function call *)
+  | Index of string * expr list (* resolved variable indexing *)
+  | Matrix of expr list list (* [e, e; e, e] rows of elements *)
+
+type lhs = {
+  lv_name : string;
+  lv_indices : expr list option; (* Some args for a(i,j) = ... *)
+  lv_pos : Source.pos;
+}
+
+type stmt = { sdesc : sdesc; spos : Source.pos; sid : int }
+
+and sdesc =
+  | Assign of lhs * expr * bool (* display result (no ';')? *)
+  | Multi_assign of lhs list * expr * bool (* [a, b] = f(...) *)
+  | Expr of expr * bool
+  | If of (expr * block) list * block (* branches, else-block *)
+  | While of expr * block
+  | For of string * expr * block
+  | Break
+  | Continue
+  | Return
+
+and block = stmt list
+
+type func = {
+  fname : string;
+  params : string list;
+  returns : string list;
+  fbody : block;
+}
+
+type program = { script : block; funcs : func list }
+
+let counter = ref 0
+
+let fresh_id () =
+  incr counter;
+  !counter
+
+let mk ?(pos = Source.no_pos) desc = { desc; epos = pos; eid = fresh_id () }
+let mk_stmt ?(pos = Source.no_pos) sdesc = { sdesc; spos = pos; sid = fresh_id () }
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Ldiv -> "\\"
+  | Pow -> "^"
+  | Emul -> ".*"
+  | Ediv -> "./"
+  | Eldiv -> ".\\"
+  | Epow -> ".^"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "~="
+  | And -> "&"
+  | Or -> "|"
+  | Shortand -> "&&"
+  | Shortor -> "||"
+
+let unop_name = function
+  | Neg -> "-"
+  | Uplus -> "+"
+  | Not -> "~"
+  | Transpose -> ".'"
+  | Ctranspose -> "'"
+
+(* [is_elementwise op] holds for operators applied independently to each
+   element of their (conformable) operands; these never require
+   interprocessor communication on identically distributed matrices. *)
+let is_elementwise = function
+  | Add | Sub | Emul | Ediv | Eldiv | Epow | Lt | Le | Gt | Ge | Eq | Ne | And
+  | Or ->
+      true
+  | Mul | Div | Ldiv | Pow | Shortand | Shortor -> false
+
+let is_comparison = function
+  | Lt | Le | Gt | Ge | Eq | Ne -> true
+  | Add | Sub | Mul | Div | Ldiv | Pow | Emul | Ediv | Eldiv | Epow | And | Or
+  | Shortand | Shortor ->
+      false
+
+(* Structural fold over all expressions of a block, used by analyses. *)
+let rec iter_exprs_expr f e =
+  f e;
+  match e.desc with
+  | Num _ | Str _ | Ident _ | Varref _ | Colon | End_marker -> ()
+  | Binop (_, a, b) ->
+      iter_exprs_expr f a;
+      iter_exprs_expr f b
+  | Unop (_, a) -> iter_exprs_expr f a
+  | Range (a, step, b) ->
+      iter_exprs_expr f a;
+      Option.iter (iter_exprs_expr f) step;
+      iter_exprs_expr f b
+  | Apply (_, args) | Call (_, args) | Index (_, args) ->
+      List.iter (iter_exprs_expr f) args
+  | Matrix rows -> List.iter (List.iter (iter_exprs_expr f)) rows
+
+let rec iter_exprs_stmt f s =
+  match s.sdesc with
+  | Assign (lhs, e, _) ->
+      Option.iter (List.iter (iter_exprs_expr f)) lhs.lv_indices;
+      iter_exprs_expr f e
+  | Multi_assign (lhss, e, _) ->
+      List.iter
+        (fun l -> Option.iter (List.iter (iter_exprs_expr f)) l.lv_indices)
+        lhss;
+      iter_exprs_expr f e
+  | Expr (e, _) -> iter_exprs_expr f e
+  | If (branches, els) ->
+      List.iter
+        (fun (c, b) ->
+          iter_exprs_expr f c;
+          List.iter (iter_exprs_stmt f) b)
+        branches;
+      List.iter (iter_exprs_stmt f) els
+  | While (c, b) ->
+      iter_exprs_expr f c;
+      List.iter (iter_exprs_stmt f) b
+  | For (_, e, b) ->
+      iter_exprs_expr f e;
+      List.iter (iter_exprs_stmt f) b
+  | Break | Continue | Return -> ()
+
+let iter_exprs f block = List.iter (iter_exprs_stmt f) block

@@ -1,0 +1,52 @@
+(* Whitespace-separated numeric data files, as MATLAB's load() reads
+   them: one matrix row per line.  The compiler reads the *sample* file
+   at compile time to determine the variable's type, rank and shape
+   (paper section 3); the generated program reads the real file at run
+   time. *)
+
+exception Bad_data of string
+
+let parse (content : string) : int * int * float array =
+  let lines =
+    String.split_on_char '\n' content
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '%' && l.[0] <> '#')
+  in
+  let rows =
+    List.map
+      (fun line ->
+        String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) line)
+        |> List.filter (fun tok -> tok <> "")
+        |> List.map (fun tok ->
+               match float_of_string_opt tok with
+               | Some f -> f
+               | None -> raise (Bad_data (Printf.sprintf "not a number: %S" tok))))
+      lines
+  in
+  match rows with
+  | [] -> (0, 0, [||])
+  | first :: _ ->
+      let cols = List.length first in
+      List.iteri
+        (fun i r ->
+          if List.length r <> cols then
+            raise
+              (Bad_data
+                 (Printf.sprintf "row %d has %d values, expected %d" (i + 1)
+                    (List.length r) cols)))
+        rows;
+      (List.length rows, cols, Array.of_list (List.concat rows))
+
+let read (path : string) : int * int * float array =
+  let ic =
+    try open_in path
+    with Sys_error msg -> raise (Bad_data msg)
+  in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  parse content
+
+(* Are all values integral?  Decides the integer-vs-real static type. *)
+let all_integer (data : float array) =
+  Array.for_all (fun f -> Float.is_integer f) data

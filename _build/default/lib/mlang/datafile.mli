@@ -1,0 +1,14 @@
+(** Whitespace-separated numeric data files, as MATLAB's load() reads
+    them (one matrix row per line; '%'/'#' comment lines skipped). *)
+
+exception Bad_data of string
+
+val parse : string -> int * int * float array
+(** [(rows, cols, row-major data)]; raises {!Bad_data} on ragged or
+    non-numeric input. *)
+
+val read : string -> int * int * float array
+(** Read and {!parse} a file; raises {!Bad_data} if unreadable. *)
+
+val all_integer : float array -> bool
+(** Decides the integer-vs-real static base type of loaded data. *)

@@ -1,0 +1,89 @@
+(* MATLAB fprintf-style formatting shared by the compiled run time and
+   the reference interpreter: the conversions %d %i %f %g %e %s plus
+   the \n and \t escapes, interpreted at run time as MATLAB does. *)
+
+type arg = F of float | S of string
+
+exception Format_error of string
+
+let error fmt = Fmt.kstr (fun m -> raise (Format_error m)) fmt
+
+let format (fmt : string) (args : arg list) : string =
+  let buf = Buffer.create 64 in
+  let args = ref args in
+  let next_arg () =
+    match !args with
+    | a :: rest ->
+        args := rest;
+        a
+    | [] -> error "fprintf: not enough arguments"
+  in
+  let n = String.length fmt in
+  let i = ref 0 in
+  while !i < n do
+    let c = fmt.[!i] in
+    if c = '\\' && !i + 1 < n then begin
+      (match fmt.[!i + 1] with
+      | 'n' -> Buffer.add_char buf '\n'
+      | 't' -> Buffer.add_char buf '\t'
+      | c2 -> Buffer.add_char buf c2);
+      i := !i + 2
+    end
+    else if c = '%' && !i + 1 < n then begin
+      let j = ref (!i + 1) in
+      while
+        !j < n
+        &&
+        match fmt.[!j] with
+        | '0' .. '9' | '.' | '-' | '+' | ' ' -> true
+        | _ -> false
+      do
+        incr j
+      done;
+      if !j >= n then error "fprintf: incomplete conversion";
+      let spec = String.sub fmt !i (!j - !i + 1) in
+      (match fmt.[!j] with
+      | '%' -> Buffer.add_char buf '%'
+      | 'd' | 'i' -> (
+          match next_arg () with
+          | F f ->
+              let spec = String.sub spec 0 (String.length spec - 1) ^ "d" in
+              Buffer.add_string buf
+                (Printf.sprintf
+                   (Scanf.format_from_string spec "%d")
+                   (int_of_float f))
+          | S _ -> error "fprintf: %%d needs a number")
+      | 'f' | 'g' | 'e' -> (
+          match next_arg () with
+          | F f ->
+              Buffer.add_string buf
+                (Printf.sprintf (Scanf.format_from_string spec "%f") f)
+          | S _ -> error "fprintf: numeric conversion needs a number")
+      | 's' -> (
+          match next_arg () with
+          | S s -> Buffer.add_string buf s
+          | F f -> Buffer.add_string buf (Printf.sprintf "%g" f))
+      | c2 -> error "fprintf: unsupported conversion %%%c" c2);
+      i := !j + 1
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+(* Matrix rendering shared by both back ends (MATLAB-flavoured). *)
+let format_matrix ?name ~rows ~cols (dense : float array) : string =
+  let buf = Buffer.create 256 in
+  (match name with
+  | Some n when n <> "" -> Buffer.add_string buf (n ^ " =\n")
+  | Some _ | None -> ());
+  for i = 0 to rows - 1 do
+    Buffer.add_string buf "  ";
+    for j = 0 to cols - 1 do
+      Buffer.add_string buf (Printf.sprintf " %10.4f" dense.((i * cols) + j))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

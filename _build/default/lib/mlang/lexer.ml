@@ -1,0 +1,244 @@
+(* Hand-written lexer for the MATLAB subset.
+
+   The two MATLAB-specific difficulties handled here:
+
+   - The quote character is a transpose operator when it follows a value
+     (identifier, number, ')', ']', 'end' or another transpose) and a
+     string delimiter everywhere else.  We track the previous significant
+     token to decide.
+
+   - '...' continues a logical line: everything up to and including the
+     next newline is skipped and no NEWLINE token is produced.
+
+   As in the paper, list elements inside brackets must be delimited by
+   commas; whitespace is never a separator. *)
+
+type lexed = { tok : Token.t; tpos : Source.pos }
+
+type state = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+  mutable prev : Token.t; (* last significant token, for quote rule *)
+}
+
+let make src = { src; off = 0; line = 1; bol = 0; prev = Token.NEWLINE }
+let pos st = { Source.line = st.line; col = st.off - st.bol + 1 }
+let at_end st = st.off >= String.length st.src
+let peek st = if at_end st then '\000' else st.src.[st.off]
+
+let peek2 st =
+  if st.off + 1 >= String.length st.src then '\000' else st.src.[st.off + 1]
+
+let advance st = st.off <- st.off + 1
+
+let newline st =
+  st.off <- st.off + 1;
+  st.line <- st.line + 1;
+  st.bol <- st.off
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+(* Does a quote after [tok] mean transpose (rather than a string)? *)
+let quote_is_transpose = function
+  | Token.IDENT _ | Token.NUM _ | Token.RPAREN | Token.RBRACKET | Token.QUOTE
+  | Token.DOTQUOTE | Token.KEND ->
+      true
+  | _ -> false
+
+let keyword = function
+  | "if" -> Some Token.KIF
+  | "elseif" -> Some Token.KELSEIF
+  | "else" -> Some Token.KELSE
+  | "end" -> Some Token.KEND
+  | "while" -> Some Token.KWHILE
+  | "for" -> Some Token.KFOR
+  | "break" -> Some Token.KBREAK
+  | "continue" -> Some Token.KCONTINUE
+  | "return" -> Some Token.KRETURN
+  | "function" -> Some Token.KFUNCTION
+  | _ -> None
+
+let lex_number st =
+  let start = st.off in
+  let p = pos st in
+  while is_digit (peek st) do
+    advance st
+  done;
+  if peek st = '.' && is_digit (peek2 st) then begin
+    advance st;
+    while is_digit (peek st) do
+      advance st
+    done
+  end
+  else if peek st = '.' && not (is_alpha (peek2 st)) && peek2 st <> '.' then
+    (* trailing "2." but not "2.*" style operators *)
+    if peek2 st <> '*' && peek2 st <> '/' && peek2 st <> '\\' && peek2 st <> '^'
+       && peek2 st <> '\''
+    then advance st;
+  (if peek st = 'e' || peek st = 'E' then
+     let save = st.off in
+     advance st;
+     if peek st = '+' || peek st = '-' then advance st;
+     if is_digit (peek st) then
+       while is_digit (peek st) do
+         advance st
+       done
+     else st.off <- save);
+  let text = String.sub st.src start (st.off - start) in
+  match float_of_string_opt text with
+  | Some f -> { tok = Token.NUM f; tpos = p }
+  | None -> Source.error p "invalid number literal %S" text
+
+let lex_string st =
+  let p = pos st in
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if at_end st || peek st = '\n' then
+      Source.error p "unterminated string literal"
+    else if peek st = '\'' then
+      if peek2 st = '\'' then begin
+        Buffer.add_char buf '\'';
+        advance st;
+        advance st;
+        loop ()
+      end
+      else advance st (* closing quote *)
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      loop ()
+    end
+  in
+  loop ();
+  { tok = Token.STR (Buffer.contents buf); tpos = p }
+
+let lex_ident st =
+  let start = st.off in
+  let p = pos st in
+  while is_alnum (peek st) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.off - start) in
+  match keyword text with
+  | Some k -> { tok = k; tpos = p }
+  | None -> { tok = Token.IDENT text; tpos = p }
+
+let skip_comment st =
+  while (not (at_end st)) && peek st <> '\n' do
+    advance st
+  done
+
+(* %{ ... %} block comments (each marker alone on its line, as MATLAB
+   requires); nesting is supported. *)
+let skip_block_comment st =
+  let p = pos st in
+  let depth = ref 1 in
+  advance st;
+  advance st;
+  while !depth > 0 do
+    if at_end st then Source.error p "unterminated block comment"
+    else if peek st = '%' && peek2 st = '{' then begin
+      incr depth;
+      advance st;
+      advance st
+    end
+    else if peek st = '%' && peek2 st = '}' then begin
+      decr depth;
+      advance st;
+      advance st
+    end
+    else if peek st = '\n' then newline st
+    else advance st
+  done
+
+(* Skip a '...' continuation: everything to and past the newline. *)
+let skip_continuation st =
+  st.off <- st.off + 3;
+  skip_comment st;
+  if not (at_end st) then newline st
+
+let rec next st =
+  let simple tok =
+    let p = pos st in
+    advance st;
+    { tok; tpos = p }
+  in
+  let double tok =
+    let p = pos st in
+    advance st;
+    advance st;
+    { tok; tpos = p }
+  in
+  if at_end st then { tok = Token.EOF; tpos = pos st }
+  else
+    match peek st with
+    | ' ' | '\t' | '\r' ->
+        advance st;
+        next st
+    | '%' when peek2 st = '{' ->
+        skip_block_comment st;
+        next st
+    | '%' ->
+        skip_comment st;
+        next st
+    | '\n' ->
+        let p = pos st in
+        newline st;
+        { tok = Token.NEWLINE; tpos = p }
+    | '.' when peek2 st = '.' && st.off + 2 < String.length st.src
+               && st.src.[st.off + 2] = '.' ->
+        skip_continuation st;
+        next st
+    | c when is_digit c -> lex_number st
+    | '.' when is_digit (peek2 st) -> lex_number st
+    | c when is_alpha c -> lex_ident st
+    | '\'' ->
+        if quote_is_transpose st.prev then simple Token.QUOTE
+        else lex_string st
+    | '+' -> simple Token.PLUS
+    | '-' -> simple Token.MINUS
+    | '*' -> simple Token.STAR
+    | '/' -> simple Token.SLASH
+    | '\\' -> simple Token.BACKSLASH
+    | '^' -> simple Token.CARET
+    | '(' -> simple Token.LPAREN
+    | ')' -> simple Token.RPAREN
+    | '[' -> simple Token.LBRACKET
+    | ']' -> simple Token.RBRACKET
+    | ',' -> simple Token.COMMA
+    | ';' -> simple Token.SEMI
+    | ':' -> simple Token.COLON
+    | '.' -> (
+        match peek2 st with
+        | '*' -> double Token.DOTSTAR
+        | '/' -> double Token.DOTSLASH
+        | '\\' -> double Token.DOTBACKSLASH
+        | '^' -> double Token.DOTCARET
+        | '\'' -> double Token.DOTQUOTE
+        | _ -> Source.error (pos st) "unexpected '.'")
+    | '<' -> if peek2 st = '=' then double Token.LE else simple Token.LT
+    | '>' -> if peek2 st = '=' then double Token.GE else simple Token.GT
+    | '=' -> if peek2 st = '=' then double Token.EQEQ else simple Token.ASSIGN
+    | '~' -> if peek2 st = '=' then double Token.NE else simple Token.TILDE
+    | '&' -> if peek2 st = '&' then double Token.AMPAMP else simple Token.AMP
+    | '|' -> if peek2 st = '|' then double Token.BARBAR else simple Token.BAR
+    | c -> Source.error (pos st) "unexpected character %C" c
+
+(* [tokens src] lexes the whole source to an array of tokens with their
+   positions, always terminated by EOF. *)
+let tokens src =
+  let st = make src in
+  let acc = ref [] in
+  let rec loop () =
+    let lx = next st in
+    st.prev <- lx.tok;
+    acc := lx :: !acc;
+    match lx.tok with Token.EOF -> () | _ -> loop ()
+  in
+  loop ();
+  Array.of_list (List.rev !acc)

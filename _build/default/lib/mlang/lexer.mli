@@ -1,0 +1,7 @@
+(** Hand-written lexer for the MATLAB subset. *)
+
+type lexed = { tok : Token.t; tpos : Source.pos }
+
+(** [tokens src] lexes [src] into an array terminated by [Token.EOF].
+    Raises {!Source.Error} on malformed input. *)
+val tokens : string -> lexed array

@@ -1,0 +1,494 @@
+(* Recursive-descent parser for the MATLAB subset.
+
+   Operator precedence (loosest to tightest), matching MATLAB:
+     ||  &&  |  &  comparisons  :  + -  * / \ .* ./ .\  unary + - ~
+     ^ .^  postfix transpose
+
+   'end' is a valid expression atom only inside an index argument list;
+   [st.in_index] counts the nesting of such lists. *)
+
+type state = {
+  toks : Lexer.lexed array;
+  mutable i : int;
+  mutable in_index : int;
+}
+
+let cur st = st.toks.(st.i).Lexer.tok
+let cur_pos st = st.toks.(st.i).Lexer.tpos
+let advance st = if st.i < Array.length st.toks - 1 then st.i <- st.i + 1
+
+let expect st tok =
+  if cur st = tok then advance st
+  else
+    Source.error (cur_pos st) "expected %s but found %s" (Token.to_string tok)
+      (Token.to_string (cur st))
+
+let expect_ident st =
+  match cur st with
+  | Token.IDENT name ->
+      advance st;
+      name
+  | t -> Source.error (cur_pos st) "expected identifier, found %s" (Token.to_string t)
+
+(* Skip statement separators. *)
+let rec skip_seps st =
+  match cur st with
+  | Token.NEWLINE | Token.SEMI | Token.COMMA ->
+      advance st;
+      skip_seps st
+  | _ -> ()
+
+let rec skip_newlines st =
+  match cur st with
+  | Token.NEWLINE ->
+      advance st;
+      skip_newlines st
+  | _ -> ()
+
+(* --- expressions ------------------------------------------------------ *)
+
+let rec parse_expr st = parse_shortor st
+
+and parse_left_assoc st parse_sub table =
+  let rec loop lhs =
+    match List.assoc_opt (cur st) table with
+    | Some op ->
+        let pos = cur_pos st in
+        advance st;
+        let rhs = parse_sub st in
+        loop (Ast.mk ~pos (Ast.Binop (op, lhs, rhs)))
+    | None -> lhs
+  in
+  loop (parse_sub st)
+
+and parse_shortor st =
+  parse_left_assoc st parse_shortand [ (Token.BARBAR, Ast.Shortor) ]
+
+and parse_shortand st =
+  parse_left_assoc st parse_or [ (Token.AMPAMP, Ast.Shortand) ]
+
+and parse_or st = parse_left_assoc st parse_and [ (Token.BAR, Ast.Or) ]
+and parse_and st = parse_left_assoc st parse_cmp [ (Token.AMP, Ast.And) ]
+
+and parse_cmp st =
+  parse_left_assoc st parse_range
+    [
+      (Token.LT, Ast.Lt);
+      (Token.LE, Ast.Le);
+      (Token.GT, Ast.Gt);
+      (Token.GE, Ast.Ge);
+      (Token.EQEQ, Ast.Eq);
+      (Token.NE, Ast.Ne);
+    ]
+
+and parse_range st =
+  let first = parse_additive st in
+  if cur st <> Token.COLON then first
+  else begin
+    let pos = cur_pos st in
+    advance st;
+    let second = parse_additive st in
+    if cur st <> Token.COLON then Ast.mk ~pos (Ast.Range (first, None, second))
+    else begin
+      advance st;
+      let third = parse_additive st in
+      Ast.mk ~pos (Ast.Range (first, Some second, third))
+    end
+  end
+
+and parse_additive st =
+  parse_left_assoc st parse_mul [ (Token.PLUS, Ast.Add); (Token.MINUS, Ast.Sub) ]
+
+and parse_mul st =
+  parse_left_assoc st parse_unary
+    [
+      (Token.STAR, Ast.Mul);
+      (Token.SLASH, Ast.Div);
+      (Token.BACKSLASH, Ast.Ldiv);
+      (Token.DOTSTAR, Ast.Emul);
+      (Token.DOTSLASH, Ast.Ediv);
+      (Token.DOTBACKSLASH, Ast.Eldiv);
+    ]
+
+and parse_unary st =
+  match cur st with
+  | Token.MINUS ->
+      let pos = cur_pos st in
+      advance st;
+      Ast.mk ~pos (Ast.Unop (Ast.Neg, parse_unary st))
+  | Token.PLUS ->
+      let pos = cur_pos st in
+      advance st;
+      Ast.mk ~pos (Ast.Unop (Ast.Uplus, parse_unary st))
+  | Token.TILDE ->
+      let pos = cur_pos st in
+      advance st;
+      Ast.mk ~pos (Ast.Unop (Ast.Not, parse_unary st))
+  | _ -> parse_power st
+
+and parse_power st =
+  let rec loop lhs =
+    match cur st with
+    | Token.CARET | Token.DOTCARET ->
+        let op = if cur st = Token.CARET then Ast.Pow else Ast.Epow in
+        let pos = cur_pos st in
+        advance st;
+        (* The exponent may carry a unary sign, as in 2^-3. *)
+        let rhs = parse_power_operand st in
+        loop (Ast.mk ~pos (Ast.Binop (op, lhs, rhs)))
+    | _ -> lhs
+  in
+  loop (parse_postfix st)
+
+and parse_power_operand st =
+  match cur st with
+  | Token.MINUS ->
+      let pos = cur_pos st in
+      advance st;
+      Ast.mk ~pos (Ast.Unop (Ast.Neg, parse_power_operand st))
+  | Token.PLUS ->
+      advance st;
+      parse_power_operand st
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec loop e =
+    match cur st with
+    | Token.QUOTE ->
+        let pos = cur_pos st in
+        advance st;
+        loop (Ast.mk ~pos (Ast.Unop (Ast.Ctranspose, e)))
+    | Token.DOTQUOTE ->
+        let pos = cur_pos st in
+        advance st;
+        loop (Ast.mk ~pos (Ast.Unop (Ast.Transpose, e)))
+    | _ -> e
+  in
+  loop (parse_primary st)
+
+and parse_primary st =
+  let pos = cur_pos st in
+  match cur st with
+  | Token.NUM f ->
+      advance st;
+      Ast.mk ~pos (Ast.Num f)
+  | Token.STR s ->
+      advance st;
+      Ast.mk ~pos (Ast.Str s)
+  | Token.IDENT name ->
+      advance st;
+      if cur st = Token.LPAREN then begin
+        advance st;
+        let args = parse_args st in
+        expect st Token.RPAREN;
+        Ast.mk ~pos (Ast.Apply (name, args))
+      end
+      else Ast.mk ~pos (Ast.Ident name)
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      e
+  | Token.LBRACKET ->
+      advance st;
+      let rows = parse_matrix_rows st in
+      expect st Token.RBRACKET;
+      Ast.mk ~pos (Ast.Matrix rows)
+  | Token.KEND when st.in_index > 0 ->
+      advance st;
+      Ast.mk ~pos Ast.End_marker
+  | t -> Source.error pos "unexpected %s in expression" (Token.to_string t)
+
+(* Index/call argument list; a bare ':' argument denotes a whole
+   dimension. *)
+and parse_args st =
+  if cur st = Token.RPAREN then []
+  else begin
+    st.in_index <- st.in_index + 1;
+    let parse_arg () =
+      match cur st with
+      | Token.COLON
+        when st.toks.(st.i + 1).Lexer.tok = Token.COMMA
+             || st.toks.(st.i + 1).Lexer.tok = Token.RPAREN ->
+          let pos = cur_pos st in
+          advance st;
+          Ast.mk ~pos Ast.Colon
+      | _ -> parse_expr st
+    in
+    let rec loop acc =
+      let arg = parse_arg () in
+      if cur st = Token.COMMA then begin
+        advance st;
+        loop (arg :: acc)
+      end
+      else List.rev (arg :: acc)
+    in
+    let args = loop [] in
+    st.in_index <- st.in_index - 1;
+    args
+  end
+
+and parse_matrix_rows st =
+  skip_newlines st;
+  if cur st = Token.RBRACKET then []
+  else begin
+    let rec parse_row acc =
+      let e = parse_expr st in
+      if cur st = Token.COMMA then begin
+        advance st;
+        parse_row (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    let rec loop rows =
+      let row = parse_row [] in
+      match cur st with
+      | Token.SEMI | Token.NEWLINE ->
+          skip_seps_in_matrix st;
+          if cur st = Token.RBRACKET then List.rev (row :: rows)
+          else loop (row :: rows)
+      | _ -> List.rev (row :: rows)
+    in
+    loop []
+  end
+
+and skip_seps_in_matrix st =
+  match cur st with
+  | Token.SEMI | Token.NEWLINE ->
+      advance st;
+      skip_seps_in_matrix st
+  | _ -> ()
+
+(* --- statements ------------------------------------------------------- *)
+
+(* The display flag: an assignment or expression statement echoes its
+   result unless terminated by ';'. *)
+let parse_display st =
+  match cur st with
+  | Token.SEMI ->
+      advance st;
+      false
+  | _ -> true
+
+let lhs_of_expr (e : Ast.expr) =
+  match e.desc with
+  | Ast.Ident name -> { Ast.lv_name = name; lv_indices = None; lv_pos = e.epos }
+  | Ast.Apply (name, args) ->
+      { Ast.lv_name = name; lv_indices = Some args; lv_pos = e.epos }
+  | _ -> Source.error e.epos "invalid assignment target"
+
+let rec parse_stmt st : Ast.stmt =
+  let pos = cur_pos st in
+  match cur st with
+  | Token.KIF ->
+      advance st;
+      let rec parse_branches () =
+        let cond = parse_expr st in
+        skip_seps st;
+        let body = parse_block st in
+        match cur st with
+        | Token.KELSEIF ->
+            advance st;
+            let rest, els = parse_branches () in
+            ((cond, body) :: rest, els)
+        | Token.KELSE ->
+            advance st;
+            skip_seps st;
+            let els = parse_block st in
+            expect st Token.KEND;
+            ([ (cond, body) ], els)
+        | Token.KEND ->
+            advance st;
+            ([ (cond, body) ], [])
+        | t ->
+            Source.error (cur_pos st) "expected elseif/else/end, found %s"
+              (Token.to_string t)
+      in
+      let bs, els = parse_branches () in
+      Ast.mk_stmt ~pos (Ast.If (bs, els))
+  | Token.KWHILE ->
+      advance st;
+      let cond = parse_expr st in
+      skip_seps st;
+      let body = parse_block st in
+      expect st Token.KEND;
+      Ast.mk_stmt ~pos (Ast.While (cond, body))
+  | Token.KFOR ->
+      advance st;
+      let var = expect_ident st in
+      expect st Token.ASSIGN;
+      let range = parse_expr st in
+      skip_seps st;
+      let body = parse_block st in
+      expect st Token.KEND;
+      Ast.mk_stmt ~pos (Ast.For (var, range, body))
+  | Token.KBREAK ->
+      advance st;
+      Ast.mk_stmt ~pos Ast.Break
+  | Token.KCONTINUE ->
+      advance st;
+      Ast.mk_stmt ~pos Ast.Continue
+  | Token.KRETURN ->
+      advance st;
+      Ast.mk_stmt ~pos Ast.Return
+  | Token.LBRACKET -> (
+      (* Could be [a, b] = f(...) or a matrix-literal expression. *)
+      match try_multi_assign st pos with
+      | Some stmt -> stmt
+      | None -> parse_simple_stmt st pos)
+  | _ -> parse_simple_stmt st pos
+
+and parse_simple_stmt st pos =
+  let e = parse_expr st in
+  if cur st = Token.ASSIGN then begin
+    advance st;
+    let lhs = lhs_of_expr e in
+    let rhs = parse_expr st in
+    let display = parse_display st in
+    Ast.mk_stmt ~pos (Ast.Assign (lhs, rhs, display))
+  end
+  else
+    let display = parse_display st in
+    Ast.mk_stmt ~pos (Ast.Expr (e, display))
+
+and try_multi_assign st pos =
+  let save = st.i in
+  let rollback () =
+    st.i <- save;
+    None
+  in
+  (* LBRACKET lvalue (, lvalue)* RBRACKET ASSIGN *)
+  advance st;
+  let parse_lvalue () =
+    match cur st with
+    | Token.IDENT name ->
+        advance st;
+        if cur st = Token.LPAREN then begin
+          advance st;
+          let args = parse_args st in
+          if cur st = Token.RPAREN then begin
+            advance st;
+            Some { Ast.lv_name = name; lv_indices = Some args; lv_pos = pos }
+          end
+          else None
+        end
+        else Some { Ast.lv_name = name; lv_indices = None; lv_pos = pos }
+    | _ -> None
+  in
+  let rec collect acc =
+    match parse_lvalue () with
+    | None -> None
+    | Some lv -> (
+        match cur st with
+        | Token.COMMA ->
+            advance st;
+            collect (lv :: acc)
+        | Token.RBRACKET ->
+            advance st;
+            Some (List.rev (lv :: acc))
+        | _ -> None)
+  in
+  match collect [] with
+  | Some lhss when cur st = Token.ASSIGN ->
+      advance st;
+      let rhs = parse_expr st in
+      let display = parse_display st in
+      Some (Ast.mk_stmt ~pos (Ast.Multi_assign (lhss, rhs, display)))
+  | _ -> rollback ()
+
+and parse_block st : Ast.block =
+  skip_seps st;
+  let rec loop acc =
+    match cur st with
+    | Token.KEND | Token.KELSE | Token.KELSEIF | Token.KFUNCTION | Token.EOF ->
+        List.rev acc
+    | _ ->
+        let s = parse_stmt st in
+        skip_seps st;
+        loop (s :: acc)
+  in
+  loop []
+
+(* --- functions and programs ------------------------------------------ *)
+
+let parse_function st : Ast.func =
+  expect st Token.KFUNCTION;
+  let returns, name =
+    match cur st with
+    | Token.LBRACKET ->
+        advance st;
+        let rec rets acc =
+          let r = expect_ident st in
+          match cur st with
+          | Token.COMMA ->
+              advance st;
+              rets (r :: acc)
+          | _ ->
+              expect st Token.RBRACKET;
+              List.rev (r :: acc)
+        in
+        let rs = rets [] in
+        expect st Token.ASSIGN;
+        let name = expect_ident st in
+        (rs, name)
+    | Token.IDENT first -> (
+        advance st;
+        match cur st with
+        | Token.ASSIGN ->
+            advance st;
+            let name = expect_ident st in
+            ([ first ], name)
+        | _ -> ([], first))
+    | t ->
+        Source.error (cur_pos st) "expected function name, found %s"
+          (Token.to_string t)
+  in
+  let params =
+    if cur st = Token.LPAREN then begin
+      advance st;
+      if cur st = Token.RPAREN then begin
+        advance st;
+        []
+      end
+      else begin
+        let rec ps acc =
+          let p = expect_ident st in
+          match cur st with
+          | Token.COMMA ->
+              advance st;
+              ps (p :: acc)
+          | _ ->
+              expect st Token.RPAREN;
+              List.rev (p :: acc)
+        in
+        ps []
+      end
+    end
+    else []
+  in
+  let body = parse_block st in
+  if cur st = Token.KEND then advance st;
+  { Ast.fname = name; params; returns; fbody = body }
+
+let parse_program src : Ast.program =
+  let st = { toks = Lexer.tokens src; i = 0; in_index = 0 } in
+  skip_seps st;
+  let script = parse_block st in
+  let rec funcs acc =
+    skip_seps st;
+    match cur st with
+    | Token.KFUNCTION -> funcs (parse_function st :: acc)
+    | Token.EOF -> List.rev acc
+    | t ->
+        Source.error (cur_pos st) "unexpected %s after script body"
+          (Token.to_string t)
+  in
+  { Ast.script; funcs = funcs [] }
+
+let parse_expr_string src =
+  let st = { toks = Lexer.tokens src; i = 0; in_index = 0 } in
+  let e = parse_expr st in
+  skip_seps st;
+  if cur st <> Token.EOF then
+    Source.error (cur_pos st) "trailing input after expression";
+  e

@@ -1,0 +1,9 @@
+(** Recursive-descent parser for the MATLAB subset. *)
+
+(** [parse_program src] parses a whole M-file: script statements followed
+    by optional function definitions. Raises {!Source.Error}. *)
+val parse_program : string -> Ast.program
+
+(** [parse_expr_string src] parses a single expression (used by tests and
+    the REPL-style examples). Raises {!Source.Error}. *)
+val parse_expr_string : string -> Ast.expr

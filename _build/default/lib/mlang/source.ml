@@ -1,0 +1,15 @@
+(* Source positions and front-end error reporting. *)
+
+type pos = { line : int; col : int }
+
+let no_pos = { line = 0; col = 0 }
+
+let pp_pos ppf { line; col } = Fmt.pf ppf "%d:%d" line col
+
+exception Error of pos * string
+
+let error pos fmt = Fmt.kstr (fun msg -> raise (Error (pos, msg))) fmt
+
+let describe = function
+  | Error (pos, msg) -> Some (Fmt.str "%a: %s" pp_pos pos msg)
+  | _ -> None

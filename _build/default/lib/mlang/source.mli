@@ -1,0 +1,15 @@
+(** Source positions and front-end error reporting. *)
+
+type pos = { line : int; col : int }
+
+val no_pos : pos
+val pp_pos : pos Fmt.t
+
+(** Raised by the lexer, parser and later passes for user-program errors. *)
+exception Error of pos * string
+
+(** [error pos fmt ...] raises {!Error} with a formatted message. *)
+val error : pos -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** [describe exn] renders an {!Error} as ["line:col: message"]. *)
+val describe : exn -> string option

@@ -1,0 +1,97 @@
+(* Lexical tokens for the MATLAB subset. *)
+
+type t =
+  | NUM of float
+  | STR of string
+  | IDENT of string
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | BACKSLASH
+  | CARET
+  | DOTSTAR
+  | DOTSLASH
+  | DOTBACKSLASH
+  | DOTCARET
+  | QUOTE (* ' as transpose *)
+  | DOTQUOTE (* .' *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NE
+  | AMP
+  | BAR
+  | AMPAMP
+  | BARBAR
+  | TILDE
+  | ASSIGN
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | COLON
+  | NEWLINE
+  | KIF
+  | KELSEIF
+  | KELSE
+  | KEND
+  | KWHILE
+  | KFOR
+  | KBREAK
+  | KCONTINUE
+  | KRETURN
+  | KFUNCTION
+  | EOF
+
+let to_string = function
+  | NUM f -> Fmt.str "number %g" f
+  | STR s -> Fmt.str "string '%s'" s
+  | IDENT s -> Fmt.str "identifier %s" s
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | BACKSLASH -> "'\\'"
+  | CARET -> "'^'"
+  | DOTSTAR -> "'.*'"
+  | DOTSLASH -> "'./'"
+  | DOTBACKSLASH -> "'.\\'"
+  | DOTCARET -> "'.^'"
+  | QUOTE -> "transpose '"
+  | DOTQUOTE -> "transpose .'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EQEQ -> "'=='"
+  | NE -> "'~='"
+  | AMP -> "'&'"
+  | BAR -> "'|'"
+  | AMPAMP -> "'&&'"
+  | BARBAR -> "'||'"
+  | TILDE -> "'~'"
+  | ASSIGN -> "'='"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | COLON -> "':'"
+  | NEWLINE -> "newline"
+  | KIF -> "'if'"
+  | KELSEIF -> "'elseif'"
+  | KELSE -> "'else'"
+  | KEND -> "'end'"
+  | KWHILE -> "'while'"
+  | KFOR -> "'for'"
+  | KBREAK -> "'break'"
+  | KCONTINUE -> "'continue'"
+  | KRETURN -> "'return'"
+  | KFUNCTION -> "'function'"
+  | EOF -> "end of input"

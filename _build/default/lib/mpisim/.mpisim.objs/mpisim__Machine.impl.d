@@ -1,0 +1,1 @@
+lib/mpisim/machine.ml: List String

@@ -1,0 +1,1 @@
+lib/mpisim/sim.ml: Array Buffer Effect Float Hashtbl Machine Printf Queue

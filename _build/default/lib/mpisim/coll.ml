@@ -1,0 +1,200 @@
+(* Collective operations built from point-to-point messages, so their
+   cost emerges from the machine's link model.  All ranks must call the
+   same collectives in the same order (the compiled programs are loosely
+   synchronous, which guarantees this).
+
+   Broadcast and reduce use binomial trees (log P rounds); allgather
+   uses a ring (P-1 rounds of neighbour exchange), which was the
+   standard implementation on mid-90s MPI stacks. *)
+
+type op = Sum | Prod | Min | Max | Land | Lor
+
+let apply_op op a b =
+  match op with
+  | Sum -> a +. b
+  | Prod -> a *. b
+  | Min -> Float.min a b
+  | Max -> Float.max a b
+  | Land -> if a <> 0. && b <> 0. then 1. else 0.
+  | Lor -> if a <> 0. || b <> 0. then 1. else 0.
+
+let tag_bcast = 1001
+let tag_reduce = 1002
+let tag_gather = 1003
+let tag_ring = 1004
+
+(* Binomial-tree broadcast of a float array rooted at [root]. *)
+let bcast ~root (data : float array) : float array =
+  let p = Sim.size () in
+  if p = 1 then data
+  else begin
+    let me = Sim.rank () in
+    let rel = (me - root + p) mod p in
+    let buf = ref (if me = root then data else [||]) in
+    let mask = ref 1 in
+    (* Find the round in which we receive: highest bit of rel. *)
+    (if rel > 0 then begin
+       let recv_mask = ref 1 in
+       while !recv_mask * 2 <= rel do
+         recv_mask := !recv_mask * 2
+       done;
+       let src_rel = rel - !recv_mask in
+       let src = (src_rel + root) mod p in
+       buf := Sim.recv_floats ~src ~tag:tag_bcast;
+       mask := !recv_mask * 2
+     end);
+    (* Forward to children in the remaining rounds. *)
+    while !mask < p do
+      let dst_rel = rel + !mask in
+      if rel < !mask && dst_rel < p then begin
+        let dst = (dst_rel + root) mod p in
+        Sim.send ~dst ~tag:tag_bcast (Sim.Floats !buf)
+      end;
+      mask := !mask * 2
+    done;
+    !buf
+  end
+
+(* Linear broadcast: the root sends to every rank directly.  Kept as
+   the ablation baseline for the binomial tree above (O(P) root serial
+   time instead of O(log P) rounds). *)
+let bcast_linear ~root (data : float array) : float array =
+  let p = Sim.size () in
+  let me = Sim.rank () in
+  if p = 1 then data
+  else if me = root then begin
+    for dst = 0 to p - 1 do
+      if dst <> root then Sim.send ~dst ~tag:tag_bcast (Sim.Floats data)
+    done;
+    data
+  end
+  else Sim.recv_floats ~src:root ~tag:tag_bcast
+
+(* Binomial-tree reduction to [root]; every rank contributes [data],
+   the root's return value holds the element-wise combination.  Other
+   ranks get their partial result (callers use allreduce when everyone
+   needs the answer). *)
+let reduce ~root ~op (data : float array) : float array =
+  let p = Sim.size () in
+  if p = 1 then data
+  else begin
+    let me = Sim.rank () in
+    let rel = (me - root + p) mod p in
+    let acc = Array.copy data in
+    let len = Array.length data in
+    let mask = ref 1 in
+    let sent = ref false in
+    while (not !sent) && !mask < p do
+      if rel land !mask <> 0 then begin
+        let dst = (rel - !mask + root) mod p in
+        Sim.send ~dst ~tag:tag_reduce (Sim.Floats acc);
+        sent := true
+      end
+      else begin
+        let src_rel = rel + !mask in
+        if src_rel < p then begin
+          let src = (src_rel + root) mod p in
+          let other = Sim.recv_floats ~src ~tag:tag_reduce in
+          for i = 0 to len - 1 do
+            acc.(i) <- apply_op op acc.(i) other.(i)
+          done;
+          Sim.flops (float_of_int len)
+        end;
+        mask := !mask * 2
+      end
+    done;
+    acc
+  end
+
+let allreduce ~op data =
+  let root = 0 in
+  let reduced = reduce ~root ~op data in
+  bcast ~root reduced
+
+let barrier () = ignore (allreduce ~op:Sum [| 0. |])
+
+(* Gather variable-sized blocks to [root]; the root receives blocks in
+   rank order and returns the concatenation, other ranks return [||]. *)
+let gatherv ~root ~counts (local : float array) : float array =
+  let p = Sim.size () in
+  let me = Sim.rank () in
+  if p = 1 then Array.copy local
+  else if me = root then begin
+    let total = Array.fold_left ( + ) 0 counts in
+    let out = Array.make total 0. in
+    let off = ref 0 in
+    for r = 0 to p - 1 do
+      let block =
+        if r = root then local else Sim.recv_floats ~src:r ~tag:tag_gather
+      in
+      Array.blit block 0 out !off counts.(r);
+      off := !off + counts.(r)
+    done;
+    out
+  end
+  else begin
+    Sim.send ~dst:root ~tag:tag_gather (Sim.Floats local);
+    [||]
+  end
+
+(* Ring allgather of variable-sized blocks: after P-1 steps every rank
+   holds the concatenation of all blocks in rank order. *)
+let allgatherv ~counts (local : float array) : float array =
+  let p = Sim.size () in
+  let me = Sim.rank () in
+  if Array.length local <> counts.(me) then
+    invalid_arg "allgatherv: local block size disagrees with counts";
+  if p = 1 then Array.copy local
+  else begin
+    let total = Array.fold_left ( + ) 0 counts in
+    let offsets = Array.make p 0 in
+    for r = 1 to p - 1 do
+      offsets.(r) <- offsets.(r - 1) + counts.(r - 1)
+    done;
+    let out = Array.make total 0. in
+    Array.blit local 0 out offsets.(me) counts.(me);
+    let right = (me + 1) mod p and left = (me - 1 + p) mod p in
+    (* At step s we forward the block of rank (me - s + p) mod p. *)
+    let current = ref (Array.copy local) in
+    for s = 1 to p - 1 do
+      Sim.send ~dst:right ~tag:tag_ring (Sim.Floats !current);
+      let incoming = Sim.recv_floats ~src:left ~tag:tag_ring in
+      let owner = (me - s + p) mod p in
+      Array.blit incoming 0 out offsets.(owner) counts.(owner);
+      current := incoming
+    done;
+    out
+  end
+
+let tag_scan = 1005
+
+(* Exclusive prefix scan of one scalar per rank (recursive doubling,
+   log P rounds): rank r returns the op-fold of ranks 0..r-1's values
+   ([identity] on rank 0).  Each round carries the running *inclusive*
+   value so prefixes compose associatively. *)
+let exscan ~op ~identity (x : float) : float =
+  let p = Sim.size () in
+  let me = Sim.rank () in
+  let excl = ref identity and incl = ref x in
+  let d = ref 1 in
+  while !d < p do
+    if me + !d < p then
+      Sim.send ~dst:(me + !d) ~tag:tag_scan (Sim.Floats [| !incl |]);
+    if me - !d >= 0 then begin
+      match Sim.recv_floats ~src:(me - !d) ~tag:tag_scan with
+      | [| below_incl |] ->
+          excl := apply_op op below_incl !excl;
+          incl := apply_op op below_incl !incl;
+          Sim.flops 2.
+      | _ -> failwith "exscan: bad payload"
+    end;
+    d := !d * 2
+  done;
+  !excl
+
+(* Scalar conveniences used by the run-time library. *)
+let allreduce_scalar ~op x =
+  match allreduce ~op [| x |] with [| y |] -> y | _ -> assert false
+
+let bcast_scalar ~root x =
+  match bcast ~root [| x |] with [| y |] -> y | _ -> assert false

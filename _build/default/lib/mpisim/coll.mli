@@ -1,0 +1,30 @@
+(** Collective operations built from point-to-point messages, so their
+    cost emerges from the machine's link model.  All ranks must call
+    the same collectives in the same order. *)
+
+type op = Sum | Prod | Min | Max | Land | Lor
+
+val bcast : root:int -> float array -> float array
+(** Binomial-tree broadcast; every rank returns the root's data. *)
+
+val bcast_linear : root:int -> float array -> float array
+(** Root sends to each rank directly; the ablation baseline. *)
+
+val reduce : root:int -> op:op -> float array -> float array
+(** Binomial-tree reduction; meaningful on the root only. *)
+
+val allreduce : op:op -> float array -> float array
+val allreduce_scalar : op:op -> float -> float
+val bcast_scalar : root:int -> float -> float
+val barrier : unit -> unit
+
+val gatherv : root:int -> counts:int array -> float array -> float array
+(** Concatenate per-rank blocks (rank order) on the root; other ranks
+    return [[||]]. *)
+
+val allgatherv : counts:int array -> float array -> float array
+(** Ring allgather: every rank returns the full concatenation. *)
+
+val exscan : op:op -> identity:float -> float -> float
+(** Exclusive prefix scan of one scalar per rank (recursive doubling):
+    rank r gets the op-fold of ranks 0..r-1, [identity] on rank 0. *)

@@ -1,0 +1,128 @@
+(* Models of the paper's three parallel test beds.
+
+   A machine gives per-rank compute speed and, for every (src, dst) rank
+   pair, a link: latency, bandwidth, and an optional contention channel.
+   Messages crossing the same channel serialize; a dedicated link (no
+   channel) never queues.  The numbers are representative of 1997-era
+   hardware; the evaluation cares about ratios (grain size versus
+   communication cost), which these preserve. *)
+
+type link = {
+  latency : float; (* seconds, end to end *)
+  bandwidth : float; (* bytes per second *)
+  channel : int option; (* contention domain; None = dedicated *)
+}
+
+type t = {
+  name : string;
+  max_procs : int;
+  flop_time : float; (* seconds per floating-point operation *)
+  interp_overhead : float; (* interpreter per-operation dispatch cost, s *)
+  send_overhead : float; (* CPU time consumed by a send *)
+  recv_overhead : float; (* CPU time consumed by a matched receive *)
+  link : int -> int -> link;
+}
+
+let mflops x = 1.0 /. (x *. 1e6)
+let mbytes x = x *. 1e6
+
+(* Meiko CS-2: 16 nodes, fat-tree network with dedicated per-pair
+   bandwidth; the best-balanced machine of the three (paper section 6). *)
+let meiko_cs2 =
+  let link _ _ = { latency = 45e-6; bandwidth = mbytes 40.; channel = None } in
+  {
+    name = "Meiko CS-2";
+    max_procs = 16;
+    flop_time = mflops 25.;
+    interp_overhead = 1.2e-6;
+    send_overhead = 12e-6;
+    recv_overhead = 12e-6;
+    link;
+  }
+
+(* Sun Enterprise SMP: 8 CPUs over a shared memory bus.  Message passing
+   maps to memory copies: very low latency, high bandwidth, but a single
+   shared bus (channel 0) that serializes transfers. *)
+let enterprise_smp =
+  let link _ _ =
+    { latency = 2.5e-6; bandwidth = mbytes 180.; channel = Some 0 }
+  in
+  {
+    name = "Sun Enterprise SMP";
+    max_procs = 8;
+    flop_time = mflops 30.;
+    interp_overhead = 1.0e-6;
+    send_overhead = 2e-6;
+    recv_overhead = 2e-6;
+    link;
+  }
+
+(* Cluster of four SPARCserver 20 SMPs (4 CPUs each) on one 10 Mb/s
+   Ethernet.  Intra-node transfers use the node's bus (channel = node);
+   inter-node transfers share the single Ethernet segment (channel 100),
+   whose high latency and low bandwidth damp speedup beyond 4 CPUs --
+   the paper's observation. *)
+let sparc20_cluster =
+  let node r = r / 4 in
+  let link src dst =
+    if node src = node dst then
+      { latency = 4e-6; bandwidth = mbytes 100.; channel = Some (node src) }
+    else { latency = 800e-6; bandwidth = mbytes 1.0; channel = Some 100 }
+  in
+  {
+    name = "SPARC-20 SMP cluster";
+    max_procs = 16;
+    flop_time = mflops 15.;
+    interp_overhead = 1.6e-6;
+    send_overhead = 10e-6;
+    recv_overhead = 10e-6;
+    link;
+  }
+
+(* Single-workstation model used for the sequential comparisons of
+   Figure 2 (one UltraSPARC CPU of the Meiko CS-2). *)
+let workstation =
+  let link _ _ = { latency = 1e-6; bandwidth = mbytes 200.; channel = None } in
+  {
+    name = "UltraSPARC workstation";
+    max_procs = 1;
+    flop_time = mflops 25.;
+    interp_overhead = 1.2e-6;
+    send_overhead = 0.;
+    recv_overhead = 0.;
+    link;
+  }
+
+(* Extrapolation beyond the paper: a 1999-era Beowulf -- 16 commodity
+   PCs on switched fast Ethernet.  CPUs are ~5x faster than the CS-2
+   nodes but the TCP/IP latency is also ~3x worse, so the
+   compute/communication balance the paper analyzes shifts again. *)
+let beowulf =
+  let link _ _ =
+    { latency = 120e-6; bandwidth = mbytes 11.; channel = None }
+  in
+  {
+    name = "Beowulf (1999)";
+    max_procs = 16;
+    flop_time = mflops 120.;
+    interp_overhead = 0.4e-6;
+    send_overhead = 25e-6;
+    recv_overhead = 25e-6;
+    link;
+  }
+
+let all = [ meiko_cs2; enterprise_smp; sparc20_cluster ]
+
+let by_name name =
+  let norm s = String.lowercase_ascii s in
+  List.find_opt
+    (fun m ->
+      norm m.name = norm name
+      ||
+      match norm name with
+      | "meiko" | "cs2" | "cs-2" -> m == meiko_cs2
+      | "smp" | "enterprise" -> m == enterprise_smp
+      | "cluster" | "sparc20" -> m == sparc20_cluster
+      | "beowulf" -> m == beowulf
+      | _ -> false)
+    (workstation :: beowulf :: all)

@@ -1,0 +1,278 @@
+(* Discrete-event SPMD simulator built on OCaml effect handlers.
+
+   Every simulated rank is a delimited computation.  Communication and
+   time are effects:
+
+   - [Compute t] advances the rank's virtual clock (handled inline);
+   - [Send] timestamps a message using the machine's link model --
+     including serialization on shared channels -- and delivers it to
+     the destination mailbox (non-blocking, eager; handled inline);
+   - [Recv] pops a matching message if present (inline), otherwise
+     suspends the rank's continuation until a sender delivers one.
+
+   The scheduler resumes runnable ranks lowest-virtual-clock first and
+   reports a deadlock (with a per-rank diagnosis) if every live rank is
+   suspended on an empty mailbox.  Everything is deterministic: same
+   program, same machine, same timings. *)
+
+open Effect
+open Effect.Deep
+
+type payload = Floats of float array | Ints of int array
+
+let payload_bytes = function
+  | Floats a -> 8 * Array.length a
+  | Ints a -> 8 * Array.length a
+
+type _ Effect.t +=
+  | E_send : int * int * payload -> unit Effect.t (* dst, tag, data *)
+  | E_recv : int * int -> payload Effect.t (* src, tag *)
+  | E_compute : float -> unit Effect.t (* seconds *)
+  | E_flops : float -> unit Effect.t (* floating-point operations *)
+  | E_rank : int Effect.t
+  | E_size : int Effect.t
+  | E_time : float Effect.t
+
+(* Operations available inside a simulated rank. *)
+let send ~dst ~tag data = perform (E_send (dst, tag, data))
+let recv ~src ~tag = perform (E_recv (src, tag))
+let compute seconds = perform (E_compute seconds)
+let flops n = perform (E_flops n)
+let rank () = perform E_rank
+let size () = perform E_size
+let time () = perform E_time
+
+let recv_floats ~src ~tag =
+  match recv ~src ~tag with
+  | Floats a -> a
+  | Ints _ -> failwith "recv_floats: integer payload"
+
+let recv_ints ~src ~tag =
+  match recv ~src ~tag with
+  | Ints a -> a
+  | Floats _ -> failwith "recv_ints: float payload"
+
+type stats = {
+  mutable messages : int;
+  mutable bytes : int;
+  mutable compute_time : float; (* summed over ranks *)
+}
+
+type report = {
+  makespan : float; (* max over per-rank clocks *)
+  per_rank_clock : float array;
+  messages : int;
+  bytes : int;
+  compute_time : float;
+}
+
+exception Deadlock of string
+
+type 'a run_state = {
+  machine : Machine.t;
+  nprocs : int;
+  clocks : float array;
+  mailboxes : (int * int * int, (float * payload) Queue.t) Hashtbl.t;
+      (* (dst, src, tag) -> queued (arrival, data) *)
+  channel_free : (int, float) Hashtbl.t; (* contention channel -> busy-until *)
+  stats : stats;
+  results : 'a option array;
+}
+
+type 'a suspended =
+  | Finished
+  | Wants_send of int * int * payload * ('a, unit) blocked_k
+      (* send to (dst, tag): performed by the scheduler in global
+         virtual-time order so that shared-channel contention is
+         accounted accurately *)
+  | Wants_recv of int * int * ('a, payload) blocked_k
+      (* waiting on (src, tag) *)
+
+and ('a, 'b) blocked_k = ('b, 'a suspended) continuation
+
+let mailbox st ~dst ~src ~tag =
+  let key = (dst, src, tag) in
+  match Hashtbl.find_opt st.mailboxes key with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.add st.mailboxes key q;
+      q
+
+(* Transfer timing: a message leaves when both the sender and (for a
+   shared medium) the channel are free; it arrives one latency plus one
+   serialization time later. *)
+let deliver st ~src ~dst ~tag data =
+  let data =
+    match data with
+    | Floats a -> Floats (Array.copy a)
+    | Ints a -> Ints (Array.copy a)
+  in
+  let link = st.machine.Machine.link src dst in
+  let bytes = payload_bytes data in
+  let ser = float_of_int bytes /. link.Machine.bandwidth in
+  let start =
+    match link.Machine.channel with
+    | None -> st.clocks.(src)
+    | Some ch ->
+        let free =
+          match Hashtbl.find_opt st.channel_free ch with
+          | Some t -> t
+          | None -> 0.
+        in
+        let start = Float.max st.clocks.(src) free in
+        Hashtbl.replace st.channel_free ch (start +. ser);
+        start
+  in
+  let arrival = start +. link.Machine.latency +. ser in
+  st.clocks.(src) <- st.clocks.(src) +. st.machine.Machine.send_overhead;
+  st.stats.messages <- st.stats.messages + 1;
+  st.stats.bytes <- st.stats.bytes + bytes;
+  Queue.push (arrival, data) (mailbox st ~dst ~src ~tag)
+
+(* Run one rank until it finishes or blocks on an empty mailbox. *)
+let handler st my_rank (body : int -> 'a) : 'a suspended =
+  match_with
+    (fun () ->
+      let v = body my_rank in
+      st.results.(my_rank) <- Some v)
+    ()
+    {
+      retc = (fun () -> Finished);
+      exnc = raise;
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | E_compute t ->
+              Some
+                (fun (k : (b, _) continuation) ->
+                  st.clocks.(my_rank) <- st.clocks.(my_rank) +. t;
+                  st.stats.compute_time <- st.stats.compute_time +. t;
+                  continue k ())
+          | E_flops n ->
+              Some
+                (fun k ->
+                  let t = n *. st.machine.Machine.flop_time in
+                  st.clocks.(my_rank) <- st.clocks.(my_rank) +. t;
+                  st.stats.compute_time <- st.stats.compute_time +. t;
+                  continue k ())
+          | E_rank -> Some (fun k -> continue k my_rank)
+          | E_size -> Some (fun k -> continue k st.nprocs)
+          | E_time -> Some (fun k -> continue k st.clocks.(my_rank))
+          | E_send (dst, tag, data) ->
+              Some
+                (fun k ->
+                  if dst < 0 || dst >= st.nprocs then
+                    invalid_arg "send: bad destination rank";
+                  Wants_send (dst, tag, data, k))
+          | E_recv (src, tag) ->
+              Some
+                (fun k ->
+                  if src < 0 || src >= st.nprocs then
+                    invalid_arg "recv: bad source rank";
+                  Wants_recv (src, tag, k))
+          | _ -> None);
+    }
+
+(* [run ~machine ~nprocs body] simulates [nprocs] SPMD ranks each
+   executing [body rank]; returns their results and the timing report. *)
+let run ~machine ~nprocs (body : int -> 'a) : 'a array * report =
+  if nprocs < 1 then invalid_arg "run: nprocs must be positive";
+  if nprocs > machine.Machine.max_procs then
+    invalid_arg
+      (Printf.sprintf "run: %s has at most %d processors" machine.Machine.name
+         machine.Machine.max_procs);
+  let st =
+    {
+      machine;
+      nprocs;
+      clocks = Array.make nprocs 0.;
+      mailboxes = Hashtbl.create 64;
+      channel_free = Hashtbl.create 8;
+      stats = { messages = 0; bytes = 0; compute_time = 0. };
+      results = Array.make nprocs None;
+    }
+  in
+  (* Cooperative scheduling in virtual-time order: of all ranks that
+     can make progress (initial start, pending send, or a blocked
+     receive whose message has arrived), always resume the one with
+     the smallest virtual clock.  This keeps shared-channel
+     reservations consistent with simulated time. *)
+  let states = Array.make nprocs None in
+  let pending_start = Array.make nprocs true in
+  let can_step r =
+    if pending_start.(r) then true
+    else
+      match states.(r) with
+      | None -> false
+      | Some Finished -> false
+      | Some (Wants_send _) -> true
+      | Some (Wants_recv (src, tag, _)) ->
+          not (Queue.is_empty (mailbox st ~dst:r ~src ~tag))
+  in
+  let finished = ref 0 in
+  let pick () =
+    let best = ref (-1) in
+    for r = nprocs - 1 downto 0 do
+      if can_step r && (!best < 0 || st.clocks.(r) <= st.clocks.(!best)) then
+        best := r
+    done;
+    !best
+  in
+  while !finished < nprocs do
+    let r = pick () in
+    if r < 0 then begin
+      let buf = Buffer.create 128 in
+      Array.iteri
+        (fun rr s ->
+          match s with
+          | Some (Wants_recv (src, tag, _)) ->
+              Buffer.add_string buf
+                (Printf.sprintf "  rank %d waits for (src=%d, tag=%d)\n" rr src
+                   tag)
+          | Some (Wants_send (dst, tag, _, _)) ->
+              Buffer.add_string buf
+                (Printf.sprintf "  rank %d pending send to (dst=%d, tag=%d)\n"
+                   rr dst tag)
+          | Some Finished | None -> ())
+        states;
+      raise (Deadlock (Buffer.contents buf))
+    end;
+    let next =
+      if pending_start.(r) then begin
+        pending_start.(r) <- false;
+        handler st r body
+      end
+      else
+        match states.(r) with
+        | Some (Wants_send (dst, tag, data, k)) ->
+            deliver st ~src:r ~dst ~tag data;
+            continue k ()
+        | Some (Wants_recv (src, tag, k)) ->
+            let q = mailbox st ~dst:r ~src ~tag in
+            let arrival, data = Queue.pop q in
+            st.clocks.(r) <-
+              Float.max st.clocks.(r) arrival
+              +. st.machine.Machine.recv_overhead;
+            continue k data
+        | Some Finished | None -> assert false
+    in
+    states.(r) <- Some next;
+    match next with Finished -> incr finished | _ -> ()
+  done;
+  let results =
+    Array.init nprocs (fun r ->
+        match st.results.(r) with
+        | Some v -> v
+        | None -> failwith "rank finished without result")
+  in
+  let report =
+    {
+      makespan = Array.fold_left Float.max 0. st.clocks;
+      per_rank_clock = Array.copy st.clocks;
+      messages = st.stats.messages;
+      bytes = st.stats.bytes;
+      compute_time = st.stats.compute_time;
+    }
+  in
+  (results, report)

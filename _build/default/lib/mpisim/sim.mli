@@ -1,0 +1,49 @@
+(** Deterministic discrete-event SPMD simulator.
+
+    Every simulated rank is a delimited computation over effect
+    handlers; communication and virtual time are effects.  The
+    scheduler resumes runnable ranks lowest-virtual-clock first, so
+    shared-channel contention is accounted in simulated-time order. *)
+
+type payload = Floats of float array | Ints of int array
+
+val payload_bytes : payload -> int
+
+(** Operations available inside a simulated rank. *)
+
+val send : dst:int -> tag:int -> payload -> unit
+(** Eager, non-blocking; the payload is copied at send time. *)
+
+val recv : src:int -> tag:int -> payload
+(** Blocks until a matching message arrives (FIFO per (src, tag)). *)
+
+val recv_floats : src:int -> tag:int -> float array
+val recv_ints : src:int -> tag:int -> int array
+
+val compute : float -> unit
+(** Advance this rank's virtual clock by the given seconds. *)
+
+val flops : float -> unit
+(** Advance the clock by n floating-point operations at the machine's
+    modeled rate. *)
+
+val rank : unit -> int
+val size : unit -> int
+val time : unit -> float
+
+type report = {
+  makespan : float; (** max over per-rank clocks *)
+  per_rank_clock : float array;
+  messages : int;
+  bytes : int;
+  compute_time : float; (** summed over ranks *)
+}
+
+exception Deadlock of string
+(** Raised when every live rank is blocked on an empty mailbox; the
+    message lists who waits for what. *)
+
+val run : machine:Machine.t -> nprocs:int -> (int -> 'a) -> 'a array * report
+(** [run ~machine ~nprocs body] simulates [nprocs] SPMD ranks each
+    executing [body rank]; returns per-rank results and the timing
+    report.  Deterministic: identical inputs give identical reports. *)

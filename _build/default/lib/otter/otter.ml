@@ -1,0 +1,154 @@
+(* The Otter compiler driver: the paper's multi-pass pipeline as one
+   call, plus helpers to execute the result on the simulated machines,
+   run the sequential baselines, and verify that all back ends agree. *)
+
+module Ty = Analysis.Ty
+
+type compiled = {
+  source : string;
+  ast : Mlang.Ast.program; (* resolved *)
+  info : Analysis.Infer.result;
+  prog : Spmd.Ir.prog; (* after rewriting, guards, peephole *)
+  peephole : Spmd.Peephole.stats;
+}
+
+(* Passes 1-6: scan/parse, resolve, SSA + inference, rewrite, owner
+   guards, peephole. *)
+let compile ?path ?datadir (source : string) : compiled =
+  let ast = Mlang.Parser.parse_program source in
+  let ast = Analysis.Resolve.run ?path ast in
+  let info = Analysis.Infer.program ?datadir ast in
+  let prog = Spmd.Lower.lower_program info ast in
+  let peephole = Spmd.Peephole.fresh_stats () in
+  let prog = Spmd.Peephole.optimize ~stats:peephole prog in
+  { source; ast; info; prog; peephole }
+
+(* Pass 7 lives in [Codegen.emit_c]. *)
+
+let dump_ir c = Spmd.Ir_pp.prog_to_string c.prog
+
+let dump_ssa (c : compiled) =
+  let script, _ = Analysis.Ssa.convert_script c.ast.Mlang.Ast.script in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Analysis.Ssa_pp.script_to_string script);
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Analysis.Ssa_pp.func_to_string (Analysis.Ssa.convert_func f)))
+    c.ast.Mlang.Ast.funcs;
+  Buffer.contents buf
+
+(* One-paragraph compilation report (otterc compile --stats). *)
+let report (c : compiled) : string =
+  let insts = ref 0 and comm = ref 0 and elem = ref 0 in
+  let count_block b =
+    Spmd.Ir.iter_insts
+      (fun i ->
+        incr insts;
+        match i with
+        | Spmd.Ir.Imatmul _ | Spmd.Ir.Idot _ | Spmd.Ir.Itranspose _
+        | Spmd.Ir.Iouter _ | Spmd.Ir.Ireduce_all _ | Spmd.Ir.Ireduce_cols _
+        | Spmd.Ir.Inorm _ | Spmd.Ir.Itrapz _ | Spmd.Ir.Ishift _
+        | Spmd.Ir.Ibcast _ | Spmd.Ir.Iscan _ | Spmd.Ir.Ireduce_loc _
+        | Spmd.Ir.Isection _ | Spmd.Ir.Iconcat _ ->
+            incr comm
+        | Spmd.Ir.Ielem _ -> incr elem
+        | _ -> ())
+      b
+  in
+  count_block c.prog.Spmd.Ir.p_body;
+  List.iter (fun (f : Spmd.Ir.func) -> count_block f.f_body) c.prog.Spmd.Ir.p_funcs;
+  let scalars = ref 0 and matrices = ref 0 in
+  Hashtbl.iter
+    (fun _ (t : Ty.t) ->
+      if t.Ty.rank = Ty.Rscalar then incr scalars else incr matrices)
+    c.info.Analysis.Infer.var_ty;
+  String.concat "\n"
+    [
+      Printf.sprintf "variables: %d scalar (replicated), %d matrix (distributed)"
+        !scalars !matrices;
+      Printf.sprintf "functions: %d" (List.length c.prog.Spmd.Ir.p_funcs);
+      Printf.sprintf
+        "IR: %d instructions; %d run-time library calls (communication); %d fused element-wise loops"
+        !insts !comm !elem;
+      Printf.sprintf
+        "peephole: %d copies forwarded, %d broadcasts reused, %d transposes collapsed, %d shifts combined, %d dead removed"
+        c.peephole.Spmd.Peephole.copies_forwarded
+        c.peephole.Spmd.Peephole.broadcasts_reused
+        c.peephole.Spmd.Peephole.transposes_collapsed
+        c.peephole.Spmd.Peephole.shifts_combined
+        c.peephole.Spmd.Peephole.dead_removed;
+      "";
+    ]
+
+(* Run the compiled SPMD program on [nprocs] CPUs of [machine]. *)
+let run_parallel ?capture ?seed ?datadir ~machine ~nprocs (c : compiled) =
+  Exec.Vm.run ?capture ?seed ?datadir ~machine ~nprocs c.prog
+
+(* Sequential baselines (Figure 2). *)
+let run_interpreter ?capture ?seed ?datadir ~machine (c : compiled) =
+  Interp.Eval.run ?capture ?seed ?datadir ~mode:Interp.Cost.Interpreter ~machine
+    c.ast
+
+let run_matcom ?capture ?seed ?datadir ~machine (c : compiled) =
+  Interp.Eval.run ?capture ?seed ?datadir ~mode:Interp.Cost.Matcom ~machine
+    c.ast
+
+(* --- cross-back-end verification ---------------------------------------- *)
+
+type mismatch = {
+  variable : string;
+  detail : string;
+}
+
+let compare_values ~tol (a : Interp.Eval.captured) (b : Exec.Vm.captured) :
+    string option =
+  let close x y =
+    x = y (* covers equal infinities *)
+    || (Float.is_nan x && Float.is_nan y)
+    ||
+    let scale = Float.max 1. (Float.max (Float.abs x) (Float.abs y)) in
+    Float.abs (x -. y) <= tol *. scale
+  in
+  match (a, b) with
+  | Interp.Eval.Cscalar x, Exec.Vm.Cscalar y ->
+      if close x y then None else Some (Printf.sprintf "%g vs %g" x y)
+  | Interp.Eval.Cscalar x, Exec.Vm.Cmat (1, 1, [| y |]) ->
+      if close x y then None else Some (Printf.sprintf "%g vs %g" x y)
+  | Interp.Eval.Cmat (r1, c1, d1), Exec.Vm.Cmat (r2, c2, d2) ->
+      if r1 <> r2 || c1 <> c2 then
+        Some (Printf.sprintf "shape %dx%d vs %dx%d" r1 c1 r2 c2)
+      else begin
+        let bad = ref None in
+        Array.iteri
+          (fun i x ->
+            if !bad = None && not (close x d2.(i)) then
+              bad := Some (Printf.sprintf "element %d: %g vs %g" i x d2.(i)))
+          d1;
+        !bad
+      end
+  | Interp.Eval.Cmat (1, 1, [| x |]), Exec.Vm.Cscalar y ->
+      if close x y then None else Some (Printf.sprintf "%g vs %g" x y)
+  | _ -> Some "rank mismatch"
+
+(* Run the interpreter and the compiled program on [nprocs] processors
+   and compare the captured variables (within [tol], which absorbs
+   reduction-order rounding). *)
+let verify ?(tol = 1e-9) ?seed ~machine ~nprocs ~capture (c : compiled) :
+    mismatch list =
+  let ref_run = run_interpreter ?seed ~capture ~machine c in
+  let par_run = run_parallel ?seed ~capture ~machine ~nprocs c in
+  List.filter_map
+    (fun name ->
+      match
+        ( List.assoc_opt name ref_run.Interp.Eval.captures,
+          List.assoc_opt name par_run.Exec.Vm.captures )
+      with
+      | Some a, Some b -> (
+          match compare_values ~tol a b with
+          | None -> None
+          | Some detail -> Some { variable = name; detail })
+      | None, None -> Some { variable = name; detail = "missing in both runs" }
+      | None, _ -> Some { variable = name; detail = "missing in interpreter" }
+      | _, None -> Some { variable = name; detail = "missing in compiled run" })
+    capture

@@ -1,0 +1,68 @@
+(** The Otter compiler driver: the paper's multi-pass pipeline as one
+    call, plus execution on the simulated machines, the sequential
+    baselines, and cross-back-end verification. *)
+
+type compiled = {
+  source : string;
+  ast : Mlang.Ast.program; (** after identifier resolution *)
+  info : Analysis.Infer.result;
+  prog : Spmd.Ir.prog; (** after rewriting, guards, peephole *)
+  peephole : Spmd.Peephole.stats;
+}
+
+val compile :
+  ?path:(string -> Mlang.Ast.func option) ->
+  ?datadir:string ->
+  string ->
+  compiled
+(** Passes 1-6.  [path] resolves M-file functions by name; [datadir]
+    locates sample data files for [load] (paper section 3).  Raises
+    {!Mlang.Source.Error} or {!Spmd.Lower.Unsupported}. *)
+
+val dump_ir : compiled -> string
+val dump_ssa : compiled -> string
+
+val report : compiled -> string
+(** One-paragraph compilation report (variables, IR, peephole). *)
+
+val run_parallel :
+  ?capture:string list ->
+  ?seed:int ->
+  ?datadir:string ->
+  machine:Mpisim.Machine.t ->
+  nprocs:int ->
+  compiled ->
+  Exec.Vm.outcome
+(** Execute the compiled SPMD program on the simulated machine. *)
+
+val run_interpreter :
+  ?capture:string list ->
+  ?seed:int ->
+  ?datadir:string ->
+  machine:Mpisim.Machine.t ->
+  compiled ->
+  Interp.Eval.outcome
+(** The MathWorks-interpreter baseline (Figure 2). *)
+
+val run_matcom :
+  ?capture:string list ->
+  ?seed:int ->
+  ?datadir:string ->
+  machine:Mpisim.Machine.t ->
+  compiled ->
+  Interp.Eval.outcome
+(** The MATCOM compiled-sequential baseline (Figure 2). *)
+
+type mismatch = { variable : string; detail : string }
+
+val verify :
+  ?tol:float ->
+  ?seed:int ->
+  machine:Mpisim.Machine.t ->
+  nprocs:int ->
+  capture:string list ->
+  compiled ->
+  mismatch list
+(** Run the interpreter and the [nprocs]-CPU compiled program and
+    compare the captured variables; [tol] absorbs reduction-order
+    rounding.  Empty result = verified. *)

@@ -1,0 +1,1 @@
+lib/runtime/dmat.ml: Array Dist Mlang Mpisim

@@ -1,0 +1,1 @@
+lib/runtime/ops.ml: Array Coll Dist Dmat Float List Mpisim Option Printf Sim

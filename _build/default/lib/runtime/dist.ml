@@ -1,0 +1,26 @@
+(* Block distribution arithmetic (the BLOCK_LOW/BLOCK_HIGH macros of
+   data-parallel compilers).  [n] items over [p] ranks: rank [r] owns
+   the half-open range [low r, low (r+1)). *)
+
+let low ~rank ~nprocs ~n = rank * n / nprocs
+let high ~rank ~nprocs ~n = (rank + 1) * n / nprocs
+let size ~rank ~nprocs ~n = high ~rank ~nprocs ~n - low ~rank ~nprocs ~n
+
+(* Owner of global index [i]: the inverse of [low], valid because the
+   block sizes differ by at most one. *)
+let owner ~nprocs ~n i =
+  if n = 0 then 0
+  else begin
+    let r = (((i + 1) * nprocs) - 1) / n in
+    (* Guard against rounding at block boundaries. *)
+    let r = ref (min r (nprocs - 1)) in
+    while low ~rank:!r ~nprocs ~n > i do
+      decr r
+    done;
+    while high ~rank:!r ~nprocs ~n <= i do
+      incr r
+    done;
+    !r
+  end
+
+let counts ~nprocs ~n = Array.init nprocs (fun r -> size ~rank:r ~nprocs ~n)

@@ -1,0 +1,12 @@
+(** Block distribution arithmetic (the BLOCK_LOW/BLOCK_HIGH macros of
+    data-parallel compilers): [n] items over [p] ranks in contiguous
+    blocks whose sizes differ by at most one. *)
+
+val low : rank:int -> nprocs:int -> n:int -> int
+val high : rank:int -> nprocs:int -> n:int -> int
+val size : rank:int -> nprocs:int -> n:int -> int
+
+val owner : nprocs:int -> n:int -> int -> int
+(** Rank owning global index [i]. *)
+
+val counts : nprocs:int -> n:int -> int array

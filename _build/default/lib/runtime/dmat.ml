@@ -1,0 +1,132 @@
+(* The distributed MATRIX structure of the run-time library (paper
+   section 4).  Every rank holds the global header (rows, columns,
+   distribution) plus its local block:
+
+   - a matrix with more than one row is distributed row-contiguously
+     (rank r owns rows [Dist.low r, Dist.high r), all columns);
+   - a single-row matrix (row vector) is distributed by column blocks;
+   - scalars are not MATRIX values; they are replicated by the VM.
+
+   Matrices of identical size are distributed identically, so
+   element-wise operations never communicate (paper's assumption 2). *)
+
+type axis = By_rows | By_cols
+
+type t = {
+  rows : int;
+  cols : int;
+  axis : axis;
+  low : int; (* first owned row (By_rows) or column (By_cols) *)
+  count : int; (* number of owned rows/columns *)
+  data : float array; (* By_rows: count*cols row-major; By_cols: count *)
+}
+
+let axis_of_dims ~rows ~cols:_ = if rows = 1 then By_cols else By_rows
+
+(* Local block geometry for an [rows] x [cols] matrix on this rank. *)
+let geometry ~rows ~cols =
+  let rank = Mpisim.Sim.rank () and nprocs = Mpisim.Sim.size () in
+  let axis = axis_of_dims ~rows ~cols in
+  let n = match axis with By_rows -> rows | By_cols -> cols in
+  let low = Dist.low ~rank ~nprocs ~n in
+  let count = Dist.size ~rank ~nprocs ~n in
+  (axis, low, count)
+
+let local_len m =
+  match m.axis with By_rows -> m.count * m.cols | By_cols -> m.count
+
+(* Paper's ML_local_els. *)
+let local_els = local_len
+
+let create ~rows ~cols =
+  let axis, low, count = geometry ~rows ~cols in
+  let len = match axis with By_rows -> count * cols | By_cols -> count in
+  { rows; cols; axis; low; count; data = Array.make len 0. }
+
+let numel m = m.rows * m.cols
+let is_vector m = m.rows = 1 || m.cols = 1
+let same_shape a b = a.rows = b.rows && a.cols = b.cols
+
+(* Global row-major linear index of local element [i]. *)
+let global_of_local m i =
+  match m.axis with By_rows -> (m.low * m.cols) + i | By_cols -> m.low + i
+
+(* Global (row, col) of local element [i]. *)
+let global_rc_of_local m i =
+  let g = global_of_local m i in
+  (g / m.cols, g mod m.cols)
+
+(* Does this rank own global element (i, j)?  Paper's ML_owner. *)
+let owner m ~i ~j =
+  match m.axis with
+  | By_rows -> i >= m.low && i < m.low + m.count
+  | By_cols -> j >= m.low && j < m.low + m.count
+
+(* Rank that owns global element (i, j). *)
+let owner_rank m ~i ~j =
+  let nprocs = Mpisim.Sim.size () in
+  match m.axis with
+  | By_rows -> Dist.owner ~nprocs ~n:m.rows i
+  | By_cols -> Dist.owner ~nprocs ~n:m.cols j
+
+(* Local load/store of a globally indexed element; the caller must own
+   it (the compiler emits the owner guard). *)
+let get_local m ~i ~j =
+  match m.axis with
+  | By_rows -> m.data.(((i - m.low) * m.cols) + j)
+  | By_cols -> m.data.(j - m.low)
+
+let set_local m ~i ~j v =
+  match m.axis with
+  | By_rows -> m.data.(((i - m.low) * m.cols) + j) <- v
+  | By_cols -> m.data.(j - m.low) <- v
+
+(* Fill from a function of the global linear index. *)
+let init ~rows ~cols f =
+  let m = create ~rows ~cols in
+  for i = 0 to local_len m - 1 do
+    m.data.(i) <- f (global_of_local m i)
+  done;
+  m
+
+let init_rc ~rows ~cols f =
+  let m = create ~rows ~cols in
+  for i = 0 to local_len m - 1 do
+    let r, c = global_rc_of_local m i in
+    m.data.(i) <- f r c
+  done;
+  m
+
+let counts_of ~rows ~cols =
+  let nprocs = Mpisim.Sim.size () in
+  match axis_of_dims ~rows ~cols with
+  | By_rows ->
+      Array.map (fun c -> c * cols) (Dist.counts ~nprocs ~n:rows)
+  | By_cols -> Dist.counts ~nprocs ~n:cols
+
+(* Replicated dense copy (an allgather); used by operations that need a
+   whole operand (matmul, transpose) and by verification. *)
+let to_dense m : float array =
+  let counts = counts_of ~rows:m.rows ~cols:m.cols in
+  Mpisim.Coll.allgatherv ~counts m.data
+
+(* Dense copy on the root only (cheaper; used for printing / output). *)
+let to_dense_root ~root m : float array =
+  let counts = counts_of ~rows:m.rows ~cols:m.cols in
+  Mpisim.Coll.gatherv ~root ~counts m.data
+
+(* Build from replicated dense data (no communication: every rank takes
+   its block of data it already holds). *)
+let of_dense ~rows ~cols (dense : float array) =
+  if Array.length dense <> rows * cols then
+    invalid_arg "of_dense: size mismatch";
+  init ~rows ~cols (fun g -> dense.(g))
+
+let copy m = { m with data = Array.copy m.data }
+
+(* Render as MATLAB prints it; everything happens on the root, which
+   returns Some text (other ranks return None). *)
+let format_root ~root ?name m =
+  let dense = to_dense_root ~root m in
+  if Mpisim.Sim.rank () <> root then None
+  else Some (Mlang.Fmtutil.format_matrix ?name ~rows:m.rows ~cols:m.cols dense)

@@ -1,0 +1,63 @@
+(** The distributed MATRIX structure of the run-time library (paper
+    section 4).  Matrices with more than one row are distributed by
+    contiguous row blocks; single-row matrices by column blocks;
+    matrices of identical size are distributed identically, so
+    element-wise operations never communicate. *)
+
+type axis = By_rows | By_cols
+
+type t = {
+  rows : int;
+  cols : int;
+  axis : axis;
+  low : int; (** first owned row (By_rows) or column (By_cols) *)
+  count : int; (** number of owned rows/columns *)
+  data : float array; (** By_rows: count*cols row-major; By_cols: count *)
+}
+
+val create : rows:int -> cols:int -> t
+(** Zero-filled matrix with this rank's local block allocated. *)
+
+val local_len : t -> int
+val local_els : t -> int (** paper's ML_local_els *)
+
+val numel : t -> int
+val is_vector : t -> bool
+val same_shape : t -> t -> bool
+
+val global_of_local : t -> int -> int
+(** Global row-major linear index of local element [i]. *)
+
+val global_rc_of_local : t -> int -> int * int
+
+val owner : t -> i:int -> j:int -> bool
+(** Does this rank own global element (i, j)?  Paper's ML_owner. *)
+
+val owner_rank : t -> i:int -> j:int -> int
+
+val get_local : t -> i:int -> j:int -> float
+(** Load a globally indexed element; the caller must own it. *)
+
+val set_local : t -> i:int -> j:int -> float -> unit
+
+val init : rows:int -> cols:int -> (int -> float) -> t
+(** Fill from a function of the global row-major linear index. *)
+
+val init_rc : rows:int -> cols:int -> (int -> int -> float) -> t
+
+val counts_of : rows:int -> cols:int -> int array
+(** Per-rank local element counts for this shape. *)
+
+val to_dense : t -> float array
+(** Replicated dense copy (an allgather). *)
+
+val to_dense_root : root:int -> t -> float array
+(** Dense copy on the root only (a gather). *)
+
+val of_dense : rows:int -> cols:int -> float array -> t
+(** Build from replicated dense data (no communication). *)
+
+val copy : t -> t
+
+val format_root : root:int -> ?name:string -> t -> string option
+(** Render as MATLAB prints it; [Some text] on the root only. *)

@@ -1,0 +1,471 @@
+(* Matrix and vector operations that require interprocessor
+   communication on a distributed-memory machine (paper section 4).
+   Element-wise arithmetic is *not* here: the compiler turns it into
+   per-element loops over locally owned data.
+
+   Every operation charges its floating-point work through [Sim.flops];
+   communication cost is charged implicitly by the messages it sends. *)
+
+open Mpisim
+
+let tag_shift = 3001
+let tag_trapz = 3002
+
+(* --- matrix multiply family ------------------------------------------- *)
+
+(* C = A * B for distributed operands.  The row-distributed common case
+   gathers B and computes locally owned rows of C; a row-vector A
+   (1 x k, column-distributed) instead uses partial sums over the rows
+   of B each rank owns, finished with an allreduce. *)
+let matmul (a : Dmat.t) (b : Dmat.t) : Dmat.t =
+  if a.cols <> b.rows then
+    failwith
+      (Printf.sprintf "matmul: inner dimensions disagree (%dx%d * %dx%d)"
+         a.rows a.cols b.rows b.cols);
+  let m = a.rows and k = a.cols and n = b.cols in
+  if m > 1 then begin
+    let bf = Dmat.to_dense b in
+    let c = Dmat.create ~rows:m ~cols:n in
+    for li = 0 to c.count - 1 do
+      for j = 0 to n - 1 do
+        let acc = ref 0. in
+        for kk = 0 to k - 1 do
+          acc := !acc +. (a.data.((li * k) + kk) *. bf.((kk * n) + j))
+        done;
+        c.data.((li * n) + j) <- !acc
+      done
+    done;
+    Sim.flops (2. *. float_of_int (c.count * n * k));
+    c
+  end
+  else begin
+    (* (1 x k) * (k x n): partial sums over B's owned rows. *)
+    let af = Dmat.to_dense a in
+    let partial = Array.make n 0. in
+    (match b.axis with
+    | Dmat.By_rows ->
+        for lr = 0 to b.count - 1 do
+          let i = b.low + lr in
+          for j = 0 to n - 1 do
+            partial.(j) <- partial.(j) +. (af.(i) *. b.data.((lr * n) + j))
+          done
+        done;
+        Sim.flops (2. *. float_of_int (b.count * n))
+    | Dmat.By_cols ->
+        (* B is 1 x n, hence k = 1: scalar-style outer case. *)
+        for lj = 0 to b.count - 1 do
+          partial.(b.low + lj) <- af.(0) *. b.data.(lj)
+        done;
+        Sim.flops (float_of_int b.count));
+    let full = Coll.allreduce ~op:Coll.Sum partial in
+    Dmat.of_dense ~rows:1 ~cols:n full
+  end
+
+(* Dot product of two vectors with identical distribution. *)
+let dot (a : Dmat.t) (b : Dmat.t) : float =
+  if Dmat.numel a <> Dmat.numel b then failwith "dot: length mismatch";
+  let la = Dmat.local_len a and lb = Dmat.local_len b in
+  if la <> lb then failwith "dot: distribution mismatch";
+  let acc = ref 0. in
+  for i = 0 to la - 1 do
+    acc := !acc +. (a.data.(i) *. b.data.(i))
+  done;
+  Sim.flops (2. *. float_of_int la);
+  Coll.allreduce_scalar ~op:Coll.Sum !acc
+
+(* Transpose.  Vector transposes are free: an n x 1 column and a 1 x n
+   row share the same element-block distribution.  General transposes
+   use pairwise block exchange (an all-to-all): every rank ships, to
+   each peer, the intersection of its own rows with the peer's result
+   rows (= source columns), so per-rank traffic is O(rows*cols/P)
+   rather than a full gather. *)
+let tag_transpose = 3003
+
+let transpose (m : Dmat.t) : Dmat.t =
+  if m.rows = 1 || m.cols = 1 then begin
+    let r = Dmat.create ~rows:m.cols ~cols:m.rows in
+    Array.blit m.data 0 r.data 0 (Array.length m.data);
+    r
+  end
+  else begin
+    let nprocs = Sim.size () and me = Sim.rank () in
+    let r = Dmat.create ~rows:m.cols ~cols:m.rows in
+    (* Result rows of rank d are source columns [clo d, chi d). *)
+    let clo d = Dist.low ~rank:d ~nprocs ~n:m.cols in
+    let chi d = Dist.high ~rank:d ~nprocs ~n:m.cols in
+    (* Pack my rows x peer's columns; row-major over (col, row) so the
+       receiver can unpack directly into its row-major result block. *)
+    let pack d =
+      let c0 = clo d and c1 = chi d in
+      let w = c1 - c0 in
+      let buf = Array.make (w * m.count) 0. in
+      for jc = 0 to w - 1 do
+        for li = 0 to m.count - 1 do
+          buf.((jc * m.count) + li) <- m.data.((li * m.cols) + c0 + jc)
+        done
+      done;
+      buf
+    in
+    (* Unpack a block from [src]: source rows [rlo src, rhi src) of my
+       result columns. *)
+    let unpack src (buf : float array) =
+      let r0 = Dist.low ~rank:src ~nprocs ~n:m.rows in
+      let r1 = Dist.high ~rank:src ~nprocs ~n:m.rows in
+      let h = r1 - r0 in
+      for jc = 0 to r.count - 1 do
+        for li = 0 to h - 1 do
+          r.data.((jc * r.cols) + r0 + li) <- buf.((jc * h) + li)
+        done
+      done
+    in
+    for d = 0 to nprocs - 1 do
+      if d <> me && chi d > clo d && m.count > 0 then
+        Sim.send ~dst:d ~tag:tag_transpose (Sim.Floats (pack d))
+    done;
+    if m.count > 0 && chi me > clo me then unpack me (pack me);
+    for src = 0 to nprocs - 1 do
+      if
+        src <> me
+        && Dist.size ~rank:src ~nprocs ~n:m.rows > 0
+        && r.count > 0
+      then unpack src (Sim.recv_floats ~src ~tag:tag_transpose)
+    done;
+    r
+  end
+
+(* Gather-based transpose: replicate the whole operand, then select
+   the local block of the result.  O(rows*cols) traffic per rank; the
+   ablation baseline for the pairwise-exchange transpose above. *)
+let transpose_gather (m : Dmat.t) : Dmat.t =
+  if m.rows = 1 || m.cols = 1 then transpose m
+  else begin
+    let dense = Dmat.to_dense m in
+    Dmat.init_rc ~rows:m.cols ~cols:m.rows (fun i j -> dense.((j * m.cols) + i))
+  end
+
+(* Outer product u * v' (u: m x 1, v: n x 1 or 1 x n) -> m x n. *)
+let outer (u : Dmat.t) (v : Dmat.t) : Dmat.t =
+  let m = Dmat.numel u and n = Dmat.numel v in
+  let vf = Dmat.to_dense v in
+  let c = Dmat.create ~rows:m ~cols:n in
+  for li = 0 to u.count - 1 do
+    for j = 0 to n - 1 do
+      c.data.((li * n) + j) <- u.data.(li) *. vf.(j)
+    done
+  done;
+  Sim.flops (float_of_int (u.count * n));
+  c
+
+(* --- reductions -------------------------------------------------------- *)
+
+type red = Rsum | Rprod | Rmin | Rmax | Rany | Rall
+
+let red_init = function
+  | Rsum -> 0.
+  | Rprod -> 1.
+  | Rmin -> Float.infinity
+  | Rmax -> Float.neg_infinity
+  | Rany -> 0.
+  | Rall -> 1.
+
+let red_combine op a b =
+  match op with
+  | Rsum -> a +. b
+  | Rprod -> a *. b
+  | Rmin -> Float.min a b
+  | Rmax -> Float.max a b
+  | Rany -> if a <> 0. || b <> 0. then 1. else 0.
+  | Rall -> if a <> 0. && b <> 0. then 1. else 0.
+
+let coll_op = function
+  | Rsum -> Coll.Sum
+  | Rprod -> Coll.Prod
+  | Rmin -> Coll.Min
+  | Rmax -> Coll.Max
+  | Rany -> Coll.Lor
+  | Rall -> Coll.Land
+
+(* Reduce all elements of a vector (or full matrix) to one scalar. *)
+let reduce_all op (m : Dmat.t) : float =
+  let acc = ref (red_init op) in
+  for i = 0 to Dmat.local_len m - 1 do
+    acc := red_combine op !acc m.data.(i)
+  done;
+  Sim.flops (float_of_int (Dmat.local_len m));
+  Coll.allreduce_scalar ~op:(coll_op op) !acc
+
+(* Column-wise reduction of a row-distributed matrix -> 1 x cols. *)
+let reduce_cols op (m : Dmat.t) : Dmat.t =
+  let n = m.cols in
+  let partial = Array.make n (red_init op) in
+  for li = 0 to m.count - 1 do
+    for j = 0 to n - 1 do
+      partial.(j) <- red_combine op partial.(j) m.data.((li * n) + j)
+    done
+  done;
+  Sim.flops (float_of_int (m.count * n));
+  let full = Coll.allreduce ~op:(coll_op op) partial in
+  Dmat.of_dense ~rows:1 ~cols:n full
+
+let mean_all (m : Dmat.t) = reduce_all Rsum m /. float_of_int (Dmat.numel m)
+
+let mean_cols (m : Dmat.t) =
+  let s = reduce_cols Rsum m in
+  let inv = 1. /. float_of_int m.rows in
+  for i = 0 to Dmat.local_len s - 1 do
+    s.data.(i) <- s.data.(i) *. inv
+  done;
+  Sim.flops (float_of_int (Dmat.local_len s));
+  s
+
+let norm2 (v : Dmat.t) = sqrt (dot v v)
+
+(* Cumulative sum/product along a vector: local scan plus an exclusive
+   scan of the per-rank totals (recursive doubling, log P rounds). *)
+type scan = Cumsum | Cumprod
+
+let cumulative op (v : Dmat.t) : Dmat.t =
+  if not (Dmat.is_vector v) then
+    failwith "cumsum/cumprod of a full matrix is not supported";
+  let r = Dmat.create ~rows:v.rows ~cols:v.cols in
+  let len = Dmat.local_len v in
+  let combine, identity, cop =
+    match op with
+    | Cumsum -> (( +. ), 0., Coll.Sum)
+    | Cumprod -> (( *. ), 1., Coll.Prod)
+  in
+  let acc = ref identity in
+  for i = 0 to len - 1 do
+    acc := combine !acc v.data.(i);
+    r.data.(i) <- !acc
+  done;
+  Sim.flops (float_of_int len);
+  let offset = Coll.exscan ~op:cop ~identity !acc in
+  for i = 0 to len - 1 do
+    r.data.(i) <- combine offset r.data.(i)
+  done;
+  Sim.flops (float_of_int len);
+  r
+
+(* min/max with the (1-based, MATLAB column-order) index of the first
+   extremum: local best, then every rank picks the winner from the
+   allgathered per-rank candidates (ties resolve to the lowest index). *)
+let reduce_with_index op (v : Dmat.t) : float * int =
+  if not (Dmat.is_vector v) then
+    failwith "[m, i] = min/max of a full matrix is not supported";
+  let better a b =
+    match op with Rmin -> a < b | Rmax -> a > b | _ -> assert false
+  in
+  let len = Dmat.local_len v in
+  (* -1 marks a rank that owns no elements *)
+  let best = ref (red_init op) and best_g = ref (-1) in
+  for i = 0 to len - 1 do
+    if better v.data.(i) !best then begin
+      best := v.data.(i);
+      best_g := Dmat.global_of_local v i
+    end
+  done;
+  Sim.flops (float_of_int len);
+  let nprocs = Sim.size () in
+  let counts = Array.make nprocs 2 in
+  let candidates =
+    Coll.allgatherv ~counts [| !best; float_of_int !best_g |]
+  in
+  let final_v = ref (red_init op) and final_g = ref (-1) in
+  for r = 0 to nprocs - 1 do
+    let value = candidates.(2 * r) in
+    let g = int_of_float candidates.((2 * r) + 1) in
+    if
+      g >= 0
+      && (!final_g < 0 || better value !final_v
+         || (value = !final_v && g < !final_g))
+    then begin
+      final_v := value;
+      final_g := g
+    end
+  done;
+  if !final_g < 0 then failwith "min/max of an empty vector";
+  (!final_v, !final_g + 1)
+
+(* Ascending sort of a vector, optionally with the permutation
+   (1-based indices of where each sorted value came from; ties keep the
+   lower index, matching MATLAB's stable sort).  Implemented in the
+   run-time library's "simple but correct" style: replicate, sort,
+   keep the local block -- O(n log n) local work after an O(n)
+   gather. *)
+let sort_vector ?(with_index = false) (v : Dmat.t) : Dmat.t * Dmat.t option =
+  if not (Dmat.is_vector v) then
+    failwith "sort of a full matrix is not supported";
+  let n = Dmat.numel v in
+  let dense = Dmat.to_dense v in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = compare dense.(a) dense.(b) in
+      if c <> 0 then c else compare a b)
+    order;
+  Sim.flops (float_of_int (n * 8)); (* ~ n log n comparison cost *)
+  let sorted = Dmat.init ~rows:v.rows ~cols:v.cols (fun g -> dense.(order.(g))) in
+  let idx =
+    if with_index then
+      Some
+        (Dmat.init ~rows:v.rows ~cols:v.cols (fun g ->
+             float_of_int (order.(g) + 1)))
+    else None
+  in
+  (sorted, idx)
+
+(* --- element broadcast and guarded element update ---------------------- *)
+
+(* Paper's ML_broadcast: the owner of (i, j) broadcasts its value. *)
+let bcast_elem (m : Dmat.t) ~i ~j : float =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    failwith (Printf.sprintf "index (%d,%d) out of bounds %dx%d" (i + 1) (j + 1) m.rows m.cols);
+  let root = Dmat.owner_rank m ~i ~j in
+  let v = if Dmat.owner m ~i ~j then Dmat.get_local m ~i ~j else 0. in
+  Coll.bcast_scalar ~root v
+
+(* Guarded store: only the owner writes (paper's pass 5 conditional). *)
+let set_elem (m : Dmat.t) ~i ~j v =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    failwith (Printf.sprintf "index (%d,%d) out of bounds %dx%d" (i + 1) (j + 1) m.rows m.cols);
+  if Dmat.owner m ~i ~j then Dmat.set_local m ~i ~j v
+
+(* --- circular shift ----------------------------------------------------- *)
+
+(* result(g) = v((g - s) mod n): every rank ships each maximal run of
+   its block to the rank owning the shifted positions, so the traffic
+   is O(n/P) per rank rather than a full gather.  Message order between
+   a pair of ranks is ascending in source index on both sides. *)
+let circshift (v : Dmat.t) s : Dmat.t =
+  let n = Dmat.numel v in
+  if n = 0 then Dmat.copy v
+  else begin
+    let s = ((s mod n) + n) mod n in
+    if s = 0 then Dmat.copy v
+    else begin
+      let nprocs = Sim.size () and me = Sim.rank () in
+      let r = Dmat.create ~rows:v.rows ~cols:v.cols in
+      (* Segments of [0, n) owned per rank (element blocks). *)
+      let lo rk = Dist.low ~rank:rk ~nprocs ~n in
+      let hi rk = Dist.high ~rank:rk ~nprocs ~n in
+      (* Split a mod-n contiguous run [start, start+len) into <= 2
+         non-wrapping segments. *)
+      let segments start len =
+        let start = start mod n in
+        if start + len <= n then [ (start, start + len) ]
+        else [ (start, n); (0, start + len - n) ]
+      in
+      (* Send: my elements [lo me, hi me) land at dest = src + s. *)
+      let my_lo = lo me and my_hi = hi me in
+      if my_hi > my_lo then
+        List.iter
+          (fun (d0, d1) ->
+            (* dest segment [d0, d1) corresponds to sources d0-s.. *)
+            for dst = 0 to nprocs - 1 do
+              let a = max d0 (lo dst) and b = min d1 (hi dst) in
+              if a < b then begin
+                let src0 = ((a - s) mod n + n) mod n in
+                let chunk = Array.sub v.data (src0 - my_lo) (b - a) in
+                if dst = me then
+                  Array.blit chunk 0 r.data (a - my_lo) (b - a)
+                else Sim.send ~dst ~tag:tag_shift (Sim.Floats chunk)
+              end
+            done)
+          (segments (my_lo + s) (my_hi - my_lo));
+      (* Receive: my result block needs sources [my_lo - s, ...). *)
+      if my_hi > my_lo then
+        List.iter
+          (fun (s0, s1) ->
+            for src = 0 to nprocs - 1 do
+              let a = max s0 (lo src) and b = min s1 (hi src) in
+              if a < b && src <> me then begin
+                let chunk = Sim.recv_floats ~src ~tag:tag_shift in
+                assert (Array.length chunk = b - a);
+                let dst0 = (a + s) mod n in
+                Array.blit chunk 0 r.data (dst0 - my_lo) (b - a)
+              end
+            done)
+          (segments (((my_lo - s) mod n + n) mod n) (my_hi - my_lo));
+      r
+    end
+  end
+
+(* --- trapezoidal integration ------------------------------------------- *)
+
+(* Integral of samples y (optionally against abscissae x) by the
+   trapezoid rule.  Each rank handles the intervals starting in its
+   block; the single boundary sample is fetched from the right-hand
+   neighbour. *)
+let trapz ?x (y : Dmat.t) : float =
+  let n = Dmat.numel y in
+  if n < 2 then 0.
+  else begin
+    let count = y.count and low = y.low in
+    let high = low + count in
+    (match x with
+    | Some x ->
+        if Dmat.numel x <> n then failwith "trapz: x and y sizes disagree"
+    | None -> ());
+    (* Ship my first sample(s) to the owner of index low-1. *)
+    let nprocs = Sim.size () in
+    if count > 0 && low > 0 then begin
+      let dst = Dist.owner ~nprocs ~n (low - 1) in
+      let payload =
+        match x with
+        | Some x -> [| y.data.(0); x.data.(0) |]
+        | None -> [| y.data.(0) |]
+      in
+      Sim.send ~dst ~tag:tag_trapz (Sim.Floats payload)
+    end;
+    let boundary =
+      if count > 0 && high < n then
+        let src = Dist.owner ~nprocs ~n high in
+        Some (Sim.recv_floats ~src ~tag:tag_trapz)
+      else None
+    in
+    let acc = ref 0. in
+    let sample_y i = if i < high then y.data.(i - low) else (Option.get boundary).(0) in
+    let sample_x i =
+      match x with
+      | Some x -> if i < high then x.data.(i - low) else (Option.get boundary).(1)
+      | None -> float_of_int i
+    in
+    for i = low to min (high - 1) (n - 2) do
+      let dx = sample_x (i + 1) -. sample_x i in
+      acc := !acc +. (dx *. (sample_y i +. sample_y (i + 1)) *. 0.5)
+    done;
+    Sim.flops (5. *. float_of_int (max 0 (min (high - 1) (n - 2) - low + 1)));
+    Coll.allreduce_scalar ~op:Coll.Sum !acc
+  end
+
+(* --- general sections (submatrix extraction) --------------------------- *)
+
+(* result(i, j) = a(ri.(i), rj.(j)) with replicated index vectors; the
+   operand is gathered, the result block selected locally.  The paper's
+   run-time library takes the same "simple but correct" approach for
+   arbitrary sections. *)
+let section (a : Dmat.t) (ri : int array) (rj : int array) : Dmat.t =
+  let dense = Dmat.to_dense a in
+  let rows = Array.length ri and cols = Array.length rj in
+  let check_bounds v n =
+    Array.iter
+      (fun i ->
+        if i < 0 || i >= n then
+          failwith (Printf.sprintf "section: index %d out of bounds %d" (i + 1) n))
+      v
+  in
+  check_bounds ri a.rows;
+  check_bounds rj a.cols;
+  Dmat.init_rc ~rows ~cols (fun i j -> dense.((ri.(i) * a.cols) + rj.(j)))
+
+(* Linear-index section over a vector: result(k) = v(idx.(k)). *)
+let section_linear (v : Dmat.t) (idx : int array) ~rows ~cols : Dmat.t =
+  let dense = Dmat.to_dense v in
+  let n = Dmat.numel v in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n then
+        failwith (Printf.sprintf "index %d out of bounds %d" (i + 1) n))
+    idx;
+  Dmat.init ~rows ~cols (fun g -> dense.(idx.(g)))

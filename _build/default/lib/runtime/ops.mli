@@ -1,0 +1,66 @@
+(** Matrix and vector operations that require interprocessor
+    communication (paper section 4).  Floating-point work is charged
+    through {!Mpisim.Sim.flops}; communication cost is charged by the
+    messages each operation sends. *)
+
+val matmul : Dmat.t -> Dmat.t -> Dmat.t
+(** C = A * B.  Row-distributed A gathers B and computes local rows;
+    a row-vector A uses partial sums finished with an allreduce.
+    Raises [Failure] when the inner dimensions disagree. *)
+
+val dot : Dmat.t -> Dmat.t -> float
+(** Inner product of two identically distributed vectors. *)
+
+val transpose : Dmat.t -> Dmat.t
+(** Pairwise block exchange, O(rows*cols/P) traffic per rank; vector
+    transposes are local. *)
+
+val transpose_gather : Dmat.t -> Dmat.t
+(** Full-gather transpose; the ablation baseline for {!transpose}. *)
+
+val outer : Dmat.t -> Dmat.t -> Dmat.t
+(** u * v' for vectors u (m elements) and v (n elements) -> m x n. *)
+
+type red = Rsum | Rprod | Rmin | Rmax | Rany | Rall
+
+val reduce_all : red -> Dmat.t -> float
+(** Reduce every element to one replicated scalar. *)
+
+val reduce_cols : red -> Dmat.t -> Dmat.t
+(** Column-wise reduction of a row-distributed matrix -> 1 x cols. *)
+
+val mean_all : Dmat.t -> float
+val mean_cols : Dmat.t -> Dmat.t
+val norm2 : Dmat.t -> float
+
+type scan = Cumsum | Cumprod
+
+val cumulative : scan -> Dmat.t -> Dmat.t
+(** Cumulative sum/product of a vector: local scan + exclusive scan of
+    per-rank totals (log P rounds). *)
+
+val reduce_with_index : red -> Dmat.t -> float * int
+(** min/max of a vector together with the 1-based index of the first
+    extremum (MATLAB's [[m, i] = min(v)]). *)
+
+val sort_vector : ?with_index:bool -> Dmat.t -> Dmat.t * Dmat.t option
+(** Ascending stable sort of a vector; optionally also the 1-based
+    source permutation ([[s, i] = sort(v)]). *)
+
+val bcast_elem : Dmat.t -> i:int -> j:int -> float
+(** Paper's ML_broadcast: the owner of (i, j) broadcasts its value.
+    0-based indices; raises [Failure] when out of bounds. *)
+
+val set_elem : Dmat.t -> i:int -> j:int -> float -> unit
+(** Guarded store: only the owner writes (paper's pass-5 guard). *)
+
+val circshift : Dmat.t -> int -> Dmat.t
+(** Circular shift of a vector; O(n/P) traffic per rank. *)
+
+val trapz : ?x:Dmat.t -> Dmat.t -> float
+(** Trapezoid-rule integral; neighbour boundary exchange + allreduce. *)
+
+val section : Dmat.t -> int array -> int array -> Dmat.t
+(** result(i, j) = a(ri(i), rj(j)) with replicated 0-based indices. *)
+
+val section_linear : Dmat.t -> int array -> rows:int -> cols:int -> Dmat.t

@@ -1,0 +1,11 @@
+(** Counter-based pseudo-random numbers: a pure hash of (seed, global
+    element index), so distributed matrices hold identical data for
+    every processor count and for the sequential back ends. *)
+
+val splitmix64 : int64 -> int64
+
+val uniform : seed:int -> int -> float
+(** Uniform in [0, 1). *)
+
+val normal : seed:int -> int -> float
+(** Standard normal (Box-Muller over two decorrelated uniforms). *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Exec Float Interp List Mpisim Option Otter String Testutil

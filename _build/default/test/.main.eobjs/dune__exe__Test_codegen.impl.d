@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Apps Codegen Filename Lazy List Otter Printf String Sys Testutil

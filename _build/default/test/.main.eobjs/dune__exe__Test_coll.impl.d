@@ -1,0 +1,1 @@
+test/test_coll.ml: Alcotest Array Float Gen List Mpisim Printf QCheck QCheck_alcotest Testutil

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Array Exec Filename Interp Lazy List Mpisim Otter Sys

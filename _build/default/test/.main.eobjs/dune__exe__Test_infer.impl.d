@@ -1,0 +1,1 @@
+test/test_infer.ml: Alcotest Analysis Ast Hashtbl List Mlang Parser Source

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Apps Exec Interp List Mpisim Otter Printf QCheck String Testutil

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Array Fmt Lexer List Mlang Source String Token

@@ -1,0 +1,1 @@
+test/test_load.ml: Alcotest Analysis Codegen Exec Filename Fun Interp List Mlang Mpisim Otter Printf String Sys Testutil

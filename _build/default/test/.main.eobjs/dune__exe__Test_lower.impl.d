@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Analysis List Mlang Otter Spmd

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast List Mlang Option Parser Pp QCheck Source Testutil

@@ -1,0 +1,1 @@
+test/test_peephole.ml: Alcotest Analysis Apps List Mlang Spmd

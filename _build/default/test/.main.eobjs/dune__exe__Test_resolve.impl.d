@@ -1,0 +1,1 @@
+test/test_resolve.ml: Alcotest Analysis Ast List Mlang Parser Source String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Float Interp List Mpisim Printf QCheck Runtime Testutil

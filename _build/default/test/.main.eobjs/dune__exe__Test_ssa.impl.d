@@ -1,0 +1,1 @@
+test/test_ssa.ml: Alcotest Analysis Ast List Mlang Parser Printf QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Exec List Printf Testutil

@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Analysis Array Exec Float Interp List Mlang Mpisim Otter Printf QCheck QCheck_alcotest

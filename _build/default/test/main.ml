@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "otter"
+    [
+      ("lexer", Test_lexer.suite);
+      ("parser", Test_parser.suite);
+      ("resolve", Test_resolve.suite);
+      ("ssa", Test_ssa.suite);
+      ("infer", Test_infer.suite);
+      ("lower", Test_lower.suite);
+      ("peephole", Test_peephole.suite);
+      ("sim", Test_sim.suite);
+      ("coll", Test_coll.suite);
+      ("runtime", Test_runtime.suite);
+      ("fmtutil", Test_fmtutil.suite);
+      ("vm", Test_vm.suite);
+      ("interp", Test_interp.suite);
+      ("codegen", Test_codegen.suite);
+      ("apps", Test_apps.suite);
+      ("load", Test_load.suite);
+      ("corpus", Test_corpus.suite);
+    ]

@@ -1,0 +1,197 @@
+(* Benchmark-application tests: each of the paper's four applications
+   verifies across back ends and processor counts, and the performance
+   model reproduces the paper's qualitative results. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let verify_app key ~scale ~nprocs =
+  let app = Option.get (Apps.Scripts.find key) in
+  let c = Otter.compile (app.source scale) in
+  let mm =
+    Otter.verify ~tol:1e-6 ~machine:Mpisim.Machine.meiko_cs2 ~nprocs
+      ~capture:app.capture c
+  in
+  if mm <> [] then
+    Alcotest.failf "%s P=%d: %s" key nprocs
+      (String.concat "; "
+         (List.map (fun m -> m.Otter.variable ^ ": " ^ m.Otter.detail) mm))
+
+let test_verify key () = List.iter (fun p -> verify_app key ~scale:8 ~nprocs:p) [ 1; 3; 8; 16 ]
+
+let times key ~scale ~machine =
+  let app = Option.get (Apps.Scripts.find key) in
+  let c = Otter.compile (app.source scale) in
+  let ti = (Otter.run_interpreter ~machine c).Interp.Eval.time in
+  let tp p =
+    (Otter.run_parallel ~machine ~nprocs:p c).Exec.Vm.report.Mpisim.Sim.makespan
+  in
+  (ti, tp)
+
+let test_cg_converges () =
+  let src = Apps.Scripts.cg ~n:32 ~iters:40 () in
+  let c = Otter.compile src in
+  let o =
+    Otter.run_parallel ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4
+      ~capture:[ "resid" ] c
+  in
+  match List.assoc "resid" o.Exec.Vm.captures with
+  | Exec.Vm.Cscalar r ->
+      Alcotest.(check bool) "residual small" true (r < 1e-8)
+  | _ -> Alcotest.fail "resid not scalar"
+
+let test_tc_closure_properties () =
+  (* The closure matrix must be reflexive and monotone wrt the input. *)
+  let src = Apps.Scripts.transitive_closure ~n:24 ~density:0.05 () in
+  let c = Otter.compile src in
+  let o =
+    Otter.run_parallel ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4
+      ~capture:[ "B"; "reach" ] c
+  in
+  let _, _, b =
+    match List.assoc "B" o.Exec.Vm.captures with
+    | Exec.Vm.Cmat (r, cc, d) -> (r, cc, d)
+    | _ -> Alcotest.fail "B not matrix"
+  in
+  let n = 24 in
+  for i = 0 to n - 1 do
+    Testutil.check_close "reflexive" 1. b.((i * n) + i)
+  done;
+  Array.iter
+    (fun x ->
+      Alcotest.(check bool) "boolean" true (x = 0. || x = 1.))
+    b;
+  match List.assoc "reach" o.Exec.Vm.captures with
+  | Exec.Vm.Cscalar r ->
+      Alcotest.(check bool) "at least the diagonal" true (r >= float_of_int n)
+  | _ -> Alcotest.fail "reach not scalar"
+
+let test_nbody_physics () =
+  (* momentum-free start: center of mass barely drifts; energy finite *)
+  let src = Apps.Scripts.nbody ~n:200 ~steps:10 () in
+  let c = Otter.compile src in
+  let o =
+    Otter.run_parallel ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4
+      ~capture:[ "mx"; "ke" ] c
+  in
+  let get n =
+    match List.assoc n o.Exec.Vm.captures with
+    | Exec.Vm.Cscalar f -> f
+    | _ -> nan
+  in
+  Alcotest.(check bool) "mean position sane" true
+    (get "mx" > 0.3 && get "mx" < 0.7);
+  Alcotest.(check bool) "kinetic energy positive and finite" true
+    (get "ke" > 0. && Float.is_finite (get "ke"))
+
+let test_ocean_signal () =
+  let src = Apps.Scripts.ocean ~n:4000 () in
+  let c = Otter.compile src in
+  let o =
+    Otter.run_parallel ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4
+      ~capture:[ "Fmax"; "Frms" ] c
+  in
+  let get n =
+    match List.assoc n o.Exec.Vm.captures with
+    | Exec.Vm.Cscalar f -> f
+    | _ -> nan
+  in
+  Alcotest.(check bool) "rms below max" true (get "Frms" < get "Fmax");
+  Alcotest.(check bool) "nonzero force" true (get "Frms" > 0.)
+
+(* --- paper-shape assertions (the headline claims) ----------------------- *)
+
+let test_fig2_shape () =
+  (* Otter beats the interpreter on all four applications. *)
+  let machine = Mpisim.Machine.workstation in
+  let results =
+    List.map
+      (fun (app : Apps.Scripts.app) ->
+        let c = Otter.compile (app.source 15) in
+        let ti = (Otter.run_interpreter ~machine c).Interp.Eval.time in
+        let tm = (Otter.run_matcom ~machine c).Interp.Eval.time in
+        let to1 =
+          (Otter.run_parallel ~machine ~nprocs:1 c).Exec.Vm.report
+            .Mpisim.Sim.makespan
+        in
+        (app.key, ti, tm, to1))
+      Apps.Scripts.apps
+  in
+  List.iter
+    (fun (key, ti, _, to1) ->
+      Alcotest.(check bool) (key ^ ": otter beats interpreter") true (to1 < ti))
+    results;
+  (* and the MATCOM comparison splits 2-2 *)
+  let otter_wins =
+    List.length (List.filter (fun (_, _, tm, to1) -> to1 < tm) results)
+  in
+  Alcotest.(check int) "2-2 split against MATCOM" 2 otter_wins
+
+let test_fig3_shape () =
+  (* CG on the CS-2: large speedup, monotone in P. *)
+  let ti, tp = times "cg" ~scale:25 ~machine:Mpisim.Machine.meiko_cs2 in
+  let s p = ti /. tp p in
+  Alcotest.(check bool) "monotone 1->16" true
+    (s 1 < s 2 && s 2 < s 4 && s 4 < s 8 && s 8 < s 16);
+  Alcotest.(check bool) "large speedup at 16" true (s 16 > 30.)
+
+let test_fig6_beats_fig3 () =
+  (* Transitive closure (O(n^3)) parallelizes at least as well as CG. *)
+  let ti_cg, tp_cg = times "cg" ~scale:20 ~machine:Mpisim.Machine.meiko_cs2 in
+  let ti_tc, tp_tc = times "tc" ~scale:20 ~machine:Mpisim.Machine.meiko_cs2 in
+  let eff t1 tp = t1 /. tp in
+  Alcotest.(check bool) "tc >= cg at 16 CPUs" true
+    (eff ti_tc (tp_tc 16) >= eff ti_cg (tp_cg 16) *. 0.95)
+
+let test_fig4_small_grain () =
+  (* Ocean: speedup stays modest on every machine (paper: small data
+     set, O(n) complexity). *)
+  let ti, tp = times "ocean" ~scale:20 ~machine:Mpisim.Machine.meiko_cs2 in
+  Alcotest.(check bool) "modest speedup" true (ti /. tp 16 < 15.);
+  Alcotest.(check bool) "still beats the interpreter" true (ti /. tp 1 > 1.)
+
+let test_cluster_damping () =
+  (* On the Ethernet cluster every application slows beyond one SMP
+     (4 CPUs) relative to the CS-2 (paper section 6). *)
+  List.iter
+    (fun key ->
+      let _, tp_cluster =
+        times key ~scale:15 ~machine:Mpisim.Machine.sparc20_cluster
+      in
+      let _, tp_meiko = times key ~scale:15 ~machine:Mpisim.Machine.meiko_cs2 in
+      (* compare the 16-CPU gain over the 4-CPU point on each machine *)
+      let gain tp = tp 4 /. tp 16 in
+      Alcotest.(check bool)
+        (key ^ ": cluster damped vs CS-2")
+        true
+        (gain tp_cluster < gain tp_meiko))
+    [ "cg"; "tc"; "nbody" ]
+
+let test_meiko_best_balance () =
+  (* The CS-2 achieves the highest 16-CPU speedup on the compute-heavy
+     benchmarks (paper: best balance of CPU speed, latency and
+     bandwidth among the three). *)
+  let at16 machine =
+    let ti, tp = times "tc" ~scale:15 ~machine in
+    ti /. tp (min 16 machine.Mpisim.Machine.max_procs)
+  in
+  let meiko = at16 Mpisim.Machine.meiko_cs2 in
+  let cluster = at16 Mpisim.Machine.sparc20_cluster in
+  Alcotest.(check bool) "meiko beats cluster" true (meiko > cluster)
+
+let suite =
+  [
+    t "cg verifies across P" (test_verify "cg");
+    t "ocean verifies across P" (test_verify "ocean");
+    t "nbody verifies across P" (test_verify "nbody");
+    t "tc verifies across P" (test_verify "tc");
+    t "cg converges" test_cg_converges;
+    t "tc closure properties" test_tc_closure_properties;
+    t "nbody physics" test_nbody_physics;
+    t "ocean signal" test_ocean_signal;
+    t "figure 2 shape" test_fig2_shape;
+    t "figure 3 shape" test_fig3_shape;
+    t "figure 6 vs figure 3" test_fig6_beats_fig3;
+    t "figure 4 small grain" test_fig4_small_grain;
+    t "cluster damping (section 6)" test_cluster_damping;
+    t "CS-2 best balance (section 6)" test_meiko_best_balance;
+  ]

@@ -1,0 +1,278 @@
+(* C back-end tests: structural properties of the emitted code (the
+   paper's pass-7 style), and -- when a C compiler is available -- an
+   integration test that compiles and executes generated programs,
+   comparing stdout with the reference interpreter. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let emit src = Codegen.emit_c (Otter.compile src).Otter.prog
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+let check_contains msg c affix =
+  if not (contains ~affix c) then
+    Alcotest.failf "%s: generated C should contain %S\n%s" msg affix c
+
+let check_not_contains msg c affix =
+  if contains ~affix c then
+    Alcotest.failf "%s: generated C should NOT contain %S" msg affix
+
+let test_paper_style_calls () =
+  (* the paper's pass-4 example: a = b * c + d(i, j) *)
+  let c =
+    emit
+      "n = 4;\nb = ones(n, n); c = ones(n, n); d = ones(n, n);\ni = 2; j = 3;\n\
+       a = b * c + d(i, j);"
+  in
+  check_contains "matmul" c "ML_matrix_multiply(";
+  check_contains "broadcast" c "ML_broadcast(";
+  check_contains "0-based adjustment" c "- 1";
+  check_contains "local loop" c "ML_local_els(";
+  check_contains "countdown loop" c "ML_i >= 0; ML_i--"
+
+let test_owner_guard_style () =
+  (* the paper's pass-5 example: a(i,j) = a(i,j) / b(j,i) *)
+  let c =
+    emit "a = ones(3, 3); b = ones(3, 3); i = 1; j = 2;\na(i, j) = a(i, j) / b(j, i);"
+  in
+  check_contains "guard" c "if (ML_owner(";
+  check_contains "store" c "*ML_realaddr2("
+
+let test_declarations () =
+  let c = emit "x = 1.5;\nA = ones(3, 3);" in
+  check_contains "scalar decl" c "double x = 0;";
+  check_contains "matrix decl" c "MATRIX *A = NULL;";
+  check_contains "init" c "ML_init(&argc, &argv);";
+  check_contains "finalize" c "ML_finalize();"
+
+let test_control_flow_c () =
+  let c =
+    emit "s = 0;\nfor i = 1:2:9\n  if s > 5\n    s = s - 1;\n  else\n    s = s + i;\n  end\nend\nwhile s > 0\n  s = s - 3;\nend"
+  in
+  check_contains "for" c "for (i = ";
+  check_contains "if" c "if ((";
+  check_contains "else" c "} else {";
+  check_contains "while" c "while (("
+
+let test_function_emission () =
+  let c =
+    emit "y = f(2);\nfunction r = f(x)\n  r = x * x;\nend"
+  in
+  check_contains "prototype" c "static void u_f(double x, double *ML_ret_r);";
+  check_contains "call" c "u_f(";
+  check_contains "return store" c "*ML_ret_r = r;"
+
+let test_keyword_mangling () =
+  let c = emit "int = 3;\nregister = int + 1;" in
+  check_contains "mangled int" c "int_ = ";
+  check_contains "mangled register" c "register_ = ";
+  check_not_contains "no bare keyword decl" c "double int = "
+
+let test_string_escaping () =
+  let c = emit "fprintf('a \"quoted\" %d\\n', 3);" in
+  check_contains "escaped quotes" c "\\\"quoted\\\""
+
+let test_balanced_braces () =
+  List.iter
+    (fun (app : Apps.Scripts.app) ->
+      let c = emit (app.source 10) in
+      let opens = String.fold_left (fun n ch -> if ch = '{' then n + 1 else n) 0 c in
+      let closes = String.fold_left (fun n ch -> if ch = '}' then n + 1 else n) 0 c in
+      Alcotest.(check int) (app.key ^ " balanced braces") opens closes)
+    Apps.Scripts.apps
+
+let test_support_files_present () =
+  let names = List.map fst Codegen.support_files in
+  Alcotest.(check (list string)) "files"
+    [ "otter_rt.h"; "otter_rt_common.c"; "otter_rt_seq.c"; "otter_rt_mpi.c" ]
+    names;
+  List.iter
+    (fun (name, content) ->
+      Alcotest.(check bool) (name ^ " nonempty") true (String.length content > 500))
+    Codegen.support_files
+
+(* --- integration: compile with cc and compare with the interpreter ------ *)
+
+let cc_available =
+  lazy (Sys.command "cc --version > /dev/null 2>&1" = 0)
+
+let compile_and_run_c src =
+  let dir = Filename.temp_file "otter" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let write (f, content) =
+    let oc = open_out (Filename.concat dir f) in
+    output_string oc content;
+    close_out oc
+  in
+  write ("prog.c", Codegen.emit_c (Otter.compile src).Otter.prog);
+  List.iter write Codegen.support_files;
+  let cmd =
+    Printf.sprintf
+      "cd %s && cc -O1 -o prog prog.c otter_rt_common.c otter_rt_seq.c -lm \
+       2>cc.log && ./prog > out.txt 2>&1"
+      (Filename.quote dir)
+  in
+  if Sys.command cmd <> 0 then begin
+    let log = Filename.concat dir "cc.log" in
+    let detail =
+      if Sys.file_exists log then (
+        let ic = open_in log in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s)
+      else "?"
+    in
+    Alcotest.failf "C build/run failed:\n%s" detail
+  end;
+  let ic = open_in (Filename.concat dir "out.txt") in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let check_c_matches_interpreter src =
+  if Lazy.force cc_available then begin
+    let c_out = compile_and_run_c src in
+    let ref_out, _ = Testutil.run_interp src in
+    Alcotest.(check string) "C output == interpreter output" ref_out c_out
+  end
+
+let test_c_execution_basics () =
+  check_c_matches_interpreter
+    "x = 2 + 3 * 4;\nfprintf('x=%d\\n', x);\nv = (1:10)';\n\
+     fprintf('s=%g d=%g\\n', sum(v), v' * v);"
+
+let test_c_execution_control_flow () =
+  check_c_matches_interpreter
+    "s = 0;\nfor i = 1:10\n  if mod(i, 3) == 0\n    continue\n  end\n\
+     \  s = s + i;\n  if s > 30\n    break\n  end\nend\nfprintf('s=%d\\n', s);"
+
+let test_c_execution_matrix_ops () =
+  check_c_matches_interpreter
+    "n = 12;\nA = rand(n, n);\nA = A + A' + n * eye(n);\nv = rand(n, 1);\n\
+     w = A * v;\nfprintf('%.10f %.10f %.10f\\n', sum(w), norm(w), max(w));\n\
+     B = A(2:5, :);\nfprintf('%.10f\\n', sum(sum(B)));\n\
+     u = circshift(v, 4);\nfprintf('%.10f\\n', u(1) + u(end));"
+
+let test_c_execution_functions () =
+  check_c_matches_interpreter
+    "y = hyp(3, 4);\nfprintf('%g\\n', y);\n\
+     [a, b] = div2(17);\nfprintf('%d %d\\n', a, b);\n\
+     function r = hyp(p, q)\n  r = sqrt(p^2 + q^2);\nend\n\
+     function [d, m] = div2(x)\n  d = floor(x / 2);\n  m = mod(x, 2);\nend"
+
+(* A minimal stub mpi.h: enough to syntax- and type-check the MPI
+   flavour of the run-time library without an MPI installation. *)
+let stub_mpi_h =
+  {m|#ifndef STUB_MPI_H
+#define STUB_MPI_H
+typedef int MPI_Comm;
+typedef int MPI_Datatype;
+typedef int MPI_Op;
+typedef struct { int MPI_SOURCE, MPI_TAG, MPI_ERROR; } MPI_Status;
+#define MPI_COMM_WORLD 0
+#define MPI_DOUBLE 1
+#define MPI_SUM 1
+#define MPI_PROD 2
+#define MPI_MIN 3
+#define MPI_MAX 4
+#define MPI_MINLOC 5
+#define MPI_MAXLOC 6
+#define MPI_DOUBLE_INT 2
+int MPI_Init(int *argc, char ***argv);
+int MPI_Finalize(void);
+int MPI_Comm_rank(MPI_Comm comm, int *rank);
+int MPI_Comm_size(MPI_Comm comm, int *size);
+int MPI_Send(const void *buf, int count, MPI_Datatype t, int dst, int tag,
+             MPI_Comm comm);
+int MPI_Recv(void *buf, int count, MPI_Datatype t, int src, int tag,
+             MPI_Comm comm, MPI_Status *status);
+int MPI_Bcast(void *buf, int count, MPI_Datatype t, int root, MPI_Comm comm);
+int MPI_Allreduce(const void *send, void *recv, int count, MPI_Datatype t,
+                  MPI_Op op, MPI_Comm comm);
+int MPI_Allgatherv(const void *send, int count, MPI_Datatype st, void *recv,
+                   const int *counts, const int *displs, MPI_Datatype rt,
+                   MPI_Comm comm);
+int MPI_Exscan(const void *send, void *recv, int count, MPI_Datatype t,
+               MPI_Op op, MPI_Comm comm);
+#endif
+|m}
+
+let test_mpi_runtime_syntax_checks () =
+  if Lazy.force cc_available then begin
+    let dir = Filename.temp_file "otter_mpi" "" in
+    Sys.remove dir;
+    Sys.mkdir dir 0o755;
+    let write (f, content) =
+      let oc = open_out (Filename.concat dir f) in
+      output_string oc content;
+      close_out oc
+    in
+    List.iter write Codegen.support_files;
+    write ("mpi.h", stub_mpi_h);
+    let cmd =
+      Printf.sprintf
+        "cd %s && cc -fsyntax-only -Wall -Werror -I. otter_rt_mpi.c 2>cc.log"
+        (Filename.quote dir)
+    in
+    if Sys.command cmd <> 0 then begin
+      let ic = open_in (Filename.concat dir "cc.log") in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Alcotest.failf "otter_rt_mpi.c does not compile:
+%s" s
+    end
+  end
+
+let test_c_execution_concat_sections () =
+  check_c_matches_interpreter
+    "u = (1:4)';\nv = (5:8)';\nw = [u; v];\nfprintf('%g %g\\n', sum(w), w(6));\n     A = [u, v];\nfprintf('%g\\n', sum(sum(A)));\n     z = zeros(8, 1);\nz(2:5) = u;\nfprintf('%g\\n', sum(z));\n     B = zeros(3, 3);\nB(2, :) = 7;\nB(1:2, 1:2) = eye(2);\n     fprintf('%g\\n', sum(sum(B)));"
+
+let test_c_execution_scans () =
+  check_c_matches_interpreter
+    "v = (1:10)';\nc = cumsum(v);\nfprintf('%g %g\\n', c(4), c(end));\n\
+     p = cumprod((1:6)');\nfprintf('%g\\n', p(end));\n\
+     w = [4; -1; 7; -1];\n[m, i] = min(w);\nfprintf('%g %d\\n', m, i);\n\
+     [m2, i2] = max(w);\nfprintf('%g %d\\n', m2, i2);"
+
+let test_c_execution_sort_repmat () =
+  check_c_matches_interpreter
+    "v = [3; 1; 4; 1; 5];\n[s, i] = sort(v);\n\
+     fprintf('%g %g %d %d\\n', s(1), s(end), i(1), i(end));\n\
+     B = repmat([1, 2; 3, 4], 2, 3);\n\
+     fprintf('%g %g\\n', sum(sum(B)), B(4, 6));"
+
+let test_c_execution_apps () =
+  (* every paper benchmark, small scale, exact output agreement *)
+  List.iter
+    (fun (app : Apps.Scripts.app) ->
+      check_c_matches_interpreter (app.source 8))
+    Apps.Scripts.apps
+
+let suite =
+  [
+    t "paper-style library calls" test_paper_style_calls;
+    t "owner guard emission" test_owner_guard_style;
+    t "declarations" test_declarations;
+    t "control flow" test_control_flow_c;
+    t "function emission" test_function_emission;
+    t "keyword mangling" test_keyword_mangling;
+    t "string escaping" test_string_escaping;
+    t "balanced braces on all apps" test_balanced_braces;
+    t "support files" test_support_files_present;
+    t "C execution: basics" test_c_execution_basics;
+    t "C execution: control flow" test_c_execution_control_flow;
+    t "C execution: matrix ops" test_c_execution_matrix_ops;
+    t "C execution: functions" test_c_execution_functions;
+    t "C execution: concat and sections" test_c_execution_concat_sections;
+    t "C execution: scans and arg-reductions" test_c_execution_scans;
+    t "C execution: sort and repmat" test_c_execution_sort_repmat;
+    t "C execution: all four benchmarks" test_c_execution_apps;
+    t "MPI run-time library compiles" test_mpi_runtime_syntax_checks;
+  ]

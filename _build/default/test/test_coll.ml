@@ -1,0 +1,192 @@
+(* Collective-operation tests: correctness against sequential
+   references for every operation, on assorted processor counts,
+   plus qcheck properties. *)
+
+module Sim = Mpisim.Sim
+module Coll = Mpisim.Coll
+
+let t name f = Alcotest.test_case name `Quick f
+let machine = Mpisim.Machine.meiko_cs2
+let procs = [ 1; 2; 3; 4; 7; 8; 16 ]
+
+let on_all_p body check =
+  List.iter
+    (fun p ->
+      let results, _ = Sim.run ~machine ~nprocs:p body in
+      Array.iteri (fun r v -> check ~p ~r v) results)
+    procs
+
+let test_bcast () =
+  List.iter
+    (fun root ->
+      let results, _ =
+        Sim.run ~machine ~nprocs:8 (fun rank ->
+            let data = if rank = root then [| 3.; 1.; 4. |] else [||] in
+            Coll.bcast ~root data)
+      in
+      Array.iteri
+        (fun r v ->
+          Testutil.check_array_close
+            (Printf.sprintf "bcast root=%d rank=%d" root r)
+            [| 3.; 1.; 4. |] v)
+        results)
+    [ 0; 1; 5; 7 ]
+
+let test_reduce_sum () =
+  let results, _ =
+    Sim.run ~machine ~nprocs:8 (fun rank ->
+        Coll.reduce ~root:0 ~op:Coll.Sum [| float_of_int rank; 1. |])
+  in
+  Testutil.check_array_close "root value" [| 28.; 8. |] results.(0)
+
+let test_allreduce_ops () =
+  let inputs p rank = float_of_int ((rank * 3 mod p) + 1) in
+  List.iter
+    (fun (op, reference) ->
+      on_all_p
+        (fun rank ->
+          let p = Sim.size () in
+          Coll.allreduce_scalar ~op (inputs p rank))
+        (fun ~p ~r v ->
+          let expected =
+            let vals = List.init p (fun rk -> inputs p rk) in
+            List.fold_left reference (List.hd vals) (List.tl vals)
+          in
+          Testutil.check_close (Printf.sprintf "P=%d rank=%d" p r) expected v))
+    [
+      (Coll.Sum, ( +. ));
+      (Coll.Prod, ( *. ));
+      (Coll.Min, Float.min);
+      (Coll.Max, Float.max);
+    ]
+
+let test_allreduce_logical () =
+  let results, _ =
+    Sim.run ~machine ~nprocs:4 (fun rank ->
+        let has = if rank = 2 then 1. else 0. in
+        ( Coll.allreduce_scalar ~op:Coll.Lor has,
+          Coll.allreduce_scalar ~op:Coll.Land has ))
+  in
+  Array.iter
+    (fun (any_v, all_v) ->
+      Testutil.check_close "lor" 1. any_v;
+      Testutil.check_close "land" 0. all_v)
+    results
+
+let test_gatherv () =
+  on_all_p
+    (fun rank ->
+      let p = Sim.size () in
+      let counts = Array.init p (fun i -> i + 1) in
+      let local = Array.make counts.(rank) (float_of_int rank) in
+      Coll.gatherv ~root:0 ~counts local)
+    (fun ~p ~r v ->
+      if r = 0 then begin
+        let expected =
+          Array.concat
+            (List.init p (fun i -> Array.make (i + 1) (float_of_int i)))
+        in
+        Testutil.check_array_close (Printf.sprintf "gatherv P=%d" p) expected v
+      end
+      else Alcotest.(check int) "non-root empty" 0 (Array.length v))
+
+let test_allgatherv () =
+  on_all_p
+    (fun rank ->
+      let p = Sim.size () in
+      let counts = Array.init p (fun i -> ((i * 2) mod 3) + 1) in
+      let local =
+        Array.init counts.(rank) (fun k -> (float_of_int rank *. 10.) +. float_of_int k)
+      in
+      Coll.allgatherv ~counts local)
+    (fun ~p ~r v ->
+      let counts = Array.init p (fun i -> ((i * 2) mod 3) + 1) in
+      let expected =
+        Array.concat
+          (List.init p (fun i ->
+               Array.init counts.(i) (fun k ->
+                   (float_of_int i *. 10.) +. float_of_int k)))
+      in
+      Testutil.check_array_close (Printf.sprintf "allgatherv P=%d rank=%d" p r)
+        expected v)
+
+let test_allgatherv_empty_blocks () =
+  (* More ranks than elements: some blocks are empty. *)
+  let results, _ =
+    Sim.run ~machine ~nprocs:8 (fun rank ->
+        let counts = [| 0; 2; 0; 1; 0; 0; 3; 0 |] in
+        let base = [| 10.; 11.; 30.; 60.; 61.; 62. |] in
+        let offset = [| 0; 0; 2; 2; 3; 3; 3; 6 |] in
+        let local = Array.sub base offset.(rank) counts.(rank) in
+        Coll.allgatherv ~counts local)
+  in
+  Array.iter
+    (fun v ->
+      Testutil.check_array_close "empty blocks" [| 10.; 11.; 30.; 60.; 61.; 62. |] v)
+    results
+
+let test_barrier_synchronizes () =
+  let results, _ =
+    Sim.run ~machine ~nprocs:4 (fun rank ->
+        Sim.compute (float_of_int rank);
+        Coll.barrier ();
+        Sim.time ())
+  in
+  (* After the barrier every clock is at least the slowest rank's. *)
+  Array.iter
+    (fun t -> Alcotest.(check bool) "post-barrier clock" true (t >= 3.0))
+    results
+
+let test_bcast_cost_scales_log () =
+  let time p =
+    let _, r =
+      Sim.run ~machine ~nprocs:p (fun _ ->
+          ignore (Coll.bcast ~root:0 (Array.make 16 0.)))
+    in
+    r.Sim.makespan
+  in
+  (* binomial tree: 16 CPUs need 4 rounds where 2 CPUs need 1, so the
+     cost grows like log P, not linearly *)
+  Alcotest.(check bool) "log growth" true (time 16 < 4.5 *. time 2);
+  Alcotest.(check bool) "far below linear" true (time 16 < 8. *. time 2)
+
+(* qcheck: allreduce sum equals the sequential sum for random vectors
+   and processor counts. *)
+let allreduce_prop =
+  QCheck.Test.make ~count:60 ~name:"allreduce sum == sequential sum"
+    QCheck.(pair (int_range 1 16) (list_of_size (Gen.int_range 1 8) (float_range (-100.) 100.)))
+    (fun (p, vals) ->
+      let arr = Array.of_list vals in
+      let results, _ =
+        Sim.run ~machine ~nprocs:p (fun rank ->
+            let local = Array.map (fun x -> x +. float_of_int rank) arr in
+            Coll.allreduce ~op:Coll.Sum local)
+      in
+      let expected =
+        Array.map
+          (fun x ->
+            let s = ref 0. in
+            for rk = 0 to p - 1 do
+              s := !s +. x +. float_of_int rk
+            done;
+            !s)
+          arr
+      in
+      Array.for_all
+        (fun got ->
+          Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-6) got expected)
+        results)
+
+let suite =
+  [
+    t "broadcast (all roots)" test_bcast;
+    t "reduce sum" test_reduce_sum;
+    t "allreduce arithmetic ops" test_allreduce_ops;
+    t "allreduce logical ops" test_allreduce_logical;
+    t "gatherv" test_gatherv;
+    t "allgatherv" test_allgatherv;
+    t "allgatherv with empty blocks" test_allgatherv_empty_blocks;
+    t "barrier synchronizes" test_barrier_synchronizes;
+    t "broadcast cost is logarithmic" test_bcast_cost_scales_log;
+    QCheck_alcotest.to_alcotest allreduce_prop;
+  ]

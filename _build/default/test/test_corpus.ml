@@ -1,0 +1,49 @@
+(* Every script in examples/matlab must compile and verify between the
+   interpreter and an 8-CPU simulated run (exact output agreement). *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* Locate the repository root from the dune sandbox. *)
+let corpus_dir =
+  lazy
+    (let rec up dir n =
+       if n = 0 then None
+       else if Sys.file_exists (Filename.concat dir "examples/matlab") then
+         Some (Filename.concat dir "examples/matlab")
+       else up (Filename.dirname dir) (n - 1)
+     in
+     up (Sys.getcwd ()) 8)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_corpus () =
+  match Lazy.force corpus_dir with
+  | None -> () (* sandboxed without sources: nothing to check *)
+  | Some dir ->
+      let files =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".m")
+        |> List.sort compare
+      in
+      Alcotest.(check bool) "corpus nonempty" true (List.length files >= 5);
+      List.iter
+        (fun f ->
+          let src = read_file (Filename.concat dir f) in
+          let c = Otter.compile src in
+          let oi =
+            Otter.run_interpreter ~machine:Mpisim.Machine.workstation c
+          in
+          let op =
+            Otter.run_parallel ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:8 c
+          in
+          Alcotest.(check string)
+            (f ^ ": identical output on 8 CPUs")
+            oi.Interp.Eval.output op.Exec.Vm.output)
+        files
+
+let suite = [ t "examples/matlab corpus" test_corpus ]

@@ -1,0 +1,52 @@
+(* fprintf-style formatting tests (shared by both back ends). *)
+
+open Mlang.Fmtutil
+
+let t name f = Alcotest.test_case name `Quick f
+
+let check msg fmt args expected =
+  Alcotest.(check string) msg expected (format fmt args)
+
+let test_conversions () =
+  check "plain" "hello" [] "hello";
+  check "%d" "n=%d" [ F 42. ] "n=42";
+  check "%d truncates" "%d" [ F 3.9 ] "3";
+  check "%i" "%i" [ F 7. ] "7";
+  check "%f" "%f" [ F 1.5 ] "1.500000";
+  check "%.2f" "%.2f" [ F 3.14159 ] "3.14";
+  check "%g" "%g" [ F 0.0001 ] "0.0001";
+  check "%e" "%.3e" [ F 12345.678 ] "1.235e+04";
+  check "%s" "%s!" [ S "ok" ] "ok!";
+  check "%s of number" "%s" [ F 2.5 ] "2.5";
+  check "percent literal" "100%%" [] "100%";
+  check "width" "[%6.2f]" [ F 1.5 ] "[  1.50]"
+
+let test_escapes () =
+  check "newline" "a\\nb" [] "a\nb";
+  check "tab" "a\\tb" [] "a\tb";
+  check "other escape passes through" "a\\qb" [] "aqb"
+
+let test_multiple_args () =
+  check "mixed" "%d + %d = %d (%s)" [ F 1.; F 2.; F 3.; S "ok" ]
+    "1 + 2 = 3 (ok)"
+
+let test_errors () =
+  (match format "%d" [] with
+  | exception Format_error _ -> ()
+  | _ -> Alcotest.fail "missing argument must raise");
+  match format "%q" [ F 1. ] with
+  | exception Format_error _ -> ()
+  | _ -> Alcotest.fail "unknown conversion must raise"
+
+let test_matrix_format () =
+  let s = format_matrix ~name:"A" ~rows:1 ~cols:2 [| 1.; 2.5 |] in
+  Alcotest.(check string) "matrix" "A =\n       1.0000     2.5000\n" s
+
+let suite =
+  [
+    t "conversions" test_conversions;
+    t "escapes" test_escapes;
+    t "multiple arguments" test_multiple_args;
+    t "format errors" test_errors;
+    t "matrix format" test_matrix_format;
+  ]

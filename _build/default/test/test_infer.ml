@@ -1,0 +1,154 @@
+(* Type / rank / shape inference tests (paper pass 3). *)
+
+open Mlang
+module Ty = Analysis.Ty
+
+let t name f = Alcotest.test_case name `Quick f
+
+let infer src =
+  let p = Analysis.Resolve.run (Parser.parse_program src) in
+  (Analysis.Infer.program p, p)
+
+let var_ty src name =
+  let res, _ = infer src in
+  Analysis.Infer.var_type res name
+
+let ty = Alcotest.testable Ty.pp Ty.equal
+
+let check_ty msg src name expected =
+  Alcotest.check ty msg expected (var_ty src name)
+
+let m ?(r = Ty.Dunknown) ?(c = Ty.Dunknown) base =
+  Ty.matrix ~shape:{ Ty.rows = r; cols = c } base
+
+let dc n = Ty.Dconst n
+
+let test_scalar_bases () =
+  check_ty "integer literal" "x = 4;" "x" Ty.int_scalar;
+  check_ty "real literal" "x = 4.5;" "x" Ty.real_scalar;
+  check_ty "int arith stays int" "x = 2 + 3 * 4;" "x" Ty.int_scalar;
+  check_ty "division is real" "x = 4 / 2;" "x" Ty.real_scalar;
+  check_ty "mixed is real" "x = 1 + 0.5;" "x" Ty.real_scalar;
+  check_ty "comparison is int" "x = 3 < 4;" "x" Ty.int_scalar;
+  check_ty "sqrt is real" "x = sqrt(4);" "x" Ty.real_scalar;
+  check_ty "floor is int" "x = floor(2.7);" "x" Ty.int_scalar
+
+let test_constructor_shapes () =
+  check_ty "zeros square" "n = 5;\nA = zeros(n);" "A" (m ~r:(dc 5) ~c:(dc 5) Ty.Real);
+  check_ty "zeros rect" "A = zeros(3, 7);" "A" (m ~r:(dc 3) ~c:(dc 7) Ty.Real);
+  check_ty "const propagation through arith" "n = 4;\nA = rand(n * 2, n - 1);"
+    "A"
+    (m ~r:(dc 8) ~c:(dc 3) Ty.Real);
+  check_ty "linspace" "v = linspace(0, 1, 11);" "v" (m ~r:(dc 1) ~c:(dc 11) Ty.Real);
+  check_ty "range shape" "v = 1:10;" "v" (m ~r:(dc 1) ~c:(dc 10) Ty.Integer);
+  check_ty "range with step" "v = 0:0.5:2;" "v" (m ~r:(dc 1) ~c:(dc 5) Ty.Real);
+  check_ty "eye" "A = eye(6);" "A" (m ~r:(dc 6) ~c:(dc 6) Ty.Real)
+
+let test_transpose_and_matmul_shapes () =
+  check_ty "transpose swaps" "A = zeros(3, 7);\nB = A';" "B"
+    (m ~r:(dc 7) ~c:(dc 3) Ty.Real);
+  check_ty "matmul shape" "A = zeros(3, 4);\nB = zeros(4, 5);\nC = A * B;" "C"
+    (m ~r:(dc 3) ~c:(dc 5) Ty.Real);
+  check_ty "vector dot is scalar" "v = ones(9, 1);\ns = v' * v;" "s"
+    Ty.real_scalar;
+  check_ty "outer is matrix" "u = ones(3, 1);\nv = ones(4, 1);\nA = u * v';" "A"
+    (m ~r:(dc 3) ~c:(dc 4) Ty.Real);
+  check_ty "scalar times matrix" "A = ones(2, 2);\nB = 3 * A;" "B"
+    (m ~r:(dc 2) ~c:(dc 2) Ty.Real)
+
+let test_reduction_shapes () =
+  check_ty "sum of vector" "v = ones(5, 1);\ns = sum(v);" "s" Ty.real_scalar;
+  check_ty "sum of matrix is row vector" "A = ones(4, 6);\ns = sum(A);" "s"
+    (m ~r:(dc 1) ~c:(dc 6) Ty.Real);
+  check_ty "norm" "v = ones(5, 1);\ns = norm(v);" "s" Ty.real_scalar;
+  check_ty "mean is real" "v = 1:5;\ns = mean(v);" "s" Ty.real_scalar;
+  check_ty "size query is int" "A = ones(2, 3);\nr = size(A, 1);" "r"
+    Ty.int_scalar;
+  check_ty "length of known vector folds" "v = ones(7, 1);\nL = length(v);\nB = zeros(L, 1);"
+    "B"
+    (m ~r:(dc 7) ~c:(dc 1) Ty.Real)
+
+let test_indexing_types () =
+  check_ty "element read is scalar" "A = ones(3, 3);\nx = A(1, 2);" "x"
+    Ty.real_scalar;
+  check_ty "row section" "A = ones(3, 5);\nr = A(2, :);" "r"
+    (m ~r:(dc 1) ~c:(dc 5) Ty.Real);
+  check_ty "col section" "A = ones(3, 5);\nc = A(:, 2);" "c"
+    (m ~r:(dc 3) ~c:(dc 1) Ty.Real);
+  check_ty "range section" "v = ones(10, 1);\nw = v(2:5);" "w"
+    (m ~r:(dc 4) ~c:(dc 1) Ty.Real);
+  check_ty "linear element of vector" "v = ones(10, 1);\nx = v(3);" "x"
+    Ty.real_scalar
+
+let test_control_flow_joins () =
+  check_ty "if join widens base" "c = 1;\nif c\n  x = 1;\nelse\n  x = 0.5;\nend"
+    "x" Ty.real_scalar;
+  check_ty "loop fixpoint widens int to real"
+    "x = 1;\nfor i = 1:3\n  x = x / 2;\nend" "x" Ty.real_scalar;
+  check_ty "shape join to unknown"
+    "c = 1;\nif c\n  A = ones(2, 2);\nelse\n  A = ones(3, 3);\nend" "A"
+    (m Ty.Real);
+  check_ty "loop-invariant shape survives"
+    "A = ones(4, 4);\nfor i = 1:3\n  A = A + A;\nend" "A"
+    (m ~r:(dc 4) ~c:(dc 4) Ty.Real)
+
+let test_element_update () =
+  check_ty "update keeps shape" "A = zeros(2, 2);\nA(1, 1) = 5;" "A"
+    (m ~r:(dc 2) ~c:(dc 2) Ty.Real);
+  check_ty "update joins base"
+    "A = zeros(2, 2);\nA(1, 1) = 1.5;" "A"
+    (m ~r:(dc 2) ~c:(dc 2) Ty.Real)
+
+let test_user_functions () =
+  let src = "y = f(2.5);\nfunction r = f(x)\n  r = x + 1;\nend" in
+  check_ty "return type from argument" src "y" Ty.real_scalar;
+  let src =
+    "A = g(4);\nfunction M = g(n)\n  M = zeros(n, n);\nend"
+  in
+  check_ty "shape through function" src "A" (m ~r:(dc 4) ~c:(dc 4) Ty.Real);
+  let res, _ =
+    infer "a = h(1);\nfunction [x, y] = h(v)\n  x = v;\n  y = ones(3, 1);\nend"
+  in
+  match Hashtbl.find_opt res.Analysis.Infer.func_returns "h" with
+  | Some [ t1; t2 ] ->
+      Alcotest.check ty "first return" Ty.int_scalar t1;
+      Alcotest.check ty "second return" (m ~r:(dc 3) ~c:(dc 1) Ty.Real) t2
+  | _ -> Alcotest.fail "two return types expected"
+
+let test_expr_annotations () =
+  let res, p = infer "v = ones(8, 1);\nw = v + 2 .* v;" in
+  (* every expression node in the second statement got a type *)
+  let missing = ref 0 in
+  (match List.nth p.script 1 with
+  | { sdesc = Ast.Assign (_, rhs, _); _ } ->
+      Ast.iter_exprs_expr
+        (fun e ->
+          if not (Hashtbl.mem res.Analysis.Infer.expr_ty e.eid) then incr missing)
+        rhs
+  | _ -> Alcotest.fail "shape");
+  Alcotest.(check int) "all nodes annotated" 0 !missing
+
+let test_rejections () =
+  let expect src =
+    match infer src with
+    | exception Source.Error _ -> ()
+    | _ -> Alcotest.failf "expected inference error on %S" src
+  in
+  expect "A = ones(2, 2);\nB = ones(2, 2);\nC = A / B;";
+  expect "A = ones(2, 2);\nx = A \\ ones(2, 1);";
+  expect "A = ones(2, 2);\nB = A ^ 2;";
+  expect "y = f(1);\nfunction r = f(x)\n  r = f(x - 1);\nend"
+
+let suite =
+  [
+    t "scalar base types" test_scalar_bases;
+    t "constructor shapes + constants" test_constructor_shapes;
+    t "transpose and matmul shapes" test_transpose_and_matmul_shapes;
+    t "reduction shapes" test_reduction_shapes;
+    t "indexing types" test_indexing_types;
+    t "control-flow joins" test_control_flow_joins;
+    t "element update" test_element_update;
+    t "user functions" test_user_functions;
+    t "expression annotations" test_expr_annotations;
+    t "unsupported operations rejected" test_rejections;
+  ]

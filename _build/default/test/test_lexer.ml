@@ -1,0 +1,126 @@
+(* Lexer unit tests: token streams, the quote/transpose rule, numbers,
+   continuations, comments, error reporting. *)
+
+open Mlang
+
+let toks src =
+  Array.to_list (Lexer.tokens src)
+  |> List.map (fun (l : Lexer.lexed) -> l.tok)
+  |> List.filter (fun t -> t <> Token.EOF)
+
+let tok_list = Alcotest.testable
+    (fun ppf l ->
+      Fmt.pf ppf "[%s]" (String.concat "; " (List.map Token.to_string l)))
+    ( = )
+
+let check_toks msg src expected =
+  Alcotest.check tok_list msg expected (toks src)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let test_numbers () =
+  check_toks "integer" "42" [ Token.NUM 42. ];
+  check_toks "decimal" "3.25" [ Token.NUM 3.25 ];
+  check_toks "leading dot" ".5" [ Token.NUM 0.5 ];
+  check_toks "exponent" "1e3" [ Token.NUM 1000. ];
+  check_toks "signed exponent" "2.5e-2" [ Token.NUM 0.025 ];
+  check_toks "capital E" "1E2" [ Token.NUM 100. ];
+  check_toks "number then ident" "2e" [ Token.NUM 2.; Token.IDENT "e" ]
+
+let test_number_operator_ambiguity () =
+  check_toks "2.*x is elementwise" "2.*x"
+    [ Token.NUM 2.; Token.DOTSTAR; Token.IDENT "x" ];
+  check_toks "2./x" "2./x" [ Token.NUM 2.; Token.DOTSLASH; Token.IDENT "x" ];
+  check_toks "2.^x" "2.^x" [ Token.NUM 2.; Token.DOTCARET; Token.IDENT "x" ];
+  check_toks "2.' is transpose" "2.'" [ Token.NUM 2.; Token.DOTQUOTE ]
+
+let test_quote_rule () =
+  check_toks "transpose after ident" "a'" [ Token.IDENT "a"; Token.QUOTE ];
+  check_toks "transpose after )" "(a)'"
+    [ Token.LPAREN; Token.IDENT "a"; Token.RPAREN; Token.QUOTE ];
+  check_toks "transpose after ]" "[1]'"
+    [ Token.LBRACKET; Token.NUM 1.; Token.RBRACKET; Token.QUOTE ];
+  check_toks "string after (" "('x')"
+    [ Token.LPAREN; Token.STR "x"; Token.RPAREN ];
+  check_toks "string after comma" "f(a, 'x')"
+    [
+      Token.IDENT "f"; Token.LPAREN; Token.IDENT "a"; Token.COMMA;
+      Token.STR "x"; Token.RPAREN;
+    ];
+  check_toks "string at start" "'hello'" [ Token.STR "hello" ];
+  check_toks "escaped quote in string" "'it''s'" [ Token.STR "it's" ];
+  check_toks "double transpose" "a''"
+    [ Token.IDENT "a"; Token.QUOTE; Token.QUOTE ];
+  check_toks "transpose after number" "2'" [ Token.NUM 2.; Token.QUOTE ]
+
+let test_operators () =
+  check_toks "comparison" "a <= b ~= c"
+    [ Token.IDENT "a"; Token.LE; Token.IDENT "b"; Token.NE; Token.IDENT "c" ];
+  check_toks "logical" "a && b || ~c"
+    [
+      Token.IDENT "a"; Token.AMPAMP; Token.IDENT "b"; Token.BARBAR;
+      Token.TILDE; Token.IDENT "c";
+    ];
+  check_toks "elementwise ops" "a .* b ./ c .\\ d"
+    [
+      Token.IDENT "a"; Token.DOTSTAR; Token.IDENT "b"; Token.DOTSLASH;
+      Token.IDENT "c"; Token.DOTBACKSLASH; Token.IDENT "d";
+    ];
+  check_toks "assign vs equality" "a = b == c"
+    [ Token.IDENT "a"; Token.ASSIGN; Token.IDENT "b"; Token.EQEQ; Token.IDENT "c" ]
+
+let test_keywords () =
+  check_toks "all keywords" "if elseif else end while for break continue return function"
+    [
+      Token.KIF; Token.KELSEIF; Token.KELSE; Token.KEND; Token.KWHILE;
+      Token.KFOR; Token.KBREAK; Token.KCONTINUE; Token.KRETURN; Token.KFUNCTION;
+    ];
+  check_toks "keyword prefix is ident" "iffy ender"
+    [ Token.IDENT "iffy"; Token.IDENT "ender" ]
+
+let test_comments_and_continuation () =
+  check_toks "comment to eol" "a % comment here\nb"
+    [ Token.IDENT "a"; Token.NEWLINE; Token.IDENT "b" ];
+  check_toks "continuation" "a + ...\n  b"
+    [ Token.IDENT "a"; Token.PLUS; Token.IDENT "b" ];
+  check_toks "continuation with trailing comment" "a + ... sum\nb"
+    [ Token.IDENT "a"; Token.PLUS; Token.IDENT "b" ];
+  check_toks "newlines kept" "a\nb" [ Token.IDENT "a"; Token.NEWLINE; Token.IDENT "b" ]
+
+let test_block_comments () =
+  check_toks "block comment" "a\n%{\nanything % here\n%}\nb"
+    [ Token.IDENT "a"; Token.NEWLINE; Token.NEWLINE; Token.IDENT "b" ];
+  check_toks "nested" "%{\n%{\ninner\n%}\nouter\n%}\nx"
+    [ Token.NEWLINE; Token.IDENT "x" ];
+  match Lexer.tokens "%{\nnever closed" with
+  | exception Source.Error _ -> ()
+  | _ -> Alcotest.fail "unterminated block comment must error"
+
+let test_errors () =
+  let expect_error src =
+    match Lexer.tokens src with
+    | exception Source.Error _ -> ()
+    | _ -> Alcotest.failf "expected lexer error on %S" src
+  in
+  expect_error "'unterminated";
+  expect_error "a $ b";
+  expect_error "a #"
+
+let test_positions () =
+  let lexed = Lexer.tokens "a\n  b" in
+  let b = lexed.(2) in
+  Alcotest.(check int) "line" 2 b.Lexer.tpos.Source.line;
+  Alcotest.(check int) "col" 3 b.Lexer.tpos.Source.col
+
+let suite =
+  [
+    t "numbers" test_numbers;
+    t "number/operator ambiguity" test_number_operator_ambiguity;
+    t "quote rule (transpose vs string)" test_quote_rule;
+    t "operators" test_operators;
+    t "keywords" test_keywords;
+    t "comments and continuations" test_comments_and_continuation;
+    t "block comments" test_block_comments;
+    t "lexical errors" test_errors;
+    t "positions" test_positions;
+  ]

@@ -1,0 +1,274 @@
+(* Parser unit tests: precedence, statements, functions, matrix
+   literals, index syntax, and a qcheck round-trip property
+   (pretty-print then reparse yields the same tree). *)
+
+open Mlang
+
+let t name f = Alcotest.test_case name `Quick f
+
+let parse_e src = Parser.parse_expr_string src
+let show_e e = Pp.expr_to_string e
+
+let check_parse msg src expected =
+  Alcotest.(check string) msg expected (show_e (parse_e src))
+
+let test_precedence () =
+  check_parse "mul over add" "1 + 2 * 3" "1 + 2 * 3";
+  check_parse "paren preserved" "(1 + 2) * 3" "(1 + 2) * 3";
+  check_parse "power over unary minus" "-2 ^ 2" "-2 ^ 2";
+  (* -2^2 parses as -(2^2) *)
+  Alcotest.(check bool) "neg of pow" true
+    (match (parse_e "-2^2").desc with
+    | Ast.Unop (Ast.Neg, { desc = Ast.Binop (Ast.Pow, _, _); _ }) -> true
+    | _ -> false);
+  (* 2^-3 allows signed exponent *)
+  Alcotest.(check bool) "signed exponent" true
+    (match (parse_e "2^-3").desc with
+    | Ast.Binop (Ast.Pow, _, { desc = Ast.Unop (Ast.Neg, _); _ }) -> true
+    | _ -> false);
+  (* power is left associative *)
+  Alcotest.(check bool) "pow left assoc" true
+    (match (parse_e "2^3^2").desc with
+    | Ast.Binop (Ast.Pow, { desc = Ast.Binop (Ast.Pow, _, _); _ }, _) -> true
+    | _ -> false);
+  (* colon binds looser than + *)
+  Alcotest.(check bool) "range of sums" true
+    (match (parse_e "1:n-1").desc with
+    | Ast.Range (_, None, { desc = Ast.Binop (Ast.Sub, _, _); _ }) -> true
+    | _ -> false);
+  (* comparison looser than colon *)
+  Alcotest.(check bool) "cmp of range" true
+    (match (parse_e "x < 1:3").desc with
+    | Ast.Binop (Ast.Lt, _, { desc = Ast.Range _; _ }) -> true
+    | _ -> false);
+  (* && looser than || ? no: || loosest *)
+  Alcotest.(check bool) "or of and" true
+    (match (parse_e "a && b || c").desc with
+    | Ast.Binop (Ast.Shortor, { desc = Ast.Binop (Ast.Shortand, _, _); _ }, _) ->
+        true
+    | _ -> false)
+
+let test_transpose () =
+  Alcotest.(check bool) "postfix after index" true
+    (match (parse_e "a(i)'").desc with
+    | Ast.Unop (Ast.Ctranspose, { desc = Ast.Apply ("a", _); _ }) -> true
+    | _ -> false);
+  Alcotest.(check bool) "dot-quote is Transpose" true
+    (match (parse_e "a.'").desc with
+    | Ast.Unop (Ast.Transpose, _) -> true
+    | _ -> false);
+  (* r'*r is (r') * r *)
+  Alcotest.(check bool) "transpose then mul" true
+    (match (parse_e "r'*r").desc with
+    | Ast.Binop (Ast.Mul, { desc = Ast.Unop (Ast.Ctranspose, _); _ }, _) -> true
+    | _ -> false)
+
+let test_ranges () =
+  Alcotest.(check bool) "two-part" true
+    (match (parse_e "1:10").desc with
+    | Ast.Range (_, None, _) -> true
+    | _ -> false);
+  Alcotest.(check bool) "three-part middle is step" true
+    (match (parse_e "0:0.1:1").desc with
+    | Ast.Range
+        ( { desc = Ast.Num 0.; _ },
+          Some { desc = Ast.Num 0.1; _ },
+          { desc = Ast.Num 1.; _ } ) ->
+        true
+    | _ -> false)
+
+let test_matrix_literals () =
+  Alcotest.(check bool) "2x2" true
+    (match (parse_e "[1, 2; 3, 4]").desc with
+    | Ast.Matrix [ [ _; _ ]; [ _; _ ] ] -> true
+    | _ -> false);
+  Alcotest.(check bool) "empty" true
+    (match (parse_e "[]").desc with Ast.Matrix [] -> true | _ -> false);
+  (* newline acts as a row separator inside brackets *)
+  Alcotest.(check bool) "newline rows" true
+    (match (parse_e "[1, 2\n3, 4]").desc with
+    | Ast.Matrix [ [ _; _ ]; [ _; _ ] ] -> true
+    | _ -> false)
+
+let test_index_syntax () =
+  Alcotest.(check bool) "colon argument" true
+    (match (parse_e "a(:, 2)").desc with
+    | Ast.Apply ("a", [ { desc = Ast.Colon; _ }; _ ]) -> true
+    | _ -> false);
+  Alcotest.(check bool) "end arithmetic" true
+    (match (parse_e "a(end - 1)").desc with
+    | Ast.Apply ("a", [ { desc = Ast.Binop (Ast.Sub, { desc = Ast.End_marker; _ }, _); _ } ])
+      ->
+        true
+    | _ -> false);
+  Alcotest.(check bool) "range with end" true
+    (match (parse_e "a(2:end)").desc with
+    | Ast.Apply ("a", [ { desc = Ast.Range (_, None, { desc = Ast.End_marker; _ }); _ } ])
+      ->
+        true
+    | _ -> false);
+  Alcotest.(check bool) "empty call" true
+    (match (parse_e "f()").desc with Ast.Apply ("f", []) -> true | _ -> false)
+
+let parse_p src = Parser.parse_program src
+
+let test_statements () =
+  let p = parse_p "x = 1;\ny = 2\n" in
+  (match p.script with
+  | [ { sdesc = Ast.Assign (_, _, false); _ }; { sdesc = Ast.Assign (_, _, true); _ } ]
+    ->
+      ()
+  | _ -> Alcotest.fail "semicolon display flags");
+  let p = parse_p "if a\n x = 1;\nelseif b\n x = 2;\nelse\n x = 3;\nend" in
+  (match p.script with
+  | [ { sdesc = Ast.If ([ _; _ ], [ _ ]); _ } ] -> ()
+  | _ -> Alcotest.fail "if/elseif/else shape");
+  let p = parse_p "while x > 0\n x = x - 1;\nend" in
+  (match p.script with
+  | [ { sdesc = Ast.While (_, [ _ ]); _ } ] -> ()
+  | _ -> Alcotest.fail "while shape");
+  let p = parse_p "for i = 1:3\n s = s + i;\nend" in
+  (match p.script with
+  | [ { sdesc = Ast.For ("i", { desc = Ast.Range _; _ }, [ _ ]); _ } ] -> ()
+  | _ -> Alcotest.fail "for shape");
+  let p = parse_p "a(2, 3) = 7;" in
+  (match p.script with
+  | [ { sdesc = Ast.Assign ({ lv_name = "a"; lv_indices = Some [ _; _ ]; _ }, _, false); _ } ]
+    ->
+      ()
+  | _ -> Alcotest.fail "indexed assignment");
+  let p = parse_p "[r, c] = size(A);" in
+  (match p.script with
+  | [ { sdesc = Ast.Multi_assign ([ _; _ ], { desc = Ast.Apply ("size", _); _ }, false); _ } ]
+    ->
+      ()
+  | _ -> Alcotest.fail "multi assignment");
+  (* [1, 2] as an expression statement must NOT parse as multi-assign *)
+  let p = parse_p "[1, 2];" in
+  (match p.script with
+  | [ { sdesc = Ast.Expr ({ desc = Ast.Matrix _; _ }, false); _ } ] -> ()
+  | _ -> Alcotest.fail "matrix literal statement")
+
+let test_functions () =
+  let p = parse_p "x = f(2);\nfunction y = f(a)\n  y = a * 2;\nend" in
+  (match p.funcs with
+  | [ { fname = "f"; params = [ "a" ]; returns = [ "y" ]; _ } ] -> ()
+  | _ -> Alcotest.fail "single function");
+  let p =
+    parse_p
+      "function [a, b] = two()\n  a = 1;\n  b = 2;\nend\nfunction z = g(p, q)\n\
+       \  z = p + q;\nend"
+  in
+  (match p.funcs with
+  | [
+   { fname = "two"; params = []; returns = [ "a"; "b" ]; _ };
+   { fname = "g"; params = [ "p"; "q" ]; returns = [ "z" ]; _ };
+  ] ->
+      ()
+  | _ -> Alcotest.fail "two functions");
+  (* function without trailing end, terminated by next function *)
+  let p = parse_p "function y = f(a)\ny = a;\nfunction z = g(b)\nz = b;\n" in
+  Alcotest.(check int) "unterminated functions" 2 (List.length p.funcs)
+
+let test_parse_errors () =
+  let expect src =
+    match parse_p src with
+    | exception Source.Error _ -> ()
+    | _ -> Alcotest.failf "expected parse error on %S" src
+  in
+  expect "x = ;";
+  expect "if x\ny = 1;";
+  (* missing end *)
+  expect "x = (1 + 2";
+  expect "for = 3";
+  expect "x = 1 +"
+
+(* Round-trip property: print then reparse gives a structurally equal
+   tree (ids differ).  Expressions are generated randomly. *)
+let gen_expr : Ast.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var = oneofl [ "a"; "b"; "c"; "xs" ] in
+  let leaf =
+    oneof
+      [
+        map (fun n -> Ast.mk (Ast.Num (float_of_int n))) (int_bound 99);
+        map (fun v -> Ast.mk (Ast.Ident v)) var;
+      ]
+  in
+  let binop =
+    oneofl
+      [
+        Ast.Add; Ast.Sub; Ast.Mul; Ast.Emul; Ast.Div; Ast.Ediv; Ast.Pow;
+        Ast.Epow; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.Eq; Ast.Ne; Ast.And;
+        Ast.Or; Ast.Shortand; Ast.Shortor;
+      ]
+  in
+  fix
+    (fun self n ->
+      if n = 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            ( 4,
+              map3
+                (fun op a b -> Ast.mk (Ast.Binop (op, a, b)))
+                binop (self (n / 2)) (self (n / 2)) );
+            ( 1,
+              map
+                (fun a -> Ast.mk (Ast.Unop (Ast.Neg, a)))
+                (self (n - 1)) );
+            ( 1,
+              map
+                (fun a -> Ast.mk (Ast.Unop (Ast.Ctranspose, a)))
+                (self (n - 1)) );
+            ( 1,
+              map2
+                (fun a b -> Ast.mk (Ast.Range (a, None, b)))
+                (self (n / 2)) (self (n / 2)) );
+            ( 1,
+              map2
+                (fun v args -> Ast.mk (Ast.Apply (v, args)))
+                var
+                (list_size (int_range 1 2) (self (n / 2))) );
+          ])
+    4
+
+let rec expr_equal (a : Ast.expr) (b : Ast.expr) =
+  match (a.desc, b.desc) with
+  | Ast.Num x, Ast.Num y -> x = y
+  | Ast.Str x, Ast.Str y -> x = y
+  | Ast.Ident x, Ast.Ident y | Ast.Varref x, Ast.Varref y -> x = y
+  | Ast.Colon, Ast.Colon | Ast.End_marker, Ast.End_marker -> true
+  | Ast.Binop (o1, a1, b1), Ast.Binop (o2, a2, b2) ->
+      o1 = o2 && expr_equal a1 a2 && expr_equal b1 b2
+  | Ast.Unop (o1, a1), Ast.Unop (o2, a2) -> o1 = o2 && expr_equal a1 a2
+  | Ast.Range (a1, s1, b1), Ast.Range (a2, s2, b2) ->
+      expr_equal a1 a2 && expr_equal b1 b2
+      && Option.equal expr_equal s1 s2
+  | Ast.Apply (n1, l1), Ast.Apply (n2, l2) ->
+      n1 = n2 && List.equal expr_equal l1 l2
+  | Ast.Matrix r1, Ast.Matrix r2 -> List.equal (List.equal expr_equal) r1 r2
+  | _ -> false
+
+let roundtrip_prop e =
+  let printed = Pp.expr_to_string e in
+  match Parser.parse_expr_string printed with
+  | reparsed -> expr_equal e reparsed
+  | exception Source.Error (_, msg) ->
+      QCheck.Test.fail_reportf "reparse of %S failed: %s" printed msg
+
+let suite =
+  [
+    t "precedence" test_precedence;
+    t "transpose" test_transpose;
+    t "ranges" test_ranges;
+    t "matrix literals" test_matrix_literals;
+    t "index syntax" test_index_syntax;
+    t "statements" test_statements;
+    t "functions" test_functions;
+    t "parse errors" test_parse_errors;
+    Testutil.qtest ~count:500 "print/reparse round trip"
+      (QCheck.make ~print:(fun e -> Pp.expr_to_string e) gen_expr)
+      roundtrip_prop;
+  ]

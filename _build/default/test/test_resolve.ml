@@ -1,0 +1,135 @@
+(* Identifier resolution tests (paper pass 2): variables vs functions,
+   M-file loading through the path, shadowing, error cases. *)
+
+open Mlang
+
+let t name f = Alcotest.test_case name `Quick f
+
+let resolve ?path src = Analysis.Resolve.run ?path (Parser.parse_program src)
+
+(* Find the desc of the first RHS in the script. *)
+let first_rhs (p : Ast.program) =
+  match p.script with
+  | { sdesc = Ast.Assign (_, rhs, _); _ } :: _ -> rhs
+  | _ -> Alcotest.fail "expected a leading assignment"
+
+let nth_rhs n (p : Ast.program) =
+  match List.nth p.script n with
+  | { sdesc = Ast.Assign (_, rhs, _); _ } -> rhs
+  | _ -> Alcotest.fail "expected an assignment"
+
+let test_variable_vs_function () =
+  (* x defined, then x(2) is indexing; sum is a builtin call *)
+  let p = resolve "x = ones(3, 1);\ny = x(2);\nz = sum(x);" in
+  (match (nth_rhs 1 p).desc with
+  | Ast.Index ("x", _) -> ()
+  | _ -> Alcotest.fail "x(2) should resolve to indexing");
+  match (nth_rhs 2 p).desc with
+  | Ast.Call ("sum", _) -> ()
+  | _ -> Alcotest.fail "sum(x) should resolve to a call"
+
+let test_zero_arg_builtin () =
+  let p = resolve "x = pi;" in
+  match (first_rhs p).desc with
+  | Ast.Call ("pi", []) -> ()
+  | _ -> Alcotest.fail "pi should resolve to a 0-argument call"
+
+let test_variable_shadows_function () =
+  (* After sum is assigned, sum(2) indexes the variable. *)
+  let p = resolve "sum = ones(4, 1);\ny = sum(2);" in
+  match (nth_rhs 1 p).desc with
+  | Ast.Index ("sum", _) -> ()
+  | _ -> Alcotest.fail "variable should shadow builtin"
+
+let test_local_function_resolution () =
+  let p = resolve "y = f(3);\nfunction r = f(x)\n  r = x + 1;\nend" in
+  (match (first_rhs p).desc with
+  | Ast.Call ("f", _) -> ()
+  | _ -> Alcotest.fail "f should resolve to the local function");
+  Alcotest.(check int) "function kept" 1 (List.length p.funcs)
+
+let test_path_loading () =
+  let helper =
+    match (Parser.parse_program "function r = helper(x)\n r = 2 * x;\nend").funcs
+    with
+    | [ f ] -> f
+    | _ -> Alcotest.fail "helper parse"
+  in
+  let path name = if name = "helper" then Some helper else None in
+  let p = resolve ~path "y = helper(21);" in
+  Alcotest.(check int) "helper pulled in" 1 (List.length p.funcs);
+  (* transitive references resolve too *)
+  let chain1 =
+    match
+      (Parser.parse_program "function r = chain1(x)\n r = chain2(x) + 1;\nend")
+        .funcs
+    with
+    | [ f ] -> f
+    | _ -> assert false
+  in
+  let chain2 =
+    match
+      (Parser.parse_program "function r = chain2(x)\n r = x * 2;\nend").funcs
+    with
+    | [ f ] -> f
+    | _ -> assert false
+  in
+  let path name =
+    match name with
+    | "chain1" -> Some chain1
+    | "chain2" -> Some chain2
+    | _ -> None
+  in
+  let p = resolve ~path "y = chain1(1);" in
+  Alcotest.(check int) "both M-files added to the AST" 2 (List.length p.funcs)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+let test_function_scope () =
+  (* Script variables are not visible inside functions. *)
+  match resolve "g = 5;\ny = f(1);\nfunction r = f(x)\n  r = g + x;\nend" with
+  | exception Source.Error (_, msg) ->
+      Alcotest.(check bool) "mentions g" true (contains ~affix:"'g'" msg)
+  | _ -> Alcotest.fail "function should not see script variables"
+
+let test_undefined () =
+  (match resolve "y = nosuchthing;" with
+  | exception Source.Error _ -> ()
+  | _ -> Alcotest.fail "undefined identifier must be an error");
+  (match resolve "y = nosuchfun(3);" with
+  | exception Source.Error _ -> ()
+  | _ -> Alcotest.fail "undefined function must be an error");
+  match resolve "a(3) = 1;" with
+  | exception Source.Error _ -> ()
+  | _ -> Alcotest.fail "indexed assignment to undefined variable must error"
+
+let test_for_var_defined () =
+  let p = resolve "for i = 1:3\n  y = i;\nend" in
+  match p.script with
+  | [ { sdesc = Ast.For (_, _, [ { sdesc = Ast.Assign (_, rhs, _); _ } ]); _ } ]
+    -> (
+      match rhs.desc with
+      | Ast.Varref "i" -> ()
+      | _ -> Alcotest.fail "loop variable should be a variable reference")
+  | _ -> Alcotest.fail "for shape"
+
+let test_unassigned_return () =
+  match resolve "y = f(1);\nfunction r = f(x)\n  q = x;\nend" with
+  | exception Source.Error _ -> ()
+  | _ -> Alcotest.fail "unassigned return value must be an error"
+
+let suite =
+  [
+    t "variable vs function" test_variable_vs_function;
+    t "zero-argument builtin" test_zero_arg_builtin;
+    t "variable shadows function" test_variable_shadows_function;
+    t "local function" test_local_function_resolution;
+    t "M-file path loading" test_path_loading;
+    t "function scope isolation" test_function_scope;
+    t "undefined identifiers" test_undefined;
+    t "for variable" test_for_var_defined;
+    t "unassigned return" test_unassigned_return;
+  ]

@@ -1,0 +1,263 @@
+(* Machine-simulator tests: timing model, scheduling, contention,
+   determinism, deadlock detection. *)
+
+module Sim = Mpisim.Sim
+module Machine = Mpisim.Machine
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* A dedicated-link test machine with easy numbers: 1 us latency,
+   1 MB/s bandwidth, no overheads, 1 Gflop/s. *)
+let lab ?(channel = None) () =
+  {
+    Machine.name = "lab";
+    max_procs = 64;
+    flop_time = 1e-9;
+    interp_overhead = 0.;
+    send_overhead = 0.;
+    recv_overhead = 0.;
+    link = (fun _ _ -> { Machine.latency = 1e-6; bandwidth = 1e6; channel });
+  }
+
+let test_compute_advances_clock () =
+  let _, r =
+    Sim.run ~machine:(lab ()) ~nprocs:1 (fun _ -> Sim.compute 0.25)
+  in
+  Testutil.check_close "makespan" 0.25 r.Sim.makespan
+
+let test_flops_use_machine_rate () =
+  let _, r = Sim.run ~machine:(lab ()) ~nprocs:1 (fun _ -> Sim.flops 1e6) in
+  Testutil.check_close "1e6 flops at 1ns" 1e-3 r.Sim.makespan
+
+let test_message_timing () =
+  (* 1000 doubles = 8000 bytes at 1 MB/s = 8 ms, plus 1 us latency. *)
+  let _, r =
+    Sim.run ~machine:(lab ()) ~nprocs:2 (fun rank ->
+        if rank = 0 then Sim.send ~dst:1 ~tag:1 (Sim.Floats (Array.make 1000 0.))
+        else ignore (Sim.recv ~src:0 ~tag:1))
+  in
+  Testutil.check_close "latency + serialization" (8e-3 +. 1e-6) r.Sim.makespan;
+  Alcotest.(check int) "bytes counted" 8000 r.Sim.bytes;
+  Alcotest.(check int) "one message" 1 r.Sim.messages
+
+let test_receiver_waits_for_arrival () =
+  let results, _ =
+    Sim.run ~machine:(lab ()) ~nprocs:2 (fun rank ->
+        if rank = 0 then begin
+          Sim.compute 1.0;
+          Sim.send ~dst:1 ~tag:1 (Sim.Floats [| 42. |]);
+          0.
+        end
+        else begin
+          ignore (Sim.recv ~src:0 ~tag:1);
+          Sim.time ()
+        end)
+  in
+  Alcotest.(check bool) "receiver clock past sender's send time" true
+    (results.(1) >= 1.0)
+
+let test_sender_does_not_block () =
+  let results, _ =
+    Sim.run ~machine:(lab ()) ~nprocs:2 (fun rank ->
+        if rank = 0 then begin
+          Sim.send ~dst:1 ~tag:1 (Sim.Floats (Array.make 100000 0.));
+          Sim.time ()
+        end
+        else begin
+          Sim.compute 10.;
+          ignore (Sim.recv ~src:0 ~tag:1);
+          0.
+        end)
+  in
+  Alcotest.(check bool) "eager send returns immediately" true
+    (results.(0) < 1e-3)
+
+let test_fifo_order_per_pair () =
+  let results, _ =
+    Sim.run ~machine:(lab ()) ~nprocs:2 (fun rank ->
+        if rank = 0 then begin
+          Sim.send ~dst:1 ~tag:1 (Sim.Floats [| 1. |]);
+          Sim.send ~dst:1 ~tag:1 (Sim.Floats [| 2. |]);
+          Sim.send ~dst:1 ~tag:1 (Sim.Floats [| 3. |]);
+          []
+        end
+        else
+          List.map
+            (fun _ ->
+              match Sim.recv ~src:0 ~tag:1 with
+              | Sim.Floats [| x |] -> x
+              | _ -> nan)
+            [ (); (); () ])
+  in
+  Alcotest.(check (list (float 0.))) "in order" [ 1.; 2.; 3. ] results.(1)
+
+let test_tags_demultiplex () =
+  let results, _ =
+    Sim.run ~machine:(lab ()) ~nprocs:2 (fun rank ->
+        if rank = 0 then begin
+          Sim.send ~dst:1 ~tag:7 (Sim.Floats [| 7. |]);
+          Sim.send ~dst:1 ~tag:5 (Sim.Floats [| 5. |]);
+          0.
+        end
+        else begin
+          (* receive in the opposite order of sending *)
+          let a = Sim.recv_floats ~src:0 ~tag:5 in
+          let b = Sim.recv_floats ~src:0 ~tag:7 in
+          (a.(0) *. 10.) +. b.(0)
+        end)
+  in
+  Testutil.check_close "tag matching" 57. results.(1)
+
+let test_payload_copied_on_send () =
+  (* Mutating the buffer after send must not affect the receiver. *)
+  let results, _ =
+    Sim.run ~machine:(lab ()) ~nprocs:2 (fun rank ->
+        if rank = 0 then begin
+          let buf = [| 1.; 2. |] in
+          Sim.send ~dst:1 ~tag:1 (Sim.Floats buf);
+          buf.(0) <- 99.;
+          0.
+        end
+        else (Sim.recv_floats ~src:0 ~tag:1).(0))
+  in
+  Testutil.check_close "copy semantics" 1. results.(1)
+
+let test_shared_channel_serializes () =
+  (* Two simultaneous 8 KB transfers on one shared channel take twice
+     as long as on dedicated links. *)
+  let payload () = Sim.Floats (Array.make 1000 0.) in
+  let body rank =
+    if rank = 0 || rank = 1 then
+      Sim.send ~dst:(rank + 2) ~tag:1 (payload ())
+    else ignore (Sim.recv ~src:(rank - 2) ~tag:1)
+  in
+  let _, shared = Sim.run ~machine:(lab ~channel:(Some 0) ()) ~nprocs:4 body in
+  let _, dedicated = Sim.run ~machine:(lab ()) ~nprocs:4 body in
+  Testutil.check_close ~tol:1e-6 "dedicated overlap" (8e-3 +. 1e-6)
+    dedicated.Sim.makespan;
+  Alcotest.(check bool) "shared serializes" true
+    (shared.Sim.makespan > 1.9 *. dedicated.Sim.makespan)
+
+let test_contention_respects_virtual_time () =
+  (* A rank that sends late must not be charged for an early rank's
+     channel reservation made in wall-clock scheduling order. *)
+  let _, r =
+    Sim.run ~machine:(lab ~channel:(Some 0) ()) ~nprocs:4 (fun rank ->
+        match rank with
+        | 0 -> Sim.send ~dst:2 ~tag:1 (Sim.Floats (Array.make 1000 0.))
+        | 1 ->
+            (* long compute first: its send happens at t=1s, when the
+               channel has long been idle again *)
+            Sim.compute 1.0;
+            Sim.send ~dst:3 ~tag:1 (Sim.Floats (Array.make 1000 0.))
+        | 2 -> ignore (Sim.recv ~src:0 ~tag:1)
+        | _ -> ignore (Sim.recv ~src:1 ~tag:1))
+  in
+  (* makespan = 1s + one transfer, NOT 1s + queued-behind-everything *)
+  Testutil.check_close ~tol:1e-3 "no false queueing" (1.0 +. 8e-3) r.Sim.makespan
+
+let test_determinism () =
+  let body rank =
+    let v = Mpisim.Coll.allreduce_scalar ~op:Mpisim.Coll.Sum (float_of_int rank) in
+    Sim.flops (100. *. v);
+    v
+  in
+  let _, r1 = Sim.run ~machine:Machine.sparc20_cluster ~nprocs:16 body in
+  let _, r2 = Sim.run ~machine:Machine.sparc20_cluster ~nprocs:16 body in
+  Testutil.check_close "same makespan" r1.Sim.makespan r2.Sim.makespan;
+  Alcotest.(check int) "same messages" r1.Sim.messages r2.Sim.messages
+
+let test_deadlock_detection () =
+  (match
+     Sim.run ~machine:(lab ()) ~nprocs:2 (fun rank ->
+         ignore (Sim.recv ~src:(1 - rank) ~tag:9))
+   with
+  | exception Sim.Deadlock _ -> ()
+  | _ -> Alcotest.fail "cross recv must deadlock");
+  match
+    Sim.run ~machine:(lab ()) ~nprocs:1 (fun _ -> ignore (Sim.recv ~src:0 ~tag:1))
+  with
+  | exception Sim.Deadlock _ -> ()
+  | _ -> Alcotest.fail "self recv with no message must deadlock"
+
+let test_bad_ranks_rejected () =
+  (match
+     Sim.run ~machine:(lab ()) ~nprocs:2 (fun rank ->
+         if rank = 0 then Sim.send ~dst:5 ~tag:1 (Sim.Floats [| 1. |]))
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad destination must be rejected");
+  match Sim.run ~machine:Machine.enterprise_smp ~nprocs:12 (fun _ -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "too many processors must be rejected"
+
+let test_rank_exception_propagates () =
+  (* A failure on any rank aborts the whole simulation with the
+     original exception (the VM relies on this for error reporting). *)
+  match
+    Sim.run ~machine:(lab ()) ~nprocs:4 (fun rank ->
+        if rank = 2 then failwith "injected fault";
+        Sim.compute 1.)
+  with
+  | exception Failure msg -> Alcotest.(check string) "message" "injected fault" msg
+  | _ -> Alcotest.fail "exception must propagate out of run"
+
+let test_exception_after_communication () =
+  (* Fault after messages are in flight: still propagates cleanly. *)
+  match
+    Sim.run ~machine:(lab ()) ~nprocs:2 (fun rank ->
+        if rank = 0 then begin
+          Sim.send ~dst:1 ~tag:1 (Sim.Floats [| 1. |]);
+          Sim.compute 1.
+        end
+        else begin
+          ignore (Sim.recv ~src:0 ~tag:1);
+          failwith "late fault"
+        end)
+  with
+  | exception Failure msg -> Alcotest.(check string) "message" "late fault" msg
+  | _ -> Alcotest.fail "late exception must propagate"
+
+let test_machine_lookup () =
+  let is name m =
+    match Machine.by_name name with
+    | Some found -> found == m
+    | None -> false
+  in
+  Alcotest.(check bool) "meiko" true (is "meiko" Machine.meiko_cs2);
+  Alcotest.(check bool) "smp" true (is "smp" Machine.enterprise_smp);
+  Alcotest.(check bool) "cluster" true (is "cluster" Machine.sparc20_cluster);
+  Alcotest.(check bool) "beowulf" true (is "beowulf" Machine.beowulf);
+  Alcotest.(check bool) "unknown" true (Machine.by_name "cray" = None)
+
+let test_cluster_topology () =
+  (* intra-node links are fast, inter-node links go over the Ethernet *)
+  let m = Machine.sparc20_cluster in
+  let intra = m.Machine.link 0 3 and inter = m.Machine.link 3 4 in
+  Alcotest.(check bool) "intra faster" true
+    (intra.Machine.latency < inter.Machine.latency /. 10.);
+  Alcotest.(check bool) "ethernet shared" true
+    (inter.Machine.channel = Some 100);
+  Alcotest.(check bool) "node buses distinct" true
+    ((m.Machine.link 0 1).Machine.channel <> (m.Machine.link 4 5).Machine.channel)
+
+let suite =
+  [
+    t "compute advances the clock" test_compute_advances_clock;
+    t "flops use the machine rate" test_flops_use_machine_rate;
+    t "message timing" test_message_timing;
+    t "receiver waits for arrival" test_receiver_waits_for_arrival;
+    t "sends are eager" test_sender_does_not_block;
+    t "FIFO per (src, tag)" test_fifo_order_per_pair;
+    t "tags demultiplex" test_tags_demultiplex;
+    t "payloads are copied" test_payload_copied_on_send;
+    t "shared channel serializes" test_shared_channel_serializes;
+    t "contention follows virtual time" test_contention_respects_virtual_time;
+    t "determinism" test_determinism;
+    t "deadlock detection" test_deadlock_detection;
+    t "bad ranks rejected" test_bad_ranks_rejected;
+    t "rank exception propagates" test_rank_exception_propagates;
+    t "exception after communication" test_exception_after_communication;
+    t "machine lookup" test_machine_lookup;
+    t "cluster topology" test_cluster_topology;
+  ]

@@ -1,0 +1,189 @@
+(* SSA construction tests (paper pass 3): versioning, phi placement at
+   if joins and loop headers, single-assignment invariant (also as a
+   qcheck property over random structured programs). *)
+
+open Mlang
+module Ssa = Analysis.Ssa
+
+let t name f = Alcotest.test_case name `Quick f
+
+let convert src =
+  let p = Analysis.Resolve.run (Parser.parse_program src) in
+  Ssa.convert_script p.script
+
+let rec collect_phis (b : Ssa.sblock) : Ssa.phi list =
+  List.concat_map
+    (function
+      | Ssa.Sif (branches, els, phis) ->
+          phis
+          @ List.concat_map (fun (_, blk) -> collect_phis blk) branches
+          @ collect_phis els
+      | Ssa.Swhile (phis, _, blk) | Ssa.Sfor (_, _, phis, blk) ->
+          phis @ collect_phis blk
+      | _ -> [])
+    b
+
+let test_straight_line_versions () =
+  let b, env = convert "x = 1;\nx = x + 1;\nx = x * 2;" in
+  (match b with
+  | [ Ssa.Sassign (v1, _, _); Ssa.Sassign (v2, _, _); Ssa.Sassign (v3, _, _) ]
+    ->
+      Alcotest.(check string) "v1" "x@1" v1;
+      Alcotest.(check string) "v2" "x@2" v2;
+      Alcotest.(check string) "v3" "x@3" v3
+  | _ -> Alcotest.fail "three assignments expected");
+  Alcotest.(check (option string)) "final version" (Some "x@3")
+    (Ssa.Smap.find_opt "x" env)
+
+let test_use_sees_previous_version () =
+  let b, _ = convert "x = 1;\ny = x + x;" in
+  match b with
+  | [ _; Ssa.Sassign (_, { desc = Ast.Binop (_, { desc = Ast.Varref a; _ }, { desc = Ast.Varref b2; _ }); _ }, _) ]
+    ->
+      Alcotest.(check string) "lhs use" "x@1" a;
+      Alcotest.(check string) "rhs use" "x@1" b2
+  | _ -> Alcotest.fail "shape"
+
+let test_if_phi () =
+  let b, env = convert "c = 1;\nx = 1;\nif c\n  x = 2;\nelse\n  x = 3;\nend\ny = x;"
+  in
+  let phis = collect_phis b in
+  (match phis with
+  | [ { Ssa.base = "x"; args; target } ] ->
+      Alcotest.(check (list string)) "phi args" [ "x@2"; "x@3" ] args;
+      Alcotest.(check (option string)) "env after if" (Some target)
+        (Ssa.Smap.find_opt "x" env)
+  | _ -> Alcotest.fail "one phi for x expected")
+
+let test_if_phi_uninitialized_branch () =
+  (* x assigned only in the then-branch: the phi's else argument is the
+     bottom version x@0. *)
+  let b, _ = convert "c = 1;\nif c\n  x = 2;\nend\n" in
+  match collect_phis b with
+  | [ { Ssa.base = "x"; args; _ } ] ->
+      Alcotest.(check (list string)) "phi args" [ "x@1"; "x@0" ] args
+  | _ -> Alcotest.fail "one phi for x expected"
+
+let test_loop_phi () =
+  let b, _ = convert "s = 0;\nfor i = 1:3\n  s = s + 1;\nend" in
+  match collect_phis b with
+  | [ { Ssa.base = "s"; args = [ entry; backedge ]; target } ] ->
+      Alcotest.(check string) "entry arg" "s@1" entry;
+      Alcotest.(check string) "backedge arg" "s@3" backedge;
+      (* the body use of s refers to the phi version *)
+      Alcotest.(check string) "phi target" "s@2" target
+  | _ -> Alcotest.fail "one loop phi for s expected"
+
+let test_while_condition_uses_phi () =
+  let b, _ = convert "x = 10;\nwhile x > 0\n  x = x - 1;\nend" in
+  match b with
+  | [ _; Ssa.Swhile ([ { Ssa.target; _ } ], cond, _) ] -> (
+      match cond.desc with
+      | Ast.Binop (_, { desc = Ast.Varref v; _ }, _) ->
+          Alcotest.(check string) "condition reads phi" target v
+      | _ -> Alcotest.fail "condition shape")
+  | _ -> Alcotest.fail "while shape"
+
+let test_indexed_update_links_old_version () =
+  let b, _ = convert "a = zeros(3, 3);\na(1, 2) = 5;" in
+  match b with
+  | [ _; Ssa.Supdate (nv, old, _, _) ] ->
+      Alcotest.(check string) "new version" "a@2" nv;
+      Alcotest.(check string) "old version" "a@1" old
+  | _ -> Alcotest.fail "update shape"
+
+let test_multi_assign_versions () =
+  let b, _ = convert "A = ones(2, 3);\n[r, c] = size(A);" in
+  match b with
+  | [ _; Ssa.Smulti ([ (v1, "r"); (v2, "c") ], _) ] ->
+      Alcotest.(check string) "r version" "r@1" v1;
+      Alcotest.(check string) "c version" "c@1" v2
+  | _ -> Alcotest.fail "multi shape"
+
+let test_function_namespacing () =
+  let p =
+    Analysis.Resolve.run
+      (Parser.parse_program "x = 1;\ny = f(x);\nfunction r = f(x)\n  r = x;\nend")
+  in
+  let f = List.hd p.funcs in
+  let sf = Ssa.convert_func f in
+  Alcotest.(check (list string)) "params namespaced" [ "f:x@1" ] sf.sf_params;
+  Alcotest.(check (option string)) "scope" (Some "f")
+    (Ssa.scope_of_version "f:x@1");
+  Alcotest.(check string) "base" "x" (Ssa.base_of_version "f:x@1")
+
+let test_single_assignment_basic () =
+  List.iter
+    (fun src ->
+      let b, _ = convert src in
+      Alcotest.(check bool)
+        (Printf.sprintf "single assignment for %S" src)
+        true
+        (Ssa.single_assignment_holds b))
+    [
+      "x = 1; x = 2; x = x + x;";
+      "c = 1;\nif c\n x = 1;\nelse\n x = 2;\nend\ny = x;";
+      "s = 0;\nfor i = 1:10\n  if s > 3\n    s = 0;\n  end\n  s = s + i;\nend";
+      "x = 5;\nwhile x > 0\n  x = x - 1;\n  y = x * 2;\nend\nz = y;";
+    ]
+
+(* qcheck: random structured programs keep the single-assignment
+   property. *)
+let gen_program : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var = oneofl [ "x"; "y"; "z" ] in
+  let expr =
+    oneof
+      [
+        map string_of_int (int_bound 9);
+        var;
+        map2 (Printf.sprintf "%s + %s") var var;
+      ]
+  in
+  let assign = map2 (Printf.sprintf "%s = %s;") var expr in
+  let rec block n =
+    if n <= 0 then assign
+    else
+      frequency
+        [
+          (4, assign);
+          ( 2,
+            map2
+              (fun a b -> a ^ "\n" ^ b)
+              (block (n / 2)) (block (n / 2)) );
+          ( 1,
+            map2
+              (Printf.sprintf "if x > 0\n%s\nelse\n%s\nend")
+              (block (n - 1)) (block (n - 1)) );
+          ( 1,
+            map
+              (Printf.sprintf "for i = 1:3\n%s\nend")
+              (block (n - 1)) );
+          ( 1,
+            map
+              (Printf.sprintf "while x > 0\nx = x - 1;\n%s\nend")
+              (block (n - 1)) );
+        ]
+  in
+  map (fun b -> "x = 1; y = 1; z = 1;\n" ^ b) (block 4)
+
+let single_assignment_prop src =
+  let b, _ = convert src in
+  Ssa.single_assignment_holds b
+
+let suite =
+  [
+    t "straight-line versions" test_straight_line_versions;
+    t "uses see previous version" test_use_sees_previous_version;
+    t "if-join phi" test_if_phi;
+    t "phi with uninitialized branch" test_if_phi_uninitialized_branch;
+    t "loop-header phi" test_loop_phi;
+    t "while condition uses phi" test_while_condition_uses_phi;
+    t "indexed update links old version" test_indexed_update_links_old_version;
+    t "multiple assignment versions" test_multi_assign_versions;
+    t "function version namespacing" test_function_namespacing;
+    t "single-assignment invariant" test_single_assignment_basic;
+    Testutil.qtest ~count:200 "single assignment on random programs"
+      (QCheck.make ~print:(fun s -> s) gen_program)
+      single_assignment_prop;
+  ]

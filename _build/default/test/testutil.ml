@@ -1,0 +1,75 @@
+(* Shared helpers for the test suites. *)
+
+let check = Alcotest.check
+let checkf msg a b = Alcotest.check (Alcotest.float 1e-9) msg a b
+
+let check_close ?(tol = 1e-9) msg a b =
+  let scale = Float.max 1. (Float.max (Float.abs a) (Float.abs b)) in
+  if Float.abs (a -. b) > tol *. scale then
+    Alcotest.failf "%s: %.17g vs %.17g" msg a b
+
+let check_array_close ?(tol = 1e-9) msg (a : float array) (b : float array) =
+  if Array.length a <> Array.length b then
+    Alcotest.failf "%s: lengths %d vs %d" msg (Array.length a) (Array.length b);
+  Array.iteri (fun i x -> check_close ~tol (Printf.sprintf "%s[%d]" msg i) x b.(i)) a
+
+let compile = Otter.compile
+
+(* Run a script on [nprocs] simulated CPUs and return (output, captures). *)
+let run_parallel ?(machine = Mpisim.Machine.meiko_cs2) ?(nprocs = 4) ?capture src
+    =
+  let c = compile src in
+  let o = Otter.run_parallel ~machine ~nprocs ?capture c in
+  (o.Exec.Vm.output, o.Exec.Vm.captures)
+
+(* Run a script in the reference interpreter (front end only: the
+   interpreter supports dynamic features the compiler rejects). *)
+let run_interp ?capture src =
+  let ast = Analysis.Resolve.run (Mlang.Parser.parse_program src) in
+  let o =
+    Interp.Eval.run ?capture ~mode:Interp.Cost.Interpreter
+      ~machine:Mpisim.Machine.workstation ast
+  in
+  (o.Interp.Eval.output, o.Interp.Eval.captures)
+
+let vm_scalar captures name =
+  match List.assoc_opt name captures with
+  | Some (Exec.Vm.Cscalar f) -> f
+  | Some (Exec.Vm.Cmat (1, 1, [| f |])) -> f
+  | Some (Exec.Vm.Cmat (r, c, _)) ->
+      Alcotest.failf "%s: expected scalar, got %dx%d matrix" name r c
+  | None -> Alcotest.failf "%s: not captured" name
+
+let vm_matrix captures name =
+  match List.assoc_opt name captures with
+  | Some (Exec.Vm.Cmat (r, c, d)) -> (r, c, d)
+  | Some (Exec.Vm.Cscalar f) -> (1, 1, [| f |])
+  | None -> Alcotest.failf "%s: not captured" name
+
+let interp_scalar captures name =
+  match List.assoc_opt name captures with
+  | Some (Interp.Eval.Cscalar f) -> f
+  | Some (Interp.Eval.Cmat (1, 1, [| f |])) -> f
+  | Some (Interp.Eval.Cmat (r, c, _)) ->
+      Alcotest.failf "%s: expected scalar, got %dx%d matrix" name r c
+  | None -> Alcotest.failf "%s: not captured" name
+
+let interp_matrix captures name =
+  match List.assoc_opt name captures with
+  | Some (Interp.Eval.Cmat (r, c, d)) -> (r, c, d)
+  | Some (Interp.Eval.Cscalar f) -> (1, 1, [| f |])
+  | None -> Alcotest.failf "%s: not captured" name
+
+(* Shorthand: evaluate a script in the interpreter and give one scalar. *)
+let interp_value src name =
+  let _, caps = run_interp ~capture:[ name ] src in
+  interp_scalar caps name
+
+(* Shorthand: same on the 4-CPU simulated machine. *)
+let parallel_value ?(nprocs = 4) src name =
+  let _, caps = run_parallel ~nprocs ~capture:[ name ] src in
+  vm_scalar caps name
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name gen prop)
