@@ -1,7 +1,8 @@
 (* Benchmark harness: regenerates every table and figure of the paper.
 
    Usage:
-     main.exe [table1|fig2|fig3|fig4|fig5|fig6|all|micro] [--scale PCT] [--full]
+     main.exe [table1|fig2|fig3|fig4|fig5|fig6|all|faults|micro]
+              [--scale PCT] [--full]
 
    --scale chooses the problem size as a percentage of the paper's
    (default 25%% so `dune exec bench/main.exe` finishes quickly);
@@ -353,6 +354,65 @@ let micro () =
     results;
   print_newline ()
 
+(* --- fault injection: makespan and recovery cost ------------------------ *)
+
+(* Rerun every app under an injected fault model with the reliable
+   layer masking the losses, and price the recovery: extra modeled
+   time, retransmissions, and whether results stay bit-for-bit equal
+   to the clean run. *)
+let faults_bench scale =
+  let faults =
+    match
+      Mpisim.Machine.faults_of_spec "drop=0.02,dup=0.01,delay=0.01,seed=42"
+    with
+    | Ok f -> f
+    | Error msg -> failwith msg
+  in
+  Printf.printf
+    "Fault injection: drop 2%%, duplicate 1%%, delay-spike 1%% (seed 42), \
+     reliable layer on\n";
+  Printf.printf "  problem scale: %d%% of paper sizes; 8 CPUs\n" scale;
+  print_endline (String.make 78 '-');
+  Printf.printf "%-10s %-10s %9s %9s %7s %6s %6s %7s %6s\n" "App" "Machine"
+    "clean (s)" "fault (s)" "ovhd" "drops" "dups" "retries" "exact";
+  print_endline (String.make 78 '-');
+  List.iter
+    (fun (app : Apps.Scripts.app) ->
+      let c = compile_app app scale in
+      List.iter
+        (fun (label, (m : Mpisim.Machine.t)) ->
+          let nprocs = min 8 m.max_procs in
+          let clean =
+            Otter.run_parallel ~capture:app.capture ~machine:m ~nprocs c
+          in
+          let fm = Mpisim.Machine.with_faults ~reliable:true ~faults m in
+          let faulted =
+            Otter.run_parallel ~capture:app.capture ~machine:fm ~nprocs c
+          in
+          let r = faulted.Exec.Vm.report and r0 = clean.Exec.Vm.report in
+          let exact =
+            clean.Exec.Vm.captures = faulted.Exec.Vm.captures
+            && clean.Exec.Vm.output = faulted.Exec.Vm.output
+          in
+          Printf.printf "%-10s %-10s %9.4f %9.4f %6.1f%% %6d %6d %7d %6s\n"
+            app.key label r0.Mpisim.Sim.makespan r.Mpisim.Sim.makespan
+            (100.
+            *. (r.Mpisim.Sim.makespan -. r0.Mpisim.Sim.makespan)
+            /. r0.Mpisim.Sim.makespan)
+            r.drops r.dups r.retries
+            (if exact then "yes" else "NO"))
+        [
+          ("meiko", Mpisim.Machine.meiko_cs2);
+          ("smp", Mpisim.Machine.enterprise_smp);
+          ("cluster", Mpisim.Machine.sparc20_cluster);
+        ])
+    Apps.Scripts.apps;
+  print_endline (String.make 78 '-');
+  print_endline
+    "exact = captured variables and program output bit-for-bit equal to the \
+     clean run";
+  print_newline ()
+
 (* --- driver -------------------------------------------------------------- *)
 
 let () =
@@ -384,6 +444,7 @@ let () =
     | "ablation" -> ablation ()
     | "extrapolate" -> extrapolate !scale
     | "sensitivity" -> sensitivity ()
+    | "faults" -> faults_bench !scale
     | "all" ->
         Tables.print ();
         fig2 !scale;
@@ -392,7 +453,7 @@ let () =
         Printf.eprintf
           "unknown command '%s' (expected \
            table1|fig2|fig3|fig4|fig5|fig6|all|ablation|extrapolate|\
-           sensitivity|micro)\n"
+           sensitivity|faults|micro)\n"
           other;
         exit 2
   in

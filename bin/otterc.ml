@@ -41,6 +41,12 @@ let handle_errors f =
   | Exec.Vm.Runtime_error msg | Interp.Eval.Runtime_error msg ->
       Fmt.epr "run-time error: %s@." msg;
       exit 1
+  | Mpisim.Sim.Deadlock msg ->
+      Fmt.epr "deadlock: %s@." msg;
+      exit 3
+  | Mpisim.Sim.Rank_failure { rank; exn } ->
+      Fmt.epr "rank %d failed: %s@." rank (Printexc.to_string exn);
+      exit 3
 
 let compile_input input =
   Otter.compile ~path:(path_of input) (read_file input)
@@ -101,19 +107,57 @@ let get_machine name =
         name;
       exit 2
 
+let faults_arg =
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC"
+         ~doc:"Inject faults, e.g. $(b,drop=0.01,dup=0.005,seed=42).  Keys: \
+               drop, dup, delay, stall, degrade (probabilities), seed, \
+               detect (timeout in seconds).")
+
+let reliable_arg =
+  Arg.(value & flag & info [ "reliable" ]
+         ~doc:"Route messages through the reliable ack/retry layer so \
+               injected faults are masked.")
+
+(* Attach the requested fault model (and reliable layer) to the machine. *)
+let apply_faults machine spec reliable =
+  match spec with
+  | None ->
+      if reliable then Mpisim.Machine.with_faults ~reliable machine
+      else machine
+  | Some s -> (
+      match Mpisim.Machine.faults_of_spec s with
+      | Ok f -> Mpisim.Machine.with_faults ~reliable ~faults:f machine
+      | Error msg ->
+          Fmt.epr "bad --faults spec: %s@." msg;
+          exit 2)
+
+let print_fault_counters (r : Mpisim.Sim.report) =
+  Fmt.pr
+    "[faults] %d dropped, %d duplicated, %d delayed, %d stalls; %d retries, \
+     %d acks@."
+    r.Mpisim.Sim.drops r.dups r.delayed r.stalls r.retries r.acks
+
 let run_cmd =
-  let run input nprocs machine timing =
+  let run input nprocs machine timing faults reliable =
     handle_errors (fun () ->
         let c = compile_input input in
-        let machine = get_machine machine in
-        let o = Otter.run_parallel ~machine ~nprocs c in
-        print_string o.Exec.Vm.output;
-        if timing then begin
-          let r = o.Exec.Vm.report in
-          Fmt.pr "[%s, %d CPUs] modeled time %.6f s, %d messages, %d bytes@."
-            machine.Mpisim.Machine.name nprocs r.Mpisim.Sim.makespan r.messages
-            r.bytes
-        end)
+        let machine = apply_faults (get_machine machine) faults reliable in
+        match Otter.run_parallel_result ~machine ~nprocs c with
+        | Exec.Vm.Partial { failed_rank; operation; detail } ->
+            Fmt.epr "partial run: rank %d failed during %s: %s@." failed_rank
+              operation detail;
+            exit 3
+        | Exec.Vm.Complete o ->
+            print_string o.Exec.Vm.output;
+            if timing then begin
+              let r = o.Exec.Vm.report in
+              Fmt.pr
+                "[%s, %d CPUs] modeled time %.6f s, %d messages, %d bytes@."
+                machine.Mpisim.Machine.name nprocs r.Mpisim.Sim.makespan
+                r.messages r.bytes;
+              if machine.Mpisim.Machine.faults <> None then
+                print_fault_counters r
+            end)
   in
   let timing_arg =
     Arg.(value & flag & info [ "t"; "timing" ]
@@ -122,7 +166,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Compile and execute on a simulated parallel machine.")
-    Term.(const run $ input_arg $ procs_arg $ machine_arg $ timing_arg)
+    Term.(const run $ input_arg $ procs_arg $ machine_arg $ timing_arg
+          $ faults_arg $ reliable_arg)
 
 (* --- interp --------------------------------------------------------------- *)
 
@@ -191,10 +236,10 @@ let dump_cmd =
 (* --- verify ---------------------------------------------------------------- *)
 
 let verify_cmd =
-  let run input nprocs machine vars =
+  let run input nprocs machine vars faults reliable =
     handle_errors (fun () ->
         let c = compile_input input in
-        let machine = get_machine machine in
+        let machine = apply_faults (get_machine machine) faults reliable in
         let capture =
           if vars <> [] then vars
           else
@@ -203,17 +248,21 @@ let verify_cmd =
               (fun v _ acc -> v :: acc)
               c.Otter.info.Analysis.Infer.var_ty []
         in
-        let mm = Otter.verify ~machine ~nprocs ~capture c in
-        if mm = [] then
-          Fmt.pr "verified: %d variables agree between the interpreter and \
-                  the %d-CPU compiled run.@."
-            (List.length capture) nprocs
-        else begin
-          List.iter
-            (fun m -> Fmt.pr "MISMATCH %s: %s@." m.Otter.variable m.Otter.detail)
-            mm;
-          exit 1
-        end)
+        match Otter.verify_outcome ~machine ~nprocs ~capture c with
+        | Otter.Verified ->
+            Fmt.pr "verified: %d variables agree between the interpreter and \
+                    the %d-CPU compiled run.@."
+              (List.length capture) nprocs
+        | Otter.Mismatched mm ->
+            List.iter
+              (fun m ->
+                Fmt.pr "MISMATCH %s: %s@." m.Otter.variable m.Otter.detail)
+              mm;
+            exit 1
+        | Otter.Aborted { failed_rank; operation; detail } ->
+            Fmt.epr "ABORTED: rank %d failed during %s: %s@." failed_rank
+              operation detail;
+            exit 3)
   in
   let vars_arg =
     Arg.(value & opt_all string [] & info [ "var" ] ~docv:"NAME"
@@ -222,7 +271,8 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Check compiled results against the reference interpreter.")
-    Term.(const run $ input_arg $ procs_arg $ machine_arg $ vars_arg)
+    Term.(const run $ input_arg $ procs_arg $ machine_arg $ vars_arg
+          $ faults_arg $ reliable_arg)
 
 let main_cmd =
   let doc = "Otter: a parallel MATLAB compiler (OCaml reproduction)" in

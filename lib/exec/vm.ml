@@ -31,7 +31,44 @@ type frame = {
   mutable rand_calls : int; (* replicated rand() sequence number *)
   seed : int;
   datadir : string;
+  rk : int; (* this frame's simulated rank *)
+  trace : string array; (* operation in progress, per rank *)
 }
+
+(* Human-readable operation names for failure attribution: when a rank
+   dies mid-run, [trace.(rank)] says what it was doing. *)
+let inst_name : Ir.inst -> string = function
+  | Ir.Iscalar _ -> "scalar assignment"
+  | Ir.Ielem _ -> "element-wise expression"
+  | Ir.Icopy _ -> "matrix copy"
+  | Ir.Imatmul _ -> "matrix multiply"
+  | Ir.Idot _ -> "dot product"
+  | Ir.Itranspose _ -> "transpose"
+  | Ir.Iouter _ -> "outer product"
+  | Ir.Ireduce_all _ -> "full reduction"
+  | Ir.Ireduce_cols _ -> "column reduction"
+  | Ir.Inorm _ -> "norm"
+  | Ir.Iscan _ -> "cumulative scan"
+  | Ir.Isort _ -> "sort"
+  | Ir.Ireduce_loc _ -> "indexed reduction"
+  | Ir.Itrapz _ -> "trapezoidal integration"
+  | Ir.Ishift _ -> "circular shift"
+  | Ir.Ibcast _ -> "element broadcast"
+  | Ir.Isetelem _ -> "element assignment"
+  | Ir.Iload _ -> "data file load"
+  | Ir.Iconstruct _ -> "matrix constructor"
+  | Ir.Iliteral _ -> "matrix literal"
+  | Ir.Isection _ -> "section read"
+  | Ir.Isetsection _ -> "section assignment"
+  | Ir.Iconcat _ -> "matrix concatenation"
+  | Ir.Icalluser _ -> "user function call"
+  | Ir.Iprint _ -> "print"
+  | Ir.Iprintf _ -> "formatted output"
+  | Ir.Ierror _ -> "error statement"
+  | Ir.Iif _ -> "if statement"
+  | Ir.Iwhile _ -> "while loop"
+  | Ir.Ifor _ -> "for loop"
+  | Ir.Ibreak | Ir.Icontinue | Ir.Ireturn -> "control transfer"
 
 let lookup fr v =
   match Hashtbl.find_opt fr.env v with
@@ -250,6 +287,7 @@ let rkind_to_red = function
   | Ir.Rmean -> Ops.Rsum (* handled separately *)
 
 let rec exec_inst fr (i : Ir.inst) =
+  fr.trace.(fr.rk) <- inst_name i;
   match i with
   | Ir.Iscalar (v, s) -> Hashtbl.replace fr.env v (Vscalar (eval_scalar fr s))
   | Ir.Ielem { dst; model; expr } -> exec_elem fr ~dst ~model expr
@@ -632,21 +670,40 @@ type outcome = {
   report : Mpisim.Sim.report;
 }
 
+type run_result =
+  | Complete of outcome
+  | Partial of { failed_rank : int; operation : string; detail : string }
+
+(* What went wrong on the failing rank, in one line. *)
+let describe_failure = function
+  | Runtime_error m | Failure m -> m
+  | Mpisim.Sim.Timeout { src; tag; waited; _ } ->
+      Printf.sprintf
+        "gave up after %.3gs waiting for a message (src=%d, tag=%d)" waited
+        src tag
+  | Mpisim.Sim.Protocol_error { src; tag; detail; _ } ->
+      Printf.sprintf "protocol error on message (src=%d, tag=%d): %s" src tag
+        detail
+  | Mpisim.Reliable.Exhausted { dst; tag; attempts; _ } ->
+      Printf.sprintf
+        "gave a message up for lost after %d attempts (dst=%d, tag=%d)"
+        attempts dst tag
+  | e -> Printexc.to_string e
+
 (* Run [prog] on [nprocs] simulated processors of [machine].  [capture]
-   names variables whose final values are gathered for verification. *)
-let run ?(capture = []) ?(seed = 42) ?(datadir = ".") ~machine ~nprocs
-    (prog : Ir.prog) : outcome
-    =
+   names variables whose final values are gathered for verification.
+   A failure on any rank — run-time errors, receive timeouts under a
+   fault model, exhausted retransmission budgets — degrades to a
+   structured [Partial] naming the rank and the operation it was
+   executing. *)
+let run_result ?(capture = []) ?(seed = 42) ?(datadir = ".") ~machine ~nprocs
+    (prog : Ir.prog) : run_result =
   let out = Buffer.create 256 in
-  (* Run-time library failures (bounds, conformability) surface as
-     Runtime_error like every other execution failure. *)
-  let wrap f = try f () with Failure msg -> raise (Runtime_error msg) in
-  ignore wrap;
   let funcs = Hashtbl.create 8 in
   List.iter (fun (f : Ir.func) -> Hashtbl.replace funcs f.Ir.f_name f) prog.Ir.p_funcs;
-  let results, report =
-    wrap @@ fun () ->
-    Mpisim.Sim.run ~machine ~nprocs (fun _rank ->
+  let trace = Array.make nprocs "startup" in
+  match
+    Mpisim.Sim.run ~machine ~nprocs (fun rank ->
         let fr =
           {
             env = Hashtbl.create 64;
@@ -656,6 +713,8 @@ let run ?(capture = []) ?(seed = 42) ?(datadir = ".") ~machine ~nprocs
             rand_calls = 0;
             seed;
             datadir;
+            rk = rank;
+            trace;
           }
         in
         exec_block fr prog.Ir.p_body;
@@ -668,5 +727,18 @@ let run ?(capture = []) ?(seed = 42) ?(datadir = ".") ~machine ~nprocs
                 Some (name, Cmat (m.Dmat.rows, m.Dmat.cols, dense))
             | Some (Vstr _) | None -> None)
           capture)
-  in
-  { output = Buffer.contents out; captures = results.(0); report }
+  with
+  | results, report ->
+      Complete { output = Buffer.contents out; captures = results.(0); report }
+  | exception Mpisim.Sim.Rank_failure { rank; exn } ->
+      Partial
+        {
+          failed_rank = rank;
+          operation = trace.(rank);
+          detail = describe_failure exn;
+        }
+
+let run ?capture ?seed ?datadir ~machine ~nprocs prog =
+  match run_result ?capture ?seed ?datadir ~machine ~nprocs prog with
+  | Complete o -> o
+  | Partial p -> raise (Runtime_error p.detail)

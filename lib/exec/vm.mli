@@ -17,6 +17,27 @@ type outcome = {
   report : Mpisim.Sim.report;
 }
 
+type run_result =
+  | Complete of outcome
+  | Partial of { failed_rank : int; operation : string; detail : string }
+      (** The simulation aborted: [failed_rank] failed while executing
+          [operation] (e.g. ["matrix multiply"]); [detail] is the
+          one-line cause — a run-time error, a receive {!Mpisim.Sim.Timeout}
+          under a fault model, or an exhausted retransmission budget. *)
+
+val run_result :
+  ?capture:string list ->
+  ?seed:int ->
+  ?datadir:string ->
+  machine:Mpisim.Machine.t ->
+  nprocs:int ->
+  Spmd.Ir.prog ->
+  run_result
+(** Run the program on [nprocs] simulated processors of [machine];
+    [capture] names script variables whose final values are returned
+    for verification.  Degrades gracefully: a failure on any rank
+    yields [Partial] instead of an unattributed exception. *)
+
 val run :
   ?capture:string list ->
   ?seed:int ->
@@ -25,6 +46,5 @@ val run :
   nprocs:int ->
   Spmd.Ir.prog ->
   outcome
-(** Run the program on [nprocs] simulated processors of [machine];
-    [capture] names script variables whose final values are returned
-    for verification. *)
+(** Like {!run_result} but raises {!Runtime_error} with the failure
+    detail instead of returning [Partial]. *)

@@ -822,7 +822,13 @@ let run ?(capture = []) ?(seed = 42) ?(datadir = ".") ~mode ~machine
   let out = Buffer.create 256 in
   let funcs = Hashtbl.create 8 in
   List.iter (fun (f : Ast.func) -> Hashtbl.replace funcs f.Ast.fname f) p.funcs;
+  (* The interpreter is sequential (one simulated rank), so rank
+     attribution adds nothing: unwrap and rethrow the original error. *)
+  let unwrap f =
+    try f () with Mpisim.Sim.Rank_failure { exn; _ } -> raise exn
+  in
   let results, report =
+    unwrap @@ fun () ->
     Mpisim.Sim.run ~machine:Mpisim.Machine.workstation ~nprocs:1 (fun _ ->
         let fr =
           {

@@ -5,7 +5,12 @@
 
    Broadcast and reduce use binomial trees (log P rounds); allgather
    uses a ring (P-1 rounds of neighbour exchange), which was the
-   standard implementation on mid-90s MPI stacks. *)
+   standard implementation on mid-90s MPI stacks.
+
+   All point-to-point traffic is routed through [Reliable], which is a
+   transparent pass-through to [Sim] unless the machine requests the
+   ack/retry layer -- in which case the collectives survive dropped,
+   duplicated, and delayed messages with unchanged results. *)
 
 type op = Sum | Prod | Min | Max | Land | Lor
 
@@ -40,7 +45,7 @@ let bcast ~root (data : float array) : float array =
        done;
        let src_rel = rel - !recv_mask in
        let src = (src_rel + root) mod p in
-       buf := Sim.recv_floats ~src ~tag:tag_bcast;
+       buf := Reliable.recv_floats ~src ~tag:tag_bcast;
        mask := !recv_mask * 2
      end);
     (* Forward to children in the remaining rounds. *)
@@ -48,7 +53,7 @@ let bcast ~root (data : float array) : float array =
       let dst_rel = rel + !mask in
       if rel < !mask && dst_rel < p then begin
         let dst = (dst_rel + root) mod p in
-        Sim.send ~dst ~tag:tag_bcast (Sim.Floats !buf)
+        Reliable.send ~dst ~tag:tag_bcast (Sim.Floats !buf)
       end;
       mask := !mask * 2
     done;
@@ -64,11 +69,11 @@ let bcast_linear ~root (data : float array) : float array =
   if p = 1 then data
   else if me = root then begin
     for dst = 0 to p - 1 do
-      if dst <> root then Sim.send ~dst ~tag:tag_bcast (Sim.Floats data)
+      if dst <> root then Reliable.send ~dst ~tag:tag_bcast (Sim.Floats data)
     done;
     data
   end
-  else Sim.recv_floats ~src:root ~tag:tag_bcast
+  else Reliable.recv_floats ~src:root ~tag:tag_bcast
 
 (* Binomial-tree reduction to [root]; every rank contributes [data],
    the root's return value holds the element-wise combination.  Other
@@ -87,14 +92,14 @@ let reduce ~root ~op (data : float array) : float array =
     while (not !sent) && !mask < p do
       if rel land !mask <> 0 then begin
         let dst = (rel - !mask + root) mod p in
-        Sim.send ~dst ~tag:tag_reduce (Sim.Floats acc);
+        Reliable.send ~dst ~tag:tag_reduce (Sim.Floats acc);
         sent := true
       end
       else begin
         let src_rel = rel + !mask in
         if src_rel < p then begin
           let src = (src_rel + root) mod p in
-          let other = Sim.recv_floats ~src ~tag:tag_reduce in
+          let other = Reliable.recv_floats ~src ~tag:tag_reduce in
           for i = 0 to len - 1 do
             acc.(i) <- apply_op op acc.(i) other.(i)
           done;
@@ -125,7 +130,7 @@ let gatherv ~root ~counts (local : float array) : float array =
     let off = ref 0 in
     for r = 0 to p - 1 do
       let block =
-        if r = root then local else Sim.recv_floats ~src:r ~tag:tag_gather
+        if r = root then local else Reliable.recv_floats ~src:r ~tag:tag_gather
       in
       Array.blit block 0 out !off counts.(r);
       off := !off + counts.(r)
@@ -133,7 +138,7 @@ let gatherv ~root ~counts (local : float array) : float array =
     out
   end
   else begin
-    Sim.send ~dst:root ~tag:tag_gather (Sim.Floats local);
+    Reliable.send ~dst:root ~tag:tag_gather (Sim.Floats local);
     [||]
   end
 
@@ -157,8 +162,8 @@ let allgatherv ~counts (local : float array) : float array =
     (* At step s we forward the block of rank (me - s + p) mod p. *)
     let current = ref (Array.copy local) in
     for s = 1 to p - 1 do
-      Sim.send ~dst:right ~tag:tag_ring (Sim.Floats !current);
-      let incoming = Sim.recv_floats ~src:left ~tag:tag_ring in
+      Reliable.send ~dst:right ~tag:tag_ring (Sim.Floats !current);
+      let incoming = Reliable.recv_floats ~src:left ~tag:tag_ring in
       let owner = (me - s + p) mod p in
       Array.blit incoming 0 out offsets.(owner) counts.(owner);
       current := incoming
@@ -179,14 +184,22 @@ let exscan ~op ~identity (x : float) : float =
   let d = ref 1 in
   while !d < p do
     if me + !d < p then
-      Sim.send ~dst:(me + !d) ~tag:tag_scan (Sim.Floats [| !incl |]);
+      Reliable.send ~dst:(me + !d) ~tag:tag_scan (Sim.Floats [| !incl |]);
     if me - !d >= 0 then begin
-      match Sim.recv_floats ~src:(me - !d) ~tag:tag_scan with
+      match Reliable.recv_floats ~src:(me - !d) ~tag:tag_scan with
       | [| below_incl |] ->
           excl := apply_op op below_incl !excl;
           incl := apply_op op below_incl !incl;
           Sim.flops 2.
-      | _ -> failwith "exscan: bad payload"
+      | _ ->
+          raise
+            (Sim.Protocol_error
+               {
+                 rank = me;
+                 src = me - !d;
+                 tag = tag_scan;
+                 detail = "exscan: expected a one-element payload";
+               })
     end;
     d := !d * 2
   done;

@@ -13,6 +13,75 @@ type link = {
   channel : int option; (* contention domain; None = dedicated *)
 }
 
+(* Seeded, deterministic fault model.  Every probability is drawn from
+   the counter-based [Rng], so two runs with the same seed (and the
+   same program on the same machine) see the identical fault schedule:
+   the same messages drop, duplicate, spike, and stall. *)
+type faults = {
+  fault_seed : int;
+  drop : float; (* per-message loss probability *)
+  dup : float; (* per-message duplication probability *)
+  delay : float; (* per-message delay-spike probability *)
+  delay_factor : float; (* latency multiplier during a spike *)
+  stall : float; (* per-send probability the rank stalls first *)
+  stall_time : float; (* seconds lost per stall *)
+  degrade : float; (* per-(link, window) degradation probability *)
+  degrade_factor : float; (* latency x, bandwidth / this during a window *)
+  degrade_period : float; (* seconds per degradation window *)
+  detect : float; (* default timeout for unprotected receives; 0 = wait
+                     forever (a lost message then deadlocks) *)
+}
+
+let no_faults =
+  {
+    fault_seed = 0;
+    drop = 0.;
+    dup = 0.;
+    delay = 0.;
+    delay_factor = 16.;
+    stall = 0.;
+    stall_time = 1e-3;
+    degrade = 0.;
+    degrade_factor = 10.;
+    degrade_period = 10e-3;
+    detect = 1.0;
+  }
+
+(* Parse "drop=0.01,dup=0.005,seed=42" into a fault model.  Unknown
+   keys and malformed numbers are reported, not ignored. *)
+let faults_of_spec spec : (faults, string) result =
+  let parse_field acc kv =
+    match acc with
+    | Error _ -> acc
+    | Ok f -> (
+        match String.split_on_char '=' (String.trim kv) with
+        | [ k; v ] -> (
+            let num () =
+              match float_of_string_opt v with
+              | Some x -> Ok x
+              | None -> Error (Printf.sprintf "faults: bad number '%s' for %s" v k)
+            in
+            let setf g = Result.map g (num ()) in
+            match k with
+            | "seed" -> (
+                match int_of_string_opt v with
+                | Some s -> Ok { f with fault_seed = s }
+                | None -> Error (Printf.sprintf "faults: bad seed '%s'" v))
+            | "drop" -> setf (fun x -> { f with drop = x })
+            | "dup" -> setf (fun x -> { f with dup = x })
+            | "delay" -> setf (fun x -> { f with delay = x })
+            | "delay_factor" -> setf (fun x -> { f with delay_factor = x })
+            | "stall" -> setf (fun x -> { f with stall = x })
+            | "stall_time" -> setf (fun x -> { f with stall_time = x })
+            | "degrade" -> setf (fun x -> { f with degrade = x })
+            | "degrade_factor" -> setf (fun x -> { f with degrade_factor = x })
+            | "degrade_period" -> setf (fun x -> { f with degrade_period = x })
+            | "detect" -> setf (fun x -> { f with detect = x })
+            | _ -> Error (Printf.sprintf "faults: unknown key '%s'" k))
+        | _ -> Error (Printf.sprintf "faults: expected key=value, got '%s'" kv))
+  in
+  List.fold_left parse_field (Ok no_faults) (String.split_on_char ',' spec)
+
 type t = {
   name : string;
   max_procs : int;
@@ -21,7 +90,14 @@ type t = {
   send_overhead : float; (* CPU time consumed by a send *)
   recv_overhead : float; (* CPU time consumed by a matched receive *)
   link : int -> int -> link;
+  faults : faults option; (* None = the perfect network of the paper *)
+  reliable : bool; (* route messaging through the ack/retry layer *)
 }
+
+(* [with_faults ?reliable ?faults m] is [m] with the fault model and/or
+   the reliable-messaging flag switched on. *)
+let with_faults ?(reliable = false) ?faults m =
+  { m with faults; reliable }
 
 let mflops x = 1.0 /. (x *. 1e6)
 let mbytes x = x *. 1e6
@@ -38,6 +114,8 @@ let meiko_cs2 =
     send_overhead = 12e-6;
     recv_overhead = 12e-6;
     link;
+    faults = None;
+    reliable = false;
   }
 
 (* Sun Enterprise SMP: 8 CPUs over a shared memory bus.  Message passing
@@ -55,6 +133,8 @@ let enterprise_smp =
     send_overhead = 2e-6;
     recv_overhead = 2e-6;
     link;
+    faults = None;
+    reliable = false;
   }
 
 (* Cluster of four SPARCserver 20 SMPs (4 CPUs each) on one 10 Mb/s
@@ -77,6 +157,8 @@ let sparc20_cluster =
     send_overhead = 10e-6;
     recv_overhead = 10e-6;
     link;
+    faults = None;
+    reliable = false;
   }
 
 (* Single-workstation model used for the sequential comparisons of
@@ -91,6 +173,8 @@ let workstation =
     send_overhead = 0.;
     recv_overhead = 0.;
     link;
+    faults = None;
+    reliable = false;
   }
 
 (* Extrapolation beyond the paper: a 1999-era Beowulf -- 16 commodity
@@ -109,6 +193,8 @@ let beowulf =
     send_overhead = 25e-6;
     recv_overhead = 25e-6;
     link;
+    faults = None;
+    reliable = false;
   }
 
 let all = [ meiko_cs2; enterprise_smp; sparc20_cluster ]

@@ -13,7 +13,17 @@
    The scheduler resumes runnable ranks lowest-virtual-clock first and
    reports a deadlock (with a per-rank diagnosis) if every live rank is
    suspended on an empty mailbox.  Everything is deterministic: same
-   program, same machine, same timings. *)
+   program, same machine, same timings.
+
+   When the machine carries a fault model, [deliver] additionally
+   consults a seeded counter-based RNG and may drop, duplicate, or
+   delay-spike a message, stall the sending rank, or degrade a link for
+   a window of virtual time.  The decision stream depends only on the
+   seed and the (deterministic) order of send events, so the same seed
+   reproduces the identical fault schedule.  A receive may carry a
+   timeout; an expired wait surfaces as a typed [Timeout] naming the
+   waiting rank, the expected source and tag, instead of stalling the
+   whole simulation into a [Deadlock]. *)
 
 open Effect
 open Effect.Deep
@@ -26,36 +36,116 @@ let payload_bytes = function
 
 type _ Effect.t +=
   | E_send : int * int * payload -> unit Effect.t (* dst, tag, data *)
+  | E_send_acked : int * int * int * int * payload -> unit Effect.t
+      (* dst, tag, ack tag, seq: like E_send, but a successful delivery
+         also queues a transport-level acknowledgement [Ints [|seq|]]
+         back to the sender on the ack tag (the reliable layer's
+         retransmission timer watches for it) *)
   | E_recv : int * int -> payload Effect.t (* src, tag *)
+  | E_recv_opt : int * int * float -> payload option Effect.t
+      (* src, tag, timeout: [None] once the deadline passes *)
   | E_compute : float -> unit Effect.t (* seconds *)
   | E_flops : float -> unit Effect.t (* floating-point operations *)
   | E_rank : int Effect.t
   | E_size : int Effect.t
   | E_time : float Effect.t
+  | E_machine : Machine.t Effect.t
+  | E_scratch : (int * int * int, int) Hashtbl.t Effect.t
+      (* per-rank counter table (the reliable layer's sequence numbers) *)
+  | E_note_retry : unit Effect.t
+
+exception
+  Timeout of {
+    rank : int; (* who gave up waiting *)
+    src : int;
+    tag : int;
+    waited : float; (* the timeout that expired *)
+  }
+
+exception
+  Protocol_error of {
+    rank : int;
+    src : int;
+    tag : int;
+    detail : string;
+  }
+
+exception Rank_failure of { rank : int; exn : exn }
 
 (* Operations available inside a simulated rank. *)
 let send ~dst ~tag data = perform (E_send (dst, tag, data))
-let recv ~src ~tag = perform (E_recv (src, tag))
+
+let send_acked ~dst ~tag ~ack_tag ~seq data =
+  perform (E_send_acked (dst, tag, ack_tag, seq, data))
+
 let compute seconds = perform (E_compute seconds)
 let flops n = perform (E_flops n)
 let rank () = perform E_rank
 let size () = perform E_size
 let time () = perform E_time
+let machine () = perform E_machine
+let reliable_on () = (perform E_machine).Machine.reliable
+let scratch () = perform E_scratch
+let note_retry () = perform E_note_retry
+let recv_opt ~src ~tag ~timeout = perform (E_recv_opt (src, tag, timeout))
+
+(* [recv_wait] never times out, even under a fault model; the reliable
+   layer uses it for data because the sender's bounded retries already
+   limit the wait. *)
+let recv_wait ~src ~tag = perform (E_recv (src, tag))
+
+(* A receive that raises a typed [Timeout] at its deadline. *)
+let recv_timeout ~src ~tag ~timeout =
+  match perform (E_recv_opt (src, tag, timeout)) with
+  | Some p -> p
+  | None ->
+      raise (Timeout { rank = perform E_rank; src; tag; waited = timeout })
+
+(* Under a fault model, a plain receive defaults to the model's
+   [detect] timeout so that a lost message surfaces as a typed
+   [Timeout] rather than an eventual whole-simulation [Deadlock]. *)
+let recv ~src ~tag =
+  match (perform E_machine).Machine.faults with
+  | Some f when f.Machine.detect > 0. ->
+      recv_timeout ~src ~tag ~timeout:f.Machine.detect
+  | _ -> perform (E_recv (src, tag))
 
 let recv_floats ~src ~tag =
   match recv ~src ~tag with
   | Floats a -> a
-  | Ints _ -> failwith "recv_floats: integer payload"
+  | Ints _ ->
+      raise
+        (Protocol_error
+           {
+             rank = perform E_rank;
+             src;
+             tag;
+             detail = "expected a float payload, received integers";
+           })
 
 let recv_ints ~src ~tag =
   match recv ~src ~tag with
   | Ints a -> a
-  | Floats _ -> failwith "recv_ints: float payload"
+  | Floats _ ->
+      raise
+        (Protocol_error
+           {
+             rank = perform E_rank;
+             src;
+             tag;
+             detail = "expected an integer payload, received floats";
+           })
 
 type stats = {
   mutable messages : int;
   mutable bytes : int;
   mutable compute_time : float; (* summed over ranks *)
+  mutable drops : int;
+  mutable dups : int;
+  mutable delayed : int;
+  mutable stalls : int;
+  mutable retries : int;
+  mutable acks : int;
 }
 
 type report = {
@@ -64,6 +154,12 @@ type report = {
   messages : int;
   bytes : int;
   compute_time : float;
+  drops : int; (* messages the fault model destroyed *)
+  dups : int; (* spurious duplicates it injected *)
+  delayed : int; (* delay spikes it injected *)
+  stalls : int; (* rank stalls it injected *)
+  retries : int; (* retransmissions by the reliable layer *)
+  acks : int; (* transport acknowledgements delivered *)
 }
 
 exception Deadlock of string
@@ -77,16 +173,21 @@ type 'a run_state = {
   channel_free : (int, float) Hashtbl.t; (* contention channel -> busy-until *)
   stats : stats;
   results : 'a option array;
+  scratch : (int * int * int, int) Hashtbl.t array; (* per rank *)
+  mutable fault_ix : int; (* fault-decision counter (the RNG index) *)
 }
 
 type 'a suspended =
   | Finished
-  | Wants_send of int * int * payload * ('a, unit) blocked_k
-      (* send to (dst, tag): performed by the scheduler in global
+  | Wants_send of int * int * (int * int) option * payload * ('a, unit) blocked_k
+      (* send to (dst, tag), with an optional (ack tag, seq) transport
+         acknowledgement: performed by the scheduler in global
          virtual-time order so that shared-channel contention is
          accounted accurately *)
   | Wants_recv of int * int * ('a, payload) blocked_k
       (* waiting on (src, tag) *)
+  | Wants_recv_t of int * int * float * ('a, payload option) blocked_k
+      (* waiting on (src, tag) until the absolute deadline *)
 
 and ('a, 'b) blocked_k = ('b, 'a suspended) continuation
 
@@ -99,18 +200,68 @@ let mailbox st ~dst ~src ~tag =
       Hashtbl.add st.mailboxes key q;
       q
 
+(* --- the fault model ----------------------------------------------------- *)
+
+(* One decision draw: a pure function of the fault seed, the decision
+   kind, and a per-run counter, so the schedule is reproducible. *)
+let draw st (f : Machine.faults) ~salt =
+  let i = st.fault_ix in
+  st.fault_ix <- i + 1;
+  Rng.uniform ~seed:(f.Machine.fault_seed lxor salt) i
+
+let salt_drop = 0x0d10
+let salt_dup = 0x0d20
+let salt_delay = 0x0d30
+let salt_stall = 0x0d40
+let salt_ack = 0x0d50
+
+(* Link degradation windows are a pure function of (seed, window index,
+   src, dst) -- independent of event order, so the same virtual-time
+   interval is degraded no matter how the schedule interleaves. *)
+let degraded (f : Machine.faults) ~src ~dst ~now =
+  f.Machine.degrade > 0.
+  &&
+  let window = int_of_float (now /. f.Machine.degrade_period) in
+  let ix = (((window * 131) + src) * 131) + dst in
+  Rng.uniform ~seed:(f.Machine.fault_seed lxor 0xdead) ix < f.Machine.degrade
+
 (* Transfer timing: a message leaves when both the sender and (for a
    shared medium) the channel are free; it arrives one latency plus one
-   serialization time later. *)
-let deliver st ~src ~dst ~tag data =
+   serialization time later.  Fault injection happens here: the send
+   cost is always paid, but the network may destroy, duplicate, or
+   delay what was sent. *)
+let deliver st ~src ~dst ~tag ?ack data =
   let data =
     match data with
     | Floats a -> Floats (Array.copy a)
     | Ints a -> Ints (Array.copy a)
   in
+  let faults = st.machine.Machine.faults in
+  (* rank stall: the sender loses time before the message even leaves *)
+  (match faults with
+  | Some f when f.Machine.stall > 0. && draw st f ~salt:salt_stall < f.Machine.stall
+    ->
+      st.clocks.(src) <- st.clocks.(src) +. f.Machine.stall_time;
+      st.stats.stalls <- st.stats.stalls + 1
+  | _ -> ());
   let link = st.machine.Machine.link src dst in
+  let latency, bandwidth =
+    match faults with
+    | Some f when degraded f ~src ~dst ~now:st.clocks.(src) ->
+        ( link.Machine.latency *. f.Machine.degrade_factor,
+          link.Machine.bandwidth /. f.Machine.degrade_factor )
+    | _ -> (link.Machine.latency, link.Machine.bandwidth)
+  in
+  let latency =
+    match faults with
+    | Some f when f.Machine.delay > 0. && draw st f ~salt:salt_delay < f.Machine.delay
+      ->
+        st.stats.delayed <- st.stats.delayed + 1;
+        latency *. f.Machine.delay_factor
+    | _ -> latency
+  in
   let bytes = payload_bytes data in
-  let ser = float_of_int bytes /. link.Machine.bandwidth in
+  let ser = float_of_int bytes /. bandwidth in
   let start =
     match link.Machine.channel with
     | None -> st.clocks.(src)
@@ -124,13 +275,62 @@ let deliver st ~src ~dst ~tag data =
         Hashtbl.replace st.channel_free ch (start +. ser);
         start
   in
-  let arrival = start +. link.Machine.latency +. ser in
+  let arrival = start +. latency +. ser in
   st.clocks.(src) <- st.clocks.(src) +. st.machine.Machine.send_overhead;
   st.stats.messages <- st.stats.messages + 1;
   st.stats.bytes <- st.stats.bytes + bytes;
-  Queue.push (arrival, data) (mailbox st ~dst ~src ~tag)
+  let dropped =
+    match faults with
+    | Some f when f.Machine.drop > 0. -> draw st f ~salt:salt_drop < f.Machine.drop
+    | _ -> false
+  in
+  if dropped then st.stats.drops <- st.stats.drops + 1
+  else begin
+    Queue.push (arrival, data) (mailbox st ~dst ~src ~tag);
+    match faults with
+    | Some f when f.Machine.dup > 0. && draw st f ~salt:salt_dup < f.Machine.dup
+      ->
+        st.stats.dups <- st.stats.dups + 1;
+        let copy =
+          match data with
+          | Floats a -> Floats (Array.copy a)
+          | Ints a -> Ints (Array.copy a)
+        in
+        Queue.push (arrival +. latency, copy) (mailbox st ~dst ~src ~tag)
+    | _ -> ()
+  end;
+  (* Transport-level acknowledgement: models the NIC acking on arrival,
+     so it does not depend on the receiving rank's control flow (which
+     is what keeps the reliable layer deadlock-free).  The ack crosses
+     the reverse link and is itself subject to loss. *)
+  match ack with
+  | None -> ()
+  | Some (ack_tag, seq) ->
+      if not dropped then begin
+        let back = st.machine.Machine.link dst src in
+        let ack_arrival =
+          arrival +. back.Machine.latency +. (8. /. back.Machine.bandwidth)
+        in
+        st.stats.messages <- st.stats.messages + 1;
+        st.stats.bytes <- st.stats.bytes + 8;
+        let ack_dropped =
+          match faults with
+          | Some f when f.Machine.drop > 0. ->
+              draw st f ~salt:salt_ack < f.Machine.drop
+          | _ -> false
+        in
+        if ack_dropped then st.stats.drops <- st.stats.drops + 1
+        else begin
+          st.stats.acks <- st.stats.acks + 1;
+          Queue.push
+            (ack_arrival, Ints [| seq |])
+            (mailbox st ~dst:src ~src:dst ~tag:ack_tag)
+        end
+      end
 
-(* Run one rank until it finishes or blocks on an empty mailbox. *)
+(* Run one rank until it finishes or blocks on an empty mailbox.  Any
+   exception escaping the rank body is wrapped with the rank's identity
+   so the failure is attributable. *)
 let handler st my_rank (body : int -> 'a) : 'a suspended =
   match_with
     (fun () ->
@@ -139,7 +339,7 @@ let handler st my_rank (body : int -> 'a) : 'a suspended =
     ()
     {
       retc = (fun () -> Finished);
-      exnc = raise;
+      exnc = (fun e -> raise (Rank_failure { rank = my_rank; exn = e }));
       effc =
         (fun (type b) (eff : b Effect.t) ->
           match eff with
@@ -159,18 +359,38 @@ let handler st my_rank (body : int -> 'a) : 'a suspended =
           | E_rank -> Some (fun k -> continue k my_rank)
           | E_size -> Some (fun k -> continue k st.nprocs)
           | E_time -> Some (fun k -> continue k st.clocks.(my_rank))
+          | E_machine -> Some (fun k -> continue k st.machine)
+          | E_scratch -> Some (fun k -> continue k st.scratch.(my_rank))
+          | E_note_retry ->
+              Some
+                (fun k ->
+                  st.stats.retries <- st.stats.retries + 1;
+                  continue k ())
           | E_send (dst, tag, data) ->
               Some
                 (fun k ->
                   if dst < 0 || dst >= st.nprocs then
                     invalid_arg "send: bad destination rank";
-                  Wants_send (dst, tag, data, k))
+                  Wants_send (dst, tag, None, data, k))
+          | E_send_acked (dst, tag, ack_tag, seq, data) ->
+              Some
+                (fun k ->
+                  if dst < 0 || dst >= st.nprocs then
+                    invalid_arg "send: bad destination rank";
+                  Wants_send (dst, tag, Some (ack_tag, seq), data, k))
           | E_recv (src, tag) ->
               Some
                 (fun k ->
                   if src < 0 || src >= st.nprocs then
                     invalid_arg "recv: bad source rank";
                   Wants_recv (src, tag, k))
+          | E_recv_opt (src, tag, timeout) ->
+              Some
+                (fun k ->
+                  if src < 0 || src >= st.nprocs then
+                    invalid_arg "recv: bad source rank";
+                  if timeout < 0. then invalid_arg "recv: negative timeout";
+                  Wants_recv_t (src, tag, st.clocks.(my_rank) +. timeout, k))
           | _ -> None);
     }
 
@@ -189,33 +409,59 @@ let run ~machine ~nprocs (body : int -> 'a) : 'a array * report =
       clocks = Array.make nprocs 0.;
       mailboxes = Hashtbl.create 64;
       channel_free = Hashtbl.create 8;
-      stats = { messages = 0; bytes = 0; compute_time = 0. };
+      stats =
+        {
+          messages = 0;
+          bytes = 0;
+          compute_time = 0.;
+          drops = 0;
+          dups = 0;
+          delayed = 0;
+          stalls = 0;
+          retries = 0;
+          acks = 0;
+        };
       results = Array.make nprocs None;
+      scratch = Array.init nprocs (fun _ -> Hashtbl.create 16);
+      fault_ix = 0;
     }
   in
   (* Cooperative scheduling in virtual-time order: of all ranks that
      can make progress (initial start, pending send, or a blocked
      receive whose message has arrived), always resume the one with
      the smallest virtual clock.  This keeps shared-channel
-     reservations consistent with simulated time. *)
+     reservations consistent with simulated time.  A receive blocked
+     with a deadline is always eventually runnable: it sorts by its
+     deadline, so it fires only once no other rank could still produce
+     an earlier event -- which is what makes timing out safe. *)
   let states = Array.make nprocs None in
   let pending_start = Array.make nprocs true in
-  let can_step r =
-    if pending_start.(r) then true
+  let step_key r =
+    (* [nan] = cannot step; otherwise the virtual time used for pick *)
+    if pending_start.(r) then st.clocks.(r)
     else
       match states.(r) with
-      | None -> false
-      | Some Finished -> false
-      | Some (Wants_send _) -> true
+      | None -> Float.nan
+      | Some Finished -> Float.nan
+      | Some (Wants_send _) -> st.clocks.(r)
       | Some (Wants_recv (src, tag, _)) ->
-          not (Queue.is_empty (mailbox st ~dst:r ~src ~tag))
+          if Queue.is_empty (mailbox st ~dst:r ~src ~tag) then Float.nan
+          else st.clocks.(r)
+      | Some (Wants_recv_t (src, tag, deadline, _)) ->
+          let q = mailbox st ~dst:r ~src ~tag in
+          if (not (Queue.is_empty q)) && fst (Queue.peek q) <= deadline then
+            st.clocks.(r)
+          else deadline
   in
   let finished = ref 0 in
   let pick () =
-    let best = ref (-1) in
+    let best = ref (-1) and best_key = ref Float.nan in
     for r = nprocs - 1 downto 0 do
-      if can_step r && (!best < 0 || st.clocks.(r) <= st.clocks.(!best)) then
-        best := r
+      let key = step_key r in
+      if (not (Float.is_nan key)) && (!best < 0 || key <= !best_key) then begin
+        best := r;
+        best_key := key
+      end
     done;
     !best
   in
@@ -230,11 +476,11 @@ let run ~machine ~nprocs (body : int -> 'a) : 'a array * report =
               Buffer.add_string buf
                 (Printf.sprintf "  rank %d waits for (src=%d, tag=%d)\n" rr src
                    tag)
-          | Some (Wants_send (dst, tag, _, _)) ->
+          | Some (Wants_send (dst, tag, _, _, _)) ->
               Buffer.add_string buf
                 (Printf.sprintf "  rank %d pending send to (dst=%d, tag=%d)\n"
                    rr dst tag)
-          | Some Finished | None -> ())
+          | Some (Wants_recv_t _) | Some Finished | None -> ())
         states;
       raise (Deadlock (Buffer.contents buf))
     end;
@@ -245,8 +491,8 @@ let run ~machine ~nprocs (body : int -> 'a) : 'a array * report =
       end
       else
         match states.(r) with
-        | Some (Wants_send (dst, tag, data, k)) ->
-            deliver st ~src:r ~dst ~tag data;
+        | Some (Wants_send (dst, tag, ack, data, k)) ->
+            deliver st ~src:r ~dst ~tag ?ack data;
             continue k ()
         | Some (Wants_recv (src, tag, k)) ->
             let q = mailbox st ~dst:r ~src ~tag in
@@ -255,6 +501,19 @@ let run ~machine ~nprocs (body : int -> 'a) : 'a array * report =
               Float.max st.clocks.(r) arrival
               +. st.machine.Machine.recv_overhead;
             continue k data
+        | Some (Wants_recv_t (src, tag, deadline, k)) ->
+            let q = mailbox st ~dst:r ~src ~tag in
+            if (not (Queue.is_empty q)) && fst (Queue.peek q) <= deadline then begin
+              let arrival, data = Queue.pop q in
+              st.clocks.(r) <-
+                Float.max st.clocks.(r) arrival
+                +. st.machine.Machine.recv_overhead;
+              continue k (Some data)
+            end
+            else begin
+              st.clocks.(r) <- deadline;
+              continue k None
+            end
         | Some Finished | None -> assert false
     in
     states.(r) <- Some next;
@@ -273,6 +532,12 @@ let run ~machine ~nprocs (body : int -> 'a) : 'a array * report =
       messages = st.stats.messages;
       bytes = st.stats.bytes;
       compute_time = st.stats.compute_time;
+      drops = st.stats.drops;
+      dups = st.stats.dups;
+      delayed = st.stats.delayed;
+      stalls = st.stats.stalls;
+      retries = st.stats.retries;
+      acks = st.stats.acks;
     }
   in
   (results, report)

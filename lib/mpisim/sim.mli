@@ -3,7 +3,12 @@
     Every simulated rank is a delimited computation over effect
     handlers; communication and virtual time are effects.  The
     scheduler resumes runnable ranks lowest-virtual-clock first, so
-    shared-channel contention is accounted in simulated-time order. *)
+    shared-channel contention is accounted in simulated-time order.
+
+    When the machine carries a {!Machine.faults} model, delivery may
+    drop, duplicate, or delay messages, stall senders, and degrade
+    links for windows of virtual time; the schedule is a pure function
+    of the fault seed, so identical seeds reproduce identical faults. *)
 
 type payload = Floats of float array | Ints of int array
 
@@ -14,11 +19,37 @@ val payload_bytes : payload -> int
 val send : dst:int -> tag:int -> payload -> unit
 (** Eager, non-blocking; the payload is copied at send time. *)
 
+val send_acked :
+  dst:int -> tag:int -> ack_tag:int -> seq:int -> payload -> unit
+(** Like {!send}, but a successful (non-dropped) delivery also queues a
+    transport-level acknowledgement [Ints [|seq|]] back to the sender
+    on [ack_tag] — modeling the NIC acking on arrival, independent of
+    the receiving rank's control flow.  The ack crosses the reverse
+    link and is itself subject to the fault model.  Used by
+    {!Reliable}. *)
+
 val recv : src:int -> tag:int -> payload
-(** Blocks until a matching message arrives (FIFO per (src, tag)). *)
+(** Blocks until a matching message arrives (FIFO per (src, tag)).
+    Under a fault model, the model's [detect] timeout applies and
+    {!Timeout} is raised once the deadline passes. *)
+
+val recv_timeout : src:int -> tag:int -> timeout:float -> payload
+(** Like {!recv} with an explicit deadline; raises {!Timeout}. *)
+
+val recv_opt : src:int -> tag:int -> timeout:float -> payload option
+(** Like {!recv} but returns [None] on expiry instead of raising; the
+    rank's clock advances to the deadline. *)
+
+val recv_wait : src:int -> tag:int -> payload
+(** Blocks with no timeout even under a fault model.  The reliable
+    layer uses this for data messages, whose wait is bounded by the
+    sender's retransmission budget. *)
 
 val recv_floats : src:int -> tag:int -> float array
+(** Raises {!Protocol_error} on an integer payload. *)
+
 val recv_ints : src:int -> tag:int -> int array
+(** Raises {!Protocol_error} on a float payload. *)
 
 val compute : float -> unit
 (** Advance this rank's virtual clock by the given seconds. *)
@@ -31,17 +62,50 @@ val rank : unit -> int
 val size : unit -> int
 val time : unit -> float
 
+val machine : unit -> Machine.t
+(** The machine this rank is simulated on. *)
+
+val reliable_on : unit -> bool
+(** Whether the machine asks for the reliable-messaging layer. *)
+
+val scratch : unit -> (int * int * int, int) Hashtbl.t
+(** This rank's private counter table, fresh per [run]; the reliable
+    layer keys its per-channel sequence numbers here. *)
+
+val note_retry : unit -> unit
+(** Count one retransmission in the run's report (reliable layer). *)
+
 type report = {
-  makespan : float; (** max over per-rank clocks *)
+  makespan : float;  (** max over per-rank clocks *)
   per_rank_clock : float array;
   messages : int;
   bytes : int;
-  compute_time : float; (** summed over ranks *)
+  compute_time : float;  (** summed over ranks *)
+  drops : int;  (** messages the fault model destroyed *)
+  dups : int;  (** spurious duplicates it injected *)
+  delayed : int;  (** delay spikes it injected *)
+  stalls : int;  (** rank stalls it injected *)
+  retries : int;  (** retransmissions by the reliable layer *)
+  acks : int;  (** transport acknowledgements delivered *)
 }
 
 exception Deadlock of string
 (** Raised when every live rank is blocked on an empty mailbox; the
     message lists who waits for what. *)
+
+exception
+  Timeout of { rank : int; src : int; tag : int; waited : float }
+(** A receive with a deadline expired: [rank] gave up waiting [waited]
+    seconds for a message from [src] with [tag]. *)
+
+exception
+  Protocol_error of { rank : int; src : int; tag : int; detail : string }
+(** A message arrived whose payload does not match what the receiving
+    code expects — the typed replacement for stringly [failwith]s. *)
+
+exception Rank_failure of { rank : int; exn : exn }
+(** Any exception escaping a rank body is wrapped with the rank's
+    identity before aborting the simulation. *)
 
 val run : machine:Machine.t -> nprocs:int -> (int -> 'a) -> 'a array * report
 (** [run ~machine ~nprocs body] simulates [nprocs] SPMD ranks each

@@ -85,6 +85,11 @@ let report (c : compiled) : string =
 let run_parallel ?capture ?seed ?datadir ~machine ~nprocs (c : compiled) =
   Exec.Vm.run ?capture ?seed ?datadir ~machine ~nprocs c.prog
 
+(* Same, degrading to [Partial] when a rank fails instead of raising. *)
+let run_parallel_result ?capture ?seed ?datadir ~machine ~nprocs (c : compiled)
+    =
+  Exec.Vm.run_result ?capture ?seed ?datadir ~machine ~nprocs c.prog
+
 (* Sequential baselines (Figure 2). *)
 let run_interpreter ?capture ?seed ?datadir ~machine (c : compiled) =
   Interp.Eval.run ?capture ?seed ?datadir ~mode:Interp.Cost.Interpreter ~machine
@@ -131,24 +136,48 @@ let compare_values ~tol (a : Interp.Eval.captured) (b : Exec.Vm.captured) :
       if close x y then None else Some (Printf.sprintf "%g vs %g" x y)
   | _ -> Some "rank mismatch"
 
+type verdict =
+  | Verified
+  | Mismatched of mismatch list
+  | Aborted of { failed_rank : int; operation : string; detail : string }
+
 (* Run the interpreter and the compiled program on [nprocs] processors
    and compare the captured variables (within [tol], which absorbs
-   reduction-order rounding). *)
-let verify ?(tol = 1e-9) ?seed ~machine ~nprocs ~capture (c : compiled) :
-    mismatch list =
+   reduction-order rounding).  When the parallel run dies — e.g. under
+   an injected fault model without the reliable layer — the verdict is
+   a structured [Aborted] naming the failing rank and operation rather
+   than an exception. *)
+let verify_outcome ?(tol = 1e-9) ?seed ~machine ~nprocs ~capture (c : compiled)
+    : verdict =
   let ref_run = run_interpreter ?seed ~capture ~machine c in
-  let par_run = run_parallel ?seed ~capture ~machine ~nprocs c in
-  List.filter_map
-    (fun name ->
-      match
-        ( List.assoc_opt name ref_run.Interp.Eval.captures,
-          List.assoc_opt name par_run.Exec.Vm.captures )
-      with
-      | Some a, Some b -> (
-          match compare_values ~tol a b with
-          | None -> None
-          | Some detail -> Some { variable = name; detail })
-      | None, None -> Some { variable = name; detail = "missing in both runs" }
-      | None, _ -> Some { variable = name; detail = "missing in interpreter" }
-      | _, None -> Some { variable = name; detail = "missing in compiled run" })
-    capture
+  match run_parallel_result ?seed ~capture ~machine ~nprocs c with
+  | Exec.Vm.Partial { failed_rank; operation; detail } ->
+      Aborted { failed_rank; operation; detail }
+  | Exec.Vm.Complete par_run -> (
+      let mismatches =
+        List.filter_map
+          (fun name ->
+            match
+              ( List.assoc_opt name ref_run.Interp.Eval.captures,
+                List.assoc_opt name par_run.Exec.Vm.captures )
+            with
+            | Some a, Some b -> (
+                match compare_values ~tol a b with
+                | None -> None
+                | Some detail -> Some { variable = name; detail })
+            | None, None ->
+                Some { variable = name; detail = "missing in both runs" }
+            | None, _ ->
+                Some { variable = name; detail = "missing in interpreter" }
+            | _, None ->
+                Some { variable = name; detail = "missing in compiled run" })
+          capture
+      in
+      match mismatches with [] -> Verified | ms -> Mismatched ms)
+
+let verify ?tol ?seed ~machine ~nprocs ~capture (c : compiled) : mismatch list
+    =
+  match verify_outcome ?tol ?seed ~machine ~nprocs ~capture c with
+  | Verified -> []
+  | Mismatched ms -> ms
+  | Aborted { detail; _ } -> raise (Exec.Vm.Runtime_error detail)

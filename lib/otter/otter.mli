@@ -35,6 +35,17 @@ val run_parallel :
   Exec.Vm.outcome
 (** Execute the compiled SPMD program on the simulated machine. *)
 
+val run_parallel_result :
+  ?capture:string list ->
+  ?seed:int ->
+  ?datadir:string ->
+  machine:Mpisim.Machine.t ->
+  nprocs:int ->
+  compiled ->
+  Exec.Vm.run_result
+(** Like {!run_parallel}, but a failing rank yields a structured
+    {!Exec.Vm.run_result.Partial} instead of an exception. *)
+
 val run_interpreter :
   ?capture:string list ->
   ?seed:int ->
@@ -54,6 +65,27 @@ val run_matcom :
 (** The MATCOM compiled-sequential baseline (Figure 2). *)
 
 type mismatch = { variable : string; detail : string }
+
+type verdict =
+  | Verified
+  | Mismatched of mismatch list
+  | Aborted of { failed_rank : int; operation : string; detail : string }
+      (** The parallel run died (rank failure, receive timeout under an
+          injected fault model, exhausted retransmissions) before its
+          results could be compared. *)
+
+val verify_outcome :
+  ?tol:float ->
+  ?seed:int ->
+  machine:Mpisim.Machine.t ->
+  nprocs:int ->
+  capture:string list ->
+  compiled ->
+  verdict
+(** Run the interpreter and the [nprocs]-CPU compiled program and
+    compare the captured variables; [tol] absorbs reduction-order
+    rounding.  Never raises for a failing parallel run — it degrades to
+    {!verdict.Aborted}. *)
 
 val verify :
   ?tol:float ->

@@ -7,6 +7,7 @@
    communication cost is charged implicitly by the messages it sends. *)
 
 open Mpisim
+module Rel = Reliable
 
 let tag_shift = 3001
 let tag_trapz = 3002
@@ -120,7 +121,7 @@ let transpose (m : Dmat.t) : Dmat.t =
     in
     for d = 0 to nprocs - 1 do
       if d <> me && chi d > clo d && m.count > 0 then
-        Sim.send ~dst:d ~tag:tag_transpose (Sim.Floats (pack d))
+        Rel.send ~dst:d ~tag:tag_transpose (Sim.Floats (pack d))
     done;
     if m.count > 0 && chi me > clo me then unpack me (pack me);
     for src = 0 to nprocs - 1 do
@@ -128,7 +129,7 @@ let transpose (m : Dmat.t) : Dmat.t =
         src <> me
         && Dist.size ~rank:src ~nprocs ~n:m.rows > 0
         && r.count > 0
-      then unpack src (Sim.recv_floats ~src ~tag:tag_transpose)
+      then unpack src (Rel.recv_floats ~src ~tag:tag_transpose)
     done;
     r
   end
@@ -369,7 +370,7 @@ let circshift (v : Dmat.t) s : Dmat.t =
                 let chunk = Array.sub v.data (src0 - my_lo) (b - a) in
                 if dst = me then
                   Array.blit chunk 0 r.data (a - my_lo) (b - a)
-                else Sim.send ~dst ~tag:tag_shift (Sim.Floats chunk)
+                else Rel.send ~dst ~tag:tag_shift (Sim.Floats chunk)
               end
             done)
           (segments (my_lo + s) (my_hi - my_lo));
@@ -380,7 +381,7 @@ let circshift (v : Dmat.t) s : Dmat.t =
             for src = 0 to nprocs - 1 do
               let a = max s0 (lo src) and b = min s1 (hi src) in
               if a < b && src <> me then begin
-                let chunk = Sim.recv_floats ~src ~tag:tag_shift in
+                let chunk = Rel.recv_floats ~src ~tag:tag_shift in
                 assert (Array.length chunk = b - a);
                 let dst0 = (a + s) mod n in
                 Array.blit chunk 0 r.data (dst0 - my_lo) (b - a)
@@ -416,12 +417,12 @@ let trapz ?x (y : Dmat.t) : float =
         | Some x -> [| y.data.(0); x.data.(0) |]
         | None -> [| y.data.(0) |]
       in
-      Sim.send ~dst ~tag:tag_trapz (Sim.Floats payload)
+      Rel.send ~dst ~tag:tag_trapz (Sim.Floats payload)
     end;
     let boundary =
       if count > 0 && high < n then
         let src = Dist.owner ~nprocs ~n high in
-        Some (Sim.recv_floats ~src ~tag:tag_trapz)
+        Some (Rel.recv_floats ~src ~tag:tag_trapz)
       else None
     in
     let acc = ref 0. in

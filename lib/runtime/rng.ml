@@ -1,26 +1,5 @@
-(* Counter-based pseudo-random numbers: rand element (seed, i) is a pure
-   hash of the global element index, so a distributed matrix holds
-   identical data for every processor count and for the sequential
-   interpreter -- which is what makes cross-backend verification of the
-   benchmarks possible. *)
+(* Re-export of the counter-based generator, which now lives in Mpisim
+   so the machine simulator's deterministic fault schedules can draw
+   from the same stream family without a dependency cycle. *)
 
-let splitmix64 (z : int64) : int64 =
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33))
-      0xff51afd7ed558ccdL in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33))
-      0xc4ceb9fe1a85ec53L in
-  Int64.logxor z (Int64.shift_right_logical z 33)
-
-(* Uniform float in [0, 1) from a seed and a global element index. *)
-let uniform ~seed i =
-  let h = splitmix64 (Int64.add (Int64.of_int i)
-                        (Int64.mul (Int64.of_int (seed + 1)) 0x9e3779b97f4a7c15L))
-  in
-  let mantissa = Int64.to_float (Int64.shift_right_logical h 11) in
-  mantissa *. 0x1p-53
-
-(* Standard normal via Box-Muller on two decorrelated uniforms. *)
-let normal ~seed i =
-  let u1 = uniform ~seed i and u2 = uniform ~seed:(seed + 77731) i in
-  let u1 = if u1 <= 0. then 1e-300 else u1 in
-  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+include Mpisim.Rng

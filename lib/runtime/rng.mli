@@ -1,6 +1,8 @@
 (** Counter-based pseudo-random numbers: a pure hash of (seed, global
     element index), so distributed matrices hold identical data for
-    every processor count and for the sequential back ends. *)
+    every processor count and for the sequential back ends.  The
+    implementation lives in {!Mpisim.Rng}; this alias preserves the
+    historical [Runtime.Rng] path. *)
 
 val splitmix64 : int64 -> int64
 

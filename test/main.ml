@@ -10,6 +10,7 @@ let () =
       ("peephole", Test_peephole.suite);
       ("sim", Test_sim.suite);
       ("coll", Test_coll.suite);
+      ("faults", Test_faults.suite);
       ("runtime", Test_runtime.suite);
       ("fmtutil", Test_fmtutil.suite);
       ("vm", Test_vm.suite);

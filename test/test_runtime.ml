@@ -120,7 +120,7 @@ let test_matmul_dimension_check () =
         let b = Dmat.create ~rows:5 ~cols:2 in
         ignore (Ops.matmul a b))
   with
-  | exception Failure _ -> ()
+  | exception Sim.Rank_failure { exn = Failure _; _ } -> ()
   | _ -> Alcotest.fail "dimension mismatch must fail"
 
 let test_dot () =
@@ -256,7 +256,7 @@ let test_elem_bounds () =
         let m = Dmat.create ~rows:3 ~cols:3 in
         ignore (Ops.bcast_elem m ~i:5 ~j:0))
   with
-  | exception Failure _ -> ()
+  | exception Sim.Rank_failure { exn = Failure _; _ } -> ()
   | _ -> Alcotest.fail "out-of-bounds broadcast must fail"
 
 let test_trapz () =

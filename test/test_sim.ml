@@ -17,6 +17,8 @@ let lab ?(channel = None) () =
     send_overhead = 0.;
     recv_overhead = 0.;
     link = (fun _ _ -> { Machine.latency = 1e-6; bandwidth = 1e6; channel });
+    faults = None;
+    reliable = false;
   }
 
 let test_compute_advances_clock () =
@@ -192,14 +194,16 @@ let test_bad_ranks_rejected () =
   | _ -> Alcotest.fail "too many processors must be rejected"
 
 let test_rank_exception_propagates () =
-  (* A failure on any rank aborts the whole simulation with the
-     original exception (the VM relies on this for error reporting). *)
+  (* A failure on any rank aborts the whole simulation, wrapped with
+     the failing rank's identity (the VM relies on this attribution). *)
   match
     Sim.run ~machine:(lab ()) ~nprocs:4 (fun rank ->
         if rank = 2 then failwith "injected fault";
         Sim.compute 1.)
   with
-  | exception Failure msg -> Alcotest.(check string) "message" "injected fault" msg
+  | exception Sim.Rank_failure { rank; exn = Failure msg } ->
+      Alcotest.(check int) "failing rank named" 2 rank;
+      Alcotest.(check string) "message" "injected fault" msg
   | _ -> Alcotest.fail "exception must propagate out of run"
 
 let test_exception_after_communication () =
@@ -215,8 +219,85 @@ let test_exception_after_communication () =
           failwith "late fault"
         end)
   with
-  | exception Failure msg -> Alcotest.(check string) "message" "late fault" msg
+  | exception Sim.Rank_failure { rank; exn = Failure msg } ->
+      Alcotest.(check int) "failing rank named" 1 rank;
+      Alcotest.(check string) "message" "late fault" msg
   | _ -> Alcotest.fail "late exception must propagate"
+
+(* --- timeouts and failure attribution ---------------------------------- *)
+
+let contains = Testutil.contains
+
+let test_deadlock_names_parties () =
+  (* The diagnosis must say which rank waits for which (src, tag). *)
+  match
+    Sim.run ~machine:(lab ()) ~nprocs:2 (fun rank ->
+        ignore (Sim.recv ~src:(1 - rank) ~tag:9))
+  with
+  | exception Sim.Deadlock msg ->
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) (needle ^ " in diagnosis") true
+            (contains msg needle))
+        [ "rank 0 waits for (src=1, tag=9)"; "rank 1 waits for (src=0, tag=9)" ]
+  | _ -> Alcotest.fail "cross recv must deadlock"
+
+let test_recv_timeout_expires () =
+  (* No sender: the timed receive must come back [None] at exactly the
+     deadline, with the rank's clock advanced to it. *)
+  let results, _ =
+    Sim.run ~machine:(lab ()) ~nprocs:2 (fun rank ->
+        if rank = 0 then (Sim.compute 1.; 0.)
+        else begin
+          match Sim.recv_opt ~src:0 ~tag:1 ~timeout:0.25 with
+          | None -> Sim.time ()
+          | Some _ -> -1.
+        end)
+  in
+  Testutil.check_close "clock at deadline" 0.25 results.(1)
+
+let test_recv_timeout_typed_exception () =
+  match
+    Sim.run ~machine:(lab ()) ~nprocs:2 (fun rank ->
+        if rank = 0 then Sim.compute 1.
+        else ignore (Sim.recv_timeout ~src:0 ~tag:3 ~timeout:0.5))
+  with
+  | exception Sim.Rank_failure
+      { rank = 1; exn = Sim.Timeout { rank = 1; src = 0; tag = 3; waited } }
+    ->
+      Testutil.check_close "waited" 0.5 waited
+  | exception e ->
+      Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "recv_timeout must raise Timeout"
+
+let test_recv_within_timeout_delivers () =
+  (* The message arrives before the deadline: normal delivery. *)
+  let results, _ =
+    Sim.run ~machine:(lab ()) ~nprocs:2 (fun rank ->
+        if rank = 0 then begin
+          Sim.compute 0.1;
+          Sim.send ~dst:1 ~tag:1 (Sim.Floats [| 7. |]);
+          0.
+        end
+        else
+          match Sim.recv_opt ~src:0 ~tag:1 ~timeout:5.0 with
+          | Some (Sim.Floats [| x |]) -> x
+          | _ -> -1.)
+  in
+  Testutil.check_close "delivered" 7. results.(1)
+
+let test_protocol_error_on_wrong_kind () =
+  match
+    Sim.run ~machine:(lab ()) ~nprocs:2 (fun rank ->
+        if rank = 0 then Sim.send ~dst:1 ~tag:1 (Sim.Ints [| 1 |])
+        else ignore (Sim.recv_floats ~src:0 ~tag:1))
+  with
+  | exception Sim.Rank_failure
+      { exn = Sim.Protocol_error { rank = 1; src = 0; tag = 1; _ }; _ } ->
+      ()
+  | exception e ->
+      Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "float receive of an int payload must be typed"
 
 let test_machine_lookup () =
   let is name m =
@@ -258,6 +339,11 @@ let suite =
     t "bad ranks rejected" test_bad_ranks_rejected;
     t "rank exception propagates" test_rank_exception_propagates;
     t "exception after communication" test_exception_after_communication;
+    t "deadlock diagnosis names parties" test_deadlock_names_parties;
+    t "recv timeout expires" test_recv_timeout_expires;
+    t "recv timeout raises typed" test_recv_timeout_typed_exception;
+    t "recv within timeout delivers" test_recv_within_timeout_delivers;
+    t "protocol error is typed" test_protocol_error_on_wrong_kind;
     t "machine lookup" test_machine_lookup;
     t "cluster topology" test_cluster_topology;
   ]

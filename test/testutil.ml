@@ -8,6 +8,11 @@ let check_close ?(tol = 1e-9) msg a b =
   if Float.abs (a -. b) > tol *. scale then
     Alcotest.failf "%s: %.17g vs %.17g" msg a b
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 let check_array_close ?(tol = 1e-9) msg (a : float array) (b : float array) =
   if Array.length a <> Array.length b then
     Alcotest.failf "%s: lengths %d vs %d" msg (Array.length a) (Array.length b);
