@@ -174,12 +174,14 @@ let run_cmd =
 let interp_cmd =
   let run input matcom timing =
     handle_errors (fun () ->
-        let c = compile_input input in
+        (* front end only: the interpreter accepts a superset of what
+           the back end compiles (e.g. matrix growth) *)
+        let fe = Otter.compile_frontend ~path:(path_of input) (read_file input) in
         let machine = Mpisim.Machine.workstation in
-        let o =
-          if matcom then Otter.run_matcom ~machine c
-          else Otter.run_interpreter ~machine c
+        let mode =
+          if matcom then Interp.Cost.Matcom else Interp.Cost.Interpreter
         in
+        let o = Otter.interpret ~mode ~machine fe in
         print_string o.Interp.Eval.output;
         if timing then
           Fmt.pr "[%s] modeled time %.6f s@."
@@ -274,9 +276,73 @@ let verify_cmd =
     Term.(const run $ input_arg $ procs_arg $ machine_arg $ vars_arg
           $ faults_arg $ reliable_arg)
 
+(* --- fuzz ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let run cases seed corpus no_cc =
+    let use_cc = not no_cc in
+    let corpus_failures, corpus_total =
+      match corpus with
+      | None -> ([], 0)
+      | Some dir ->
+          if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+            Fmt.epr "no such corpus directory: %s@." dir;
+            exit 2
+          end;
+          Fuzz.replay ~use_cc dir
+    in
+    if corpus_total > 0 then
+      if corpus_failures = [] then
+        Fmt.pr "corpus: %d/%d scripts replayed clean.@." corpus_total
+          corpus_total
+      else
+        List.iter
+          (fun f ->
+            Fmt.pr "CORPUS FAILURE %s: %s@." f.Fuzz.file f.Fuzz.reason)
+          corpus_failures;
+    let random_failed =
+      if cases <= 0 then false
+      else
+        match Fuzz.run_random ~use_cc ~cases ~seed () with
+        | Fuzz.All_passed s ->
+            Fmt.pr
+              "fuzz: %d cases (seed %d): %d compared across all back ends, \
+               %d discarded, 0 counterexamples.@."
+              s.Fuzz.cases seed s.Fuzz.passed s.Fuzz.discarded;
+            false
+        | Fuzz.Counterexample { script; detail; shrink_steps } ->
+            Fmt.pr
+              "COUNTEREXAMPLE (seed %d, minimized in %d shrink steps)@.  \
+               %s@.--- script ---@.%s--------------@."
+              seed shrink_steps detail script;
+            true
+    in
+    if corpus_failures <> [] || random_failed then exit 1
+  in
+  let cases_arg =
+    Arg.(value & opt int 200 & info [ "cases" ] ~docv:"N"
+           ~doc:"Number of random scripts to generate and check.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S"
+           ~doc:"Random seed (same seed, same scripts).")
+  in
+  let corpus_arg =
+    Arg.(value & opt (some dir) None & info [ "corpus" ] ~docv:"DIR"
+           ~doc:"Also replay every .m script in $(docv) through the oracle.")
+  in
+  let no_cc_arg =
+    Arg.(value & flag & info [ "no-cc" ]
+           ~doc:"Skip the compiled-C leg even when a C compiler is found.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: random scripts through every back end.")
+    Term.(const run $ cases_arg $ seed_arg $ corpus_arg $ no_cc_arg)
+
 let main_cmd =
   let doc = "Otter: a parallel MATLAB compiler (OCaml reproduction)" in
   Cmd.group (Cmd.info "otterc" ~version:"1.0" ~doc)
-    [ compile_cmd; run_cmd; interp_cmd; dump_cmd; verify_cmd ]
+    [ compile_cmd; run_cmd; interp_cmd; dump_cmd; verify_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

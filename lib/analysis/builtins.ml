@@ -30,6 +30,7 @@ type kind =
   | Load (* load('file.txt'): matrix from a whitespace-separated file *)
   | Repmat (* repmat(A, r, c): tile a matrix *)
   | Sort (* sort(v): ascending sort, optional index output *)
+  | Diag (* diag(v): vector -> diagonal matrix; matrix -> diagonal vector *)
 
 type t = {
   name : string;
@@ -262,6 +263,23 @@ let () =
       match args with
       | [ a ] -> { a with aconst = None }
       | _ -> Mlang.Source.error pos "sort takes one argument");
+  register "diag" Diag 1 1 (fun args pos ->
+      match args with
+      | [ a ] -> (
+          (* vector -> square matrix with the vector on the diagonal;
+             matrix -> main diagonal as a column vector; scalar -> 1x1 *)
+          match (a.aty.Ty.rank, a.aty.Ty.shape) with
+          | Ty.Rscalar, _ -> { a with aconst = a.aconst }
+          | Ty.Rmatrix, { Ty.rows = Ty.Dconst 1; cols = d }
+          | Ty.Rmatrix, { Ty.rows = d; cols = Ty.Dconst 1 } ->
+              of_ty (Ty.matrix ~shape:{ Ty.rows = d; cols = d } a.aty.Ty.base)
+          | Ty.Rmatrix, { Ty.rows = Ty.Dconst r; cols = Ty.Dconst c } ->
+              of_ty
+                (Ty.matrix
+                   ~shape:{ Ty.rows = Ty.Dconst (min r c); cols = Ty.Dconst 1 }
+                   a.aty.Ty.base)
+          | Ty.Rmatrix, _ -> of_ty (Ty.matrix a.aty.Ty.base))
+      | _ -> Mlang.Source.error pos "diag takes one argument");
   (* external file input; the real type rule runs in Infer, which has
      the data directory and the literal filename *)
   register "load" Load 1 1 (fun _ _ -> of_ty Ty.real_matrix);

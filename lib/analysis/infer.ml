@@ -277,7 +277,61 @@ and eval_matrix ctx rows : av =
         Some
           (Builtins.of_ty
              (Ty.matrix ~shape:{ Ty.rows = Ty.Dconst r; cols = Ty.Dconst c } base))
-    else Some (Builtins.of_ty (Ty.matrix base))
+    else
+      (* Mixed scalar/matrix blocks: when every block shape is known,
+         the grid shape is too.  Within a row, non-empty blocks must
+         share a height and their widths add; row heights add.  Empty
+         blocks are dropped (MATLAB), so an all-empty row contributes
+         no rows.  Any unknown or inconsistent dimension degrades to
+         an unknown shape (inconsistencies then fail at run time). *)
+      let block_dims a =
+        match a with
+        | Some { Builtins.aty; _ } ->
+            if Ty.is_scalar aty then Some (1, 1)
+            else (
+              match (aty.Ty.shape.Ty.rows, aty.Ty.shape.Ty.cols) with
+              | Ty.Dconst r, Ty.Dconst c -> Some (r, c)
+              | _ -> None)
+        | None -> None
+      in
+      let exception Unknown in
+      let shape =
+        try
+          let row_dims =
+            List.map
+              (fun row ->
+                let dims =
+                  List.map
+                    (fun a ->
+                      match block_dims a with
+                      | Some d -> d
+                      | None -> raise Unknown)
+                    row
+                in
+                match List.filter (fun (r, c) -> r * c > 0) dims with
+                | [] -> (0, 0)
+                | (h, _) :: _ as nonempty ->
+                    if List.for_all (fun (r, _) -> r = h) nonempty then
+                      (h, List.fold_left (fun w (_, c) -> w + c) 0 nonempty)
+                    else raise Unknown)
+              avs
+          in
+          match List.filter (fun (h, _) -> h > 0) row_dims with
+          | [] -> Some (0, 0)
+          | (_, w) :: _ as live ->
+              if List.for_all (fun (_, w') -> w' = w) live then
+                Some (List.fold_left (fun r (h, _) -> r + h) 0 live, w)
+              else raise Unknown
+        with Unknown -> None
+      in
+      match shape with
+      | Some (r, c) ->
+          Some
+            (Builtins.of_ty
+               (Ty.matrix
+                  ~shape:{ Ty.rows = Ty.Dconst r; cols = Ty.Dconst c }
+                  base))
+      | None -> Some (Builtins.of_ty (Ty.matrix base))
 
 and eval_index pos (m : Builtins.aval) args arg_avs : Builtins.aval =
   let mty = m.Builtins.aty in

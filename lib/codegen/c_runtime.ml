@@ -68,6 +68,7 @@ double *ML_read_datafile(const char *path, int *rows, int *cols);
 void   ML_matrix_multiply(const MATRIX *a, const MATRIX *b, MATRIX **dst);
 double ML_dot(const MATRIX *a, const MATRIX *b);
 void   ML_transpose(const MATRIX *a, MATRIX **dst);
+void   ML_diag(const MATRIX *a, MATRIX **dst);
 void   ML_outer(const MATRIX *u, const MATRIX *v, MATRIX **dst);
 double ML_reduce_all(ML_RED op, const MATRIX *m);
 void   ML_reduce_cols(ML_RED op, const MATRIX *m, MATRIX **dst);
@@ -428,6 +429,24 @@ void ML_transpose(const MATRIX *a, MATRIX **dst) {
   *dst = c;
 }
 
+void ML_diag(const MATRIX *a, MATRIX **dst) {
+  int i, j, n;
+  MATRIX *c = NULL;
+  if (a->rows == 1 || a->cols == 1) {
+    n = a->rows * a->cols;
+    ML_reshape(&c, n, n);
+    for (i = 0; i < n; i++)
+      for (j = 0; j < n; j++)
+        c->data[i * n + j] = (i == j) ? a->data[i] : 0.0;
+  } else {
+    n = a->rows < a->cols ? a->rows : a->cols;
+    ML_reshape(&c, n, 1);
+    for (i = 0; i < n; i++) c->data[i] = a->data[i * a->cols + i];
+  }
+  ML_free(dst);
+  *dst = c;
+}
+
 void ML_outer(const MATRIX *u, const MATRIX *v, MATRIX **dst) {
   int i, j, m = u->rows * u->cols, n = v->rows * v->cols;
   MATRIX *c = NULL;
@@ -441,8 +460,7 @@ void ML_outer(const MATRIX *u, const MATRIX *v, MATRIX **dst) {
 static double ml_red_init(ML_RED op) {
   switch (op) {
   case ML_PROD: case ML_ALL: return 1.0;
-  case ML_MIN: return INFINITY;
-  case ML_MAX: return -INFINITY;
+  case ML_MIN: case ML_MAX: return NAN; /* MATLAB: min/max skip NaNs */
   default: return 0.0;
   }
 }
@@ -451,8 +469,14 @@ static double ml_red_comb(ML_RED op, double a, double b) {
   switch (op) {
   case ML_SUM: case ML_MEAN: return a + b;
   case ML_PROD: return a * b;
-  case ML_MIN: return a < b ? a : b;
-  case ML_MAX: return a > b ? a : b;
+  case ML_MIN:
+    if (isnan(a)) return b;
+    if (isnan(b)) return a;
+    return a < b ? a : b;
+  case ML_MAX:
+    if (isnan(a)) return b;
+    if (isnan(b)) return a;
+    return a > b ? a : b;
   case ML_ANY: return (a != 0 || b != 0) ? 1.0 : 0.0;
   case ML_ALL: return (a != 0 && b != 0) ? 1.0 : 0.0;
   }
@@ -508,8 +532,11 @@ double ML_reduce_index(ML_RED op, const MATRIX *v, double *index_out) {
     ML_error("[m, i] = min/max of a full matrix is not supported");
   best = v->data[0];
   for (i = 1; i < n; i++) {
-    if (op == ML_MIN ? v->data[i] < best : v->data[i] > best) {
-      best = v->data[i];
+    double x = v->data[i];
+    /* NaN is never better; anything beats a NaN (MATLAB) */
+    if (!isnan(x) &&
+        (isnan(best) || (op == ML_MIN ? x < best : x > best))) {
+      best = x;
       best_i = i;
     }
   }
@@ -521,6 +548,11 @@ static const double *ml_sort_keys;
 
 static int ml_sort_cmp(const void *pa, const void *pb) {
   int a = *(const int *)pa, b = *(const int *)pb;
+  int na = isnan(ml_sort_keys[a]), nb = isnan(ml_sort_keys[b]);
+  if (na || nb) {                /* MATLAB: NaNs sort to the end */
+    if (na && nb) return a - b;
+    return na ? 1 : -1;
+  }
   if (ml_sort_keys[a] < ml_sort_keys[b]) return -1;
   if (ml_sort_keys[a] > ml_sort_keys[b]) return 1;
   return a - b; /* stable: lower original index first */
@@ -643,22 +675,37 @@ void ML_set_section(MATRIX *dst, ML_SEL s1, ML_SEL s2, int nsel,
 
 void ML_concat(MATRIX **dst, int grid_rows, int grid_cols,
                const MATRIX **parts) {
-  int total_rows = 0, total_cols = 0, gi, gj;
+  /* MATLAB drops empty operands from a literal: empty blocks are
+     skipped, and a grid row of nothing but empties adds no rows. */
+  int total_rows = 0, total_cols = -1, gi, gj;
   MATRIX *c = NULL;
-  for (gi = 0; gi < grid_rows; gi++)
-    total_rows += parts[gi * grid_cols]->rows;
-  for (gj = 0; gj < grid_cols; gj++) total_cols += parts[gj]->cols;
+  for (gi = 0; gi < grid_rows; gi++) {
+    int h = -1, w = 0;
+    for (gj = 0; gj < grid_cols; gj++) {
+      const MATRIX *b = parts[gi * grid_cols + gj];
+      if (b->rows * b->cols == 0) continue;
+      if (h < 0) h = b->rows;
+      else if (b->rows != h)
+        ML_error("inconsistent row counts in matrix literal");
+      w += b->cols;
+    }
+    if (h < 0) continue; /* every block in this row was empty */
+    if (total_cols < 0) total_cols = w;
+    else if (w != total_cols)
+      ML_error("inconsistent column counts in matrix literal");
+    total_rows += h;
+  }
+  if (total_cols < 0) total_cols = 0;
   ML_reshape(&c, total_rows, total_cols);
   {
     int roff = 0;
     for (gi = 0; gi < grid_rows; gi++) {
-      int h = parts[gi * grid_cols]->rows, coff = 0;
+      int h = 0, coff = 0;
       for (gj = 0; gj < grid_cols; gj++) {
         const MATRIX *b = parts[gi * grid_cols + gj];
         int i, j;
-        if (b->rows != h) ML_error("inconsistent row counts in matrix literal");
-        if (coff + b->cols > total_cols)
-          ML_error("inconsistent column counts in matrix literal");
+        if (b->rows * b->cols == 0) continue;
+        h = b->rows;
         for (i = 0; i < b->rows; i++)
           for (j = 0; j < b->cols; j++)
             c->data[(roff + i) * total_cols + coff + j] =

@@ -252,15 +252,48 @@ void ML_transpose(const MATRIX *a, MATRIX **dst) {
   *dst = c;
 }
 
+void ML_diag(const MATRIX *a, MATRIX **dst) {
+  /* both directions redistribute: gather the source, fill locally */
+  double *dense = ml_to_dense(a);
+  MATRIX *c = NULL;
+  long i;
+  if (a->rows == 1 || a->cols == 1) {
+    int n = a->rows * a->cols;
+    ML_reshape(&c, n, n);
+    for (i = 0; i < ML_local_els(c); i++) {
+      long g = ml_global_of_local(c, i);
+      long gi = g / n, gj = g % n;
+      c->data[i] = (gi == gj) ? dense[gi] : 0.0;
+    }
+  } else {
+    int n = a->rows < a->cols ? a->rows : a->cols;
+    ML_reshape(&c, n, 1);
+    for (i = 0; i < ML_local_els(c); i++) {
+      long g = ml_global_of_local(c, i);
+      c->data[i] = dense[g * a->cols + g];
+    }
+  }
+  free(dense);
+  ML_free(dst);
+  *dst = c;
+}
+
+/* The result is row-distributed for m > 1 but column-distributed when
+   m = 1 (and u's element may then live on another rank), so fill
+   through global indices from replicated operands. */
 void ML_outer(const MATRIX *u, const MATRIX *v, MATRIX **dst) {
   int m = u->rows * u->cols, n = v->rows * v->cols;
+  double *uf = ml_to_dense(u);
   double *vf = ml_to_dense(v);
   MATRIX *c = NULL;
-  int li, j;
+  long k, nl;
   ML_reshape(&c, m, n);
-  for (li = 0; li < c->count; li++)
-    for (j = 0; j < n; j++)
-      c->data[(long)li * n + j] = u->data[li] * vf[j];
+  nl = ML_local_els(c);
+  for (k = 0; k < nl; k++) {
+    long g = ml_global_of_local(c, k);
+    c->data[k] = uf[g / n] * vf[g % n];
+  }
+  free(uf);
   free(vf);
   ML_free(dst);
   *dst = c;
@@ -277,12 +310,23 @@ static double ml_red_init(ML_RED op) {
   }
 }
 
+/* The local pass skips NaNs (MATLAB min/max semantics).  The cross-rank
+   combine is MPI_MIN/MPI_MAX, which is not NaN-aware, so the local
+   identity stays +/-INFINITY: an all-NaN distributed vector reduces to
+   the identity here rather than NaN, a known approximation of the
+   simulator's exact behaviour. */
 static double ml_red_comb(ML_RED op, double a, double b) {
   switch (op) {
   case ML_SUM: case ML_MEAN: return a + b;
   case ML_PROD: return a * b;
-  case ML_MIN: return a < b ? a : b;
-  case ML_MAX: return a > b ? a : b;
+  case ML_MIN:
+    if (isnan(b)) return a;
+    if (isnan(a)) return b;
+    return a < b ? a : b;
+  case ML_MAX:
+    if (isnan(b)) return a;
+    if (isnan(a)) return b;
+    return a > b ? a : b;
   case ML_ANY: return (a != 0 || b != 0) ? 1.0 : 0.0;
   case ML_ALL: return (a != 0 && b != 0) ? 1.0 : 0.0;
   }
@@ -361,8 +405,10 @@ double ML_reduce_index(ML_RED op, const MATRIX *v, double *index_out) {
   inout.value = op == ML_MIN ? INFINITY : -INFINITY;
   inout.loc = 0x7fffffff; /* empty local block loses every comparison */
   for (i = 0; i < n; i++) {
-    if (op == ML_MIN ? v->data[i] < inout.value : v->data[i] > inout.value) {
-      inout.value = v->data[i];
+    double x = v->data[i];
+    if (!isnan(x) &&
+        (op == ML_MIN ? x < inout.value : x > inout.value)) {
+      inout.value = x;
       inout.loc = (int)ml_global_of_local(v, i);
     }
   }
@@ -376,6 +422,11 @@ static const double *ml_sort_keys;
 
 static int ml_sort_cmp(const void *pa, const void *pb) {
   int a = *(const int *)pa, b = *(const int *)pb;
+  int na = isnan(ml_sort_keys[a]), nb = isnan(ml_sort_keys[b]);
+  if (na || nb) {                /* MATLAB: NaNs sort to the end */
+    if (na && nb) return a - b;
+    return na ? 1 : -1;
+  }
   if (ml_sort_keys[a] < ml_sort_keys[b]) return -1;
   if (ml_sort_keys[a] > ml_sort_keys[b]) return 1;
   return a - b;
@@ -553,23 +604,41 @@ void ML_set_section(MATRIX *dst, ML_SEL s1, ML_SEL s2, int nsel,
 
 void ML_concat(MATRIX **dst, int grid_rows, int grid_cols,
                const MATRIX **parts) {
-  int total_rows = 0, total_cols = 0, gi, gj;
+  /* MATLAB drops empty operands from a literal: empty blocks are
+     skipped, and a grid row of nothing but empties adds no rows. */
+  int total_rows = 0, total_cols = -1, gi, gj;
   long i;
   double *full;
   MATRIX *c = NULL;
-  for (gi = 0; gi < grid_rows; gi++)
-    total_rows += parts[gi * grid_cols]->rows;
-  for (gj = 0; gj < grid_cols; gj++) total_cols += parts[gj]->cols;
+  for (gi = 0; gi < grid_rows; gi++) {
+    int h = -1, w = 0;
+    for (gj = 0; gj < grid_cols; gj++) {
+      const MATRIX *b = parts[gi * grid_cols + gj];
+      if (b->rows * b->cols == 0) continue;
+      if (h < 0) h = b->rows;
+      else if (b->rows != h)
+        ML_error("inconsistent row counts in matrix literal");
+      w += b->cols;
+    }
+    if (h < 0) continue; /* every block in this row was empty */
+    if (total_cols < 0) total_cols = w;
+    else if (w != total_cols)
+      ML_error("inconsistent column counts in matrix literal");
+    total_rows += h;
+  }
+  if (total_cols < 0) total_cols = 0;
   full = (double *)calloc((size_t)total_rows * total_cols + 1, sizeof(double));
   {
     int roff = 0;
     for (gi = 0; gi < grid_rows; gi++) {
-      int h = parts[gi * grid_cols]->rows, coff = 0;
+      int h = 0, coff = 0;
       for (gj = 0; gj < grid_cols; gj++) {
         const MATRIX *b = parts[gi * grid_cols + gj];
-        double *bd = ml_to_dense(b);
+        double *bd;
         int r2, c2;
-        if (b->rows != h) ML_error("inconsistent row counts in matrix literal");
+        if (b->rows * b->cols == 0) continue;
+        bd = ml_to_dense(b);
+        h = b->rows;
         for (r2 = 0; r2 < b->rows; r2++)
           for (c2 = 0; c2 < b->cols; c2++)
             full[(long)(roff + r2) * total_cols + coff + c2] =

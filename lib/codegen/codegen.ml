@@ -50,6 +50,13 @@ let is_matrix_var sc v =
   | Some t -> t.Ty.rank = Ty.Rmatrix
   | None -> false
 
+(* Scalar variables of the Literal base type hold character strings and
+   are declared [const char *] rather than [double]. *)
+let is_str_var sc v =
+  match Hashtbl.find_opt sc.types v with
+  | Some t -> t.Ty.rank = Ty.Rscalar && t.Ty.base = Ty.Literal
+  | None -> false
+
 let scalar_call_name = function
   | "abs" -> "fabs"
   | "mod" -> "ML_mod"
@@ -188,6 +195,7 @@ let rec emit_inst em (i : Spmd.Ir.inst) =
       line em "%s = ML_dot(%s, %s);" (mangle d) (mangle a) (mangle b)
   | Spmd.Ir.Itranspose (d, a) ->
       line em "ML_transpose(%s, &%s);" (mangle a) (mangle d)
+  | Spmd.Ir.Idiag (d, a) -> line em "ML_diag(%s, &%s);" (mangle a) (mangle d)
   | Spmd.Ir.Iouter (d, a, b) ->
       line em "ML_outer(%s, %s, &%s);" (mangle a) (mangle b) (mangle d)
   | Spmd.Ir.Ireduce_all (d, k, a) ->
@@ -243,8 +251,11 @@ let rec emit_inst em (i : Spmd.Ir.inst) =
   | Spmd.Ir.Iliteral { dst; rows; cols; elems } ->
       line em "{";
       em.indent <- em.indent + 2;
+      (* an empty initializer list is not legal C, so pad with one 0 *)
       line em "double ML_lit[] = { %s };"
-        (String.concat ", " (List.map sexpr_c elems));
+        (match elems with
+        | [] -> "0.0"
+        | _ -> String.concat ", " (List.map sexpr_c elems));
       line em "ML_literal(&%s, %d, %d, ML_lit);" (mangle dst) rows cols;
       em.indent <- em.indent - 2;
       line em "}"
@@ -281,6 +292,9 @@ let rec emit_inst em (i : Spmd.Ir.inst) =
       em.indent <- em.indent - 2;
       line em "}"
   | Spmd.Ir.Icalluser { rets; name; args } -> emit_call em rets name args
+  | Spmd.Ir.Iprint (name, Spmd.Ir.Pscalar (Spmd.Ir.Svar v))
+    when is_str_var em.sc v ->
+      line em "ML_print_str(\"%s\", %s);" (c_escape name) (mangle v)
   | Spmd.Ir.Iprint (name, Spmd.Ir.Pscalar s) ->
       line em "ML_print_scalar(\"%s\", %s);" (c_escape name) (sexpr_c s)
   | Spmd.Ir.Iprint (name, Spmd.Ir.Pmat v) ->
@@ -318,17 +332,24 @@ let rec emit_inst em (i : Spmd.Ir.inst) =
       em.indent <- em.indent - 2;
       line em "}"
   | Spmd.Ir.Ifor (v, start, step, stop, blk) ->
+      (* Iterate on a hidden induction variable and assign the MATLAB
+         loop variable at the top of each pass: after the loop (or a
+         break) the variable holds the last iterated value, not one
+         step past it, and a body that assigns the variable cannot
+         change the trip count — both as in MATLAB. *)
       let st = fresh_c em "ML_step" and sp = fresh_c em "ML_stop" in
+      let it = fresh_c em "ML_it" in
       line em "{";
       em.indent <- em.indent + 2;
-      line em "double %s = %s, %s = %s;" st
+      line em "double %s = %s, %s = %s, %s;" st
         (match step with Some s -> sexpr_c s | None -> "1.0")
-        sp (sexpr_c stop);
+        sp (sexpr_c stop) it;
       line em
         "for (%s = %s; (%s >= 0) ? (%s <= %s + 1e-12) : (%s >= %s - 1e-12); \
          %s += %s) {"
-        (mangle v) (sexpr_c start) st (mangle v) sp (mangle v) sp (mangle v) st;
+        it (sexpr_c start) st it sp it sp it st;
       em.indent <- em.indent + 2;
+      line em "%s = %s;" (mangle v) it;
       emit_block em blk;
       em.indent <- em.indent - 2;
       line em "}";
@@ -408,6 +429,8 @@ let emit_decls em vars ~skip =
     (fun (v, (t : Ty.t)) ->
       if not (List.mem v skip) then
         if t.Ty.rank = Ty.Rmatrix then line em "MATRIX *%s = NULL;" (mangle v)
+        else if t.Ty.base = Ty.Literal then
+          line em "const char *%s = \"\";" (mangle v)
         else line em "double %s = 0;" (mangle v))
     vars
 

@@ -44,6 +44,7 @@ let inst_name : Ir.inst -> string = function
   | Ir.Imatmul _ -> "matrix multiply"
   | Ir.Idot _ -> "dot product"
   | Ir.Itranspose _ -> "transpose"
+  | Ir.Idiag _ -> "diagonal"
   | Ir.Iouter _ -> "outer product"
   | Ir.Ireduce_all _ -> "full reduction"
   | Ir.Ireduce_cols _ -> "column reduction"
@@ -289,6 +290,12 @@ let rkind_to_red = function
 let rec exec_inst fr (i : Ir.inst) =
   fr.trace.(fr.rk) <- inst_name i;
   match i with
+  | Ir.Iscalar (v, Ir.Sstr s) -> Hashtbl.replace fr.env v (Vstr s)
+  | Ir.Iscalar (v, Ir.Svar w)
+    when match Hashtbl.find_opt fr.env w with
+         | Some (Vstr _) -> true
+         | _ -> false ->
+      Hashtbl.replace fr.env v (lookup fr w)
   | Ir.Iscalar (v, s) -> Hashtbl.replace fr.env v (Vscalar (eval_scalar fr s))
   | Ir.Ielem { dst; model; expr } -> exec_elem fr ~dst ~model expr
   | Ir.Icopy (d, s) -> (
@@ -304,6 +311,7 @@ let rec exec_inst fr (i : Ir.inst) =
       Hashtbl.replace fr.env d (Vscalar (Ops.dot (mat_of fr a) (mat_of fr b)))
   | Ir.Itranspose (d, a) ->
       Hashtbl.replace fr.env d (Vmat (Ops.transpose (mat_of fr a)))
+  | Ir.Idiag (d, a) -> Hashtbl.replace fr.env d (Vmat (Ops.diag (mat_of fr a)))
   | Ir.Iouter (d, a, b) ->
       Hashtbl.replace fr.env d (Vmat (Ops.outer (mat_of fr a) (mat_of fr b)))
   | Ir.Ireduce_all (d, k, a) ->
@@ -373,6 +381,16 @@ let rec exec_inst fr (i : Ir.inst) =
   | Ir.Iconcat { dst; grid_rows; grid_cols; parts } ->
       exec_concat fr dst grid_rows grid_cols parts
   | Ir.Icalluser { rets; name; args } -> exec_call fr rets name args
+  | Ir.Iprint (name, Ir.Pscalar (Ir.Svar v))
+    when match Hashtbl.find_opt fr.env v with
+         | Some (Vstr _) -> true
+         | _ -> false -> (
+      match lookup fr v with
+      | Vstr s ->
+          if is_root () then
+            if name = "" then Buffer.add_string fr.out (s ^ "\n")
+            else Buffer.add_string fr.out (Printf.sprintf "%s = %s\n" name s)
+      | _ -> assert false)
   | Ir.Iprint (name, Ir.Pscalar s) -> print_scalar fr name (eval_scalar fr s)
   | Ir.Iprint (name, Ir.Pmat v) -> (
       let m = mat_of fr v in
@@ -571,11 +589,28 @@ and exec_setsection fr dst sels src =
 and exec_concat fr dst grid_rows grid_cols parts =
   let blocks = List.map (fun v -> mat_of fr v) parts in
   let dense_blocks = List.map (fun b -> (b, Dmat.to_dense b)) blocks in
-  let grid =
+  let grid0 =
     Array.init grid_rows (fun i ->
         Array.init grid_cols (fun j ->
             List.nth dense_blocks ((i * grid_cols) + j)))
   in
+  (* MATLAB drops empty operands from a literal: [[], 1, 2] is [1, 2],
+     and a grid row of nothing but empties contributes no rows. *)
+  let grid =
+    Array.to_list grid0
+    |> List.filter_map (fun row ->
+           match
+             List.filter
+               (fun (b, _) -> Dmat.numel b > 0)
+               (Array.to_list row)
+           with
+           | [] -> None
+           | kept -> Some (Array.of_list kept))
+    |> Array.of_list
+  in
+  if Array.length grid = 0 then
+    Hashtbl.replace fr.env dst (Vmat (Dmat.create ~rows:0 ~cols:0))
+  else begin
   (* widths/heights per grid row and column *)
   let row_heights =
     Array.map
@@ -621,6 +656,7 @@ and exec_concat fr dst grid_rows grid_cols parts =
   Mpisim.Sim.flops (float_of_int (total_rows * total_cols));
   Hashtbl.replace fr.env dst
     (Vmat (Dmat.of_dense ~rows:total_rows ~cols:total_cols out))
+  end
 
 and exec_call fr rets name args =
   let f =

@@ -1,0 +1,327 @@
+(* Differential fuzzing oracle for the whole Otter pipeline.
+
+   A generated script (see {!Gen}) is pushed through every back end we
+   have and all results are compared:
+
+     - the reference interpreter (the semantics oracle),
+     - the SPMD VM at P in {1,2,3,4} on two machine models,
+     - when a C compiler is available, the emitted sequential C,
+       compiled and executed for real, its stdout compared
+       numerically against the interpreter's.
+
+   Any disagreement is a counterexample; QCheck2's integrated
+   shrinking then minimizes the script before it is reported. *)
+
+type case_result =
+  | Pass
+  | Discard of string  (** front end or interpreter rejected the case *)
+  | Fail of string  (** back ends disagree: the detail *)
+
+let machines = [ Mpisim.Machine.meiko_cs2; Mpisim.Machine.enterprise_smp ]
+let procs = [ 1; 2; 3; 4 ]
+
+(* --- the compiled-C leg --------------------------------------------------- *)
+
+let cc_available =
+  lazy (Sys.command "cc --version > /dev/null 2>&1" = 0)
+
+(* One scratch directory per process holding the run-time library,
+   compiled to objects exactly once; each case then only compiles its
+   own small generated file and links. *)
+let rt_objects =
+  lazy
+    (let dir = Filename.temp_file "otter_fuzz" "" in
+     Sys.remove dir;
+     Sys.mkdir dir 0o700;
+     List.iter
+       (fun (name, content) ->
+         let oc = open_out (Filename.concat dir name) in
+         output_string oc content;
+         close_out oc)
+       Codegen.support_files;
+     let compile src obj =
+       let cmd =
+         Printf.sprintf "cc -O1 -c -o %s %s > /dev/null 2>&1"
+           (Filename.quote (Filename.concat dir obj))
+           (Filename.quote (Filename.concat dir src))
+       in
+       if Sys.command cmd <> 0 then
+         failwith ("fuzz: cannot compile run-time library file " ^ src)
+     in
+     compile "otter_rt_common.c" "otter_rt_common.o";
+     compile "otter_rt_seq.c" "otter_rt_seq.o";
+     dir)
+
+(* Compare two program outputs token by token: numeric tokens within a
+   relative tolerance (reduction order, printf rounding), everything
+   else literally. *)
+let outputs_agree ?(tol = 1e-9) (a : string) (b : string) : string option =
+  let tokens s =
+    String.split_on_char '\n' s
+    |> List.concat_map (String.split_on_char ' ')
+    |> List.filter (fun t -> t <> "")
+  in
+  let ta = tokens a and tb = tokens b in
+  if List.length ta <> List.length tb then
+    Some
+      (Printf.sprintf "output length differs: %d tokens vs %d"
+         (List.length ta) (List.length tb))
+  else
+    let close x y =
+      x = y
+      || (Float.is_nan x && Float.is_nan y)
+      ||
+      let scale = Float.max 1. (Float.max (Float.abs x) (Float.abs y)) in
+      Float.abs (x -. y) <= tol *. scale
+    in
+    List.fold_left2
+      (fun acc x y ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+            match (float_of_string_opt x, float_of_string_opt y) with
+            | Some fx, Some fy ->
+                if close fx fy then None
+                else Some (Printf.sprintf "output token %s vs %s" x y)
+            | _ ->
+                if x = y then None
+                else Some (Printf.sprintf "output token %S vs %S" x y)))
+      None ta tb
+
+(* Emit, compile, execute the sequential C for [c]; compare stdout
+   against the interpreter's output. *)
+let check_c_leg (c : Otter.compiled) (ref_output : string) : string option =
+  let dir = Lazy.force rt_objects in
+  let base = Filename.temp_file ~temp_dir:dir "case" ".c" in
+  let exe = Filename.chop_suffix base ".c" ^ ".exe" in
+  let out_file = base ^ ".out" in
+  let cleanup () =
+    List.iter (fun f -> if Sys.file_exists f then Sys.remove f)
+      [ base; exe; out_file ]
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let oc = open_out base in
+      output_string oc (Codegen.emit_c ~name:"fuzz_case" c.Otter.prog);
+      close_out oc;
+      let cmd =
+        Printf.sprintf
+          "cc -O1 -o %s %s %s %s -lm > /dev/null 2>&1"
+          (Filename.quote exe) (Filename.quote base)
+          (Filename.quote (Filename.concat dir "otter_rt_common.o"))
+          (Filename.quote (Filename.concat dir "otter_rt_seq.o"))
+      in
+      if Sys.command cmd <> 0 then Some "generated C does not compile"
+      else if
+        Sys.command
+          (Printf.sprintf "%s > %s 2>&1" (Filename.quote exe)
+             (Filename.quote out_file))
+        <> 0
+      then Some "compiled C program exited non-zero"
+      else begin
+        let ic = open_in_bin out_file in
+        let n = in_channel_length ic in
+        let got = really_input_string ic n in
+        close_in ic;
+        match outputs_agree ref_output got with
+        | None -> None
+        | Some d -> Some ("compiled C: " ^ d)
+      end)
+
+(* --- the oracle ----------------------------------------------------------- *)
+
+let capture_list (info : Analysis.Infer.result) : string list =
+  Hashtbl.fold (fun v _ acc -> v :: acc) info.Analysis.Infer.var_ty []
+  |> List.sort compare
+
+let check_case ?(use_cc = true) (script : string) : case_result =
+  match Otter.compile script with
+  | exception Mlang.Source.Error (_, msg) -> Discard ("compile: " ^ msg)
+  | exception Spmd.Lower.Unsupported (_, msg) -> Discard ("lower: " ^ msg)
+  | c -> (
+      let capture = capture_list c.Otter.info in
+      match
+        Otter.run_interpreter ~capture ~machine:Mpisim.Machine.workstation c
+      with
+      | exception Interp.Eval.Runtime_error msg ->
+          Discard ("interpreter: " ^ msg)
+      | ref_run -> (
+          let check_config machine nprocs =
+            match Otter.verify_outcome ~machine ~nprocs ~capture c with
+            | Otter.Verified -> None
+            | Otter.Mismatched ms ->
+                let m = List.hd ms in
+                Some
+                  (Printf.sprintf "[%s, P=%d] %s: %s"
+                     machine.Mpisim.Machine.name nprocs m.Otter.variable
+                     m.Otter.detail)
+            | Otter.Aborted { failed_rank; operation; detail } ->
+                Some
+                  (Printf.sprintf "[%s, P=%d] rank %d failed during %s: %s"
+                     machine.Mpisim.Machine.name nprocs failed_rank operation
+                     detail)
+            | exception Exec.Vm.Runtime_error msg ->
+                Some
+                  (Printf.sprintf "[%s, P=%d] VM run-time error: %s"
+                     machine.Mpisim.Machine.name nprocs msg)
+            | exception Mpisim.Sim.Deadlock msg ->
+                Some
+                  (Printf.sprintf "[%s, P=%d] deadlock: %s"
+                     machine.Mpisim.Machine.name nprocs msg)
+          in
+          let vm_failure =
+            List.fold_left
+              (fun acc machine ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                    List.fold_left
+                      (fun acc p ->
+                        match acc with
+                        | Some _ -> acc
+                        | None -> check_config machine p)
+                      None procs)
+              None machines
+          in
+          match vm_failure with
+          | Some d -> Fail d
+          | None ->
+              if use_cc && Lazy.force cc_available then
+                match check_c_leg c ref_run.Interp.Eval.output with
+                | Some d -> Fail d
+                | None -> Pass
+              else Pass))
+
+(* --- random testing with shrinking ---------------------------------------- *)
+
+type stats = { cases : int; passed : int; discarded : int }
+
+type run_result =
+  | All_passed of stats
+  | Counterexample of { script : string; detail : string; shrink_steps : int }
+
+let run_random ?(use_cc = true) ~cases ~seed () : run_result =
+  let passed = ref 0 and discarded = ref 0 in
+  let last_fail = ref "" in
+  let prop s =
+    match check_case ~use_cc s with
+    | Pass ->
+        incr passed;
+        true
+    | Discard _ ->
+        incr discarded;
+        true
+    | Fail detail ->
+        last_fail := detail;
+        false
+  in
+  let cell =
+    QCheck2.Test.make_cell ~count:cases ~name:"differential"
+      ~print:(fun s -> s)
+      Gen.script prop
+  in
+  let rand = Random.State.make [| seed |] in
+  let result = QCheck2.Test.check_cell ~rand cell in
+  match QCheck2.TestResult.get_state result with
+  | QCheck2.TestResult.Success -> All_passed { cases; passed = !passed; discarded = !discarded }
+  | QCheck2.TestResult.Failed { instances = ce :: _ } ->
+      Counterexample
+        {
+          script = ce.QCheck2.TestResult.instance;
+          detail = !last_fail;
+          shrink_steps = ce.QCheck2.TestResult.shrink_steps;
+        }
+  | QCheck2.TestResult.Failed { instances = [] } ->
+      Counterexample
+        { script = ""; detail = !last_fail; shrink_steps = 0 }
+  | QCheck2.TestResult.Failed_other { msg } ->
+      Counterexample { script = ""; detail = msg; shrink_steps = 0 }
+  | QCheck2.TestResult.Error { instance; exn; backtrace = _ } ->
+      Counterexample
+        {
+          script = instance.QCheck2.TestResult.instance;
+          detail = "exception: " ^ Printexc.to_string exn;
+          shrink_steps = instance.QCheck2.TestResult.shrink_steps;
+        }
+
+(* --- regression-corpus replay --------------------------------------------- *)
+
+type replay_failure = { file : string; reason : string }
+
+(* A corpus file is an ordinary script expected to pass the full
+   oracle, unless its first line carries a directive:
+
+     % expect: compile-error <substring>
+
+   in which case the back-end compile must reject it with a diagnostic
+   containing <substring> while the front end + interpreter still run
+   it cleanly (the interpreter accepts a superset of the compiled
+   language, e.g. matrix growth). *)
+let replay_file ?(use_cc = true) (path : string) : replay_failure option =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let source = really_input_string ic n in
+  close_in ic;
+  let file = Filename.basename path in
+  let directive =
+    match String.index_opt source '\n' with
+    | None -> None
+    | Some i ->
+        let first = String.sub source 0 i in
+        let prefix = "% expect: compile-error " in
+        if String.length first > String.length prefix
+           && String.sub first 0 (String.length prefix) = prefix
+        then
+          Some
+            (String.sub first (String.length prefix)
+               (String.length first - String.length prefix))
+        else None
+  in
+  match directive with
+  | Some substring -> (
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        nn = 0 || go 0
+      in
+      match Otter.compile source with
+      | _ ->
+          Some { file; reason = "expected a compile error, but it compiled" }
+      | exception (Mlang.Source.Error (_, msg) | Spmd.Lower.Unsupported (_, msg))
+        -> (
+          if not (contains msg substring) then
+            Some
+              {
+                file;
+                reason =
+                  Printf.sprintf "compile error %S does not mention %S" msg
+                    substring;
+              }
+          else
+            (* the interpreter must still accept it *)
+            match Otter.compile_frontend source with
+            | exception Mlang.Source.Error (_, msg) ->
+                Some { file; reason = "front end rejected it: " ^ msg }
+            | fe -> (
+                match
+                  Otter.interpret ~machine:Mpisim.Machine.workstation fe
+                with
+                | exception Interp.Eval.Runtime_error msg ->
+                    Some { file; reason = "interpreter failed: " ^ msg }
+                | _ -> None)))
+  | None -> (
+      match check_case ~use_cc source with
+      | Pass -> None
+      | Discard reason ->
+          Some { file; reason = "discarded (should pass): " ^ reason }
+      | Fail reason -> Some { file; reason })
+
+let replay ?use_cc (dir : string) : replay_failure list * int =
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".m")
+    |> List.sort compare
+  in
+  ( List.filter_map
+      (fun f -> replay_file ?use_cc (Filename.concat dir f))
+      files,
+    List.length files )

@@ -249,9 +249,18 @@ and eval_unop fr op a =
       | Str s -> Str s)
 
 and eval_matrix_literal fr rows =
-  (* General concatenation: element values may themselves be matrices. *)
+  (* General concatenation: element values may themselves be matrices.
+     Empty operands are dropped, as MATLAB does: [[], 1, 2] is [1, 2]. *)
   let vrows =
     List.map (fun row -> List.map (fun e -> to_dense (eval_expr fr e)) row) rows
+  in
+  let vrows =
+    List.filter_map
+      (fun row ->
+        match List.filter (fun b -> Dense.numel b > 0) row with
+        | [] -> None
+        | row -> Some row)
+      vrows
   in
   match vrows with
   | [] -> mat (Dense.create 0 0)
@@ -404,7 +413,11 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
       | Scalar f -> [ Scalar f; Scalar 1. ]
       | Mat m when Dense.is_vector m ->
           Cost.charge_kernel fr.cost ~flops:(float_of_int (Dense.numel m));
-          let better = if name = "min" then ( < ) else ( > ) in
+          let cmp = if name = "min" then ( < ) else ( > ) in
+          (* NaN is never better; anything beats a NaN (MATLAB) *)
+          let better x best =
+            (not (Float.is_nan x)) && (Float.is_nan best || cmp x best)
+          in
           let best = ref m.Dense.data.(0) and best_i = ref 0 in
           Array.iteri
             (fun i x ->
@@ -417,9 +430,15 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
       | Mat _ -> error "[m, i] = %s of a full matrix is not supported" name
       | Str _ -> error "%s of a string" name)
   | B.Minmax _, [ v ] ->
-      let comb = if name = "min" then Float.min else Float.max in
-      let init = if name = "min" then Float.infinity else Float.neg_infinity in
-      one (reduce_value init comb (fun _ x -> x) v)
+      (* MATLAB ignores NaNs: min/max over the non-NaN elements, NaN
+         only when every element is NaN.  NaN is the fold identity. *)
+      let pick = if name = "min" then Float.min else Float.max in
+      let comb a b =
+        if Float.is_nan a then b
+        else if Float.is_nan b then a
+        else pick a b
+      in
+      one (reduce_value Float.nan comb (fun _ x -> x) v)
   | B.Scan _, [ v ] -> (
       let combine = if name = "cumsum" then ( +. ) else ( *. ) in
       let identity = if name = "cumsum" then 0. else 1. in
@@ -536,7 +555,16 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
           let order = Array.init n (fun i -> i) in
           Array.sort
             (fun a b ->
-              let c = compare m.Dense.data.(a) m.Dense.data.(b) in
+              (* MATLAB sorts NaNs to the end (OCaml's compare puts
+                 them first) *)
+              let x = m.Dense.data.(a) and y = m.Dense.data.(b) in
+              let c =
+                match (Float.is_nan x, Float.is_nan y) with
+                | true, true -> 0
+                | true, false -> 1
+                | false, true -> -1
+                | false, false -> compare x y
+              in
               if c <> 0 then c else compare a b)
             order;
           let sorted =
@@ -552,6 +580,21 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
           else [ mat sorted ]
       | Mat _ -> error "sort of a full matrix is not supported"
       | Str _ -> error "sort of a string")
+  | B.Diag, [ v ] -> (
+      match v with
+      | Scalar f -> one (Scalar f)
+      | Mat m when Dense.is_vector m ->
+          let n = Dense.numel m in
+          Cost.charge_elem fr.cost ~elems:(n * n) ~ops:1;
+          one
+            (mat
+               (Dense.init_rc n n (fun i j ->
+                    if i = j then Dense.get_linear m i else 0.)))
+      | Mat m ->
+          let n = min m.Dense.rows m.Dense.cols in
+          Cost.charge_elem fr.cost ~elems:n ~ops:1;
+          one (mat (Dense.init n 1 (fun g -> Dense.get m g g)))
+      | Str _ -> error "diag of a string")
   | B.Repmat, [ v; r; c ] -> (
       let rr = int_of_float (as_scalar r) and cc = int_of_float (as_scalar c) in
       if rr < 1 || cc < 1 then error "repmat: tile counts must be positive";
@@ -658,29 +701,47 @@ and display fr name v =
            m.Dense.data)
 
 and assign_indexed fr (l : Ast.lhs) rhs_val =
+  (* An out-of-bounds store grows the array MATLAB-style: vectors (and
+     scalars, and []) extend along their orientation, zero-filled;
+     two-index stores grow both dimensions.  Only a linear store into a
+     full matrix cannot decide which dimension to grow. *)
+  let needed = function
+    | Iall -> 0
+    | Ivals vs -> Array.fold_left (fun a v -> max a (v + 1)) 0 vs
+  in
+  let grown (m : Dense.t) rows cols =
+    if rows <= m.Dense.rows && cols <= m.Dense.cols then m
+    else begin
+      let g =
+        Dense.create (max rows m.Dense.rows) (max cols m.Dense.cols)
+      in
+      for i = 0 to m.Dense.rows - 1 do
+        for j = 0 to m.Dense.cols - 1 do
+          Dense.set g i j (Dense.get m i j)
+        done
+      done;
+      g
+    end
+  in
   match lookup fr l.lv_name with
   | Str _ -> error "indexed assignment into a string"
-  | Scalar _ -> (
-      (* Only a(1) = x is legal without growth. *)
-      match l.lv_indices with
-      | Some args ->
-          List.iter
-            (fun a ->
-              match eval_index_arg fr 1 a with
-              | Iall | Ivals [| 0 |] -> ()
-              | Ivals _ ->
-                  error "indexed assignment would grow a scalar (unsupported)")
-            args;
-          Hashtbl.replace fr.env l.lv_name (Scalar (as_scalar rhs_val))
-      | None -> assert false)
-  | Mat m -> (
-      let m = Dense.copy m in
+  | (Scalar _ | Mat _) as base -> (
+      let m = Dense.copy (to_dense base) in
       (* copy-on-write semantics *)
       let args = Option.get l.lv_indices in
       match args with
       | [ a ] ->
+          let idx = eval_index_arg fr (Dense.numel m) a in
+          let m =
+            if needed idx <= Dense.numel m then m
+            else if m.Dense.rows <= 1 then grown m 1 (needed idx)
+            else if m.Dense.cols = 1 then grown m (needed idx) 1
+            else
+              error
+                "linear indexed assignment cannot grow a full matrix \
+                 (ambiguous dimension)"
+          in
           let n = Dense.numel m in
-          let idx = eval_index_arg fr n a in
           let len = index_count n idx in
           let src = to_dense rhs_val in
           Cost.charge_elem fr.cost ~elems:len ~ops:1;
@@ -695,10 +756,14 @@ and assign_indexed fr (l : Ast.lhs) rhs_val =
               Dense.set_linear m (index_get n idx k) src.Dense.data.(k)
             done
           end;
-          Hashtbl.replace fr.env l.lv_name (Mat m)
+          Hashtbl.replace fr.env l.lv_name (mat m)
       | [ a1; a2 ] ->
           let ri = eval_index_arg fr m.Dense.rows a1 in
           let rj = eval_index_arg fr m.Dense.cols a2 in
+          let m =
+            grown m (max m.Dense.rows (needed ri))
+              (max m.Dense.cols (needed rj))
+          in
           let nr = index_count m.Dense.rows ri in
           let nc = index_count m.Dense.cols rj in
           let src = to_dense rhs_val in
@@ -722,7 +787,7 @@ and assign_indexed fr (l : Ast.lhs) rhs_val =
               done
             done
           end;
-          Hashtbl.replace fr.env l.lv_name (Mat m)
+          Hashtbl.replace fr.env l.lv_name (mat m)
       | _ -> error "unsupported number of indices")
 
 and exec_stmt fr (s : Ast.stmt) =

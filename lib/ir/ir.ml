@@ -70,6 +70,8 @@ type inst =
   | Imatmul of var * var * var (* dst = a * b (ML_matrix_multiply) *)
   | Idot of var * var * var (* scalar dst = a . b *)
   | Itranspose of var * var
+  | Idiag of var * var
+    (* dst = diag(src): vector -> diagonal matrix, matrix -> diagonal *)
   | Iouter of var * var * var (* dst = u * v' *)
   | Ireduce_all of var * rkind * var (* scalar dst = reduce(matrix) *)
   | Ireduce_cols of var * rkind * var (* 1 x cols dst = col-reduce *)
@@ -133,7 +135,7 @@ let rec iter_insts f (b : block) =
       | Iwhile (_, blk) -> iter_insts f blk
       | Ifor (_, _, _, _, blk) -> iter_insts f blk
       | Iscalar _ | Ielem _ | Icopy _ | Imatmul _ | Idot _ | Itranspose _
-      | Iouter _ | Ireduce_all _ | Ireduce_cols _ | Inorm _ | Iscan _
+      | Idiag _ | Iouter _ | Ireduce_all _ | Ireduce_cols _ | Inorm _ | Iscan _
       | Isort _ | Ireduce_loc _ | Itrapz _ | Ishift _ | Ibcast _ | Isetelem _
       | Isetsection _ | Iload _ | Iconstruct _ | Iliteral _ | Isection _
       | Iconcat _ | Icalluser _ | Iprint _ | Iprintf _ | Ierror _ | Ibreak
@@ -174,7 +176,7 @@ let inst_uses = function
   | Ielem { model; expr; _ } -> model :: eexpr_uses [] expr
   | Icopy (_, src) -> [ src ]
   | Imatmul (_, a, b) | Idot (_, a, b) | Iouter (_, a, b) -> [ a; b ]
-  | Itranspose (_, a) | Inorm (_, a) | Iscan (_, _, a) -> [ a ]
+  | Itranspose (_, a) | Idiag (_, a) | Inorm (_, a) | Iscan (_, _, a) -> [ a ]
   | Ireduce_loc { arg; _ } -> [ arg ]
   | Isort { arg; _ } -> [ arg ]
   | Ireduce_all (_, _, a) | Ireduce_cols (_, _, a) -> [ a ]
@@ -216,6 +218,7 @@ let inst_defs = function
   | Imatmul (d, _, _)
   | Idot (d, _, _)
   | Itranspose (d, _)
+  | Idiag (d, _)
   | Iouter (d, _, _)
   | Ireduce_all (d, _, _)
   | Ireduce_cols (d, _, _)
@@ -243,7 +246,8 @@ let inst_defs = function
    definitions?  Used by dead-code elimination. *)
 let inst_pure = function
   | Iscalar _ | Ielem _ | Icopy _ | Imatmul _ | Idot _ | Itranspose _
-  | Iouter _ | Ireduce_all _ | Ireduce_cols _ | Inorm _ | Itrapz _ | Ishift _
+  | Idiag _ | Iouter _ | Ireduce_all _ | Ireduce_cols _ | Inorm _ | Itrapz _
+  | Ishift _
   | Ibcast _ | Iconstruct _ | Iliteral _ | Isection _ | Iconcat _ | Iscan _
   | Ireduce_loc _ | Iload _ | Isort _ ->
       true

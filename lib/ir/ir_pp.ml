@@ -68,6 +68,7 @@ let rec inst ~indent ppf (i : Ir.inst) =
   | Ir.Imatmul (d, a, b) -> Fmt.pf ppf "%t%s = matmul(%s, %s)" pad d a b
   | Ir.Idot (d, a, b) -> Fmt.pf ppf "%t%s = dot(%s, %s)" pad d a b
   | Ir.Itranspose (d, a) -> Fmt.pf ppf "%t%s = transpose(%s)" pad d a
+  | Ir.Idiag (d, a) -> Fmt.pf ppf "%t%s = diag(%s)" pad d a
   | Ir.Iouter (d, a, b) -> Fmt.pf ppf "%t%s = outer(%s, %s)" pad d a b
   | Ir.Ireduce_all (d, k, a) ->
       Fmt.pf ppf "%t%s = reduce_%s(%s)" pad d (rkind_name k) a

@@ -368,6 +368,9 @@ and lower_call ctx out (e : Ast.expr) name args =
           | _ -> unsupported e.epos "trapz takes one or two arguments")
       | B.Shift -> (
           match args with
+          | [ v; _ ] when is_scalar_node ctx v ->
+              (* circshift of a scalar is the identity *)
+              lower_expr ctx out v
           | [ v; k ] ->
               let vv = mat_operand ctx out v in
               let sk = scalar ctx out k in
@@ -389,6 +392,17 @@ and lower_call ctx out (e : Ast.expr) name args =
                 Omat t
               end
           | _ -> unsupported e.epos "sort takes one argument")
+      | B.Diag -> (
+          match args with
+          | [ a ] ->
+              if is_scalar_node ctx a then lower_expr ctx out a
+              else begin
+                let v = mat_operand ctx out a in
+                let t = fresh ctx (ty_of ctx e) in
+                emit out (Ir.Idiag (t, v));
+                Omat t
+              end
+          | _ -> unsupported e.epos "diag takes one argument")
       | B.Repmat -> (
           (* desugar to a concat grid of the same block *)
           match args with
@@ -583,7 +597,25 @@ let rec lower_stmt ctx out (s : Ast.stmt) =
         if rty.Ty.rank <> Ty.Rscalar then
           unsupported s.spos
             "variable '%s' is scalar but is assigned a matrix" lv_name;
-        emit out (Ir.Iscalar (lv_name, scalar ctx out rhs))
+        (* Char-row-vector (string) variables are supported as opaque
+           replicated values: they may be assigned and disp'ed, but any
+           numeric use is rejected where it occurs.  Mixing string and
+           numeric assignments to one variable defeats the type lattice
+           (join(Literal, numeric) forgets the string), so it is
+           diagnosed here at the assignment site. *)
+        let is_str (t : Ty.t) = t.Ty.base = Ty.Literal in
+        if is_str target_ty <> is_str rty then
+          unsupported s.spos
+            "variable '%s' holds both string and numeric values; not \
+             supported by compiled code"
+            lv_name;
+        match lower_expr ctx out rhs with
+        | Ostr str -> emit out (Ir.Iscalar (lv_name, Ir.Sstr str))
+        | Oscalar se -> emit out (Ir.Iscalar (lv_name, se))
+        | Omat v ->
+            let t = fresh ctx Ty.real_scalar in
+            emit out (Ir.Ibcast (t, v, [ Ir.Sconst 1. ]));
+            emit out (Ir.Iscalar (lv_name, Ir.Svar t))
       end
       else begin
         if rty.Ty.rank = Ty.Rscalar then
@@ -601,11 +633,51 @@ let rec lower_stmt ctx out (s : Ast.stmt) =
         | Some t -> t
         | None -> Source.error lv_pos "undefined variable '%s'" lv_name
       in
-      if vty.Ty.rank = Ty.Rscalar then
-        (* a(1) = x on a scalar variable: plain assignment *)
+      if vty.Ty.rank = Ty.Rscalar then begin
+        (* a(1) = x on a scalar variable: plain assignment.  Any other
+           constant index would grow the scalar into a vector, which the
+           interpreter supports but compiled code does not. *)
+        List.iter
+          (fun (a : Ast.expr) ->
+            match a.desc with
+            | Ast.Num f when f <> 1. ->
+                unsupported lv_pos
+                  "'%s(%g) = ...' stores beyond the current extent: matrix \
+                   growth is not supported by compiled code (use the \
+                   interpreter, or preallocate with zeros)"
+                  lv_name f
+            | _ -> ())
+          idx;
         emit out (Ir.Iscalar (lv_name, scalar ctx out rhs))
+      end
       else begin
         let nargs = List.length idx in
+        (* Compile-time growth detection: a constant index beyond a
+           statically known extent is MATLAB auto-growth, which the
+           distributed run time cannot do (it would redistribute the
+           blocks of every copy).  Reject it here with a clear message
+           rather than failing with a generic bounds error at run time. *)
+        let extent_of_slot i =
+          let dim = function Ty.Dconst n -> Some n | Ty.Dunknown -> None in
+          if nargs = 1 then
+            match (dim vty.Ty.shape.Ty.rows, dim vty.Ty.shape.Ty.cols) with
+            | Some r, Some c -> Some (r * c)
+            | _ -> None
+          else if i = 0 then dim vty.Ty.shape.Ty.rows
+          else dim vty.Ty.shape.Ty.cols
+        in
+        let check_growth i (s : Ir.sexpr) =
+          match (extent_of_slot i, s) with
+          | Some n, Ir.Sconst f when f > float_of_int n ->
+              unsupported lv_pos
+                "'%s' has %d element%s along this dimension but index %g is \
+                 stored to: matrix growth is not supported by compiled code \
+                 (use the interpreter, or preallocate with zeros)"
+                lv_name n
+                (if n = 1 then "" else "s")
+                f
+          | _ -> ()
+        in
         let slot_dim i =
           if nargs = 1 then Ir.Sdim (lv_name, 0) else Ir.Sdim (lv_name, i + 1)
         in
@@ -630,6 +702,7 @@ let rec lower_stmt ctx out (s : Ast.stmt) =
           let sidx =
             List.mapi (fun i a -> with_end i (fun () -> scalar ctx out a)) idx
           in
+          List.iteri check_growth sidx;
           let sv = scalar ctx out rhs in
           emit out (Ir.Isetelem (lv_name, sidx, sv))
         end
@@ -650,6 +723,26 @@ let rec lower_stmt ctx out (s : Ast.stmt) =
                     else Ir.Sel_vec (mat_operand ctx out a))
           in
           let sels = List.mapi sel_of idx in
+          List.iteri
+            (fun i -> function
+              | Ir.Sel_scalar s -> check_growth i s
+              | Ir.Sel_range (Ir.Sconst lo, step, Ir.Sconst hi) -> (
+                  (* the last index a constant range touches *)
+                  let stepv =
+                    match step with
+                    | None -> Some 1.
+                    | Some (Ir.Sconst s) when s <> 0. -> Some s
+                    | Some _ -> None
+                  in
+                  match stepv with
+                  | Some sv ->
+                      let n = Float.floor (((hi -. lo) /. sv) +. 1e-9) in
+                      if n >= 0. then
+                        check_growth i
+                          (Ir.Sconst (Float.max lo (lo +. (n *. sv))))
+                  | None -> ())
+              | Ir.Sel_range _ | Ir.Sel_all | Ir.Sel_vec _ -> ())
+            sels;
           let src =
             if is_scalar_node ctx rhs then Ir.Ascalar (scalar ctx out rhs)
             else Ir.Amat (mat_operand ctx out rhs)
@@ -669,7 +762,12 @@ let rec lower_stmt ctx out (s : Ast.stmt) =
         List.map
           (fun a ->
             match lower_expr ctx out a with
-            | Oscalar se -> se
+            | Oscalar se ->
+                if (ty_of ctx a).Ty.base = Ty.Literal then
+                  unsupported a.Ast.epos
+                    "fprintf of a string variable is not supported by \
+                     compiled code; pass the string literal directly";
+                se
             | Ostr str -> Ir.Sstr str
             | Omat _ -> unsupported s.spos "fprintf of a whole matrix")
           args

@@ -37,6 +37,7 @@ let rename_def (i : Ir.inst) ~from ~into : Ir.inst option =
   | Ir.Imatmul (d, a, b) when d = from -> Some (Ir.Imatmul (into, a, b))
   | Ir.Idot (d, a, b) when d = from -> Some (Ir.Idot (into, a, b))
   | Ir.Itranspose (d, a) when d = from -> Some (Ir.Itranspose (into, a))
+  | Ir.Idiag (d, a) when d = from -> Some (Ir.Idiag (into, a))
   | Ir.Iouter (d, a, b) when d = from -> Some (Ir.Iouter (into, a, b))
   | Ir.Ireduce_all (d, k, a) when d = from -> Some (Ir.Ireduce_all (into, k, a))
   | Ir.Ireduce_cols (d, k, a) when d = from ->

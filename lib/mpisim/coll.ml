@@ -18,8 +18,13 @@ let apply_op op a b =
   match op with
   | Sum -> a +. b
   | Prod -> a *. b
-  | Min -> Float.min a b
-  | Max -> Float.max a b
+  | Min | Max ->
+      (* MATLAB min/max ignore NaN, so the combine skips NaN operands;
+         ranks with nothing to contribute send NaN as the identity *)
+      if Float.is_nan a then b
+      else if Float.is_nan b then a
+      else if op = Min then Float.min a b
+      else Float.max a b
   | Land -> if a <> 0. && b <> 0. then 1. else 0.
   | Lor -> if a <> 0. || b <> 0. then 1. else 0.
 

@@ -19,6 +19,31 @@ val compile :
     locates sample data files for [load] (paper section 3).  Raises
     {!Mlang.Source.Error} or {!Spmd.Lower.Unsupported}. *)
 
+type frontend = {
+  fe_source : string;
+  fe_ast : Mlang.Ast.program; (** after identifier resolution *)
+  fe_info : Analysis.Infer.result;
+}
+
+val compile_frontend :
+  ?path:(string -> Mlang.Ast.func option) ->
+  ?datadir:string ->
+  string ->
+  frontend
+(** Passes 1-3 only (parse, resolve, infer): enough to run the
+    reference interpreter, which accepts a superset of what the back
+    end compiles (e.g. matrix growth through indexed assignment). *)
+
+val interpret :
+  ?capture:string list ->
+  ?seed:int ->
+  ?datadir:string ->
+  ?mode:Interp.Cost.mode ->
+  machine:Mpisim.Machine.t ->
+  frontend ->
+  Interp.Eval.outcome
+(** Run the reference interpreter over a front-end-only compile. *)
+
 val dump_ir : compiled -> string
 val dump_ssa : compiled -> string
 

@@ -144,28 +144,50 @@ let transpose_gather (m : Dmat.t) : Dmat.t =
     Dmat.init_rc ~rows:m.cols ~cols:m.rows (fun i j -> dense.((j * m.cols) + i))
   end
 
+(* diag: a vector of n elements becomes the n x n matrix carrying it on
+   the main diagonal; a general matrix yields its min(rows, cols)-element
+   diagonal as a column vector.  Both directions redistribute elements
+   across ranks, so we gather the (small) source and fill locally. *)
+let diag (m : Dmat.t) : Dmat.t =
+  let dense = Dmat.to_dense m in
+  if m.rows = 1 || m.cols = 1 then begin
+    let n = Dmat.numel m in
+    let r =
+      Dmat.init_rc ~rows:n ~cols:n (fun i j -> if i = j then dense.(i) else 0.)
+    in
+    Sim.flops (float_of_int n);
+    r
+  end
+  else begin
+    let n = min m.rows m.cols in
+    let r = Dmat.init ~rows:n ~cols:1 (fun g -> dense.((g * m.cols) + g)) in
+    Sim.flops (float_of_int n);
+    r
+  end
+
 (* Outer product u * v' (u: m x 1, v: n x 1 or 1 x n) -> m x n. *)
 let outer (u : Dmat.t) (v : Dmat.t) : Dmat.t =
+  (* The result is row-distributed for m > 1 but column-distributed
+     when m = 1, and then u's single element may live on another rank,
+     so fill through global indices from replicated operands. *)
   let m = Dmat.numel u and n = Dmat.numel v in
-  let vf = Dmat.to_dense v in
-  let c = Dmat.create ~rows:m ~cols:n in
-  for li = 0 to u.count - 1 do
-    for j = 0 to n - 1 do
-      c.data.((li * n) + j) <- u.data.(li) *. vf.(j)
-    done
-  done;
-  Sim.flops (float_of_int (u.count * n));
+  let uf = Dmat.to_dense u and vf = Dmat.to_dense v in
+  let c = Dmat.init_rc ~rows:m ~cols:n (fun i j -> uf.(i) *. vf.(j)) in
+  Sim.flops (float_of_int (Dmat.local_len c));
   c
 
 (* --- reductions -------------------------------------------------------- *)
 
 type red = Rsum | Rprod | Rmin | Rmax | Rany | Rall
 
+(* min/max use NaN as the fold identity and skip NaN operands: MATLAB
+   ignores NaNs, yielding NaN only when every element is NaN.  A rank
+   that owns no elements then contributes the identity, which the
+   combine drops. *)
 let red_init = function
   | Rsum -> 0.
   | Rprod -> 1.
-  | Rmin -> Float.infinity
-  | Rmax -> Float.neg_infinity
+  | Rmin | Rmax -> Float.nan
   | Rany -> 0.
   | Rall -> 1.
 
@@ -173,8 +195,11 @@ let red_combine op a b =
   match op with
   | Rsum -> a +. b
   | Rprod -> a *. b
-  | Rmin -> Float.min a b
-  | Rmax -> Float.max a b
+  | Rmin | Rmax ->
+      if Float.is_nan a then b
+      else if Float.is_nan b then a
+      else if op = Rmin then Float.min a b
+      else Float.max a b
   | Rany -> if a <> 0. || b <> 0. then 1. else 0.
   | Rall -> if a <> 0. && b <> 0. then 1. else 0.
 
@@ -255,7 +280,11 @@ let reduce_with_index op (v : Dmat.t) : float * int =
   if not (Dmat.is_vector v) then
     failwith "[m, i] = min/max of a full matrix is not supported";
   let better a b =
-    match op with Rmin -> a < b | Rmax -> a > b | _ -> assert false
+    (* NaN is never better; anything beats a NaN (MATLAB) *)
+    (not (Float.is_nan a))
+    && (Float.is_nan b
+       ||
+       match op with Rmin -> a < b | Rmax -> a > b | _ -> assert false)
   in
   let len = Dmat.local_len v in
   (* -1 marks a rank that owns no elements *)
@@ -285,8 +314,10 @@ let reduce_with_index op (v : Dmat.t) : float * int =
       final_g := g
     end
   done;
-  if !final_g < 0 then failwith "min/max of an empty vector";
-  (!final_v, !final_g + 1)
+  if !final_g < 0 then
+    if Dmat.numel v > 0 then (Float.nan, 1) (* every element is NaN *)
+    else failwith "min/max of an empty vector"
+  else (!final_v, !final_g + 1)
 
 (* Ascending sort of a vector, optionally with the permutation
    (1-based indices of where each sorted value came from; ties keep the
@@ -302,7 +333,14 @@ let sort_vector ?(with_index = false) (v : Dmat.t) : Dmat.t * Dmat.t option =
   let order = Array.init n (fun i -> i) in
   Array.sort
     (fun a b ->
-      let c = compare dense.(a) dense.(b) in
+      (* MATLAB sorts NaNs to the end (OCaml's compare puts them first) *)
+      let c =
+        match (Float.is_nan dense.(a), Float.is_nan dense.(b)) with
+        | true, true -> 0
+        | true, false -> 1
+        | false, true -> -1
+        | false, false -> compare dense.(a) dense.(b)
+      in
       if c <> 0 then c else compare a b)
     order;
   Sim.flops (float_of_int (n * 8)); (* ~ n log n comparison cost *)

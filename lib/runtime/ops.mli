@@ -18,6 +18,10 @@ val transpose : Dmat.t -> Dmat.t
 val transpose_gather : Dmat.t -> Dmat.t
 (** Full-gather transpose; the ablation baseline for {!transpose}. *)
 
+val diag : Dmat.t -> Dmat.t
+(** Vector of n elements -> n x n diagonal matrix; general matrix ->
+    min(rows, cols) x 1 main diagonal.  Gathers the source. *)
+
 val outer : Dmat.t -> Dmat.t -> Dmat.t
 (** u * v' for vectors u (m elements) and v (n elements) -> m x n. *)
 

@@ -1,0 +1,10 @@
+% diag both ways: a vector builds an n x n diagonal matrix, a matrix
+% extracts its main diagonal as a column.
+v = 1:3;
+d = diag(v);
+c = sum(d);
+t = diag(d);
+fprintf('%.17g\n', sum(c));
+fprintf('%.17g\n', sum(t));
+disp(d);
+disp(t);

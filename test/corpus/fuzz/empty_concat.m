@@ -1,0 +1,10 @@
+% Empty operands are dropped from matrix literals, and an all-empty
+% row contributes no rows to the grid (MATLAB concatenation).
+e = [];
+v = [e, 1, 2, e];
+m = [v; v];
+w = [m; e];
+fprintf('%.17g\n', sum(v));
+fprintf('%.17g\n', sum(sum(m)));
+fprintf('%.17g\n', sum(sum(w)));
+disp(w);

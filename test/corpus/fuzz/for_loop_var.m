@@ -1,0 +1,9 @@
+% After a for loop the loop variable holds the last iterated value,
+% not one step past it (the C back end once emitted a loop that
+% overshot by one step).
+for i = 1:2
+end
+fprintf('%.17g\n', i);
+for j = 1:2:9
+end
+fprintf('%.17g\n', j);

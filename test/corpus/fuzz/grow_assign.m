@@ -1,0 +1,7 @@
+% expect: compile-error matrix growth is not supported
+% Indexed assignment past the end grows the matrix in the interpreter
+% (MATLAB), but the compiler rejects it with a clear diagnostic: grown
+% shapes would invalidate the static distribution of every later use.
+v = [1, 2];
+v(4) = 7;
+fprintf('%.17g\n', sum(v));

@@ -1,0 +1,9 @@
+% NaN ordering semantics: sort puts NaNs last; min/max skip NaNs
+% (MATLAB).  0/0 manufactures the NaN.
+v = [1, 0] ./ [1, 0];
+w = sort(v);
+a = max(v);
+b = min(v);
+fprintf('%.17g\n', w(1));
+fprintf('%.17g\n', a);
+fprintf('%.17g\n', b);

@@ -1,0 +1,8 @@
+% (1 x 1) * (1 x n) takes the outer-product path but the result is a
+% row vector, which is column-distributed: the fill must go through
+% global indices (a rank once indexed out of bounds here).
+u = [3];
+v = [1, 2, 4];
+w = u * v;
+disp(w);
+fprintf('%.17g\n', sum(w));

@@ -1,0 +1,8 @@
+% Char row-vector variables flow through assignment, copy and disp in
+% every back end.
+s = 'hello world';
+disp(s);
+t = s;
+disp(t);
+x = 2;
+fprintf('%.17g\n', x);

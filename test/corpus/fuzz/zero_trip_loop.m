@@ -1,0 +1,8 @@
+% A for loop whose range is empty must execute zero times and leave
+% its loop variable undefined in every back end (the verifier treats
+% missing-in-both as agreement, not as a mismatch).
+s = 0;
+for i = 1:0
+  s = s + 1;
+end
+fprintf('%.17g\n', s);

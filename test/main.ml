@@ -19,4 +19,5 @@ let () =
       ("apps", Test_apps.suite);
       ("load", Test_load.suite);
       ("corpus", Test_corpus.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

@@ -52,7 +52,11 @@ let test_control_flow_c () =
   let c =
     emit "s = 0;\nfor i = 1:2:9\n  if s > 5\n    s = s - 1;\n  else\n    s = s + i;\n  end\nend\nwhile s > 0\n  s = s - 3;\nend"
   in
-  check_contains "for" c "for (i = ";
+  (* the loop iterates on a hidden induction variable and assigns the
+     MATLAB loop variable at the top of each pass (post-loop value and
+     body reassignment semantics) *)
+  check_contains "for" c "for (ML_it";
+  check_contains "loop var assign" c "i = ML_it";
   check_contains "if" c "if ((";
   check_contains "else" c "} else {";
   check_contains "while" c "while (("

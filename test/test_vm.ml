@@ -32,7 +32,11 @@ let test_control_flow () =
   check_close "break" 4.
     (value "s = 0;\nfor i = 1:10\n if i > 4\n  break\n end\n s = i;\nend" "s");
   check_close "continue" 25.
-    (value "s = 0;\nfor i = 1:10\n if mod(i, 2) == 0\n  continue\n end\n s = s + i;\nend" "s")
+    (value "s = 0;\nfor i = 1:10\n if mod(i, 2) == 0\n  continue\n end\n s = s + i;\nend" "s");
+  check_close "zero-trip loop body never runs" 0.
+    (value "s = 0;\nfor i = 1:0\n s = s + 1;\nend" "s");
+  check_close "loop variable holds last iterated value" 9.
+    (value "for i = 1:2:9\nend\nx = i;" "x")
 
 let test_vector_ops () =
   check_close "sum of range" 5050. (value "v = 1:100;\ns = sum(v);" "s");
