@@ -171,31 +171,64 @@ let ablation () =
   print_endline "Ablation 3: peephole optimization (paper pass 6) on CG";
   print_endline (String.make 72 '-');
   let src = Apps.Scripts.cg ~n:256 ~iters:30 () in
-  let ast = Analysis.Resolve.run (Mlang.Parser.parse_program src) in
-  let info = Analysis.Infer.program ast in
-  let raw = Spmd.Lower.lower_program info ast in
-  let stats = Spmd.Peephole.fresh_stats () in
-  let opt = Spmd.Peephole.optimize ~stats raw in
-  let count prog =
+  let c_raw = Otter.compile ~opt:Spmd.Pass.O0 src in
+  let c_opt = Otter.compile ~opt:Spmd.Pass.O1 src in
+  let count (prog : Spmd.Ir.prog) =
     let n = ref 0 in
     Spmd.Ir.iter_insts (fun _ -> incr n) prog.Spmd.Ir.p_body;
     !n
   in
-  let run prog =
-    (Exec.Vm.run ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:8 prog)
+  let run (c : Otter.compiled) =
+    (Exec.Vm.run ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:8 c.Otter.prog)
       .Exec.Vm.report
   in
-  let r_raw = run raw and r_opt = run opt in
-  Printf.printf "  instructions        : %4d -> %4d\n" (count raw) (count opt);
-  Printf.printf
-    "  copies forwarded    : %d, broadcasts reused: %d, dead removed: %d\n"
-    stats.Spmd.Peephole.copies_forwarded stats.Spmd.Peephole.broadcasts_reused
-    stats.Spmd.Peephole.dead_removed;
+  let r_raw = run c_raw and r_opt = run c_opt in
+  Printf.printf "  instructions        : %4d -> %4d\n"
+    (count c_raw.Otter.prog) (count c_opt.Otter.prog);
+  print_endline (Otter.pass_table c_opt.Otter.passes);
   Printf.printf "  8-CPU modeled time  : %.4f s -> %.4f s (%.1f%% faster)\n"
     r_raw.Mpisim.Sim.makespan r_opt.Mpisim.Sim.makespan
     ((r_raw.Mpisim.Sim.makespan /. r_opt.Mpisim.Sim.makespan -. 1.) *. 100.);
   Printf.printf "  messages            : %d -> %d\n" r_raw.Mpisim.Sim.messages
     r_opt.Mpisim.Sim.messages;
+  print_endline (String.make 72 '-');
+  print_newline ();
+
+  print_endline
+    "Ablation 4: pricing each middle-end pass (cumulative pipelines)";
+  print_endline "  executed run-time library calls on rank 0, meiko CS-2, P=8";
+  print_endline (String.make 72 '-');
+  let pipelines =
+    [
+      ("O0 (no passes)", []);
+      ("+peephole", [ "peephole" ]);
+      ("+licm", [ "peephole"; "licm" ]);
+      ("+gre", [ "peephole"; "licm"; "gre" ]);
+      ("+copyprop", [ "peephole"; "licm"; "gre"; "copyprop" ]);
+      ( "+fold-construct",
+        [ "peephole"; "licm"; "gre"; "copyprop"; "fold-construct" ] );
+    ]
+  in
+  List.iter
+    (fun (app, src) ->
+      Printf.printf "  %s\n" app;
+      Printf.printf "  %-18s %10s %14s %10s\n" "pipeline" "lib calls"
+        "modeled time" "messages";
+      List.iter
+        (fun (pname, passes) ->
+          let c = Otter.compile ~passes src in
+          let o =
+            Otter.run_parallel ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:8 c
+          in
+          Printf.printf "  %-18s %10d %12.4f s %10d\n" pname
+            o.Exec.Vm.lib_calls o.Exec.Vm.report.Mpisim.Sim.makespan
+            o.Exec.Vm.report.Mpisim.Sim.messages)
+        pipelines)
+    [
+      ("Conjugate Gradient (n=64, 5 iters)", Apps.Scripts.cg ~n:64 ~iters:5 ());
+      ( "Transitive Closure (n=32)",
+        Apps.Scripts.transitive_closure ~n:32 () );
+    ];
   print_endline (String.make 72 '-');
   print_newline ()
 

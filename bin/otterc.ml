@@ -47,9 +47,77 @@ let handle_errors f =
   | Mpisim.Sim.Rank_failure { rank; exn } ->
       Fmt.epr "rank %d failed: %s@." rank (Printexc.to_string exn);
       exit 3
+  | Spmd.Pass.Unknown_pass name ->
+      Fmt.epr "error: unknown pass '%s' (known: %s)@." name
+        (String.concat ", "
+           (List.map (fun (p : Spmd.Pass.t) -> p.Spmd.Pass.name)
+              Spmd.Pass.registry));
+      exit 2
+  | Spmd.Validate.Invalid msg ->
+      Fmt.epr "internal error: %s@." msg;
+      exit 4
+  | Invalid_argument msg ->
+      (* e.g. a -p above the machine model's processor count *)
+      Fmt.epr "error: %s@." msg;
+      exit 2
 
-let compile_input input =
-  Otter.compile ~path:(path_of input) (read_file input)
+(* The middle-end pipeline options, shared by every subcommand that
+   compiles: an optimization level, an explicit pass list overriding
+   it, the inter-pass IR validator, and per-pass IR dumps. *)
+let opt_arg =
+  Arg.(
+    value
+    & vflag Spmd.Pass.O2
+        [
+          (Spmd.Pass.O0, info [ "O0" ] ~doc:"No optimization passes.");
+          ( Spmd.Pass.O1,
+            info [ "O1" ] ~doc:"The peephole pass only (historical default)."
+          );
+          ( Spmd.Pass.O2,
+            info [ "O2" ]
+              ~doc:"Peephole plus the global dataflow passes (default)." );
+        ])
+
+let passes_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "passes" ] ~docv:"LIST"
+        ~doc:
+          "Comma-separated middle-end pass list, overriding -O<n>; e.g. \
+           $(b,--passes peephole,licm).  Known passes: peephole, licm, gre, \
+           copyprop, fold-construct.")
+
+let validate_arg =
+  Arg.(
+    value & flag
+    & info [ "validate-ir" ]
+        ~doc:
+          "Run the structural IR validator after lowering and between \
+           passes; a violation is a compiler bug and exits with status 4.")
+
+let dump_after_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "dump-after" ] ~docv:"PASS"
+        ~doc:"Print the IR after $(docv) runs (repeatable).")
+
+let compile_input input opt passes validate dumps =
+  let passes =
+    Option.map
+      (fun s -> List.filter (fun p -> p <> "") (String.split_on_char ',' s))
+      passes
+  in
+  let dump_after =
+    if dumps = [] then None
+    else
+      Some
+        (fun name prog ->
+          if List.mem name dumps then
+            Fmt.pr "-- after %s --@.%s@." name (Spmd.Ir_pp.prog_to_string prog))
+  in
+  Otter.compile ~path:(path_of input) ~opt ?passes ~validate ?dump_after
+    (read_file input)
 
 (* --- compile ------------------------------------------------------------- *)
 
@@ -61,9 +129,9 @@ let outdir_arg =
          ~doc:"Directory for the generated C files.")
 
 let compile_cmd =
-  let run input outdir stats =
+  let run input outdir stats opt passes validate dumps =
     handle_errors (fun () ->
-        let c = compile_input input in
+        let c = compile_input input opt passes validate dumps in
         let base = Filename.remove_extension (Filename.basename input) in
         if not (Sys.file_exists outdir) then Sys.mkdir outdir 0o755;
         let write (f, content) =
@@ -84,10 +152,11 @@ let compile_cmd =
   in
   let stats_arg =
     Arg.(value & flag & info [ "stats" ]
-           ~doc:"Print a compilation report (types, IR, peephole).")
+           ~doc:"Print a compilation report (types, IR, per-pass table).")
   in
   Cmd.v (Cmd.info "compile" ~doc:"Translate a MATLAB script to SPMD C + MPI.")
-    Term.(const run $ input_arg $ outdir_arg $ stats_arg)
+    Term.(const run $ input_arg $ outdir_arg $ stats_arg $ opt_arg
+          $ passes_arg $ validate_arg $ dump_after_arg)
 
 (* --- run ------------------------------------------------------------------ *)
 
@@ -138,9 +207,10 @@ let print_fault_counters (r : Mpisim.Sim.report) =
     r.Mpisim.Sim.drops r.dups r.delayed r.stalls r.retries r.acks
 
 let run_cmd =
-  let run input nprocs machine timing faults reliable =
+  let run input nprocs machine timing faults reliable opt passes validate dumps
+      =
     handle_errors (fun () ->
-        let c = compile_input input in
+        let c = compile_input input opt passes validate dumps in
         let machine = apply_faults (get_machine machine) faults reliable in
         match Otter.run_parallel_result ~machine ~nprocs c with
         | Exec.Vm.Partial { failed_rank; operation; detail } ->
@@ -167,7 +237,8 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Compile and execute on a simulated parallel machine.")
     Term.(const run $ input_arg $ procs_arg $ machine_arg $ timing_arg
-          $ faults_arg $ reliable_arg)
+          $ faults_arg $ reliable_arg $ opt_arg $ passes_arg $ validate_arg
+          $ dump_after_arg)
 
 (* --- interp --------------------------------------------------------------- *)
 
@@ -202,9 +273,9 @@ let interp_cmd =
 (* --- dump ----------------------------------------------------------------- *)
 
 let dump_cmd =
-  let run input what =
+  let run input what opt passes validate dumps =
     handle_errors (fun () ->
-        let c = compile_input input in
+        let c = compile_input input opt passes validate dumps in
         match what with
         | `Ir -> print_string (Otter.dump_ir c)
         | `Ssa -> print_string (Otter.dump_ssa c)
@@ -233,14 +304,16 @@ let dump_cmd =
   in
   Cmd.v
     (Cmd.info "dump" ~doc:"Show intermediate compiler results.")
-    Term.(const run $ input_arg $ what_arg)
+    Term.(const run $ input_arg $ what_arg $ opt_arg $ passes_arg
+          $ validate_arg $ dump_after_arg)
 
 (* --- verify ---------------------------------------------------------------- *)
 
 let verify_cmd =
-  let run input nprocs machine vars faults reliable =
+  let run input nprocs machine vars tol faults reliable opt passes validate
+      dumps =
     handle_errors (fun () ->
-        let c = compile_input input in
+        let c = compile_input input opt passes validate dumps in
         let machine = apply_faults (get_machine machine) faults reliable in
         let capture =
           if vars <> [] then vars
@@ -250,7 +323,7 @@ let verify_cmd =
               (fun v _ acc -> v :: acc)
               c.Otter.info.Analysis.Infer.var_ty []
         in
-        match Otter.verify_outcome ~machine ~nprocs ~capture c with
+        match Otter.verify_outcome ~tol ~machine ~nprocs ~capture c with
         | Otter.Verified ->
             Fmt.pr "verified: %d variables agree between the interpreter and \
                     the %d-CPU compiled run.@."
@@ -270,11 +343,17 @@ let verify_cmd =
     Arg.(value & opt_all string [] & info [ "var" ] ~docv:"NAME"
            ~doc:"Variable to compare (repeatable; default: all).")
   in
+  let tol_arg =
+    Arg.(value & opt float 1e-9 & info [ "tol" ] ~docv:"EPS"
+           ~doc:"Relative tolerance absorbing reduction-order rounding \
+                 (the application suite uses 1e-6).")
+  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Check compiled results against the reference interpreter.")
     Term.(const run $ input_arg $ procs_arg $ machine_arg $ vars_arg
-          $ faults_arg $ reliable_arg)
+          $ tol_arg $ faults_arg $ reliable_arg $ opt_arg $ passes_arg
+          $ validate_arg $ dump_after_arg)
 
 (* --- fuzz ------------------------------------------------------------------ *)
 

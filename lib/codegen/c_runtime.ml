@@ -53,6 +53,9 @@ void ML_reshape(MATRIX **m, int rows, int cols);
 void ML_free(MATRIX **m);
 int  ML_local_els(const MATRIX *m);
 void ML_copy(MATRIX **dst, const MATRIX *src);
+/* 1.0 when local element i of m lies on m's global main diagonal
+   (used by element-wise loops with a folded eye() operand). */
+double ML_eye_at(const MATRIX *m, int i);
 
 void ML_zeros(MATRIX **dst, int rows, int cols);
 void ML_ones(MATRIX **dst, int rows, int cols);
@@ -321,6 +324,10 @@ void ML_free(MATRIX **m) {
 }
 
 int ML_local_els(const MATRIX *m) { return m->rows * m->cols; }
+
+double ML_eye_at(const MATRIX *m, int i) {
+  return i / m->cols == i % m->cols ? 1.0 : 0.0;
+}
 
 void ML_copy(MATRIX **dst, const MATRIX *src) {
   ML_reshape(dst, src->rows, src->cols);

@@ -23,7 +23,14 @@ void ML_init(int *argc, char ***argv) {
   MPI_Comm_size(MPI_COMM_WORLD, &ml_procs_);
 }
 
-void ML_finalize(void) { MPI_Finalize(); }
+static MPI_Op ml_op_min_nan_;
+static MPI_Op ml_op_max_nan_;
+
+void ML_finalize(void) {
+  if (ml_op_min_nan_ != MPI_OP_NULL) MPI_Op_free(&ml_op_min_nan_);
+  if (ml_op_max_nan_ != MPI_OP_NULL) MPI_Op_free(&ml_op_max_nan_);
+  MPI_Finalize();
+}
 int ML_rank(void) { return ml_rank_; }
 int ML_procs(void) { return ml_procs_; }
 
@@ -75,6 +82,11 @@ void ML_copy(MATRIX **dst, const MATRIX *src) {
 /* Global row-major linear index of local element i. */
 static long ml_global_of_local(const MATRIX *m, long i) {
   return m->axis == 0 ? (long)m->low * m->cols + i : m->low + i;
+}
+
+double ML_eye_at(const MATRIX *m, int i) {
+  long g = ml_global_of_local(m, i);
+  return g / m->cols == g % m->cols ? 1.0 : 0.0;
 }
 
 /* Gather the whole matrix (row-major) on every process. */
@@ -304,17 +316,19 @@ void ML_outer(const MATRIX *u, const MATRIX *v, MATRIX **dst) {
 static double ml_red_init(ML_RED op) {
   switch (op) {
   case ML_PROD: case ML_ALL: return 1.0;
-  case ML_MIN: return INFINITY;
-  case ML_MAX: return -INFINITY;
+  case ML_MIN: case ML_MAX: return NAN;
   default: return 0.0;
   }
 }
 
-/* The local pass skips NaNs (MATLAB min/max semantics).  The cross-rank
-   combine is MPI_MIN/MPI_MAX, which is not NaN-aware, so the local
-   identity stays +/-INFINITY: an all-NaN distributed vector reduces to
-   the identity here rather than NaN, a known approximation of the
-   simulator's exact behaviour. */
+/* Both the local pass and the cross-rank combine skip NaNs (MATLAB
+   min/max semantics), starting from a NaN identity: a rank that owns
+   no non-NaN element contributes NaN, and min/max of an all-NaN
+   distributed vector is NaN -- exactly what the interpreter, the
+   simulator VM and the sequential C run time compute.  The cross-rank
+   combine therefore cannot be the builtin MPI_MIN/MPI_MAX (neither is
+   NaN-aware); ml_mpi_op creates a custom commutative MPI_Op wrapping
+   ml_red_comb instead. */
 static double ml_red_comb(ML_RED op, double a, double b) {
   switch (op) {
   case ML_SUM: case ML_MEAN: return a + b;
@@ -333,12 +347,40 @@ static double ml_red_comb(ML_RED op, double a, double b) {
   return 0.0;
 }
 
+static void ml_op_min_fn(void *in, void *inout, int *len, MPI_Datatype *dt) {
+  int i;
+  (void)dt;
+  for (i = 0; i < *len; i++)
+    ((double *)inout)[i] =
+        ml_red_comb(ML_MIN, ((double *)inout)[i], ((double *)in)[i]);
+}
+
+static void ml_op_max_fn(void *in, void *inout, int *len, MPI_Datatype *dt) {
+  int i;
+  (void)dt;
+  for (i = 0; i < *len; i++)
+    ((double *)inout)[i] =
+        ml_red_comb(ML_MAX, ((double *)inout)[i], ((double *)in)[i]);
+}
+
+static MPI_Op ml_op_min_nan_ = MPI_OP_NULL;
+static MPI_Op ml_op_max_nan_ = MPI_OP_NULL;
+
 static MPI_Op ml_mpi_op(ML_RED op) {
   switch (op) {
   case ML_SUM: case ML_MEAN: return MPI_SUM;
   case ML_PROD: return MPI_PROD;
-  case ML_MIN: case ML_ALL: return MPI_MIN;
-  case ML_MAX: case ML_ANY: return MPI_MAX;
+  case ML_MIN:
+    if (ml_op_min_nan_ == MPI_OP_NULL)
+      MPI_Op_create(ml_op_min_fn, 1, &ml_op_min_nan_);
+    return ml_op_min_nan_;
+  case ML_MAX:
+    if (ml_op_max_nan_ == MPI_OP_NULL)
+      MPI_Op_create(ml_op_max_fn, 1, &ml_op_max_nan_);
+    return ml_op_max_nan_;
+  /* ANY/ALL only ever combine 0/1 values; the builtins are exact. */
+  case ML_ALL: return MPI_MIN;
+  case ML_ANY: return MPI_MAX;
   }
   return MPI_SUM;
 }

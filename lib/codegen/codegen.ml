@@ -111,11 +111,13 @@ and binop_c (op : Mlang.Ast.binop) a b =
 
 (* Element expressions: scalar subtrees are hoisted into ML_s<k> consts
    emitted just before the loop. *)
-let eexpr_c (e : Spmd.Ir.eexpr) : (string * string) list * string =
+let eexpr_c ~(model : string) (e : Spmd.Ir.eexpr) :
+    (string * string) list * string =
   let hoisted = ref [] in
   let count = ref 0 in
   let rec go = function
     | Spmd.Ir.Emat v -> Printf.sprintf "%s->data[ML_i]" (mangle v)
+    | Spmd.Ir.Eeye -> Printf.sprintf "ML_eye_at(%s, ML_i)" (mangle model)
     | Spmd.Ir.Escalar s ->
         incr count;
         let name = Printf.sprintf "ML_s%d" !count in
@@ -177,7 +179,7 @@ let rec emit_inst em (i : Spmd.Ir.inst) =
   match i with
   | Spmd.Ir.Iscalar (v, s) -> line em "%s = %s;" (mangle v) (sexpr_c s)
   | Spmd.Ir.Ielem { dst; model; expr } ->
-      let hoisted, body = eexpr_c expr in
+      let hoisted, body = eexpr_c ~model expr in
       line em "{";
       em.indent <- em.indent + 2;
       List.iter (fun (n, e) -> line em "const double %s = %s;" n e) hoisted;

@@ -29,6 +29,7 @@ type frame = {
   funcs : (string, Ir.func) Hashtbl.t;
   out : Buffer.t; (* rank 0 appends program output here *)
   mutable rand_calls : int; (* replicated rand() sequence number *)
+  calls : int ref; (* executed run-time library calls on this rank *)
   seed : int;
   datadir : string;
   rk : int; (* this frame's simulated rank *)
@@ -192,6 +193,11 @@ let rec compile_e fr ops (e : Ir.eexpr) (model : Dmat.t) : int -> float =
           m.Dmat.rows m.Dmat.cols model.Dmat.rows model.Dmat.cols;
       let data = m.Dmat.data in
       fun i -> data.(i)
+  | Ir.Eeye ->
+      (* 1.0 on the main diagonal of the model's global shape *)
+      fun i ->
+        let r, c = Dmat.global_rc_of_local model i in
+        if r = c then 1.0 else 0.0
   | Ir.Escalar s ->
       let c = eval_s fr (ref 0) s in
       fun _ -> c
@@ -287,8 +293,20 @@ let rkind_to_red = function
   | Ir.Rall -> Ops.Rall
   | Ir.Rmean -> Ops.Rsum (* handled separately *)
 
+(* Instructions the C back end maps to an ML_* run-time library call;
+   scalar assignments, fused element-wise loops, control flow and
+   printing run inline in the generated code.  The per-rank executed
+   count is what the bench ablation prices. *)
+let is_lib_call : Ir.inst -> bool = function
+  | Ir.Iscalar _ | Ir.Ielem _ | Ir.Icalluser _ | Ir.Iprint _ | Ir.Iprintf _
+  | Ir.Ierror _ | Ir.Iif _ | Ir.Iwhile _ | Ir.Ifor _ | Ir.Ibreak
+  | Ir.Icontinue | Ir.Ireturn ->
+      false
+  | _ -> true
+
 let rec exec_inst fr (i : Ir.inst) =
   fr.trace.(fr.rk) <- inst_name i;
+  if is_lib_call i then incr fr.calls;
   match i with
   | Ir.Iscalar (v, Ir.Sstr s) -> Hashtbl.replace fr.env v (Vstr s)
   | Ir.Iscalar (v, Ir.Svar w)
@@ -393,18 +411,11 @@ let rec exec_inst fr (i : Ir.inst) =
       | _ -> assert false)
   | Ir.Iprint (name, Ir.Pscalar s) -> print_scalar fr name (eval_scalar fr s)
   | Ir.Iprint (name, Ir.Pmat v) -> (
+      (* [format_root ~name:""] already omits the "name =" header for
+         disp, so the text is used as is. *)
       let m = mat_of fr v in
-      match Dmat.format_root ~root:0 ~name:(if name = "" then "" else name) m with
-      | Some text when is_root () ->
-          if name = "" then begin
-            (* disp: no "name =" line *)
-            match String.index_opt text '\n' with
-            | Some k ->
-                Buffer.add_string fr.out
-                  (String.sub text (k + 1) (String.length text - k - 1))
-            | None -> Buffer.add_string fr.out text
-          end
-          else Buffer.add_string fr.out text
+      match Dmat.format_root ~root:0 ~name m with
+      | Some text when is_root () -> Buffer.add_string fr.out text
       | _ -> ())
   | Ir.Iprint (name, Ir.Pstr s) ->
       if is_root () then
@@ -703,6 +714,7 @@ type captured = Cscalar of float | Cmat of int * int * float array
 type outcome = {
   output : string;
   captures : (string * captured) list;
+  lib_calls : int;
   report : Mpisim.Sim.report;
 }
 
@@ -747,6 +759,7 @@ let run_result ?(capture = []) ?(seed = 42) ?(datadir = ".") ~machine ~nprocs
             funcs;
             out;
             rand_calls = 0;
+            calls = ref 0;
             seed;
             datadir;
             rk = rank;
@@ -754,18 +767,22 @@ let run_result ?(capture = []) ?(seed = 42) ?(datadir = ".") ~machine ~nprocs
           }
         in
         exec_block fr prog.Ir.p_body;
-        List.filter_map
-          (fun name ->
-            match Hashtbl.find_opt fr.env name with
-            | Some (Vscalar f) -> Some (name, Cscalar f)
-            | Some (Vmat m) ->
-                let dense = Dmat.to_dense m in
-                Some (name, Cmat (m.Dmat.rows, m.Dmat.cols, dense))
-            | Some (Vstr _) | None -> None)
-          capture)
+        let caps =
+          List.filter_map
+            (fun name ->
+              match Hashtbl.find_opt fr.env name with
+              | Some (Vscalar f) -> Some (name, Cscalar f)
+              | Some (Vmat m) ->
+                  let dense = Dmat.to_dense m in
+                  Some (name, Cmat (m.Dmat.rows, m.Dmat.cols, dense))
+              | Some (Vstr _) | None -> None)
+            capture
+        in
+        (caps, !(fr.calls)))
   with
   | results, report ->
-      Complete { output = Buffer.contents out; captures = results.(0); report }
+      let captures, lib_calls = results.(0) in
+      Complete { output = Buffer.contents out; captures; lib_calls; report }
   | exception Mpisim.Sim.Rank_failure { rank; exn } ->
       Partial
         {

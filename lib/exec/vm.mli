@@ -14,6 +14,9 @@ type captured = Cscalar of float | Cmat of int * int * float array
 type outcome = {
   output : string; (** what rank 0 printed *)
   captures : (string * captured) list;
+  lib_calls : int;
+      (** run-time library calls rank 0 executed (the per-pass ablation
+          in bench/ prices optimizations with this) *)
   report : Mpisim.Sim.report;
 }
 

@@ -134,9 +134,12 @@ let capture_list (info : Analysis.Infer.result) : string list =
   |> List.sort compare
 
 let check_case ?(use_cc = true) (script : string) : case_result =
-  match Otter.compile script with
+  (* full O2 pipeline, with the IR validator between passes: a
+     validator violation is a compiler bug, hence a counterexample *)
+  match Otter.compile ~validate:true script with
   | exception Mlang.Source.Error (_, msg) -> Discard ("compile: " ^ msg)
   | exception Spmd.Lower.Unsupported (_, msg) -> Discard ("lower: " ^ msg)
+  | exception Spmd.Validate.Invalid msg -> Fail ("IR validation: " ^ msg)
   | c -> (
       let capture = capture_list c.Otter.info in
       match
@@ -145,28 +148,28 @@ let check_case ?(use_cc = true) (script : string) : case_result =
       | exception Interp.Eval.Runtime_error msg ->
           Discard ("interpreter: " ^ msg)
       | ref_run -> (
-          let check_config machine nprocs =
+          let check_config ~label c machine nprocs =
             match Otter.verify_outcome ~machine ~nprocs ~capture c with
             | Otter.Verified -> None
             | Otter.Mismatched ms ->
                 let m = List.hd ms in
                 Some
-                  (Printf.sprintf "[%s, P=%d] %s: %s"
-                     machine.Mpisim.Machine.name nprocs m.Otter.variable
+                  (Printf.sprintf "[%s, P=%d, %s] %s: %s"
+                     machine.Mpisim.Machine.name nprocs label m.Otter.variable
                      m.Otter.detail)
             | Otter.Aborted { failed_rank; operation; detail } ->
                 Some
-                  (Printf.sprintf "[%s, P=%d] rank %d failed during %s: %s"
-                     machine.Mpisim.Machine.name nprocs failed_rank operation
-                     detail)
+                  (Printf.sprintf "[%s, P=%d, %s] rank %d failed during %s: %s"
+                     machine.Mpisim.Machine.name nprocs label failed_rank
+                     operation detail)
             | exception Exec.Vm.Runtime_error msg ->
                 Some
-                  (Printf.sprintf "[%s, P=%d] VM run-time error: %s"
-                     machine.Mpisim.Machine.name nprocs msg)
+                  (Printf.sprintf "[%s, P=%d, %s] VM run-time error: %s"
+                     machine.Mpisim.Machine.name nprocs label msg)
             | exception Mpisim.Sim.Deadlock msg ->
                 Some
-                  (Printf.sprintf "[%s, P=%d] deadlock: %s"
-                     machine.Mpisim.Machine.name nprocs msg)
+                  (Printf.sprintf "[%s, P=%d, %s] deadlock: %s"
+                     machine.Mpisim.Machine.name nprocs label msg)
           in
           let vm_failure =
             List.fold_left
@@ -178,9 +181,29 @@ let check_case ?(use_cc = true) (script : string) : case_result =
                       (fun acc p ->
                         match acc with
                         | Some _ -> acc
-                        | None -> check_config machine p)
+                        | None -> check_config ~label:"O2" c machine p)
                       None procs)
               None machines
+          in
+          (* the unoptimized pipeline against the same reference: both
+             levels verify against one interpreter run, so any O0-vs-O2
+             divergence surfaces as a failure on exactly one level *)
+          let vm_failure =
+            match vm_failure with
+            | Some _ -> vm_failure
+            | None -> (
+                match Otter.compile ~opt:Spmd.Pass.O0 ~validate:true script with
+                | exception Spmd.Validate.Invalid msg ->
+                    Some ("[O0] IR validation: " ^ msg)
+                | c0 ->
+                    List.fold_left
+                      (fun acc p ->
+                        match acc with
+                        | Some _ -> acc
+                        | None ->
+                            check_config ~label:"O0" c0
+                              Mpisim.Machine.meiko_cs2 p)
+                      None [ 1; 3 ])
           in
           match vm_failure with
           | Some d -> Fail d

@@ -1,0 +1,197 @@
+(* Copy propagation and liveness-based dead code elimination.
+
+   Phase 1 forwards copies: after [d = copy s] (or the scalar
+   [d = s]), later reads of [d] become reads of [s] until either side
+   is redefined.  Phase 2 removes pure instructions none of whose
+   results are live -- using the backward liveness of dataflow.ml, so it
+   reaches named variables, not just temporaries as the peephole's
+   sweep does.
+
+   Named variables stay live at the end of the script and at function
+   exits (along with return values): the driver may capture or print
+   any of them, and the C back end declares a variable only to assign
+   it.  rand/randn constructors and [Iload] never die -- the former
+   shift the replicated random stream for every later draw, the latter
+   can fault on a missing file. *)
+
+module VSet = Dataflow.VSet
+
+type stats = { mutable forwarded : int; mutable removed : int }
+
+(* --- copy propagation --------------------------------------------------- *)
+
+(* [env] maps a copy destination to its (already canonical) source. *)
+let canon env v = match Hashtbl.find_opt env v with Some s -> s | None -> v
+
+let kill_set env (killed : VSet.t) =
+  if not (VSet.is_empty killed) then begin
+    let stale =
+      Hashtbl.fold
+        (fun d s acc ->
+          if VSet.mem d killed || VSet.mem s killed then d :: acc else acc)
+        env []
+    in
+    List.iter (Hashtbl.remove env) stale
+  end
+
+let rec prop_block stats env (b : Ir.block) : Ir.block =
+  List.concat_map
+    (fun (i : Ir.inst) ->
+      let subst v =
+        let v' = canon env v in
+        if v' <> v then stats.forwarded <- stats.forwarded + 1;
+        v'
+      in
+      match i with
+      | Ir.Iif (branches, els) ->
+          let conds =
+            match Dataflow.map_uses subst i with
+            | Ir.Iif (bs, _) -> List.map fst bs
+            | _ -> assert false
+          in
+          (* each arm refines a private copy of the facts *)
+          let arms =
+            List.map
+              (fun (_, blk) -> prop_block stats (Hashtbl.copy env) blk)
+              branches
+          in
+          let els' = prop_block stats (Hashtbl.copy env) els in
+          let killed =
+            List.fold_left
+              (fun acc (_, blk) -> VSet.union acc (Dataflow.block_defs blk))
+              (Dataflow.block_defs els) branches
+          in
+          kill_set env killed;
+          [ Ir.Iif (List.combine conds arms, els') ]
+      | Ir.Iwhile (_, body) | Ir.Ifor (_, _, _, _, body) ->
+          (* facts killed by any iteration are unusable anywhere in or
+             after the loop -- conditions and bounds included, since both
+             back ends re-evaluate the while condition (and the C back
+             end the for stop expression) on every trip *)
+          let killed =
+            match i with
+            | Ir.Ifor (v, _, _, _, _) -> VSet.add v (Dataflow.block_defs body)
+            | _ -> Dataflow.block_defs body
+          in
+          kill_set env killed;
+          (* the body refines a private copy: a fact established inside
+             the body must not survive the loop (it may run zero times) *)
+          [
+            (match Dataflow.map_uses subst i with
+            | Ir.Iwhile (c, _) ->
+                Ir.Iwhile (c, prop_block stats (Hashtbl.copy env) body)
+            | Ir.Ifor (v, a, st, b2, _) ->
+                Ir.Ifor (v, a, st, b2, prop_block stats (Hashtbl.copy env) body)
+            | _ -> assert false);
+          ]
+      | _ -> (
+          let i = Dataflow.map_uses subst i in
+          kill_set env (VSet.of_list (Ir.inst_defs i));
+          match i with
+          | Ir.Icopy (d, s) | Ir.Iscalar (d, Ir.Svar s) ->
+              if d = s then begin
+                stats.removed <- stats.removed + 1;
+                []
+              end
+              else begin
+                Hashtbl.replace env d s;
+                [ i ]
+              end
+          | _ -> [ i ]))
+    b
+
+(* --- liveness DCE ------------------------------------------------------- *)
+
+let removable (i : Ir.inst) =
+  Ir.inst_pure i
+  && (not (Dataflow.is_rand i))
+  && (match i with Ir.Iload _ -> false | _ -> true)
+  && Ir.inst_defs i <> []
+
+(* Backward over the block: returns the rewritten block and its live-in
+   set given [out] live on exit.  [jump] is what an early exit makes
+   live: the body's exit-live set, widened with the loop-head fixpoint
+   of every enclosing loop (a break / continue / return transfers
+   control there, so everything live at those points is live here). *)
+let rec dce_block stats ~(jump : VSet.t) (b : Ir.block) (out : VSet.t) :
+    Ir.block * VSet.t =
+  List.fold_right
+    (fun (i : Ir.inst) (acc, live) ->
+      match i with
+      | Ir.Ireturn | Ir.Ibreak | Ir.Icontinue ->
+          (i :: acc, VSet.union live jump)
+      | Ir.Iif (branches, els) ->
+          let arms =
+            List.map (fun (c, blk) -> (c, dce_block stats ~jump blk live)) branches
+          in
+          let els', els_in = dce_block stats ~jump els live in
+          if
+            List.for_all (fun (_, (blk, _)) -> blk = []) arms && els' = []
+          then begin
+            stats.removed <- stats.removed + 1;
+            (acc, live)
+          end
+          else
+            (* live-in covers every arm's own live-in: an arm ending in
+               return / break makes the jump target's live set live here,
+               which [Dataflow.inst_live] alone would miss *)
+            let live_in =
+              List.fold_left
+                (fun acc (_, (_, l)) -> VSet.union acc l)
+                (VSet.union els_in (Dataflow.inst_live i live))
+                arms
+            in
+            ( Ir.Iif (List.map (fun (c, (blk, _)) -> (c, blk)) arms, els') :: acc,
+              live_in )
+      | Ir.Iwhile (c, body) ->
+          (* the fixpoint live set holds at the loop head of every
+             iteration, hence also at the body's exit (back edge and
+             loop exit alike) *)
+          let fix = Dataflow.inst_live i live in
+          let body', body_in =
+            dce_block stats ~jump:(VSet.union jump fix) body fix
+          in
+          (Ir.Iwhile (c, body') :: acc, VSet.union fix body_in)
+      | Ir.Ifor (v, a, st, b2, body) ->
+          let fix = Dataflow.inst_live i live in
+          let body', body_in =
+            dce_block stats ~jump:(VSet.union jump fix) body (VSet.add v fix)
+          in
+          ( Ir.Ifor (v, a, st, b2, body') :: acc,
+            VSet.union fix (VSet.remove v body_in) )
+      | _ ->
+          let defs = Ir.inst_defs i in
+          if removable i && not (List.exists (fun d -> VSet.mem d live) defs)
+          then begin
+            stats.removed <- stats.removed + 1;
+            (acc, live)
+          end
+          else (i :: acc, Dataflow.inst_live i live))
+    b ([], out)
+
+let exit_live_script (p : Ir.prog) : VSet.t =
+  List.fold_left
+    (fun acc (v, _) -> if Dataflow.is_temp v then acc else VSet.add v acc)
+    VSet.empty p.Ir.p_vars
+
+let exit_live_func (f : Ir.func) : VSet.t =
+  List.fold_left
+    (fun acc (v, _) -> if Dataflow.is_temp v then acc else VSet.add v acc)
+    VSet.empty f.Ir.f_vars
+
+let run (p : Ir.prog) : Ir.prog * (string * int) list =
+  let stats = { forwarded = 0; removed = 0 } in
+  let body = prop_block stats (Hashtbl.create 16) p.Ir.p_body in
+  let exit = exit_live_script p in
+  let body, _ = dce_block stats ~jump:exit body exit in
+  let funcs =
+    List.map
+      (fun (f : Ir.func) ->
+        let fb = prop_block stats (Hashtbl.create 16) f.Ir.f_body in
+        let exit = exit_live_func f in
+        let fb, _ = dce_block stats ~jump:exit fb exit in
+        { f with Ir.f_body = fb })
+      p.Ir.p_funcs
+  in
+  ( { p with Ir.p_body = body; p_funcs = funcs },
+    [ ("forwarded", stats.forwarded); ("removed", stats.removed) ] )

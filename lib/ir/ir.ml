@@ -31,6 +31,10 @@ type sexpr =
    is purely local. *)
 type eexpr =
   | Emat of var (* local element i of a distributed matrix *)
+  | Eeye
+    (* 1.0 when the current element lies on the main diagonal of the
+       model matrix, else 0.0: an eye(...) operand folded into the
+       loop instead of materialized (see the fold-construct pass) *)
   | Escalar of sexpr (* replicated scalar, hoisted out of the loop *)
   | Ebin of Mlang.Ast.binop * eexpr * eexpr
   | Eneg of eexpr
@@ -154,6 +158,7 @@ let rec sexpr_uses acc = function
 
 let rec eexpr_uses acc = function
   | Emat v -> v :: acc
+  | Eeye -> acc
   | Escalar s -> sexpr_uses acc s
   | Ebin (_, a, b) -> eexpr_uses (eexpr_uses acc a) b
   | Eneg a | Enot a -> eexpr_uses acc a

@@ -37,6 +37,7 @@ let rec sexpr ppf = function
 
 let rec eexpr ppf = function
   | Ir.Emat v -> Fmt.pf ppf "%s[i]" v
+  | Ir.Eeye -> Fmt.pf ppf "eye[i]"
   | Ir.Escalar s -> sexpr ppf s
   | Ir.Ebin (op, a, b) ->
       Fmt.pf ppf "(%a %s %a)" eexpr a (Mlang.Ast.binop_name op) eexpr b

@@ -178,7 +178,7 @@ and fused_elementwise ctx out (e : Ast.expr) : operand =
   let model =
     let rec first_mat = function
       | Ir.Emat v -> Some v
-      | Ir.Escalar _ -> None
+      | Ir.Escalar _ | Ir.Eeye -> None
       | Ir.Ebin (_, x, y) | Ir.Ecall2 (_, x, y) -> (
           match first_mat x with Some v -> Some v | None -> first_mat y)
       | Ir.Eneg x | Ir.Enot x | Ir.Ecall1 (_, x) -> first_mat x

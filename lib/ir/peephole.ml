@@ -14,18 +14,11 @@
    block; use counts are computed over the whole program, so a
    temporary consumed inside a nested block is never considered dead. *)
 
-let is_temp v =
-  String.length v > 6 && String.sub v 0 6 = "ML_tmp"
+let is_temp = Dataflow.is_temp
 
-type counts = (string, int) Hashtbl.t
-
-let count_uses (b : Ir.block) : counts =
-  let tbl = Hashtbl.create 64 in
-  let bump v = Hashtbl.replace tbl v (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v)) in
-  Ir.iter_insts (fun i -> List.iter bump (Ir.inst_uses i)) b;
-  tbl
-
-let uses counts v = Option.value ~default:0 (Hashtbl.find_opt counts v)
+(* Use counting now comes from the shared dataflow module. *)
+let count_uses = Dataflow.use_counts
+let uses = Dataflow.uses
 
 (* Rename the destination of a pure defining instruction. *)
 let rename_def (i : Ir.inst) ~from ~into : Ir.inst option =
@@ -49,6 +42,13 @@ let rename_def (i : Ir.inst) ~from ~into : Ir.inst option =
   | Ir.Iconstruct c when c.dst = from -> Some (Ir.Iconstruct { c with dst = into })
   | Ir.Iliteral l when l.dst = from -> Some (Ir.Iliteral { l with dst = into })
   | Ir.Isection s when s.dst = from -> Some (Ir.Isection { s with dst = into })
+  | Ir.Iscan (d, k, a) when d = from -> Some (Ir.Iscan (into, k, a))
+  | Ir.Isort s when s.vdst = from || s.idst = Some from ->
+      Some (Ir.Isort { s with vdst = r s.vdst; idst = Option.map r s.idst })
+  | Ir.Ireduce_loc rl when rl.vdst = from || rl.idst = from ->
+      Some (Ir.Ireduce_loc { rl with vdst = r rl.vdst; idst = r rl.idst })
+  | Ir.Iload l when l.dst = from -> Some (Ir.Iload { l with dst = into })
+  | Ir.Iconcat c when c.dst = from -> Some (Ir.Iconcat { c with dst = into })
   | Ir.Icalluser c when List.mem from c.rets ->
       Some (Ir.Icalluser { c with rets = List.map r c.rets })
   | _ -> None
@@ -134,6 +134,7 @@ let rec dce stats counts (b : Ir.block) : Ir.block =
           let defs = Ir.inst_defs i in
           if
             Ir.inst_pure i && defs <> []
+            && (not (Dataflow.is_rand i))
             && List.for_all (fun d -> is_temp d && uses counts d = 0) defs
           then begin
             stats.dead_removed <- stats.dead_removed + 1;

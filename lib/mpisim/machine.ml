@@ -209,6 +209,7 @@ let by_name name =
       | "meiko" | "cs2" | "cs-2" -> m == meiko_cs2
       | "smp" | "enterprise" -> m == enterprise_smp
       | "cluster" | "sparc20" -> m == sparc20_cluster
+      | "workstation" | "ultrasparc" -> m == workstation
       | "beowulf" -> m == beowulf
       | _ -> false)
     (workstation :: beowulf :: all)

@@ -8,20 +8,27 @@ type compiled = {
   source : string;
   ast : Mlang.Ast.program; (* resolved *)
   info : Analysis.Infer.result;
-  prog : Spmd.Ir.prog; (* after rewriting, guards, peephole *)
-  peephole : Spmd.Peephole.stats;
+  prog : Spmd.Ir.prog; (* after rewriting, guards, and the pass pipeline *)
+  passes : Spmd.Pass.record list;
 }
 
 (* Passes 1-6: scan/parse, resolve, SSA + inference, rewrite, owner
-   guards, peephole. *)
-let compile ?path ?datadir (source : string) : compiled =
+   guards, then the middle-end pass pipeline ([passes] overrides the
+   [opt] level's pass list; [validate] checks IR invariants between
+   passes; [dump_after] sees the program after each pass). *)
+let compile ?path ?datadir ?(opt = Spmd.Pass.O2) ?passes ?validate ?dump_after
+    (source : string) : compiled =
   let ast = Mlang.Parser.parse_program source in
   let ast = Analysis.Resolve.run ?path ast in
   let info = Analysis.Infer.program ?datadir ast in
   let prog = Spmd.Lower.lower_program info ast in
-  let peephole = Spmd.Peephole.fresh_stats () in
-  let prog = Spmd.Peephole.optimize ~stats:peephole prog in
-  { source; ast; info; prog; peephole }
+  let names =
+    match passes with Some ps -> ps | None -> Spmd.Pass.level_passes opt
+  in
+  let prog, records =
+    Spmd.Pass.run_pipeline ?validate ?dump_after names prog
+  in
+  { source; ast; info; prog; passes = records }
 
 (* Pass 7 lives in [Codegen.emit_c]. *)
 
@@ -57,6 +64,31 @@ let dump_ssa (c : compiled) =
     c.ast.Mlang.Ast.funcs;
   Buffer.contents buf
 
+(* Per-pass statistics table: name, wall-clock, total rewrites, and the
+   per-rule breakdown for every pass that ran. *)
+let pass_table (records : Spmd.Pass.record list) : string =
+  match records with
+  | [] -> "passes: none (O0)"
+  | rs ->
+      let rows =
+        List.map
+          (fun (r : Spmd.Pass.record) ->
+            let detail =
+              if r.Spmd.Pass.rewrites = 0 then "-"
+              else
+                String.concat ", "
+                  (List.filter_map
+                     (fun (k, n) ->
+                       if n = 0 then None else Some (Printf.sprintf "%s %d" k n))
+                     r.Spmd.Pass.detail)
+            in
+            Printf.sprintf "  %-16s %8.3f ms %6d rewrites  %s" r.Spmd.Pass.pass
+              (r.Spmd.Pass.seconds *. 1000.)
+              r.Spmd.Pass.rewrites detail)
+          rs
+      in
+      String.concat "\n" ("passes:" :: rows)
+
 (* One-paragraph compilation report (otterc compile --stats). *)
 let report (c : compiled) : string =
   let insts = ref 0 and comm = ref 0 and elem = ref 0 in
@@ -91,13 +123,7 @@ let report (c : compiled) : string =
       Printf.sprintf
         "IR: %d instructions; %d run-time library calls (communication); %d fused element-wise loops"
         !insts !comm !elem;
-      Printf.sprintf
-        "peephole: %d copies forwarded, %d broadcasts reused, %d transposes collapsed, %d shifts combined, %d dead removed"
-        c.peephole.Spmd.Peephole.copies_forwarded
-        c.peephole.Spmd.Peephole.broadcasts_reused
-        c.peephole.Spmd.Peephole.transposes_collapsed
-        c.peephole.Spmd.Peephole.shifts_combined
-        c.peephole.Spmd.Peephole.dead_removed;
+      pass_table c.passes;
       "";
     ]
 

@@ -6,18 +6,27 @@ type compiled = {
   source : string;
   ast : Mlang.Ast.program; (** after identifier resolution *)
   info : Analysis.Infer.result;
-  prog : Spmd.Ir.prog; (** after rewriting, guards, peephole *)
-  peephole : Spmd.Peephole.stats;
+  prog : Spmd.Ir.prog; (** after rewriting, guards, and the pass pipeline *)
+  passes : Spmd.Pass.record list; (** what each middle-end pass did *)
 }
 
 val compile :
   ?path:(string -> Mlang.Ast.func option) ->
   ?datadir:string ->
+  ?opt:Spmd.Pass.level ->
+  ?passes:string list ->
+  ?validate:bool ->
+  ?dump_after:(string -> Spmd.Ir.prog -> unit) ->
   string ->
   compiled
 (** Passes 1-6.  [path] resolves M-file functions by name; [datadir]
-    locates sample data files for [load] (paper section 3).  Raises
-    {!Mlang.Source.Error} or {!Spmd.Lower.Unsupported}. *)
+    locates sample data files for [load] (paper section 3).  The middle
+    end runs the pass pipeline of [opt] (default {!Spmd.Pass.O2});
+    [passes] overrides it with an explicit pass list; [validate] runs
+    the structural IR validator between passes; [dump_after] is called
+    with the program after each pass.  Raises {!Mlang.Source.Error},
+    {!Spmd.Lower.Unsupported}, {!Spmd.Pass.Unknown_pass}, or
+    {!Spmd.Validate.Invalid}. *)
 
 type frontend = {
   fe_source : string;
@@ -48,7 +57,11 @@ val dump_ir : compiled -> string
 val dump_ssa : compiled -> string
 
 val report : compiled -> string
-(** One-paragraph compilation report (variables, IR, peephole). *)
+(** One-paragraph compilation report (variables, IR, per-pass table). *)
+
+val pass_table : Spmd.Pass.record list -> string
+(** Just the per-pass statistics table (name, wall-clock time, rewrite
+    counts) from a {!compiled.passes} list. *)
 
 val run_parallel :
   ?capture:string list ->

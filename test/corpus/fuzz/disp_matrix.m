@@ -1,0 +1,8 @@
+% disp of a matrix must print every row: the VM's disp path used to
+% strip the first line of the formatted text (assuming a "name =" header
+% that disp never emits), silently dropping row one of every matrix.
+A = [1, 0; 0, 2];
+disp(A);
+v = 1:3;
+disp(v);
+fprintf('%.17g\n', sum(sum(A)));

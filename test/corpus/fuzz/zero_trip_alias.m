@@ -1,0 +1,9 @@
+% A copy fact established inside a loop body must die at the loop exit:
+% copy propagation used to leak "s aliases i" out of this zero-trip
+% loop, rewriting the print into a read of the never-defined loop
+% variable.
+s = 0;
+for i = 1:0
+  s = i;
+end
+fprintf('%.17g\n', s);

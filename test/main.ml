@@ -8,6 +8,7 @@ let () =
       ("infer", Test_infer.suite);
       ("lower", Test_lower.suite);
       ("peephole", Test_peephole.suite);
+      ("passes", Test_passes.suite);
       ("sim", Test_sim.suite);
       ("coll", Test_coll.suite);
       ("faults", Test_faults.suite);

@@ -188,6 +188,11 @@ typedef struct { int MPI_SOURCE, MPI_TAG, MPI_ERROR; } MPI_Status;
 #define MPI_MINLOC 5
 #define MPI_MAXLOC 6
 #define MPI_DOUBLE_INT 2
+#define MPI_OP_NULL 0
+typedef void(MPI_User_function)(void *in, void *inout, int *len,
+                                MPI_Datatype *dt);
+int MPI_Op_create(MPI_User_function *fn, int commute, MPI_Op *op);
+int MPI_Op_free(MPI_Op *op);
 int MPI_Init(int *argc, char ***argv);
 int MPI_Finalize(void);
 int MPI_Comm_rank(MPI_Comm comm, int *rank);

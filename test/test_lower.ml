@@ -54,7 +54,7 @@ let test_scalar_broadcast_in_fusion () =
       (* the scalar appears as a hoisted Escalar, not a matrix operand *)
       let rec scalars = function
         | Ir.Escalar _ -> 1
-        | Ir.Emat _ -> 0
+        | Ir.Emat _ | Ir.Eeye -> 0
         | Ir.Ebin (_, a, b) | Ir.Ecall2 (_, a, b) -> scalars a + scalars b
         | Ir.Eneg a | Ir.Enot a | Ir.Ecall1 (_, a) -> scalars a
       in
