@@ -1,8 +1,8 @@
 (* Benchmark harness: regenerates every table and figure of the paper.
 
    Usage:
-     main.exe [table1|fig2|fig3|fig4|fig5|fig6|all|faults|micro]
-              [--scale PCT] [--full]
+     main.exe [table1|fig2|fig3|fig4|fig5|fig6|all|faults|speedup|micro]
+              [--scale PCT] [--full] [--out FILE] [--baseline FILE]
 
    --scale chooses the problem size as a percentage of the paper's
    (default 25%% so `dune exec bench/main.exe` finishes quickly);
@@ -446,11 +446,231 @@ let faults_bench scale =
      clean run";
   print_newline ()
 
+(* --- speedup benchmark: BENCH_speedup.json ------------------------------ *)
+
+(* One entry per (app, machine, CPUs, opt level): simulated wall clock,
+   message count and bytes on the wire, plus the speedup over the same
+   configuration at one CPU.  Everything is modeled, so the numbers are
+   deterministic and fit for a committed regression baseline. *)
+type speedup_entry = {
+  se_app : string;
+  se_machine : string;
+  se_procs : int;
+  se_opt : string;
+  se_time : float;
+  se_messages : int;
+  se_bytes : int;
+  se_speedup : float;
+}
+
+let speedup_machines =
+  [
+    ("meiko", Mpisim.Machine.meiko_cs2);
+    ("smp", Mpisim.Machine.enterprise_smp);
+    ("cluster", Mpisim.Machine.sparc20_cluster);
+  ]
+
+let speedup_entries scale : speedup_entry list =
+  let entries = ref [] in
+  List.iter
+    (fun (app : Apps.Scripts.app) ->
+      List.iter
+        (fun (oname, opt) ->
+          let c = Otter.compile ~opt (app.source scale) in
+          List.iter
+            (fun (mname, (m : Mpisim.Machine.t)) ->
+              let t1 = ref nan in
+              List.iter
+                (fun p ->
+                  if p <= m.max_procs then begin
+                    let r =
+                      (Otter.run_parallel ~machine:m ~nprocs:p c).Exec.Vm
+                        .report
+                    in
+                    if p = 1 then t1 := r.Mpisim.Sim.makespan;
+                    entries :=
+                      {
+                        se_app = app.key;
+                        se_machine = mname;
+                        se_procs = p;
+                        se_opt = oname;
+                        se_time = r.Mpisim.Sim.makespan;
+                        se_messages = r.Mpisim.Sim.messages;
+                        se_bytes = r.Mpisim.Sim.bytes;
+                        se_speedup = !t1 /. r.Mpisim.Sim.makespan;
+                      }
+                      :: !entries
+                  end)
+                proc_counts)
+            speedup_machines)
+        [ ("O1", Spmd.Pass.O1); ("O2", Spmd.Pass.O2) ])
+    Apps.Scripts.apps;
+  List.rev !entries
+
+let entry_line e =
+  Printf.sprintf
+    "{\"app\": %S, \"machine\": %S, \"procs\": %d, \"opt\": %S, \"time\": \
+     %.9f, \"messages\": %d, \"bytes\": %d, \"speedup\": %.6f}"
+    e.se_app e.se_machine e.se_procs e.se_opt e.se_time e.se_messages
+    e.se_bytes e.se_speedup
+
+let write_speedup_json ~file ~scale entries =
+  let oc = open_out file in
+  Printf.fprintf oc "{\n  \"benchmark\": \"speedup\",\n  \"scale\": %d,\n"
+    scale;
+  Printf.fprintf oc "  \"entries\": [\n";
+  let n = List.length entries in
+  List.iteri
+    (fun i e ->
+      Printf.fprintf oc "    %s%s\n" (entry_line e)
+        (if i = n - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+(* Parse a file produced by [write_speedup_json]; entry lines carry a
+   fixed key order, so a Scanf format is enough. *)
+let read_speedup_json file =
+  let ic = open_in file in
+  let scale = ref (-1) in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       (try Scanf.sscanf line " \"scale\": %d" (fun s -> scale := s)
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> ());
+       try
+         Scanf.sscanf line
+           " {\"app\": %S, \"machine\": %S, \"procs\": %d, \"opt\": %S, \
+            \"time\": %f, \"messages\": %d, \"bytes\": %d, \"speedup\": %f}"
+           (fun a m p o t ms b s ->
+             entries :=
+               {
+                 se_app = a;
+                 se_machine = m;
+                 se_procs = p;
+                 se_opt = o;
+                 se_time = t;
+                 se_messages = ms;
+                 se_bytes = b;
+                 se_speedup = s;
+               }
+               :: !entries)
+       with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  (!scale, List.rev !entries)
+
+let speedup_bench scale out baseline =
+  Printf.printf
+    "Speedup benchmark: 4 apps x {O1, O2} x 3 machines x P in {1,2,4,8,16}\n";
+  Printf.printf "  problem scale: %d%% of paper sizes\n\n" scale;
+  let entries = speedup_entries scale in
+  write_speedup_json ~file:out ~scale entries;
+  Printf.printf "wrote %s (%d entries)\n\n" out (List.length entries);
+  let find app machine procs opt =
+    List.find_opt
+      (fun e ->
+        e.se_app = app && e.se_machine = machine && e.se_procs = procs
+        && e.se_opt = opt)
+      entries
+  in
+  (* communication summary at P = 4 (message counts are machine
+     independent; meiko is the reporting machine) *)
+  Printf.printf "Communication at P = 4 (meiko): -O1 vs -O2\n";
+  print_endline (String.make 72 '-');
+  Printf.printf "%-10s %12s %12s %10s %12s\n" "App" "msgs O1" "msgs O2"
+    "reduction" "time O2/O1";
+  print_endline (String.make 72 '-');
+  let improved = ref 0 in
+  List.iter
+    (fun (app : Apps.Scripts.app) ->
+      match (find app.key "meiko" 4 "O1", find app.key "meiko" 4 "O2") with
+      | Some e1, Some e2 ->
+          if e2.se_messages < e1.se_messages then incr improved;
+          Printf.printf "%-10s %12d %12d %9.1f%% %12.3f\n" app.key
+            e1.se_messages e2.se_messages
+            (100.
+            *. float_of_int (e1.se_messages - e2.se_messages)
+            /. float_of_int (max 1 e1.se_messages))
+            (e2.se_time /. e1.se_time)
+      | _ -> ())
+    Apps.Scripts.apps;
+  print_endline (String.make 72 '-');
+  Printf.printf "message count reduced on %d of 4 apps at P=4 with -O2\n\n"
+    !improved;
+  (* speedup table at O2 *)
+  Printf.printf "Simulated speedup at -O2 (relative to 1 CPU, same machine)\n";
+  print_endline (String.make 72 '-');
+  Printf.printf "%-10s %-9s" "App" "Machine";
+  List.iter (fun p -> Printf.printf " %7d" p) proc_counts;
+  print_newline ();
+  print_endline (String.make 72 '-');
+  List.iter
+    (fun (app : Apps.Scripts.app) ->
+      List.iter
+        (fun (mname, (m : Mpisim.Machine.t)) ->
+          Printf.printf "%-10s %-9s" app.key mname;
+          List.iter
+            (fun p ->
+              if p > m.max_procs then Printf.printf " %7s" "-"
+              else
+                match find app.key mname p "O2" with
+                | Some e -> Printf.printf " %7.2f" e.se_speedup
+                | None -> Printf.printf " %7s" "?")
+            proc_counts;
+          print_newline ())
+        speedup_machines)
+    Apps.Scripts.apps;
+  print_endline (String.make 72 '-');
+  print_newline ();
+  (* regression gate against a committed baseline *)
+  match baseline with
+  | None -> ()
+  | Some file ->
+      let bscale, bentries = read_speedup_json file in
+      if bentries = [] then begin
+        Printf.eprintf "baseline %s has no entries\n" file;
+        exit 2
+      end;
+      if bscale <> scale then begin
+        Printf.eprintf
+          "baseline %s was recorded at scale %d%%, this run is %d%%\n" file
+          bscale scale;
+        exit 2
+      end;
+      let regressions =
+        List.filter_map
+          (fun b ->
+            match find b.se_app b.se_machine b.se_procs b.se_opt with
+            | Some e when e.se_time > (b.se_time *. 1.10) +. 1e-12 ->
+                Some (b, e)
+            | _ -> None)
+          bentries
+      in
+      if regressions = [] then
+        Printf.printf "baseline check: no configuration regressed >10%% vs \
+                       %s\n"
+          file
+      else begin
+        List.iter
+          (fun (b, e) ->
+            Printf.printf
+              "REGRESSION %s/%s p=%d %s: %.6f s vs baseline %.6f s (+%.1f%%)\n"
+              b.se_app b.se_machine b.se_procs b.se_opt e.se_time b.se_time
+              (100. *. ((e.se_time /. b.se_time) -. 1.)))
+          regressions;
+        exit 1
+      end
+
 (* --- driver -------------------------------------------------------------- *)
 
 let () =
   let args = Array.to_list Sys.argv in
   let scale = ref 25 in
+  let out = ref "BENCH_speedup.json" in
+  let baseline = ref None in
   let cmds = ref [] in
   let rec parse = function
     | [] -> ()
@@ -459,6 +679,12 @@ let () =
         parse rest
     | "--scale" :: v :: rest ->
         scale := int_of_string v;
+        parse rest
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | "--baseline" :: v :: rest ->
+        baseline := Some v;
         parse rest
     | cmd :: rest ->
         cmds := cmd :: !cmds;
@@ -478,6 +704,7 @@ let () =
     | "extrapolate" -> extrapolate !scale
     | "sensitivity" -> sensitivity ()
     | "faults" -> faults_bench !scale
+    | "speedup" -> speedup_bench !scale !out !baseline
     | "all" ->
         Tables.print ();
         fig2 !scale;
@@ -486,7 +713,7 @@ let () =
         Printf.eprintf
           "unknown command '%s' (expected \
            table1|fig2|fig3|fig4|fig5|fig6|all|ablation|extrapolate|\
-           sensitivity|faults|micro)\n"
+           sensitivity|faults|speedup|micro)\n"
           other;
         exit 2
   in

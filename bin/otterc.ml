@@ -75,7 +75,8 @@ let opt_arg =
           );
           ( Spmd.Pass.O2,
             info [ "O2" ]
-              ~doc:"Peephole plus the global dataflow passes (default)." );
+              ~doc:"Peephole, the global dataflow passes, then the \
+                    communication optimizer (default)." );
         ])
 
 let passes_arg =
@@ -86,7 +87,7 @@ let passes_arg =
         ~doc:
           "Comma-separated middle-end pass list, overriding -O<n>; e.g. \
            $(b,--passes peephole,licm).  Known passes: peephole, licm, gre, \
-           copyprop, fold-construct.")
+           copyprop, fold-construct, comm.")
 
 let validate_arg =
   Arg.(
@@ -207,8 +208,8 @@ let print_fault_counters (r : Mpisim.Sim.report) =
     r.Mpisim.Sim.drops r.dups r.delayed r.stalls r.retries r.acks
 
 let run_cmd =
-  let run input nprocs machine timing faults reliable opt passes validate dumps
-      =
+  let run input nprocs machine timing stats faults reliable opt passes
+      validate dumps =
     handle_errors (fun () ->
         let c = compile_input input opt passes validate dumps in
         let machine = apply_faults (get_machine machine) faults reliable in
@@ -219,26 +220,41 @@ let run_cmd =
             exit 3
         | Exec.Vm.Complete o ->
             print_string o.Exec.Vm.output;
-            if timing then begin
-              let r = o.Exec.Vm.report in
+            let r = o.Exec.Vm.report in
+            if timing && not stats then begin
               Fmt.pr
                 "[%s, %d CPUs] modeled time %.6f s, %d messages, %d bytes@."
                 machine.Mpisim.Machine.name nprocs r.Mpisim.Sim.makespan
                 r.messages r.bytes;
               if machine.Mpisim.Machine.faults <> None then
                 print_fault_counters r
+            end;
+            if stats then begin
+              Fmt.pr "-- simulator report [%s, %d CPUs] --@."
+                machine.Mpisim.Machine.name nprocs;
+              Fmt.pr "  simulated time  %.6f s@." r.Mpisim.Sim.makespan;
+              Fmt.pr "  compute time    %.6f s (summed over ranks)@."
+                r.Mpisim.Sim.compute_time;
+              Fmt.pr "  messages        %d@." r.Mpisim.Sim.messages;
+              Fmt.pr "  bytes           %d@." r.Mpisim.Sim.bytes;
+              print_fault_counters r
             end)
   in
   let timing_arg =
     Arg.(value & flag & info [ "t"; "timing" ]
            ~doc:"Print the modeled execution time and message counts.")
   in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print the full simulator report after execution: simulated \
+                 and compute time, message count, bytes and fault counters.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Compile and execute on a simulated parallel machine.")
     Term.(const run $ input_arg $ procs_arg $ machine_arg $ timing_arg
-          $ faults_arg $ reliable_arg $ opt_arg $ passes_arg $ validate_arg
-          $ dump_after_arg)
+          $ stats_arg $ faults_arg $ reliable_arg $ opt_arg $ passes_arg
+          $ validate_arg $ dump_after_arg)
 
 (* --- interp --------------------------------------------------------------- *)
 

@@ -38,6 +38,10 @@ typedef struct {
 
 typedef enum { ML_SUM, ML_PROD, ML_MIN, ML_MAX, ML_MEAN, ML_ANY, ML_ALL } ML_RED;
 
+/* Slot kinds for ML_reduce_fused: every kind combines with a plain sum,
+   so one vector allreduce carries the whole batch. */
+typedef enum { ML_FUSE_SUM, ML_FUSE_MEAN, ML_FUSE_DOT, ML_FUSE_NORM } ML_FUSE;
+
 typedef struct {
   int kind;      /* 0: all, 1: scalar, 2: range, 3: vector */
   double lo, step, hi; /* range/scalar (1-based, inclusive) */
@@ -69,6 +73,9 @@ void ML_load(MATRIX **dst, const char *path);
 double *ML_read_datafile(const char *path, int *rows, int *cols);
 
 void   ML_matrix_multiply(const MATRIX *a, const MATRIX *b, MATRIX **dst);
+/* C = A' * B without materializing the transpose: partial products over
+   the owned rows of A and B, finished with one allreduce. */
+void   ML_matmul_t(const MATRIX *a, const MATRIX *b, MATRIX **dst);
 double ML_dot(const MATRIX *a, const MATRIX *b);
 void   ML_transpose(const MATRIX *a, MATRIX **dst);
 void   ML_diag(const MATRIX *a, MATRIX **dst);
@@ -91,6 +98,16 @@ void   ML_concat(MATRIX **dst, int grid_rows, int grid_cols,
 /* Element access (indices are 0-based here; the compiler subtracts 1). */
 double  ML_broadcast(const MATRIX *m, int i, int j);
 double  ML_broadcast_linear(const MATRIX *m, int g); /* column-major */
+/* Batched ML_broadcast: n elements of one matrix replicated with a
+   single collective.  ri[k] = -1 marks a linear (column-major) index
+   carried in ci[k]; otherwise (ri[k], ci[k]) is a 0-based pair. */
+void    ML_broadcast_batch(const MATRIX *m, int n, const int *ri,
+                           const int *ci, double *out);
+/* Batched sum-combining reductions: one vector allreduce evaluates
+   every slot.  mb[k] is the second operand for ML_FUSE_DOT, NULL
+   otherwise. */
+void    ML_reduce_fused(int n, const int *kind, const MATRIX **ma,
+                        const MATRIX **mb, double *out);
 int     ML_owner(const MATRIX *m, int i, int j);
 int     ML_owner_linear(const MATRIX *m, int g);
 double *ML_realaddr2(MATRIX *m, int i, int j);
@@ -417,6 +434,22 @@ void ML_matrix_multiply(const MATRIX *a, const MATRIX *b, MATRIX **dst) {
   *dst = c;
 }
 
+void ML_matmul_t(const MATRIX *a, const MATRIX *b, MATRIX **dst) {
+  int i, j, k;
+  MATRIX *c = NULL;
+  if (a->rows != b->rows) ML_error("matmul_t: common dimensions disagree");
+  ML_reshape(&c, a->cols, b->cols);
+  for (j = 0; j < a->cols; j++)
+    for (k = 0; k < b->cols; k++) {
+      double acc = 0.0;
+      for (i = 0; i < a->rows; i++)
+        acc += a->data[i * a->cols + j] * b->data[i * b->cols + k];
+      c->data[j * b->cols + k] = acc;
+    }
+  ML_free(dst);
+  *dst = c;
+}
+
 double ML_dot(const MATRIX *a, const MATRIX *b) {
   int i;
   double acc = 0.0;
@@ -515,6 +548,19 @@ void ML_reduce_cols(ML_RED op, const MATRIX *m, MATRIX **dst) {
 }
 
 double ML_norm(const MATRIX *m) { return sqrt(ML_dot(m, m)); }
+
+void ML_reduce_fused(int n, const int *kind, const MATRIX **ma,
+                     const MATRIX **mb, double *out) {
+  int k;
+  for (k = 0; k < n; k++) {
+    switch ((ML_FUSE)kind[k]) {
+    case ML_FUSE_SUM: out[k] = ML_reduce_all(ML_SUM, ma[k]); break;
+    case ML_FUSE_MEAN: out[k] = ML_reduce_all(ML_MEAN, ma[k]); break;
+    case ML_FUSE_DOT: out[k] = ML_dot(ma[k], mb[k]); break;
+    case ML_FUSE_NORM: out[k] = ML_norm(ma[k]); break;
+    }
+  }
+}
 
 void ML_cumulative(int is_prod, const MATRIX *v, MATRIX **dst) {
   int n = v->rows * v->cols, i;
@@ -736,6 +782,14 @@ double ML_broadcast_linear(const MATRIX *m, int g) {
   if (g < 0 || g >= m->rows * m->cols) ML_error("index out of bounds");
   if (m->rows == 1 || m->cols == 1) return m->data[g];
   return m->data[(g % m->rows) * m->cols + (g / m->rows)];
+}
+
+void ML_broadcast_batch(const MATRIX *m, int n, const int *ri,
+                        const int *ci, double *out) {
+  int k;
+  for (k = 0; k < n; k++)
+    out[k] = ri[k] < 0 ? ML_broadcast_linear(m, ci[k])
+                       : ML_broadcast(m, ri[k], ci[k]);
 }
 
 int ML_owner(const MATRIX *m, int i, int j) { (void)m; (void)i; (void)j; return 1; }

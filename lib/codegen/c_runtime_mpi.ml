@@ -232,6 +232,40 @@ void ML_matrix_multiply(const MATRIX *a, const MATRIX *b, MATRIX **dst) {
   *dst = c;
 }
 
+void ML_matmul_t(const MATRIX *a, const MATRIX *b, MATRIX **dst) {
+  if (a->rows != b->rows) ML_error("matmul_t: common dimensions disagree");
+  if (a->rows == 1) {
+    /* row-vector A: the transpose is local, fall back to matmul */
+    MATRIX *at = NULL;
+    ML_transpose(a, &at);
+    ML_matrix_multiply(at, b, dst);
+    ML_free(&at);
+  } else {
+    /* A and B share the row distribution over the common dimension, so
+       each rank forms a full m x k partial product from its owned rows
+       and one allreduce finishes -- no redistribution, no gather. */
+    int m = a->cols, k = b->cols, lr, ja, jb;
+    long mk = (long)m * k, i;
+    double *partial = (double *)calloc(mk > 0 ? mk : 1, sizeof(double));
+    double *full = (double *)malloc(sizeof(double) * (mk > 0 ? mk : 1));
+    MATRIX *c = NULL;
+    for (lr = 0; lr < a->count; lr++)
+      for (ja = 0; ja < m; ja++) {
+        double av = a->data[(long)lr * m + ja];
+        for (jb = 0; jb < k; jb++)
+          partial[(long)ja * k + jb] += av * b->data[(long)lr * k + jb];
+      }
+    MPI_Allreduce(partial, full, (int)mk, MPI_DOUBLE, MPI_SUM,
+                  MPI_COMM_WORLD);
+    ML_reshape(&c, m, k);
+    for (i = 0; i < ML_local_els(c); i++)
+      c->data[i] = full[ml_global_of_local(c, i)];
+    free(partial); free(full);
+    ML_free(dst);
+    *dst = c;
+  }
+}
+
 double ML_dot(const MATRIX *a, const MATRIX *b) {
   long i;
   double local = 0.0, global = 0.0;
@@ -416,6 +450,44 @@ void ML_reduce_cols(ML_RED op, const MATRIX *m, MATRIX **dst) {
 }
 
 double ML_norm(const MATRIX *m) { return sqrt(ML_dot(m, m)); }
+
+/* Every slot is sum-combining, so the local partials travel in a single
+   vector allreduce; mean's divide and norm's sqrt are replicated local
+   arithmetic after the combine.  Slot values are bit-identical to the
+   unfused operations. */
+void ML_reduce_fused(int n, const int *kind, const MATRIX **ma,
+                     const MATRIX **mb, double *out) {
+  double *partial = (double *)malloc(sizeof(double) * (n > 0 ? n : 1));
+  long i;
+  int k;
+  for (k = 0; k < n; k++) {
+    const MATRIX *m = ma[k];
+    double acc = 0.0;
+    switch ((ML_FUSE)kind[k]) {
+    case ML_FUSE_SUM: case ML_FUSE_MEAN:
+      for (i = 0; i < ML_local_els(m); i++) acc += m->data[i];
+      break;
+    case ML_FUSE_DOT:
+      if ((long)m->rows * m->cols != (long)mb[k]->rows * mb[k]->cols)
+        ML_error("dot: length mismatch");
+      for (i = 0; i < ML_local_els(m); i++)
+        acc += m->data[i] * mb[k]->data[i];
+      break;
+    case ML_FUSE_NORM:
+      for (i = 0; i < ML_local_els(m); i++) acc += m->data[i] * m->data[i];
+      break;
+    }
+    partial[k] = acc;
+  }
+  MPI_Allreduce(partial, out, n, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+  for (k = 0; k < n; k++) {
+    if (kind[k] == ML_FUSE_MEAN)
+      out[k] /= (double)ma[k]->rows * ma[k]->cols;
+    else if (kind[k] == ML_FUSE_NORM)
+      out[k] = sqrt(out[k]);
+  }
+  free(partial);
+}
 
 void ML_cumulative(int is_prod, const MATRIX *v, MATRIX **dst) {
   long i, n = ML_local_els(v);
@@ -743,6 +815,28 @@ double ML_broadcast_linear(const MATRIX *m, int g) {
   if (m->rows == 1) return ML_broadcast(m, 0, g);
   if (m->cols == 1) return ML_broadcast(m, g, 0);
   return ML_broadcast(m, g % m->rows, g / m->rows);
+}
+
+/* One collective replicates the whole batch: each owner deposits its
+   values into a zero-filled vector and a sum allreduce combines. */
+void ML_broadcast_batch(const MATRIX *m, int n, const int *ri,
+                        const int *ci, double *out) {
+  double *partial = (double *)calloc(n > 0 ? n : 1, sizeof(double));
+  int k;
+  for (k = 0; k < n; k++) {
+    int i = ri[k], j = ci[k];
+    if (i < 0) {
+      int g = ci[k];
+      if (g < 0 || g >= m->rows * m->cols) ML_error("index out of bounds");
+      if (m->rows == 1) { i = 0; j = g; }
+      else if (m->cols == 1) { i = g; j = 0; }
+      else { i = g % m->rows; j = g / m->rows; }
+    } else if (i >= m->rows || j < 0 || j >= m->cols)
+      ML_error("index out of bounds");
+    if (ML_owner(m, i, j)) partial[k] = *ML_realaddr2((MATRIX *)m, i, j);
+  }
+  MPI_Allreduce(partial, out, n, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+  free(partial);
 }
 
 /* --- output ------------------------------------------------------------- */

@@ -193,6 +193,8 @@ let rec emit_inst em (i : Spmd.Ir.inst) =
   | Spmd.Ir.Icopy (d, s) -> line em "ML_copy(&%s, %s);" (mangle d) (mangle s)
   | Spmd.Ir.Imatmul (d, a, b) ->
       line em "ML_matrix_multiply(%s, %s, &%s);" (mangle a) (mangle b) (mangle d)
+  | Spmd.Ir.Imatmul_t (d, a, b) ->
+      line em "ML_matmul_t(%s, %s, &%s);" (mangle a) (mangle b) (mangle d)
   | Spmd.Ir.Idot (d, a, b) ->
       line em "%s = ML_dot(%s, %s);" (mangle d) (mangle a) (mangle b)
   | Spmd.Ir.Itranspose (d, a) ->
@@ -229,6 +231,55 @@ let rec emit_inst em (i : Spmd.Ir.inst) =
       line em "%s = ML_broadcast(%s, (int)(%s) - 1, (int)(%s) - 1);" (mangle d)
         (mangle m) (sexpr_c i) (sexpr_c j)
   | Spmd.Ir.Ibcast _ -> failwith "codegen: bad broadcast arity"
+  | Spmd.Ir.Ibcast_batch (items, m) ->
+      (* row index -1 marks a linear (column-major) index carried in
+         the column slot, decoded per shape by the run time *)
+      let n = List.length items in
+      line em "{";
+      em.indent <- em.indent + 2;
+      line em "int ML_bi[%d], ML_bj[%d]; double ML_bv[%d];" n n n;
+      List.iteri
+        (fun k (_, idx) ->
+          match idx with
+          | [ i ] ->
+              line em "ML_bi[%d] = -1; ML_bj[%d] = (int)(%s) - 1;" k k
+                (sexpr_c i)
+          | [ i; j ] ->
+              line em "ML_bi[%d] = (int)(%s) - 1; ML_bj[%d] = (int)(%s) - 1;"
+                k (sexpr_c i) k (sexpr_c j)
+          | _ -> failwith "codegen: bad broadcast arity")
+        items;
+      line em "ML_broadcast_batch(%s, %d, ML_bi, ML_bj, ML_bv);" (mangle m) n;
+      List.iteri
+        (fun k (d, _) -> line em "%s = ML_bv[%d];" (mangle d) k)
+        items;
+      em.indent <- em.indent - 2;
+      line em "}"
+  | Spmd.Ir.Ireduce_fused items ->
+      let n = List.length items in
+      line em "{";
+      em.indent <- em.indent + 2;
+      line em "int ML_fk[%d]; const MATRIX *ML_fa[%d], *ML_fb[%d];" n n n;
+      line em "double ML_fv[%d];" n;
+      List.iteri
+        (fun k (_, r) ->
+          let kind, a, b =
+            match r with
+            | Spmd.Ir.Fsum m -> ("ML_FUSE_SUM", m, None)
+            | Spmd.Ir.Fmean m -> ("ML_FUSE_MEAN", m, None)
+            | Spmd.Ir.Fdot (a, b) -> ("ML_FUSE_DOT", a, Some b)
+            | Spmd.Ir.Fnorm m -> ("ML_FUSE_NORM", m, None)
+          in
+          line em "ML_fk[%d] = %s; ML_fa[%d] = %s; ML_fb[%d] = %s;" k kind k
+            (mangle a) k
+            (match b with Some b -> mangle b | None -> "NULL"))
+        items;
+      line em "ML_reduce_fused(%d, ML_fk, ML_fa, ML_fb, ML_fv);" n;
+      List.iteri
+        (fun k (d, _) -> line em "%s = ML_fv[%d];" (mangle d) k)
+        items;
+      em.indent <- em.indent - 2;
+      line em "}"
   | Spmd.Ir.Isetelem (m, [ i ], v) ->
       line em "{";
       em.indent <- em.indent + 2;

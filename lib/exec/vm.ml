@@ -43,6 +43,7 @@ let inst_name : Ir.inst -> string = function
   | Ir.Ielem _ -> "element-wise expression"
   | Ir.Icopy _ -> "matrix copy"
   | Ir.Imatmul _ -> "matrix multiply"
+  | Ir.Imatmul_t _ -> "transposed matrix multiply"
   | Ir.Idot _ -> "dot product"
   | Ir.Itranspose _ -> "transpose"
   | Ir.Idiag _ -> "diagonal"
@@ -56,6 +57,8 @@ let inst_name : Ir.inst -> string = function
   | Ir.Itrapz _ -> "trapezoidal integration"
   | Ir.Ishift _ -> "circular shift"
   | Ir.Ibcast _ -> "element broadcast"
+  | Ir.Ibcast_batch _ -> "batched element broadcast"
+  | Ir.Ireduce_fused _ -> "fused allreduce"
   | Ir.Isetelem _ -> "element assignment"
   | Ir.Iload _ -> "data file load"
   | Ir.Iconstruct _ -> "matrix constructor"
@@ -325,6 +328,9 @@ let rec exec_inst fr (i : Ir.inst) =
       | v -> Hashtbl.replace fr.env d v)
   | Ir.Imatmul (d, a, b) ->
       Hashtbl.replace fr.env d (Vmat (Ops.matmul (mat_of fr a) (mat_of fr b)))
+  | Ir.Imatmul_t (d, a, b) ->
+      Hashtbl.replace fr.env d
+        (Vmat (Ops.matmul_t (mat_of fr a) (mat_of fr b)))
   | Ir.Idot (d, a, b) ->
       Hashtbl.replace fr.env d (Vscalar (Ops.dot (mat_of fr a) (mat_of fr b)))
   | Ir.Itranspose (d, a) ->
@@ -376,6 +382,28 @@ let rec exec_inst fr (i : Ir.inst) =
       let mm = mat_of fr m in
       let i, j = elem_coords fr mm idx in
       Hashtbl.replace fr.env d (Vscalar (Ops.bcast_elem mm ~i ~j))
+  | Ir.Ibcast_batch (items, m) ->
+      let mm = mat_of fr m in
+      let coords = List.map (fun (_, idx) -> elem_coords fr mm idx) items in
+      let values = Ops.bcast_elems mm coords in
+      List.iteri
+        (fun k (d, _) -> Hashtbl.replace fr.env d (Vscalar values.(k)))
+        items
+  | Ir.Ireduce_fused items ->
+      let slots =
+        List.map
+          (fun (_, r) ->
+            match r with
+            | Ir.Fsum m -> Ops.Fsum (mat_of fr m)
+            | Ir.Fmean m -> Ops.Fmean (mat_of fr m)
+            | Ir.Fdot (a, b) -> Ops.Fdot (mat_of fr a, mat_of fr b)
+            | Ir.Fnorm m -> Ops.Fnorm (mat_of fr m))
+          items
+      in
+      let values = Ops.reduce_fused slots in
+      List.iteri
+        (fun k (d, _) -> Hashtbl.replace fr.env d (Vscalar values.(k)))
+        items
   | Ir.Isetelem (m, idx, v) ->
       let mm = mat_of fr m in
       let i, j = elem_coords fr mm idx in

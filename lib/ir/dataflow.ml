@@ -129,6 +129,7 @@ let map_uses (f : string -> string) (i : Ir.inst) : Ir.inst =
   | Ir.Ielem e -> Ir.Ielem { e with model = f e.model; expr = map_eexpr f e.expr }
   | Ir.Icopy (d, s) -> Ir.Icopy (d, f s)
   | Ir.Imatmul (d, a, b) -> Ir.Imatmul (d, f a, f b)
+  | Ir.Imatmul_t (d, a, b) -> Ir.Imatmul_t (d, f a, f b)
   | Ir.Idot (d, a, b) -> Ir.Idot (d, f a, f b)
   | Ir.Itranspose (d, a) -> Ir.Itranspose (d, f a)
   | Ir.Idiag (d, a) -> Ir.Idiag (d, f a)
@@ -142,6 +143,20 @@ let map_uses (f : string -> string) (i : Ir.inst) : Ir.inst =
   | Ir.Itrapz (d, x, y) -> Ir.Itrapz (d, Option.map f x, f y)
   | Ir.Ishift (d, s, k) -> Ir.Ishift (d, f s, map_sexpr f k)
   | Ir.Ibcast (d, m, idx) -> Ir.Ibcast (d, f m, List.map (map_sexpr f) idx)
+  | Ir.Ibcast_batch (items, m) ->
+      Ir.Ibcast_batch
+        (List.map (fun (d, idx) -> (d, List.map (map_sexpr f) idx)) items, f m)
+  | Ir.Ireduce_fused items ->
+      Ir.Ireduce_fused
+        (List.map
+           (fun (d, r) ->
+             ( d,
+               match r with
+               | Ir.Fsum m -> Ir.Fsum (f m)
+               | Ir.Fmean m -> Ir.Fmean (f m)
+               | Ir.Fdot (a, b) -> Ir.Fdot (f a, f b)
+               | Ir.Fnorm m -> Ir.Fnorm (f m) ))
+           items)
   | Ir.Isetelem (m, idx, v) ->
       (* [m] is the in-place update target, not a forwardable read *)
       Ir.Isetelem (m, List.map (map_sexpr f) idx, map_sexpr f v)

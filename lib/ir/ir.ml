@@ -47,6 +47,16 @@ type rkind = Rsum | Rprod | Rmin | Rmax | Rmean | Rany | Rall
 
 type scan_kind = Scumsum | Scumprod
 
+(* One slot of a fused vector allreduce ([Ireduce_fused]).  Every
+   alternative combines by summation, so a whole batch travels as a
+   single Sum allreduce; the per-slot postprocessing (mean's division,
+   norm's square root) is replicated local arithmetic. *)
+type fused =
+  | Fsum of var (* sum over all elements *)
+  | Fmean of var (* sum / numel, division after the combine *)
+  | Fdot of var * var (* inner product *)
+  | Fnorm of var (* 2-norm: sqrt of the summed squares *)
+
 (* Matrix constructors. *)
 type ckind =
   | Czeros
@@ -72,6 +82,9 @@ type inst =
     (* dst gets the shape of [model]; one fused local loop *)
   | Icopy of var * var (* matrix copy (assignment between matrix vars) *)
   | Imatmul of var * var * var (* dst = a * b (ML_matrix_multiply) *)
+  | Imatmul_t of var * var * var
+    (* dst = a' * b (ML_matmul_t): the transpose is never materialized,
+       so the all-to-all redistribution it implies is skipped *)
   | Idot of var * var * var (* scalar dst = a . b *)
   | Itranspose of var * var
   | Idiag of var * var
@@ -88,6 +101,12 @@ type inst =
   | Itrapz of var * var option * var (* scalar dst = trapz(x?, y) *)
   | Ishift of var * var * sexpr (* dst = circshift(src, k) *)
   | Ibcast of var * var * sexpr list (* scalar dst = mat(i[,j]): ML_broadcast *)
+  | Ibcast_batch of (var * sexpr list) list * var
+    (* scalar dsts = mat(i[,j]) each: adjacent element broadcasts from
+       one matrix coalesced into a single ML_broadcast_batch *)
+  | Ireduce_fused of (var * fused) list
+    (* scalar dsts = sum-combining reductions fused into one vector
+       allreduce (ML_reduce_fused) *)
   | Isetelem of var * sexpr list * sexpr (* mat(i[,j]) = scalar: owner guard *)
   | Iload of { dst : var; file : string } (* matrix from a data file *)
   | Iconstruct of { dst : var; kind : ckind; args : sexpr list }
@@ -138,9 +157,11 @@ let rec iter_insts f (b : block) =
           iter_insts f els
       | Iwhile (_, blk) -> iter_insts f blk
       | Ifor (_, _, _, _, blk) -> iter_insts f blk
-      | Iscalar _ | Ielem _ | Icopy _ | Imatmul _ | Idot _ | Itranspose _
+      | Iscalar _ | Ielem _ | Icopy _ | Imatmul _ | Imatmul_t _ | Idot _
+      | Itranspose _
       | Idiag _ | Iouter _ | Ireduce_all _ | Ireduce_cols _ | Inorm _ | Iscan _
-      | Isort _ | Ireduce_loc _ | Itrapz _ | Ishift _ | Ibcast _ | Isetelem _
+      | Isort _ | Ireduce_loc _ | Itrapz _ | Ishift _ | Ibcast _
+      | Ibcast_batch _ | Ireduce_fused _ | Isetelem _
       | Isetsection _ | Iload _ | Iconstruct _ | Iliteral _ | Isection _
       | Iconcat _ | Icalluser _ | Iprint _ | Iprintf _ | Ierror _ | Ibreak
       | Icontinue | Ireturn ->
@@ -180,7 +201,9 @@ let inst_uses = function
   | Iscalar (_, s) -> sexpr_uses [] s
   | Ielem { model; expr; _ } -> model :: eexpr_uses [] expr
   | Icopy (_, src) -> [ src ]
-  | Imatmul (_, a, b) | Idot (_, a, b) | Iouter (_, a, b) -> [ a; b ]
+  | Imatmul (_, a, b) | Imatmul_t (_, a, b) | Idot (_, a, b) | Iouter (_, a, b)
+    ->
+      [ a; b ]
   | Itranspose (_, a) | Idiag (_, a) | Inorm (_, a) | Iscan (_, _, a) -> [ a ]
   | Ireduce_loc { arg; _ } -> [ arg ]
   | Isort { arg; _ } -> [ arg ]
@@ -188,6 +211,18 @@ let inst_uses = function
   | Itrapz (_, x, y) -> ( match x with Some x -> [ x; y ] | None -> [ y ])
   | Ishift (_, src, k) -> src :: sexpr_uses [] k
   | Ibcast (_, m, idx) -> m :: List.fold_left sexpr_uses [] idx
+  | Ibcast_batch (items, m) ->
+      m
+      :: List.fold_left
+           (fun acc (_, idx) -> List.fold_left sexpr_uses acc idx)
+           [] items
+  | Ireduce_fused items ->
+      List.concat_map
+        (fun (_, r) ->
+          match r with
+          | Fsum m | Fmean m | Fnorm m -> [ m ]
+          | Fdot (a, b) -> [ a; b ])
+        items
   | Isetelem (m, idx, v) -> m :: sexpr_uses (List.fold_left sexpr_uses [] idx) v
   | Iload _ -> []
   | Iconstruct { args; _ } -> List.fold_left sexpr_uses [] args
@@ -221,6 +256,7 @@ let inst_defs = function
   | Ielem { dst; _ } -> [ dst ]
   | Icopy (d, _)
   | Imatmul (d, _, _)
+  | Imatmul_t (d, _, _)
   | Idot (d, _, _)
   | Itranspose (d, _)
   | Idiag (d, _)
@@ -234,6 +270,8 @@ let inst_defs = function
   | Iscan (d, _, _) ->
       [ d ]
   | Ireduce_loc { vdst; idst; _ } -> [ vdst; idst ]
+  | Ibcast_batch (items, _) -> List.map fst items
+  | Ireduce_fused items -> List.map fst items
   | Isort { vdst; idst; _ } -> (
       match idst with Some i -> [ vdst; i ] | None -> [ vdst ])
   | Isetelem (m, _, _) -> [ m ] (* in-place update *)
@@ -250,10 +288,12 @@ let inst_defs = function
 (* Is the instruction free of observable effects other than its
    definitions?  Used by dead-code elimination. *)
 let inst_pure = function
-  | Iscalar _ | Ielem _ | Icopy _ | Imatmul _ | Idot _ | Itranspose _
+  | Iscalar _ | Ielem _ | Icopy _ | Imatmul _ | Imatmul_t _ | Idot _
+  | Itranspose _
   | Idiag _ | Iouter _ | Ireduce_all _ | Ireduce_cols _ | Inorm _ | Itrapz _
   | Ishift _
-  | Ibcast _ | Iconstruct _ | Iliteral _ | Isection _ | Iconcat _ | Iscan _
+  | Ibcast _ | Ibcast_batch _ | Ireduce_fused _ | Iconstruct _ | Iliteral _
+  | Isection _ | Iconcat _ | Iscan _
   | Ireduce_loc _ | Iload _ | Isort _ ->
       true
   | Isetelem _ | Isetsection _ | Icalluser _ | Iprint _ | Iprintf _ | Ierror _

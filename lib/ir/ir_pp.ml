@@ -54,6 +54,12 @@ let sel ppf = function
       Fmt.pf ppf "%a:%a:%a" sexpr a sexpr st sexpr b
   | Ir.Sel_vec v -> Fmt.pf ppf "<%s>" v
 
+let fused ppf = function
+  | Ir.Fsum m -> Fmt.pf ppf "sum(%s)" m
+  | Ir.Fmean m -> Fmt.pf ppf "mean(%s)" m
+  | Ir.Fdot (a, b) -> Fmt.pf ppf "dot(%s, %s)" a b
+  | Ir.Fnorm m -> Fmt.pf ppf "norm(%s)" m
+
 let print_arg ppf = function
   | Ir.Pscalar s -> sexpr ppf s
   | Ir.Pmat v -> Fmt.string ppf v
@@ -67,6 +73,7 @@ let rec inst ~indent ppf (i : Ir.inst) =
       Fmt.pf ppf "%t%s = elemwise[shape %s] %a" pad dst model eexpr expr
   | Ir.Icopy (d, s) -> Fmt.pf ppf "%t%s = copy %s" pad d s
   | Ir.Imatmul (d, a, b) -> Fmt.pf ppf "%t%s = matmul(%s, %s)" pad d a b
+  | Ir.Imatmul_t (d, a, b) -> Fmt.pf ppf "%t%s = matmul_t(%s, %s)" pad d a b
   | Ir.Idot (d, a, b) -> Fmt.pf ppf "%t%s = dot(%s, %s)" pad d a b
   | Ir.Itranspose (d, a) -> Fmt.pf ppf "%t%s = transpose(%s)" pad d a
   | Ir.Idiag (d, a) -> Fmt.pf ppf "%t%s = diag(%s)" pad d a
@@ -91,6 +98,19 @@ let rec inst ~indent ppf (i : Ir.inst) =
       Fmt.pf ppf "%t%s = broadcast %s(%a)" pad d m
         (Fmt.list ~sep:(Fmt.any ", ") sexpr)
         idx
+  | Ir.Ibcast_batch (items, m) ->
+      Fmt.pf ppf "%t[%a] = broadcast_batch %s{%a}" pad
+        (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+        (List.map fst items) m
+        (Fmt.list ~sep:(Fmt.any "; ") (fun ppf (_, idx) ->
+             Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any ", ") sexpr) idx))
+        items
+  | Ir.Ireduce_fused items ->
+      Fmt.pf ppf "%t[%a] = allreduce_fused[%a]" pad
+        (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+        (List.map fst items)
+        (Fmt.list ~sep:(Fmt.any "; ") fused)
+        (List.map snd items)
   | Ir.Isetelem (m, idx, v) ->
       Fmt.pf ppf "%tif owner: %s(%a) = %a" pad m
         (Fmt.list ~sep:(Fmt.any ", ") sexpr)

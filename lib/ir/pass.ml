@@ -10,7 +10,8 @@
    Levels:
    - O0: no passes -- the IR exactly as lowered;
    - O1: the peephole pass alone (the historical default pipeline);
-   - O2: peephole, then the global dataflow passes. *)
+   - O2: peephole, then the global dataflow passes, then the
+     communication optimizer. *)
 
 type t = {
   name : string;
@@ -69,7 +70,16 @@ let fold_construct : t =
     run = Fold.run;
   }
 
-let registry : t list = [ peephole; licm; gre; copyprop; fold_construct ]
+let comm : t =
+  {
+    name = "comm";
+    descr = "communication optimization: batch adjacent element \
+             broadcasts, fuse sum-combining reductions into one vector \
+             allreduce, eliminate transpose-feeding-matmul pairs";
+    run = Comm.run;
+  }
+
+let registry : t list = [ peephole; licm; gre; copyprop; fold_construct; comm ]
 
 exception Unknown_pass of string
 
@@ -85,7 +95,7 @@ let level_name = function O0 -> "O0" | O1 -> "O1" | O2 -> "O2"
 let level_passes = function
   | O0 -> []
   | O1 -> [ "peephole" ]
-  | O2 -> [ "peephole"; "licm"; "gre"; "copyprop"; "fold-construct" ]
+  | O2 -> [ "peephole"; "licm"; "gre"; "copyprop"; "fold-construct"; "comm" ]
 
 (* What one pass did on one program. *)
 type record = {

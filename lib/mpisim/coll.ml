@@ -32,42 +32,46 @@ let tag_bcast = 1001
 let tag_reduce = 1002
 let tag_gather = 1003
 let tag_ring = 1004
+let tag_allreduce = 1006
 
-(* Binomial-tree broadcast of a float array rooted at [root]. *)
-let bcast ~root (data : float array) : float array =
-  let p = Sim.size () in
-  if p = 1 then data
-  else begin
-    let me = Sim.rank () in
-    let rel = (me - root + p) mod p in
-    let buf = ref (if me = root then data else [||]) in
-    let mask = ref 1 in
-    (* Find the round in which we receive: highest bit of rel. *)
-    (if rel > 0 then begin
-       let recv_mask = ref 1 in
-       while !recv_mask * 2 <= rel do
-         recv_mask := !recv_mask * 2
-       done;
-       let src_rel = rel - !recv_mask in
-       let src = (src_rel + root) mod p in
-       buf := Reliable.recv_floats ~src ~tag:tag_bcast;
-       mask := !recv_mask * 2
-     end);
-    (* Forward to children in the remaining rounds. *)
-    while !mask < p do
-      let dst_rel = rel + !mask in
-      if rel < !mask && dst_rel < p then begin
-        let dst = (dst_rel + root) mod p in
-        Reliable.send ~dst ~tag:tag_bcast (Sim.Floats !buf)
-      end;
-      mask := !mask * 2
-    done;
-    !buf
-  end
+(* Element-wise in-place combine, accounting one flop per element. *)
+let combine op (acc : float array) (other : float array) =
+  for i = 0 to Array.length acc - 1 do
+    acc.(i) <- apply_op op acc.(i) other.(i)
+  done;
+  Sim.flops (float_of_int (Array.length acc))
 
-(* Linear broadcast: the root sends to every rank directly.  Kept as
-   the ablation baseline for the binomial tree above (O(P) root serial
-   time instead of O(log P) rounds). *)
+(* Relative-rank helpers: the tree collectives rotate ranks so the
+   root sits at relative rank 0. *)
+let rel_of ~root me p = (me - root + p) mod p
+let abs_of ~root rel p = (rel + root) mod p
+
+(* The binomial-tree schedule shared by [bcast] and [reduce]: for
+   relative rank [rel] among [p] ranks, the in-range child partners
+   (at [rel + mask] for every power-of-two mask below the first set
+   bit of [rel]) in ascending mask order, and the parent partner (at
+   [rel - first_set_bit rel]; [None] for the root).  The two
+   collectives walk the same tree in opposite directions: bcast
+   receives from the parent and then feeds the children, reduce
+   drains the children and then reports to the parent. *)
+let tree_schedule p rel =
+  let children = ref [] and parent = ref None in
+  let mask = ref 1 in
+  while !mask < p && !parent = None do
+    if rel land !mask <> 0 then parent := Some (rel - !mask)
+    else begin
+      let c = rel + !mask in
+      if c < p then children := c :: !children
+    end;
+    mask := !mask * 2
+  done;
+  (List.rev !children, !parent)
+
+(* Linear broadcast: the root sends to every rank directly.  Used
+   outright when P <= 2 -- the tree degenerates to the same single
+   message without the mask bookkeeping -- and kept as the ablation
+   baseline for the binomial tree (O(P) root serial time instead of
+   O(log P) rounds). *)
 let bcast_linear ~root (data : float array) : float array =
   let p = Sim.size () in
   let me = Sim.rank () in
@@ -80,6 +84,29 @@ let bcast_linear ~root (data : float array) : float array =
   end
   else Reliable.recv_floats ~src:root ~tag:tag_bcast
 
+(* Binomial-tree broadcast of a float array rooted at [root].
+   Children are fed in descending-mask order, largest subtree first. *)
+let bcast ~root (data : float array) : float array =
+  let p = Sim.size () in
+  if p <= 2 then bcast_linear ~root data
+  else begin
+    let me = Sim.rank () in
+    let rel = rel_of ~root me p in
+    let children, parent = tree_schedule p rel in
+    let buf =
+      match parent with
+      | None -> data
+      | Some prel ->
+          Reliable.recv_floats ~src:(abs_of ~root prel p) ~tag:tag_bcast
+    in
+    List.iter
+      (fun crel ->
+        Reliable.send ~dst:(abs_of ~root crel p) ~tag:tag_bcast
+          (Sim.Floats buf))
+      (List.rev children);
+    buf
+  end
+
 (* Binomial-tree reduction to [root]; every rank contributes [data],
    the root's return value holds the element-wise combination.  Other
    ranks get their partial result (callers use allreduce when everyone
@@ -89,37 +116,85 @@ let reduce ~root ~op (data : float array) : float array =
   if p = 1 then data
   else begin
     let me = Sim.rank () in
-    let rel = (me - root + p) mod p in
+    let rel = rel_of ~root me p in
+    let children, parent = tree_schedule p rel in
     let acc = Array.copy data in
-    let len = Array.length data in
-    let mask = ref 1 in
-    let sent = ref false in
-    while (not !sent) && !mask < p do
-      if rel land !mask <> 0 then begin
-        let dst = (rel - !mask + root) mod p in
-        Reliable.send ~dst ~tag:tag_reduce (Sim.Floats acc);
-        sent := true
-      end
-      else begin
-        let src_rel = rel + !mask in
-        if src_rel < p then begin
-          let src = (src_rel + root) mod p in
-          let other = Reliable.recv_floats ~src ~tag:tag_reduce in
-          for i = 0 to len - 1 do
-            acc.(i) <- apply_op op acc.(i) other.(i)
-          done;
-          Sim.flops (float_of_int len)
-        end;
-        mask := !mask * 2
-      end
-    done;
+    List.iter
+      (fun crel ->
+        let other =
+          Reliable.recv_floats ~src:(abs_of ~root crel p) ~tag:tag_reduce
+        in
+        combine op acc other)
+      children;
+    (match parent with
+    | None -> ()
+    | Some prel ->
+        Reliable.send ~dst:(abs_of ~root prel p) ~tag:tag_reduce
+          (Sim.Floats acc));
     acc
   end
 
-let allreduce ~op data =
-  let root = 0 in
-  let reduced = reduce ~root ~op data in
-  bcast ~root reduced
+(* Recursive-doubling allreduce: every rank ends with the element-wise
+   combination in log P rounds of pairwise exchange, instead of the
+   2 log P rounds of reduce-then-broadcast.  The combination order is
+   fixed by rank -- lower-rank data always goes on the left -- so every
+   rank produces a bit-identical result (required by the loosely
+   synchronous model, where the value often steers replicated control
+   flow) with the same bracketing as the binomial reduce tree.
+   Non-power-of-two sizes fold the surplus onto the power-of-two core
+   first (the lowest [2*(P - 2^k)] ranks pair up, evens passing their
+   contribution to their odd neighbour) and hand the surplus ranks the
+   finished result afterwards. *)
+let allreduce ~op (data : float array) : float array =
+  let p = Sim.size () in
+  if p = 1 then Array.copy data
+  else begin
+    let me = Sim.rank () in
+    let pof2 = ref 1 in
+    while !pof2 * 2 <= p do
+      pof2 := !pof2 * 2
+    done;
+    let pof2 = !pof2 in
+    let rem = p - pof2 in
+    let acc = ref (Array.copy data) in
+    let newrank =
+      if me < 2 * rem then
+        if me land 1 = 0 then begin
+          Reliable.send ~dst:(me + 1) ~tag:tag_allreduce (Sim.Floats !acc);
+          -1
+        end
+        else begin
+          let other = Reliable.recv_floats ~src:(me - 1) ~tag:tag_allreduce in
+          (* the sender is the lower rank: its data goes on the left *)
+          let merged = Array.copy other in
+          combine op merged !acc;
+          acc := merged;
+          me / 2
+        end
+      else me - rem
+    in
+    (if newrank >= 0 then
+       let real r = if r < rem then (2 * r) + 1 else r + rem in
+       let mask = ref 1 in
+       while !mask < pof2 do
+         let partner = real (newrank lxor !mask) in
+         Reliable.send ~dst:partner ~tag:tag_allreduce (Sim.Floats !acc);
+         let other = Reliable.recv_floats ~src:partner ~tag:tag_allreduce in
+         if newrank land !mask <> 0 then begin
+           (* the partner's block sits to our left *)
+           let merged = Array.copy other in
+           combine op merged !acc;
+           acc := merged
+         end
+         else combine op !acc other;
+         mask := !mask * 2
+       done);
+    if me < 2 * rem then
+      if me land 1 = 0 then
+        acc := Reliable.recv_floats ~src:(me + 1) ~tag:tag_allreduce
+      else Reliable.send ~dst:(me - 1) ~tag:tag_allreduce (Sim.Floats !acc);
+    !acc
+  end
 
 let barrier () = ignore (allreduce ~op:Sum [| 0. |])
 

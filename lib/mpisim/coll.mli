@@ -5,7 +5,8 @@
 type op = Sum | Prod | Min | Max | Land | Lor
 
 val bcast : root:int -> float array -> float array
-(** Binomial-tree broadcast; every rank returns the root's data. *)
+(** Binomial-tree broadcast; every rank returns the root's data.
+    Degenerates to {!bcast_linear} when P <= 2. *)
 
 val bcast_linear : root:int -> float array -> float array
 (** Root sends to each rank directly; the ablation baseline. *)
@@ -14,6 +15,10 @@ val reduce : root:int -> op:op -> float array -> float array
 (** Binomial-tree reduction; meaningful on the root only. *)
 
 val allreduce : op:op -> float array -> float array
+(** Recursive-doubling allreduce (log P rounds of pairwise exchange).
+    The combination order is fixed by rank, so every rank returns a
+    bit-identical array. *)
+
 val allreduce_scalar : op:op -> float -> float
 val bcast_scalar : root:int -> float -> float
 val barrier : unit -> unit

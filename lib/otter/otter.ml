@@ -102,7 +102,8 @@ let report (c : compiled) : string =
         | Spmd.Ir.Ireduce_cols _
         | Spmd.Ir.Inorm _ | Spmd.Ir.Itrapz _ | Spmd.Ir.Ishift _
         | Spmd.Ir.Ibcast _ | Spmd.Ir.Iscan _ | Spmd.Ir.Ireduce_loc _
-        | Spmd.Ir.Isection _ | Spmd.Ir.Iconcat _ ->
+        | Spmd.Ir.Isection _ | Spmd.Ir.Iconcat _ | Spmd.Ir.Imatmul_t _
+        | Spmd.Ir.Ibcast_batch _ | Spmd.Ir.Ireduce_fused _ ->
             incr comm
         | Spmd.Ir.Ielem _ -> incr elem
         | _ -> ())

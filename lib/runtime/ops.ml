@@ -62,8 +62,9 @@ let matmul (a : Dmat.t) (b : Dmat.t) : Dmat.t =
     Dmat.of_dense ~rows:1 ~cols:n full
   end
 
-(* Dot product of two vectors with identical distribution. *)
-let dot (a : Dmat.t) (b : Dmat.t) : float =
+(* Local contribution to a dot product (the pre-combine partial; also
+   one slot of a fused allreduce). *)
+let local_dot (a : Dmat.t) (b : Dmat.t) : float =
   if Dmat.numel a <> Dmat.numel b then failwith "dot: length mismatch";
   let la = Dmat.local_len a and lb = Dmat.local_len b in
   if la <> lb then failwith "dot: distribution mismatch";
@@ -72,7 +73,11 @@ let dot (a : Dmat.t) (b : Dmat.t) : float =
     acc := !acc +. (a.data.(i) *. b.data.(i))
   done;
   Sim.flops (2. *. float_of_int la);
-  Coll.allreduce_scalar ~op:Coll.Sum !acc
+  !acc
+
+(* Dot product of two vectors with identical distribution. *)
+let dot (a : Dmat.t) (b : Dmat.t) : float =
+  Coll.allreduce_scalar ~op:Coll.Sum (local_dot a b)
 
 (* Transpose.  Vector transposes are free: an n x 1 column and a 1 x n
    row share the same element-block distribution.  General transposes
@@ -144,6 +149,36 @@ let transpose_gather (m : Dmat.t) : Dmat.t =
     Dmat.init_rc ~rows:m.cols ~cols:m.rows (fun i j -> dense.((j * m.cols) + i))
   end
 
+(* C = A' * B without materializing the transpose (ML_matmul_t).  Both
+   operands share the same row-block distribution over the common
+   dimension, so each rank forms the full m x k partial product of its
+   own rows and a single allreduce finishes the sum -- no all-to-all
+   redistribution for the transpose and no gather of either operand.
+   A row-vector A (the common dimension is 1) is column-distributed
+   instead; its transpose is free, so fall back to the plain kernel. *)
+let matmul_t (a : Dmat.t) (b : Dmat.t) : Dmat.t =
+  if a.rows <> b.rows then
+    failwith
+      (Printf.sprintf "matmul_t: inner dimensions disagree (%dx%d' * %dx%d)"
+         a.rows a.cols b.rows b.cols);
+  if a.rows = 1 then matmul (transpose a) b
+  else begin
+    let m = a.cols and k = b.cols in
+    let partial = Array.make (m * k) 0. in
+    for lr = 0 to a.count - 1 do
+      for ja = 0 to m - 1 do
+        let av = a.data.((lr * m) + ja) in
+        for jb = 0 to k - 1 do
+          partial.((ja * k) + jb) <-
+            partial.((ja * k) + jb) +. (av *. b.data.((lr * k) + jb))
+        done
+      done
+    done;
+    Sim.flops (2. *. float_of_int (a.count * m * k));
+    let full = Coll.allreduce ~op:Coll.Sum partial in
+    Dmat.of_dense ~rows:m ~cols:k full
+  end
+
 (* diag: a vector of n elements becomes the n x n matrix carrying it on
    the main diagonal; a general matrix yields its min(rows, cols)-element
    diagonal as a column vector.  Both directions redistribute elements
@@ -211,14 +246,19 @@ let coll_op = function
   | Rany -> Coll.Lor
   | Rall -> Coll.Land
 
-(* Reduce all elements of a vector (or full matrix) to one scalar. *)
-let reduce_all op (m : Dmat.t) : float =
+(* Local fold over the owned elements (the pre-combine partial; also
+   one slot of a fused allreduce). *)
+let local_red op (m : Dmat.t) : float =
   let acc = ref (red_init op) in
   for i = 0 to Dmat.local_len m - 1 do
     acc := red_combine op !acc m.data.(i)
   done;
   Sim.flops (float_of_int (Dmat.local_len m));
-  Coll.allreduce_scalar ~op:(coll_op op) !acc
+  !acc
+
+(* Reduce all elements of a vector (or full matrix) to one scalar. *)
+let reduce_all op (m : Dmat.t) : float =
+  Coll.allreduce_scalar ~op:(coll_op op) (local_red op m)
 
 (* Column-wise reduction of a row-distributed matrix -> 1 x cols. *)
 let reduce_cols op (m : Dmat.t) : Dmat.t =
@@ -245,6 +285,38 @@ let mean_cols (m : Dmat.t) =
   s
 
 let norm2 (v : Dmat.t) = sqrt (dot v v)
+
+(* One slot of a fused allreduce (the compiler's Ireduce_fused): only
+   sum-combining reductions fuse, so the whole batch travels as a
+   single Sum allreduce of one vector, followed by replicated local
+   postprocessing (mean's division, norm's square root).  Slot values
+   are bit-identical to the unfused operations: the local partials and
+   the per-element combine tree are the same. *)
+type fused =
+  | Fsum of Dmat.t
+  | Fmean of Dmat.t
+  | Fdot of Dmat.t * Dmat.t
+  | Fnorm of Dmat.t
+
+let reduce_fused (slots : fused list) : float array =
+  let local =
+    Array.of_list
+      (List.map
+         (function
+           | Fsum m | Fmean m -> local_red Rsum m
+           | Fdot (a, b) -> local_dot a b
+           | Fnorm v -> local_dot v v)
+         slots)
+  in
+  let full = Coll.allreduce ~op:Coll.Sum local in
+  List.iteri
+    (fun i s ->
+      match s with
+      | Fmean m -> full.(i) <- full.(i) /. float_of_int (Dmat.numel m)
+      | Fnorm _ -> full.(i) <- sqrt full.(i)
+      | Fsum _ | Fdot _ -> ())
+    slots;
+  full
 
 (* Cumulative sum/product along a vector: local scan plus an exclusive
    scan of the per-rank totals (recursive doubling, log P rounds). *)
@@ -363,6 +435,57 @@ let bcast_elem (m : Dmat.t) ~i ~j : float =
   let root = Dmat.owner_rank m ~i ~j in
   let v = if Dmat.owner m ~i ~j then Dmat.get_local m ~i ~j else 0. in
   Coll.bcast_scalar ~root v
+
+let tag_bcast_batch = 3004
+
+(* Batched ML_broadcast: several elements of one matrix fetched at
+   once.  The coordinates are replicated, so every rank computes the
+   same owner plan: ranks owning requested elements ship their packed
+   slot values to rank 0 and one tree broadcast replicates the
+   assembled batch.  That is at most (owning ranks + P - 1) messages,
+   against one (P - 1)-message broadcast tree per element. *)
+let bcast_elems (m : Dmat.t) (coords : (int * int) list) : float array =
+  let coords = Array.of_list coords in
+  let n = Array.length coords in
+  let owners =
+    Array.map
+      (fun (i, j) ->
+        if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+          failwith
+            (Printf.sprintf "index (%d,%d) out of bounds %dx%d" (i + 1)
+               (j + 1) m.rows m.cols);
+        Dmat.owner_rank m ~i ~j)
+      coords
+  in
+  let me = Sim.rank () and root = 0 in
+  let buf = Array.make n 0. in
+  for k = 0 to n - 1 do
+    if owners.(k) = me then
+      let i, j = coords.(k) in
+      buf.(k) <- Dmat.get_local m ~i ~j
+  done;
+  if me = root then
+    for src = 0 to Sim.size () - 1 do
+      if src <> root && Array.exists (fun o -> o = src) owners then begin
+        let chunk = Rel.recv_floats ~src ~tag:tag_bcast_batch in
+        let next = ref 0 in
+        for k = 0 to n - 1 do
+          if owners.(k) = src then begin
+            buf.(k) <- chunk.(!next);
+            incr next
+          end
+        done
+      end
+    done
+  else if Array.exists (fun o -> o = me) owners then begin
+    let mine = ref [] in
+    for k = n - 1 downto 0 do
+      if owners.(k) = me then mine := buf.(k) :: !mine
+    done;
+    Rel.send ~dst:root ~tag:tag_bcast_batch
+      (Sim.Floats (Array.of_list !mine))
+  end;
+  Coll.bcast ~root buf
 
 (* Guarded store: only the owner writes (paper's pass 5 conditional). *)
 let set_elem (m : Dmat.t) ~i ~j v =

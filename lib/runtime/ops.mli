@@ -8,6 +8,12 @@ val matmul : Dmat.t -> Dmat.t -> Dmat.t
     a row-vector A uses partial sums finished with an allreduce.
     Raises [Failure] when the inner dimensions disagree. *)
 
+val matmul_t : Dmat.t -> Dmat.t -> Dmat.t
+(** C = A' * B without materializing the transpose: each rank forms the
+    partial product of its owned rows of A and B, finished with one
+    allreduce -- no redistribution, no operand gather.  Raises
+    [Failure] when the row counts (the common dimension) disagree. *)
+
 val dot : Dmat.t -> Dmat.t -> float
 (** Inner product of two identically distributed vectors. *)
 
@@ -37,6 +43,18 @@ val mean_all : Dmat.t -> float
 val mean_cols : Dmat.t -> Dmat.t
 val norm2 : Dmat.t -> float
 
+(** One slot of a fused allreduce: a sum-combining reduction whose
+    local partial travels in a shared vector. *)
+type fused =
+  | Fsum of Dmat.t
+  | Fmean of Dmat.t
+  | Fdot of Dmat.t * Dmat.t
+  | Fnorm of Dmat.t
+
+val reduce_fused : fused list -> float array
+(** Evaluate every slot with a single vector allreduce.  Slot values
+    are bit-identical to the unfused operations. *)
+
 type scan = Cumsum | Cumprod
 
 val cumulative : scan -> Dmat.t -> Dmat.t
@@ -54,6 +72,13 @@ val sort_vector : ?with_index:bool -> Dmat.t -> Dmat.t * Dmat.t option
 val bcast_elem : Dmat.t -> i:int -> j:int -> float
 (** Paper's ML_broadcast: the owner of (i, j) broadcasts its value.
     0-based indices; raises [Failure] when out of bounds. *)
+
+val bcast_elems : Dmat.t -> (int * int) list -> float array
+(** Batched ML_broadcast: owning ranks ship their packed slot values to
+    rank 0 and one tree broadcast replicates the assembled batch -- at
+    most (owners + P - 1) messages instead of a (P - 1)-message tree
+    per element.  0-based coordinates; raises [Failure] when any is out
+    of bounds. *)
 
 val set_elem : Dmat.t -> i:int -> j:int -> float -> unit
 (** Guarded store: only the owner writes (paper's pass-5 guard). *)

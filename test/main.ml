@@ -9,6 +9,7 @@ let () =
       ("lower", Test_lower.suite);
       ("peephole", Test_peephole.suite);
       ("passes", Test_passes.suite);
+      ("comm", Test_comm.suite);
       ("sim", Test_sim.suite);
       ("coll", Test_coll.suite);
       ("faults", Test_faults.suite);
