@@ -1,7 +1,7 @@
 (* Benchmark harness: regenerates every table and figure of the paper.
 
    Usage:
-     main.exe [table1|fig2|fig3|fig4|fig5|fig6|all|faults|speedup|micro]
+     main.exe [table1|fig2|fig3|fig4|fig5|fig6|all|faults|speedup|chaos|micro]
               [--scale PCT] [--full] [--out FILE] [--baseline FILE]
 
    --scale chooses the problem size as a percentage of the paper's
@@ -664,12 +664,320 @@ let speedup_bench scale out baseline =
         exit 1
       end
 
+(* --- chaos benchmark: BENCH_chaos.json ---------------------------------- *)
+
+(* Sweep fault intensity — message loss, duplication, delay spikes,
+   rank stalls, and permanent rank kills — over every app and machine
+   at P = 4 with the reliable layer and checkpoint/restart enabled, and
+   record how each configuration ends:
+
+     ok         completed bit-identically with no rollbacks
+     recovered  completed bit-identically after N rollbacks
+     aborted    typed abort (budget exhausted or unrecoverable class)
+     mismatch   completed with a wrong answer — always a bug
+
+   Everything is modeled and seeded, so the sweep is deterministic and
+   the committed baseline is a regression gate: a point may move
+   ok -> recovered only if the baseline says so, and a mismatch fails
+   the gate unconditionally. *)
+type chaos_entry = {
+  ce_app : string;
+  ce_machine : string;
+  ce_intensity : string;
+  ce_status : string; (* ok | recovered | aborted | mismatch *)
+  ce_rollbacks : int;
+  ce_kills : int;
+  ce_retries : int;
+  ce_time : float; (* simulated seconds of the final attempt *)
+}
+
+(* Fault-spec templates; [span] is the fault-free makespan of the same
+   configuration, so kill times and the detector deadline land mid-run
+   on fast and slow machines alike. *)
+let chaos_intensities =
+  [
+    ("none", fun _span -> "");
+    ("low", fun span ->
+      Printf.sprintf "drop=0.02,dup=0.01,delay=0.02,detect=%g,seed=101" span);
+    ( "medium",
+      fun span ->
+        Printf.sprintf
+          "drop=0.08,dup=0.04,delay=0.08,stall=0.03,detect=%g,seed=102" span );
+    ( "high",
+      fun span ->
+        Printf.sprintf
+          "drop=0.2,dup=0.12,delay=0.2,stall=0.08,detect=%g,seed=103" span );
+    ( "kill",
+      fun span ->
+        Printf.sprintf "kill_rank=1,kill_time=%g,detect=%g,seed=104"
+          (span *. 0.3)
+          (Float.max 0.01 (span *. 0.05)) );
+    ( "kill+loss",
+      fun span ->
+        Printf.sprintf
+          "drop=0.05,dup=0.02,delay=0.05,kill_rank=2,kill_time=%g,detect=%g,\
+           seed=105"
+          (span *. 0.4)
+          (Float.max 0.01 (span *. 0.05)) );
+  ]
+
+let chaos_nprocs = 4
+
+let eq_chaos_captured (a : Exec.Vm.captured) (b : Exec.Vm.captured) =
+  let eqf (x : float) (y : float) =
+    (Float.is_nan x && Float.is_nan y) || x = y
+  in
+  match (a, b) with
+  | Exec.Vm.Cscalar x, Exec.Vm.Cscalar y -> eqf x y
+  | Exec.Vm.Cmat (r1, c1, d1), Exec.Vm.Cmat (r2, c2, d2) ->
+      r1 = r2 && c1 = c2 && Array.for_all2 eqf d1 d2
+  | _ -> false
+
+let chaos_entries scale : chaos_entry list =
+  let entries = ref [] in
+  List.iter
+    (fun (app : Apps.Scripts.app) ->
+      let c = compile_app app scale in
+      List.iter
+        (fun (mname, (m : Mpisim.Machine.t)) ->
+          let clean =
+            Otter.run_parallel ~capture:app.capture ~machine:m
+              ~nprocs:chaos_nprocs c
+          in
+          let span = clean.Exec.Vm.report.Mpisim.Sim.makespan in
+          List.iter
+            (fun (iname, spec_of_span) ->
+              let spec = spec_of_span span in
+              let fm =
+                if spec = "" then m
+                else
+                  match Mpisim.Machine.faults_of_spec spec with
+                  | Ok f -> Mpisim.Machine.with_faults ~reliable:true ~faults:f m
+                  | Error e -> failwith e
+              in
+              let rc =
+                Otter.run_parallel_recovering ~capture:app.capture
+                  ~ckpt_interval:(Float.max 1e-6 (span *. 0.08))
+                  ~max_recoveries:3 ~machine:fm ~nprocs:chaos_nprocs c
+              in
+              let rollbacks = rc.Exec.Vm.r_attempts - 1 in
+              let final_report =
+                match List.rev rc.Exec.Vm.r_reports with
+                | r :: _ -> r
+                | [] -> clean.Exec.Vm.report
+              in
+              let kills =
+                List.fold_left
+                  (fun acc (r : Mpisim.Sim.report) -> acc + r.Mpisim.Sim.kills)
+                  0 rc.Exec.Vm.r_reports
+              in
+              let retries =
+                List.fold_left
+                  (fun acc (r : Mpisim.Sim.report) ->
+                    acc + r.Mpisim.Sim.retries)
+                  0 rc.Exec.Vm.r_reports
+              in
+              let status =
+                match rc.Exec.Vm.r_result with
+                | Exec.Vm.Partial _ -> "aborted"
+                | Exec.Vm.Complete out ->
+                    let identical =
+                      out.Exec.Vm.output = clean.Exec.Vm.output
+                      && List.for_all
+                           (fun (name, v) ->
+                             match
+                               List.assoc_opt name out.Exec.Vm.captures
+                             with
+                             | Some w -> eq_chaos_captured v w
+                             | None -> false)
+                           clean.Exec.Vm.captures
+                    in
+                    if not identical then "mismatch"
+                    else if rollbacks > 0 then "recovered"
+                    else "ok"
+              in
+              entries :=
+                {
+                  ce_app = app.key;
+                  ce_machine = mname;
+                  ce_intensity = iname;
+                  ce_status = status;
+                  ce_rollbacks = rollbacks;
+                  ce_kills = kills;
+                  ce_retries = retries;
+                  ce_time = final_report.Mpisim.Sim.makespan;
+                }
+                :: !entries)
+            chaos_intensities)
+        speedup_machines)
+    Apps.Scripts.apps;
+  List.rev !entries
+
+let chaos_entry_line e =
+  Printf.sprintf
+    "{\"app\": %S, \"machine\": %S, \"intensity\": %S, \"status\": %S, \
+     \"rollbacks\": %d, \"kills\": %d, \"retries\": %d, \"time\": %.9f}"
+    e.ce_app e.ce_machine e.ce_intensity e.ce_status e.ce_rollbacks e.ce_kills
+    e.ce_retries e.ce_time
+
+let write_chaos_json ~file ~scale entries =
+  let oc = open_out file in
+  Printf.fprintf oc "{\n  \"benchmark\": \"chaos\",\n  \"scale\": %d,\n" scale;
+  Printf.fprintf oc "  \"entries\": [\n";
+  let n = List.length entries in
+  List.iteri
+    (fun i e ->
+      Printf.fprintf oc "    %s%s\n" (chaos_entry_line e)
+        (if i = n - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let read_chaos_json file =
+  let ic = open_in file in
+  let scale = ref (-1) in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       (try Scanf.sscanf line " \"scale\": %d" (fun s -> scale := s)
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> ());
+       try
+         Scanf.sscanf line
+           " {\"app\": %S, \"machine\": %S, \"intensity\": %S, \"status\": \
+            %S, \"rollbacks\": %d, \"kills\": %d, \"retries\": %d, \"time\": \
+            %f}"
+           (fun a m i s rb k rt t ->
+             entries :=
+               {
+                 ce_app = a;
+                 ce_machine = m;
+                 ce_intensity = i;
+                 ce_status = s;
+                 ce_rollbacks = rb;
+                 ce_kills = k;
+                 ce_retries = rt;
+                 ce_time = t;
+               }
+               :: !entries)
+       with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  (!scale, List.rev !entries)
+
+(* ok < recovered < aborted < mismatch: the gate allows a point to keep
+   or improve its class, never to degrade past the committed baseline. *)
+let chaos_severity = function
+  | "ok" -> 0
+  | "recovered" -> 1
+  | "aborted" -> 2
+  | _ -> 3
+
+let chaos_bench scale out baseline =
+  Printf.printf
+    "Chaos sweep: 4 apps x 3 machines x %d fault intensities, P = %d,\n"
+    (List.length chaos_intensities)
+    chaos_nprocs;
+  Printf.printf
+    "  reliable layer + checkpoint/restart on (3 recoveries); scale %d%%\n\n"
+    scale;
+  let entries = chaos_entries scale in
+  write_chaos_json ~file:out ~scale entries;
+  Printf.printf "wrote %s (%d entries)\n\n" out (List.length entries);
+  let width = 14 in
+  Printf.printf "%-10s %-9s" "App" "Machine";
+  List.iter
+    (fun (iname, _) -> Printf.printf " %*s" width iname)
+    chaos_intensities;
+  print_newline ();
+  print_endline (String.make (20 + ((width + 1) * List.length chaos_intensities)) '-');
+  List.iter
+    (fun (app : Apps.Scripts.app) ->
+      List.iter
+        (fun (mname, _) ->
+          Printf.printf "%-10s %-9s" app.key mname;
+          List.iter
+            (fun (iname, _) ->
+              match
+                List.find_opt
+                  (fun e ->
+                    e.ce_app = app.key && e.ce_machine = mname
+                    && e.ce_intensity = iname)
+                  entries
+              with
+              | Some e ->
+                  let cell =
+                    if e.ce_status = "recovered" then
+                      Printf.sprintf "recovered:%d" e.ce_rollbacks
+                    else e.ce_status
+                  in
+                  Printf.printf " %*s" width cell
+              | None -> Printf.printf " %*s" width "?")
+            chaos_intensities;
+          print_newline ())
+        speedup_machines)
+    Apps.Scripts.apps;
+  print_newline ();
+  let count s =
+    List.length (List.filter (fun e -> e.ce_status = s) entries)
+  in
+  Printf.printf
+    "summary: %d ok, %d recovered, %d aborted, %d mismatched of %d points\n\n"
+    (count "ok") (count "recovered") (count "aborted") (count "mismatch")
+    (List.length entries);
+  let mismatches = count "mismatch" in
+  match baseline with
+  | None -> if mismatches > 0 then exit 1
+  | Some file ->
+      let bscale, bentries = read_chaos_json file in
+      if bentries = [] then begin
+        Printf.eprintf "baseline %s has no entries\n" file;
+        exit 2
+      end;
+      if bscale <> scale then begin
+        Printf.eprintf
+          "baseline %s was recorded at scale %d%%, this run is %d%%\n" file
+          bscale scale;
+        exit 2
+      end;
+      let degraded =
+        List.filter_map
+          (fun b ->
+            match
+              List.find_opt
+                (fun e ->
+                  e.ce_app = b.ce_app && e.ce_machine = b.ce_machine
+                  && e.ce_intensity = b.ce_intensity)
+                entries
+            with
+            | Some e
+              when chaos_severity e.ce_status > chaos_severity b.ce_status ->
+                Some (b, e)
+            | _ -> None)
+          bentries
+      in
+      if degraded = [] && mismatches = 0 then
+        Printf.printf "baseline check: no configuration degraded vs %s\n" file
+      else begin
+        List.iter
+          (fun (b, e) ->
+            Printf.printf "DEGRADED %s/%s %s: %s -> %s\n" b.ce_app
+              b.ce_machine b.ce_intensity b.ce_status e.ce_status)
+          degraded;
+        if mismatches > 0 then
+          Printf.printf "MISMATCH: %d configuration(s) computed a wrong \
+                         answer under chaos\n"
+            mismatches;
+        exit 1
+      end
+
 (* --- driver -------------------------------------------------------------- *)
 
 let () =
   let args = Array.to_list Sys.argv in
   let scale = ref 25 in
-  let out = ref "BENCH_speedup.json" in
+  let out = ref None in
   let baseline = ref None in
   let cmds = ref [] in
   let rec parse = function
@@ -681,7 +989,7 @@ let () =
         scale := int_of_string v;
         parse rest
     | "--out" :: v :: rest ->
-        out := v;
+        out := Some v;
         parse rest
     | "--baseline" :: v :: rest ->
         baseline := Some v;
@@ -704,7 +1012,14 @@ let () =
     | "extrapolate" -> extrapolate !scale
     | "sensitivity" -> sensitivity ()
     | "faults" -> faults_bench !scale
-    | "speedup" -> speedup_bench !scale !out !baseline
+    | "speedup" ->
+        speedup_bench !scale
+          (Option.value !out ~default:"BENCH_speedup.json")
+          !baseline
+    | "chaos" ->
+        chaos_bench !scale
+          (Option.value !out ~default:"BENCH_chaos.json")
+          !baseline
     | "all" ->
         Tables.print ();
         fig2 !scale;
@@ -713,7 +1028,7 @@ let () =
         Printf.eprintf
           "unknown command '%s' (expected \
            table1|fig2|fig3|fig4|fig5|fig6|all|ablation|extrapolate|\
-           sensitivity|faults|speedup|micro)\n"
+           sensitivity|faults|speedup|chaos|micro)\n"
           other;
         exit 2
   in

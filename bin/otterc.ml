@@ -30,6 +30,23 @@ let path_of input name =
   end
   else None
 
+(* Distinct process exit codes per failure class, so scripts (and the
+   chaos harness) can tell a network-induced abort from a program bug:
+     0 success          1 run-time error / verify mismatch
+     2 usage            3 deadlock
+     4 internal error   5 receive timeout
+     6 protocol error   7 rank failure (kill, dead peer, retransmission
+                          budget)
+     8 aborted: recovery enabled but the retry budget ran out *)
+let exit_recovery_aborted = 8
+
+let exit_code_of_kind = function
+  | Exec.Vm.Ftimeout -> 5
+  | Exec.Vm.Fprotocol -> 6
+  | Exec.Vm.Fkilled | Exec.Vm.Fpeer | Exec.Vm.Fexhausted -> 7
+  | Exec.Vm.Fdeadlock -> 3
+  | Exec.Vm.Fruntime -> 1
+
 let handle_errors f =
   try f () with
   | Mlang.Source.Error (pos, msg) ->
@@ -46,7 +63,7 @@ let handle_errors f =
       exit 3
   | Mpisim.Sim.Rank_failure { rank; exn } ->
       Fmt.epr "rank %d failed: %s@." rank (Printexc.to_string exn);
-      exit 3
+      exit (exit_code_of_kind (Exec.Vm.classify_failure exn))
   | Spmd.Pass.Unknown_pass name ->
       Fmt.epr "error: unknown pass '%s' (known: %s)@." name
         (String.concat ", "
@@ -180,8 +197,38 @@ let get_machine name =
 let faults_arg =
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC"
          ~doc:"Inject faults, e.g. $(b,drop=0.01,dup=0.005,seed=42).  Keys: \
-               drop, dup, delay, stall, degrade (probabilities), seed, \
-               detect (timeout in seconds).")
+               drop, dup, delay, stall, degrade, kill (probabilities), seed, \
+               detect (failure-detector timeout in seconds), kill_window, \
+               kill_rank, kill_time (permanent rank deaths).")
+
+let ckpt_arg =
+  Arg.(value & opt float 0. & info [ "ckpt-interval" ] ~docv:"SECS"
+         ~doc:"Take a coordinated checkpoint of every rank roughly every \
+               $(docv) simulated seconds (0 = never; recovery then replays \
+               from program start).")
+
+let max_recoveries_arg =
+  Arg.(value & opt int 0 & info [ "max-recoveries" ] ~docv:"N"
+         ~doc:"On a recoverable failure (rank kill, timeout, exhausted \
+               retransmissions), roll back to the last consistent snapshot \
+               and replay, at most $(docv) times, before aborting.")
+
+let chaos_arg =
+  Arg.(value & flag & info [ "chaos" ]
+         ~doc:"Chaos mode: enable checkpoint/rollback recovery with \
+               defaults (--ckpt-interval 0.05, --max-recoveries 3 unless \
+               given) and print a recovery summary.")
+
+(* The effective recovery settings: --chaos fills in defaults for
+   whichever of the two knobs was not given explicitly. *)
+let recovery_settings ~chaos ~ckpt_interval ~max_recoveries =
+  let ckpt_interval =
+    if ckpt_interval > 0. then ckpt_interval else if chaos then 0.05 else 0.
+  in
+  let max_recoveries =
+    if max_recoveries > 0 then max_recoveries else if chaos then 3 else 0
+  in
+  (ckpt_interval, max_recoveries)
 
 let reliable_arg =
   Arg.(value & flag & info [ "reliable" ]
@@ -203,24 +250,62 @@ let apply_faults machine spec reliable =
 
 let print_fault_counters (r : Mpisim.Sim.report) =
   Fmt.pr
-    "[faults] %d dropped, %d duplicated, %d delayed, %d stalls; %d retries, \
-     %d acks@."
-    r.Mpisim.Sim.drops r.dups r.delayed r.stalls r.retries r.acks
+    "[faults] %d dropped, %d duplicated, %d delayed, %d stalls, %d rank \
+     kills; %d retries, %d acks@."
+    r.Mpisim.Sim.drops r.dups r.delayed r.stalls r.kills r.retries r.acks
+
+(* On any faulted abort, say what the network did to the run before it
+   died — the counters make "who ate my message" debuggable. *)
+let print_abort ~gave_up ~recoveries failed_rank operation detail
+    (report : Mpisim.Sim.report) =
+  if gave_up then
+    Fmt.epr "aborted: recovery budget exhausted after %d rollback%s@."
+      recoveries
+      (if recoveries = 1 then "" else "s")
+  else if recoveries > 0 then
+    Fmt.epr "aborted after %d rollback%s@." recoveries
+      (if recoveries = 1 then "" else "s");
+  Fmt.epr "partial run: rank %d failed during %s: %s@." failed_rank operation
+    detail;
+  Fmt.epr
+    "[faults] %d dropped, %d duplicated, %d delayed, %d stalls, %d rank \
+     kills; %d retries, %d acks@."
+    report.Mpisim.Sim.drops report.dups report.delayed report.stalls
+    report.kills report.retries report.acks
 
 let run_cmd =
-  let run input nprocs machine timing stats faults reliable opt passes
-      validate dumps =
+  let run input nprocs machine timing stats faults reliable chaos
+      ckpt_interval max_recoveries opt passes validate dumps =
     handle_errors (fun () ->
         let c = compile_input input opt passes validate dumps in
         let machine = apply_faults (get_machine machine) faults reliable in
-        match Otter.run_parallel_result ~machine ~nprocs c with
-        | Exec.Vm.Partial { failed_rank; operation; detail } ->
-            Fmt.epr "partial run: rank %d failed during %s: %s@." failed_rank
-              operation detail;
-            exit 3
+        let ckpt_interval, max_recoveries =
+          recovery_settings ~chaos ~ckpt_interval ~max_recoveries
+        in
+        let recovering = ckpt_interval > 0. || max_recoveries > 0 in
+        let result, recoveries, gave_up =
+          if recovering then begin
+            let rc =
+              Otter.run_parallel_recovering ~ckpt_interval ~max_recoveries
+                ~machine ~nprocs c
+            in
+            (rc.Exec.Vm.r_result, rc.Exec.Vm.r_attempts - 1,
+             rc.Exec.Vm.r_gave_up)
+          end
+          else (Otter.run_parallel_result ~machine ~nprocs c, 0, false)
+        in
+        match result with
+        | Exec.Vm.Partial { failed_rank; operation; detail; kind; report } ->
+            print_abort ~gave_up ~recoveries failed_rank operation detail
+              report;
+            exit
+              (if gave_up then exit_recovery_aborted else exit_code_of_kind kind)
         | Exec.Vm.Complete o ->
             print_string o.Exec.Vm.output;
             let r = o.Exec.Vm.report in
+            if recovering && (chaos || recoveries > 0) then
+              Fmt.pr "[recovery] completed after %d rollback%s@." recoveries
+                (if recoveries = 1 then "" else "s");
             if timing && not stats then begin
               Fmt.pr
                 "[%s, %d CPUs] modeled time %.6f s, %d messages, %d bytes@."
@@ -253,8 +338,9 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Compile and execute on a simulated parallel machine.")
     Term.(const run $ input_arg $ procs_arg $ machine_arg $ timing_arg
-          $ stats_arg $ faults_arg $ reliable_arg $ opt_arg $ passes_arg
-          $ validate_arg $ dump_after_arg)
+          $ stats_arg $ faults_arg $ reliable_arg $ chaos_arg $ ckpt_arg
+          $ max_recoveries_arg $ opt_arg $ passes_arg $ validate_arg
+          $ dump_after_arg)
 
 (* --- interp --------------------------------------------------------------- *)
 
@@ -326,11 +412,14 @@ let dump_cmd =
 (* --- verify ---------------------------------------------------------------- *)
 
 let verify_cmd =
-  let run input nprocs machine vars tol faults reliable opt passes validate
-      dumps =
+  let run input nprocs machine vars tol faults reliable chaos ckpt_interval
+      max_recoveries opt passes validate dumps =
     handle_errors (fun () ->
         let c = compile_input input opt passes validate dumps in
         let machine = apply_faults (get_machine machine) faults reliable in
+        let ckpt_interval, max_recoveries =
+          recovery_settings ~chaos ~ckpt_interval ~max_recoveries
+        in
         let capture =
           if vars <> [] then vars
           else
@@ -339,7 +428,10 @@ let verify_cmd =
               (fun v _ acc -> v :: acc)
               c.Otter.info.Analysis.Infer.var_ty []
         in
-        match Otter.verify_outcome ~tol ~machine ~nprocs ~capture c with
+        match
+          Otter.verify_outcome ~tol ~ckpt_interval ~max_recoveries ~machine
+            ~nprocs ~capture c
+        with
         | Otter.Verified ->
             Fmt.pr "verified: %d variables agree between the interpreter and \
                     the %d-CPU compiled run.@."
@@ -350,10 +442,25 @@ let verify_cmd =
                 Fmt.pr "MISMATCH %s: %s@." m.Otter.variable m.Otter.detail)
               mm;
             exit 1
-        | Otter.Aborted { failed_rank; operation; detail } ->
-            Fmt.epr "ABORTED: rank %d failed during %s: %s@." failed_rank
-              operation detail;
-            exit 3)
+        | Otter.Aborted { failed_rank; operation; detail; kind; report;
+                          recoveries } ->
+            let gave_up =
+              max_recoveries > 0 && Exec.Vm.recoverable kind
+              && recoveries >= max_recoveries
+            in
+            Fmt.epr "ABORTED%s: rank %d failed during %s: %s@."
+              (if gave_up then
+                 Printf.sprintf " (recovery budget exhausted after %d \
+                                 rollbacks)" recoveries
+               else "")
+              failed_rank operation detail;
+            Fmt.epr
+              "[faults] %d dropped, %d duplicated, %d delayed, %d stalls, %d \
+               rank kills; %d retries, %d acks@."
+              report.Mpisim.Sim.drops report.dups report.delayed report.stalls
+              report.kills report.retries report.acks;
+            exit
+              (if gave_up then exit_recovery_aborted else exit_code_of_kind kind))
   in
   let vars_arg =
     Arg.(value & opt_all string [] & info [ "var" ] ~docv:"NAME"
@@ -368,8 +475,9 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:"Check compiled results against the reference interpreter.")
     Term.(const run $ input_arg $ procs_arg $ machine_arg $ vars_arg
-          $ tol_arg $ faults_arg $ reliable_arg $ opt_arg $ passes_arg
-          $ validate_arg $ dump_after_arg)
+          $ tol_arg $ faults_arg $ reliable_arg $ chaos_arg $ ckpt_arg
+          $ max_recoveries_arg $ opt_arg $ passes_arg $ validate_arg
+          $ dump_after_arg)
 
 (* --- fuzz ------------------------------------------------------------------ *)
 

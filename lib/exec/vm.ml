@@ -735,6 +735,139 @@ and exec_call fr rets name args =
 
 and exec_block fr (b : Ir.block) = List.iter (exec_inst fr) b
 
+(* --- coordinated checkpointing ------------------------------------------- *)
+
+(* Where execution resumes after a rollback: just before top-level
+   statement [i], or just before iteration [k] of the top-level loop at
+   statement [i].  A for loop also freezes its (start, step, stop)
+   bounds, which MATLAB fixes at loop entry and which the environment
+   at iteration [k] can no longer reproduce. *)
+type pc = Ptop of int | Ploop of int * int * (float * float * float) option
+
+type snapshot = {
+  sn_boundary : int; (* which boundary (attempt-local counter) *)
+  sn_pc : pc;
+  sn_env : (string * value) array; (* deep copy of the rank's locals *)
+  sn_rand_calls : int; (* replicated RNG sequence number *)
+  sn_calls : int; (* executed library calls so far *)
+  sn_out : string; (* rank 0: the output prefix; "" elsewhere *)
+}
+
+let copy_value = function
+  | Vmat m -> Vmat (Dmat.copy m)
+  | (Vscalar _ | Vstr _) as v -> v
+
+(* Snapshots deep-copy in both directions: matrices are mutated in
+   place (element and section assignment), so sharing would let the
+   next attempt corrupt the very state it must roll back to. *)
+let env_snapshot env =
+  Array.of_list (Hashtbl.fold (fun k v acc -> (k, copy_value v) :: acc) env [])
+
+let env_restore env saved =
+  Hashtbl.reset env;
+  Array.iter (fun (k, v) -> Hashtbl.replace env k (copy_value v)) saved
+
+(* Per-rank checkpoint cursor for one run attempt.  [ck_slots] is the
+   host-side store shared with the recovery driver; each rank keeps its
+   two newest snapshots so that, when a failure lands between a
+   boundary's commit on some ranks and not others, every rank can still
+   produce the newest boundary common to all (commitment is a
+   collective, so latest boundaries differ by at most one). *)
+type ck = {
+  ck_interval : float;
+  ck_slots : snapshot list array; (* per rank, newest first, length <= 2 *)
+  mutable ck_next : float; (* virtual time of the next wanted snapshot *)
+  mutable ck_boundary : int;
+}
+
+(* A checkpoint boundary: every rank reaches these in lockstep (the
+   compiled programs are loosely synchronous, so top-level control flow
+   is replicated).  Whether to snapshot is decided by collective vote
+   -- per-rank clocks drift, so "my interval elapsed" can differ across
+   ranks, but the or-vote gives every rank the same verdict.  Starts
+   with [ck_next = 0], so the first boundary of every attempt commits:
+   that re-establishes the restore point right after a rollback. *)
+let at_boundary fr ck pcv =
+  ck.ck_boundary <- ck.ck_boundary + 1;
+  fr.trace.(fr.rk) <- "checkpoint vote";
+  let want = Mpisim.Sim.time () >= ck.ck_next in
+  if Mpisim.Coll.vote want then begin
+    let snap =
+      {
+        sn_boundary = ck.ck_boundary;
+        sn_pc = pcv;
+        sn_env = env_snapshot fr.env;
+        sn_rand_calls = fr.rand_calls;
+        sn_calls = !(fr.calls);
+        sn_out = (if fr.rk = 0 then Buffer.contents fr.out else "");
+      }
+    in
+    let kept = match ck.ck_slots.(fr.rk) with [] -> [] | s :: _ -> [ s ] in
+    ck.ck_slots.(fr.rk) <- snap :: kept;
+    ck.ck_next <- Mpisim.Sim.time () +. ck.ck_interval
+  end
+
+(* Top-level execution with checkpoint boundaries: before every plain
+   statement and at the top of every iteration of a top-level loop (the
+   apps' hot loops are top level, so long runs cross many boundaries).
+   [resume] skips straight to a snapshot's program counter; nested
+   statements need no skipping because boundaries are only ever taken
+   at top level. *)
+let exec_top fr ck resume (body : Ir.block) =
+  let stmts = Array.of_list body in
+  let start_i, initial_loop =
+    match resume with
+    | None -> (0, None)
+    | Some (Ptop i) -> (i, None)
+    | Some (Ploop (i, k, bounds)) -> (i, Some (k, bounds))
+  in
+  let loop_resume = ref initial_loop in
+  for i = start_i to Array.length stmts - 1 do
+    match stmts.(i) with
+    | Ir.Ifor (v, start_e, step_e, stop_e, blk) ->
+        let k0, (start, step, stop) =
+          match !loop_resume with
+          | Some (k, Some bounds) -> (k, bounds)
+          | _ ->
+              let start = eval_scalar fr start_e in
+              let step =
+                match step_e with Some s -> eval_scalar fr s | None -> 1.
+              in
+              let stop = eval_scalar fr stop_e in
+              (0, (start, step, stop))
+        in
+        loop_resume := None;
+        (try
+           let k = ref k0 in
+           let continue_loop () =
+             let x = start +. (float_of_int !k *. step) in
+             if step >= 0. then x <= stop +. 1e-12 else x >= stop -. 1e-12
+           in
+           while continue_loop () do
+             at_boundary fr ck (Ploop (i, !k, Some (start, step, stop)));
+             let x = start +. (float_of_int !k *. step) in
+             Hashtbl.replace fr.env v (Vscalar x);
+             (try exec_block fr blk with Continue_exc -> ());
+             incr k
+           done
+         with Break_exc -> ())
+    | Ir.Iwhile (c, blk) ->
+        let k0 = match !loop_resume with Some (k, None) -> k | _ -> 0 in
+        loop_resume := None;
+        (try
+           let k = ref k0 in
+           while truthy (eval_scalar fr c) do
+             at_boundary fr ck (Ploop (i, !k, None));
+             (try exec_block fr blk with Continue_exc -> ());
+             incr k
+           done
+         with Break_exc -> ())
+    | inst ->
+        loop_resume := None;
+        at_boundary fr ck (Ptop i);
+        exec_inst fr inst
+  done
+
 (* --- entry points -------------------------------------------------------- *)
 
 type captured = Cscalar of float | Cmat of int * int * float array
@@ -746,9 +879,42 @@ type outcome = {
   report : Mpisim.Sim.report;
 }
 
+(* Why a run attempt died, coarsened to the classes the recovery driver
+   and otterc's exit codes care about. *)
+type failure_kind =
+  | Ftimeout (* a receive deadline expired *)
+  | Fprotocol (* malformed traffic: a bug, not the network *)
+  | Fkilled (* the fault model permanently killed a rank *)
+  | Fpeer (* the failure detector condemned a dead peer *)
+  | Fexhausted (* a sender ran out of retransmissions *)
+  | Fdeadlock (* every live rank blocked *)
+  | Fruntime (* an error in the program itself *)
+
+let classify_failure = function
+  | Mpisim.Sim.Timeout _ -> Ftimeout
+  | Mpisim.Sim.Protocol_error _ -> Fprotocol
+  | Mpisim.Sim.Rank_killed _ -> Fkilled
+  | Mpisim.Sim.Peer_failed _ -> Fpeer
+  | Mpisim.Reliable.Exhausted _ -> Fexhausted
+  | Mpisim.Sim.Deadlock _ -> Fdeadlock
+  | _ -> Fruntime
+
+(* Rollback-and-replay can only cure what the network (or the fault
+   model) did; program bugs and protocol violations would just fail
+   identically again. *)
+let recoverable = function
+  | Ftimeout | Fkilled | Fpeer | Fexhausted -> true
+  | Fprotocol | Fdeadlock | Fruntime -> false
+
 type run_result =
   | Complete of outcome
-  | Partial of { failed_rank : int; operation : string; detail : string }
+  | Partial of {
+      failed_rank : int;
+      operation : string;
+      detail : string;
+      kind : failure_kind;
+      report : Mpisim.Sim.report;
+    }
 
 (* What went wrong on the failing rank, in one line. *)
 let describe_failure = function
@@ -764,22 +930,30 @@ let describe_failure = function
       Printf.sprintf
         "gave a message up for lost after %d attempts (dst=%d, tag=%d)"
         attempts dst tag
+  | Mpisim.Sim.Peer_failed { failed; at; _ } ->
+      Printf.sprintf "detected failure of rank %d at t=%.4gs" failed at
+  | Mpisim.Sim.Rank_killed { at; _ } ->
+      Printf.sprintf "permanently killed by the fault model at t=%.4gs" at
   | e -> Printexc.to_string e
 
-(* Run [prog] on [nprocs] simulated processors of [machine].  [capture]
-   names variables whose final values are gathered for verification.
-   A failure on any rank — run-time errors, receive timeouts under a
-   fault model, exhausted retransmission budgets — degrades to a
-   structured [Partial] naming the rank and the operation it was
-   executing. *)
-let run_result ?(capture = []) ?(seed = 42) ?(datadir = ".") ~machine ~nprocs
-    (prog : Ir.prog) : run_result =
+(* One simulated execution of [prog]: build the per-rank frames (optionally
+   restored from [restore]'s snapshots), run to completion or failure, and
+   return the structured result together with the sim report. *)
+let attempt ?(capture = []) ~seed ~datadir ~machine ~nprocs ~attempt:att
+    ~ckpt_interval ~slots ~restore (prog : Ir.prog) :
+    run_result * Mpisim.Sim.report =
   let out = Buffer.create 256 in
+  (match restore with
+  | Some (snaps : snapshot array) -> Buffer.add_string out snaps.(0).sn_out
+  | None -> ());
   let funcs = Hashtbl.create 8 in
-  List.iter (fun (f : Ir.func) -> Hashtbl.replace funcs f.Ir.f_name f) prog.Ir.p_funcs;
+  List.iter
+    (fun (f : Ir.func) -> Hashtbl.replace funcs f.Ir.f_name f)
+    prog.Ir.p_funcs;
   let trace = Array.make nprocs "startup" in
-  match
-    Mpisim.Sim.run ~machine ~nprocs (fun rank ->
+  Array.fill slots 0 nprocs [];
+  let outcome, report =
+    Mpisim.Sim.run_report ~attempt:att ~machine ~nprocs (fun rank ->
         let fr =
           {
             env = Hashtbl.create 64;
@@ -794,7 +968,28 @@ let run_result ?(capture = []) ?(seed = 42) ?(datadir = ".") ~machine ~nprocs
             trace;
           }
         in
-        exec_block fr prog.Ir.p_body;
+        let resume =
+          match restore with
+          | None -> None
+          | Some snaps ->
+              let s = snaps.(rank) in
+              env_restore fr.env s.sn_env;
+              fr.rand_calls <- s.sn_rand_calls;
+              fr.calls := s.sn_calls;
+              Some s.sn_pc
+        in
+        if ckpt_interval > 0. then begin
+          let ck =
+            {
+              ck_interval = ckpt_interval;
+              ck_slots = slots;
+              ck_next = 0.;
+              ck_boundary = 0;
+            }
+          in
+          exec_top fr ck resume prog.Ir.p_body
+        end
+        else exec_block fr prog.Ir.p_body;
         let caps =
           List.filter_map
             (fun name ->
@@ -807,19 +1002,120 @@ let run_result ?(capture = []) ?(seed = 42) ?(datadir = ".") ~machine ~nprocs
             capture
         in
         (caps, !(fr.calls)))
-  with
-  | results, report ->
-      let captures, lib_calls = results.(0) in
-      Complete { output = Buffer.contents out; captures; lib_calls; report }
-  | exception Mpisim.Sim.Rank_failure { rank; exn } ->
-      Partial
-        {
-          failed_rank = rank;
-          operation = trace.(rank);
-          detail = describe_failure exn;
-        }
+  in
+  let result =
+    match outcome with
+    | Ok results ->
+        let captures, lib_calls = results.(0) in
+        Complete { output = Buffer.contents out; captures; lib_calls; report }
+    | Error (Mpisim.Sim.Rank_failure { rank; exn }) ->
+        Partial
+          {
+            failed_rank = rank;
+            operation = trace.(rank);
+            detail = describe_failure exn;
+            kind = classify_failure exn;
+            report;
+          }
+    | Error e -> raise e (* Deadlock and internal errors keep raising *)
+  in
+  (result, report)
+
+(* Run [prog] on [nprocs] simulated processors of [machine].  [capture]
+   names variables whose final values are gathered for verification.
+   A failure on any rank — run-time errors, receive timeouts under a
+   fault model, exhausted retransmission budgets, permanent kills —
+   degrades to a structured [Partial] naming the rank, the operation it
+   was executing, the failure class, and the sim report (fault
+   counters) accumulated up to the abort. *)
+let run_result ?capture ?(seed = 42) ?(datadir = ".") ~machine ~nprocs
+    (prog : Ir.prog) : run_result =
+  fst
+    (attempt ?capture ~seed ~datadir ~machine ~nprocs ~attempt:0
+       ~ckpt_interval:0. ~slots:(Array.make nprocs []) ~restore:None prog)
 
 let run ?capture ?seed ?datadir ~machine ~nprocs prog =
   match run_result ?capture ?seed ?datadir ~machine ~nprocs prog with
   | Complete o -> o
   | Partial p -> raise (Runtime_error p.detail)
+
+(* --- the recovery driver ------------------------------------------------- *)
+
+type recovery = {
+  r_result : run_result; (* the final attempt's result *)
+  r_attempts : int; (* run attempts made (1 = no recovery needed) *)
+  r_gave_up : bool; (* a recoverable failure outlived the budget *)
+  r_reports : Mpisim.Sim.report list; (* one per attempt, oldest first *)
+  r_penalty : float; (* simulated backoff seconds charged before retries *)
+}
+
+let backoff_base = 0.05 (* simulated seconds before the first retry *)
+
+(* [run_recovering] is [run_result] wrapped in rollback-and-replay:
+   checkpoints are taken (collectively) every [ckpt_interval] simulated
+   seconds; on a recoverable failure every rank rolls back to the
+   newest snapshot common to all ranks (or to program start when there
+   is none) and replays, with exponential simulated backoff, at most
+   [max_recoveries] times.  Replay is deterministic — locals, RNG
+   sequence numbers and the output prefix are part of the snapshot — so
+   a recovered run is bit-identical to an undisturbed one.  Each retry
+   re-rolls the fault model's kill schedule (see [Sim.run]'s [attempt]
+   salt); non-recoverable failures and exhausted budgets surface as the
+   final [Partial]. *)
+let run_recovering ?capture ?(seed = 42) ?(datadir = ".")
+    ?(ckpt_interval = 0.) ?(max_recoveries = 0) ~machine ~nprocs
+    (prog : Ir.prog) : recovery =
+  let slots : snapshot list array = Array.make nprocs [] in
+  (* The newest boundary every rank holds a snapshot for.  Commitment
+     is collective, so latest boundaries differ by at most one across
+     ranks and the two kept slots always cover the common one. *)
+  let restore_set () =
+    if ckpt_interval <= 0. then None
+    else
+      let latest =
+        Array.map
+          (function [] -> None | (s : snapshot) :: _ -> Some s.sn_boundary)
+          slots
+      in
+      if Array.exists Option.is_none latest then None
+      else
+        let target =
+          Array.fold_left
+            (fun acc l -> min acc (Option.get l))
+            max_int latest
+        in
+        let picks =
+          Array.map (List.find_opt (fun s -> s.sn_boundary = target)) slots
+        in
+        if Array.exists Option.is_none picks then None
+        else Some (Array.map Option.get picks)
+  in
+  let reports = ref [] in
+  let penalty = ref 0. in
+  let rec go att =
+    let restore = restore_set () in
+    let result, report =
+      attempt ?capture ~seed ~datadir ~machine ~nprocs ~attempt:att
+        ~ckpt_interval ~slots ~restore prog
+    in
+    reports := report :: !reports;
+    let finish gave_up =
+      {
+        r_result = result;
+        r_attempts = att + 1;
+        r_gave_up = gave_up;
+        r_reports = List.rev !reports;
+        r_penalty = !penalty;
+      }
+    in
+    match result with
+    | Complete _ -> finish false
+    | Partial p ->
+        if not (recoverable p.kind) then finish false
+        else if att >= max_recoveries then finish true
+        else begin
+          penalty := !penalty +. (backoff_base *. (2. ** float_of_int att));
+          go (att + 1)
+        end
+  in
+  go 0

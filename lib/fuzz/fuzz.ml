@@ -157,7 +157,7 @@ let check_case ?(use_cc = true) (script : string) : case_result =
                   (Printf.sprintf "[%s, P=%d, %s] %s: %s"
                      machine.Mpisim.Machine.name nprocs label m.Otter.variable
                      m.Otter.detail)
-            | Otter.Aborted { failed_rank; operation; detail } ->
+            | Otter.Aborted { failed_rank; operation; detail; _ } ->
                 Some
                   (Printf.sprintf "[%s, P=%d, %s] rank %d failed during %s: %s"
                      machine.Mpisim.Machine.name nprocs label failed_rank

@@ -291,3 +291,11 @@ let allreduce_scalar ~op x =
 
 let bcast_scalar ~root x =
   match bcast ~root [| x |] with [| y |] -> y | _ -> assert false
+
+(* One-bit agreement: true on every rank iff true on any rank.  The
+   checkpoint machinery votes with this at every candidate boundary;
+   because it is an allreduce, every rank leaves with the same verdict
+   or nobody leaves at all -- there is no state in which some ranks
+   checkpoint and others do not. *)
+let vote b =
+  allreduce_scalar ~op:Lor (if b then 1. else 0.) <> 0.

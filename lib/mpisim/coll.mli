@@ -23,6 +23,11 @@ val allreduce_scalar : op:op -> float -> float
 val bcast_scalar : root:int -> float -> float
 val barrier : unit -> unit
 
+val vote : bool -> bool
+(** One-bit agreement (logical-or allreduce): every rank returns [true]
+    iff any rank voted [true].  The checkpoint machinery's boundary
+    coordinator: all ranks leave with the same verdict or none do. *)
+
 val gatherv : root:int -> counts:int array -> float array -> float array
 (** Concatenate per-rank blocks (rank order) on the root; other ranks
     return [[||]]. *)

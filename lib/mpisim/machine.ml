@@ -28,8 +28,19 @@ type faults = {
   degrade : float; (* per-(link, window) degradation probability *)
   degrade_factor : float; (* latency x, bandwidth / this during a window *)
   degrade_period : float; (* seconds per degradation window *)
-  detect : float; (* default timeout for unprotected receives; 0 = wait
+  detect : float; (* default timeout for unprotected receives and the
+                     failure detector's heartbeat deadline; 0 = wait
                      forever (a lost message then deadlocks) *)
+  (* Permanent rank failures.  [kill] is the per-rank probability of
+     dying during one run attempt; a doomed rank's death time is drawn
+     uniformly in [0, kill_window).  [kill_rank]/[kill_time] plant one
+     deterministic death instead (first attempt only), which is what
+     the recovery tests use.  Both are seeded: the same seed produces
+     the same deaths. *)
+  kill : float; (* per-rank, per-attempt death probability *)
+  kill_window : float; (* seconds of virtual time deaths fall within *)
+  kill_rank : int; (* explicit victim (-1 = none) *)
+  kill_time : float; (* when the explicit victim dies *)
 }
 
 let no_faults =
@@ -45,6 +56,10 @@ let no_faults =
     degrade_factor = 10.;
     degrade_period = 10e-3;
     detect = 1.0;
+    kill = 0.;
+    kill_window = 0.05;
+    kill_rank = -1;
+    kill_time = 0.01;
   }
 
 (* Parse "drop=0.01,dup=0.005,seed=42" into a fault model.  Unknown
@@ -77,6 +92,13 @@ let faults_of_spec spec : (faults, string) result =
             | "degrade_factor" -> setf (fun x -> { f with degrade_factor = x })
             | "degrade_period" -> setf (fun x -> { f with degrade_period = x })
             | "detect" -> setf (fun x -> { f with detect = x })
+            | "kill" -> setf (fun x -> { f with kill = x })
+            | "kill_window" -> setf (fun x -> { f with kill_window = x })
+            | "kill_time" -> setf (fun x -> { f with kill_time = x })
+            | "kill_rank" -> (
+                match int_of_string_opt v with
+                | Some r -> Ok { f with kill_rank = r }
+                | None -> Error (Printf.sprintf "faults: bad kill_rank '%s'" v))
             | _ -> Error (Printf.sprintf "faults: unknown key '%s'" k))
         | _ -> Error (Printf.sprintf "faults: expected key=value, got '%s'" kv))
   in

@@ -110,12 +110,24 @@ let protocol_send ~dst ~tag data =
   in
   attempt 0 base
 
+(* The worst virtual time a lawful sender can still be retrying after:
+   the whole exponential-backoff ladder, computed for a pessimistic
+   payload.  The receiver's data wait must outlast it, or it would
+   condemn a sender that is about to get through. *)
+let worst_retrans_window ~peer =
+  let base = timeout_factor *. rtt_estimate ~peer 65536 in
+  let ladder = (backoff ** float_of_int (max_retries + 1)) -. 1. in
+  base *. ladder /. (backoff -. 1.)
+
 let protocol_recv ~src ~tag =
   let h = Sim.scratch () in
   let key = (dir_recv, src, tag) in
   let expected = Option.value ~default:0 (Hashtbl.find_opt h key) in
+  let min_timeout = worst_retrans_window ~peer:src in
   let rec loop () =
-    let seq, data = open_envelope ~src ~tag (Sim.recv_wait ~src ~tag) in
+    let seq, data =
+      open_envelope ~src ~tag (Sim.recv_wait ~min_timeout ~src ~tag ())
+    in
     if seq = expected then begin
       Hashtbl.replace h key (expected + 1);
       data

@@ -72,6 +72,17 @@ exception
 
 exception Rank_failure of { rank : int; exn : exn }
 
+(* Failure detector verdict: [rank]'s blocked receive on [failed] was
+   broken at virtual time [at] because the peer is permanently dead
+   (killed at [at] minus the model's [detect] window).  Delivered into
+   the waiting rank, so it surfaces wrapped in [Rank_failure]. *)
+exception Peer_failed of { rank : int; failed : int; at : float }
+
+(* The fault model permanently killed [rank] at virtual time [at].
+   Raised (wrapped in [Rank_failure]) once the run drains, even when
+   the survivors never tried to talk to the victim. *)
+exception Rank_killed of { rank : int; at : float }
+
 (* Operations available inside a simulated rank. *)
 let send ~dst ~tag data = perform (E_send (dst, tag, data))
 
@@ -89,17 +100,25 @@ let scratch () = perform E_scratch
 let note_retry () = perform E_note_retry
 let recv_opt ~src ~tag ~timeout = perform (E_recv_opt (src, tag, timeout))
 
-(* [recv_wait] never times out, even under a fault model; the reliable
-   layer uses it for data because the sender's bounded retries already
-   limit the wait. *)
-let recv_wait ~src ~tag = perform (E_recv (src, tag))
-
 (* A receive that raises a typed [Timeout] at its deadline. *)
 let recv_timeout ~src ~tag ~timeout =
   match perform (E_recv_opt (src, tag, timeout)) with
   | Some p -> p
   | None ->
       raise (Timeout { rank = perform E_rank; src; tag; waited = timeout })
+
+(* [recv_wait] waits forever on a perfect network, but under a fault
+   model it is bounded by [min_timeout] (at least the model's [detect]
+   window) so that no primitive can hang a chaos run: a wait the
+   sender's bounded retries cannot satisfy surfaces as a typed
+   [Timeout].  The reliable layer passes the worst-case retransmission
+   window as [min_timeout] to avoid giving up while the sender is
+   still lawfully retrying. *)
+let recv_wait ?(min_timeout = 0.) ~src ~tag () =
+  match (perform E_machine).Machine.faults with
+  | Some f when f.Machine.detect > 0. ->
+      recv_timeout ~src ~tag ~timeout:(Float.max f.Machine.detect min_timeout)
+  | _ -> perform (E_recv (src, tag))
 
 (* Under a fault model, a plain receive defaults to the model's
    [detect] timeout so that a lost message surfaces as a typed
@@ -146,6 +165,7 @@ type stats = {
   mutable stalls : int;
   mutable retries : int;
   mutable acks : int;
+  mutable kills : int;
 }
 
 type report = {
@@ -160,6 +180,7 @@ type report = {
   stalls : int; (* rank stalls it injected *)
   retries : int; (* retransmissions by the reliable layer *)
   acks : int; (* transport acknowledgements delivered *)
+  kills : int; (* ranks the fault model permanently killed *)
 }
 
 exception Deadlock of string
@@ -175,6 +196,7 @@ type 'a run_state = {
   results : 'a option array;
   scratch : (int * int * int, int) Hashtbl.t array; (* per rank *)
   mutable fault_ix : int; (* fault-decision counter (the RNG index) *)
+  death : float array; (* per-rank scheduled death time; infinity = never *)
 }
 
 type 'a suspended =
@@ -214,6 +236,32 @@ let salt_dup = 0x0d20
 let salt_delay = 0x0d30
 let salt_stall = 0x0d40
 let salt_ack = 0x0d50
+let salt_kill = 0x0d60
+let salt_kill_time = 0x0d70
+
+(* The per-rank death schedule for one run attempt: a pure function of
+   (fault seed, attempt, rank), so a given attempt reproduces its kills
+   exactly while a recovery retry (next [attempt]) re-rolls them --
+   otherwise a deterministic replay would march straight back into the
+   same crash.  The explicit [kill_rank] pin fires on attempt 0 only,
+   which is what the tests use: one planted death, clean recovery. *)
+let death_schedule (faults : Machine.faults option) ~nprocs ~attempt =
+  let death = Array.make nprocs infinity in
+  (match faults with
+  | None -> ()
+  | Some f ->
+      if f.Machine.kill > 0. then
+        for r = 0 to nprocs - 1 do
+          let ix = (attempt * 8191) + r in
+          if Rng.uniform ~seed:(f.Machine.fault_seed lxor salt_kill) ix < f.Machine.kill
+          then
+            death.(r) <-
+              Rng.uniform ~seed:(f.Machine.fault_seed lxor salt_kill_time) ix
+              *. f.Machine.kill_window
+        done;
+      if f.Machine.kill_rank >= 0 && f.Machine.kill_rank < nprocs && attempt = 0
+      then death.(f.Machine.kill_rank) <- f.Machine.kill_time);
+  death
 
 (* Link degradation windows are a pure function of (seed, window index,
    src, dst) -- independent of event order, so the same virtual-time
@@ -306,7 +354,10 @@ let deliver st ~src ~dst ~tag ?ack data =
   match ack with
   | None -> ()
   | Some (ack_tag, seq) ->
-      if not dropped then begin
+      (* A dead destination's NIC cannot acknowledge: suppressing the
+         ack is what makes the sender's reliable layer notice the
+         failure (retries, then [Exhausted]). *)
+      if (not dropped) && arrival < st.death.(dst) then begin
         let back = st.machine.Machine.link dst src in
         let ack_arrival =
           arrival +. back.Machine.latency +. (8. /. back.Machine.bandwidth)
@@ -394,9 +445,14 @@ let handler st my_rank (body : int -> 'a) : 'a suspended =
           | _ -> None);
     }
 
-(* [run ~machine ~nprocs body] simulates [nprocs] SPMD ranks each
-   executing [body rank]; returns their results and the timing report. *)
-let run ~machine ~nprocs (body : int -> 'a) : 'a array * report =
+(* [run_report ?attempt ~machine ~nprocs body] simulates [nprocs] SPMD
+   ranks each executing [body rank]; returns the run's outcome (results
+   or the failing exception) together with the timing/fault report --
+   failures keep their report, which is what the recovery driver and
+   otterc's fault counters need.  [attempt] re-salts the permanent-kill
+   schedule so each recovery retry sees fresh deaths. *)
+let run_report ?(attempt = 0) ~machine ~nprocs (body : int -> 'a) :
+    ('a array, exn) result * report =
   if nprocs < 1 then invalid_arg "run: nprocs must be positive";
   if nprocs > machine.Machine.max_procs then
     invalid_arg
@@ -420,10 +476,12 @@ let run ~machine ~nprocs (body : int -> 'a) : 'a array * report =
           stalls = 0;
           retries = 0;
           acks = 0;
+          kills = 0;
         };
       results = Array.make nprocs None;
       scratch = Array.init nprocs (fun _ -> Hashtbl.create 16);
       fault_ix = 0;
+      death = death_schedule machine.Machine.faults ~nprocs ~attempt;
     }
   in
   (* Cooperative scheduling in virtual-time order: of all ranks that
@@ -436,7 +494,23 @@ let run ~machine ~nprocs (body : int -> 'a) : 'a array * report =
      an earlier event -- which is what makes timing out safe. *)
   let states = Array.make nprocs None in
   let pending_start = Array.make nprocs true in
-  let step_key r =
+  let dead = Array.make nprocs false in
+  let detect =
+    match machine.Machine.faults with
+    | Some f when f.Machine.detect > 0. -> f.Machine.detect
+    | _ -> 0.
+  in
+  (* The failure detector: a receive blocked on a peer scheduled to die
+     becomes runnable at (death + detect) -- the heartbeat deadline --
+     and, if no message showed up by then, is broken with a typed
+     [Peer_failed].  Sends the peer issued before dying carry strictly
+     smaller scheduler keys, so they are always delivered first: the
+     detector never falsely condemns a slow-but-alive sender. *)
+  let detector_key src =
+    if detect > 0. && st.death.(src) < infinity then st.death.(src) +. detect
+    else Float.nan
+  in
+  let base_key r =
     (* [nan] = cannot step; otherwise the virtual time used for pick *)
     if pending_start.(r) then st.clocks.(r)
     else
@@ -445,13 +519,28 @@ let run ~machine ~nprocs (body : int -> 'a) : 'a array * report =
       | Some Finished -> Float.nan
       | Some (Wants_send _) -> st.clocks.(r)
       | Some (Wants_recv (src, tag, _)) ->
-          if Queue.is_empty (mailbox st ~dst:r ~src ~tag) then Float.nan
+          if Queue.is_empty (mailbox st ~dst:r ~src ~tag) then detector_key src
           else st.clocks.(r)
       | Some (Wants_recv_t (src, tag, deadline, _)) ->
           let q = mailbox st ~dst:r ~src ~tag in
           if (not (Queue.is_empty q)) && fst (Queue.peek q) <= deadline then
             st.clocks.(r)
-          else deadline
+          else
+            let d = detector_key src in
+            if Float.is_nan d then deadline else Float.min deadline d
+  in
+  (* A doomed rank's death is itself a schedulable event: once the rank
+     has no step strictly before its death time, the kill fires. *)
+  let dies_now r key =
+    st.death.(r) < infinity
+    && (not dead.(r))
+    && (Float.is_nan key || key >= st.death.(r))
+  in
+  let step_key r =
+    if dead.(r) then Float.nan
+    else
+      let key = base_key r in
+      if dies_now r key then st.death.(r) else key
   in
   let finished = ref 0 in
   let pick () =
@@ -465,65 +554,114 @@ let run ~machine ~nprocs (body : int -> 'a) : 'a array * report =
     done;
     !best
   in
-  while !finished < nprocs do
-    let r = pick () in
-    if r < 0 then begin
-      let buf = Buffer.create 128 in
+  let outcome =
+    try
+      while !finished < nprocs do
+        let r = pick () in
+        if r < 0 then begin
+          let buf = Buffer.create 128 in
+          Array.iteri
+            (fun rr s ->
+              if dead.(rr) then
+                Buffer.add_string buf
+                  (Printf.sprintf "  rank %d died at t=%.6f\n" rr st.death.(rr))
+              else
+                match s with
+                | Some (Wants_recv (src, tag, _)) ->
+                    Buffer.add_string buf
+                      (Printf.sprintf "  rank %d waits for (src=%d, tag=%d)%s\n"
+                         rr src tag
+                         (if dead.(src) then " [source is dead]" else ""))
+                | Some (Wants_send (dst, tag, _, _, _)) ->
+                    Buffer.add_string buf
+                      (Printf.sprintf
+                         "  rank %d pending send to (dst=%d, tag=%d)\n" rr dst
+                         tag)
+                | Some (Wants_recv_t _) | Some Finished | None -> ())
+            states;
+          raise (Deadlock (Buffer.contents buf))
+        end;
+        if dies_now r (base_key r) then begin
+          (* The kill event: the rank stops forever.  Its continuation
+             is dropped, its messages already in flight still arrive,
+             and nothing it would have sent after this instant ever
+             will.  Survivors learn of it from silence: missing acks
+             (retries, then [Exhausted]) or the failure detector. *)
+          dead.(r) <- true;
+          pending_start.(r) <- false;
+          st.clocks.(r) <- Float.max st.clocks.(r) st.death.(r);
+          st.stats.kills <- st.stats.kills + 1;
+          states.(r) <- Some Finished;
+          incr finished
+        end
+        else begin
+          let next =
+            if pending_start.(r) then begin
+              pending_start.(r) <- false;
+              handler st r body
+            end
+            else
+              match states.(r) with
+              | Some (Wants_send (dst, tag, ack, data, k)) ->
+                  deliver st ~src:r ~dst ~tag ?ack data;
+                  continue k ()
+              | Some (Wants_recv (src, tag, k)) ->
+                  let q = mailbox st ~dst:r ~src ~tag in
+                  if Queue.is_empty q then begin
+                    (* the failure detector fired for this wait *)
+                    let at = st.death.(src) +. detect in
+                    st.clocks.(r) <- Float.max st.clocks.(r) at;
+                    discontinue k (Peer_failed { rank = r; failed = src; at })
+                  end
+                  else begin
+                    let arrival, data = Queue.pop q in
+                    st.clocks.(r) <-
+                      Float.max st.clocks.(r) arrival
+                      +. st.machine.Machine.recv_overhead;
+                    continue k data
+                  end
+              | Some (Wants_recv_t (src, tag, deadline, k)) ->
+                  let q = mailbox st ~dst:r ~src ~tag in
+                  if (not (Queue.is_empty q)) && fst (Queue.peek q) <= deadline
+                  then begin
+                    let arrival, data = Queue.pop q in
+                    st.clocks.(r) <-
+                      Float.max st.clocks.(r) arrival
+                      +. st.machine.Machine.recv_overhead;
+                    continue k (Some data)
+                  end
+                  else
+                    let d = detector_key src in
+                    if (not (Float.is_nan d)) && d < deadline then begin
+                      let at = d in
+                      st.clocks.(r) <- Float.max st.clocks.(r) at;
+                      discontinue k (Peer_failed { rank = r; failed = src; at })
+                    end
+                    else begin
+                      st.clocks.(r) <- deadline;
+                      continue k None
+                    end
+              | Some Finished | None -> assert false
+          in
+          states.(r) <- Some next;
+          match next with Finished -> incr finished | _ -> ()
+        end
+      done;
+      (* Even a kill nobody was waiting on (a rank the others never
+         talk to, or P=1) must fail the run: its result is gone. *)
       Array.iteri
-        (fun rr s ->
-          match s with
-          | Some (Wants_recv (src, tag, _)) ->
-              Buffer.add_string buf
-                (Printf.sprintf "  rank %d waits for (src=%d, tag=%d)\n" rr src
-                   tag)
-          | Some (Wants_send (dst, tag, _, _, _)) ->
-              Buffer.add_string buf
-                (Printf.sprintf "  rank %d pending send to (dst=%d, tag=%d)\n"
-                   rr dst tag)
-          | Some (Wants_recv_t _) | Some Finished | None -> ())
-        states;
-      raise (Deadlock (Buffer.contents buf))
-    end;
-    let next =
-      if pending_start.(r) then begin
-        pending_start.(r) <- false;
-        handler st r body
-      end
-      else
-        match states.(r) with
-        | Some (Wants_send (dst, tag, ack, data, k)) ->
-            deliver st ~src:r ~dst ~tag ?ack data;
-            continue k ()
-        | Some (Wants_recv (src, tag, k)) ->
-            let q = mailbox st ~dst:r ~src ~tag in
-            let arrival, data = Queue.pop q in
-            st.clocks.(r) <-
-              Float.max st.clocks.(r) arrival
-              +. st.machine.Machine.recv_overhead;
-            continue k data
-        | Some (Wants_recv_t (src, tag, deadline, k)) ->
-            let q = mailbox st ~dst:r ~src ~tag in
-            if (not (Queue.is_empty q)) && fst (Queue.peek q) <= deadline then begin
-              let arrival, data = Queue.pop q in
-              st.clocks.(r) <-
-                Float.max st.clocks.(r) arrival
-                +. st.machine.Machine.recv_overhead;
-              continue k (Some data)
-            end
-            else begin
-              st.clocks.(r) <- deadline;
-              continue k None
-            end
-        | Some Finished | None -> assert false
-    in
-    states.(r) <- Some next;
-    match next with Finished -> incr finished | _ -> ()
-  done;
-  let results =
-    Array.init nprocs (fun r ->
-        match st.results.(r) with
-        | Some v -> v
-        | None -> failwith "rank finished without result")
+        (fun r d ->
+          if d then
+            raise
+              (Rank_failure
+                 { rank = r; exn = Rank_killed { rank = r; at = st.death.(r) } }))
+        dead;
+      Ok
+        (Array.init nprocs (fun r ->
+             match st.results.(r) with
+             | Some v -> v
+             | None -> failwith "rank finished without result"))
+    with e -> Error e
   in
   let report =
     {
@@ -538,6 +676,15 @@ let run ~machine ~nprocs (body : int -> 'a) : 'a array * report =
       stalls = st.stats.stalls;
       retries = st.stats.retries;
       acks = st.stats.acks;
+      kills = st.stats.kills;
     }
   in
-  (results, report)
+  (outcome, report)
+
+(* [run ~machine ~nprocs body] simulates [nprocs] SPMD ranks each
+   executing [body rank]; returns their results and the timing report.
+   Failures (rank crash, deadlock, permanent kill) raise. *)
+let run ?attempt ~machine ~nprocs (body : int -> 'a) : 'a array * report =
+  match run_report ?attempt ~machine ~nprocs body with
+  | Ok results, report -> (results, report)
+  | Error e, _ -> raise e

@@ -40,10 +40,12 @@ val recv_opt : src:int -> tag:int -> timeout:float -> payload option
 (** Like {!recv} but returns [None] on expiry instead of raising; the
     rank's clock advances to the deadline. *)
 
-val recv_wait : src:int -> tag:int -> payload
-(** Blocks with no timeout even under a fault model.  The reliable
-    layer uses this for data messages, whose wait is bounded by the
-    sender's retransmission budget. *)
+val recv_wait : ?min_timeout:float -> src:int -> tag:int -> unit -> payload
+(** Blocks with no timeout on a perfect network.  Under a fault model
+    the wait is bounded by [max detect min_timeout] and raises
+    {!Timeout} on expiry, so no primitive can hang a chaos run.  The
+    reliable layer passes its worst-case retransmission window as
+    [min_timeout] so a lawful retry storm is not condemned early. *)
 
 val recv_floats : src:int -> tag:int -> float array
 (** Raises {!Protocol_error} on an integer payload. *)
@@ -87,6 +89,7 @@ type report = {
   stalls : int;  (** rank stalls it injected *)
   retries : int;  (** retransmissions by the reliable layer *)
   acks : int;  (** transport acknowledgements delivered *)
+  kills : int;  (** ranks the fault model permanently killed *)
 }
 
 exception Deadlock of string
@@ -107,7 +110,36 @@ exception Rank_failure of { rank : int; exn : exn }
 (** Any exception escaping a rank body is wrapped with the rank's
     identity before aborting the simulation. *)
 
-val run : machine:Machine.t -> nprocs:int -> (int -> 'a) -> 'a array * report
+exception Peer_failed of { rank : int; failed : int; at : float }
+(** The failure detector's verdict, delivered into a receive blocked on
+    a permanently dead peer once the heartbeat deadline (the peer's
+    death time plus the model's [detect] window) passes.  Surfaces
+    wrapped in {!Rank_failure} naming the surviving waiter. *)
+
+exception Rank_killed of { rank : int; at : float }
+(** The fault model permanently killed [rank] at virtual time [at].
+    Raised (wrapped in {!Rank_failure}) when the run drains, even if no
+    survivor ever blocked on the victim. *)
+
+val run :
+  ?attempt:int ->
+  machine:Machine.t ->
+  nprocs:int ->
+  (int -> 'a) ->
+  'a array * report
 (** [run ~machine ~nprocs body] simulates [nprocs] SPMD ranks each
     executing [body rank]; returns per-rank results and the timing
-    report.  Deterministic: identical inputs give identical reports. *)
+    report.  Deterministic: identical inputs give identical reports.
+    [attempt] (default 0) re-salts the permanent-kill schedule so a
+    recovery retry re-rolls which ranks die and when; the explicit
+    [kill_rank] pin fires on attempt 0 only. *)
+
+val run_report :
+  ?attempt:int ->
+  machine:Machine.t ->
+  nprocs:int ->
+  (int -> 'a) ->
+  ('a array, exn) result * report
+(** Like {!run}, but a failing run returns [Error exn] together with
+    the report accumulated up to the failure — the fault counters the
+    recovery driver and otterc print on an abort. *)

@@ -137,6 +137,13 @@ let run_parallel_result ?capture ?seed ?datadir ~machine ~nprocs (c : compiled)
     =
   Exec.Vm.run_result ?capture ?seed ?datadir ~machine ~nprocs c.prog
 
+(* Same again, wrapped in the VM's checkpoint/rollback driver: survives
+   permanent rank kills and message loss up to the retry budget. *)
+let run_parallel_recovering ?capture ?seed ?datadir ?ckpt_interval
+    ?max_recoveries ~machine ~nprocs (c : compiled) =
+  Exec.Vm.run_recovering ?capture ?seed ?datadir ?ckpt_interval
+    ?max_recoveries ~machine ~nprocs c.prog
+
 (* Sequential baselines (Figure 2). *)
 let run_interpreter ?capture ?seed ?datadir ~machine (c : compiled) =
   Interp.Eval.run ?capture ?seed ?datadir ~mode:Interp.Cost.Interpreter ~machine
@@ -186,20 +193,40 @@ let compare_values ~tol (a : Interp.Eval.captured) (b : Exec.Vm.captured) :
 type verdict =
   | Verified
   | Mismatched of mismatch list
-  | Aborted of { failed_rank : int; operation : string; detail : string }
+  | Aborted of {
+      failed_rank : int;
+      operation : string;
+      detail : string;
+      kind : Exec.Vm.failure_kind;
+      report : Mpisim.Sim.report;
+      recoveries : int;
+    }
 
 (* Run the interpreter and the compiled program on [nprocs] processors
    and compare the captured variables (within [tol], which absorbs
    reduction-order rounding).  When the parallel run dies — e.g. under
    an injected fault model without the reliable layer — the verdict is
    a structured [Aborted] naming the failing rank and operation rather
-   than an exception. *)
-let verify_outcome ?(tol = 1e-9) ?seed ~machine ~nprocs ~capture (c : compiled)
-    : verdict =
+   than an exception.  [ckpt_interval]/[max_recoveries] route the
+   parallel run through the checkpoint/rollback driver, so a verdict of
+   [Verified] can also mean "failed, recovered, and still bit-compatible
+   with the reference". *)
+let verify_outcome ?(tol = 1e-9) ?seed ?(ckpt_interval = 0.)
+    ?(max_recoveries = 0) ~machine ~nprocs ~capture (c : compiled) : verdict =
   let ref_run = run_interpreter ?seed ~capture ~machine c in
-  match run_parallel_result ?seed ~capture ~machine ~nprocs c with
-  | Exec.Vm.Partial { failed_rank; operation; detail } ->
-      Aborted { failed_rank; operation; detail }
+  let par_result, recoveries =
+    if ckpt_interval > 0. || max_recoveries > 0 then begin
+      let rc =
+        run_parallel_recovering ?seed ~capture ~ckpt_interval ~max_recoveries
+          ~machine ~nprocs c
+      in
+      (rc.Exec.Vm.r_result, rc.Exec.Vm.r_attempts - 1)
+    end
+    else (run_parallel_result ?seed ~capture ~machine ~nprocs c, 0)
+  in
+  match par_result with
+  | Exec.Vm.Partial { failed_rank; operation; detail; kind; report } ->
+      Aborted { failed_rank; operation; detail; kind; report; recoveries }
   | Exec.Vm.Complete par_run -> (
       let mismatches =
         List.filter_map

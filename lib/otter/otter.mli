@@ -84,6 +84,21 @@ val run_parallel_result :
 (** Like {!run_parallel}, but a failing rank yields a structured
     {!Exec.Vm.run_result.Partial} instead of an exception. *)
 
+val run_parallel_recovering :
+  ?capture:string list ->
+  ?seed:int ->
+  ?datadir:string ->
+  ?ckpt_interval:float ->
+  ?max_recoveries:int ->
+  machine:Mpisim.Machine.t ->
+  nprocs:int ->
+  compiled ->
+  Exec.Vm.recovery
+(** Like {!run_parallel_result}, wrapped in the VM's coordinated
+    checkpoint/rollback driver (see {!Exec.Vm.run_recovering}):
+    snapshots every [ckpt_interval] simulated seconds, up to
+    [max_recoveries] deterministic replays on recoverable failures. *)
+
 val run_interpreter :
   ?capture:string list ->
   ?seed:int ->
@@ -107,14 +122,24 @@ type mismatch = { variable : string; detail : string }
 type verdict =
   | Verified
   | Mismatched of mismatch list
-  | Aborted of { failed_rank : int; operation : string; detail : string }
-      (** The parallel run died (rank failure, receive timeout under an
-          injected fault model, exhausted retransmissions) before its
-          results could be compared. *)
+  | Aborted of {
+      failed_rank : int;
+      operation : string;
+      detail : string;
+      kind : Exec.Vm.failure_kind;
+      report : Mpisim.Sim.report;
+          (** fault counters accumulated up to the abort *)
+      recoveries : int;  (** rollbacks attempted before giving up *)
+    }
+      (** The parallel run died (rank failure, permanent kill, receive
+          timeout under an injected fault model, exhausted
+          retransmissions) before its results could be compared. *)
 
 val verify_outcome :
   ?tol:float ->
   ?seed:int ->
+  ?ckpt_interval:float ->
+  ?max_recoveries:int ->
   machine:Mpisim.Machine.t ->
   nprocs:int ->
   capture:string list ->
@@ -123,7 +148,8 @@ val verify_outcome :
 (** Run the interpreter and the [nprocs]-CPU compiled program and
     compare the captured variables; [tol] absorbs reduction-order
     rounding.  Never raises for a failing parallel run — it degrades to
-    {!verdict.Aborted}. *)
+    {!verdict.Aborted}.  Nonzero [ckpt_interval]/[max_recoveries] route
+    the parallel run through checkpoint/rollback recovery first. *)
 
 val verify :
   ?tol:float ->

@@ -1,0 +1,8 @@
+% minimized from chaos sweep: rand inside a loop straddling a
+% checkpoint boundary; the replay must resume the RNG stream exactly.
+s = 0;
+for i = 1:12
+  a = rand(12, 12);
+  s = s + sum(sum(a * a'));
+end
+fprintf('s=%.17g\n', s);

@@ -1,0 +1,7 @@
+% minimized from chaos sweep: a circshift (neighbor exchange) issued
+% right after the victim's death time exercises the failure detector
+% on a point-to-point receive rather than a collective.
+v = rand(1, 4000);
+w = circshift(v, 1) + circshift(v, -1);
+m = max(w);
+fprintf('m=%.17g\n', m);

@@ -1,0 +1,10 @@
+% minimized from chaos sweep: a while loop whose bounds are recomputed
+% each iteration; the checkpoint must snapshot the loop counter from
+% the environment, not frozen bounds.
+x = 1;
+k = 0;
+while x < 1000
+  x = x * 1.5 + sum(rand(8, 1));
+  k = k + 1;
+end
+fprintf('x=%.17g k=%d\n', x, k);

@@ -13,6 +13,7 @@ let () =
       ("sim", Test_sim.suite);
       ("coll", Test_coll.suite);
       ("faults", Test_faults.suite);
+      ("recovery", Test_recovery.suite);
       ("runtime", Test_runtime.suite);
       ("fmtutil", Test_fmtutil.suite);
       ("vm", Test_vm.suite);

@@ -230,7 +230,7 @@ let test_apps_verify_under_faults () =
       | Otter.Mismatched ms ->
           Alcotest.failf "%s: %d mismatches under faults" app.key
             (List.length ms)
-      | Otter.Aborted { failed_rank; operation; detail } ->
+      | Otter.Aborted { failed_rank; operation; detail; _ } ->
           Alcotest.failf "%s aborted: rank %d during %s: %s" app.key
             failed_rank operation detail)
     Apps.Scripts.apps
@@ -248,7 +248,7 @@ let test_vm_partial_names_rank_and_operation () =
     faulty ~reliable:false "drop=1.0,detect=0.1,seed=2" Machine.sparc20_cluster
   in
   match Otter.run_parallel_result ~capture:app.capture ~machine:m ~nprocs:4 c with
-  | Exec.Vm.Partial { failed_rank; operation; detail } ->
+  | Exec.Vm.Partial { failed_rank; operation; detail; _ } ->
       Alcotest.(check bool) "rank in range" true
         (failed_rank >= 0 && failed_rank < 4);
       Alcotest.(check bool) "operation non-empty" true (operation <> "");
