@@ -194,6 +194,21 @@ let get_machine name =
         name;
       exit 2
 
+let engine_arg =
+  Arg.(value & opt string (Otter.engine_name Otter.default_engine)
+         & info [ "engine" ] ~docv:"NAME"
+         ~doc:"Execution engine for simulated runs: $(b,tcode) (the \
+               pre-decoded threaded-code fast path, default) or $(b,ir) \
+               (the direct IR walker).  Both produce bit-identical \
+               results; ir is kept as a cross-check and fallback.")
+
+let get_engine name =
+  match Otter.engine_of_string name with
+  | Some e -> e
+  | None ->
+      Fmt.epr "unknown engine '%s' (try tcode or ir)@." name;
+      exit 2
+
 let faults_arg =
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC"
          ~doc:"Inject faults, e.g. $(b,drop=0.01,dup=0.005,seed=42).  Keys: \
@@ -274,11 +289,12 @@ let print_abort ~gave_up ~recoveries failed_rank operation detail
     report.kills report.retries report.acks
 
 let run_cmd =
-  let run input nprocs machine timing stats faults reliable chaos
+  let run input nprocs machine engine timing stats faults reliable chaos
       ckpt_interval max_recoveries opt passes validate dumps =
     handle_errors (fun () ->
         let c = compile_input input opt passes validate dumps in
         let machine = apply_faults (get_machine machine) faults reliable in
+        let engine = get_engine engine in
         let ckpt_interval, max_recoveries =
           recovery_settings ~chaos ~ckpt_interval ~max_recoveries
         in
@@ -286,13 +302,13 @@ let run_cmd =
         let result, recoveries, gave_up =
           if recovering then begin
             let rc =
-              Otter.run_parallel_recovering ~ckpt_interval ~max_recoveries
-                ~machine ~nprocs c
+              Otter.run_parallel_recovering ~engine ~ckpt_interval
+                ~max_recoveries ~machine ~nprocs c
             in
             (rc.Exec.Vm.r_result, rc.Exec.Vm.r_attempts - 1,
              rc.Exec.Vm.r_gave_up)
           end
-          else (Otter.run_parallel_result ~machine ~nprocs c, 0, false)
+          else (Otter.run_parallel_result ~engine ~machine ~nprocs c, 0, false)
         in
         match result with
         | Exec.Vm.Partial { failed_rank; operation; detail; kind; report } ->
@@ -337,10 +353,10 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Compile and execute on a simulated parallel machine.")
-    Term.(const run $ input_arg $ procs_arg $ machine_arg $ timing_arg
-          $ stats_arg $ faults_arg $ reliable_arg $ chaos_arg $ ckpt_arg
-          $ max_recoveries_arg $ opt_arg $ passes_arg $ validate_arg
-          $ dump_after_arg)
+    Term.(const run $ input_arg $ procs_arg $ machine_arg $ engine_arg
+          $ timing_arg $ stats_arg $ faults_arg $ reliable_arg $ chaos_arg
+          $ ckpt_arg $ max_recoveries_arg $ opt_arg $ passes_arg
+          $ validate_arg $ dump_after_arg)
 
 (* --- interp --------------------------------------------------------------- *)
 
@@ -412,11 +428,12 @@ let dump_cmd =
 (* --- verify ---------------------------------------------------------------- *)
 
 let verify_cmd =
-  let run input nprocs machine vars tol faults reliable chaos ckpt_interval
-      max_recoveries opt passes validate dumps =
+  let run input nprocs machine engine vars tol faults reliable chaos
+      ckpt_interval max_recoveries opt passes validate dumps =
     handle_errors (fun () ->
         let c = compile_input input opt passes validate dumps in
         let machine = apply_faults (get_machine machine) faults reliable in
+        let engine = get_engine engine in
         let ckpt_interval, max_recoveries =
           recovery_settings ~chaos ~ckpt_interval ~max_recoveries
         in
@@ -429,8 +446,8 @@ let verify_cmd =
               c.Otter.info.Analysis.Infer.var_ty []
         in
         match
-          Otter.verify_outcome ~tol ~ckpt_interval ~max_recoveries ~machine
-            ~nprocs ~capture c
+          Otter.verify_outcome ~engine ~tol ~ckpt_interval ~max_recoveries
+            ~machine ~nprocs ~capture c
         with
         | Otter.Verified ->
             Fmt.pr "verified: %d variables agree between the interpreter and \
@@ -474,10 +491,10 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Check compiled results against the reference interpreter.")
-    Term.(const run $ input_arg $ procs_arg $ machine_arg $ vars_arg
-          $ tol_arg $ faults_arg $ reliable_arg $ chaos_arg $ ckpt_arg
-          $ max_recoveries_arg $ opt_arg $ passes_arg $ validate_arg
-          $ dump_after_arg)
+    Term.(const run $ input_arg $ procs_arg $ machine_arg $ engine_arg
+          $ vars_arg $ tol_arg $ faults_arg $ reliable_arg $ chaos_arg
+          $ ckpt_arg $ max_recoveries_arg $ opt_arg $ passes_arg
+          $ validate_arg $ dump_after_arg)
 
 (* --- fuzz ------------------------------------------------------------------ *)
 

@@ -1,0 +1,373 @@
+(* Representation shared by the execution engines.
+
+   Both engines — the IR-walking [Vm] and the pre-decoded threaded-code
+   [Tcode] — execute the same SPMD programs on the same simulator and
+   must be interchangeable from the driver's point of view: same value
+   representation, same structured results, same failure classes, and
+   the same checkpoint format, so a chaos run recovers identically no
+   matter which engine produced the snapshots.  This module holds that
+   common ground; everything engine-specific (environments vs slot
+   frames, tree walking vs decoded code) stays in the engines. *)
+
+open Spmd
+module Dmat = Runtime.Dmat
+module Ops = Runtime.Ops
+
+exception Runtime_error of string
+
+let error fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
+
+type value = Vscalar of float | Vmat of Dmat.t | Vstr of string
+
+exception Break_exc
+exception Continue_exc
+exception Return_exc
+
+(* --- dispatch throughput counter ------------------------------------------ *)
+
+(* Instructions executed since the caller last reset this, summed over
+   ranks and engines.  Each engine counts its own execution unit: the
+   walker adds one per IR instruction it executes; the threaded-code
+   engine adds one per decoded op dispatched plus one per step of each
+   scalar program it evaluates (the units its decode listing prints).
+   `bench vmspeed` divides by wall time to get engine throughput. *)
+let dispatched = ref 0
+
+(* --- shared scalar semantics --------------------------------------------- *)
+
+let truthy f = f <> 0.
+let of_bool b = if b then 1. else 0.
+
+let scalar_binop (op : Mlang.Ast.binop) a b =
+  match op with
+  | Mlang.Ast.Add -> a +. b
+  | Mlang.Ast.Sub -> a -. b
+  | Mlang.Ast.Mul | Mlang.Ast.Emul -> a *. b
+  | Mlang.Ast.Div | Mlang.Ast.Ediv -> a /. b
+  | Mlang.Ast.Ldiv | Mlang.Ast.Eldiv -> b /. a
+  | Mlang.Ast.Pow | Mlang.Ast.Epow -> Float.pow a b
+  | Mlang.Ast.Lt -> of_bool (a < b)
+  | Mlang.Ast.Le -> of_bool (a <= b)
+  | Mlang.Ast.Gt -> of_bool (a > b)
+  | Mlang.Ast.Ge -> of_bool (a >= b)
+  | Mlang.Ast.Eq -> of_bool (a = b)
+  | Mlang.Ast.Ne -> of_bool (a <> b)
+  | Mlang.Ast.And | Mlang.Ast.Shortand -> of_bool (truthy a && truthy b)
+  | Mlang.Ast.Or | Mlang.Ast.Shortor -> of_bool (truthy a || truthy b)
+
+let scalar_builtin name args =
+  match (name, args) with
+  | "abs", [ x ] -> Float.abs x
+  | "sqrt", [ x ] -> sqrt x
+  | "exp", [ x ] -> exp x
+  | "log", [ x ] -> log x
+  | "log10", [ x ] -> log10 x
+  | "log2", [ x ] -> log x /. log 2.
+  | "sin", [ x ] -> sin x
+  | "cos", [ x ] -> cos x
+  | "tan", [ x ] -> tan x
+  | "asin", [ x ] -> asin x
+  | "acos", [ x ] -> acos x
+  | "atan", [ x ] -> atan x
+  | "sinh", [ x ] -> sinh x
+  | "cosh", [ x ] -> cosh x
+  | "tanh", [ x ] -> tanh x
+  | "floor", [ x ] -> floor x
+  | "ceil", [ x ] -> ceil x
+  | "round", [ x ] -> Float.round x
+  | "fix", [ x ] -> Float.trunc x
+  | "sign", [ x ] -> if x > 0. then 1. else if x < 0. then -1. else 0.
+  | "double", [ x ] -> x
+  | "mod", [ a; b ] -> if b = 0. then a else a -. (b *. Float.floor (a /. b))
+  | "rem", [ a; b ] -> if b = 0. then a else Float.rem a b
+  | "atan2", [ a; b ] -> atan2 a b
+  | "hypot", [ a; b ] -> Float.hypot a b
+  | "pow", [ a; b ] | "power", [ a; b ] -> Float.pow a b
+  | "min", [ a; b ] -> Float.min a b
+  | "max", [ a; b ] -> Float.max a b
+  | _ -> error "unknown scalar builtin '%s'/%d" name (List.length args)
+
+let rkind_to_red = function
+  | Ir.Rsum -> Ops.Rsum
+  | Ir.Rprod -> Ops.Rprod
+  | Ir.Rmin -> Ops.Rmin
+  | Ir.Rmax -> Ops.Rmax
+  | Ir.Rany -> Ops.Rany
+  | Ir.Rall -> Ops.Rall
+  | Ir.Rmean -> Ops.Rsum (* handled separately *)
+
+(* MATLAB colon ranges, shared by sections and the [Crange] constructor:
+   lo : step : hi with the usual end-point slop. *)
+let range_indices lo step hi =
+  let n =
+    if step = 0. then 0
+    else
+      let raw = ((hi -. lo) /. step) +. 1e-9 in
+      if raw < 0. then 0 else int_of_float (Float.floor raw) + 1
+  in
+  Array.init n (fun k -> int_of_float (lo +. (float_of_int k *. step)) - 1)
+
+(* --- instruction classification ------------------------------------------ *)
+
+(* Human-readable operation names for failure attribution: when a rank
+   dies mid-run, the engine reports what it was doing. *)
+let inst_name : Ir.inst -> string = function
+  | Ir.Iscalar _ -> "scalar assignment"
+  | Ir.Ielem _ -> "element-wise expression"
+  | Ir.Icopy _ -> "matrix copy"
+  | Ir.Imatmul _ -> "matrix multiply"
+  | Ir.Imatmul_t _ -> "transposed matrix multiply"
+  | Ir.Idot _ -> "dot product"
+  | Ir.Itranspose _ -> "transpose"
+  | Ir.Idiag _ -> "diagonal"
+  | Ir.Iouter _ -> "outer product"
+  | Ir.Ireduce_all _ -> "full reduction"
+  | Ir.Ireduce_cols _ -> "column reduction"
+  | Ir.Inorm _ -> "norm"
+  | Ir.Iscan _ -> "cumulative scan"
+  | Ir.Isort _ -> "sort"
+  | Ir.Ireduce_loc _ -> "indexed reduction"
+  | Ir.Itrapz _ -> "trapezoidal integration"
+  | Ir.Ishift _ -> "circular shift"
+  | Ir.Ibcast _ -> "element broadcast"
+  | Ir.Ibcast_batch _ -> "batched element broadcast"
+  | Ir.Ireduce_fused _ -> "fused allreduce"
+  | Ir.Isetelem _ -> "element assignment"
+  | Ir.Iload _ -> "data file load"
+  | Ir.Iconstruct _ -> "matrix constructor"
+  | Ir.Iliteral _ -> "matrix literal"
+  | Ir.Isection _ -> "section read"
+  | Ir.Isetsection _ -> "section assignment"
+  | Ir.Iconcat _ -> "matrix concatenation"
+  | Ir.Icalluser _ -> "user function call"
+  | Ir.Iprint _ -> "print"
+  | Ir.Iprintf _ -> "formatted output"
+  | Ir.Ierror _ -> "error statement"
+  | Ir.Iif _ -> "if statement"
+  | Ir.Iwhile _ -> "while loop"
+  | Ir.Ifor _ -> "for loop"
+  | Ir.Ibreak | Ir.Icontinue | Ir.Ireturn -> "control transfer"
+
+(* Instructions the C back end maps to an ML_* run-time library call;
+   scalar assignments, fused element-wise loops, control flow and
+   printing run inline in the generated code.  The per-rank executed
+   count is what the bench ablation prices. *)
+let is_lib_call : Ir.inst -> bool = function
+  | Ir.Iscalar _ | Ir.Ielem _ | Ir.Icalluser _ | Ir.Iprint _ | Ir.Iprintf _
+  | Ir.Ierror _ | Ir.Iif _ | Ir.Iwhile _ | Ir.Ifor _ | Ir.Ibreak
+  | Ir.Icontinue | Ir.Ireturn ->
+      false
+  | _ -> true
+
+(* --- structured results --------------------------------------------------- *)
+
+type captured = Cscalar of float | Cmat of int * int * float array
+
+type outcome = {
+  output : string;
+  captures : (string * captured) list;
+  lib_calls : int;
+  report : Mpisim.Sim.report;
+}
+
+(* Why a run attempt died, coarsened to the classes the recovery driver
+   and otterc's exit codes care about. *)
+type failure_kind =
+  | Ftimeout (* a receive deadline expired *)
+  | Fprotocol (* malformed traffic: a bug, not the network *)
+  | Fkilled (* the fault model permanently killed a rank *)
+  | Fpeer (* the failure detector condemned a dead peer *)
+  | Fexhausted (* a sender ran out of retransmissions *)
+  | Fdeadlock (* every live rank blocked *)
+  | Fruntime (* an error in the program itself *)
+
+let classify_failure = function
+  | Mpisim.Sim.Timeout _ -> Ftimeout
+  | Mpisim.Sim.Protocol_error _ -> Fprotocol
+  | Mpisim.Sim.Rank_killed _ -> Fkilled
+  | Mpisim.Sim.Peer_failed _ -> Fpeer
+  | Mpisim.Reliable.Exhausted _ -> Fexhausted
+  | Mpisim.Sim.Deadlock _ -> Fdeadlock
+  | _ -> Fruntime
+
+(* Rollback-and-replay can only cure what the network (or the fault
+   model) did; program bugs and protocol violations would just fail
+   identically again. *)
+let recoverable = function
+  | Ftimeout | Fkilled | Fpeer | Fexhausted -> true
+  | Fprotocol | Fdeadlock | Fruntime -> false
+
+type run_result =
+  | Complete of outcome
+  | Partial of {
+      failed_rank : int;
+      operation : string;
+      detail : string;
+      kind : failure_kind;
+      report : Mpisim.Sim.report;
+    }
+
+(* What went wrong on the failing rank, in one line. *)
+let describe_failure = function
+  | Runtime_error m | Failure m -> m
+  | Mpisim.Sim.Timeout { src; tag; waited; _ } ->
+      Printf.sprintf
+        "gave up after %.3gs waiting for a message (src=%d, tag=%d)" waited
+        src tag
+  | Mpisim.Sim.Protocol_error { src; tag; detail; _ } ->
+      Printf.sprintf "protocol error on message (src=%d, tag=%d): %s" src tag
+        detail
+  | Mpisim.Reliable.Exhausted { dst; tag; attempts; _ } ->
+      Printf.sprintf
+        "gave a message up for lost after %d attempts (dst=%d, tag=%d)"
+        attempts dst tag
+  | Mpisim.Sim.Peer_failed { failed; at; _ } ->
+      Printf.sprintf "detected failure of rank %d at t=%.4gs" failed at
+  | Mpisim.Sim.Rank_killed { at; _ } ->
+      Printf.sprintf "permanently killed by the fault model at t=%.4gs" at
+  | e -> Printexc.to_string e
+
+(* --- the shared checkpoint format ----------------------------------------- *)
+
+(* Where execution resumes after a rollback: just before top-level
+   statement [i], or just before iteration [k] of the top-level loop at
+   statement [i].  A for loop also freezes its (start, step, stop)
+   bounds, which MATLAB fixes at loop entry and which the environment
+   at iteration [k] can no longer reproduce. *)
+type pc = Ptop of int | Ploop of int * int * (float * float * float) option
+
+type snapshot = {
+  sn_boundary : int; (* which boundary (attempt-local counter) *)
+  sn_pc : pc;
+  sn_env : (string * value) array; (* deep copy of the rank's locals *)
+  sn_rand_calls : int; (* replicated RNG sequence number *)
+  sn_calls : int; (* executed library calls so far *)
+  sn_out : string; (* rank 0: the output prefix; "" elsewhere *)
+}
+
+let copy_value = function
+  | Vmat m -> Vmat (Dmat.copy m)
+  | (Vscalar _ | Vstr _) as v -> v
+
+(* Per-rank checkpoint cursor for one run attempt.  [ck_slots] is the
+   host-side store shared with the recovery driver; each rank keeps its
+   two newest snapshots so that, when a failure lands between a
+   boundary's commit on some ranks and not others, every rank can still
+   produce the newest boundary common to all (commitment is a
+   collective, so latest boundaries differ by at most one). *)
+type ck = {
+  ck_interval : float;
+  ck_slots : snapshot list array; (* per rank, newest first, length <= 2 *)
+  mutable ck_next : float; (* virtual time of the next wanted snapshot *)
+  mutable ck_boundary : int;
+}
+
+(* A checkpoint boundary: every rank reaches these in lockstep (the
+   compiled programs are loosely synchronous, so top-level control flow
+   is replicated).  Whether to snapshot is decided by collective vote
+   -- per-rank clocks drift, so "my interval elapsed" can differ across
+   ranks, but the or-vote gives every rank the same verdict.  Starts
+   with [ck_next = 0], so the first boundary of every attempt commits:
+   that re-establishes the restore point right after a rollback.
+
+   The engine supplies [mk_env] (a deep copy of its locals in snapshot
+   form) and bookkeeping counters; the vote, the slot rotation and the
+   snapshot layout live here so both engines write the exact same
+   checkpoint format. *)
+let at_boundary ck ~rk ~mk_env ~rand_calls ~calls ~out (pcv : pc) =
+  ck.ck_boundary <- ck.ck_boundary + 1;
+  let want = Mpisim.Sim.time () >= ck.ck_next in
+  if Mpisim.Coll.vote want then begin
+    let snap =
+      {
+        sn_boundary = ck.ck_boundary;
+        sn_pc = pcv;
+        sn_env = mk_env ();
+        sn_rand_calls = rand_calls;
+        sn_calls = calls;
+        sn_out = (if rk = 0 then Buffer.contents out else "");
+      }
+    in
+    let kept = match ck.ck_slots.(rk) with [] -> [] | s :: _ -> [ s ] in
+    ck.ck_slots.(rk) <- snap :: kept;
+    ck.ck_next <- Mpisim.Sim.time () +. ck.ck_interval
+  end
+
+(* --- the recovery driver -------------------------------------------------- *)
+
+type recovery = {
+  r_result : run_result; (* the final attempt's result *)
+  r_attempts : int; (* run attempts made (1 = no recovery needed) *)
+  r_gave_up : bool; (* a recoverable failure outlived the budget *)
+  r_reports : Mpisim.Sim.report list; (* one per attempt, oldest first *)
+  r_penalty : float; (* simulated backoff seconds charged before retries *)
+}
+
+let backoff_base = 0.05 (* simulated seconds before the first retry *)
+
+(* Rollback-and-replay around an engine's [attempt] function:
+   checkpoints are taken (collectively) every [ckpt_interval] simulated
+   seconds; on a recoverable failure every rank rolls back to the
+   newest snapshot common to all ranks (or to program start when there
+   is none) and replays, with exponential simulated backoff, at most
+   [max_recoveries] times.  Replay is deterministic — locals, RNG
+   sequence numbers and the output prefix are part of the snapshot — so
+   a recovered run is bit-identical to an undisturbed one.  Each retry
+   re-rolls the fault model's kill schedule (see [Sim.run]'s [attempt]
+   salt); non-recoverable failures and exhausted budgets surface as the
+   final [Partial]. *)
+let run_recovering_with ~nprocs ~ckpt_interval ~max_recoveries
+    (attempt :
+      attempt:int ->
+      slots:snapshot list array ->
+      restore:snapshot array option ->
+      run_result * Mpisim.Sim.report) : recovery =
+  let slots : snapshot list array = Array.make nprocs [] in
+  (* The newest boundary every rank holds a snapshot for.  Commitment
+     is collective, so latest boundaries differ by at most one across
+     ranks and the two kept slots always cover the common one. *)
+  let restore_set () =
+    if ckpt_interval <= 0. then None
+    else
+      let latest =
+        Array.map
+          (function [] -> None | (s : snapshot) :: _ -> Some s.sn_boundary)
+          slots
+      in
+      if Array.exists Option.is_none latest then None
+      else
+        let target =
+          Array.fold_left (fun acc l -> min acc (Option.get l)) max_int latest
+        in
+        let picks =
+          Array.map (List.find_opt (fun s -> s.sn_boundary = target)) slots
+        in
+        if Array.exists Option.is_none picks then None
+        else Some (Array.map Option.get picks)
+  in
+  let reports = ref [] in
+  let penalty = ref 0. in
+  let rec go att =
+    let restore = restore_set () in
+    let result, report = attempt ~attempt:att ~slots ~restore in
+    reports := report :: !reports;
+    let finish gave_up =
+      {
+        r_result = result;
+        r_attempts = att + 1;
+        r_gave_up = gave_up;
+        r_reports = List.rev !reports;
+        r_penalty = !penalty;
+      }
+    in
+    match result with
+    | Complete _ -> finish false
+    | Partial p ->
+        if not (recoverable p.kind) then finish false
+        else if att >= max_recoveries then finish true
+        else begin
+          penalty := !penalty +. (backoff_base *. (2. ** float_of_int att));
+          go (att + 1)
+        end
+  in
+  go 0

@@ -1,0 +1,94 @@
+(** The pre-decoded threaded-code SPMD executor: the fast path.
+
+    Compiles the per-rank IR program once into flat arrays of
+    instruction closures with resolved jump targets, array-indexed
+    variable slots (no environment hashing), RPN scalar programs over
+    an unboxed float stack, and preallocated element-loop operand
+    buffers — then runs it bit-for-bit compatibly with {!Vm}: same
+    outputs, same flop charges in the same order, same error messages,
+    same structured results, and the same checkpoint format, so chaos
+    recovery is engine-agnostic.  All result types are shared with
+    {!Vm} through {!State}. *)
+
+exception Runtime_error of string
+(** Any execution failure: undefined variables, bounds, conformability,
+    user [error(...)] calls.  The same exception {!Vm} raises. *)
+
+type value = State.value = Vscalar of float | Vmat of Runtime.Dmat.t | Vstr of string
+
+type captured = State.captured = Cscalar of float | Cmat of int * int * float array
+
+type outcome = State.outcome = {
+  output : string;
+  captures : (string * captured) list;
+  lib_calls : int;
+  report : Mpisim.Sim.report;
+}
+
+type failure_kind = State.failure_kind =
+  | Ftimeout
+  | Fprotocol
+  | Fkilled
+  | Fpeer
+  | Fexhausted
+  | Fdeadlock
+  | Fruntime
+
+type run_result = State.run_result =
+  | Complete of outcome
+  | Partial of {
+      failed_rank : int;
+      operation : string;
+      detail : string;
+      kind : failure_kind;
+      report : Mpisim.Sim.report;
+    }
+
+type recovery = State.recovery = {
+  r_result : run_result;
+  r_attempts : int;
+  r_gave_up : bool;
+  r_reports : Mpisim.Sim.report list;
+  r_penalty : float;
+}
+
+val listing : Spmd.Ir.prog -> string
+(** Decode the program (flat mode, plus every user function) and return
+    a human-readable listing of the emitted ops — one line per decoded
+    op, with resolved pc addresses.  Executes nothing; used by the
+    golden decode tests. *)
+
+val run_result :
+  ?capture:string list ->
+  ?seed:int ->
+  ?datadir:string ->
+  machine:Mpisim.Machine.t ->
+  nprocs:int ->
+  Spmd.Ir.prog ->
+  run_result
+(** Drop-in replacement for {!Vm.run_result} on the decoded engine. *)
+
+val run :
+  ?capture:string list ->
+  ?seed:int ->
+  ?datadir:string ->
+  machine:Mpisim.Machine.t ->
+  nprocs:int ->
+  Spmd.Ir.prog ->
+  outcome
+(** Like {!run_result} but raises {!Runtime_error} on failure. *)
+
+val run_recovering :
+  ?capture:string list ->
+  ?seed:int ->
+  ?datadir:string ->
+  ?ckpt_interval:float ->
+  ?max_recoveries:int ->
+  machine:Mpisim.Machine.t ->
+  nprocs:int ->
+  Spmd.Ir.prog ->
+  recovery
+(** Drop-in replacement for {!Vm.run_recovering}: identical coordinated
+    checkpoint/rollback semantics over the shared {!State} snapshot
+    format — a run checkpointed by one engine restores under the
+    other. *)

@@ -1,27 +1,41 @@
-(* The SPMD virtual machine: executes the compiler's IR on the machine
-   simulator.  Each simulated rank runs this interpreter over the same
-   program; scalars are replicated, matrices are the distributed
-   run-time MATRIX values, and every run-time library instruction maps
-   onto [Runtime.Ops].  Floating-point work is charged to the rank's
-   virtual clock; communication is charged by the messages the run-time
-   library sends.
+(* The IR-walking SPMD virtual machine: executes the compiler's IR on
+   the machine simulator.  Each simulated rank runs this interpreter
+   over the same program; scalars are replicated, matrices are the
+   distributed run-time MATRIX values, and every run-time library
+   instruction maps onto [Runtime.Ops].  Floating-point work is charged
+   to the rank's virtual clock; communication is charged by the
+   messages the run-time library sends.
 
    This is the moral equivalent of running the emitted C program linked
-   against the MPI run-time library on the real machine. *)
+   against the MPI run-time library on the modeled hardware.  It is
+   also the slow path: the pre-decoded threaded-code engine ([Tcode])
+   executes the same programs bit-identically but much faster, and this
+   walker remains as the `--engine=ir` fallback and as a differential
+   -testing foil.  The value representation, structured results,
+   failure classes, checkpoint format and recovery driver are shared
+   with [Tcode] through [State]. *)
 
 open Spmd
 module Dmat = Runtime.Dmat
 module Ops = Runtime.Ops
 
-exception Runtime_error of string
+exception Runtime_error = State.Runtime_error
+exception Break_exc = State.Break_exc
+exception Continue_exc = State.Continue_exc
+exception Return_exc = State.Return_exc
 
-let error fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
+let error = State.error
 
-type value = Vscalar of float | Vmat of Dmat.t | Vstr of string
+type value = State.value = Vscalar of float | Vmat of Dmat.t | Vstr of string
 
-exception Break_exc
-exception Continue_exc
-exception Return_exc
+let truthy = State.truthy
+let of_bool = State.of_bool
+let scalar_binop = State.scalar_binop
+let scalar_builtin = State.scalar_builtin
+let rkind_to_red = State.rkind_to_red
+let range_indices = State.range_indices
+let inst_name = State.inst_name
+let is_lib_call = State.is_lib_call
 
 type frame = {
   env : (string, value) Hashtbl.t;
@@ -35,45 +49,6 @@ type frame = {
   rk : int; (* this frame's simulated rank *)
   trace : string array; (* operation in progress, per rank *)
 }
-
-(* Human-readable operation names for failure attribution: when a rank
-   dies mid-run, [trace.(rank)] says what it was doing. *)
-let inst_name : Ir.inst -> string = function
-  | Ir.Iscalar _ -> "scalar assignment"
-  | Ir.Ielem _ -> "element-wise expression"
-  | Ir.Icopy _ -> "matrix copy"
-  | Ir.Imatmul _ -> "matrix multiply"
-  | Ir.Imatmul_t _ -> "transposed matrix multiply"
-  | Ir.Idot _ -> "dot product"
-  | Ir.Itranspose _ -> "transpose"
-  | Ir.Idiag _ -> "diagonal"
-  | Ir.Iouter _ -> "outer product"
-  | Ir.Ireduce_all _ -> "full reduction"
-  | Ir.Ireduce_cols _ -> "column reduction"
-  | Ir.Inorm _ -> "norm"
-  | Ir.Iscan _ -> "cumulative scan"
-  | Ir.Isort _ -> "sort"
-  | Ir.Ireduce_loc _ -> "indexed reduction"
-  | Ir.Itrapz _ -> "trapezoidal integration"
-  | Ir.Ishift _ -> "circular shift"
-  | Ir.Ibcast _ -> "element broadcast"
-  | Ir.Ibcast_batch _ -> "batched element broadcast"
-  | Ir.Ireduce_fused _ -> "fused allreduce"
-  | Ir.Isetelem _ -> "element assignment"
-  | Ir.Iload _ -> "data file load"
-  | Ir.Iconstruct _ -> "matrix constructor"
-  | Ir.Iliteral _ -> "matrix literal"
-  | Ir.Isection _ -> "section read"
-  | Ir.Isetsection _ -> "section assignment"
-  | Ir.Iconcat _ -> "matrix concatenation"
-  | Ir.Icalluser _ -> "user function call"
-  | Ir.Iprint _ -> "print"
-  | Ir.Iprintf _ -> "formatted output"
-  | Ir.Ierror _ -> "error statement"
-  | Ir.Iif _ -> "if statement"
-  | Ir.Iwhile _ -> "while loop"
-  | Ir.Ifor _ -> "for loop"
-  | Ir.Ibreak | Ir.Icontinue | Ir.Ireturn -> "control transfer"
 
 let lookup fr v =
   match Hashtbl.find_opt fr.env v with
@@ -95,58 +70,6 @@ let mat_of fr v =
 
 (* --- scalar expression evaluation -------------------------------------- *)
 
-let truthy f = f <> 0.
-let of_bool b = if b then 1. else 0.
-
-let scalar_binop (op : Mlang.Ast.binop) a b =
-  match op with
-  | Mlang.Ast.Add -> a +. b
-  | Mlang.Ast.Sub -> a -. b
-  | Mlang.Ast.Mul | Mlang.Ast.Emul -> a *. b
-  | Mlang.Ast.Div | Mlang.Ast.Ediv -> a /. b
-  | Mlang.Ast.Ldiv | Mlang.Ast.Eldiv -> b /. a
-  | Mlang.Ast.Pow | Mlang.Ast.Epow -> Float.pow a b
-  | Mlang.Ast.Lt -> of_bool (a < b)
-  | Mlang.Ast.Le -> of_bool (a <= b)
-  | Mlang.Ast.Gt -> of_bool (a > b)
-  | Mlang.Ast.Ge -> of_bool (a >= b)
-  | Mlang.Ast.Eq -> of_bool (a = b)
-  | Mlang.Ast.Ne -> of_bool (a <> b)
-  | Mlang.Ast.And | Mlang.Ast.Shortand -> of_bool (truthy a && truthy b)
-  | Mlang.Ast.Or | Mlang.Ast.Shortor -> of_bool (truthy a || truthy b)
-
-let scalar_builtin name args =
-  match (name, args) with
-  | "abs", [ x ] -> Float.abs x
-  | "sqrt", [ x ] -> sqrt x
-  | "exp", [ x ] -> exp x
-  | "log", [ x ] -> log x
-  | "log10", [ x ] -> log10 x
-  | "log2", [ x ] -> log x /. log 2.
-  | "sin", [ x ] -> sin x
-  | "cos", [ x ] -> cos x
-  | "tan", [ x ] -> tan x
-  | "asin", [ x ] -> asin x
-  | "acos", [ x ] -> acos x
-  | "atan", [ x ] -> atan x
-  | "sinh", [ x ] -> sinh x
-  | "cosh", [ x ] -> cosh x
-  | "tanh", [ x ] -> tanh x
-  | "floor", [ x ] -> floor x
-  | "ceil", [ x ] -> ceil x
-  | "round", [ x ] -> Float.round x
-  | "fix", [ x ] -> Float.trunc x
-  | "sign", [ x ] -> if x > 0. then 1. else if x < 0. then -1. else 0.
-  | "double", [ x ] -> x
-  | "mod", [ a; b ] -> if b = 0. then a else a -. (b *. Float.floor (a /. b))
-  | "rem", [ a; b ] -> if b = 0. then a else Float.rem a b
-  | "atan2", [ a; b ] -> atan2 a b
-  | "hypot", [ a; b ] -> Float.hypot a b
-  | "pow", [ a; b ] | "power", [ a; b ] -> Float.pow a b
-  | "min", [ a; b ] -> Float.min a b
-  | "max", [ a; b ] -> Float.max a b
-  | _ -> error "unknown scalar builtin '%s'/%d" name (List.length args)
-
 (* Evaluation counts the scalar operations performed so that replicated
    scalar arithmetic is charged to the virtual clock. *)
 let rec eval_s fr ops (s : Ir.sexpr) : float =
@@ -156,7 +79,9 @@ let rec eval_s fr ops (s : Ir.sexpr) : float =
   | Ir.Svar v -> scalar_of fr v
   | Ir.Sbin (op, a, b) ->
       incr ops;
-      scalar_binop op (eval_s fr ops a) (eval_s fr ops b)
+      let x = eval_s fr ops a in
+      let y = eval_s fr ops b in
+      scalar_binop op x y
   | Ir.Sneg a ->
       incr ops;
       -.eval_s fr ops a
@@ -186,7 +111,10 @@ let eval_scalar fr s =
 (* --- element-wise loops ------------------------------------------------- *)
 
 (* Compile an element expression to a closure over the local element
-   index; scalar subtrees are evaluated once, outside the loop. *)
+   index; scalar subtrees are evaluated once, outside the loop.
+   Operands are fetched depth-first left-to-right — the same order the
+   threaded-code engine stages them in, so cross-engine runs issue any
+   embedded broadcasts identically. *)
 let rec compile_e fr ops (e : Ir.eexpr) (model : Dmat.t) : int -> float =
   match e with
   | Ir.Emat v ->
@@ -206,7 +134,8 @@ let rec compile_e fr ops (e : Ir.eexpr) (model : Dmat.t) : int -> float =
       fun _ -> c
   | Ir.Ebin (op, a, b) ->
       incr ops;
-      let fa = compile_e fr ops a model and fb = compile_e fr ops b model in
+      let fa = compile_e fr ops a model in
+      let fb = compile_e fr ops b model in
       fun i -> scalar_binop op (fa i) (fb i)
   | Ir.Eneg a ->
       incr ops;
@@ -222,7 +151,8 @@ let rec compile_e fr ops (e : Ir.eexpr) (model : Dmat.t) : int -> float =
       fun i -> scalar_builtin name [ fa i ]
   | Ir.Ecall2 (name, a, b) ->
       incr ops;
-      let fa = compile_e fr ops a model and fb = compile_e fr ops b model in
+      let fa = compile_e fr ops a model in
+      let fb = compile_e fr ops b model in
       fun i -> scalar_builtin name [ fa i; fb i ]
 
 let exec_elem fr ~dst ~model expr =
@@ -249,18 +179,10 @@ let elem_coords fr (m : Dmat.t) idx =
       else if m.Dmat.cols = 1 then (g, 0)
       else (g mod m.Dmat.rows, g / m.Dmat.rows)
   | [ i; j ] ->
-      ( int_of_float (eval_scalar fr i) - 1,
-        int_of_float (eval_scalar fr j) - 1 )
+      let a = int_of_float (eval_scalar fr i) - 1 in
+      let b = int_of_float (eval_scalar fr j) - 1 in
+      (a, b)
   | _ -> error "unsupported number of indices"
-
-let range_indices lo step hi =
-  let n =
-    if step = 0. then 0
-    else
-      let raw = ((hi -. lo) /. step) +. 1e-9 in
-      if raw < 0. then 0 else int_of_float (Float.floor raw) + 1
-  in
-  Array.init n (fun k -> int_of_float (lo +. (float_of_int k *. step)) - 1)
 
 let sel_indices fr (extent : int) (s : Ir.sel) : int array =
   match s with
@@ -287,27 +209,8 @@ let print_scalar fr name v =
 
 (* --- instruction execution ---------------------------------------------- *)
 
-let rkind_to_red = function
-  | Ir.Rsum -> Ops.Rsum
-  | Ir.Rprod -> Ops.Rprod
-  | Ir.Rmin -> Ops.Rmin
-  | Ir.Rmax -> Ops.Rmax
-  | Ir.Rany -> Ops.Rany
-  | Ir.Rall -> Ops.Rall
-  | Ir.Rmean -> Ops.Rsum (* handled separately *)
-
-(* Instructions the C back end maps to an ML_* run-time library call;
-   scalar assignments, fused element-wise loops, control flow and
-   printing run inline in the generated code.  The per-rank executed
-   count is what the bench ablation prices. *)
-let is_lib_call : Ir.inst -> bool = function
-  | Ir.Iscalar _ | Ir.Ielem _ | Ir.Icalluser _ | Ir.Iprint _ | Ir.Iprintf _
-  | Ir.Ierror _ | Ir.Iif _ | Ir.Iwhile _ | Ir.Ifor _ | Ir.Ibreak
-  | Ir.Icontinue | Ir.Ireturn ->
-      false
-  | _ -> true
-
 let rec exec_inst fr (i : Ir.inst) =
+  incr State.dispatched;
   fr.trace.(fr.rk) <- inst_name i;
   if is_lib_call i then incr fr.calls;
   match i with
@@ -506,7 +409,9 @@ and exec_construct fr dst kind args =
         let n = int_of_float (eval_scalar fr n) in
         (n, n)
     | [ r; c ] ->
-        (int_of_float (eval_scalar fr r), int_of_float (eval_scalar fr c))
+        let r = int_of_float (eval_scalar fr r) in
+        let c = int_of_float (eval_scalar fr c) in
+        (r, c)
     | _ -> error "constructor expects 1 or 2 size arguments"
   in
   let m =
@@ -531,15 +436,15 @@ and exec_construct fr dst kind args =
         let r, c = dims () in
         Dmat.init ~rows:r ~cols:c (fun g -> Runtime.Rng.normal ~seed g)
     | Ir.Clinspace ->
-        let a = eval_scalar fr (arg 0)
-        and b = eval_scalar fr (arg 1)
-        and n = int_of_float (eval_scalar fr (arg 2)) in
+        let a = eval_scalar fr (arg 0) in
+        let b = eval_scalar fr (arg 1) in
+        let n = int_of_float (eval_scalar fr (arg 2)) in
         let d = if n > 1 then (b -. a) /. float_of_int (n - 1) else 0. in
         Dmat.init ~rows:1 ~cols:n (fun g -> a +. (float_of_int g *. d))
     | Ir.Crange ->
-        let lo = eval_scalar fr (arg 0)
-        and step = eval_scalar fr (arg 1)
-        and hi = eval_scalar fr (arg 2) in
+        let lo = eval_scalar fr (arg 0) in
+        let step = eval_scalar fr (arg 1) in
+        let hi = eval_scalar fr (arg 2) in
         let n =
           if step = 0. then 0
           else
@@ -737,25 +642,18 @@ and exec_block fr (b : Ir.block) = List.iter (exec_inst fr) b
 
 (* --- coordinated checkpointing ------------------------------------------- *)
 
-(* Where execution resumes after a rollback: just before top-level
-   statement [i], or just before iteration [k] of the top-level loop at
-   statement [i].  A for loop also freezes its (start, step, stop)
-   bounds, which MATLAB fixes at loop entry and which the environment
-   at iteration [k] can no longer reproduce. *)
-type pc = Ptop of int | Ploop of int * int * (float * float * float) option
+type pc = State.pc = Ptop of int | Ploop of int * int * (float * float * float) option
 
-type snapshot = {
-  sn_boundary : int; (* which boundary (attempt-local counter) *)
+type snapshot = State.snapshot = {
+  sn_boundary : int;
   sn_pc : pc;
-  sn_env : (string * value) array; (* deep copy of the rank's locals *)
-  sn_rand_calls : int; (* replicated RNG sequence number *)
-  sn_calls : int; (* executed library calls so far *)
-  sn_out : string; (* rank 0: the output prefix; "" elsewhere *)
+  sn_env : (string * value) array;
+  sn_rand_calls : int;
+  sn_calls : int;
+  sn_out : string;
 }
 
-let copy_value = function
-  | Vmat m -> Vmat (Dmat.copy m)
-  | (Vscalar _ | Vstr _) as v -> v
+let copy_value = State.copy_value
 
 (* Snapshots deep-copy in both directions: matrices are mutated in
    place (element and section assignment), so sharing would let the
@@ -767,45 +665,18 @@ let env_restore env saved =
   Hashtbl.reset env;
   Array.iter (fun (k, v) -> Hashtbl.replace env k (copy_value v)) saved
 
-(* Per-rank checkpoint cursor for one run attempt.  [ck_slots] is the
-   host-side store shared with the recovery driver; each rank keeps its
-   two newest snapshots so that, when a failure lands between a
-   boundary's commit on some ranks and not others, every rank can still
-   produce the newest boundary common to all (commitment is a
-   collective, so latest boundaries differ by at most one). *)
-type ck = {
+type ck = State.ck = {
   ck_interval : float;
-  ck_slots : snapshot list array; (* per rank, newest first, length <= 2 *)
-  mutable ck_next : float; (* virtual time of the next wanted snapshot *)
+  ck_slots : snapshot list array;
+  mutable ck_next : float;
   mutable ck_boundary : int;
 }
 
-(* A checkpoint boundary: every rank reaches these in lockstep (the
-   compiled programs are loosely synchronous, so top-level control flow
-   is replicated).  Whether to snapshot is decided by collective vote
-   -- per-rank clocks drift, so "my interval elapsed" can differ across
-   ranks, but the or-vote gives every rank the same verdict.  Starts
-   with [ck_next = 0], so the first boundary of every attempt commits:
-   that re-establishes the restore point right after a rollback. *)
 let at_boundary fr ck pcv =
-  ck.ck_boundary <- ck.ck_boundary + 1;
   fr.trace.(fr.rk) <- "checkpoint vote";
-  let want = Mpisim.Sim.time () >= ck.ck_next in
-  if Mpisim.Coll.vote want then begin
-    let snap =
-      {
-        sn_boundary = ck.ck_boundary;
-        sn_pc = pcv;
-        sn_env = env_snapshot fr.env;
-        sn_rand_calls = fr.rand_calls;
-        sn_calls = !(fr.calls);
-        sn_out = (if fr.rk = 0 then Buffer.contents fr.out else "");
-      }
-    in
-    let kept = match ck.ck_slots.(fr.rk) with [] -> [] | s :: _ -> [ s ] in
-    ck.ck_slots.(fr.rk) <- snap :: kept;
-    ck.ck_next <- Mpisim.Sim.time () +. ck.ck_interval
-  end
+  State.at_boundary ck ~rk:fr.rk
+    ~mk_env:(fun () -> env_snapshot fr.env)
+    ~rand_calls:fr.rand_calls ~calls:!(fr.calls) ~out:fr.out pcv
 
 (* Top-level execution with checkpoint boundaries: before every plain
    statement and at the top of every iteration of a top-level loop (the
@@ -870,43 +741,28 @@ let exec_top fr ck resume (body : Ir.block) =
 
 (* --- entry points -------------------------------------------------------- *)
 
-type captured = Cscalar of float | Cmat of int * int * float array
+type captured = State.captured = Cscalar of float | Cmat of int * int * float array
 
-type outcome = {
+type outcome = State.outcome = {
   output : string;
   captures : (string * captured) list;
   lib_calls : int;
   report : Mpisim.Sim.report;
 }
 
-(* Why a run attempt died, coarsened to the classes the recovery driver
-   and otterc's exit codes care about. *)
-type failure_kind =
-  | Ftimeout (* a receive deadline expired *)
-  | Fprotocol (* malformed traffic: a bug, not the network *)
-  | Fkilled (* the fault model permanently killed a rank *)
-  | Fpeer (* the failure detector condemned a dead peer *)
-  | Fexhausted (* a sender ran out of retransmissions *)
-  | Fdeadlock (* every live rank blocked *)
-  | Fruntime (* an error in the program itself *)
+type failure_kind = State.failure_kind =
+  | Ftimeout
+  | Fprotocol
+  | Fkilled
+  | Fpeer
+  | Fexhausted
+  | Fdeadlock
+  | Fruntime
 
-let classify_failure = function
-  | Mpisim.Sim.Timeout _ -> Ftimeout
-  | Mpisim.Sim.Protocol_error _ -> Fprotocol
-  | Mpisim.Sim.Rank_killed _ -> Fkilled
-  | Mpisim.Sim.Peer_failed _ -> Fpeer
-  | Mpisim.Reliable.Exhausted _ -> Fexhausted
-  | Mpisim.Sim.Deadlock _ -> Fdeadlock
-  | _ -> Fruntime
+let classify_failure = State.classify_failure
+let recoverable = State.recoverable
 
-(* Rollback-and-replay can only cure what the network (or the fault
-   model) did; program bugs and protocol violations would just fail
-   identically again. *)
-let recoverable = function
-  | Ftimeout | Fkilled | Fpeer | Fexhausted -> true
-  | Fprotocol | Fdeadlock | Fruntime -> false
-
-type run_result =
+type run_result = State.run_result =
   | Complete of outcome
   | Partial of {
       failed_rank : int;
@@ -916,25 +772,7 @@ type run_result =
       report : Mpisim.Sim.report;
     }
 
-(* What went wrong on the failing rank, in one line. *)
-let describe_failure = function
-  | Runtime_error m | Failure m -> m
-  | Mpisim.Sim.Timeout { src; tag; waited; _ } ->
-      Printf.sprintf
-        "gave up after %.3gs waiting for a message (src=%d, tag=%d)" waited
-        src tag
-  | Mpisim.Sim.Protocol_error { src; tag; detail; _ } ->
-      Printf.sprintf "protocol error on message (src=%d, tag=%d): %s" src tag
-        detail
-  | Mpisim.Reliable.Exhausted { dst; tag; attempts; _ } ->
-      Printf.sprintf
-        "gave a message up for lost after %d attempts (dst=%d, tag=%d)"
-        attempts dst tag
-  | Mpisim.Sim.Peer_failed { failed; at; _ } ->
-      Printf.sprintf "detected failure of rank %d at t=%.4gs" failed at
-  | Mpisim.Sim.Rank_killed { at; _ } ->
-      Printf.sprintf "permanently killed by the fault model at t=%.4gs" at
-  | e -> Printexc.to_string e
+let describe_failure = State.describe_failure
 
 (* One simulated execution of [prog]: build the per-rank frames (optionally
    restored from [restore]'s snapshots), run to completion or failure, and
@@ -1041,81 +879,18 @@ let run ?capture ?seed ?datadir ~machine ~nprocs prog =
 
 (* --- the recovery driver ------------------------------------------------- *)
 
-type recovery = {
-  r_result : run_result; (* the final attempt's result *)
-  r_attempts : int; (* run attempts made (1 = no recovery needed) *)
-  r_gave_up : bool; (* a recoverable failure outlived the budget *)
-  r_reports : Mpisim.Sim.report list; (* one per attempt, oldest first *)
-  r_penalty : float; (* simulated backoff seconds charged before retries *)
+type recovery = State.recovery = {
+  r_result : run_result;
+  r_attempts : int;
+  r_gave_up : bool;
+  r_reports : Mpisim.Sim.report list;
+  r_penalty : float;
 }
 
-let backoff_base = 0.05 (* simulated seconds before the first retry *)
-
-(* [run_recovering] is [run_result] wrapped in rollback-and-replay:
-   checkpoints are taken (collectively) every [ckpt_interval] simulated
-   seconds; on a recoverable failure every rank rolls back to the
-   newest snapshot common to all ranks (or to program start when there
-   is none) and replays, with exponential simulated backoff, at most
-   [max_recoveries] times.  Replay is deterministic — locals, RNG
-   sequence numbers and the output prefix are part of the snapshot — so
-   a recovered run is bit-identical to an undisturbed one.  Each retry
-   re-rolls the fault model's kill schedule (see [Sim.run]'s [attempt]
-   salt); non-recoverable failures and exhausted budgets surface as the
-   final [Partial]. *)
 let run_recovering ?capture ?(seed = 42) ?(datadir = ".")
     ?(ckpt_interval = 0.) ?(max_recoveries = 0) ~machine ~nprocs
     (prog : Ir.prog) : recovery =
-  let slots : snapshot list array = Array.make nprocs [] in
-  (* The newest boundary every rank holds a snapshot for.  Commitment
-     is collective, so latest boundaries differ by at most one across
-     ranks and the two kept slots always cover the common one. *)
-  let restore_set () =
-    if ckpt_interval <= 0. then None
-    else
-      let latest =
-        Array.map
-          (function [] -> None | (s : snapshot) :: _ -> Some s.sn_boundary)
-          slots
-      in
-      if Array.exists Option.is_none latest then None
-      else
-        let target =
-          Array.fold_left
-            (fun acc l -> min acc (Option.get l))
-            max_int latest
-        in
-        let picks =
-          Array.map (List.find_opt (fun s -> s.sn_boundary = target)) slots
-        in
-        if Array.exists Option.is_none picks then None
-        else Some (Array.map Option.get picks)
-  in
-  let reports = ref [] in
-  let penalty = ref 0. in
-  let rec go att =
-    let restore = restore_set () in
-    let result, report =
+  State.run_recovering_with ~nprocs ~ckpt_interval ~max_recoveries
+    (fun ~attempt:att ~slots ~restore ->
       attempt ?capture ~seed ~datadir ~machine ~nprocs ~attempt:att
-        ~ckpt_interval ~slots ~restore prog
-    in
-    reports := report :: !reports;
-    let finish gave_up =
-      {
-        r_result = result;
-        r_attempts = att + 1;
-        r_gave_up = gave_up;
-        r_reports = List.rev !reports;
-        r_penalty = !penalty;
-      }
-    in
-    match result with
-    | Complete _ -> finish false
-    | Partial p ->
-        if not (recoverable p.kind) then finish false
-        else if att >= max_recoveries then finish true
-        else begin
-          penalty := !penalty +. (backoff_base *. (2. ** float_of_int att));
-          go (att + 1)
-        end
-  in
-  go 0
+        ~ckpt_interval ~slots ~restore prog)

@@ -6,12 +6,12 @@ exception Runtime_error of string
 (** Any execution failure: undefined variables, bounds, conformability,
     user [error(...)] calls. *)
 
-type value = Vscalar of float | Vmat of Runtime.Dmat.t | Vstr of string
+type value = State.value = Vscalar of float | Vmat of Runtime.Dmat.t | Vstr of string
 
-type captured = Cscalar of float | Cmat of int * int * float array
+type captured = State.captured = Cscalar of float | Cmat of int * int * float array
 (** A variable's final value, gathered dense (row-major). *)
 
-type outcome = {
+type outcome = State.outcome = {
   output : string; (** what rank 0 printed *)
   captures : (string * captured) list;
   lib_calls : int;
@@ -20,7 +20,7 @@ type outcome = {
   report : Mpisim.Sim.report;
 }
 
-type failure_kind =
+type failure_kind = State.failure_kind =
   | Ftimeout  (** a receive deadline expired *)
   | Fprotocol  (** malformed traffic: a bug, not the network *)
   | Fkilled  (** the fault model permanently killed a rank *)
@@ -38,7 +38,7 @@ val recoverable : failure_kind -> bool
     network-induced classes ([Ftimeout], [Fkilled], [Fpeer],
     [Fexhausted]) are; program bugs and protocol violations are not. *)
 
-type run_result =
+type run_result = State.run_result =
   | Complete of outcome
   | Partial of {
       failed_rank : int;
@@ -78,7 +78,7 @@ val run :
 (** Like {!run_result} but raises {!Runtime_error} with the failure
     detail instead of returning [Partial]. *)
 
-type recovery = {
+type recovery = State.recovery = {
   r_result : run_result;  (** the final attempt's result *)
   r_attempts : int;  (** run attempts made (1 = no recovery needed) *)
   r_gave_up : bool;  (** a recoverable failure outlived the budget *)

@@ -148,28 +148,39 @@ let check_case ?(use_cc = true) (script : string) : case_result =
       | exception Interp.Eval.Runtime_error msg ->
           Discard ("interpreter: " ^ msg)
       | ref_run -> (
-          let check_config ~label c machine nprocs =
-            match Otter.verify_outcome ~machine ~nprocs ~capture c with
+          (* each configuration runs under BOTH execution engines — the
+             direct IR walker and the threaded-code fast path — so an
+             engine-specific semantic bug shows up as a counterexample
+             on exactly one of the two labels *)
+          let check_one ~label ~engine c machine nprocs =
+            let tag = Otter.engine_name engine in
+            match Otter.verify_outcome ~engine ~machine ~nprocs ~capture c with
             | Otter.Verified -> None
             | Otter.Mismatched ms ->
                 let m = List.hd ms in
                 Some
-                  (Printf.sprintf "[%s, P=%d, %s] %s: %s"
-                     machine.Mpisim.Machine.name nprocs label m.Otter.variable
-                     m.Otter.detail)
+                  (Printf.sprintf "[%s, P=%d, %s, %s] %s: %s"
+                     machine.Mpisim.Machine.name nprocs label tag
+                     m.Otter.variable m.Otter.detail)
             | Otter.Aborted { failed_rank; operation; detail; _ } ->
                 Some
-                  (Printf.sprintf "[%s, P=%d, %s] rank %d failed during %s: %s"
-                     machine.Mpisim.Machine.name nprocs label failed_rank
+                  (Printf.sprintf
+                     "[%s, P=%d, %s, %s] rank %d failed during %s: %s"
+                     machine.Mpisim.Machine.name nprocs label tag failed_rank
                      operation detail)
             | exception Exec.Vm.Runtime_error msg ->
                 Some
-                  (Printf.sprintf "[%s, P=%d, %s] VM run-time error: %s"
-                     machine.Mpisim.Machine.name nprocs label msg)
+                  (Printf.sprintf "[%s, P=%d, %s, %s] VM run-time error: %s"
+                     machine.Mpisim.Machine.name nprocs label tag msg)
             | exception Mpisim.Sim.Deadlock msg ->
                 Some
-                  (Printf.sprintf "[%s, P=%d, %s] deadlock: %s"
-                     machine.Mpisim.Machine.name nprocs label msg)
+                  (Printf.sprintf "[%s, P=%d, %s, %s] deadlock: %s"
+                     machine.Mpisim.Machine.name nprocs label tag msg)
+          in
+          let check_config ~label c machine nprocs =
+            match check_one ~label ~engine:Otter.Etcode c machine nprocs with
+            | Some _ as f -> f
+            | None -> check_one ~label ~engine:Otter.Eir c machine nprocs
           in
           let vm_failure =
             List.fold_left

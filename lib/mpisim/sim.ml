@@ -83,78 +83,6 @@ exception Peer_failed of { rank : int; failed : int; at : float }
    the survivors never tried to talk to the victim. *)
 exception Rank_killed of { rank : int; at : float }
 
-(* Operations available inside a simulated rank. *)
-let send ~dst ~tag data = perform (E_send (dst, tag, data))
-
-let send_acked ~dst ~tag ~ack_tag ~seq data =
-  perform (E_send_acked (dst, tag, ack_tag, seq, data))
-
-let compute seconds = perform (E_compute seconds)
-let flops n = perform (E_flops n)
-let rank () = perform E_rank
-let size () = perform E_size
-let time () = perform E_time
-let machine () = perform E_machine
-let reliable_on () = (perform E_machine).Machine.reliable
-let scratch () = perform E_scratch
-let note_retry () = perform E_note_retry
-let recv_opt ~src ~tag ~timeout = perform (E_recv_opt (src, tag, timeout))
-
-(* A receive that raises a typed [Timeout] at its deadline. *)
-let recv_timeout ~src ~tag ~timeout =
-  match perform (E_recv_opt (src, tag, timeout)) with
-  | Some p -> p
-  | None ->
-      raise (Timeout { rank = perform E_rank; src; tag; waited = timeout })
-
-(* [recv_wait] waits forever on a perfect network, but under a fault
-   model it is bounded by [min_timeout] (at least the model's [detect]
-   window) so that no primitive can hang a chaos run: a wait the
-   sender's bounded retries cannot satisfy surfaces as a typed
-   [Timeout].  The reliable layer passes the worst-case retransmission
-   window as [min_timeout] to avoid giving up while the sender is
-   still lawfully retrying. *)
-let recv_wait ?(min_timeout = 0.) ~src ~tag () =
-  match (perform E_machine).Machine.faults with
-  | Some f when f.Machine.detect > 0. ->
-      recv_timeout ~src ~tag ~timeout:(Float.max f.Machine.detect min_timeout)
-  | _ -> perform (E_recv (src, tag))
-
-(* Under a fault model, a plain receive defaults to the model's
-   [detect] timeout so that a lost message surfaces as a typed
-   [Timeout] rather than an eventual whole-simulation [Deadlock]. *)
-let recv ~src ~tag =
-  match (perform E_machine).Machine.faults with
-  | Some f when f.Machine.detect > 0. ->
-      recv_timeout ~src ~tag ~timeout:f.Machine.detect
-  | _ -> perform (E_recv (src, tag))
-
-let recv_floats ~src ~tag =
-  match recv ~src ~tag with
-  | Floats a -> a
-  | Ints _ ->
-      raise
-        (Protocol_error
-           {
-             rank = perform E_rank;
-             src;
-             tag;
-             detail = "expected a float payload, received integers";
-           })
-
-let recv_ints ~src ~tag =
-  match recv ~src ~tag with
-  | Ints a -> a
-  | Floats _ ->
-      raise
-        (Protocol_error
-           {
-             rank = perform E_rank;
-             src;
-             tag;
-             detail = "expected an integer payload, received floats";
-           })
-
 type stats = {
   mutable messages : int;
   mutable bytes : int;
@@ -167,6 +95,138 @@ type stats = {
   mutable acks : int;
   mutable kills : int;
 }
+
+(* --- the fast path for non-blocking operations --------------------------- *)
+
+(* Clock charges and identity queries do not need the scheduler: the
+   rank keeps running either way.  Performing an effect for each one
+   costs a continuation capture and resume -- tens of nanoseconds that
+   dominate fine-grained execution (a threaded-code VM instruction is a
+   few nanoseconds).  Instead the scheduler publishes the running
+   rank's context here before every resume, and the non-blocking
+   operations mutate it directly.  The arithmetic is exactly what the
+   effect handler used to do, in the same order, so virtual time is
+   bit-identical.  Blocking operations (send/recv) still perform
+   effects: they genuinely yield to the scheduler.
+
+   Outside any simulation [current] is [None] and the operations fall
+   back to performing the effect (surfacing the usual
+   [Effect.Unhandled]).  [run_report] saves and restores the previous
+   context, so a rank body that itself starts a nested simulation
+   resumes with its own context intact. *)
+type ctx = {
+  x_clocks : float array;
+  x_stats : stats;
+  x_machine : Machine.t;
+  x_flop_time : float;
+  x_nprocs : int;
+  x_scratch : (int * int * int, int) Hashtbl.t array;
+  mutable x_rank : int;
+}
+
+let current : ctx option ref = ref None
+
+(* Operations available inside a simulated rank. *)
+let send ~dst ~tag data = perform (E_send (dst, tag, data))
+
+let send_acked ~dst ~tag ~ack_tag ~seq data =
+  perform (E_send_acked (dst, tag, ack_tag, seq, data))
+
+let compute seconds =
+  match !current with
+  | Some c ->
+      c.x_clocks.(c.x_rank) <- c.x_clocks.(c.x_rank) +. seconds;
+      c.x_stats.compute_time <- c.x_stats.compute_time +. seconds
+  | None -> perform (E_compute seconds)
+
+let flops n =
+  match !current with
+  | Some c ->
+      let t = n *. c.x_flop_time in
+      c.x_clocks.(c.x_rank) <- c.x_clocks.(c.x_rank) +. t;
+      c.x_stats.compute_time <- c.x_stats.compute_time +. t
+  | None -> perform (E_flops n)
+
+let rank () =
+  match !current with Some c -> c.x_rank | None -> perform E_rank
+
+let size () =
+  match !current with Some c -> c.x_nprocs | None -> perform E_size
+
+let time () =
+  match !current with
+  | Some c -> c.x_clocks.(c.x_rank)
+  | None -> perform E_time
+
+let machine () =
+  match !current with Some c -> c.x_machine | None -> perform E_machine
+
+let reliable_on () = (machine ()).Machine.reliable
+
+let scratch () =
+  match !current with
+  | Some c -> c.x_scratch.(c.x_rank)
+  | None -> perform E_scratch
+
+let note_retry () =
+  match !current with
+  | Some c -> c.x_stats.retries <- c.x_stats.retries + 1
+  | None -> perform E_note_retry
+let recv_opt ~src ~tag ~timeout = perform (E_recv_opt (src, tag, timeout))
+
+(* A receive that raises a typed [Timeout] at its deadline. *)
+let recv_timeout ~src ~tag ~timeout =
+  match perform (E_recv_opt (src, tag, timeout)) with
+  | Some p -> p
+  | None -> raise (Timeout { rank = rank (); src; tag; waited = timeout })
+
+(* [recv_wait] waits forever on a perfect network, but under a fault
+   model it is bounded by [min_timeout] (at least the model's [detect]
+   window) so that no primitive can hang a chaos run: a wait the
+   sender's bounded retries cannot satisfy surfaces as a typed
+   [Timeout].  The reliable layer passes the worst-case retransmission
+   window as [min_timeout] to avoid giving up while the sender is
+   still lawfully retrying. *)
+let recv_wait ?(min_timeout = 0.) ~src ~tag () =
+  match (machine ()).Machine.faults with
+  | Some f when f.Machine.detect > 0. ->
+      recv_timeout ~src ~tag ~timeout:(Float.max f.Machine.detect min_timeout)
+  | _ -> perform (E_recv (src, tag))
+
+(* Under a fault model, a plain receive defaults to the model's
+   [detect] timeout so that a lost message surfaces as a typed
+   [Timeout] rather than an eventual whole-simulation [Deadlock]. *)
+let recv ~src ~tag =
+  match (machine ()).Machine.faults with
+  | Some f when f.Machine.detect > 0. ->
+      recv_timeout ~src ~tag ~timeout:f.Machine.detect
+  | _ -> perform (E_recv (src, tag))
+
+let recv_floats ~src ~tag =
+  match recv ~src ~tag with
+  | Floats a -> a
+  | Ints _ ->
+      raise
+        (Protocol_error
+           {
+             rank = rank ();
+             src;
+             tag;
+             detail = "expected a float payload, received integers";
+           })
+
+let recv_ints ~src ~tag =
+  match recv ~src ~tag with
+  | Ints a -> a
+  | Floats _ ->
+      raise
+        (Protocol_error
+           {
+             rank = rank ();
+             src;
+             tag;
+             detail = "expected an integer payload, received floats";
+           })
 
 type report = {
   makespan : float; (* max over per-rank clocks *)
@@ -484,6 +544,23 @@ let run_report ?(attempt = 0) ~machine ~nprocs (body : int -> 'a) :
       death = death_schedule machine.Machine.faults ~nprocs ~attempt;
     }
   in
+  (* Publish the fast-path context for the whole run, restoring the
+     enclosing one (if any) on the way out so nested simulations
+     compose. *)
+  let xctx =
+    {
+      x_clocks = st.clocks;
+      x_stats = st.stats;
+      x_machine = machine;
+      x_flop_time = machine.Machine.flop_time;
+      x_nprocs = nprocs;
+      x_scratch = st.scratch;
+      x_rank = 0;
+    }
+  in
+  let prev_ctx = !current in
+  current := Some xctx;
+  Fun.protect ~finally:(fun () -> current := prev_ctx) @@ fun () ->
   (* Cooperative scheduling in virtual-time order: of all ranks that
      can make progress (initial start, pending send, or a blocked
      receive whose message has arrived), always resume the one with
@@ -595,6 +672,7 @@ let run_report ?(attempt = 0) ~machine ~nprocs (body : int -> 'a) :
           incr finished
         end
         else begin
+          xctx.x_rank <- r;
           let next =
             if pending_start.(r) then begin
               pending_start.(r) <- false;

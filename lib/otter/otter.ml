@@ -128,21 +128,49 @@ let report (c : compiled) : string =
       "";
     ]
 
+(* Which SPMD execution engine runs the compiled program: the
+   pre-decoded threaded-code executor (the default fast path) or the
+   IR-walking VM it replaced (kept as a fallback and differential
+   -testing foil).  Both are bit-identical; see [Exec.State]. *)
+type engine = Eir | Etcode
+
+let default_engine = Etcode
+
+let engine_of_string = function
+  | "ir" -> Some Eir
+  | "tcode" -> Some Etcode
+  | _ -> None
+
+let engine_name = function Eir -> "ir" | Etcode -> "tcode"
+
 (* Run the compiled SPMD program on [nprocs] CPUs of [machine]. *)
-let run_parallel ?capture ?seed ?datadir ~machine ~nprocs (c : compiled) =
-  Exec.Vm.run ?capture ?seed ?datadir ~machine ~nprocs c.prog
+let run_parallel ?capture ?seed ?datadir ?(engine = default_engine) ~machine
+    ~nprocs (c : compiled) =
+  match engine with
+  | Eir -> Exec.Vm.run ?capture ?seed ?datadir ~machine ~nprocs c.prog
+  | Etcode -> Exec.Tcode.run ?capture ?seed ?datadir ~machine ~nprocs c.prog
 
 (* Same, degrading to [Partial] when a rank fails instead of raising. *)
-let run_parallel_result ?capture ?seed ?datadir ~machine ~nprocs (c : compiled)
-    =
-  Exec.Vm.run_result ?capture ?seed ?datadir ~machine ~nprocs c.prog
+let run_parallel_result ?capture ?seed ?datadir ?(engine = default_engine)
+    ~machine ~nprocs (c : compiled) =
+  match engine with
+  | Eir -> Exec.Vm.run_result ?capture ?seed ?datadir ~machine ~nprocs c.prog
+  | Etcode ->
+      Exec.Tcode.run_result ?capture ?seed ?datadir ~machine ~nprocs c.prog
 
-(* Same again, wrapped in the VM's checkpoint/rollback driver: survives
-   permanent rank kills and message loss up to the retry budget. *)
+(* Same again, wrapped in the engine's checkpoint/rollback driver:
+   survives permanent rank kills and message loss up to the retry
+   budget.  The snapshot format is engine-agnostic. *)
 let run_parallel_recovering ?capture ?seed ?datadir ?ckpt_interval
-    ?max_recoveries ~machine ~nprocs (c : compiled) =
-  Exec.Vm.run_recovering ?capture ?seed ?datadir ?ckpt_interval
-    ?max_recoveries ~machine ~nprocs c.prog
+    ?max_recoveries ?(engine = default_engine) ~machine ~nprocs (c : compiled)
+    =
+  match engine with
+  | Eir ->
+      Exec.Vm.run_recovering ?capture ?seed ?datadir ?ckpt_interval
+        ?max_recoveries ~machine ~nprocs c.prog
+  | Etcode ->
+      Exec.Tcode.run_recovering ?capture ?seed ?datadir ?ckpt_interval
+        ?max_recoveries ~machine ~nprocs c.prog
 
 (* Sequential baselines (Figure 2). *)
 let run_interpreter ?capture ?seed ?datadir ~machine (c : compiled) =
@@ -212,17 +240,18 @@ type verdict =
    [Verified] can also mean "failed, recovered, and still bit-compatible
    with the reference". *)
 let verify_outcome ?(tol = 1e-9) ?seed ?(ckpt_interval = 0.)
-    ?(max_recoveries = 0) ~machine ~nprocs ~capture (c : compiled) : verdict =
+    ?(max_recoveries = 0) ?engine ~machine ~nprocs ~capture (c : compiled) :
+    verdict =
   let ref_run = run_interpreter ?seed ~capture ~machine c in
   let par_result, recoveries =
     if ckpt_interval > 0. || max_recoveries > 0 then begin
       let rc =
         run_parallel_recovering ?seed ~capture ~ckpt_interval ~max_recoveries
-          ~machine ~nprocs c
+          ?engine ~machine ~nprocs c
       in
       (rc.Exec.Vm.r_result, rc.Exec.Vm.r_attempts - 1)
     end
-    else (run_parallel_result ?seed ~capture ~machine ~nprocs c, 0)
+    else (run_parallel_result ?seed ~capture ?engine ~machine ~nprocs c, 0)
   in
   match par_result with
   | Exec.Vm.Partial { failed_rank; operation; detail; kind; report } ->
@@ -252,9 +281,9 @@ let verify_outcome ?(tol = 1e-9) ?seed ?(ckpt_interval = 0.)
       in
       match mismatches with [] -> Verified | ms -> Mismatched ms)
 
-let verify ?tol ?seed ~machine ~nprocs ~capture (c : compiled) : mismatch list
-    =
-  match verify_outcome ?tol ?seed ~machine ~nprocs ~capture c with
+let verify ?tol ?seed ?engine ~machine ~nprocs ~capture (c : compiled) :
+    mismatch list =
+  match verify_outcome ?tol ?seed ?engine ~machine ~nprocs ~capture c with
   | Verified -> []
   | Mismatched ms -> ms
   | Aborted { detail; _ } -> raise (Exec.Vm.Runtime_error detail)

@@ -63,10 +63,26 @@ val pass_table : Spmd.Pass.record list -> string
 (** Just the per-pass statistics table (name, wall-clock time, rewrite
     counts) from a {!compiled.passes} list. *)
 
+type engine = Eir | Etcode
+(** Which SPMD execution engine runs compiled programs: [Etcode] is the
+    pre-decoded threaded-code fast path (the default), [Eir] the
+    IR-walking VM kept as fallback and differential-testing foil.  The
+    engines are bit-identical (verified per release across every
+    app/machine/P/opt configuration) and share result types and the
+    checkpoint format through [Exec.State]. *)
+
+val default_engine : engine
+
+val engine_of_string : string -> engine option
+(** ["ir"] / ["tcode"]. *)
+
+val engine_name : engine -> string
+
 val run_parallel :
   ?capture:string list ->
   ?seed:int ->
   ?datadir:string ->
+  ?engine:engine ->
   machine:Mpisim.Machine.t ->
   nprocs:int ->
   compiled ->
@@ -77,6 +93,7 @@ val run_parallel_result :
   ?capture:string list ->
   ?seed:int ->
   ?datadir:string ->
+  ?engine:engine ->
   machine:Mpisim.Machine.t ->
   nprocs:int ->
   compiled ->
@@ -90,6 +107,7 @@ val run_parallel_recovering :
   ?datadir:string ->
   ?ckpt_interval:float ->
   ?max_recoveries:int ->
+  ?engine:engine ->
   machine:Mpisim.Machine.t ->
   nprocs:int ->
   compiled ->
@@ -140,6 +158,7 @@ val verify_outcome :
   ?seed:int ->
   ?ckpt_interval:float ->
   ?max_recoveries:int ->
+  ?engine:engine ->
   machine:Mpisim.Machine.t ->
   nprocs:int ->
   capture:string list ->
@@ -154,6 +173,7 @@ val verify_outcome :
 val verify :
   ?tol:float ->
   ?seed:int ->
+  ?engine:engine ->
   machine:Mpisim.Machine.t ->
   nprocs:int ->
   capture:string list ->

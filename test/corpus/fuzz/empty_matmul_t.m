@@ -1,0 +1,12 @@
+% A' * B with a zero-size common dimension: the ML_matmul_t kernel's
+% per-rank partial product is all zeros and the allreduce must still
+% produce the full m x k zero matrix, matching MATLAB's empty-operand
+% matmul.  Also covers empty-times-empty yielding 0x0.
+a = zeros(0, 3);
+b = zeros(0, 2);
+c = a' * b;
+fprintf('%.17g\n', sum(sum(c)));
+disp(c);
+t = zeros(3, 0);
+u = t * zeros(0, 2);
+fprintf('%.17g\n', sum(sum(u)));

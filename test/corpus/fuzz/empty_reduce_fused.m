@@ -1,0 +1,13 @@
+% Zero-element operands through the fused-allreduce path: sum of an
+% empty vector is 0, mean is 0/0 = NaN, norm and dot are 0.  The -O2
+% comm pass fuses adjacent reductions into one Ireduce_fused, which
+% must agree with the interpreter's unfused evaluation.
+e = zeros(1, 0);
+s = sum(e);
+m = mean(e);
+n = norm(e);
+d = dot(e, e);
+fprintf('%.17g\n', s);
+fprintf('%.17g\n', m);
+fprintf('%.17g\n', n);
+fprintf('%.17g\n', d);

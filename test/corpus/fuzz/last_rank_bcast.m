@@ -1,0 +1,9 @@
+% Batched broadcast where every requested element lives in the last
+% row: at P = rows all slots come from the highest rank, so rank 0
+% assembles the batch purely from a remote chunk.  Also reads the
+% same element twice in one batch (duplicate coordinates).
+a = [1, 2; 3, 4; 5, 6; 7, 8];
+p = a(4, 1);
+q = a(4, 2);
+r = a(4, 1);
+fprintf('%.17g\n', p + q + r);

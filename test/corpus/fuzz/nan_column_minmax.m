@@ -1,0 +1,14 @@
+% An all-NaN column through column-wise then full min/max at P where
+% high ranks own no rows: the NaN fold identity of an empty local
+% part must be dropped by the combine, while a genuinely all-NaN
+% column stays NaN (MATLAB: min/max ignore NaN unless all are NaN).
+a = [1, 0/0, 3; 4, 0/0, 6];
+lo = min(min(a));
+hi = max(max(a));
+cs = sum(sum(a));
+fprintf('%.17g\n', lo);
+fprintf('%.17g\n', hi);
+fprintf('%.17g\n', cs);
+v = [0/0, 0/0];
+fprintf('%.17g\n', min(v));
+fprintf('%.17g\n', max(v));

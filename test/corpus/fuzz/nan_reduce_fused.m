@@ -1,0 +1,19 @@
+% NaN propagation through fused reductions must be identical at P=1
+% and P>1: only sum-combining slots fuse, and NaN + x = NaN in every
+% association order, so the fused batch, the unfused allreduce, and
+% the sequential interpreter all yield NaN for sum/mean/norm/dot while
+% min/max skip NaNs (MATLAB semantics).
+v = ones(1, 8);
+v(3) = 0 / 0;
+s = sum(v);
+m = mean(v);
+n = norm(v);
+d = dot(v, v);
+lo = min(v);
+hi = max(v);
+fprintf('%.17g\n', s);
+fprintf('%.17g\n', m);
+fprintf('%.17g\n', n);
+fprintf('%.17g\n', d);
+fprintf('%.17g\n', lo);
+fprintf('%.17g\n', hi);

@@ -1,0 +1,17 @@
+% Element broadcasts (Ibcast / batched Ibcast_batch) from a matrix
+% shorter than the machine: at P > rows, high ranks own no elements
+% and must still participate in the batch plan without contributing
+% slots.  Reductions over the same short matrix exercise empty local
+% parts through the fused path (identity partials that the combine
+% drops for min/max).
+a = [1, 2, 3; 4, 5, 6];
+x = a(1, 2);
+y = a(2, 3);
+z = a(2, 1);
+fprintf('%.17g\n', x + y + z);
+s = sum(sum(a));
+lo = min(min(a));
+hi = max(max(a));
+fprintf('%.17g\n', s);
+fprintf('%.17g\n', lo);
+fprintf('%.17g\n', hi);

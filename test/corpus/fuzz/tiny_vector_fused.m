@@ -1,0 +1,16 @@
+% A 2-element vector through the fused reduction path at P up to 8:
+% most ranks own no elements and contribute bare identities to the
+% single fused Sum allreduce; results must match the interpreter and
+% the unfused engines bit for bit.
+v = [3, 4];
+s = sum(v);
+m = mean(v);
+n = norm(v);
+d = dot(v, v);
+fprintf('%.17g\n', s);
+fprintf('%.17g\n', m);
+fprintf('%.17g\n', n);
+fprintf('%.17g\n', d);
+w = [1e308, 1e308];
+fprintf('%.17g\n', sum(w));
+fprintf('%.17g\n', norm(w));

@@ -17,6 +17,7 @@ let () =
       ("runtime", Test_runtime.suite);
       ("fmtutil", Test_fmtutil.suite);
       ("vm", Test_vm.suite);
+      ("tcode", Test_tcode.suite);
       ("interp", Test_interp.suite);
       ("codegen", Test_codegen.suite);
       ("apps", Test_apps.suite);
