@@ -1,7 +1,8 @@
 (* Benchmark harness: regenerates every table and figure of the paper.
 
    Usage:
-     main.exe [table1|fig2|fig3|fig4|fig5|fig6|all|faults|speedup|vmspeed|chaos|micro]
+     main.exe [table1|fig2|fig3|fig4|fig5|fig6|all|faults|speedup|vmspeed|
+               chaos|throughput|bandwidth|micro]
               [--scale PCT] [--full] [--out FILE] [--baseline FILE]
 
    --scale chooses the problem size as a percentage of the paper's
@@ -19,15 +20,20 @@ type seq_baselines = { t_interp : float; t_matcom : float; t_otter1 : float }
 
 let compile_app (app : Apps.Scripts.app) scale = Otter.compile (app.source scale)
 
+(* Execute under one run configuration; raises on a failed run. *)
+let run_outcome cfg c = Otter.outcome_exn (Otter.run cfg c)
+
+let time_of cfg c =
+  (run_outcome cfg c).Exec.Vm.report.Mpisim.Sim.makespan
+
 let interp_time ~machine compiled =
-  (Otter.run_interpreter ~machine compiled).Interp.Eval.time
+  time_of (Otter.config ~engine:Otter.Config.Einterp ~machine ~nprocs:1 ()) compiled
 
 let matcom_time ~machine compiled =
-  (Otter.run_matcom ~machine compiled).Interp.Eval.time
+  time_of (Otter.config ~engine:Otter.Config.Ematcom ~machine ~nprocs:1 ()) compiled
 
 let otter_time ~machine ~nprocs compiled =
-  (Otter.run_parallel ~machine ~nprocs compiled).Exec.Vm.report
-    .Mpisim.Sim.makespan
+  time_of (Otter.config ~machine ~nprocs ()) compiled
 
 (* --- Figure 2: single-CPU relative performance ------------------------- *)
 
@@ -218,7 +224,9 @@ let ablation () =
         (fun (pname, passes) ->
           let c = Otter.compile ~passes src in
           let o =
-            Otter.run_parallel ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:8 c
+            run_outcome
+              (Otter.config ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:8 ())
+              c
           in
           Printf.printf "  %-18s %10d %12.4f s %10d\n" pname
             o.Exec.Vm.lib_calls o.Exec.Vm.report.Mpisim.Sim.makespan
@@ -359,9 +367,8 @@ let micro () =
   in
   let vm_cg = Test.make ~name:"vm: cg n=64 on 4 simulated CPUs"
       (let c = Otter.compile cg_src in
-       Staged.stage (fun () ->
-           ignore
-             (Otter.run_parallel ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4 c)))
+       let cfg = Otter.config ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4 () in
+       Staged.stage (fun () -> ignore (Otter.run cfg c)))
   in
   let tests =
     Test.make_grouped ~name:"otter"
@@ -416,11 +423,15 @@ let faults_bench scale =
         (fun (label, (m : Mpisim.Machine.t)) ->
           let nprocs = min 8 m.max_procs in
           let clean =
-            Otter.run_parallel ~capture:app.capture ~machine:m ~nprocs c
+            run_outcome
+              (Otter.config ~capture:app.capture ~machine:m ~nprocs ())
+              c
           in
           let fm = Mpisim.Machine.with_faults ~reliable:true ~faults m in
           let faulted =
-            Otter.run_parallel ~capture:app.capture ~machine:fm ~nprocs c
+            run_outcome
+              (Otter.config ~capture:app.capture ~machine:fm ~nprocs ())
+              c
           in
           let r = faulted.Exec.Vm.report and r0 = clean.Exec.Vm.report in
           let exact =
@@ -484,8 +495,8 @@ let speedup_entries scale : speedup_entry list =
                 (fun p ->
                   if p <= m.max_procs then begin
                     let r =
-                      (Otter.run_parallel ~machine:m ~nprocs:p c).Exec.Vm
-                        .report
+                      (run_outcome (Otter.config ~machine:m ~nprocs:p ()) c)
+                        .Exec.Vm.report
                     in
                     if p = 1 then t1 := r.Mpisim.Sim.makespan;
                     entries :=
@@ -601,7 +612,11 @@ let speedup_bench scale out baseline =
   Printf.printf "message count reduced on %d of 4 apps at P=4 with -O2\n\n"
     !improved;
   (* speedup table at O2 *)
-  Printf.printf "Simulated speedup at -O2 (relative to 1 CPU, same machine)\n";
+  (* the header names the engine and pass level so a table pasted into a
+     report is self-describing *)
+  Printf.printf
+    "Simulated speedup, %s engine at -O2 (relative to 1 CPU, same machine)\n"
+    (Otter.Config.engine_name (Otter.config ()).Otter.Config.engine);
   print_endline (String.make 72 '-');
   Printf.printf "%-10s %-9s" "App" "Machine";
   List.iter (fun p -> Printf.printf " %7d" p) proc_counts;
@@ -764,15 +779,14 @@ let vmspeed_opts = [ ("O1", Spmd.Pass.O1); ("O2", Spmd.Pass.O2) ]
 (* One timed measurement: instructions dispatched and host seconds for
    [reps] runs of [c] under [engine], after one untimed warm-up run. *)
 let vmspeed_measure ~engine ~reps (c : Otter.compiled) =
-  ignore
-    (Otter.run_parallel ~engine ~machine:vmspeed_machine
-       ~nprocs:vmspeed_procs c);
+  let cfg =
+    Otter.config ~engine ~machine:vmspeed_machine ~nprocs:vmspeed_procs ()
+  in
+  ignore (run_outcome cfg c);
   Exec.State.dispatched := 0;
   let t0 = Unix.gettimeofday () in
   for _ = 1 to reps do
-    ignore
-      (Otter.run_parallel ~engine ~machine:vmspeed_machine
-         ~nprocs:vmspeed_procs c)
+    ignore (run_outcome cfg c)
   done;
   let dt = Unix.gettimeofday () -. t0 in
   (!Exec.State.dispatched, dt /. float_of_int reps)
@@ -801,8 +815,10 @@ let vmspeed_entries () =
         (fun (oname, opt) ->
           let c = Otter.compile ~opt k.vk_src in
           let reps = 3 in
-          let ir_n, ir_t = vmspeed_measure ~engine:Otter.Eir ~reps c in
-          let tc_n, tc_t = vmspeed_measure ~engine:Otter.Etcode ~reps c in
+          let ir_n, ir_t = vmspeed_measure ~engine:Otter.Config.Eir ~reps c in
+          let tc_n, tc_t =
+            vmspeed_measure ~engine:Otter.Config.Etcode ~reps c
+          in
           let ir_minst =
             float_of_int ir_n /. float_of_int reps /. ir_t /. 1e6
           in
@@ -828,8 +844,8 @@ let vmspeed_app_entries scale =
         (fun (oname, opt) ->
           let c = Otter.compile ~opt (app.source scale) in
           let reps = 3 in
-          let _, ir_t = vmspeed_measure ~engine:Otter.Eir ~reps c in
-          let _, tc_t = vmspeed_measure ~engine:Otter.Etcode ~reps c in
+          let _, ir_t = vmspeed_measure ~engine:Otter.Config.Eir ~reps c in
+          let _, tc_t = vmspeed_measure ~engine:Otter.Config.Etcode ~reps c in
           {
             va_app = app.key;
             va_opt = oname;
@@ -1058,8 +1074,10 @@ let chaos_entries scale : chaos_entry list =
       List.iter
         (fun (mname, (m : Mpisim.Machine.t)) ->
           let clean =
-            Otter.run_parallel ~capture:app.capture ~machine:m
-              ~nprocs:chaos_nprocs c
+            run_outcome
+              (Otter.config ~capture:app.capture ~machine:m
+                 ~nprocs:chaos_nprocs ())
+              c
           in
           let span = clean.Exec.Vm.report.Mpisim.Sim.makespan in
           List.iter
@@ -1073,9 +1091,11 @@ let chaos_entries scale : chaos_entry list =
                   | Error e -> failwith e
               in
               let rc =
-                Otter.run_parallel_recovering ~capture:app.capture
-                  ~ckpt_interval:(Float.max 1e-6 (span *. 0.08))
-                  ~max_recoveries:3 ~machine:fm ~nprocs:chaos_nprocs c
+                Otter.run
+                  (Otter.config ~capture:app.capture
+                     ~ckpt_interval:(Float.max 1e-6 (span *. 0.08))
+                     ~max_recoveries:3 ~machine:fm ~nprocs:chaos_nprocs ())
+                  c
               in
               let rollbacks = rc.Exec.Vm.r_attempts - 1 in
               let final_report =
@@ -1289,6 +1309,303 @@ let chaos_bench scale out baseline =
         exit 1
       end
 
+(* --- throughput benchmark: BENCH_throughput.json ------------------------ *)
+
+(* Multi-tenant throughput of the job scheduler: a fixed mix of jobs
+   (two instances of every paper app, four ranks each) is space-shared
+   across P ranks of the CS-2 model at P = 16 and, scaled out, P = 64.
+   Reported per P: jobs per simulated second; reported per job: its
+   message count.  Everything is modeled and seeded, so the committed
+   baseline is a regression gate — throughput may not drop more than
+   10%%, and no job's message count may rise at all (counts are
+   deterministic; one extra message is a real regression). *)
+
+type tp_entry = {
+  tp_procs : int;
+  tp_jobs : int;
+  tp_makespan : float;
+  tp_throughput : float;
+}
+
+type tp_job = { tj_procs : int; tj_name : string; tj_messages : int }
+
+let throughput_procs = [ 16; 64 ]
+let throughput_job_ranks = 4
+
+let throughput_schedule scale procs =
+  let machine =
+    let m = Mpisim.Machine.meiko_cs2 in
+    if procs > m.Mpisim.Machine.max_procs then
+      Mpisim.Machine.with_procs procs m
+    else m
+  in
+  let jobs =
+    List.concat_map
+      (fun (app : Apps.Scripts.app) ->
+        let c = compile_app app scale in
+        List.map
+          (fun i ->
+            {
+              Otter.Sched.j_name = Printf.sprintf "%s[%d]" app.key i;
+              j_procs = throughput_job_ranks;
+              j_run =
+                (fun ~nprocs ->
+                  (run_outcome (Otter.config ~machine ~nprocs ()) c)
+                    .Exec.Vm.report);
+            })
+          [ 0; 1 ])
+      Apps.Scripts.apps
+  in
+  (machine, Otter.Sched.run ~machine ~procs jobs)
+
+let throughput_results scale =
+  List.map
+    (fun procs ->
+      let _, sched = throughput_schedule scale procs in
+      let entry =
+        {
+          tp_procs = procs;
+          tp_jobs = List.length sched.Otter.Sched.s_placements;
+          tp_makespan = sched.Otter.Sched.s_makespan;
+          tp_throughput = sched.Otter.Sched.s_throughput;
+        }
+      in
+      let jobs =
+        List.map
+          (fun (p : Otter.Sched.placement) ->
+            {
+              tj_procs = procs;
+              tj_name = p.Otter.Sched.p_name;
+              tj_messages = p.Otter.Sched.p_report.Mpisim.Sim.messages;
+            })
+          sched.Otter.Sched.s_placements
+      in
+      (entry, jobs, sched))
+    throughput_procs
+
+let write_throughput_json ~file ~scale results =
+  let oc = open_out file in
+  Printf.fprintf oc "{\n  \"benchmark\": \"throughput\",\n  \"scale\": %d,\n"
+    scale;
+  Printf.fprintf oc "  \"entries\": [\n";
+  let entries = List.map (fun (e, _, _) -> e) results in
+  let n = List.length entries in
+  List.iteri
+    (fun i e ->
+      Printf.fprintf oc
+        "    {\"procs\": %d, \"jobs\": %d, \"makespan\": %.9f, \
+         \"throughput\": %.6f}%s\n"
+        e.tp_procs e.tp_jobs e.tp_makespan e.tp_throughput
+        (if i = n - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  ],\n  \"jobs\": [\n";
+  let jobs = List.concat_map (fun (_, js, _) -> js) results in
+  let n = List.length jobs in
+  List.iteri
+    (fun i j ->
+      Printf.fprintf oc
+        "    {\"procs\": %d, \"job\": %S, \"messages\": %d}%s\n" j.tj_procs
+        j.tj_name j.tj_messages
+        (if i = n - 1 then "" else ","))
+    jobs;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let read_throughput_json file =
+  let ic = open_in file in
+  let scale = ref (-1) in
+  let entries = ref [] in
+  let jobs = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       (try Scanf.sscanf line " \"scale\": %d" (fun s -> scale := s)
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> ());
+       (try
+          Scanf.sscanf line
+            " {\"procs\": %d, \"jobs\": %d, \"makespan\": %f, \
+             \"throughput\": %f}"
+            (fun p j m t ->
+              entries :=
+                {
+                  tp_procs = p;
+                  tp_jobs = j;
+                  tp_makespan = m;
+                  tp_throughput = t;
+                }
+                :: !entries)
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> ());
+       try
+         Scanf.sscanf line " {\"procs\": %d, \"job\": %S, \"messages\": %d}"
+           (fun p n m ->
+             jobs := { tj_procs = p; tj_name = n; tj_messages = m } :: !jobs)
+       with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  (!scale, List.rev !entries, List.rev !jobs)
+
+let throughput_bench scale out baseline =
+  Printf.printf
+    "Throughput benchmark: 8-job mix (2 x each app, %d ranks each) on the \
+     CS-2 model at P in {16, 64}\n"
+    throughput_job_ranks;
+  Printf.printf "  problem scale: %d%% of paper sizes\n\n" scale;
+  let results = throughput_results scale in
+  List.iter
+    (fun (e, _, sched) ->
+      Printf.printf "P = %d:\n%s\n" e.tp_procs (Otter.Sched.table sched))
+    results;
+  write_throughput_json ~file:out ~scale results;
+  Printf.printf "wrote %s\n" out;
+  match baseline with
+  | None -> ()
+  | Some file ->
+      let bscale, bentries, bjobs = read_throughput_json file in
+      if bentries = [] then begin
+        Printf.eprintf "baseline %s has no entries\n" file;
+        exit 2
+      end;
+      if bscale <> scale then begin
+        Printf.eprintf
+          "baseline %s was recorded at scale %d%%, this run is %d%%\n" file
+          bscale scale;
+        exit 2
+      end;
+      let entries = List.map (fun (e, _, _) -> e) results in
+      let jobs = List.concat_map (fun (_, js, _) -> js) results in
+      let tp_regressions =
+        List.filter_map
+          (fun b ->
+            match
+              List.find_opt (fun e -> e.tp_procs = b.tp_procs) entries
+            with
+            | Some e when e.tp_throughput < (b.tp_throughput *. 0.90) -. 1e-9
+              ->
+                Some (b, e)
+            | _ -> None)
+          bentries
+      in
+      let msg_regressions =
+        List.filter_map
+          (fun b ->
+            match
+              List.find_opt
+                (fun j -> j.tj_procs = b.tj_procs && j.tj_name = b.tj_name)
+                jobs
+            with
+            | Some j when j.tj_messages > b.tj_messages -> Some (b, j)
+            | _ -> None)
+          bjobs
+      in
+      if tp_regressions = [] && msg_regressions = [] then
+        Printf.printf
+          "baseline check: no regression (>10%% jobs/s drop or any per-job \
+           message increase) vs %s\n"
+          file
+      else begin
+        List.iter
+          (fun (b, e) ->
+            Printf.printf
+              "REGRESSION P=%d: %.1f jobs/s vs baseline %.1f (-%.1f%%)\n"
+              b.tp_procs e.tp_throughput b.tp_throughput
+              (100. *. (1. -. (e.tp_throughput /. b.tp_throughput))))
+          tp_regressions;
+        List.iter
+          (fun (b, j) ->
+            Printf.printf
+              "REGRESSION %s at P=%d: %d messages vs baseline %d\n"
+              b.tj_name b.tj_procs j.tj_messages b.tj_messages)
+          msg_regressions;
+        exit 1
+      end
+
+(* --- bandwidth benchmark ------------------------------------------------- *)
+
+(* MatlabMPI's first experiment: point-to-point bandwidth against
+   message size.  One rank 0 <-> rank 1 pingpong per payload size; the
+   round-trip cost is isolated by differencing against a zero-trip run
+   of the same script, so matrix construction and the replicating
+   broadcast are priced out.  Effective bandwidth must rise
+   monotonically with message size on every machine model (fixed
+   per-message latency amortizes away) — the bench exits nonzero if it
+   does not. *)
+
+let bandwidth_sizes = [ 4; 16; 64; 256 ]
+let bandwidth_trips = 4
+
+let bandwidth_src ~n ~trips =
+  Printf.sprintf
+    {|r = MPI_Comm_rank();
+a = rand(%d, %d);
+a = MPI_Bcast(0, a);
+for k = 1:%d
+  if r == 0
+    MPI_Send(1, 1, a);
+    a = MPI_Recv(1, 2);
+  end
+  if r == 1
+    b = MPI_Recv(0, 1);
+    MPI_Send(0, 2, b);
+  end
+end
+|}
+    n n trips
+
+let bandwidth_point ~machine ~n =
+  let report src =
+    (run_outcome
+       (Otter.config ~machine ~nprocs:2 ())
+       (Otter.compile src))
+      .Exec.Vm.report
+  in
+  let loaded = report (bandwidth_src ~n ~trips:bandwidth_trips) in
+  let empty = report (bandwidth_src ~n ~trips:0) in
+  let msgs = loaded.Mpisim.Sim.messages - empty.Mpisim.Sim.messages in
+  let bytes = loaded.Mpisim.Sim.bytes - empty.Mpisim.Sim.bytes in
+  let time = loaded.Mpisim.Sim.makespan -. empty.Mpisim.Sim.makespan in
+  let msg_bytes = float_of_int bytes /. float_of_int (max 1 msgs) in
+  (* one-way latency per message: total differenced time over the
+     number of payload messages on the wire *)
+  let one_way = time /. float_of_int (max 1 msgs) in
+  (msg_bytes, msg_bytes /. one_way)
+
+let bandwidth_bench () =
+  Printf.printf
+    "Bandwidth vs message size: rank 0 <-> rank 1 pingpong (differenced), \
+     %d round trips per size\n\n"
+    bandwidth_trips;
+  Printf.printf "%-10s %14s" "machine" "payload bytes";
+  List.iter (fun n -> Printf.printf " %10dx%-3d" n n) bandwidth_sizes;
+  print_newline ();
+  print_endline (String.make 76 '-');
+  let ok = ref true in
+  List.iter
+    (fun (mname, machine) ->
+      let points =
+        List.map (fun n -> bandwidth_point ~machine ~n) bandwidth_sizes
+      in
+      Printf.printf "%-10s %14s" mname "MB/s";
+      List.iter (fun (_, bw) -> Printf.printf " %14.2f" (bw /. 1e6)) points;
+      print_newline ();
+      let rec monotone = function
+        | (_, a) :: ((_, b) :: _ as rest) -> a <= b +. 1e-9 && monotone rest
+        | _ -> true
+      in
+      if not (monotone points) then begin
+        ok := false;
+        Printf.printf "  NOT MONOTONE on %s\n" mname
+      end)
+    speedup_machines;
+  print_newline ();
+  if !ok then
+    print_endline
+      "bandwidth rises monotonically with message size on every machine"
+  else begin
+    print_endline "bandwidth curve is not monotone; latency model regressed";
+    exit 1
+  end
+
 (* --- driver -------------------------------------------------------------- *)
 
 let () =
@@ -1341,6 +1658,11 @@ let () =
         chaos_bench !scale
           (Option.value !out ~default:"BENCH_chaos.json")
           !baseline
+    | "throughput" ->
+        throughput_bench !scale
+          (Option.value !out ~default:"BENCH_throughput.json")
+          !baseline
+    | "bandwidth" -> bandwidth_bench ()
     | "all" ->
         Tables.print ();
         fig2 !scale;
@@ -1349,7 +1671,8 @@ let () =
         Printf.eprintf
           "unknown command '%s' (expected \
            table1|fig2|fig3|fig4|fig5|fig6|all|ablation|extrapolate|\
-           sensitivity|faults|speedup|vmspeed|chaos|micro)\n"
+           sensitivity|faults|speedup|vmspeed|chaos|throughput|bandwidth|\
+           micro)\n"
           other;
         exit 2
   in

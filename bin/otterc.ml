@@ -195,18 +195,20 @@ let get_machine name =
       exit 2
 
 let engine_arg =
-  Arg.(value & opt string (Otter.engine_name Otter.default_engine)
+  Arg.(value & opt string (Otter.Config.engine_name Otter.Config.default_engine)
          & info [ "engine" ] ~docv:"NAME"
          ~doc:"Execution engine for simulated runs: $(b,tcode) (the \
-               pre-decoded threaded-code fast path, default) or $(b,ir) \
-               (the direct IR walker).  Both produce bit-identical \
-               results; ir is kept as a cross-check and fallback.")
+               pre-decoded threaded-code fast path, default), $(b,ir) \
+               (the direct IR walker), or the sequential baselines \
+               $(b,interp) / $(b,matcom).  The two SPMD engines produce \
+               bit-identical results; ir is kept as a cross-check and \
+               fallback.")
 
 let get_engine name =
-  match Otter.engine_of_string name with
+  match Otter.Config.engine_of_string name with
   | Some e -> e
   | None ->
-      Fmt.epr "unknown engine '%s' (try tcode or ir)@." name;
+      Fmt.epr "unknown engine '%s' (try tcode, ir, interp or matcom)@." name;
       exit 2
 
 let faults_arg =
@@ -234,17 +236,6 @@ let chaos_arg =
                defaults (--ckpt-interval 0.05, --max-recoveries 3 unless \
                given) and print a recovery summary.")
 
-(* The effective recovery settings: --chaos fills in defaults for
-   whichever of the two knobs was not given explicitly. *)
-let recovery_settings ~chaos ~ckpt_interval ~max_recoveries =
-  let ckpt_interval =
-    if ckpt_interval > 0. then ckpt_interval else if chaos then 0.05 else 0.
-  in
-  let max_recoveries =
-    if max_recoveries > 0 then max_recoveries else if chaos then 3 else 0
-  in
-  (ckpt_interval, max_recoveries)
-
 let reliable_arg =
   Arg.(value & flag & info [ "reliable" ]
          ~doc:"Route messages through the reliable ack/retry layer so \
@@ -262,6 +253,14 @@ let apply_faults machine spec reliable =
       | Error msg ->
           Fmt.epr "bad --faults spec: %s@." msg;
           exit 2)
+
+(* One run configuration from the shared command-line flags: this is
+   the only place otterc turns its eight knobs into an [Otter.Config.t]. *)
+let config_of_flags ?capture ?tol ~nprocs ~machine ~engine ~faults ~reliable
+    ~chaos ~ckpt_interval ~max_recoveries () =
+  let machine = apply_faults (get_machine machine) faults reliable in
+  Otter.config ~machine ~nprocs ~engine:(get_engine engine) ?capture ?tol
+    ~chaos ~ckpt_interval ~max_recoveries ()
 
 let print_fault_counters (r : Mpisim.Sim.report) =
   Fmt.pr
@@ -293,24 +292,19 @@ let run_cmd =
       ckpt_interval max_recoveries opt passes validate dumps =
     handle_errors (fun () ->
         let c = compile_input input opt passes validate dumps in
-        let machine = apply_faults (get_machine machine) faults reliable in
-        let engine = get_engine engine in
-        let ckpt_interval, max_recoveries =
-          recovery_settings ~chaos ~ckpt_interval ~max_recoveries
+        let cfg =
+          config_of_flags ~nprocs ~machine ~engine ~faults ~reliable ~chaos
+            ~ckpt_interval ~max_recoveries ()
         in
-        let recovering = ckpt_interval > 0. || max_recoveries > 0 in
-        let result, recoveries, gave_up =
-          if recovering then begin
-            let rc =
-              Otter.run_parallel_recovering ~engine ~ckpt_interval
-                ~max_recoveries ~machine ~nprocs c
-            in
-            (rc.Exec.Vm.r_result, rc.Exec.Vm.r_attempts - 1,
-             rc.Exec.Vm.r_gave_up)
-          end
-          else (Otter.run_parallel_result ~engine ~machine ~nprocs c, 0, false)
+        let machine = cfg.Otter.Config.machine in
+        let recovering =
+          cfg.Otter.Config.ckpt_interval > 0.
+          || cfg.Otter.Config.max_recoveries > 0
         in
-        match result with
+        let rc = Otter.run cfg c in
+        let recoveries = rc.Exec.Vm.r_attempts - 1
+        and gave_up = rc.Exec.Vm.r_gave_up in
+        match rc.Exec.Vm.r_result with
         | Exec.Vm.Partial { failed_rank; operation; detail; kind; report } ->
             print_abort ~gave_up ~recoveries failed_rank operation detail
               report;
@@ -366,11 +360,13 @@ let interp_cmd =
         (* front end only: the interpreter accepts a superset of what
            the back end compiles (e.g. matrix growth) *)
         let fe = Otter.compile_frontend ~path:(path_of input) (read_file input) in
-        let machine = Mpisim.Machine.workstation in
-        let mode =
-          if matcom then Interp.Cost.Matcom else Interp.Cost.Interpreter
+        let engine =
+          if matcom then Otter.Config.Ematcom else Otter.Config.Einterp
         in
-        let o = Otter.interpret ~mode ~machine fe in
+        let cfg =
+          Otter.config ~machine:Mpisim.Machine.workstation ~nprocs:1 ~engine ()
+        in
+        let o = Otter.interpret cfg fe in
         print_string o.Interp.Eval.output;
         if timing then
           Fmt.pr "[%s] modeled time %.6f s@."
@@ -432,27 +428,21 @@ let verify_cmd =
       ckpt_interval max_recoveries opt passes validate dumps =
     handle_errors (fun () ->
         let c = compile_input input opt passes validate dumps in
-        let machine = apply_faults (get_machine machine) faults reliable in
-        let engine = get_engine engine in
-        let ckpt_interval, max_recoveries =
-          recovery_settings ~chaos ~ckpt_interval ~max_recoveries
+        let cfg =
+          config_of_flags ~capture:vars ~tol ~nprocs ~machine ~engine ~faults
+            ~reliable ~chaos ~ckpt_interval ~max_recoveries ()
         in
-        let capture =
-          if vars <> [] then vars
-          else
-            (* default: every script variable *)
-            Hashtbl.fold
-              (fun v _ acc -> v :: acc)
-              c.Otter.info.Analysis.Infer.var_ty []
+        let max_recoveries = cfg.Otter.Config.max_recoveries in
+        let n_compared =
+          match vars with
+          | [] -> Hashtbl.length c.Otter.info.Analysis.Infer.var_ty
+          | vs -> List.length vs
         in
-        match
-          Otter.verify_outcome ~engine ~tol ~ckpt_interval ~max_recoveries
-            ~machine ~nprocs ~capture c
-        with
+        match Otter.verify cfg c with
         | Otter.Verified ->
             Fmt.pr "verified: %d variables agree between the interpreter and \
                     the %d-CPU compiled run.@."
-              (List.length capture) nprocs
+              n_compared nprocs
         | Otter.Mismatched mm ->
             List.iter
               (fun m ->
@@ -495,6 +485,87 @@ let verify_cmd =
           $ vars_arg $ tol_arg $ faults_arg $ reliable_arg $ chaos_arg
           $ ckpt_arg $ max_recoveries_arg $ opt_arg $ passes_arg
           $ validate_arg $ dump_after_arg)
+
+(* --- serve ----------------------------------------------------------------- *)
+
+(* Multi-tenant mode: space-share one simulated machine's ranks across
+   many concurrent scripts through the job scheduler, and report who
+   ran where with what traffic — MatlabMPI's "many users, one machine"
+   picture as a measured number. *)
+let serve_cmd =
+  let run inputs nprocs machine engine jobs job_procs opt passes validate
+      dumps =
+    handle_errors (fun () ->
+        if inputs = [] then begin
+          Fmt.epr "serve: need at least one script@.";
+          exit 2
+        end;
+        let machine = get_machine machine in
+        (* serve is the scale-out mode: a -p beyond the paper's machine
+           grows the model rather than erroring. *)
+        let machine =
+          if nprocs > machine.Mpisim.Machine.max_procs then
+            Mpisim.Machine.with_procs nprocs machine
+          else machine
+        in
+        let engine = get_engine engine in
+        let compiled =
+          List.map
+            (fun input ->
+              ( Filename.remove_extension (Filename.basename input),
+                compile_input input opt passes validate dumps ))
+            inputs
+        in
+        let scripts = Array.of_list compiled in
+        let njobs = if jobs > 0 then jobs else Array.length scripts in
+        let job i =
+          let name, c = scripts.(i mod Array.length scripts) in
+          {
+            Otter.Sched.j_name = Printf.sprintf "%s[%d]" name i;
+            j_procs = min job_procs nprocs;
+            j_run =
+              (fun ~nprocs ->
+                let cfg =
+                  Otter.config ~machine ~nprocs ~engine ~seed:(42 + i) ()
+                in
+                let o = Otter.outcome_exn (Otter.run cfg c) in
+                o.Exec.State.report);
+          }
+        in
+        let sched =
+          Otter.Sched.run ~machine ~procs:nprocs
+            (List.init njobs job)
+        in
+        Fmt.pr "serving %d jobs on %s (%d ranks space-shared, %s engine)@."
+          njobs machine.Mpisim.Machine.name nprocs
+          (Otter.Config.engine_name engine);
+        print_string (Otter.Sched.table sched))
+  in
+  let inputs_arg =
+    Arg.(value & pos_all file [] & info [] ~docv:"PROG.m")
+  in
+  let serve_procs_arg =
+    Arg.(value & opt int 16 & info [ "p"; "procs" ] ~docv:"N"
+           ~doc:"Rank slots to space-share.  Beyond the machine model's \
+                 processor count, the model is scaled out ($(docv) of the \
+                 same CPUs and links).")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 0 & info [ "jobs" ] ~docv:"N"
+           ~doc:"Total job instances to run, cycling over the given scripts \
+                 round-robin (default: one per script).")
+  in
+  let job_procs_arg =
+    Arg.(value & opt int 4 & info [ "job-procs" ] ~docv:"K"
+           ~doc:"Ranks each job requests (clamped to the machine).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Space-share a simulated machine across concurrent scripts \
+             (multi-tenant scheduler).")
+    Term.(const run $ inputs_arg $ serve_procs_arg $ machine_arg $ engine_arg
+          $ jobs_arg $ job_procs_arg $ opt_arg $ passes_arg $ validate_arg
+          $ dump_after_arg)
 
 (* --- fuzz ------------------------------------------------------------------ *)
 
@@ -563,6 +634,7 @@ let fuzz_cmd =
 let main_cmd =
   let doc = "Otter: a parallel MATLAB compiler (OCaml reproduction)" in
   Cmd.group (Cmd.info "otterc" ~version:"1.0" ~doc)
-    [ compile_cmd; run_cmd; interp_cmd; dump_cmd; verify_cmd; fuzz_cmd ]
+    [ compile_cmd; run_cmd; interp_cmd; dump_cmd; verify_cmd; serve_cmd;
+      fuzz_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

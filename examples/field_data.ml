@@ -54,16 +54,23 @@ let () =
 
   Fmt.pr "@.=== 8 CPUs of the simulated SPARC-20 cluster ===@.";
   let o =
-    Otter.run_parallel ~datadir:dir ~machine:Mpisim.Machine.sparc20_cluster
-      ~nprocs:8 c
+    Otter.outcome_exn
+      (Otter.run
+         (Otter.config ~datadir:dir ~machine:Mpisim.Machine.sparc20_cluster
+            ~nprocs:8 ())
+         c)
   in
   print_string o.Exec.Vm.output;
 
   let oi =
-    Otter.run_interpreter ~datadir:dir ~machine:Mpisim.Machine.workstation c
+    Otter.outcome_exn
+      (Otter.run
+         (Otter.config ~datadir:dir ~engine:Otter.Config.Einterp
+            ~machine:Mpisim.Machine.workstation ())
+         c)
   in
   Fmt.pr "@.interpreter agrees: %b@."
-    (String.equal oi.Interp.Eval.output o.Exec.Vm.output);
+    (String.equal oi.Exec.State.output o.Exec.Vm.output);
 
   Sys.remove (Filename.concat dir "buoy.txt");
   Sys.rmdir dir

@@ -31,15 +31,20 @@ let () =
 
   (* Physics sanity: heat diffuses, the peak amplitude decays. *)
   let o =
-    Otter.run_parallel ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:8
-      ~capture:[ "peak"; "energy" ] c
+    Otter.outcome_exn
+      (Otter.run
+         (Otter.config ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:8
+            ~capture:[ "peak"; "energy" ] ())
+         c)
   in
   print_string o.Exec.Vm.output;
 
   (* The interpreter agrees with the 8-CPU run. *)
   let mm =
-    Otter.verify ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:8
-      ~capture:[ "u"; "peak"; "energy" ] c
+    Otter.verify_list
+      (Otter.config ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:8
+         ~capture:[ "u"; "peak"; "energy" ] ())
+      c
   in
   Fmt.pr "verification: %s@." (if mm = [] then "OK" else "MISMATCH");
 
@@ -54,8 +59,9 @@ let () =
       (fun p ->
         if p <= m.Mpisim.Machine.max_procs then
           Some
-            (Otter.run_parallel ~machine:m ~nprocs:p c).Exec.Vm.report
-              .Mpisim.Sim.makespan
+            (Otter.outcome_exn
+               (Otter.run (Otter.config ~machine:m ~nprocs:p ()) c))
+              .Exec.Vm.report.Mpisim.Sim.makespan
         else None)
       [ 1; 2; 4; 8; 16 ]
   in

@@ -1,0 +1,31 @@
+% Bandwidth versus message size (MatlabMPI's first experiment): rank 0
+% ships an n x n block to rank 1 and gets it back, for doubling sizes.
+% `bench bandwidth` times one round trip per size on each machine
+% model and prints the bytes-per-second curve; this script is the
+% self-checking version that any rank count can run.
+r = MPI_Comm_rank();
+p = MPI_Comm_size();
+total = 0;
+n = 4;
+for k = 1:5
+  a = rand(n, n);
+  a = MPI_Bcast(0, a);
+  if p > 1
+    if r == 0
+      MPI_Send(1, 20, a);
+      b = MPI_Recv(1, 21);
+      total = total + sum(sum(b));
+    end
+    if r == 1
+      b = MPI_Recv(0, 20);
+      MPI_Send(0, 21, b);
+    end
+  else
+    MPI_Send(0, 20, a);
+    b = MPI_Recv(0, 20);
+    total = total + sum(sum(b));
+  end
+  n = n * 2;
+end
+total = MPI_Bcast(0, total);
+fprintf('bandwidth sweep checksum = %.6f\n', total);

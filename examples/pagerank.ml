@@ -47,28 +47,31 @@ let () =
        (List.map (fun f -> f.Mlang.Ast.fname) c.Otter.ast.Mlang.Ast.funcs));
 
   let o =
-    Otter.run_parallel ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:8
-      ~capture:[ "r"; "rsum" ] c
+    Otter.outcome_exn
+      (Otter.run
+         (Otter.config ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:8
+            ~capture:[ "r"; "rsum" ] ())
+         c)
   in
   print_string o.Exec.Vm.output;
 
   let mm =
-    Otter.verify ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:8
-      ~capture:[ "r"; "rsum"; "rmax" ] c
+    Otter.verify_list
+      (Otter.config ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:8
+         ~capture:[ "r"; "rsum"; "rmax" ] ())
+      c
   in
   Fmt.pr "verification: %s@." (if mm = [] then "OK" else "MISMATCH");
 
   (* Speedup on the three machines. *)
   Fmt.pr "@.modeled speedup over 1 CPU at 8 CPUs:@.";
+  let makespan ~machine ~nprocs =
+    (Otter.outcome_exn (Otter.run (Otter.config ~machine ~nprocs ()) c))
+      .Exec.Vm.report.Mpisim.Sim.makespan
+  in
   List.iter
     (fun (m : Mpisim.Machine.t) ->
-      let t1 =
-        (Otter.run_parallel ~machine:m ~nprocs:1 c).Exec.Vm.report
-          .Mpisim.Sim.makespan
-      in
-      let t8 =
-        (Otter.run_parallel ~machine:m ~nprocs:8 c).Exec.Vm.report
-          .Mpisim.Sim.makespan
-      in
+      let t1 = makespan ~machine:m ~nprocs:1 in
+      let t8 = makespan ~machine:m ~nprocs:8 in
       Fmt.pr "  %-22s %5.2fx@." m.name (t1 /. t8))
     Mpisim.Machine.all

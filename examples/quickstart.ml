@@ -47,7 +47,8 @@ let () =
 
   (* 4. Run on 8 CPUs of the simulated Meiko CS-2. *)
   Fmt.pr "@.=== execution on 8 simulated CPUs ===@.";
-  let o = Otter.run_parallel ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:8 c in
+  let cfg = Otter.config ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:8 () in
+  let o = Otter.outcome_exn (Otter.run cfg c) in
   print_string o.Exec.Vm.output;
   Fmt.pr "modeled time: %.4f ms, %d messages@."
     (o.Exec.Vm.report.Mpisim.Sim.makespan *. 1e3)
@@ -55,8 +56,7 @@ let () =
 
   (* 5. The interpreter must agree. *)
   let mm =
-    Otter.verify ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:8
-      ~capture:[ "lambda"; "v" ] c
+    Otter.verify_list { cfg with Otter.Config.capture = [ "lambda"; "v" ] } c
   in
   Fmt.pr "verification against the interpreter: %s@."
     (if mm = [] then "OK" else "MISMATCH")

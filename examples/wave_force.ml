@@ -41,8 +41,11 @@ let () =
     (fun amp0 ->
       let c = Otter.compile (script ~n ~amp0) in
       let o =
-        Otter.run_parallel ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:8
-          ~capture:[ "impulse"; "Fmax" ] c
+        Otter.outcome_exn
+          (Otter.run
+             (Otter.config ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:8
+                ~capture:[ "impulse"; "Fmax" ] ())
+             c)
       in
       let get name =
         match List.assoc name o.Exec.Vm.captures with
@@ -56,20 +59,18 @@ let () =
      operations are O(n) with small grain, so communication dominates. *)
   Fmt.pr "@.machine comparison at sea state 1.0 (speedup over 1 CPU):@.";
   let c = Otter.compile (script ~n ~amp0:1.0) in
+  let makespan ~machine ~nprocs =
+    (Otter.outcome_exn (Otter.run (Otter.config ~machine ~nprocs ()) c))
+      .Exec.Vm.report.Mpisim.Sim.makespan
+  in
   List.iter
     (fun (m : Mpisim.Machine.t) ->
-      let t1 =
-        (Otter.run_parallel ~machine:m ~nprocs:1 c).Exec.Vm.report
-          .Mpisim.Sim.makespan
-      in
+      let t1 = makespan ~machine:m ~nprocs:1 in
       Fmt.pr "  %-22s" m.name;
       List.iter
         (fun p ->
           if p <= m.max_procs then
-            let tp =
-              (Otter.run_parallel ~machine:m ~nprocs:p c).Exec.Vm.report
-                .Mpisim.Sim.makespan
-            in
+            let tp = makespan ~machine:m ~nprocs:p in
             Fmt.pr "  P=%-2d %5.2fx" p (t1 /. tp))
         [ 2; 4; 8; 16 ];
       Fmt.pr "@.")

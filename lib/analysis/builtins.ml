@@ -31,6 +31,15 @@ type kind =
   | Repmat (* repmat(A, r, c): tile a matrix *)
   | Sort (* sort(v): ascending sort, optional index output *)
   | Diag (* diag(v): vector -> diagonal matrix; matrix -> diagonal vector *)
+  | Mpi of mpi_op (* MatlabMPI-style explicit message passing *)
+
+and mpi_op =
+  | Mrank (* MPI_Comm_rank() *)
+  | Msize (* MPI_Comm_size() *)
+  | Msend (* MPI_Send(dest, tag, value) *)
+  | Mrecv (* MPI_Recv(source, tag) *)
+  | Mbcast (* MPI_Bcast(root, value) *)
+  | Mprobe (* MPI_Probe(source, tag) *)
 
 type t = {
   name : string;
@@ -283,6 +292,18 @@ let () =
   (* external file input; the real type rule runs in Infer, which has
      the data directory and the literal filename *)
   register "load" Load 1 1 (fun _ _ -> of_ty Ty.real_matrix);
+  (* explicit message passing (MatlabMPI-style).  The Recv type rule is
+     a placeholder: Infer joins the types of every Send/Bcast that can
+     reach a tag and overrides it. *)
+  register "MPI_Comm_rank" (Mpi Mrank) 0 0 int_scalar_rule;
+  register "MPI_Comm_size" (Mpi Msize) 0 0 int_scalar_rule;
+  register "MPI_Send" (Mpi Msend) 3 3 int_scalar_rule;
+  register "MPI_Recv" (Mpi Mrecv) 2 2 (fun _ _ -> of_ty Ty.real_matrix);
+  register "MPI_Bcast" (Mpi Mbcast) 2 2 (fun args pos ->
+      match args with
+      | [ _; v ] -> { v with aconst = None }
+      | _ -> Mlang.Source.error pos "MPI_Bcast takes two arguments");
+  register "MPI_Probe" (Mpi Mprobe) 2 2 int_scalar_rule;
   (* constants *)
   register "pi" (Constant Float.pi) 0 0 (fun _ _ -> const_real Float.pi);
   register "eps" (Constant epsilon_float) 0 0 (fun _ _ ->

@@ -29,6 +29,10 @@ type ctx = {
   versions : (string, Builtins.aval) Hashtbl.t; (* SSA version -> value *)
   funcs : (string, Ssa.sfunc) Hashtbl.t; (* converted user functions *)
   call_cache : (string, av list) Hashtbl.t; (* name+sig -> return values *)
+  mpi_tags : (int, Builtins.aval) Hashtbl.t;
+      (* message tag -> join of every value MPI_Send'd under it *)
+  mpi_recvs : (int, Mlang.Source.pos) Hashtbl.t;
+      (* tags received somewhere, for the never-sent check *)
   mutable in_progress : string list; (* recursion detection *)
   mutable changed : bool;
 }
@@ -413,6 +417,10 @@ and eval_call ctx pos name args arg_avs : av list =
                  time (%s)"
                 fname msg)
       | _ -> Source.error pos "load takes one literal filename")
+  | Some ({ Builtins.kind = Builtins.Mpi op; _ } as b)
+    when not (Hashtbl.mem ctx.funcs name) ->
+      Builtins.check_arity b (List.length args) pos;
+      eval_mpi ctx pos name op arg_avs
   | Some b when not (Hashtbl.mem ctx.funcs name) ->
       Builtins.check_arity b (List.length args) pos;
       if List.exists (fun a -> a = None) arg_avs then [ None ]
@@ -424,6 +432,62 @@ and eval_call ctx pos name args arg_avs : av list =
       match Hashtbl.find_opt ctx.funcs name with
       | None -> Source.error pos "unknown function '%s'" name
       | Some f -> eval_user_call ctx pos f arg_avs)
+
+(* Message tags must be compile-time constants: the type of an
+   MPI_Recv is the join of every value sent under its tag, and that
+   join is only computable when the tag is statically known. *)
+and mpi_tag pos name (tag_av : av) =
+  match tag_av with
+  | Some { Builtins.aconst = Some f; _ } when f >= 0. && Float.is_integer f ->
+      (* the run time maps user tags into their own tag space, well
+         clear of the collectives' and the transport acks'; a bound on
+         the user tag keeps those spaces disjoint *)
+      if f > 1_000_000. then
+        Source.error pos "%s: message tags must be at most 1000000" name
+      else int_of_float f
+  | _ ->
+      Source.error pos
+        "%s: the message tag must be a non-negative compile-time constant" name
+
+and eval_mpi ctx pos name op arg_avs : av list =
+  if List.exists (fun a -> a = None) arg_avs then [ None ]
+  else
+    match (op, arg_avs) with
+    | (Builtins.Mrank | Builtins.Msize), [] -> [ scalar_av Ty.Integer ]
+    | Builtins.Mprobe, [ _; tag_av ] ->
+        ignore (mpi_tag pos name tag_av);
+        [ scalar_av Ty.Integer ]
+    | Builtins.Msend, [ _; tag_av; value ] ->
+        let tag = mpi_tag pos name tag_av in
+        (match value with
+        | Some v ->
+            let sent = Some { v with Builtins.aconst = None } in
+            let old : av = Hashtbl.find_opt ctx.mpi_tags tag in
+            let joined = join_av old sent in
+            if not (equal_av joined old) then begin
+              (match joined with
+              | Some x -> Hashtbl.replace ctx.mpi_tags tag x
+              | None -> ());
+              ctx.changed <- true
+            end
+        | None -> ());
+        [ scalar_av Ty.Integer ]
+    | Builtins.Mrecv, [ _; tag_av ] ->
+        let tag = mpi_tag pos name tag_av in
+        if not (Hashtbl.mem ctx.mpi_recvs tag) then
+          Hashtbl.replace ctx.mpi_recvs tag pos;
+        [
+          (match Hashtbl.find_opt ctx.mpi_tags tag with
+          | Some v -> Some { v with Builtins.aconst = None }
+          | None -> None);
+        ]
+    | Builtins.Mbcast, [ _; value ] ->
+        [
+          (match value with
+          | Some v -> Some { v with Builtins.aconst = None }
+          | None -> None);
+        ]
+    | _ -> Source.error pos "%s: wrong arguments" name
 
 and eval_user_call ctx pos (f : Ssa.sfunc) arg_avs : av list =
   if List.length arg_avs <> List.length f.sf_params then
@@ -575,6 +639,8 @@ let program ?(datadir = ".") (p : Ast.program) : result =
       versions = Hashtbl.create 256;
       funcs;
       call_cache = Hashtbl.create 16;
+      mpi_tags = Hashtbl.create 8;
+      mpi_recvs = Hashtbl.create 8;
       in_progress = [];
       changed = true;
     }
@@ -586,6 +652,14 @@ let program ?(datadir = ".") (p : Ast.program) : result =
     exec_block ctx script;
     incr passes
   done;
+  (* A receive on a tag nothing ever sends has no type (and would
+     deadlock): reject it statically. *)
+  Hashtbl.iter
+    (fun tag pos ->
+      if not (Hashtbl.mem ctx.mpi_tags tag) then
+        Source.error pos "MPI_Recv: no MPI_Send in the program sends tag %d"
+          tag)
+    ctx.mpi_recvs;
   (* Variable declarations: join over all versions.  A version's scope
      prefix ("f:x@3") routes it to the owning function's table. *)
   Hashtbl.iter

@@ -408,6 +408,9 @@ let rec emit_inst em (i : Spmd.Ir.inst) =
       line em "}";
       em.indent <- em.indent - 2;
       line em "}"
+  | Spmd.Ir.Impi_rank _ | Spmd.Ir.Impi_size _ | Spmd.Ir.Impi_send _
+  | Spmd.Ir.Impi_recv _ | Spmd.Ir.Impi_bcast _ | Spmd.Ir.Impi_probe _ ->
+      failwith "codegen: explicit MPI builtins are not supported by the C back end"
   | Spmd.Ir.Ibreak -> line em "break;"
   | Spmd.Ir.Icontinue -> line em "continue;"
   | Spmd.Ir.Ireturn ->

@@ -147,11 +147,112 @@ let inst_name : Ir.inst -> string = function
   | Ir.Iwhile _ -> "while loop"
   | Ir.Ifor _ -> "for loop"
   | Ir.Ibreak | Ir.Icontinue | Ir.Ireturn -> "control transfer"
+  | Ir.Impi_rank _ -> "MPI_Comm_rank"
+  | Ir.Impi_size _ -> "MPI_Comm_size"
+  | Ir.Impi_send _ -> "MPI_Send"
+  | Ir.Impi_recv _ -> "MPI_Recv"
+  | Ir.Impi_bcast _ -> "MPI_Bcast"
+  | Ir.Impi_probe _ -> "MPI_Probe"
 
 (* Instructions the C back end maps to an ML_* run-time library call;
    scalar assignments, fused element-wise loops, control flow and
    printing run inline in the generated code.  The per-rank executed
    count is what the bench ablation prices. *)
+(* --- explicit message passing (MatlabMPI-style builtins) ----------------- *)
+
+(* User-visible tags ride in their own tag space, above the collectives
+   (1001..1006), the run-time library (3001..3004) and below the
+   transport acks (0x400000 + tag); the front end bounds user tags at
+   1e6 so the spaces stay disjoint. *)
+let mpi_tag_base = 2_000_000
+let mpi_user_tag tag = mpi_tag_base + tag
+
+(* The explicit broadcast has its own tag, outside the user space. *)
+let tag_mpi_bcast = 1_999_999
+
+(* Wire format: a scalar is [|0.; v|]; a matrix is [|1.; rows; cols|]
+   followed by its dense row-major elements.  The receiver rebuilds a
+   rank-local replica (Dmat.full), so everything it does with the value
+   afterwards stays local -- explicit messages may be sent and received
+   from inside rank-divergent control flow. *)
+let mpi_encode op (v : value) : Mpisim.Sim.payload =
+  match v with
+  | Vscalar f -> Mpisim.Sim.Floats [| 0.; f |]
+  | Vmat m ->
+      if not m.Dmat.full then
+        error
+          "%s: cannot send a distributed matrix; MPI_Bcast it into a \
+           per-rank replica first"
+          op;
+      Mpisim.Sim.Floats
+        (Array.append
+           [| 1.; float_of_int m.Dmat.rows; float_of_int m.Dmat.cols |]
+           m.Dmat.data)
+  | Vstr _ -> error "%s: cannot send a string" op
+
+let mpi_decode op (p : Mpisim.Sim.payload) : value =
+  match p with
+  | Mpisim.Sim.Floats [| 0.; v |] -> Vscalar v
+  | Mpisim.Sim.Floats a
+    when Array.length a >= 3
+         && a.(0) = 1.
+         && Array.length a
+            = 3 + (int_of_float a.(1) * int_of_float a.(2)) ->
+      let rows = int_of_float a.(1) and cols = int_of_float a.(2) in
+      Vmat (Dmat.of_full ~rows ~cols (Array.sub a 3 (rows * cols)))
+  | _ -> error "%s: malformed message payload" op
+
+let mpi_check_rank op what r =
+  let nprocs = Mpisim.Sim.size () in
+  if r < 0 || r >= nprocs then
+    error "%s: %s rank %d is outside 0..%d" op what r (nprocs - 1)
+
+let mpi_send ~dst ~tag (v : value) =
+  mpi_check_rank "MPI_Send" "destination" dst;
+  Mpisim.Reliable.send ~dst ~tag:(mpi_user_tag tag) (mpi_encode "MPI_Send" v)
+
+(* [is_matrix] is the compiler's joined view of everything sent under
+   this tag; a scalar that arrives where the join says matrix (another
+   send on the tag ships matrices) is promoted to a 1x1 replica. *)
+let mpi_recv ~src ~tag ~is_matrix : value =
+  mpi_check_rank "MPI_Recv" "source" src;
+  let v =
+    mpi_decode "MPI_Recv"
+      (Mpisim.Reliable.recv ~src ~tag:(mpi_user_tag tag))
+  in
+  match v with
+  | Vscalar f when is_matrix -> Vmat (Dmat.of_full ~rows:1 ~cols:1 [| f |])
+  | Vmat _ when not is_matrix ->
+      error "MPI_Recv: a matrix arrived where a scalar was expected"
+  | v -> v
+
+let mpi_probe ~src ~tag : float =
+  mpi_check_rank "MPI_Probe" "source" src;
+  if Mpisim.Sim.probe ~src ~tag:(mpi_user_tag tag) then 1. else 0.
+
+(* The explicit broadcast.  A distributed operand is executed by every
+   rank (uniform control flow, like any collective), so replicating it
+   is an allgather and the root is irrelevant; a replica or scalar is
+   genuinely the root's private value, shipped point-to-point to each
+   other rank. *)
+let mpi_bcast ~root (v : value) : value =
+  mpi_check_rank "MPI_Bcast" "root" root;
+  match v with
+  | Vmat m when not m.Dmat.full ->
+      Vmat (Dmat.of_full ~rows:m.Dmat.rows ~cols:m.Dmat.cols (Dmat.to_dense m))
+  | v ->
+      let me = Mpisim.Sim.rank () and nprocs = Mpisim.Sim.size () in
+      if me = root then begin
+        let p = mpi_encode "MPI_Bcast" v in
+        for r = 0 to nprocs - 1 do
+          if r <> root then Mpisim.Reliable.send ~dst:r ~tag:tag_mpi_bcast p
+        done;
+        match v with Vmat m -> Vmat (Dmat.copy m) | s -> s
+      end
+      else
+        mpi_decode "MPI_Bcast"
+          (Mpisim.Reliable.recv ~src:root ~tag:tag_mpi_bcast)
+
 let is_lib_call : Ir.inst -> bool = function
   | Ir.Iscalar _ | Ir.Ielem _ | Ir.Icalluser _ | Ir.Iprint _ | Ir.Iprintf _
   | Ir.Ierror _ | Ir.Iif _ | Ir.Iwhile _ | Ir.Ifor _ | Ir.Ibreak

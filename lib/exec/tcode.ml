@@ -92,6 +92,12 @@ let trace_names =
     "while loop";
     "for loop";
     "control transfer";
+    "MPI_Comm_rank";
+    "MPI_Comm_size";
+    "MPI_Send";
+    "MPI_Recv";
+    "MPI_Bcast";
+    "MPI_Probe";
   |]
 
 let tid_of_name n =
@@ -660,6 +666,11 @@ let exec_eplan fr (p : eplan) ~(mats : float array array) ~(esc : float array)
           then
             error "nonconformant element-wise operands (%dx%d vs %dx%d)"
               m.Dmat.rows m.Dmat.cols model.Dmat.rows model.Dmat.cols;
+          if not (Dmat.same_locality m model) then
+            error
+              "cannot mix a replicated (message-passing) matrix with a \
+               distributed one element-wise; MPI_Bcast the distributed \
+               operand first";
           mats.(ix) <- m.Dmat.data
       | Peval (ix, r) -> esc.(ix) <- exec_rpn fr r)
     p.e_prelude;
@@ -900,7 +911,12 @@ let exec_setsection fr dslot (sels : dsel list) (src : dsrc) =
         let c = eval_rpn fr r in
         fun _ -> c
     | DSmat s ->
-        let dense = Dmat.to_dense (mat_of fr s) in
+        let sm = mat_of fr s in
+        if not (Dmat.same_locality m sm) then
+          error
+            "section assignment cannot mix a replicated (message-passing) \
+             matrix with a distributed one";
+        let dense = Dmat.to_dense sm in
         fun k ->
           if k >= Array.length dense then
             error "section assignment size mismatch"
@@ -946,6 +962,11 @@ let exec_setsection fr dslot (sels : dsel list) (src : dsrc) =
 
 let exec_concat fr dslot grid_rows grid_cols (parts : int list) =
   let blocks = List.map (fun s -> mat_of fr s) parts in
+  let n_full = List.length (List.filter (fun b -> b.Dmat.full) blocks) in
+  if n_full > 0 && n_full < List.length blocks then
+    error
+      "matrix literal cannot mix replicated (message-passing) matrices with \
+       distributed ones";
   let dense_blocks = List.map (fun b -> (b, Dmat.to_dense b)) blocks in
   let grid0 =
     Array.init grid_rows (fun i ->
@@ -1004,7 +1025,11 @@ let exec_concat fr dslot grid_rows grid_cols (parts : int list) =
         roff := !roff + h)
       grid;
     Mpisim.Sim.flops (float_of_int (total_rows * total_cols));
-    setm fr dslot (Dmat.of_dense ~rows:total_rows ~cols:total_cols out)
+    let m =
+      if n_full > 0 then Dmat.of_full ~rows:total_rows ~cols:total_cols out
+      else Dmat.of_dense ~rows:total_rows ~cols:total_cols out
+    in
+    setm fr dslot m
   end
 
 (* --- constructors ------------------------------------------------------------ *)
@@ -1117,7 +1142,11 @@ let rec decode_inst dc cb ~lp ~fend (i : Ir.inst) =
       let esc = Array.make (max 1 p.e_nsc) 0. in
       plain cb (Printf.sprintf "elem %s" dst) tid (fun fr ->
           let m = mat_of fr ms in
-          let r = Dmat.create ~rows:m.Dmat.rows ~cols:m.Dmat.cols in
+          let r =
+            if m.Dmat.full then
+              Dmat.create_full ~rows:m.Dmat.rows ~cols:m.Dmat.cols
+            else Dmat.create ~rows:m.Dmat.rows ~cols:m.Dmat.cols
+          in
           exec_eplan fr p ~mats ~esc ~model:m ~dst:r;
           setm fr d r)
   | Ir.Icopy (d, s) ->
@@ -1463,6 +1492,73 @@ let rec decode_inst dc cb ~lp ~fend (i : Ir.inst) =
              fr.sc.(hk) <- fr.sc.(hk) +. 1.;
              if iter_test fr then body else !endt));
       endt := cb.len
+  | Ir.Impi_rank d ->
+      let ds = slot dc d in
+      lib cb (Printf.sprintf "mpi_rank %s" d) tid (fun fr ->
+          sets fr ds (float_of_int (Mpisim.Sim.rank ())))
+  | Ir.Impi_size d ->
+      let ds = slot dc d in
+      lib cb (Printf.sprintf "mpi_size %s" d) tid (fun fr ->
+          sets fr ds (float_of_int (Mpisim.Sim.size ())))
+  | Ir.Impi_send (dest, tag, v) ->
+      let rd = compile_sexpr dc dest in
+      let rt = compile_sexpr dc tag in
+      let dv =
+        match v with
+        | Ir.Ascalar (Ir.Sstr _) -> None (* a run-time error, as in [Vm] *)
+        | Ir.Ascalar s -> Some (DSscalar (compile_sexpr dc s))
+        | Ir.Amat m -> Some (DSmat (slot dc m))
+      in
+      lib cb "mpi_send" tid (fun fr ->
+          let dst = int_of_float (eval_rpn fr rd) in
+          let tag = int_of_float (eval_rpn fr rt) in
+          let value =
+            match dv with
+            | None -> error "MPI_Send: cannot send a string"
+            | Some (DSscalar r) -> Vscalar (eval_rpn fr r)
+            | Some (DSmat s) -> getv fr s
+          in
+          State.mpi_send ~dst ~tag value)
+  | Ir.Impi_recv (d, src, tag, is_matrix) ->
+      let ds = slot dc d in
+      let rs = compile_sexpr dc src in
+      let rt = compile_sexpr dc tag in
+      lib cb (Printf.sprintf "mpi_recv %s" d) tid (fun fr ->
+          let src = int_of_float (eval_rpn fr rs) in
+          let tag = int_of_float (eval_rpn fr rt) in
+          match State.mpi_recv ~src ~tag ~is_matrix with
+          | Vscalar f -> sets fr ds f
+          | Vmat m -> setm fr ds m
+          | Vstr s -> setstr fr ds s)
+  | Ir.Impi_bcast (d, root, v) ->
+      let ds = slot dc d in
+      let rr = compile_sexpr dc root in
+      let dv =
+        match v with
+        | Ir.Ascalar (Ir.Sstr _) -> None
+        | Ir.Ascalar s -> Some (DSscalar (compile_sexpr dc s))
+        | Ir.Amat m -> Some (DSmat (slot dc m))
+      in
+      lib cb (Printf.sprintf "mpi_bcast %s" d) tid (fun fr ->
+          let root = int_of_float (eval_rpn fr rr) in
+          let value =
+            match dv with
+            | None -> error "MPI_Bcast: cannot send a string"
+            | Some (DSscalar r) -> Vscalar (eval_rpn fr r)
+            | Some (DSmat s) -> getv fr s
+          in
+          match State.mpi_bcast ~root value with
+          | Vscalar f -> sets fr ds f
+          | Vmat m -> setm fr ds m
+          | Vstr s -> setstr fr ds s)
+  | Ir.Impi_probe (d, src, tag) ->
+      let ds = slot dc d in
+      let rs = compile_sexpr dc src in
+      let rt = compile_sexpr dc tag in
+      lib cb (Printf.sprintf "mpi_probe %s" d) tid (fun fr ->
+          let src = int_of_float (eval_rpn fr rs) in
+          let tag = int_of_float (eval_rpn fr rt) in
+          sets fr ds (State.mpi_probe ~src ~tag))
   | Ir.Ibreak -> (
       match lp with
       | Some (bt, _) ->

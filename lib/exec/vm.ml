@@ -122,6 +122,11 @@ let rec compile_e fr ops (e : Ir.eexpr) (model : Dmat.t) : int -> float =
       if m.Dmat.rows <> model.Dmat.rows || m.Dmat.cols <> model.Dmat.cols then
         error "nonconformant element-wise operands (%dx%d vs %dx%d)"
           m.Dmat.rows m.Dmat.cols model.Dmat.rows model.Dmat.cols;
+      if not (Dmat.same_locality m model) then
+        error
+          "cannot mix a replicated (message-passing) matrix with a \
+           distributed one element-wise; MPI_Bcast the distributed operand \
+           first";
       let data = m.Dmat.data in
       fun i -> data.(i)
   | Ir.Eeye ->
@@ -159,7 +164,10 @@ let exec_elem fr ~dst ~model expr =
   let m = mat_of fr model in
   let ops = ref 0 in
   let f = compile_e fr ops expr m in
-  let r = Dmat.create ~rows:m.Dmat.rows ~cols:m.Dmat.cols in
+  let r =
+    if m.Dmat.full then Dmat.create_full ~rows:m.Dmat.rows ~cols:m.Dmat.cols
+    else Dmat.create ~rows:m.Dmat.rows ~cols:m.Dmat.cols
+  in
   let len = Dmat.local_len r in
   for i = 0 to len - 1 do
     r.Dmat.data.(i) <- f i
@@ -397,6 +405,37 @@ let rec exec_inst fr (i : Ir.inst) =
           incr k
         done
       with Break_exc -> ())
+  | Ir.Impi_rank d ->
+      Hashtbl.replace fr.env d (Vscalar (float_of_int (Mpisim.Sim.rank ())))
+  | Ir.Impi_size d ->
+      Hashtbl.replace fr.env d (Vscalar (float_of_int (Mpisim.Sim.size ())))
+  | Ir.Impi_send (dest, tag, v) ->
+      let dst = int_of_float (eval_scalar fr dest) in
+      let tag = int_of_float (eval_scalar fr tag) in
+      let value =
+        match v with
+        | Ir.Ascalar (Ir.Sstr _) -> error "MPI_Send: cannot send a string"
+        | Ir.Ascalar s -> Vscalar (eval_scalar fr s)
+        | Ir.Amat m -> lookup fr m
+      in
+      State.mpi_send ~dst ~tag value
+  | Ir.Impi_recv (d, src, tag, is_matrix) ->
+      let src = int_of_float (eval_scalar fr src) in
+      let tag = int_of_float (eval_scalar fr tag) in
+      Hashtbl.replace fr.env d (State.mpi_recv ~src ~tag ~is_matrix)
+  | Ir.Impi_bcast (d, root, v) ->
+      let root = int_of_float (eval_scalar fr root) in
+      let value =
+        match v with
+        | Ir.Ascalar (Ir.Sstr _) -> error "MPI_Bcast: cannot send a string"
+        | Ir.Ascalar s -> Vscalar (eval_scalar fr s)
+        | Ir.Amat m -> lookup fr m
+      in
+      Hashtbl.replace fr.env d (State.mpi_bcast ~root value)
+  | Ir.Impi_probe (d, src, tag) ->
+      let src = int_of_float (eval_scalar fr src) in
+      let tag = int_of_float (eval_scalar fr tag) in
+      Hashtbl.replace fr.env d (Vscalar (State.mpi_probe ~src ~tag))
   | Ir.Ibreak -> raise Break_exc
   | Ir.Icontinue -> raise Continue_exc
   | Ir.Ireturn -> raise Return_exc
@@ -485,7 +524,12 @@ and exec_setsection fr dst sels src =
         let c = eval_scalar fr s in
         fun _ -> c
     | Ir.Amat v ->
-        let dense = Dmat.to_dense (mat_of fr v) in
+        let s = mat_of fr v in
+        if not (Dmat.same_locality m s) then
+          error
+            "section assignment cannot mix a replicated (message-passing) \
+             matrix with a distributed one";
+        let dense = Dmat.to_dense s in
         fun k ->
           if k >= Array.length dense then
             error "section assignment size mismatch"
@@ -532,6 +576,11 @@ and exec_setsection fr dst sels src =
 (* [A, B; C, D]: gather the blocks, assemble densely, redistribute. *)
 and exec_concat fr dst grid_rows grid_cols parts =
   let blocks = List.map (fun v -> mat_of fr v) parts in
+  let n_full = List.length (List.filter (fun b -> b.Dmat.full) blocks) in
+  if n_full > 0 && n_full < List.length blocks then
+    error
+      "matrix literal cannot mix replicated (message-passing) matrices with \
+       distributed ones";
   let dense_blocks = List.map (fun b -> (b, Dmat.to_dense b)) blocks in
   let grid0 =
     Array.init grid_rows (fun i ->
@@ -598,8 +647,11 @@ and exec_concat fr dst grid_rows grid_cols parts =
       roff := !roff + h)
     grid;
   Mpisim.Sim.flops (float_of_int (total_rows * total_cols));
-  Hashtbl.replace fr.env dst
-    (Vmat (Dmat.of_dense ~rows:total_rows ~cols:total_cols out))
+  let m =
+    if n_full > 0 then Dmat.of_full ~rows:total_rows ~cols:total_cols out
+    else Dmat.of_dense ~rows:total_rows ~cols:total_cols out
+  in
+  Hashtbl.replace fr.env dst (Vmat m)
   end
 
 and exec_call fr rets name args =

@@ -25,6 +25,14 @@ let procs = [ 1; 2; 3; 4 ]
 let cc_available =
   lazy (Sys.command "cc --version > /dev/null 2>&1" = 0)
 
+(* The sequential C back end refuses explicit message passing, so the
+   C leg only runs for scripts that never mention an MPI builtin. *)
+let uses_mpi (script : string) : bool =
+  let needle = "MPI_" in
+  let nh = String.length script and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub script i nn = needle || go (i + 1)) in
+  go 0
+
 (* One scratch directory per process holding the run-time library,
    compiled to objects exactly once; each case then only compiles its
    own small generated file and links. *)
@@ -143,8 +151,13 @@ let check_case ?(use_cc = true) (script : string) : case_result =
   | c -> (
       let capture = capture_list c.Otter.info in
       match
-        Otter.run_interpreter ~capture ~machine:Mpisim.Machine.workstation c
+        Otter.run
+          (Otter.config ~capture ~engine:Otter.Config.Einterp
+             ~machine:Mpisim.Machine.workstation ())
+          c
+        |> Otter.outcome_exn
       with
+      | exception Exec.Vm.Runtime_error msg -> Discard ("interpreter: " ^ msg)
       | exception Interp.Eval.Runtime_error msg ->
           Discard ("interpreter: " ^ msg)
       | ref_run -> (
@@ -153,8 +166,12 @@ let check_case ?(use_cc = true) (script : string) : case_result =
              engine-specific semantic bug shows up as a counterexample
              on exactly one of the two labels *)
           let check_one ~label ~engine c machine nprocs =
-            let tag = Otter.engine_name engine in
-            match Otter.verify_outcome ~engine ~machine ~nprocs ~capture c with
+            let tag = Otter.Config.engine_name engine in
+            match
+              Otter.verify
+                (Otter.config ~engine ~machine ~nprocs ~capture ())
+                c
+            with
             | Otter.Verified -> None
             | Otter.Mismatched ms ->
                 let m = List.hd ms in
@@ -178,9 +195,11 @@ let check_case ?(use_cc = true) (script : string) : case_result =
                      machine.Mpisim.Machine.name nprocs label tag msg)
           in
           let check_config ~label c machine nprocs =
-            match check_one ~label ~engine:Otter.Etcode c machine nprocs with
+            match
+              check_one ~label ~engine:Otter.Config.Etcode c machine nprocs
+            with
             | Some _ as f -> f
-            | None -> check_one ~label ~engine:Otter.Eir c machine nprocs
+            | None -> check_one ~label ~engine:Otter.Config.Eir c machine nprocs
           in
           let vm_failure =
             List.fold_left
@@ -219,8 +238,9 @@ let check_case ?(use_cc = true) (script : string) : case_result =
           match vm_failure with
           | Some d -> Fail d
           | None ->
-              if use_cc && Lazy.force cc_available then
-                match check_c_leg c ref_run.Interp.Eval.output with
+              if use_cc && (not (uses_mpi script)) && Lazy.force cc_available
+              then
+                match check_c_leg c ref_run.Exec.State.output with
                 | Some d -> Fail d
                 | None -> Pass
               else Pass))
@@ -337,7 +357,9 @@ let replay_file ?(use_cc = true) (path : string) : replay_failure option =
                 Some { file; reason = "front end rejected it: " ^ msg }
             | fe -> (
                 match
-                  Otter.interpret ~machine:Mpisim.Machine.workstation fe
+                  Otter.interpret
+                    (Otter.config ~machine:Mpisim.Machine.workstation ())
+                    fe
                 with
                 | exception Interp.Eval.Runtime_error msg ->
                     Some { file; reason = "interpreter failed: " ^ msg }

@@ -333,6 +333,62 @@ let string_stmt env : stmt G.t =
     ( [ Printf.sprintf "%s = '%s';" name word; Printf.sprintf "disp(%s);" name ],
       env (* strings stay out of the numeric symbol table *) )
 
+(* --- explicit message passing --------------------------------------------- *)
+
+(* MPI statements must keep the one-rank interpreter a valid oracle:
+   ranks only address themselves (loopback queues), and broadcasts only
+   replicate values every rank computes identically.  The rank variable
+   is deliberately NOT registered in the symbol table — feeding a
+   rank-divergent scalar into later control flow around distributed
+   matrices would deadlock by design, not by bug.  (The oracle still
+   captures it; rank 0's value matches the interpreter's.)  A matrix
+   broadcast yields a rank-local replica, which must not meet a
+   distributed matrix element-wise, so its result stays unregistered
+   too. *)
+let mpi_stmt env : stmt G.t =
+  let roundtrip =
+    let rname, env = fresh env "mpr" in
+    let vname, env = fresh env "mpv" in
+    let tag = 100 + env.counter in
+    let* e = sexpr env 1 in
+    let* with_probe = G.bool in
+    let probe =
+      (* probing the drained queue is deterministically 0 *)
+      if with_probe then
+        [ Printf.sprintf "%s_q = MPI_Probe(%s, %d);" vname rname tag ]
+      else []
+    in
+    G.return
+      ( [
+          Printf.sprintf "%s = MPI_Comm_rank();" rname;
+          Printf.sprintf "MPI_Send(%s, %d, %s);" rname tag e;
+          Printf.sprintf "%s = MPI_Recv(%s, %d);" vname rname tag;
+        ]
+        @ probe,
+        { env with vars = (vname, Kscalar) :: env.vars } )
+  in
+  let bcast_scalar =
+    let name, env = fresh env "mpb" in
+    let* e = sexpr env 1 in
+    G.return
+      ( [ Printf.sprintf "%s = MPI_Bcast(0, %s);" name e ],
+        { env with vars = (name, Kscalar) :: env.vars } )
+  in
+  let bcast_mat =
+    match mats env with
+    | [] -> []
+    | ms ->
+        [
+          ( 2,
+            let name, env = fresh env "mpm" in
+            let* src, _, _ = G.oneofl ms in
+            G.return
+              ( [ Printf.sprintf "%s = MPI_Bcast(0, %s);" name src ],
+                env (* replica: captured, but kept out of the pool *) ) );
+        ]
+  in
+  G.frequency ([ (3, roundtrip); (2, bcast_scalar) ] @ bcast_mat)
+
 (* --- mutating statements (shape-preserving; safe inside control flow) ---- *)
 
 let mutate_stmt env : string G.t =
@@ -480,6 +536,7 @@ let stmt env : stmt G.t =
        (2, for_stmt env);
        (1, while_stmt env);
        (2, if_stmt env);
+       (1, mpi_stmt env);
      ]
     @ (if has_mats then
          [

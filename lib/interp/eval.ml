@@ -31,6 +31,9 @@ type frame = {
   seed : int;
   datadir : string;
   mutable end_extent : float option; (* value of 'end' in current index *)
+  mpi_queues : (int, value Queue.t) Hashtbl.t;
+      (* per-tag FIFO of pending self-sends: the interpreter is the
+         P = 1 machine, so rank 0 only ever talks to itself *)
 }
 
 let truthy_scalar f = f <> 0.
@@ -614,6 +617,60 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
       | exception Mlang.Datafile.Bad_data msg -> error "load(%S): %s" fname msg)
   | B.Error_fn, [ Str msg ] -> error "%s" msg
   | B.Constant c, [] -> one (Scalar c)
+  | B.Mpi op, _ -> (
+      (* Serial oracle semantics: one rank, so every send is a
+         self-send.  Sends enqueue per tag; a receive on an empty queue
+         is the one-rank picture of a deadlock. *)
+      let q tag =
+        match Hashtbl.find_opt fr.mpi_queues tag with
+        | Some q -> q
+        | None ->
+            let q = Queue.create () in
+            Hashtbl.replace fr.mpi_queues tag q;
+            q
+      in
+      let rank_arg what v =
+        let r = int_of_float (as_scalar v) in
+        if r <> 0 then error "%s: %s rank %d is outside 0..0" name what r
+      in
+      let tag_arg v =
+        let f = as_scalar v in
+        let t = int_of_float f in
+        if float_of_int t <> f || t < 0 then
+          error "%s: message tags must be non-negative integers" name;
+        t
+      in
+      let copy = function Mat m -> Mat (Dense.copy m) | v -> v in
+      match (op, vals) with
+      | B.Mrank, [] -> one (Scalar 0.)
+      | B.Msize, [] -> one (Scalar 1.)
+      | B.Msend, [ dst; tag; v ] ->
+          rank_arg "destination" dst;
+          let t = tag_arg tag in
+          (match v with
+          | Str _ -> error "MPI_Send: cannot send a string"
+          | v -> Queue.push (copy v) (q t));
+          []
+      | B.Mrecv, [ src; tag ] ->
+          rank_arg "source" src;
+          let t = tag_arg tag in
+          let q = q t in
+          if Queue.is_empty q then
+            error
+              "MPI_Recv: no message pending on tag %d; on one rank this \
+               receive would deadlock"
+              t;
+          one (copy (Queue.pop q))
+      | B.Mbcast, [ root; v ] -> (
+          rank_arg "root" root;
+          match v with
+          | Str _ -> error "MPI_Bcast: cannot send a string"
+          | v -> one (copy v))
+      | B.Mprobe, [ src; tag ] ->
+          rank_arg "source" src;
+          let t = tag_arg tag in
+          one (Scalar (if Queue.is_empty (q t) then 0. else 1.))
+      | _ -> error "unsupported call to '%s'" name)
   | _ -> error "unsupported call to '%s'" name
 
 and eval_constructor fr name vals : value =
@@ -824,7 +881,12 @@ and exec_stmt fr (s : Ast.stmt) =
              && (match Analysis.Builtins.find name with
                 | Some { Analysis.Builtins.kind = Analysis.Builtins.Output _; _ }
                 | Some { Analysis.Builtins.kind = Analysis.Builtins.Error_fn; _ }
-                  ->
+                | Some
+                    {
+                      Analysis.Builtins.kind =
+                        Analysis.Builtins.Mpi Analysis.Builtins.Msend;
+                      _;
+                    } ->
                     true
                 | _ -> false) ->
           ignore (eval_call fr e.epos name args ~nrets:0)
@@ -905,6 +967,7 @@ let run ?(capture = []) ?(seed = 42) ?(datadir = ".") ~mode ~machine
             seed;
             datadir;
             end_extent = None;
+            mpi_queues = Hashtbl.create 8;
           }
         in
         (try exec_block fr p.script with Return_exc -> ());

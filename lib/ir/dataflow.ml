@@ -171,6 +171,15 @@ let map_uses (f : string -> string) (i : Ir.inst) : Ir.inst =
   | Ir.Iconcat c -> Ir.Iconcat { c with parts = List.map f c.parts }
   | Ir.Icalluser c ->
       Ir.Icalluser { c with args = List.map (map_call_arg f) c.args }
+  | Ir.Impi_rank _ | Ir.Impi_size _ -> i
+  | Ir.Impi_send (dest, tag, v) ->
+      Ir.Impi_send (map_sexpr f dest, map_sexpr f tag, map_call_arg f v)
+  | Ir.Impi_recv (d, src, tag, m) ->
+      Ir.Impi_recv (d, map_sexpr f src, map_sexpr f tag, m)
+  | Ir.Impi_bcast (d, root, v) ->
+      Ir.Impi_bcast (d, map_sexpr f root, map_call_arg f v)
+  | Ir.Impi_probe (d, src, tag) ->
+      Ir.Impi_probe (d, map_sexpr f src, map_sexpr f tag)
   | Ir.Iprint (n, Ir.Pscalar s) -> Ir.Iprint (n, Ir.Pscalar (map_sexpr f s))
   | Ir.Iprint (n, Ir.Pmat v) -> Ir.Iprint (n, Ir.Pmat (f v))
   | Ir.Iprint (_, Ir.Pstr _) -> i

@@ -117,6 +117,14 @@ type inst =
   | Iconcat of { dst : var; grid_rows : int; grid_cols : int; parts : var list }
     (* matrix literal of matrix blocks: [A, B; C, D] *)
   | Icalluser of { rets : var list; name : string; args : call_arg list }
+  | Impi_rank of var (* scalar dst = calling process's rank *)
+  | Impi_size of var (* scalar dst = number of processes *)
+  | Impi_send of sexpr * sexpr * call_arg (* MPI_Send(dest, tag, value) *)
+  | Impi_recv of var * sexpr * sexpr * bool
+    (* dst = MPI_Recv(source, tag); the flag is true when the inferred
+       payload is a matrix (replicated on the receiver) *)
+  | Impi_bcast of var * sexpr * call_arg (* dst = MPI_Bcast(root, value) *)
+  | Impi_probe of var * sexpr * sexpr (* scalar dst = MPI_Probe(src, tag) *)
   | Iprint of string * print_arg (* named display: "x =" *)
   | Iprintf of sexpr list (* fprintf-style output, fmt first *)
   | Ierror of string
@@ -163,8 +171,9 @@ let rec iter_insts f (b : block) =
       | Isort _ | Ireduce_loc _ | Itrapz _ | Ishift _ | Ibcast _
       | Ibcast_batch _ | Ireduce_fused _ | Isetelem _
       | Isetsection _ | Iload _ | Iconstruct _ | Iliteral _ | Isection _
-      | Iconcat _ | Icalluser _ | Iprint _ | Iprintf _ | Ierror _ | Ibreak
-      | Icontinue | Ireturn ->
+      | Iconcat _ | Icalluser _ | Impi_rank _ | Impi_size _ | Impi_send _
+      | Impi_recv _ | Impi_bcast _ | Impi_probe _ | Iprint _ | Iprintf _
+      | Ierror _ | Ibreak | Icontinue | Ireturn ->
           ())
     b
 
@@ -238,6 +247,15 @@ let inst_uses = function
           | Ascalar s -> sexpr_uses acc s
           | Amat v -> v :: acc)
         [] args
+  | Impi_rank _ | Impi_size _ -> []
+  | Impi_send (dest, tag, v) -> (
+      let acc = sexpr_uses (sexpr_uses [] dest) tag in
+      match v with Ascalar s -> sexpr_uses acc s | Amat m -> m :: acc)
+  | Impi_recv (_, src, tag, _) | Impi_probe (_, src, tag) ->
+      sexpr_uses (sexpr_uses [] src) tag
+  | Impi_bcast (_, root, v) -> (
+      let acc = sexpr_uses [] root in
+      match v with Ascalar s -> sexpr_uses acc s | Amat m -> m :: acc)
   | Iprint (_, Pscalar s) -> sexpr_uses [] s
   | Iprint (_, Pmat v) -> [ v ]
   | Iprint (_, Pstr _) -> []
@@ -280,6 +298,10 @@ let inst_defs = function
       [ dst ]
   | Isetsection { dst; _ } -> [ dst ] (* in-place update *)
   | Icalluser { rets; _ } -> rets
+  | Impi_rank d | Impi_size d | Impi_recv (d, _, _, _) | Impi_bcast (d, _, _)
+  | Impi_probe (d, _, _) ->
+      [ d ]
+  | Impi_send _ -> []
   | Ifor (v, _, _, _, _) -> [ v ]
   | Iprint _ | Iprintf _ | Ierror _ | Iif _ | Iwhile _ | Ibreak | Icontinue
   | Ireturn ->
@@ -296,6 +318,8 @@ let inst_pure = function
   | Isection _ | Iconcat _ | Iscan _
   | Ireduce_loc _ | Iload _ | Isort _ ->
       true
-  | Isetelem _ | Isetsection _ | Icalluser _ | Iprint _ | Iprintf _ | Ierror _
-  | Iif _ | Iwhile _ | Ifor _ | Ibreak | Icontinue | Ireturn ->
+  | Isetelem _ | Isetsection _ | Icalluser _ | Impi_rank _ | Impi_size _
+  | Impi_send _ | Impi_recv _ | Impi_bcast _ | Impi_probe _ | Iprint _
+  | Iprintf _ | Ierror _ | Iif _ | Iwhile _ | Ifor _ | Ibreak | Icontinue
+  | Ireturn ->
       false

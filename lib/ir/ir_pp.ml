@@ -150,6 +150,26 @@ let rec inst ~indent ppf (i : Ir.inst) =
         rets name
         (Fmt.list ~sep:(Fmt.any ", ") arg)
         args
+  | Ir.Impi_rank d -> Fmt.pf ppf "%t%s = mpi_rank()" pad d
+  | Ir.Impi_size d -> Fmt.pf ppf "%t%s = mpi_size()" pad d
+  | Ir.Impi_send (dest, tag, v) ->
+      let arg ppf = function
+        | Ir.Ascalar s -> sexpr ppf s
+        | Ir.Amat m -> Fmt.string ppf m
+      in
+      Fmt.pf ppf "%tmpi_send(dest=%a, tag=%a, %a)" pad sexpr dest sexpr tag
+        arg v
+  | Ir.Impi_recv (d, src, tag, is_mat) ->
+      Fmt.pf ppf "%t%s = mpi_recv(src=%a, tag=%a)%s" pad d sexpr src sexpr tag
+        (if is_mat then " [matrix]" else "")
+  | Ir.Impi_bcast (d, root, v) ->
+      let arg ppf = function
+        | Ir.Ascalar s -> sexpr ppf s
+        | Ir.Amat m -> Fmt.string ppf m
+      in
+      Fmt.pf ppf "%t%s = mpi_bcast(root=%a, %a)" pad d sexpr root arg v
+  | Ir.Impi_probe (d, src, tag) ->
+      Fmt.pf ppf "%t%s = mpi_probe(src=%a, tag=%a)" pad d sexpr src sexpr tag
   | Ir.Iprint (name, a) -> Fmt.pf ppf "%tprint %s %a" pad name print_arg a
   | Ir.Iprintf args ->
       Fmt.pf ppf "%tprintf(%a)" pad (Fmt.list ~sep:(Fmt.any ", ") sexpr) args

@@ -439,6 +439,46 @@ and lower_call ctx out (e : Ast.expr) name args =
               emit out (Ir.Iload { dst = t; file = fname });
               Omat t
           | _ -> unsupported e.epos "load takes one literal filename")
+      | B.Mpi op -> (
+          match (op, args) with
+          | B.Mrank, [] ->
+              let t = fresh ctx Ty.int_scalar in
+              emit out (Ir.Impi_rank t);
+              Oscalar (Ir.Svar t)
+          | B.Msize, [] ->
+              let t = fresh ctx Ty.int_scalar in
+              emit out (Ir.Impi_size t);
+              Oscalar (Ir.Svar t)
+          | B.Mprobe, [ src; tag ] ->
+              let ssrc = scalar ctx out src in
+              let stag = scalar ctx out tag in
+              let t = fresh ctx Ty.int_scalar in
+              emit out (Ir.Impi_probe (t, ssrc, stag));
+              Oscalar (Ir.Svar t)
+          | B.Mrecv, [ src; tag ] ->
+              let ssrc = scalar ctx out src in
+              let stag = scalar ctx out tag in
+              let rty = ty_of ctx e in
+              let t = fresh ctx rty in
+              if rty.Ty.rank = Ty.Rscalar then begin
+                emit out (Ir.Impi_recv (t, ssrc, stag, false));
+                Oscalar (Ir.Svar t)
+              end
+              else begin
+                emit out (Ir.Impi_recv (t, ssrc, stag, true));
+                Omat t
+              end
+          | B.Mbcast, [ root; value ] ->
+              let sroot = scalar ctx out root in
+              let varg = call_arg ctx out value in
+              let rty = ty_of ctx e in
+              let t = fresh ctx rty in
+              emit out (Ir.Impi_bcast (t, sroot, varg));
+              if rty.Ty.rank = Ty.Rscalar then Oscalar (Ir.Svar t) else Omat t
+          | B.Msend, _ ->
+              unsupported e.epos
+                "MPI_Send is a statement; its result cannot be used"
+          | _, _ -> unsupported e.epos "'%s': wrong arguments" name)
       | B.Output _ | B.Error_fn ->
           unsupported e.epos "'%s' cannot be used inside an expression" name)
   | _ ->
@@ -469,16 +509,21 @@ and lower_reduction ctx out e name args =
     | _ -> unsupported e.epos "unknown reduction '%s'" name
   in
   match args with
-  | [ a ] ->
-      if is_scalar_node ctx a then
-        (* Reducing a scalar is the identity (any/all compare with 0). *)
-        let s = scalar ctx out a in
-        match name with
-        | "any" | "all" -> Oscalar (Ir.Sbin (Ast.Ne, s, Ir.Sconst 0.))
-        | "norm" -> Oscalar (Ir.Scall ("abs", [ s ]))
-        | _ -> Oscalar s
-      else begin
-        let v = mat_operand ctx out a in
+  | [ a ] -> (
+      (* Branch on what the operand LOWERS to, not on its static type:
+         a nested reduction over an unknown-shape matrix is typed as a
+         matrix but lowers to a scalar, and wrapping that scalar in a
+         1x1 matrix literal would materialize a distributed matrix --
+         deadlock bait inside rank-divergent (explicit-MPI) code. *)
+      match lower_expr ctx out a with
+      | Ostr _ -> unsupported e.epos "string used as a numeric value"
+      | Oscalar s -> (
+          (* Reducing a scalar is the identity (any/all compare with 0). *)
+          match name with
+          | "any" | "all" -> Oscalar (Ir.Sbin (Ast.Ne, s, Ir.Sconst 0.))
+          | "norm" -> Oscalar (Ir.Scall ("abs", [ s ]))
+          | _ -> Oscalar s)
+      | Omat v ->
         if name = "norm" then begin
           let t = fresh ctx Ty.real_scalar in
           emit out (Ir.Inorm (t, v));
@@ -501,8 +546,7 @@ and lower_reduction ctx out e name args =
             emit out (Ir.Ireduce_cols (t, kind, v));
             Omat t
           end
-        end
-      end
+        end)
   | _ -> unsupported e.epos "'%s' takes one argument" name
 
 and lower_constructor ctx out e name args =
@@ -776,6 +820,12 @@ let rec lower_stmt ctx out (s : Ast.stmt) =
   | Ast.Expr ({ desc = Ast.Call ("error", [ { desc = Ast.Str msg; _ } ]); _ }, _)
     ->
       emit out (Ir.Ierror msg)
+  | Ast.Expr ({ desc = Ast.Call ("MPI_Send", [ dest; tag; value ]); _ }, _)
+    when not (Hashtbl.mem user_funcs_marker "MPI_Send") ->
+      let sd = scalar ctx out dest in
+      let st = scalar ctx out tag in
+      let v = call_arg ctx out value in
+      emit out (Ir.Impi_send (sd, st, v))
   | Ast.Expr (e, display) -> (
       match lower_expr ctx out e with
       | Oscalar se -> if display then emit out (Ir.Iprint ("ans", Ir.Pscalar se))

@@ -121,6 +121,13 @@ type t = {
 let with_faults ?(reliable = false) ?faults m =
   { m with faults; reliable }
 
+(* [with_procs n m] is [m] scaled out to [n] ranks: the same CPUs and
+   links, more of them.  The multi-tenant scheduler benches space-share
+   machines bigger than the paper's test beds (P = 64). *)
+let with_procs n m =
+  if n < 1 then invalid_arg "with_procs: need at least one processor";
+  { m with max_procs = n }
+
 let mflops x = 1.0 /. (x *. 1e6)
 let mbytes x = x *. 1e6
 

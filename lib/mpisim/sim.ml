@@ -44,6 +44,9 @@ type _ Effect.t +=
   | E_recv : int * int -> payload Effect.t (* src, tag *)
   | E_recv_opt : int * int * float -> payload option Effect.t
       (* src, tag, timeout: [None] once the deadline passes *)
+  | E_probe : int * int -> bool Effect.t
+      (* src, tag: has a matching message already arrived (in virtual
+         time) at this rank's mailbox?  Non-blocking. *)
   | E_compute : float -> unit Effect.t (* seconds *)
   | E_flops : float -> unit Effect.t (* floating-point operations *)
   | E_rank : int Effect.t
@@ -173,6 +176,7 @@ let note_retry () =
   | Some c -> c.x_stats.retries <- c.x_stats.retries + 1
   | None -> perform E_note_retry
 let recv_opt ~src ~tag ~timeout = perform (E_recv_opt (src, tag, timeout))
+let probe ~src ~tag = perform (E_probe (src, tag))
 
 (* A receive that raises a typed [Timeout] at its deadline. *)
 let recv_timeout ~src ~tag ~timeout =
@@ -228,9 +232,22 @@ let recv_ints ~src ~tag =
              detail = "expected an integer payload, received floats";
            })
 
+(* One tenant's share of a space-shared run; filled in by the
+   multi-tenant scheduler, never by [run] itself. *)
+type job_stat = {
+  job_name : string;
+  job_first_rank : int;
+  job_procs : int;
+  job_start : float;
+  job_finish : float;
+  job_messages : int;
+  job_bytes : int;
+}
+
 type report = {
   makespan : float; (* max over per-rank clocks *)
   per_rank_clock : float array;
+  jobs : job_stat list; (* per-tenant accounting (scheduler only) *)
   messages : int;
   bytes : int;
   compute_time : float;
@@ -502,6 +519,17 @@ let handler st my_rank (body : int -> 'a) : 'a suspended =
                     invalid_arg "recv: bad source rank";
                   if timeout < 0. then invalid_arg "recv: negative timeout";
                   Wants_recv_t (src, tag, st.clocks.(my_rank) +. timeout, k))
+          | E_probe (src, tag) ->
+              Some
+                (fun k ->
+                  if src < 0 || src >= st.nprocs then
+                    invalid_arg "probe: bad source rank";
+                  let q = mailbox st ~dst:my_rank ~src ~tag in
+                  let arrived =
+                    (not (Queue.is_empty q))
+                    && fst (Queue.peek q) <= st.clocks.(my_rank)
+                  in
+                  continue k arrived)
           | _ -> None);
     }
 
@@ -745,6 +773,7 @@ let run_report ?(attempt = 0) ~machine ~nprocs (body : int -> 'a) :
     {
       makespan = Array.fold_left Float.max 0. st.clocks;
       per_rank_clock = Array.copy st.clocks;
+      jobs = [];
       messages = st.stats.messages;
       bytes = st.stats.bytes;
       compute_time = st.stats.compute_time;

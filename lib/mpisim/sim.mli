@@ -47,6 +47,10 @@ val recv_wait : ?min_timeout:float -> src:int -> tag:int -> unit -> payload
     reliable layer passes its worst-case retransmission window as
     [min_timeout] so a lawful retry storm is not condemned early. *)
 
+val probe : src:int -> tag:int -> bool
+(** Has a matching message already arrived (in virtual time) at this
+    rank's mailbox?  Non-blocking; never advances the clock. *)
+
 val recv_floats : src:int -> tag:int -> float array
 (** Raises {!Protocol_error} on an integer payload. *)
 
@@ -77,9 +81,24 @@ val scratch : unit -> (int * int * int, int) Hashtbl.t
 val note_retry : unit -> unit
 (** Count one retransmission in the run's report (reliable layer). *)
 
+type job_stat = {
+  job_name : string;
+  job_first_rank : int;  (** base of the contiguous rank block *)
+  job_procs : int;
+  job_start : float;  (** virtual time the block became available *)
+  job_finish : float;
+  job_messages : int;
+  job_bytes : int;
+}
+(** One tenant's share of a space-shared run.  [Sim.run] itself knows
+    nothing about jobs ([jobs = []]); the multi-tenant scheduler
+    aggregates its per-job sub-runs into one machine-level report with
+    these rows filled in. *)
+
 type report = {
   makespan : float;  (** max over per-rank clocks *)
   per_rank_clock : float array;
+  jobs : job_stat list;  (** per-tenant accounting (scheduler only) *)
   messages : int;
   bytes : int;
   compute_time : float;  (** summed over ranks *)

@@ -47,9 +47,80 @@ let compile_frontend ?path ?datadir (source : string) : frontend =
   let info = Analysis.Infer.program ?datadir ast in
   { fe_source = source; fe_ast = ast; fe_info = info }
 
-let interpret ?capture ?seed ?datadir ?(mode = Interp.Cost.Interpreter)
-    ~machine (fe : frontend) =
-  Interp.Eval.run ?capture ?seed ?datadir ~mode ~machine fe.fe_ast
+(* --- the run configuration ---------------------------------------------- *)
+
+(* Every knob a run or verification can take, in one record.  The smart
+   constructor [config] owns the defaults (and the [chaos] shorthand),
+   so adding a knob is one field + one optional argument instead of a
+   change to every entry point. *)
+module Config = struct
+  (* What executes the program: the two SPMD engines (bit-identical;
+     see [Exec.State]) and the two sequential baselines of Figure 2. *)
+  type engine = Etcode | Eir | Einterp | Ematcom
+
+  type t = {
+    machine : Mpisim.Machine.t;
+    nprocs : int;
+    engine : engine;
+    seed : int;
+    datadir : string;
+    capture : string list;
+    tol : float;
+    ckpt_interval : float;
+    max_recoveries : int;
+  }
+
+  let default_engine = Etcode
+
+  let engine_of_string = function
+    | "tcode" -> Some Etcode
+    | "ir" -> Some Eir
+    | "interp" -> Some Einterp
+    | "matcom" -> Some Ematcom
+    | _ -> None
+
+  let engine_name = function
+    | Etcode -> "tcode"
+    | Eir -> "ir"
+    | Einterp -> "interp"
+    | Ematcom -> "matcom"
+
+  let make ?(machine = Mpisim.Machine.meiko_cs2) ?(nprocs = 4)
+      ?(engine = default_engine) ?(seed = 42) ?(datadir = ".") ?(capture = [])
+      ?(tol = 1e-9) ?(chaos = false) ?(ckpt_interval = 0.)
+      ?(max_recoveries = 0) () : t =
+    (* [chaos] is the one-flag shorthand for "survive the fault model":
+       it fills in the recovery knobs the caller left at their
+       defaults. *)
+    let ckpt_interval =
+      if ckpt_interval > 0. then ckpt_interval else if chaos then 0.05 else 0.
+    in
+    let max_recoveries =
+      if max_recoveries > 0 then max_recoveries else if chaos then 3 else 0
+    in
+    {
+      machine;
+      nprocs;
+      engine;
+      seed;
+      datadir;
+      capture;
+      tol;
+      ckpt_interval;
+      max_recoveries;
+    }
+end
+
+let config = Config.make
+
+let interpret (cfg : Config.t) (fe : frontend) =
+  let mode =
+    match cfg.Config.engine with
+    | Config.Ematcom -> Interp.Cost.Matcom
+    | _ -> Interp.Cost.Interpreter
+  in
+  Interp.Eval.run ~capture:cfg.Config.capture ~seed:cfg.Config.seed
+    ~datadir:cfg.Config.datadir ~mode ~machine:cfg.Config.machine fe.fe_ast
 
 let dump_ir c = Spmd.Ir_pp.prog_to_string c.prog
 
@@ -128,58 +199,105 @@ let report (c : compiled) : string =
       "";
     ]
 
-(* Which SPMD execution engine runs the compiled program: the
-   pre-decoded threaded-code executor (the default fast path) or the
-   IR-walking VM it replaced (kept as a fallback and differential
-   -testing foil).  Both are bit-identical; see [Exec.State]. *)
-type engine = Eir | Etcode
+(* --- execution ------------------------------------------------------------ *)
 
-let default_engine = Etcode
+(* A sequential baseline's outcome in the engines' structured shape: a
+   one-rank report whose makespan is the modeled sequential time. *)
+let outcome_of_interp (o : Interp.Eval.outcome) : Exec.State.outcome =
+  let report : Mpisim.Sim.report =
+    {
+      Mpisim.Sim.makespan = o.Interp.Eval.time;
+      per_rank_clock = [| o.Interp.Eval.time |];
+      jobs = [];
+      messages = 0;
+      bytes = 0;
+      compute_time = o.Interp.Eval.time;
+      drops = 0;
+      dups = 0;
+      delayed = 0;
+      stalls = 0;
+      retries = 0;
+      acks = 0;
+      kills = 0;
+    }
+  in
+  {
+    Exec.State.output = o.Interp.Eval.output;
+    captures =
+      List.map
+        (fun (name, c) ->
+          ( name,
+            match c with
+            | Interp.Eval.Cscalar x -> Exec.State.Cscalar x
+            | Interp.Eval.Cmat (r, cc, d) -> Exec.State.Cmat (r, cc, d) ))
+        o.Interp.Eval.captures;
+    lib_calls = 0;
+    report;
+  }
 
-let engine_of_string = function
-  | "ir" -> Some Eir
-  | "tcode" -> Some Etcode
-  | _ -> None
+let wrap_result (r : Exec.State.run_result) : Exec.State.recovery =
+  let report =
+    match r with
+    | Exec.State.Complete o -> o.Exec.State.report
+    | Exec.State.Partial p -> p.report
+  in
+  {
+    Exec.State.r_result = r;
+    r_attempts = 1;
+    r_gave_up = false;
+    r_reports = [ report ];
+    r_penalty = 0.;
+  }
 
-let engine_name = function Eir -> "ir" | Etcode -> "tcode"
-
-(* Run the compiled SPMD program on [nprocs] CPUs of [machine]. *)
-let run_parallel ?capture ?seed ?datadir ?(engine = default_engine) ~machine
-    ~nprocs (c : compiled) =
+(* The one way to execute a compiled program: run it under [cfg]'s
+   engine and return the recovery-shaped result (a clean run is one
+   attempt with no rollbacks).  The sequential baselines never fail
+   partially, so they always come back [Complete]. *)
+let run (cfg : Config.t) (c : compiled) : Exec.State.recovery =
+  let {
+    Config.machine;
+    nprocs;
+    engine;
+    seed;
+    datadir;
+    capture;
+    ckpt_interval;
+    max_recoveries;
+    tol = _;
+  } =
+    cfg
+  in
   match engine with
-  | Eir -> Exec.Vm.run ?capture ?seed ?datadir ~machine ~nprocs c.prog
-  | Etcode -> Exec.Tcode.run ?capture ?seed ?datadir ~machine ~nprocs c.prog
+  | Config.Einterp | Config.Ematcom ->
+      let mode =
+        if engine = Config.Ematcom then Interp.Cost.Matcom
+        else Interp.Cost.Interpreter
+      in
+      let o = Interp.Eval.run ~capture ~seed ~datadir ~mode ~machine c.ast in
+      wrap_result (Exec.State.Complete (outcome_of_interp o))
+  | Config.Etcode | Config.Eir ->
+      let recovering = ckpt_interval > 0. || max_recoveries > 0 in
+      if recovering then
+        if engine = Config.Eir then
+          Exec.Vm.run_recovering ~capture ~seed ~datadir ~ckpt_interval
+            ~max_recoveries ~machine ~nprocs c.prog
+        else
+          Exec.Tcode.run_recovering ~capture ~seed ~datadir ~ckpt_interval
+            ~max_recoveries ~machine ~nprocs c.prog
+      else
+        wrap_result
+          (if engine = Config.Eir then
+             Exec.Vm.run_result ~capture ~seed ~datadir ~machine ~nprocs c.prog
+           else
+             Exec.Tcode.run_result ~capture ~seed ~datadir ~machine ~nprocs
+               c.prog)
 
-(* Same, degrading to [Partial] when a rank fails instead of raising. *)
-let run_parallel_result ?capture ?seed ?datadir ?(engine = default_engine)
-    ~machine ~nprocs (c : compiled) =
-  match engine with
-  | Eir -> Exec.Vm.run_result ?capture ?seed ?datadir ~machine ~nprocs c.prog
-  | Etcode ->
-      Exec.Tcode.run_result ?capture ?seed ?datadir ~machine ~nprocs c.prog
-
-(* Same again, wrapped in the engine's checkpoint/rollback driver:
-   survives permanent rank kills and message loss up to the retry
-   budget.  The snapshot format is engine-agnostic. *)
-let run_parallel_recovering ?capture ?seed ?datadir ?ckpt_interval
-    ?max_recoveries ?(engine = default_engine) ~machine ~nprocs (c : compiled)
-    =
-  match engine with
-  | Eir ->
-      Exec.Vm.run_recovering ?capture ?seed ?datadir ?ckpt_interval
-        ?max_recoveries ~machine ~nprocs c.prog
-  | Etcode ->
-      Exec.Tcode.run_recovering ?capture ?seed ?datadir ?ckpt_interval
-        ?max_recoveries ~machine ~nprocs c.prog
-
-(* Sequential baselines (Figure 2). *)
-let run_interpreter ?capture ?seed ?datadir ~machine (c : compiled) =
-  Interp.Eval.run ?capture ?seed ?datadir ~mode:Interp.Cost.Interpreter ~machine
-    c.ast
-
-let run_matcom ?capture ?seed ?datadir ~machine (c : compiled) =
-  Interp.Eval.run ?capture ?seed ?datadir ~mode:Interp.Cost.Matcom ~machine
-    c.ast
+(* The outcome of a recovery, or [Exec.Vm.Runtime_error] if the final
+   attempt still failed — the raising entry point most callers want. *)
+let outcome_exn (rc : Exec.State.recovery) : Exec.State.outcome =
+  match rc.Exec.State.r_result with
+  | Exec.State.Complete o -> o
+  | Exec.State.Partial { detail; _ } -> raise (Exec.State.Runtime_error detail)
 
 (* --- cross-back-end verification ---------------------------------------- *)
 
@@ -230,30 +348,41 @@ type verdict =
       recoveries : int;
     }
 
-(* Run the interpreter and the compiled program on [nprocs] processors
-   and compare the captured variables (within [tol], which absorbs
-   reduction-order rounding).  When the parallel run dies — e.g. under
-   an injected fault model without the reliable layer — the verdict is
-   a structured [Aborted] naming the failing rank and operation rather
-   than an exception.  [ckpt_interval]/[max_recoveries] route the
-   parallel run through the checkpoint/rollback driver, so a verdict of
-   [Verified] can also mean "failed, recovered, and still bit-compatible
-   with the reference". *)
-let verify_outcome ?(tol = 1e-9) ?seed ?(ckpt_interval = 0.)
-    ?(max_recoveries = 0) ?engine ~machine ~nprocs ~capture (c : compiled) :
-    verdict =
-  let ref_run = run_interpreter ?seed ~capture ~machine c in
-  let par_result, recoveries =
-    if ckpt_interval > 0. || max_recoveries > 0 then begin
-      let rc =
-        run_parallel_recovering ?seed ~capture ~ckpt_interval ~max_recoveries
-          ?engine ~machine ~nprocs c
-      in
-      (rc.Exec.Vm.r_result, rc.Exec.Vm.r_attempts - 1)
-    end
-    else (run_parallel_result ?seed ~capture ?engine ~machine ~nprocs c, 0)
+(* Every inferred script variable, for verify's default capture set. *)
+let all_variables (c : compiled) : string list =
+  Hashtbl.fold (fun name _ acc -> name :: acc) c.info.Analysis.Infer.var_ty []
+  |> List.sort_uniq compare
+
+(* Run the reference interpreter and the compiled program under [cfg]
+   and compare the captured variables (within [cfg.tol], which absorbs
+   reduction-order rounding).  An empty [cfg.capture] means "every
+   inferred script variable".  The parallel leg uses [cfg]'s engine (a
+   sequential engine is promoted to the default SPMD engine — verifying
+   the interpreter against itself proves nothing).  When the parallel
+   run dies — e.g. under an injected fault model without the reliable
+   layer — the verdict is a structured [Aborted] naming the failing
+   rank and operation rather than an exception.  Nonzero
+   [cfg.ckpt_interval]/[cfg.max_recoveries] route the parallel run
+   through the checkpoint/rollback driver, so a verdict of [Verified]
+   can also mean "failed, recovered, and still bit-compatible with the
+   reference". *)
+let verify (cfg : Config.t) (c : compiled) : verdict =
+  let capture =
+    match cfg.Config.capture with [] -> all_variables c | cs -> cs
   in
-  match par_result with
+  let engine =
+    match cfg.Config.engine with
+    | Config.Einterp | Config.Ematcom -> Config.default_engine
+    | e -> e
+  in
+  let cfg = { cfg with Config.capture; engine } in
+  let ref_run =
+    Interp.Eval.run ~capture ~seed:cfg.Config.seed ~datadir:cfg.Config.datadir
+      ~mode:Interp.Cost.Interpreter ~machine:cfg.Config.machine c.ast
+  in
+  let rc = run cfg c in
+  let recoveries = rc.Exec.State.r_attempts - 1 in
+  match rc.Exec.State.r_result with
   | Exec.Vm.Partial { failed_rank; operation; detail; kind; report } ->
       Aborted { failed_rank; operation; detail; kind; report; recoveries }
   | Exec.Vm.Complete par_run -> (
@@ -265,7 +394,7 @@ let verify_outcome ?(tol = 1e-9) ?seed ?(ckpt_interval = 0.)
                 List.assoc_opt name par_run.Exec.Vm.captures )
             with
             | Some a, Some b -> (
-                match compare_values ~tol a b with
+                match compare_values ~tol:cfg.Config.tol a b with
                 | None -> None
                 | Some detail -> Some { variable = name; detail })
             | None, None ->
@@ -281,9 +410,12 @@ let verify_outcome ?(tol = 1e-9) ?seed ?(ckpt_interval = 0.)
       in
       match mismatches with [] -> Verified | ms -> Mismatched ms)
 
-let verify ?tol ?seed ?engine ~machine ~nprocs ~capture (c : compiled) :
-    mismatch list =
-  match verify_outcome ?tol ?seed ?engine ~machine ~nprocs ~capture c with
+let verify_list (cfg : Config.t) (c : compiled) : mismatch list =
+  match verify cfg c with
   | Verified -> []
   | Mismatched ms -> ms
   | Aborted { detail; _ } -> raise (Exec.Vm.Runtime_error detail)
+
+(* The multi-tenant space-sharing scheduler, re-exported so library
+   users reach it as [Otter.Sched]. *)
+module Sched = Sched

@@ -1,6 +1,10 @@
 (** The Otter compiler driver: the paper's multi-pass pipeline as one
     call, plus execution on the simulated machines, the sequential
-    baselines, and cross-back-end verification. *)
+    baselines, and cross-back-end verification.
+
+    All execution goes through a single {!Config.t} record built by
+    {!config}: two canonical entry points ({!run} and {!verify})
+    replace the old per-knob optional-argument families. *)
 
 type compiled = {
   source : string;
@@ -43,15 +47,83 @@ val compile_frontend :
     reference interpreter, which accepts a superset of what the back
     end compiles (e.g. matrix growth through indexed assignment). *)
 
-val interpret :
-  ?capture:string list ->
+(** Every knob a run or verification takes, in one record.  Build one
+    with {!config}; entry points take the whole record, so adding a
+    knob never changes their signatures. *)
+module Config : sig
+  (** What executes the program: [Etcode] is the pre-decoded
+      threaded-code fast path (the default), [Eir] the IR-walking VM
+      kept as fallback and differential-testing foil — the two are
+      bit-identical (verified per release across every
+      app/machine/P/opt configuration) and share result types and the
+      checkpoint format through [Exec.State].  [Einterp] and [Ematcom]
+      are the sequential baselines of Figure 2 (the reference
+      interpreter under the interpreter / MATCOM cost model). *)
+  type engine = Etcode | Eir | Einterp | Ematcom
+
+  type t = {
+    machine : Mpisim.Machine.t;
+    nprocs : int;
+    engine : engine;
+    seed : int;  (** replicated RNG seed *)
+    datadir : string;  (** where [load] finds sample data files *)
+    capture : string list;
+        (** script variables whose final values are returned / compared;
+            for {!verify}, [[]] means "every inferred variable" *)
+    tol : float;  (** relative comparison tolerance for {!verify} *)
+    ckpt_interval : float;
+        (** simulated seconds between checkpoints (0 = none) *)
+    max_recoveries : int;  (** rollback/replay budget (0 = no retries) *)
+  }
+
+  val default_engine : engine
+
+  val engine_of_string : string -> engine option
+  (** ["tcode"] / ["ir"] / ["interp"] / ["matcom"]. *)
+
+  val engine_name : engine -> string
+
+  val make :
+    ?machine:Mpisim.Machine.t ->
+    ?nprocs:int ->
+    ?engine:engine ->
+    ?seed:int ->
+    ?datadir:string ->
+    ?capture:string list ->
+    ?tol:float ->
+    ?chaos:bool ->
+    ?ckpt_interval:float ->
+    ?max_recoveries:int ->
+    unit ->
+    t
+  (** See {!config}. *)
+end
+
+val config :
+  ?machine:Mpisim.Machine.t ->
+  ?nprocs:int ->
+  ?engine:Config.engine ->
   ?seed:int ->
   ?datadir:string ->
-  ?mode:Interp.Cost.mode ->
-  machine:Mpisim.Machine.t ->
-  frontend ->
-  Interp.Eval.outcome
-(** Run the reference interpreter over a front-end-only compile. *)
+  ?capture:string list ->
+  ?tol:float ->
+  ?chaos:bool ->
+  ?ckpt_interval:float ->
+  ?max_recoveries:int ->
+  unit ->
+  Config.t
+(** The smart constructor (= {!Config.make}).  Defaults: the Meiko
+    CS-2, 4 processors, the [Etcode] engine, seed 42, datadir ["."],
+    no captures, tolerance 1e-9, no checkpointing or recovery.
+    [~chaos:true] is shorthand for "survive the fault model": it fills
+    in [ckpt_interval = 0.05] and [max_recoveries = 3] unless those
+    were given explicitly. *)
+
+val interpret : Config.t -> frontend -> Interp.Eval.outcome
+(** Run the reference interpreter over a front-end-only compile (which
+    accepts a superset of what the back end compiles).  The cost model
+    follows [cfg.engine]: [Ematcom] prices MATCOM-compiled code, any
+    other engine the interpreter baseline. *)
 
 val dump_ir : compiled -> string
 val dump_ssa : compiled -> string
@@ -63,77 +135,20 @@ val pass_table : Spmd.Pass.record list -> string
 (** Just the per-pass statistics table (name, wall-clock time, rewrite
     counts) from a {!compiled.passes} list. *)
 
-type engine = Eir | Etcode
-(** Which SPMD execution engine runs compiled programs: [Etcode] is the
-    pre-decoded threaded-code fast path (the default), [Eir] the
-    IR-walking VM kept as fallback and differential-testing foil.  The
-    engines are bit-identical (verified per release across every
-    app/machine/P/opt configuration) and share result types and the
-    checkpoint format through [Exec.State]. *)
+val run : Config.t -> compiled -> Exec.State.recovery
+(** Execute the compiled program under [cfg].  SPMD engines run on
+    [cfg.nprocs] simulated processors of [cfg.machine], wrapped in the
+    coordinated checkpoint/rollback driver when
+    [cfg.ckpt_interval]/[cfg.max_recoveries] ask for it; the
+    sequential baseline engines ([Einterp]/[Ematcom]) run the
+    reference interpreter and present its result in the same shape (a
+    one-rank report whose makespan is the modeled sequential time).  A
+    clean run is one attempt with no rollbacks; a failing rank
+    surfaces as a structured [Partial], never an exception. *)
 
-val default_engine : engine
-
-val engine_of_string : string -> engine option
-(** ["ir"] / ["tcode"]. *)
-
-val engine_name : engine -> string
-
-val run_parallel :
-  ?capture:string list ->
-  ?seed:int ->
-  ?datadir:string ->
-  ?engine:engine ->
-  machine:Mpisim.Machine.t ->
-  nprocs:int ->
-  compiled ->
-  Exec.Vm.outcome
-(** Execute the compiled SPMD program on the simulated machine. *)
-
-val run_parallel_result :
-  ?capture:string list ->
-  ?seed:int ->
-  ?datadir:string ->
-  ?engine:engine ->
-  machine:Mpisim.Machine.t ->
-  nprocs:int ->
-  compiled ->
-  Exec.Vm.run_result
-(** Like {!run_parallel}, but a failing rank yields a structured
-    {!Exec.Vm.run_result.Partial} instead of an exception. *)
-
-val run_parallel_recovering :
-  ?capture:string list ->
-  ?seed:int ->
-  ?datadir:string ->
-  ?ckpt_interval:float ->
-  ?max_recoveries:int ->
-  ?engine:engine ->
-  machine:Mpisim.Machine.t ->
-  nprocs:int ->
-  compiled ->
-  Exec.Vm.recovery
-(** Like {!run_parallel_result}, wrapped in the VM's coordinated
-    checkpoint/rollback driver (see {!Exec.Vm.run_recovering}):
-    snapshots every [ckpt_interval] simulated seconds, up to
-    [max_recoveries] deterministic replays on recoverable failures. *)
-
-val run_interpreter :
-  ?capture:string list ->
-  ?seed:int ->
-  ?datadir:string ->
-  machine:Mpisim.Machine.t ->
-  compiled ->
-  Interp.Eval.outcome
-(** The MathWorks-interpreter baseline (Figure 2). *)
-
-val run_matcom :
-  ?capture:string list ->
-  ?seed:int ->
-  ?datadir:string ->
-  machine:Mpisim.Machine.t ->
-  compiled ->
-  Interp.Eval.outcome
-(** The MATCOM compiled-sequential baseline (Figure 2). *)
+val outcome_exn : Exec.State.recovery -> Exec.State.outcome
+(** The final outcome of a {!run}, raising {!Exec.Vm.Runtime_error}
+    with the failure detail when the final attempt still failed. *)
 
 type mismatch = { variable : string; detail : string }
 
@@ -153,32 +168,21 @@ type verdict =
           timeout under an injected fault model, exhausted
           retransmissions) before its results could be compared. *)
 
-val verify_outcome :
-  ?tol:float ->
-  ?seed:int ->
-  ?ckpt_interval:float ->
-  ?max_recoveries:int ->
-  ?engine:engine ->
-  machine:Mpisim.Machine.t ->
-  nprocs:int ->
-  capture:string list ->
-  compiled ->
-  verdict
-(** Run the interpreter and the [nprocs]-CPU compiled program and
-    compare the captured variables; [tol] absorbs reduction-order
-    rounding.  Never raises for a failing parallel run — it degrades to
-    {!verdict.Aborted}.  Nonzero [ckpt_interval]/[max_recoveries] route
-    the parallel run through checkpoint/rollback recovery first. *)
+val verify : Config.t -> compiled -> verdict
+(** Run the reference interpreter and the compiled program under [cfg]
+    and compare the captured variables; [cfg.tol] absorbs
+    reduction-order rounding and [cfg.capture = []] compares every
+    inferred script variable.  The parallel leg uses [cfg.engine]
+    (sequential engines are promoted to the default SPMD engine).
+    Never raises for a failing parallel run — it degrades to
+    {!verdict.Aborted}.  Nonzero [cfg.ckpt_interval]/
+    [cfg.max_recoveries] route the parallel run through
+    checkpoint/rollback recovery first. *)
 
-val verify :
-  ?tol:float ->
-  ?seed:int ->
-  ?engine:engine ->
-  machine:Mpisim.Machine.t ->
-  nprocs:int ->
-  capture:string list ->
-  compiled ->
-  mismatch list
-(** Run the interpreter and the [nprocs]-CPU compiled program and
-    compare the captured variables; [tol] absorbs reduction-order
-    rounding.  Empty result = verified. *)
+val verify_list : Config.t -> compiled -> mismatch list
+(** {!verify} for callers that treat an abort as fatal: empty result =
+    verified, mismatches returned as a list, [Aborted] raised as
+    {!Exec.Vm.Runtime_error}. *)
+
+module Sched = Sched
+(** The multi-tenant space-sharing job scheduler (see {!Sched}). *)

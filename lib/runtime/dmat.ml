@@ -19,6 +19,12 @@ type t = {
   low : int; (* first owned row (By_rows) or column (By_cols) *)
   count : int; (* number of owned rows/columns *)
   data : float array; (* By_rows: count*cols row-major; By_cols: count *)
+  full : bool;
+      (* a rank-local replica: this rank holds every element (low = 0,
+         count covers the whole axis).  Explicit message passing
+         (MPI_Recv, MPI_Bcast) produces these; operations on them stay
+         local, so they are safe inside rank-divergent control flow
+         where a collective would deadlock. *)
 }
 
 let axis_of_dims ~rows ~cols:_ = if rows = 1 then By_cols else By_rows
@@ -41,7 +47,31 @@ let local_els = local_len
 let create ~rows ~cols =
   let axis, low, count = geometry ~rows ~cols in
   let len = match axis with By_rows -> count * cols | By_cols -> count in
-  { rows; cols; axis; low; count; data = Array.make len 0. }
+  { rows; cols; axis; low; count; data = Array.make len 0.; full = false }
+
+(* A rank-local replica: every element lives on this rank, regardless of
+   the machine size.  The geometry covers the whole distribution axis so
+   every local-index helper below works unchanged. *)
+let create_full ~rows ~cols =
+  let axis = axis_of_dims ~rows ~cols in
+  let count = match axis with By_rows -> rows | By_cols -> cols in
+  { rows; cols; axis; low = 0; count; data = Array.make (rows * cols) 0.; full = true }
+
+let of_full ~rows ~cols (dense : float array) =
+  if Array.length dense <> rows * cols then invalid_arg "of_full: size mismatch";
+  { (create_full ~rows ~cols) with data = Array.copy dense }
+
+let init_full ~rows ~cols f =
+  let m = create_full ~rows ~cols in
+  for g = 0 to (rows * cols) - 1 do
+    m.data.(g) <- f g
+  done;
+  m
+
+(* Do two same-shaped matrices share local geometry (so element-wise
+   loops over their data arrays line up)?  A replica and a distributed
+   block of the same shape do not. *)
+let same_locality a b = a.full = b.full
 
 let numel m = m.rows * m.cols
 let is_vector m = m.rows = 1 || m.cols = 1
@@ -105,15 +135,21 @@ let counts_of ~rows ~cols =
   | By_cols -> Dist.counts ~nprocs ~n:cols
 
 (* Replicated dense copy (an allgather); used by operations that need a
-   whole operand (matmul, transpose) and by verification. *)
+   whole operand (matmul, transpose) and by verification.  A rank-local
+   replica is already dense: no communication, so the copy is safe in
+   rank-divergent control flow. *)
 let to_dense m : float array =
-  let counts = counts_of ~rows:m.rows ~cols:m.cols in
-  Mpisim.Coll.allgatherv ~counts m.data
+  if m.full then Array.copy m.data
+  else
+    let counts = counts_of ~rows:m.rows ~cols:m.cols in
+    Mpisim.Coll.allgatherv ~counts m.data
 
 (* Dense copy on the root only (cheaper; used for printing / output). *)
 let to_dense_root ~root m : float array =
-  let counts = counts_of ~rows:m.rows ~cols:m.cols in
-  Mpisim.Coll.gatherv ~root ~counts m.data
+  if m.full then Array.copy m.data
+  else
+    let counts = counts_of ~rows:m.rows ~cols:m.cols in
+    Mpisim.Coll.gatherv ~root ~counts m.data
 
 (* Build from replicated dense data (no communication: every rank takes
    its block of data it already holds). *)

@@ -13,10 +13,29 @@ type t = {
   low : int; (** first owned row (By_rows) or column (By_cols) *)
   count : int; (** number of owned rows/columns *)
   data : float array; (** By_rows: count*cols row-major; By_cols: count *)
+  full : bool;
+      (** a rank-local replica: this rank holds every element.  Produced
+          by explicit message passing (MPI_Recv, MPI_Bcast); operations
+          on replicas stay local, so they are safe inside rank-divergent
+          control flow where a collective would deadlock. *)
 }
 
 val create : rows:int -> cols:int -> t
 (** Zero-filled matrix with this rank's local block allocated. *)
+
+val create_full : rows:int -> cols:int -> t
+(** Zero-filled rank-local replica (no communication, ever). *)
+
+val of_full : rows:int -> cols:int -> float array -> t
+(** Rank-local replica of the given dense row-major data. *)
+
+val init_full : rows:int -> cols:int -> (int -> float) -> t
+(** Rank-local replica filled from the global row-major linear index. *)
+
+val same_locality : t -> t -> bool
+(** Do two same-shaped matrices share local geometry (element-wise
+    loops over their data arrays line up)?  False when one is a replica
+    and the other a distributed block. *)
 
 val local_len : t -> int
 val local_els : t -> int (** paper's ML_local_els *)

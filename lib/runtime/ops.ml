@@ -12,6 +12,18 @@ module Rel = Reliable
 let tag_shift = 3001
 let tag_trapz = 3002
 
+(* Rank-local replicas (from MPI_Recv / MPI_Bcast) may hold different
+   values on every rank, and their owners cannot join a collective from
+   inside rank-divergent control flow -- so an operation must see
+   either all-replica operands (and stay local) or all-distributed ones
+   (and communicate as usual).  A mix is rejected rather than silently
+   producing rank-inconsistent results. *)
+let locality_error op =
+  failwith
+    (op
+   ^ ": cannot mix a replicated (message-passing) matrix with a distributed \
+      one; MPI_Bcast the distributed operand first")
+
 (* --- matrix multiply family ------------------------------------------- *)
 
 (* C = A * B for distributed operands.  The row-distributed common case
@@ -24,7 +36,22 @@ let matmul (a : Dmat.t) (b : Dmat.t) : Dmat.t =
       (Printf.sprintf "matmul: inner dimensions disagree (%dx%d * %dx%d)"
          a.rows a.cols b.rows b.cols);
   let m = a.rows and k = a.cols and n = b.cols in
-  if m > 1 then begin
+  if a.full || b.full then begin
+    if not (a.full && b.full) then locality_error "matmul";
+    let c = Dmat.create_full ~rows:m ~cols:n in
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        let acc = ref 0. in
+        for kk = 0 to k - 1 do
+          acc := !acc +. (a.data.((i * k) + kk) *. b.data.((kk * n) + j))
+        done;
+        c.data.((i * n) + j) <- !acc
+      done
+    done;
+    Sim.flops (2. *. float_of_int (m * n * k));
+    c
+  end
+  else if m > 1 then begin
     let bf = Dmat.to_dense b in
     let c = Dmat.create ~rows:m ~cols:n in
     for li = 0 to c.count - 1 do
@@ -66,6 +93,7 @@ let matmul (a : Dmat.t) (b : Dmat.t) : Dmat.t =
    one slot of a fused allreduce). *)
 let local_dot (a : Dmat.t) (b : Dmat.t) : float =
   if Dmat.numel a <> Dmat.numel b then failwith "dot: length mismatch";
+  if not (Dmat.same_locality a b) then locality_error "dot";
   let la = Dmat.local_len a and lb = Dmat.local_len b in
   if la <> lb then failwith "dot: distribution mismatch";
   let acc = ref 0. in
@@ -75,9 +103,11 @@ let local_dot (a : Dmat.t) (b : Dmat.t) : float =
   Sim.flops (2. *. float_of_int la);
   !acc
 
-(* Dot product of two vectors with identical distribution. *)
+(* Dot product of two vectors with identical distribution.  Replicated
+   operands already hold everything: the local partial is the answer. *)
 let dot (a : Dmat.t) (b : Dmat.t) : float =
-  Coll.allreduce_scalar ~op:Coll.Sum (local_dot a b)
+  let partial = local_dot a b in
+  if a.full then partial else Coll.allreduce_scalar ~op:Coll.Sum partial
 
 (* Transpose.  Vector transposes are free: an n x 1 column and a 1 x n
    row share the same element-block distribution.  General transposes
@@ -88,7 +118,19 @@ let dot (a : Dmat.t) (b : Dmat.t) : float =
 let tag_transpose = 3003
 
 let transpose (m : Dmat.t) : Dmat.t =
-  if m.rows = 1 || m.cols = 1 then begin
+  if m.full then begin
+    let r = Dmat.create_full ~rows:m.cols ~cols:m.rows in
+    if m.rows = 1 || m.cols = 1 then
+      Array.blit m.data 0 r.data 0 (Array.length m.data)
+    else
+      for i = 0 to m.rows - 1 do
+        for j = 0 to m.cols - 1 do
+          r.data.((j * m.rows) + i) <- m.data.((i * m.cols) + j)
+        done
+      done;
+    r
+  end
+  else if m.rows = 1 || m.cols = 1 then begin
     let r = Dmat.create ~rows:m.cols ~cols:m.rows in
     Array.blit m.data 0 r.data 0 (Array.length m.data);
     r
@@ -143,7 +185,7 @@ let transpose (m : Dmat.t) : Dmat.t =
    the local block of the result.  O(rows*cols) traffic per rank; the
    ablation baseline for the pairwise-exchange transpose above. *)
 let transpose_gather (m : Dmat.t) : Dmat.t =
-  if m.rows = 1 || m.cols = 1 then transpose m
+  if m.full || m.rows = 1 || m.cols = 1 then transpose m
   else begin
     let dense = Dmat.to_dense m in
     Dmat.init_rc ~rows:m.cols ~cols:m.rows (fun i j -> dense.((j * m.cols) + i))
@@ -161,7 +203,11 @@ let matmul_t (a : Dmat.t) (b : Dmat.t) : Dmat.t =
     failwith
       (Printf.sprintf "matmul_t: inner dimensions disagree (%dx%d' * %dx%d)"
          a.rows a.cols b.rows b.cols);
-  if a.rows = 1 then matmul (transpose a) b
+  if a.full || b.full then begin
+    if not (a.full && b.full) then locality_error "matmul_t";
+    matmul (transpose a) b
+  end
+  else if a.rows = 1 then matmul (transpose a) b
   else begin
     let m = a.cols and k = b.cols in
     let partial = Array.make (m * k) 0. in
@@ -185,17 +231,22 @@ let matmul_t (a : Dmat.t) (b : Dmat.t) : Dmat.t =
    across ranks, so we gather the (small) source and fill locally. *)
 let diag (m : Dmat.t) : Dmat.t =
   let dense = Dmat.to_dense m in
+  let build ~rows ~cols f =
+    if m.full then Dmat.init_full ~rows ~cols f
+    else Dmat.init ~rows ~cols f
+  in
   if m.rows = 1 || m.cols = 1 then begin
     let n = Dmat.numel m in
     let r =
-      Dmat.init_rc ~rows:n ~cols:n (fun i j -> if i = j then dense.(i) else 0.)
+      build ~rows:n ~cols:n (fun g ->
+          if g / n = g mod n then dense.(g / n) else 0.)
     in
     Sim.flops (float_of_int n);
     r
   end
   else begin
     let n = min m.rows m.cols in
-    let r = Dmat.init ~rows:n ~cols:1 (fun g -> dense.((g * m.cols) + g)) in
+    let r = build ~rows:n ~cols:1 (fun g -> dense.((g * m.cols) + g)) in
     Sim.flops (float_of_int n);
     r
   end
@@ -206,8 +257,13 @@ let outer (u : Dmat.t) (v : Dmat.t) : Dmat.t =
      when m = 1, and then u's single element may live on another rank,
      so fill through global indices from replicated operands. *)
   let m = Dmat.numel u and n = Dmat.numel v in
+  if u.full <> v.full then locality_error "outer product";
   let uf = Dmat.to_dense u and vf = Dmat.to_dense v in
-  let c = Dmat.init_rc ~rows:m ~cols:n (fun i j -> uf.(i) *. vf.(j)) in
+  let c =
+    if u.full then
+      Dmat.init_full ~rows:m ~cols:n (fun g -> uf.(g / n) *. vf.(g mod n))
+    else Dmat.init_rc ~rows:m ~cols:n (fun i j -> uf.(i) *. vf.(j))
+  in
   Sim.flops (float_of_int (Dmat.local_len c));
   c
 
@@ -256,9 +312,11 @@ let local_red op (m : Dmat.t) : float =
   Sim.flops (float_of_int (Dmat.local_len m));
   !acc
 
-(* Reduce all elements of a vector (or full matrix) to one scalar. *)
+(* Reduce all elements of a vector (or whole matrix) to one scalar; a
+   replicated operand folds locally, without the collective. *)
 let reduce_all op (m : Dmat.t) : float =
-  Coll.allreduce_scalar ~op:(coll_op op) (local_red op m)
+  let partial = local_red op m in
+  if m.full then partial else Coll.allreduce_scalar ~op:(coll_op op) partial
 
 (* Column-wise reduction of a row-distributed matrix -> 1 x cols. *)
 let reduce_cols op (m : Dmat.t) : Dmat.t =
@@ -270,8 +328,10 @@ let reduce_cols op (m : Dmat.t) : Dmat.t =
     done
   done;
   Sim.flops (float_of_int (m.count * n));
-  let full = Coll.allreduce ~op:(coll_op op) partial in
-  Dmat.of_dense ~rows:1 ~cols:n full
+  if m.full then Dmat.of_full ~rows:1 ~cols:n partial
+  else
+    let full = Coll.allreduce ~op:(coll_op op) partial in
+    Dmat.of_dense ~rows:1 ~cols:n full
 
 let mean_all (m : Dmat.t) = reduce_all Rsum m /. float_of_int (Dmat.numel m)
 
@@ -299,6 +359,14 @@ type fused =
   | Fnorm of Dmat.t
 
 let reduce_fused (slots : fused list) : float array =
+  let mats =
+    List.concat_map
+      (function Fsum m | Fmean m | Fnorm m -> [ m ] | Fdot (a, b) -> [ a; b ])
+      slots
+  in
+  let n_repl = List.length (List.filter (fun m -> m.Dmat.full) mats) in
+  if n_repl > 0 && n_repl < List.length mats then
+    locality_error "fused reduction";
   let local =
     Array.of_list
       (List.map
@@ -308,7 +376,7 @@ let reduce_fused (slots : fused list) : float array =
            | Fnorm v -> local_dot v v)
          slots)
   in
-  let full = Coll.allreduce ~op:Coll.Sum local in
+  let full = if n_repl > 0 then local else Coll.allreduce ~op:Coll.Sum local in
   List.iteri
     (fun i s ->
       match s with
@@ -324,8 +392,11 @@ type scan = Cumsum | Cumprod
 
 let cumulative op (v : Dmat.t) : Dmat.t =
   if not (Dmat.is_vector v) then
-    failwith "cumsum/cumprod of a full matrix is not supported";
-  let r = Dmat.create ~rows:v.rows ~cols:v.cols in
+    failwith "cumsum/cumprod of a whole matrix is not supported";
+  let r =
+    if v.full then Dmat.create_full ~rows:v.rows ~cols:v.cols
+    else Dmat.create ~rows:v.rows ~cols:v.cols
+  in
   let len = Dmat.local_len v in
   let combine, identity, cop =
     match op with
@@ -338,11 +409,13 @@ let cumulative op (v : Dmat.t) : Dmat.t =
     r.data.(i) <- !acc
   done;
   Sim.flops (float_of_int len);
-  let offset = Coll.exscan ~op:cop ~identity !acc in
-  for i = 0 to len - 1 do
-    r.data.(i) <- combine offset r.data.(i)
-  done;
-  Sim.flops (float_of_int len);
+  if not v.full then begin
+    let offset = Coll.exscan ~op:cop ~identity !acc in
+    for i = 0 to len - 1 do
+      r.data.(i) <- combine offset r.data.(i)
+    done;
+    Sim.flops (float_of_int len)
+  end;
   r
 
 (* min/max with the (1-based, MATLAB column-order) index of the first
@@ -368,6 +441,13 @@ let reduce_with_index op (v : Dmat.t) : float * int =
     end
   done;
   Sim.flops (float_of_int len);
+  if v.full then begin
+    if !best_g < 0 then
+      if Dmat.numel v > 0 then (Float.nan, 1) (* every element is NaN *)
+      else failwith "min/max of an empty vector"
+    else (!best, !best_g + 1)
+  end
+  else begin
   let nprocs = Sim.size () in
   let counts = Array.make nprocs 2 in
   let candidates =
@@ -390,6 +470,7 @@ let reduce_with_index op (v : Dmat.t) : float * int =
     if Dmat.numel v > 0 then (Float.nan, 1) (* every element is NaN *)
     else failwith "min/max of an empty vector"
   else (!final_v, !final_g + 1)
+  end
 
 (* Ascending sort of a vector, optionally with the permutation
    (1-based indices of where each sorted value came from; ties keep the
@@ -416,12 +497,13 @@ let sort_vector ?(with_index = false) (v : Dmat.t) : Dmat.t * Dmat.t option =
       if c <> 0 then c else compare a b)
     order;
   Sim.flops (float_of_int (n * 8)); (* ~ n log n comparison cost *)
-  let sorted = Dmat.init ~rows:v.rows ~cols:v.cols (fun g -> dense.(order.(g))) in
+  let build f =
+    if v.full then Dmat.init_full ~rows:v.rows ~cols:v.cols f
+    else Dmat.init ~rows:v.rows ~cols:v.cols f
+  in
+  let sorted = build (fun g -> dense.(order.(g))) in
   let idx =
-    if with_index then
-      Some
-        (Dmat.init ~rows:v.rows ~cols:v.cols (fun g ->
-             float_of_int (order.(g) + 1)))
+    if with_index then Some (build (fun g -> float_of_int (order.(g) + 1)))
     else None
   in
   (sorted, idx)
@@ -432,9 +514,11 @@ let sort_vector ?(with_index = false) (v : Dmat.t) : Dmat.t * Dmat.t option =
 let bcast_elem (m : Dmat.t) ~i ~j : float =
   if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
     failwith (Printf.sprintf "index (%d,%d) out of bounds %dx%d" (i + 1) (j + 1) m.rows m.cols);
-  let root = Dmat.owner_rank m ~i ~j in
-  let v = if Dmat.owner m ~i ~j then Dmat.get_local m ~i ~j else 0. in
-  Coll.bcast_scalar ~root v
+  if m.full then Dmat.get_local m ~i ~j (* every rank owns a replica *)
+  else
+    let root = Dmat.owner_rank m ~i ~j in
+    let v = if Dmat.owner m ~i ~j then Dmat.get_local m ~i ~j else 0. in
+    Coll.bcast_scalar ~root v
 
 let tag_bcast_batch = 3004
 
@@ -447,6 +531,16 @@ let tag_bcast_batch = 3004
 let bcast_elems (m : Dmat.t) (coords : (int * int) list) : float array =
   let coords = Array.of_list coords in
   let n = Array.length coords in
+  if m.full then
+    Array.map
+      (fun (i, j) ->
+        if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+          failwith
+            (Printf.sprintf "index (%d,%d) out of bounds %dx%d" (i + 1) (j + 1)
+               m.rows m.cols);
+        Dmat.get_local m ~i ~j)
+      coords
+  else begin
   let owners =
     Array.map
       (fun (i, j) ->
@@ -486,6 +580,7 @@ let bcast_elems (m : Dmat.t) (coords : (int * int) list) : float array =
       (Sim.Floats (Array.of_list !mine))
   end;
   Coll.bcast ~root buf
+  end
 
 (* Guarded store: only the owner writes (paper's pass 5 conditional). *)
 let set_elem (m : Dmat.t) ~i ~j v =
@@ -505,6 +600,9 @@ let circshift (v : Dmat.t) s : Dmat.t =
   else begin
     let s = ((s mod n) + n) mod n in
     if s = 0 then Dmat.copy v
+    else if v.full then
+      Dmat.init_full ~rows:v.rows ~cols:v.cols (fun g ->
+          v.data.(((g - s) mod n + n) mod n))
     else begin
       let nprocs = Sim.size () and me = Sim.rank () in
       let r = Dmat.create ~rows:v.rows ~cols:v.cols in
@@ -562,6 +660,21 @@ let circshift (v : Dmat.t) s : Dmat.t =
 let trapz ?x (y : Dmat.t) : float =
   let n = Dmat.numel y in
   if n < 2 then 0.
+  else if y.full then begin
+    (match x with
+    | Some x ->
+        if Dmat.numel x <> n then failwith "trapz: x and y sizes disagree";
+        if not x.full then locality_error "trapz"
+    | None -> ());
+    let sx i = match x with Some x -> x.data.(i) | None -> float_of_int i in
+    let acc = ref 0. in
+    for i = 0 to n - 2 do
+      let dx = sx (i + 1) -. sx i in
+      acc := !acc +. (dx *. (y.data.(i) +. y.data.(i + 1)) *. 0.5)
+    done;
+    Sim.flops (5. *. float_of_int (n - 1));
+    !acc
+  end
   else begin
     let count = y.count and low = y.low in
     let high = low + count in
@@ -619,7 +732,10 @@ let section (a : Dmat.t) (ri : int array) (rj : int array) : Dmat.t =
   in
   check_bounds ri a.rows;
   check_bounds rj a.cols;
-  Dmat.init_rc ~rows ~cols (fun i j -> dense.((ri.(i) * a.cols) + rj.(j)))
+  if a.full then
+    Dmat.init_full ~rows ~cols (fun g ->
+        dense.((ri.(g / cols) * a.cols) + rj.(g mod cols)))
+  else Dmat.init_rc ~rows ~cols (fun i j -> dense.((ri.(i) * a.cols) + rj.(j)))
 
 (* Linear-index section over a vector: result(k) = v(idx.(k)). *)
 let section_linear (v : Dmat.t) (idx : int array) ~rows ~cols : Dmat.t =
@@ -630,4 +746,5 @@ let section_linear (v : Dmat.t) (idx : int array) ~rows ~cols : Dmat.t =
       if i < 0 || i >= n then
         failwith (Printf.sprintf "index %d out of bounds %d" (i + 1) n))
     idx;
-  Dmat.init ~rows ~cols (fun g -> dense.(idx.(g)))
+  if v.full then Dmat.init_full ~rows ~cols (fun g -> dense.(idx.(g)))
+  else Dmat.init ~rows ~cols (fun g -> dense.(idx.(g)))

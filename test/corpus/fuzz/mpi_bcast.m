@@ -1,0 +1,7 @@
+% MPI_Bcast of a scalar and of a matrix: every rank ends up holding
+% rank 0's value, so the result is rank-invariant by construction.
+s = MPI_Bcast(0, 2.5);
+m = eye(3, 3);
+c = MPI_Bcast(0, m);
+fprintf('%.17g\n', s);
+fprintf('%.17g\n', sum(sum(c)));

@@ -1,0 +1,13 @@
+% MPI_Probe on a tag nothing has been sent on yet, and again once the
+% receive has drained it: both are deterministically 0 at any P.  (A
+% probe between send and receive is NOT in the corpus: the simulator
+% charges delivery latency, so an in-flight message probes 0 there but
+% 1 in the zero-latency interpreter.)
+r = MPI_Comm_rank();
+q0 = MPI_Probe(r, 103);
+MPI_Send(r, 103, 7);
+x = MPI_Recv(r, 103);
+q1 = MPI_Probe(r, 103);
+fprintf('%.17g\n', q0);
+fprintf('%.17g\n', x);
+fprintf('%.17g\n', q1);

@@ -1,0 +1,5 @@
+% MPI_Comm_rank: output and captures come from rank 0, whose rank
+% matches the one-rank interpreter's, so the oracle sees 0 on every
+% configuration.
+r = MPI_Comm_rank();
+fprintf('%.17g\n', r);

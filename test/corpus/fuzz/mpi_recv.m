@@ -1,0 +1,10 @@
+% MPI_Recv of a matrix: a matrix literal is distributed and cannot be
+% sent directly -- broadcast it into a per-rank replica first, then the
+% self-send round trip works, and reductions over the received replica
+% stay local.
+r = MPI_Comm_rank();
+a = [1, 2, 3; 4, 5, 6];
+a = MPI_Bcast(0, a);
+MPI_Send(r, 102, a);
+b = MPI_Recv(r, 102);
+fprintf('%.17g\n', sum(sum(b)));

@@ -1,0 +1,7 @@
+% MPI_Send: the self-send round trip every rank can run at any P --
+% the message queue between a rank and itself is plain FIFO storage.
+r = MPI_Comm_rank();
+MPI_Send(r, 101, 41);
+x = MPI_Recv(r, 101);
+x = x + 1;
+fprintf('%.17g\n', x);

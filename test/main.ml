@@ -19,6 +19,7 @@ let () =
       ("vm", Test_vm.suite);
       ("tcode", Test_tcode.suite);
       ("interp", Test_interp.suite);
+      ("mpi", Test_mpi.suite);
       ("codegen", Test_codegen.suite);
       ("apps", Test_apps.suite);
       ("load", Test_load.suite);

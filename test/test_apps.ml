@@ -4,12 +4,27 @@
 
 let t name f = Alcotest.test_case name `Quick f
 
+(* Run on 4 CPUs of the default machine and return the outcome. *)
+let run4 ~capture c =
+  Otter.outcome_exn
+    (Otter.run
+       (Otter.config ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4 ~capture ())
+       c)
+
+(* Modeled time of [c] on [machine] under [engine] with [nprocs] ranks. *)
+let engine_time ~engine ~machine ~nprocs c =
+  (Otter.outcome_exn (Otter.run (Otter.config ~engine ~machine ~nprocs ()) c))
+    .Exec.Vm.report
+    .Mpisim.Sim.makespan
+
 let verify_app key ~scale ~nprocs =
   let app = Option.get (Apps.Scripts.find key) in
   let c = Otter.compile (app.source scale) in
   let mm =
-    Otter.verify ~tol:1e-6 ~machine:Mpisim.Machine.meiko_cs2 ~nprocs
-      ~capture:app.capture c
+    Otter.verify_list
+      (Otter.config ~tol:1e-6 ~machine:Mpisim.Machine.meiko_cs2 ~nprocs
+         ~capture:app.capture ())
+      c
   in
   if mm <> [] then
     Alcotest.failf "%s P=%d: %s" key nprocs
@@ -21,19 +36,14 @@ let test_verify key () = List.iter (fun p -> verify_app key ~scale:8 ~nprocs:p) 
 let times key ~scale ~machine =
   let app = Option.get (Apps.Scripts.find key) in
   let c = Otter.compile (app.source scale) in
-  let ti = (Otter.run_interpreter ~machine c).Interp.Eval.time in
-  let tp p =
-    (Otter.run_parallel ~machine ~nprocs:p c).Exec.Vm.report.Mpisim.Sim.makespan
-  in
+  let ti = engine_time ~engine:Otter.Config.Einterp ~machine ~nprocs:1 c in
+  let tp p = engine_time ~engine:Otter.Config.Etcode ~machine ~nprocs:p c in
   (ti, tp)
 
 let test_cg_converges () =
   let src = Apps.Scripts.cg ~n:32 ~iters:40 () in
   let c = Otter.compile src in
-  let o =
-    Otter.run_parallel ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4
-      ~capture:[ "resid" ] c
-  in
+  let o = run4 ~capture:[ "resid" ] c in
   match List.assoc "resid" o.Exec.Vm.captures with
   | Exec.Vm.Cscalar r ->
       Alcotest.(check bool) "residual small" true (r < 1e-8)
@@ -43,10 +53,7 @@ let test_tc_closure_properties () =
   (* The closure matrix must be reflexive and monotone wrt the input. *)
   let src = Apps.Scripts.transitive_closure ~n:24 ~density:0.05 () in
   let c = Otter.compile src in
-  let o =
-    Otter.run_parallel ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4
-      ~capture:[ "B"; "reach" ] c
-  in
+  let o = run4 ~capture:[ "B"; "reach" ] c in
   let _, _, b =
     match List.assoc "B" o.Exec.Vm.captures with
     | Exec.Vm.Cmat (r, cc, d) -> (r, cc, d)
@@ -69,10 +76,7 @@ let test_nbody_physics () =
   (* momentum-free start: center of mass barely drifts; energy finite *)
   let src = Apps.Scripts.nbody ~n:200 ~steps:10 () in
   let c = Otter.compile src in
-  let o =
-    Otter.run_parallel ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4
-      ~capture:[ "mx"; "ke" ] c
-  in
+  let o = run4 ~capture:[ "mx"; "ke" ] c in
   let get n =
     match List.assoc n o.Exec.Vm.captures with
     | Exec.Vm.Cscalar f -> f
@@ -86,10 +90,7 @@ let test_nbody_physics () =
 let test_ocean_signal () =
   let src = Apps.Scripts.ocean ~n:4000 () in
   let c = Otter.compile src in
-  let o =
-    Otter.run_parallel ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4
-      ~capture:[ "Fmax"; "Frms" ] c
-  in
+  let o = run4 ~capture:[ "Fmax"; "Frms" ] c in
   let get n =
     match List.assoc n o.Exec.Vm.captures with
     | Exec.Vm.Cscalar f -> f
@@ -107,11 +108,10 @@ let test_fig2_shape () =
     List.map
       (fun (app : Apps.Scripts.app) ->
         let c = Otter.compile (app.source 15) in
-        let ti = (Otter.run_interpreter ~machine c).Interp.Eval.time in
-        let tm = (Otter.run_matcom ~machine c).Interp.Eval.time in
+        let ti = engine_time ~engine:Otter.Config.Einterp ~machine ~nprocs:1 c in
+        let tm = engine_time ~engine:Otter.Config.Ematcom ~machine ~nprocs:1 c in
         let to1 =
-          (Otter.run_parallel ~machine ~nprocs:1 c).Exec.Vm.report
-            .Mpisim.Sim.makespan
+          engine_time ~engine:Otter.Config.Etcode ~machine ~nprocs:1 c
         in
         (app.key, ti, tm, to1))
       Apps.Scripts.apps

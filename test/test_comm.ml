@@ -209,8 +209,10 @@ let test_o2_pipeline_applies_comm () =
     (stat comm.detail "reductions-fused" >= 2);
   (* and the optimized program still matches the interpreter *)
   let mm =
-    Otter.verify ~tol:1e-9 ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4
-      ~capture:[ "x"; "y"; "s"; "n" ] c
+    Otter.verify_list
+      (Otter.config ~tol:1e-9 ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4
+         ~capture:[ "x"; "y"; "s"; "n" ] ())
+      c
   in
   Alcotest.(check int) "verifies" 0 (List.length mm)
 
@@ -227,7 +229,10 @@ let test_message_counts_never_regress () =
     (fun (a : Apps.Scripts.app) ->
       let c = Otter.compile ~opt:Spmd.Pass.O2 (a.source 5) in
       let o =
-        Otter.run_parallel ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4 c
+        Otter.outcome_exn
+          (Otter.run
+             (Otter.config ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4 ())
+             c)
       in
       let msgs = o.Exec.Vm.report.Mpisim.Sim.messages in
       let baseline = List.assoc a.key message_baselines in
@@ -245,7 +250,10 @@ let test_o2_beats_o1_on_messages () =
       (fun (a : Apps.Scripts.app) ->
         let msgs opt =
           let c = Otter.compile ~opt (a.source 5) in
-          (Otter.run_parallel ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4 c)
+          (Otter.outcome_exn
+             (Otter.run
+                (Otter.config ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4 ())
+                c))
             .Exec.Vm.report
             .Mpisim.Sim.messages
         in
@@ -266,7 +274,9 @@ let test_apps_verify_on_every_machine_at_o2 () =
         (fun machine ->
           let p = min 4 machine.Mpisim.Machine.max_procs in
           let mm =
-            Otter.verify ~tol:1e-6 ~machine ~nprocs:p ~capture:a.capture c
+            Otter.verify_list
+              (Otter.config ~tol:1e-6 ~machine ~nprocs:p ~capture:a.capture ())
+              c
           in
           if mm <> [] then
             Alcotest.failf "%s on %s P=%d: %s" a.key

@@ -36,14 +36,21 @@ let test_corpus () =
           let src = read_file (Filename.concat dir f) in
           let c = Otter.compile src in
           let oi =
-            Otter.run_interpreter ~machine:Mpisim.Machine.workstation c
+            Otter.outcome_exn
+              (Otter.run
+                 (Otter.config ~engine:Otter.Config.Einterp
+                    ~machine:Mpisim.Machine.workstation ~nprocs:1 ())
+                 c)
           in
           let op =
-            Otter.run_parallel ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:8 c
+            Otter.outcome_exn
+              (Otter.run
+                 (Otter.config ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:8 ())
+                 c)
           in
           Alcotest.(check string)
             (f ^ ": identical output on 8 CPUs")
-            oi.Interp.Eval.output op.Exec.Vm.output)
+            oi.Exec.State.output op.Exec.Vm.output)
         files
 
 let suite = [ t "examples/matlab corpus" test_corpus ]

@@ -200,11 +200,17 @@ let test_apps_bit_for_bit_under_faults () =
         (fun m ->
           let nprocs = min 4 m.Machine.max_procs in
           let clean =
-            Otter.run_parallel ~capture:app.capture ~machine:m ~nprocs c
+            Otter.outcome_exn
+              (Otter.run
+                 (Otter.config ~capture:app.capture ~machine:m ~nprocs ())
+                 c)
           in
           let fm = faulty spec m in
           let faulted =
-            Otter.run_parallel ~capture:app.capture ~machine:fm ~nprocs c
+            Otter.outcome_exn
+              (Otter.run
+                 (Otter.config ~capture:app.capture ~machine:fm ~nprocs ())
+                 c)
           in
           let where = Printf.sprintf "%s on %s" app.key m.Machine.name in
           Alcotest.(check bool)
@@ -224,7 +230,9 @@ let test_apps_verify_under_faults () =
       let c = Otter.compile (app.source 8) in
       let m = faulty "drop=0.05,seed=7" Machine.sparc20_cluster in
       match
-        Otter.verify_outcome ~machine:m ~nprocs:4 ~capture:app.capture c
+        Otter.verify
+          (Otter.config ~machine:m ~nprocs:4 ~capture:app.capture ())
+          c
       with
       | Otter.Verified -> ()
       | Otter.Mismatched ms ->
@@ -247,7 +255,10 @@ let test_vm_partial_names_rank_and_operation () =
   let m =
     faulty ~reliable:false "drop=1.0,detect=0.1,seed=2" Machine.sparc20_cluster
   in
-  match Otter.run_parallel_result ~capture:app.capture ~machine:m ~nprocs:4 c with
+  match
+    (Otter.run (Otter.config ~capture:app.capture ~machine:m ~nprocs:4 ()) c)
+      .Exec.Vm.r_result
+  with
   | Exec.Vm.Partial { failed_rank; operation; detail; _ } ->
       Alcotest.(check bool) "rank in range" true
         (failed_rank >= 0 && failed_rank < 4);

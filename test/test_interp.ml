@@ -56,11 +56,15 @@ let test_cost_model_ordering () =
   let src = Apps.Scripts.cg ~n:48 ~iters:5 () in
   let c = compile src in
   let machine = Mpisim.Machine.workstation in
-  let ti = (Otter.run_interpreter ~machine c).Interp.Eval.time in
-  let tm = (Otter.run_matcom ~machine c).Interp.Eval.time in
-  let to1 =
-    (Otter.run_parallel ~machine ~nprocs:1 c).Exec.Vm.report.Mpisim.Sim.makespan
+  let time engine =
+    (Otter.outcome_exn
+       (Otter.run (Otter.config ~engine ~machine ~nprocs:1 ()) c))
+      .Exec.Vm.report
+      .Mpisim.Sim.makespan
   in
+  let ti = time Otter.Config.Einterp in
+  let tm = time Otter.Config.Ematcom in
+  let to1 = time Otter.Config.Etcode in
   Alcotest.(check bool) "interpreter slower than matcom" true (ti > tm);
   Alcotest.(check bool) "interpreter slower than otter" true (ti > to1);
   Alcotest.(check bool) "sane ratio" true (ti /. to1 > 2. && ti /. to1 < 20.)
@@ -74,11 +78,13 @@ let test_interpreter_dispatch_dominates_scalar_loops () =
   in
   let vector_op = compile "v = 1:10000;\ns = sum(v);" in
   let ratio c =
-    let ti = (Otter.run_interpreter ~machine c).Interp.Eval.time in
-    let to1 =
-      (Otter.run_parallel ~machine ~nprocs:1 c).Exec.Vm.report.Mpisim.Sim.makespan
+    let time engine =
+      (Otter.outcome_exn
+         (Otter.run (Otter.config ~engine ~machine ~nprocs:1 ()) c))
+        .Exec.Vm.report
+        .Mpisim.Sim.makespan
     in
-    ti /. to1
+    time Otter.Config.Einterp /. time Otter.Config.Etcode
   in
   Alcotest.(check bool) "loops pay more interpretive overhead" true
     (ratio scalar_loop > 2. *. ratio vector_op)
@@ -131,8 +137,10 @@ let gen_script : string QCheck.Gen.t =
 let differential_prop src =
   let c = compile src in
   let mm =
-    Otter.verify ~tol:1e-9 ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4
-      ~capture:[ "r"; "chk" ] c
+    Otter.verify_list
+      (Otter.config ~tol:1e-9 ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4
+         ~capture:[ "r"; "chk" ] ())
+      c
   in
   if mm <> [] then
     QCheck.Test.fail_reportf "mismatch on:\n%s\n%s" src
@@ -200,8 +208,10 @@ let gen_stmt_program : string QCheck.Gen.t =
 let stmt_differential_prop src =
   let c = Testutil.compile src in
   let mm =
-    Otter.verify ~tol:1e-9 ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:3
-      ~capture:[ "s"; "t"; "u"; "w"; "chk" ] c
+    Otter.verify_list
+      (Otter.config ~tol:1e-9 ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:3
+         ~capture:[ "s"; "t"; "u"; "w"; "chk" ] ())
+      c
   in
   if mm <> [] then
     QCheck.Test.fail_reportf "mismatch on:\n%s\n%s" src

@@ -62,12 +62,16 @@ let test_execution_across_backends () =
       let c = Otter.compile ~datadir:dir src in
       (* interpreter *)
       let oi =
-        Otter.run_interpreter ~datadir:dir ~machine:Mpisim.Machine.workstation
-          ~capture:[ "s"; "x" ] c
+        Otter.outcome_exn
+          (Otter.run
+             (Otter.config ~datadir:dir ~engine:Otter.Config.Einterp
+                ~machine:Mpisim.Machine.workstation ~nprocs:1
+                ~capture:[ "s"; "x" ] ())
+             c)
       in
       let gi n =
-        match List.assoc n oi.Interp.Eval.captures with
-        | Interp.Eval.Cscalar f -> f
+        match List.assoc n oi.Exec.Vm.captures with
+        | Exec.Vm.Cscalar f -> f
         | _ -> nan
       in
       Testutil.check_close "interp sum" 78. (gi "s");
@@ -76,8 +80,11 @@ let test_execution_across_backends () =
       List.iter
         (fun p ->
           let o =
-            Otter.run_parallel ~datadir:dir ~machine:Mpisim.Machine.meiko_cs2
-              ~nprocs:p ~capture:[ "s"; "x" ] c
+            Otter.outcome_exn
+              (Otter.run
+                 (Otter.config ~datadir:dir ~machine:Mpisim.Machine.meiko_cs2
+                    ~nprocs:p ~capture:[ "s"; "x" ] ())
+                 c)
           in
           let g n =
             match List.assoc n o.Exec.Vm.captures with

@@ -1,0 +1,389 @@
+(* Explicit message passing: the MatlabMPI-style builtins
+   (MPI_Comm_rank/size, MPI_Send/Recv, MPI_Bcast, MPI_Probe) across
+   both SPMD engines, the reference interpreter, and the job
+   scheduler that space-shares ranks between tenants. *)
+
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+
+let run_engine ~engine ?(machine = Mpisim.Machine.meiko_cs2) ~nprocs src =
+  let c = compile src in
+  Otter.outcome_exn (Otter.run (Otter.config ~machine ~nprocs ~engine ()) c)
+
+(* --- pingpong: bit-identical across engines at P in {2,4,8} ------------- *)
+
+let pingpong_src =
+  {|r = MPI_Comm_rank();
+p = MPI_Comm_size();
+total = 0;
+if p > 1
+  for k = 1:8
+    if r == 0
+      MPI_Send(1, 10, k);
+      total = total + MPI_Recv(1, 11);
+    end
+    if r == 1
+      v = MPI_Recv(0, 10);
+      MPI_Send(0, 11, 2 * v);
+    end
+  end
+else
+  for k = 1:8
+    MPI_Send(0, 10, k);
+    total = total + 2 * MPI_Recv(0, 10);
+  end
+end
+total = MPI_Bcast(0, total);
+fprintf('pingpong total = %d\n', total);
+|}
+
+let test_pingpong_engines () =
+  List.iter
+    (fun nprocs ->
+      let a = run_engine ~engine:Otter.Config.Etcode ~nprocs pingpong_src in
+      let b = run_engine ~engine:Otter.Config.Eir ~nprocs pingpong_src in
+      check Alcotest.string
+        (Printf.sprintf "pingpong output P=%d" nprocs)
+        "pingpong total = 72\n" a.Exec.State.output;
+      check Alcotest.string
+        (Printf.sprintf "engines agree P=%d" nprocs)
+        a.Exec.State.output b.Exec.State.output;
+      (* the simulated timelines must agree too: same traffic, same clock *)
+      check Alcotest.int
+        (Printf.sprintf "same message count P=%d" nprocs)
+        a.Exec.State.report.Mpisim.Sim.messages
+        b.Exec.State.report.Mpisim.Sim.messages)
+    [ 2; 4; 8 ]
+
+(* --- self-send: a rank's loopback queue ---------------------------------- *)
+
+let test_self_send () =
+  let src =
+    {|r = MPI_Comm_rank();
+MPI_Send(r, 5, 41);
+MPI_Send(r, 5, 1);
+a = MPI_Recv(r, 5);
+b = MPI_Recv(r, 5);
+fprintf('%d\n', a + b);
+|}
+  in
+  List.iter
+    (fun nprocs ->
+      let o = run_engine ~engine:Otter.Config.Etcode ~nprocs src in
+      check Alcotest.string
+        (Printf.sprintf "FIFO self-send P=%d" nprocs)
+        "42\n" o.Exec.State.output)
+    [ 1; 4 ];
+  (* the interpreter is the one-rank machine: same queues, same answer *)
+  let out, _ = run_interp src in
+  check Alcotest.string "interpreter self-send" "42\n" out
+
+(* --- deadlock: both ranks receive first ---------------------------------- *)
+
+let test_deadlock () =
+  let src =
+    {|r = MPI_Comm_rank();
+a = MPI_Recv(1 - r, 3);
+MPI_Send(1 - r, 3, r + 1);
+|}
+  in
+  (* both ranks receive before anyone sends: circular wait *)
+  let c = compile src in
+  (match
+     Otter.run (Otter.config ~nprocs:2 ()) c |> Otter.outcome_exn
+   with
+  | exception Mpisim.Sim.Deadlock msg ->
+      Alcotest.(check bool) "deadlock names a waiting rank" true
+        (contains msg "waits for")
+  | _ -> Alcotest.fail "expected a deadlock");
+  (* one rank, no partner: the interpreter rejects the phantom peer,
+     and a self-receive with nothing queued is flagged as the
+     one-rank image of this deadlock *)
+  (match run_interp src with
+  | exception Interp.Eval.Runtime_error msg ->
+      Alcotest.(check bool) "interp flags the phantom peer" true
+        (contains msg "source rank 1 is outside 0..0")
+  | _ -> Alcotest.fail "expected an interpreter error");
+  match run_interp "r = MPI_Comm_rank();\nx = MPI_Recv(r, 3);\nMPI_Send(r, 3, 1);\n" with
+  | exception Interp.Eval.Runtime_error msg ->
+      Alcotest.(check bool) "interp flags pending-free recv" true
+        (contains msg "no message pending")
+  | _ -> Alcotest.fail "expected an interpreter error"
+
+(* --- tag mismatch: receiving a tag nothing sends is rejected ------------- *)
+
+let test_tag_mismatch () =
+  let src = "x = MPI_Recv(0, 77);\n" in
+  match compile src with
+  | exception Mlang.Source.Error (_, msg) ->
+      Alcotest.(check bool) "never-sent tag named" true
+        (contains msg "no MPI_Send in the program sends tag 77")
+  | _ -> Alcotest.fail "expected a compile-time error"
+
+let test_rank_bounds () =
+  let src = "MPI_Send(99, 1, 0);\nx = MPI_Recv(99, 1);\n" in
+  let c = compile src in
+  match Otter.run (Otter.config ~nprocs:4 ()) c |> Otter.outcome_exn with
+  | exception Exec.Vm.Runtime_error msg ->
+      Alcotest.(check bool) "out-of-range rank named" true
+        (contains msg "destination rank 99 is outside 0..3")
+  | _ -> Alcotest.fail "expected a runtime error"
+
+(* --- mixed explicit + implicit on the app x machine matrix --------------- *)
+
+(* Four small apps that each mix whole-array (implicitly parallel)
+   operations with explicit messaging, verified against the reference
+   interpreter on three machine models.  All four print rank-invariant
+   results, so interpreter output and captures must match exactly. *)
+(* Each app lists the variables to compare: only rank-invariant ones —
+   block shapes and MPI_Comm_size() legitimately differ between the
+   one-rank interpreter and a P=4 run. *)
+let mixed_apps =
+  [
+    ( "filter",
+      [ "s" ],
+      {|r = MPI_Comm_rank();
+p = MPI_Comm_size();
+n = 16;
+img = rand(n, n);
+img = MPI_Bcast(0, img);
+rows = n / p;
+lo = r * rows + 1;
+mine = img(lo:lo+rows-1, :);
+MPI_Send(0, 8, mine);
+s = 0;
+if r == 0
+  for src = 0:p-1
+    g = MPI_Recv(src, 8);
+    s = s + sum(sum(g));
+  end
+end
+s = MPI_Bcast(0, s);
+fprintf('%.9f\n', s);
+|} );
+    ( "dot+roundtrip",
+      [ "t"; "u" ],
+      {|a = rand(6, 6);
+b = a * a';
+t = sum(sum(b));
+r = MPI_Comm_rank();
+MPI_Send(r, 5, t);
+u = MPI_Recv(r, 5);
+fprintf('%.9f\n', u);
+|} );
+    ( "bcast-matrix",
+      [ "c"; "d" ],
+      {|a = rand(4, 8);
+c = MPI_Bcast(0, a);
+d = c .* 2 + 1;
+fprintf('%.9f\n', sum(sum(d)));
+|} );
+    ( "probe-drained",
+      [ "w"; "q" ],
+      {|r = MPI_Comm_rank();
+v = norm(rand(5, 1));
+MPI_Send(r, 9, v);
+w = MPI_Recv(r, 9);
+q = MPI_Probe(r, 9);
+fprintf('%.9f %g\n', w, q);
+|} );
+  ]
+
+let mixed_machines =
+  [
+    Mpisim.Machine.meiko_cs2;
+    Mpisim.Machine.enterprise_smp;
+    Mpisim.Machine.sparc20_cluster;
+  ]
+
+let test_mixed_matrix () =
+  List.iter
+    (fun (name, capture, src) ->
+      let c = compile src in
+      List.iter
+        (fun machine ->
+          match Otter.verify (Otter.config ~machine ~nprocs:4 ~capture ()) c with
+          | Otter.Verified -> ()
+          | Otter.Mismatched (m :: _) ->
+              Alcotest.failf "%s on %s: %s: %s" name
+                machine.Mpisim.Machine.name m.Otter.variable m.Otter.detail
+          | Otter.Mismatched [] -> assert false
+          | Otter.Aborted { detail; _ } ->
+              Alcotest.failf "%s on %s aborted: %s" name
+                machine.Mpisim.Machine.name detail)
+        mixed_machines)
+    mixed_apps
+
+(* --- example apps: engines bit-identical at P in {2,4,8} ----------------- *)
+
+let examples_dir =
+  lazy
+    (let rec up dir n =
+       if n = 0 then None
+       else if Sys.file_exists (Filename.concat dir "examples/matlab") then
+         Some (Filename.concat dir "examples/matlab")
+       else up (Filename.dirname dir) (n - 1)
+     in
+     up (Sys.getcwd ()) 8)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_examples_bit_identical () =
+  match Lazy.force examples_dir with
+  | None -> () (* sandboxed without sources *)
+  | Some dir ->
+      List.iter
+        (fun file ->
+          let src = read_file (Filename.concat dir file) in
+          let c = compile src in
+          List.iter
+            (fun nprocs ->
+              let run engine =
+                Otter.outcome_exn
+                  (Otter.run (Otter.config ~nprocs ~engine ()) c)
+              in
+              let a = run Otter.Config.Etcode in
+              let b = run Otter.Config.Eir in
+              check Alcotest.string
+                (Printf.sprintf "%s output P=%d" file nprocs)
+                a.Exec.State.output b.Exec.State.output;
+              check Alcotest.int
+                (Printf.sprintf "%s messages P=%d" file nprocs)
+                a.Exec.State.report.Mpisim.Sim.messages
+                b.Exec.State.report.Mpisim.Sim.messages;
+              checkf
+                (Printf.sprintf "%s makespan P=%d" file nprocs)
+                a.Exec.State.report.Mpisim.Sim.makespan
+                b.Exec.State.report.Mpisim.Sim.makespan)
+            [ 2; 4; 8 ])
+        [ "pingpong.m"; "mpi_filter.m" ]
+
+(* --- bandwidth is monotone in message size ------------------------------- *)
+
+let pingpong_sized ~n ~trips =
+  Printf.sprintf
+    {|r = MPI_Comm_rank();
+a = rand(%d, %d);
+a = MPI_Bcast(0, a);
+for k = 1:%d
+  if r == 0
+    MPI_Send(1, 1, a);
+    a = MPI_Recv(1, 2);
+  end
+  if r == 1
+    b = MPI_Recv(0, 1);
+    MPI_Send(0, 2, b);
+  end
+end
+|}
+    n n trips
+
+let test_bandwidth_monotone () =
+  List.iter
+    (fun machine ->
+      let bandwidth n =
+        let time trips =
+          let c = compile (pingpong_sized ~n ~trips) in
+          (Otter.outcome_exn (Otter.run (Otter.config ~machine ~nprocs:2 ()) c))
+            .Exec.State.report.Mpisim.Sim.makespan
+        in
+        let dt = time 2 -. time 0 in
+        float_of_int (n * n) /. dt
+      in
+      let b1 = bandwidth 4 and b2 = bandwidth 16 and b3 = bandwidth 64 in
+      Alcotest.(check bool)
+        (Printf.sprintf "bandwidth monotone on %s" machine.Mpisim.Machine.name)
+        true
+        (b1 < b2 && b2 < b3))
+    mixed_machines
+
+(* --- the job scheduler --------------------------------------------------- *)
+
+let sched_job name procs c =
+  {
+    Otter.Sched.j_name = name;
+    j_procs = procs;
+    j_run =
+      (fun ~nprocs ->
+        (Otter.outcome_exn (Otter.run (Otter.config ~nprocs ()) c))
+          .Exec.State.report);
+  }
+
+let test_scheduler () =
+  let c = compile pingpong_src in
+  let jobs = List.init 4 (fun i -> sched_job (Printf.sprintf "pp[%d]" i) 4 c) in
+  let s =
+    Otter.Sched.run ~machine:Mpisim.Machine.meiko_cs2 ~procs:8 jobs
+  in
+  (* 4 four-rank jobs on 8 ranks: two waves of two tenants *)
+  check Alcotest.int "all jobs placed" 4
+    (List.length s.Otter.Sched.s_placements);
+  let bases =
+    List.map (fun p -> (p.Otter.Sched.p_first_rank, p.Otter.Sched.p_start))
+      s.Otter.Sched.s_placements
+  in
+  (match bases with
+  | [ (0, t0); (4, t1); (0, t2); (4, t3) ] ->
+      checkf "wave 1 starts at 0 (a)" 0. t0;
+      checkf "wave 1 starts at 0 (b)" 0. t1;
+      Alcotest.(check bool) "wave 2 queued behind wave 1" true
+        (t2 > 0. && t3 > 0.)
+  | _ -> Alcotest.fail "unexpected placement");
+  (* aggregate accounting: the machine report sums the tenants *)
+  let sum f =
+    List.fold_left
+      (fun acc p -> acc + f p.Otter.Sched.p_report)
+      0 s.Otter.Sched.s_placements
+  in
+  check Alcotest.int "messages sum over tenants"
+    (sum (fun r -> r.Mpisim.Sim.messages))
+    s.Otter.Sched.s_report.Mpisim.Sim.messages;
+  check Alcotest.int "one job_stat row per tenant" 4
+    (List.length s.Otter.Sched.s_report.Mpisim.Sim.jobs);
+  Alcotest.(check bool) "throughput positive" true
+    (s.Otter.Sched.s_throughput > 0.);
+  (* identical job lists schedule identically (determinism) *)
+  let s2 =
+    Otter.Sched.run ~machine:Mpisim.Machine.meiko_cs2 ~procs:8 jobs
+  in
+  checkf "deterministic makespan" s.Otter.Sched.s_makespan
+    s2.Otter.Sched.s_makespan
+
+let test_scheduler_rejects () =
+  let c = compile "x = 1;\n" in
+  let job = sched_job "big" 32 c in
+  (match
+     Otter.Sched.run ~machine:Mpisim.Machine.meiko_cs2 ~procs:16 [ job ]
+   with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "oversized job named" true
+        (contains msg "wants 32 of 16 ranks")
+  | _ -> Alcotest.fail "expected Invalid_argument");
+  match
+    Otter.Sched.run ~machine:Mpisim.Machine.meiko_cs2 ~procs:64 []
+  with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "overscaled machine named" true
+        (contains msg "has at most 16 processors")
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let suite =
+  [
+    t "pingpong engines agree at P in {2,4,8}" test_pingpong_engines;
+    t "self-send queue is FIFO" test_self_send;
+    t "circular receives deadlock" test_deadlock;
+    t "receiving a never-sent tag is rejected" test_tag_mismatch;
+    t "out-of-range ranks are diagnosed" test_rank_bounds;
+    t "mixed explicit+implicit verifies on 4 apps x 3 machines"
+      test_mixed_matrix;
+    t "example apps bit-identical across engines" test_examples_bit_identical;
+    t "bandwidth monotone in message size" test_bandwidth_monotone;
+    t "scheduler space-shares and accounts tenants" test_scheduler;
+    t "scheduler rejects oversized requests" test_scheduler_rejects;
+  ]

@@ -229,9 +229,20 @@ let test_fold_eye_into_elementwise () =
   Alcotest.(check bool) "dump shows eye[i]" true
     (contains (Otter.dump_ir c) "eye[i]");
   (* and the fold is semantics-preserving *)
-  let oi = Otter.run_interpreter ~machine:Mpisim.Machine.workstation c in
-  let op = Otter.run_parallel ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4 c in
-  Alcotest.(check string) "same output" oi.Interp.Eval.output op.Exec.Vm.output
+  let oi =
+    Otter.outcome_exn
+      (Otter.run
+         (Otter.config ~engine:Otter.Config.Einterp
+            ~machine:Mpisim.Machine.workstation ~nprocs:1 ())
+         c)
+  in
+  let op =
+    Otter.outcome_exn
+      (Otter.run
+         (Otter.config ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4 ())
+         c)
+  in
+  Alcotest.(check string) "same output" oi.Exec.State.output op.Exec.Vm.output
 
 let test_fold_skips_multi_use_temp () =
   (* The temp is consumed twice: the matrix must be materialized. *)
@@ -337,15 +348,22 @@ let test_fuzz_corpus_replays_at_O0 () =
                  () (* interpreter-only script (e.g. matrix growth) *)
              | c ->
                  let oi =
-                   Otter.run_interpreter ~machine:Mpisim.Machine.workstation c
+                   Otter.outcome_exn
+                     (Otter.run
+                        (Otter.config ~engine:Otter.Config.Einterp
+                           ~machine:Mpisim.Machine.workstation ~nprocs:1 ())
+                        c)
                  in
                  let op =
-                   Otter.run_parallel ~machine:Mpisim.Machine.meiko_cs2
-                     ~nprocs:3 c
+                   Otter.outcome_exn
+                     (Otter.run
+                        (Otter.config ~machine:Mpisim.Machine.meiko_cs2
+                           ~nprocs:3 ())
+                        c)
                  in
                  Alcotest.(check string)
                    (f ^ ": O0 output agrees")
-                   oi.Interp.Eval.output op.Exec.Vm.output)
+                   oi.Exec.State.output op.Exec.Vm.output)
 
 let test_apps_identical_at_every_level () =
   (* O0, O1 and O2 builds of each paper app print the same thing. *)
@@ -357,7 +375,10 @@ let test_apps_identical_at_every_level () =
             let c =
               Otter.compile ~opt ~validate:true (a.Apps.Scripts.source 3)
             in
-            (Otter.run_parallel ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4 c)
+            (Otter.outcome_exn
+               (Otter.run
+                  (Otter.config ~machine:Mpisim.Machine.meiko_cs2 ~nprocs:4 ())
+                  c))
               .Exec.Vm.output)
           [ Spmd.Pass.O0; Spmd.Pass.O1; Spmd.Pass.O2 ]
       in

@@ -71,7 +71,10 @@ let recover_app key () =
         (fun p ->
           let where = Printf.sprintf "%s P=%d on %s" key p m.Machine.name in
           let clean =
-            Otter.run_parallel ~capture:app.capture ~machine:m ~nprocs:p c
+            Otter.outcome_exn
+              (Otter.run
+                 (Otter.config ~capture:app.capture ~machine:m ~nprocs:p ())
+                 c)
           in
           (* Kill a third of the way through the fault-free makespan so
              the death lands mid-run on every machine, with a few
@@ -80,10 +83,12 @@ let recover_app key () =
           let at = span *. 0.3 in
           let ck = Float.max 1e-6 (span *. 0.08) in
           let rc =
-            Otter.run_parallel_recovering ~capture:app.capture
-              ~ckpt_interval:ck ~max_recoveries:3
-              ~machine:(killer ~at ~detect:(Float.max 0.01 (span *. 0.05)) m)
-              ~nprocs:p c
+            Otter.run
+              (Otter.config ~capture:app.capture ~ckpt_interval:ck
+                 ~max_recoveries:3
+                 ~machine:(killer ~at ~detect:(Float.max 0.01 (span *. 0.05)) m)
+                 ~nprocs:p ())
+              c
           in
           (match rc.Exec.Vm.r_reports with
           | first :: _ ->
@@ -112,8 +117,11 @@ let test_kill_without_recovery_is_typed () =
   in
   let c = Otter.compile (app.source 4) in
   match
-    Otter.run_parallel_result ~capture:app.capture
-      ~machine:(killer Machine.meiko_cs2) ~nprocs:4 c
+    (Otter.run
+       (Otter.config ~capture:app.capture ~machine:(killer Machine.meiko_cs2)
+          ~nprocs:4 ())
+       c)
+      .Exec.Vm.r_result
   with
   | Exec.Vm.Partial { kind; report; failed_rank; _ } ->
       Alcotest.(check bool)
@@ -141,8 +149,10 @@ let test_budget_exhaustion_gives_up () =
       Machine.sparc20_cluster
   in
   let rc =
-    Otter.run_parallel_recovering ~capture:app.capture ~ckpt_interval:0.05
-      ~max_recoveries:2 ~machine:m ~nprocs:4 c
+    Otter.run
+      (Otter.config ~capture:app.capture ~ckpt_interval:0.05 ~max_recoveries:2
+         ~machine:m ~nprocs:4 ())
+      c
   in
   Alcotest.(check bool) "gave up" true rc.Exec.Vm.r_gave_up;
   Alcotest.(check int) "budget+1 attempts" 3 rc.Exec.Vm.r_attempts;
@@ -158,8 +168,10 @@ let test_budget_exhaustion_gives_up () =
 let test_program_bugs_are_not_retried () =
   let c = Otter.compile "x = rand(8, 8);\nif sum(sum(x)) > 0\n  error('intentional');\nend\n" in
   let rc =
-    Otter.run_parallel_recovering ~ckpt_interval:0.05 ~max_recoveries:3
-      ~machine:(killer ~at:1e9 Machine.meiko_cs2) ~nprocs:4 c
+    Otter.run
+      (Otter.config ~ckpt_interval:0.05 ~max_recoveries:3
+         ~machine:(killer ~at:1e9 Machine.meiko_cs2) ~nprocs:4 ())
+      c
   in
   Alcotest.(check int) "one attempt only" 1 rc.Exec.Vm.r_attempts;
   Alcotest.(check bool) "did not give up (not recoverable)" false
@@ -186,14 +198,18 @@ let test_rng_stream_survives_replay () =
   in
   let c = Otter.compile src in
   let clean =
-    Otter.run_parallel ~capture:[ "acc" ] ~machine:Machine.meiko_cs2 ~nprocs:4
-      c
+    Otter.outcome_exn
+      (Otter.run
+         (Otter.config ~capture:[ "acc" ] ~machine:Machine.meiko_cs2 ~nprocs:4
+            ())
+         c)
   in
   let rc =
-    Otter.run_parallel_recovering ~capture:[ "acc" ] ~ckpt_interval:0.01
-      ~max_recoveries:3
-      ~machine:(killer ~victim:2 ~at:0.02 Machine.meiko_cs2)
-      ~nprocs:4 c
+    Otter.run
+      (Otter.config ~capture:[ "acc" ] ~ckpt_interval:0.01 ~max_recoveries:3
+         ~machine:(killer ~victim:2 ~at:0.02 Machine.meiko_cs2)
+         ~nprocs:4 ())
+      c
   in
   Alcotest.(check bool) "rolled back at least once" true
     (rc.Exec.Vm.r_attempts >= 2);
@@ -211,13 +227,19 @@ let test_recovery_is_seed_independent () =
   in
   let c = Otter.compile src in
   let clean =
-    Otter.run_parallel ~machine:Machine.sparc20_cluster ~nprocs:4 c
+    Otter.outcome_exn
+      (Otter.run
+         (Otter.config ~machine:Machine.sparc20_cluster ~nprocs:4 ())
+         c)
   in
   List.iter
     (fun (victim, seed) ->
       let rc =
-        Otter.run_parallel_recovering ~ckpt_interval:0.02 ~max_recoveries:3
-          ~machine:(killer ~victim ~seed Machine.sparc20_cluster) ~nprocs:4 c
+        Otter.run
+          (Otter.config ~ckpt_interval:0.02 ~max_recoveries:3
+             ~machine:(killer ~victim ~seed Machine.sparc20_cluster) ~nprocs:4
+             ())
+          c
       in
       match rc.Exec.Vm.r_result with
       | Exec.Vm.Complete out ->
@@ -314,11 +336,15 @@ let test_chaos_corpus () =
         (fun f ->
           let c = Otter.compile (read_file (Filename.concat dir f)) in
           let clean =
-            Otter.run_parallel ~machine:Machine.meiko_cs2 ~nprocs:4 c
+            Otter.outcome_exn
+              (Otter.run
+                 (Otter.config ~machine:Machine.meiko_cs2 ~nprocs:4 ())
+                 c)
           in
           let rc =
-            Otter.run_parallel_recovering ~ckpt_interval:0.02
-              ~max_recoveries:3 ~machine:(killer Machine.meiko_cs2) ~nprocs:4
+            Otter.run
+              (Otter.config ~ckpt_interval:0.02 ~max_recoveries:3
+                 ~machine:(killer Machine.meiko_cs2) ~nprocs:4 ())
               c
           in
           match rc.Exec.Vm.r_result with

@@ -220,18 +220,21 @@ let engines_identical key () =
       List.iter
         (fun p ->
           let where = Printf.sprintf "%s P=%d on %s" key p m.Machine.name in
-          let ir =
-            Otter.run_parallel ~engine:Otter.Eir ~capture:app.capture
-              ~machine:m ~nprocs:p c
+          let run_with engine =
+            Otter.outcome_exn
+              (Otter.run
+                 (Otter.config ~engine ~capture:app.capture ~machine:m
+                    ~nprocs:p ())
+                 c)
           in
-          let tc =
-            Otter.run_parallel ~engine:Otter.Etcode ~capture:app.capture
-              ~machine:m ~nprocs:p c
-          in
+          let ir = run_with Otter.Config.Eir in
+          let tc = run_with Otter.Config.Etcode in
           check_outcomes_identical ~where ir tc;
           match
-            Otter.verify ~engine:Otter.Etcode ~tol:1e-6 ~machine:m ~nprocs:p
-              ~capture:app.capture c
+            Otter.verify_list
+              (Otter.config ~engine:Otter.Config.Etcode ~tol:1e-6 ~machine:m
+                 ~nprocs:p ~capture:app.capture ())
+              c
           with
           | [] -> ()
           | ms ->
@@ -265,19 +268,27 @@ let chaos_recovers key () =
   List.iter
     (fun engine ->
       let where =
-        Printf.sprintf "%s under --chaos [%s]" key (Otter.engine_name engine)
+        Printf.sprintf "%s under --chaos [%s]" key
+          (Otter.Config.engine_name engine)
       in
       let clean =
-        Otter.run_parallel ~engine ~capture:app.capture ~machine:m ~nprocs:4 c
+        Otter.outcome_exn
+          (Otter.run
+             (Otter.config ~engine ~capture:app.capture ~machine:m ~nprocs:4 ())
+             c)
       in
       let span = clean.Exec.Vm.report.Sim.makespan in
       let rc =
-        Otter.run_parallel_recovering ~engine ~capture:app.capture
-          ~ckpt_interval:(Float.max 1e-6 (span *. 0.08))
-          ~max_recoveries:3
-          ~machine:
-            (killer ~at:(span *. 0.3) ~detect:(Float.max 0.01 (span *. 0.05)) m)
-          ~nprocs:4 c
+        Otter.run
+          (Otter.config ~engine ~capture:app.capture
+             ~ckpt_interval:(Float.max 1e-6 (span *. 0.08))
+             ~max_recoveries:3
+             ~machine:
+               (killer ~at:(span *. 0.3)
+                  ~detect:(Float.max 0.01 (span *. 0.05))
+                  m)
+             ~nprocs:4 ())
+          c
       in
       (match rc.Exec.Vm.r_reports with
       | first :: _ ->
@@ -303,7 +314,7 @@ let chaos_recovers key () =
             clean.Exec.Vm.captures
       | Exec.Vm.Partial { detail; _ } ->
           Alcotest.failf "%s: did not recover: %s" where detail)
-    [ Otter.Eir; Otter.Etcode ]
+    [ Otter.Config.Eir; Otter.Config.Etcode ]
 
 let suite =
   [

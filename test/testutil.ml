@@ -24,7 +24,9 @@ let compile = Otter.compile
 let run_parallel ?(machine = Mpisim.Machine.meiko_cs2) ?(nprocs = 4) ?capture src
     =
   let c = compile src in
-  let o = Otter.run_parallel ~machine ~nprocs ?capture c in
+  let o =
+    Otter.outcome_exn (Otter.run (Otter.config ~machine ~nprocs ?capture ()) c)
+  in
   (o.Exec.Vm.output, o.Exec.Vm.captures)
 
 (* Run a script in the reference interpreter (front end only: the
