@@ -393,7 +393,7 @@ let dump_cmd =
         match what with
         | `Ir -> print_string (Otter.dump_ir c)
         | `Ssa -> print_string (Otter.dump_ssa c)
-        | `Ast -> print_string (Mlang.Pp.program_to_string c.Otter.ast)
+        | `Ast -> print_string (Mlang.Pp.annotated_program_to_string c.Otter.ast)
         | `Types ->
             let vars =
               Hashtbl.fold
@@ -411,7 +411,11 @@ let dump_cmd =
              [
                (`Ir, info [ "ir" ] ~doc:"Dump the SPMD IR (default).");
                (`Ssa, info [ "ssa" ] ~doc:"Dump the SSA form (pass 3).");
-               (`Ast, info [ "ast" ] ~doc:"Dump the resolved AST.");
+               (`Ast,
+                 info [ "ast" ]
+                   ~doc:
+                     "Dump the annotated AST: one node per line with the \
+                      inferred type/shape and any frame lift.");
                (`Types, info [ "types" ] ~doc:"Dump inferred variable types.");
                (`C, info [ "c" ] ~doc:"Dump the generated C.");
              ])
@@ -570,7 +574,7 @@ let serve_cmd =
 (* --- fuzz ------------------------------------------------------------------ *)
 
 let fuzz_cmd =
-  let run cases seed corpus no_cc =
+  let run cases seed corpus no_cc rank3 =
     let use_cc = not no_cc in
     let corpus_failures, corpus_total =
       match corpus with
@@ -594,7 +598,7 @@ let fuzz_cmd =
     let random_failed =
       if cases <= 0 then false
       else
-        match Fuzz.run_random ~use_cc ~cases ~seed () with
+        match Fuzz.run_random ~use_cc ~rank3 ~cases ~seed () with
         | Fuzz.All_passed s ->
             Fmt.pr
               "fuzz: %d cases (seed %d): %d compared across all back ends, \
@@ -626,10 +630,17 @@ let fuzz_cmd =
     Arg.(value & flag & info [ "no-cc" ]
            ~doc:"Skip the compiled-C leg even when a C compiler is found.")
   in
+  let rank3_arg =
+    Arg.(value & flag & info [ "rank3" ]
+           ~doc:
+             "Enable the rank-N tensor grammar: rank-3 constructors, \
+              frame-broadcast operators, leading-axis sections, element \
+              reads/writes and full reductions.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Differential fuzzing: random scripts through every back end.")
-    Term.(const run $ cases_arg $ seed_arg $ corpus_arg $ no_cc_arg)
+    Term.(const run $ cases_arg $ seed_arg $ corpus_arg $ no_cc_arg $ rank3_arg)
 
 let main_cmd =
   let doc = "Otter: a parallel MATLAB compiler (OCaml reproduction)" in

@@ -1,21 +1,21 @@
-% Jacobi iteration for a diagonally dominant system, written with
-% whole-array operations (the style the compiler parallelizes).
-n = 128;
-A = rand(n, n);
-A = A + A' + 2 * n * eye(n);
-b = rand(n, 1);
-d = diag_of(A);
-x = zeros(n, 1);
-for it = 1:60
-  r = b - A * x;
-  x = x + r ./ d;
+% Jacobi relaxation of the 3-D heat equation on an n x m x m grid.
+% The grid is a rank-3 tensor whose leading (page) axis is block
+% distributed: the two stencil shifts along it exercise neighbor
+% communication, the four in-page shifts stay local.
+n = 12; m = 10;
+iters = 15;
+T = zeros(n, m, m);
+T(1, 1:m, 1:m) = ones(m, m);          % hot face held at 1
+for it = 1:iters
+  up = T(1:n-2, 2:m-1, 2:m-1);
+  dn = T(3:n,   2:m-1, 2:m-1);
+  no = T(2:n-1, 1:m-2, 2:m-1);
+  so = T(2:n-1, 3:m,   2:m-1);
+  we = T(2:n-1, 2:m-1, 1:m-2);
+  ea = T(2:n-1, 2:m-1, 3:m);
+  T(2:n-1, 2:m-1, 2:m-1) = (up + dn + no + so + we + ea) ./ 6;
 end
-fprintf('jacobi residual = %e\n', norm(b - A * x));
-
-function d = diag_of(A)
-  n = size(A, 1);
-  d = zeros(n, 1);
-  for i = 1:n
-    d(i) = A(i, i);
-  end
-end
+heat = sum(T);
+peak = max(T);
+core = T(2, 2, 2);
+fprintf('heat3d: total=%.6f peak=%.6f core=%.6f\n', heat, peak, core);

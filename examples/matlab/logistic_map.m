@@ -1,9 +1,15 @@
-% Ensemble of logistic maps: element-wise chaos, no communication
-% beyond the final statistics.
-n = 50000;
-r = 3.6 + 0.3 .* rand(n, 1);
-x = rand(n, 1);
-for it = 1:100
+% Ensemble of logistic maps over a rank-3 state: pages of independent
+% m x m parameter grids.  The growth-rate grid r broadcasts across the
+% distributed page axis (frame broadcast), so the iteration is pure
+% element-wise work with no communication until the final statistics.
+p = 12; m = 8;
+r = 3.5 + 0.5 .* rand(m, m);
+x = rand(p, m, m);
+for it = 1:50
   x = r .* x .* (1 - x);
 end
-fprintf('mean=%.6f min=%.6f max=%.6f\n', mean(x), min(x), max(x));
+xm = mean(x);
+xlo = min(x);
+xhi = max(x);
+x1 = x(1, 1, 1);
+fprintf('logistic: mean=%.6f min=%.6f max=%.6f x1=%.6f\n', xm, xlo, xhi, x1);

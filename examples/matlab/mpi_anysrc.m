@@ -1,0 +1,22 @@
+% Master/worker gather over the MPI_ANY_SOURCE wildcard (-1): workers
+% finish in any order and rank 0 receives in arrival order, so the
+% combine is integer addition (exact, order-independent).  After the
+% gather MPI_Probe(-1, 9) confirms no straggler is pending.
+r = MPI_Comm_rank();
+p = MPI_Comm_size();
+n = 64;
+chunk = n / p;
+lo = r * chunk + 1;
+hi = lo + chunk - 1;
+part = (hi * (hi + 1) - (lo - 1) * lo) / 2;
+total = part;
+if r == 0
+  for k = 2:p
+    total = total + MPI_Recv(-1, 9);
+  end
+else
+  MPI_Send(0, 9, part);
+end
+leftover = MPI_Probe(-1, 9);
+total = MPI_Bcast(0, total);
+fprintf('any-source gather: total = %d leftover = %d\n', total, leftover);

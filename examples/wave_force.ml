@@ -50,7 +50,7 @@ let () =
       let get name =
         match List.assoc name o.Exec.Vm.captures with
         | Exec.Vm.Cscalar f -> f
-        | Exec.Vm.Cmat _ -> nan
+        | Exec.Vm.Cmat _ | Exec.Vm.Cnd _ -> nan
       in
       Fmt.pr "%8.2f %14.4e %14.4e@." amp0 (get "impulse") (get "Fmax"))
     [ 0.25; 0.5; 1.0; 1.5; 2.0 ];

@@ -1,0 +1,75 @@
+(* Structural invariants of the annotated AST.
+
+   [errors] walks a program after resolution (and normally after type
+   inference) and reports every violation of the annotation discipline
+   documented in [Mlang.Ast]:
+
+   - resolution is total: no [Ident] or [Apply] node survives; every
+     name became a [Varref], [Call] or [Index];
+   - annotation ids track value identity: two nodes may carry the same
+     id only by sharing the same physical [ann] record (the
+     [{ e with node = ... }] copy rule);
+   - a [Known] scalar type carries the canonical 1x1 shape;
+   - a frame lift is recorded only on a node whose own type is a
+     tensor, and never exceeds that tensor's frame axes.
+
+   [Otter.compile] and [Otter.compile_frontend] run [validate] on every
+   program they build, so the whole tier-1 suite doubles as a stress
+   test of these invariants. *)
+
+open Mlang
+
+let errors (p : Ast.program) : string list =
+  let errs = ref [] in
+  let seen : (int, Ast.ann) Hashtbl.t = Hashtbl.create 64 in
+  let err pos fmt =
+    Fmt.kstr
+      (fun msg -> errs := Fmt.str "%a: %s" Source.pp_pos pos msg :: !errs)
+      fmt
+  in
+  let check_expr (e : Ast.expr) =
+    let a = e.ann in
+    (match Hashtbl.find_opt seen a.id with
+    | Some prior when prior != a ->
+        err a.pos "annotation id %d reused by a distinct record" a.id
+    | _ -> Hashtbl.replace seen a.id a);
+    (match e.node with
+    | Ast.Ident name ->
+        err a.pos "unresolved identifier '%s' survived resolution" name
+    | Ast.Apply (name, _) ->
+        err a.pos "unresolved application '%s' survived resolution" name
+    | _ -> ());
+    (match a.ty with
+    | Ty.Known t
+      when Ty.is_scalar t
+           && not
+                (Ty.equal_dim t.Ty.shape.Ty.rows (Ty.Dconst 1)
+                && Ty.equal_dim t.Ty.shape.Ty.cols (Ty.Dconst 1)) ->
+        err a.pos "scalar type %s has a non-1x1 shape" (Ty.to_string t)
+    | _ -> ());
+    if a.frame > 0 then
+      match a.ty with
+      | Ty.Known t when Ty.is_tensor t ->
+          if a.frame > Ty.frame_axes t then
+            err a.pos "frame lift %d exceeds the %d frame axes of %s" a.frame
+              (Ty.frame_axes t) (Ty.to_string t)
+      | Ty.Known t ->
+          err a.pos "frame lift %d on non-tensor %s" a.frame (Ty.to_string t)
+      | Ty.Bottom -> err a.pos "frame lift %d on an untyped node" a.frame
+  in
+  let check_block b = Ast.iter_exprs check_expr b in
+  check_block p.Ast.script;
+  List.iter (fun (f : Ast.func) -> check_block f.fbody) p.Ast.funcs;
+  List.rev !errs
+
+exception Invalid of string
+
+(* Raise on the first violation; compiler-internal, so the message is
+   aimed at the compiler developer, not the MATLAB author. *)
+let validate (p : Ast.program) =
+  match errors p with
+  | [] -> ()
+  | first :: _ as all ->
+      raise
+        (Invalid
+           (Fmt.str "AST invariants violated (%d): %s" (List.length all) first))

@@ -56,6 +56,31 @@ let dim_of_arg (a : aval) =
   | Some f when f >= 0. && Float.is_integer f -> Ty.Dconst (int_of_float f)
   | Some _ | None -> Ty.Dunknown
 
+(* All the dimensions of a value, leading (frame) axes first; None when
+   the value is a scalar (whose dims are trivially 1). *)
+let all_dims (t : Ty.t) =
+  match t.Ty.rank with
+  | Ty.Rscalar -> None
+  | Ty.Rmatrix -> Some [ t.Ty.shape.Ty.rows; t.Ty.shape.Ty.cols ]
+  | Ty.Rtensor outer -> Some (outer @ [ t.Ty.shape.Ty.rows; t.Ty.shape.Ty.cols ])
+
+let const_dims dims =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | Ty.Dconst n :: rest -> go (n :: acc) rest
+    | Ty.Dunknown :: _ -> None
+  in
+  go [] dims
+
+(* Builtins whose lowering has no tensor path reject tensor arguments at
+   compile time rather than failing inside an engine. *)
+let no_tensor name args pos =
+  List.iter
+    (fun a ->
+      if Ty.is_tensor a.aty then
+        Mlang.Source.error pos "%s of a tensor is not supported" name)
+    args
+
 let fold1 f (a : aval) base =
   let aconst =
     match a.aconst with
@@ -96,6 +121,10 @@ let reduce_rule ?(result_base = fun b -> b) args pos =
   | [ a ] ->
       let base = result_base a.aty.Ty.base in
       if Ty.is_scalar a.aty then { aty = Ty.scalar base; aconst = a.aconst }
+      else if Ty.is_tensor a.aty then
+        (* tensors reduce fully to a scalar (documented divergence from
+           MATLAB's dim-1 reduction) *)
+        of_ty (Ty.scalar base)
       else if Ty.is_vector a.aty || a.aty.Ty.shape = Ty.unknown_shape then
         of_ty (Ty.scalar base)
       else
@@ -116,6 +145,12 @@ let constructor_rule ~square ~base args _pos =
       of_ty (Ty.matrix ~shape base)
   | [ r; c ] ->
       of_ty (Ty.matrix ~shape:{ Ty.rows = dim_of_arg r; cols = dim_of_arg c } base)
+  | [ p; r; c ] ->
+      (* three size arguments build a rank-3 tensor: pages x rows x cols *)
+      of_ty
+        (Ty.tensor ~outer:[ dim_of_arg p ]
+           ~shape:{ Ty.rows = dim_of_arg r; cols = dim_of_arg c }
+           base)
   | _ -> of_ty (Ty.matrix base)
 
 let int_scalar_rule _args _pos = of_ty Ty.int_scalar
@@ -170,21 +205,26 @@ let () =
   (* reductions *)
   register "sum" (Reduce "sum") 1 1 (reduce_rule ~result_base:keep);
   register "cumsum" (Scan "cumsum") 1 1 (fun args pos ->
+      no_tensor "cumsum" args pos;
       match args with
       | [ a ] -> { a with aconst = None }
       | _ -> Mlang.Source.error pos "cumsum takes one argument");
   register "cumprod" (Scan "cumprod") 1 1 (fun args pos ->
+      no_tensor "cumprod" args pos;
       match args with
       | [ a ] -> { a with aconst = None }
       | _ -> Mlang.Source.error pos "cumprod takes one argument");
   register "prod" (Reduce "prod") 1 1 (reduce_rule ~result_base:keep);
   register "mean" (Reduce "mean") 1 1 (reduce_rule ~result_base:real_of);
   register "norm" (Reduce "norm") 1 1 (fun args pos ->
+      no_tensor "norm" args pos;
       ignore (reduce_rule args pos);
       of_ty Ty.real_scalar);
   register "any" (Reduce "any") 1 1 (fun _ _ -> of_ty Ty.int_scalar);
   register "all" (Reduce "all") 1 1 (fun _ _ -> of_ty Ty.int_scalar);
-  register "dot" Dot 2 2 (fun _ _ -> of_ty Ty.real_scalar);
+  register "dot" Dot 2 2 (fun args pos ->
+      no_tensor "dot" args pos;
+      of_ty Ty.real_scalar);
   register "min" (Minmax "min") 1 2 (fun args pos ->
       match args with
       | [ _ ] -> reduce_rule ~result_base:keep args pos
@@ -194,13 +234,13 @@ let () =
       | [ _ ] -> reduce_rule ~result_base:keep args pos
       | _ -> map2_rule Float.max args pos);
   (* constructors *)
-  register "zeros" (Constructor "zeros") 0 2
+  register "zeros" (Constructor "zeros") 0 3
     (constructor_rule ~square:true ~base:Ty.Real);
-  register "ones" (Constructor "ones") 0 2
+  register "ones" (Constructor "ones") 0 3
     (constructor_rule ~square:true ~base:Ty.Real);
-  register "rand" (Constructor "rand") 0 2
+  register "rand" (Constructor "rand") 0 3
     (constructor_rule ~square:true ~base:Ty.Real);
-  register "randn" (Constructor "randn") 0 2
+  register "randn" (Constructor "randn") 0 3
     (constructor_rule ~square:true ~base:Ty.Real);
   register "eye" (Constructor "eye") 1 2
     (constructor_rule ~square:true ~base:Ty.Real);
@@ -215,33 +255,39 @@ let () =
   (* queries *)
   register "size" (Query "size") 1 2 (fun args _ ->
       match args with
-      | [ _ ] ->
+      | [ a ] ->
+          let n = max 2 (Ty.total_rank a.aty) in
           of_ty
             (Ty.matrix
-               ~shape:{ Ty.rows = Ty.Dconst 1; cols = Ty.Dconst 2 }
+               ~shape:{ Ty.rows = Ty.Dconst 1; cols = Ty.Dconst n }
                Ty.Integer)
       | _ -> of_ty Ty.int_scalar);
   register "length" (Query "length") 1 1 (fun args _ ->
       match args with
       | [ a ] -> (
-          match (a.aty.Ty.rank, a.aty.Ty.shape) with
-          | Ty.Rscalar, _ -> const_int 1
-          | Ty.Rmatrix, { Ty.rows = Ty.Dconst r; cols = Ty.Dconst c } ->
-              const_int (max r c)
-          | Ty.Rmatrix, _ -> of_ty Ty.int_scalar)
+          match all_dims a.aty with
+          | None -> const_int 1
+          | Some dims -> (
+              match const_dims dims with
+              | Some ns -> const_int (List.fold_left max 0 ns)
+              | None -> of_ty Ty.int_scalar))
       | _ -> of_ty Ty.int_scalar);
   register "numel" (Query "numel") 1 1 (fun args _ ->
       match args with
       | [ a ] -> (
-          match (a.aty.Ty.rank, a.aty.Ty.shape) with
-          | Ty.Rscalar, _ -> const_int 1
-          | Ty.Rmatrix, { Ty.rows = Ty.Dconst r; cols = Ty.Dconst c } ->
-              const_int (r * c)
-          | Ty.Rmatrix, _ -> of_ty Ty.int_scalar)
+          match all_dims a.aty with
+          | None -> const_int 1
+          | Some dims -> (
+              match const_dims dims with
+              | Some ns -> const_int (List.fold_left ( * ) 1 ns)
+              | None -> of_ty Ty.int_scalar))
       | _ -> of_ty Ty.int_scalar);
   (* communication-bearing library functions *)
-  register "trapz" Trapz 1 2 (fun _ _ -> of_ty Ty.real_scalar);
+  register "trapz" Trapz 1 2 (fun args pos ->
+      no_tensor "trapz" args pos;
+      of_ty Ty.real_scalar);
   register "circshift" Shift 2 2 (fun args pos ->
+      no_tensor "circshift" args pos;
       match args with
       | [ a; _ ] -> of_ty a.aty
       | _ -> Mlang.Source.error pos "circshift takes two arguments");
@@ -250,6 +296,7 @@ let () =
   register "fprintf" (Output "fprintf") 1 max_int int_scalar_rule;
   register "error" Error_fn 1 1 int_scalar_rule;
   register "repmat" Repmat 3 3 (fun args pos ->
+      no_tensor "repmat" args pos;
       match args with
       | [ a; r; c ] -> (
           match (dim_of_arg r, dim_of_arg c, a.aty.Ty.rank) with
@@ -269,10 +316,12 @@ let () =
           | _ -> of_ty (Ty.matrix a.aty.Ty.base))
       | _ -> Mlang.Source.error pos "repmat takes three arguments");
   register "sort" Sort 1 1 (fun args pos ->
+      no_tensor "sort" args pos;
       match args with
       | [ a ] -> { a with aconst = None }
       | _ -> Mlang.Source.error pos "sort takes one argument");
   register "diag" Diag 1 1 (fun args pos ->
+      no_tensor "diag" args pos;
       match args with
       | [ a ] -> (
           (* vector -> square matrix with the vector on the diagonal;
@@ -287,7 +336,8 @@ let () =
                 (Ty.matrix
                    ~shape:{ Ty.rows = Ty.Dconst (min r c); cols = Ty.Dconst 1 }
                    a.aty.Ty.base)
-          | Ty.Rmatrix, _ -> of_ty (Ty.matrix a.aty.Ty.base))
+          | Ty.Rmatrix, _ -> of_ty (Ty.matrix a.aty.Ty.base)
+          | Ty.Rtensor _, _ -> assert false (* rejected by no_tensor *))
       | _ -> Mlang.Source.error pos "diag takes one argument");
   (* external file input; the real type rule runs in Infer, which has
      the data directory and the literal filename *)
@@ -297,9 +347,12 @@ let () =
      reach a tag and overrides it. *)
   register "MPI_Comm_rank" (Mpi Mrank) 0 0 int_scalar_rule;
   register "MPI_Comm_size" (Mpi Msize) 0 0 int_scalar_rule;
-  register "MPI_Send" (Mpi Msend) 3 3 int_scalar_rule;
+  register "MPI_Send" (Mpi Msend) 3 3 (fun args pos ->
+      no_tensor "MPI_Send" args pos;
+      int_scalar_rule args pos);
   register "MPI_Recv" (Mpi Mrecv) 2 2 (fun _ _ -> of_ty Ty.real_matrix);
   register "MPI_Bcast" (Mpi Mbcast) 2 2 (fun args pos ->
+      no_tensor "MPI_Bcast" args pos;
       match args with
       | [ _; v ] -> { v with aconst = None }
       | _ -> Mlang.Source.error pos "MPI_Bcast takes two arguments");

@@ -6,16 +6,17 @@
    make a single pass insufficient; the lattice is finite once constants
    collapse, so this terminates).
 
-   Every expression node is annotated through its node id, and those ids
-   are shared with the original resolved AST, so the rewriting pass and
-   code generator read the results directly off the original tree. *)
+   Every expression node carries a mutable annotation record shared (by
+   [{ e with node = ... }] copies) with the original resolved AST, so
+   joining a type into [e.ann.ty] on the SSA form annotates the original
+   tree directly: the rewriting pass and code generator read the results
+   straight off the nodes, with no side table. *)
 
 open Mlang
 
 type av = Builtins.aval option (* None = bottom *)
 
 type result = {
-  expr_ty : (int, Ty.t) Hashtbl.t; (* node id -> inferred type *)
   var_ty : (string, Ty.t) Hashtbl.t; (* script variable -> joined type *)
   func_var_ty : (string, (string, Ty.t) Hashtbl.t) Hashtbl.t;
       (* function name -> variable -> joined type *)
@@ -66,16 +67,10 @@ let set_version ctx v (value : av) =
     ctx.changed <- true
   end
 
-let annotate ctx (e : Ast.expr) (value : av) =
+let annotate (e : Ast.expr) (value : av) =
   match value with
   | None -> ()
-  | Some { Builtins.aty; _ } ->
-      let joined =
-        match Hashtbl.find_opt ctx.res.expr_ty e.eid with
-        | Some old -> Ty.join old aty
-        | None -> aty
-      in
-      Hashtbl.replace ctx.res.expr_ty e.eid joined
+  | Some { Builtins.aty; _ } -> e.ann.ty <- Ty.join_vt e.ann.ty (Ty.Known aty)
 
 let scalar_av ?const base : av = Some { Builtins.aty = Ty.scalar base; aconst = const }
 
@@ -119,13 +114,16 @@ let binop_type pos op (a : Builtins.aval) (b : Builtins.aval) : Builtins.aval =
     | Ast.Mul -> (
         match (ta.Ty.rank, tb.Ty.rank) with
         | Ty.Rscalar, Ty.Rscalar -> Ty.scalar (Ty.arith_base ta.base tb.base)
-        | Ty.Rscalar, Ty.Rmatrix -> { tb with base = Ty.arith_base ta.base tb.base }
-        | Ty.Rmatrix, Ty.Rscalar -> { ta with base = Ty.arith_base ta.base tb.base }
+        | Ty.Rscalar, _ -> { tb with base = Ty.arith_base ta.base tb.base }
+        | _, Ty.Rscalar -> { ta with base = Ty.arith_base ta.base tb.base }
         | Ty.Rmatrix, Ty.Rmatrix ->
             let shape = { Ty.rows = ta.shape.Ty.rows; cols = tb.shape.Ty.cols } in
             if shape.Ty.rows = Ty.Dconst 1 && shape.Ty.cols = Ty.Dconst 1 then
               Ty.scalar (Ty.arith_base ta.base tb.base)
-            else Ty.matrix ~shape (Ty.arith_base ta.base tb.base))
+            else Ty.matrix ~shape (Ty.arith_base ta.base tb.base)
+        | _ ->
+            Source.error pos
+              "matrix multiplication of a tensor is not supported; use .*")
     | Ast.Div -> (
         match (ta.Ty.rank, tb.Ty.rank) with
         | _, Ty.Rscalar ->
@@ -139,7 +137,7 @@ let binop_type pos op (a : Builtins.aval) (b : Builtins.aval) : Builtins.aval =
         | Ty.Rscalar ->
             let base = Ty.div_base ta.base tb.base in
             if tb.rank = Ty.Rscalar then Ty.scalar base else { tb with base }
-        | Ty.Rmatrix ->
+        | Ty.Rmatrix | Ty.Rtensor _ ->
             Source.error pos
               "matrix left division (linear solve) is not supported")
     | Ast.Pow -> (
@@ -150,7 +148,7 @@ let binop_type pos op (a : Builtins.aval) (b : Builtins.aval) : Builtins.aval =
   in
   { Builtins.aty = ty; aconst = fold_const op a b ty }
 
-let unop_type op (a : Builtins.aval) : Builtins.aval =
+let unop_type pos op (a : Builtins.aval) : Builtins.aval =
   let ta = a.Builtins.aty in
   match op with
   | Ast.Neg ->
@@ -173,6 +171,8 @@ let unop_type op (a : Builtins.aval) : Builtins.aval =
         match ta.Ty.rank with
         | Ty.Rscalar -> ta
         | Ty.Rmatrix -> { ta with shape = Ty.transpose_shape ta.shape }
+        | Ty.Rtensor _ ->
+            Source.error pos "transpose of a tensor is not supported"
       in
       { Builtins.aty = ty; aconst = a.aconst }
 
@@ -192,14 +192,14 @@ let range_type (a : Builtins.aval) (step : Builtins.aval option)
   Builtins.of_ty (Ty.matrix ~shape:{ Ty.rows = Ty.Dconst 1; cols } base)
 
 let index_dim (arg : Ast.expr) (arg_av : av) : Ty.dim =
-  match arg.desc with
+  match arg.node with
   | Ast.Colon -> Ty.Dunknown (* whole extent of that axis; refined below *)
   | _ -> (
       match arg_av with
       | Some { Builtins.aty; _ } -> (
           match aty.Ty.rank with
           | Ty.Rscalar -> Ty.Dconst 1
-          | Ty.Rmatrix ->
+          | Ty.Rmatrix | Ty.Rtensor _ ->
               if aty.Ty.shape.Ty.rows = Ty.Dconst 1 then aty.Ty.shape.Ty.cols
               else aty.Ty.shape.Ty.rows)
       | None -> Ty.Dunknown)
@@ -208,11 +208,11 @@ let index_dim (arg : Ast.expr) (arg_av : av) : Ty.dim =
 
 let rec eval_expr ctx (e : Ast.expr) : av =
   let v = eval_expr_inner ctx e in
-  annotate ctx e v;
+  annotate e v;
   v
 
 and eval_expr_inner ctx (e : Ast.expr) : av =
-  match e.desc with
+  match e.node with
   | Ast.Num f -> num_av f
   | Ast.Str _ -> Some (Builtins.of_ty (Ty.scalar Ty.Literal))
   | Ast.Colon -> scalar_av Ty.Integer
@@ -221,11 +221,18 @@ and eval_expr_inner ctx (e : Ast.expr) : av =
   | Ast.Binop (op, a, b) -> (
       let va = eval_expr ctx a and vb = eval_expr ctx b in
       match (va, vb) with
-      | Some x, Some y -> Some (binop_type e.epos op x y)
+      | Some x, Some y ->
+          let r = binop_type e.ann.pos op x y in
+          (* Record the frame/cell lift: a lower-ranked operand mapped
+             over the frame (leading axes) of a tensor operand. *)
+          let fa = Ty.frame_axes x.Builtins.aty
+          and fb = Ty.frame_axes y.Builtins.aty in
+          if fa <> fb then e.ann.frame <- max e.ann.frame (max fa fb);
+          Some r
       | _ -> None)
   | Ast.Unop (op, a) -> (
       match eval_expr ctx a with
-      | Some x -> Some (unop_type op x)
+      | Some x -> Some (unop_type e.ann.pos op x)
       | None -> None)
   | Ast.Range (a, step, b) -> (
       let va = eval_expr ctx a in
@@ -236,24 +243,31 @@ and eval_expr_inner ctx (e : Ast.expr) : av =
           let s = match vs with Some (Some s) -> Some s | _ -> None in
           Some (range_type x s y)
       | _ -> None)
-  | Ast.Matrix rows -> eval_matrix ctx rows
+  | Ast.Matrix rows -> eval_matrix ctx e.ann.pos rows
   | Ast.Index (v, args) -> (
       let mat = get_version ctx v in
       let arg_avs = List.map (eval_expr ctx) args in
       match mat with
       | None -> None
-      | Some m -> Some (eval_index e.epos m args arg_avs))
+      | Some m -> Some (eval_index e.ann.pos m args arg_avs))
   | Ast.Call (name, args) -> (
       let arg_avs = List.map (eval_expr ctx) args in
-      match eval_call ctx e.epos name args arg_avs with
+      match eval_call ctx e.ann.pos name args arg_avs with
       | [] -> scalar_av Ty.Integer (* output-only call in expr position *)
       | r :: _ -> r)
   | Ast.Ident n | Ast.Apply (n, _) ->
-      Source.error e.epos "unresolved name '%s' reached inference" n
+      Source.error e.ann.pos "unresolved name '%s' reached inference" n
 
-and eval_matrix ctx rows : av =
+and eval_matrix ctx pos rows : av =
   let avs = List.map (List.map (eval_expr ctx)) rows in
   let all = List.concat avs in
+  List.iter
+    (fun a ->
+      match a with
+      | Some { Builtins.aty; _ } when Ty.is_tensor aty ->
+          Source.error pos "a tensor cannot appear in a matrix literal"
+      | _ -> ())
+    all;
   if List.exists (fun a -> a = None) all then None
   else
     let base =
@@ -342,15 +356,16 @@ and eval_index pos (m : Builtins.aval) args arg_avs : Builtins.aval =
   if Ty.is_scalar mty then
     (* Indexing a scalar with 1 or (1,1) is legal MATLAB; result scalar. *)
     { m with aconst = None }
+  else if Ty.is_tensor mty then eval_index_tensor pos m args arg_avs
   else
     match (args, arg_avs) with
     | [ a ], [ av ] -> (
         match index_dim a av with
-        | Ty.Dconst 1 when (match a.desc with Ast.Colon -> false | _ -> true) ->
+        | Ty.Dconst 1 when (match a.node with Ast.Colon -> false | _ -> true) ->
             Builtins.of_ty (Ty.scalar mty.Ty.base)
         | d ->
             let d =
-              match a.desc with
+              match a.node with
               | Ast.Colon -> (
                   (* v(:) flattens *)
                   match (mty.Ty.shape.Ty.rows, mty.Ty.shape.Ty.cols) with
@@ -367,18 +382,18 @@ and eval_index pos (m : Builtins.aval) args arg_avs : Builtins.aval =
             Builtins.of_ty (Ty.matrix ~shape mty.Ty.base))
     | [ a1; a2 ], [ av1; av2 ] -> (
         let d1 =
-          match a1.desc with
+          match a1.node with
           | Ast.Colon -> mty.Ty.shape.Ty.rows
           | _ -> index_dim a1 av1
         in
         let d2 =
-          match a2.desc with
+          match a2.node with
           | Ast.Colon -> mty.Ty.shape.Ty.cols
           | _ -> index_dim a2 av2
         in
         match (d1, d2) with
         | Ty.Dconst 1, Ty.Dconst 1
-          when (match (a1.desc, a2.desc) with
+          when (match (a1.node, a2.node) with
                | Ast.Colon, _ | _, Ast.Colon -> false
                | _ -> true) ->
             Builtins.of_ty (Ty.scalar mty.Ty.base)
@@ -386,6 +401,40 @@ and eval_index pos (m : Builtins.aval) args arg_avs : Builtins.aval =
             Builtins.of_ty
               (Ty.matrix ~shape:{ Ty.rows = d1; cols = d2 } mty.Ty.base))
     | _ -> Source.error pos "unsupported number of indices (%d)" (List.length args)
+
+(* Tensors are indexed with exactly one subscript per axis (leading axis
+   first).  All-scalar subscripts read one element; any sectioning
+   subscript yields a tensor of the same rank (no dimension squeezing). *)
+and eval_index_tensor pos (m : Builtins.aval) args arg_avs : Builtins.aval =
+  let mty = m.Builtins.aty in
+  let outer = match mty.Ty.rank with Ty.Rtensor o -> o | _ -> assert false in
+  if List.length args <> 2 + List.length outer then
+    Source.error pos
+      "a rank-%d tensor must be indexed with exactly %d subscripts (got %d)"
+      (Ty.total_rank mty)
+      (2 + List.length outer)
+      (List.length args);
+  let axis_dims = outer @ [ mty.Ty.shape.Ty.rows; mty.Ty.shape.Ty.cols ] in
+  let dims =
+    List.map2
+      (fun ((a : Ast.expr), av) extent ->
+        match a.Ast.node with
+        | Ast.Colon -> (extent, false)
+        | _ -> (index_dim a av, (match index_dim a av with Ty.Dconst 1 -> true | _ -> false)))
+      (List.combine args arg_avs) axis_dims
+  in
+  if List.for_all snd dims then Builtins.of_ty (Ty.scalar mty.Ty.base)
+  else
+    let ds = List.map fst dims in
+    let rec split_last = function
+      | [ r; c ] -> ([], r, c)
+      | d :: rest ->
+          let o, r, c = split_last rest in
+          (d :: o, r, c)
+      | [] -> assert false
+    in
+    let o, r, c = split_last ds in
+    Builtins.of_ty (Ty.tensor ~outer:o ~shape:{ Ty.rows = r; cols = c } mty.Ty.base)
 
 (* Returns the list of return-value abstract values of a call. *)
 and eval_call ctx pos name args arg_avs : av list =
@@ -395,7 +444,7 @@ and eval_call ctx pos name args arg_avs : av list =
       (* Paper section 3: a sample data file must be present so the
          compiler can determine the variable's type, rank and shape. *)
       match args with
-      | [ { Ast.desc = Ast.Str fname; _ } ] -> (
+      | [ { Ast.node = Ast.Str fname; _ } ] -> (
           let path = Filename.concat ctx.datadir fname in
           match Mlang.Datafile.read path with
           | rows, cols, data ->
@@ -545,11 +594,11 @@ and exec_stmt ctx (s : Ssa.sstmt) =
           set_version ctx v (Some { Builtins.aty = ty; aconst = None })
       | _ -> ())
   | Ssa.Smulti (defs, rhs) -> (
-      match rhs.desc with
+      match rhs.node with
       | Ast.Call (name, args) ->
           let arg_avs = List.map (eval_expr ctx) args in
-          let rets = eval_call_multi ctx rhs.epos name args arg_avs (List.length defs) in
-          annotate ctx rhs (match rets with r :: _ -> r | [] -> None);
+          let rets = eval_call_multi ctx rhs.ann.pos name args arg_avs (List.length defs) in
+          annotate rhs (match rets with r :: _ -> r | [] -> None);
           List.iter2 (fun (v, _) r -> set_version ctx v r) defs rets
       | _ -> assert false)
   | Ssa.Sexpr (e, _) -> ignore (eval_expr ctx e)
@@ -623,12 +672,19 @@ let default_ty = Ty.real_scalar
 let program ?(datadir = ".") (p : Ast.program) : result =
   let res =
     {
-      expr_ty = Hashtbl.create 256;
       var_ty = Hashtbl.create 64;
       func_var_ty = Hashtbl.create 8;
       func_returns = Hashtbl.create 8;
     }
   in
+  (* Reset annotations so inference is idempotent when re-run on the
+     same AST (the fixpoint joins into [ann.ty] in place). *)
+  let reset (e : Ast.expr) =
+    e.ann.ty <- Ty.Bottom;
+    e.ann.frame <- 0
+  in
+  Ast.iter_exprs reset p.script;
+  List.iter (fun (f : Ast.func) -> Ast.iter_exprs reset f.fbody) p.funcs;
   let funcs = Hashtbl.create 8 in
   List.iter (fun f -> Hashtbl.replace funcs f.Ast.fname (Ssa.convert_func f)) p.funcs;
   let script, _ = Ssa.convert_script p.script in
@@ -702,10 +758,10 @@ let program ?(datadir = ".") (p : Ast.program) : result =
     funcs;
   res
 
-let expr_type res (e : Ast.expr) : Ty.t =
-  match Hashtbl.find_opt res.expr_ty e.eid with
-  | Some t -> t
-  | None -> default_ty
+(* Inference writes directly into the node annotation; a node never
+   reached by the abstract interpreter keeps Bottom and defaults. *)
+let expr_type (e : Ast.expr) : Ty.t =
+  match e.ann.ty with Ty.Known t -> t | Ty.Bottom -> default_ty
 
 let var_type res name : Ty.t =
   match Hashtbl.find_opt res.var_ty name with Some t -> t | None -> default_ty

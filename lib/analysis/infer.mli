@@ -1,9 +1,12 @@
 (** Type / rank / shape inference (paper pass 3): abstract
     interpretation over the SSA form, to fixpoint across loop phis,
-    with compile-time constant propagation feeding shape inference. *)
+    with compile-time constant propagation feeding shape inference.
+
+    Inferred expression types are written directly into the AST node
+    annotations ([Ast.ann.ty], plus [Ast.ann.frame] for frame-broadcast
+    lifts); the [result] record only carries the per-variable joins. *)
 
 type result = {
-  expr_ty : (int, Ty.t) Hashtbl.t; (** node id -> inferred type *)
   var_ty : (string, Ty.t) Hashtbl.t; (** script variable -> joined type *)
   func_var_ty : (string, (string, Ty.t) Hashtbl.t) Hashtbl.t;
   func_returns : (string, Ty.t list) Hashtbl.t;
@@ -11,7 +14,12 @@ type result = {
 
 val program : ?datadir:string -> Mlang.Ast.program -> result
 (** Infer a resolved program.  [datadir] locates the sample data files
-    that [load] requires at compile time (paper section 3). *)
+    that [load] requires at compile time (paper section 3).  Resets and
+    then fills in the [ann.ty]/[ann.frame] annotations of every
+    expression node of [p] as a side effect. *)
 
-val expr_type : result -> Mlang.Ast.expr -> Ty.t
+val expr_type : Mlang.Ast.expr -> Ty.t
+(** The annotation written by [program], defaulting to real scalar for
+    nodes the abstract interpreter never reached. *)
+
 val var_type : result -> string -> Ty.t

@@ -29,30 +29,30 @@ let is_function ctx name =
 
 let rec resolve_expr ctx vars (e : Ast.expr) : Ast.expr =
   let re = resolve_expr ctx vars in
-  match e.desc with
+  match e.node with
   | Ast.Num _ | Ast.Str _ | Ast.Colon | Ast.End_marker | Ast.Varref _ -> e
   | Ast.Ident name ->
-      if Hashtbl.mem vars name then { e with desc = Ast.Varref name }
+      if Hashtbl.mem vars name then { e with node = Ast.Varref name }
       else if is_function ctx name then begin
-        ensure_function ctx name e.epos;
-        { e with desc = Ast.Call (name, []) }
+        ensure_function ctx name e.ann.pos;
+        { e with node = Ast.Call (name, []) }
       end
-      else Source.error e.epos "undefined variable or function '%s'" name
+      else Source.error e.ann.pos "undefined variable or function '%s'" name
   | Ast.Apply (name, args) ->
       let args = List.map re args in
-      if Hashtbl.mem vars name then { e with desc = Ast.Index (name, args) }
+      if Hashtbl.mem vars name then { e with node = Ast.Index (name, args) }
       else if is_function ctx name then begin
-        ensure_function ctx name e.epos;
-        { e with desc = Ast.Call (name, args) }
+        ensure_function ctx name e.ann.pos;
+        { e with node = Ast.Call (name, args) }
       end
-      else Source.error e.epos "undefined variable or function '%s'" name
-  | Ast.Call (name, args) -> { e with desc = Ast.Call (name, List.map re args) }
-  | Ast.Index (name, args) -> { e with desc = Ast.Index (name, List.map re args) }
-  | Ast.Binop (op, a, b) -> { e with desc = Ast.Binop (op, re a, re b) }
-  | Ast.Unop (op, a) -> { e with desc = Ast.Unop (op, re a) }
+      else Source.error e.ann.pos "undefined variable or function '%s'" name
+  | Ast.Call (name, args) -> { e with node = Ast.Call (name, List.map re args) }
+  | Ast.Index (name, args) -> { e with node = Ast.Index (name, List.map re args) }
+  | Ast.Binop (op, a, b) -> { e with node = Ast.Binop (op, re a, re b) }
+  | Ast.Unop (op, a) -> { e with node = Ast.Unop (op, re a) }
   | Ast.Range (a, step, b) ->
-      { e with desc = Ast.Range (re a, Option.map re step, re b) }
-  | Ast.Matrix rows -> { e with desc = Ast.Matrix (List.map (List.map re) rows) }
+      { e with node = Ast.Range (re a, Option.map re step, re b) }
+  | Ast.Matrix rows -> { e with node = Ast.Matrix (List.map (List.map re) rows) }
 
 and resolve_lhs ctx vars (l : Ast.lhs) : Ast.lhs =
   match l.lv_indices with
@@ -72,7 +72,7 @@ and resolve_stmt ctx vars (s : Ast.stmt) : Ast.stmt =
       { s with sdesc = Ast.Assign (l, rhs, display) }
   | Ast.Multi_assign (ls, rhs, display) ->
       let rhs = resolve_expr ctx vars rhs in
-      (match rhs.desc with
+      (match rhs.node with
       | Ast.Call _ -> ()
       | _ ->
           Source.error s.spos

@@ -75,22 +75,22 @@ let version_of ?(ns = "") env base =
 
 let rec rename_expr ctx env (e : Ast.expr) : Ast.expr =
   let re = rename_expr ctx env in
-  match e.desc with
+  match e.node with
   | Ast.Num _ | Ast.Str _ | Ast.Colon | Ast.End_marker -> e
   | Ast.Varref name ->
-      { e with desc = Ast.Varref (version_of ~ns:ctx.ns env name) }
+      { e with node = Ast.Varref (version_of ~ns:ctx.ns env name) }
   | Ast.Index (name, args) ->
-      { e with desc = Ast.Index (version_of ~ns:ctx.ns env name, List.map re args) }
-  | Ast.Call (name, args) -> { e with desc = Ast.Call (name, List.map re args) }
-  | Ast.Binop (op, a, b) -> { e with desc = Ast.Binop (op, re a, re b) }
-  | Ast.Unop (op, a) -> { e with desc = Ast.Unop (op, re a) }
+      { e with node = Ast.Index (version_of ~ns:ctx.ns env name, List.map re args) }
+  | Ast.Call (name, args) -> { e with node = Ast.Call (name, List.map re args) }
+  | Ast.Binop (op, a, b) -> { e with node = Ast.Binop (op, re a, re b) }
+  | Ast.Unop (op, a) -> { e with node = Ast.Unop (op, re a) }
   | Ast.Range (a, step, b) ->
-      { e with desc = Ast.Range (re a, Option.map re step, re b) }
-  | Ast.Matrix rows -> { e with desc = Ast.Matrix (List.map (List.map re) rows) }
+      { e with node = Ast.Range (re a, Option.map re step, re b) }
+  | Ast.Matrix rows -> { e with node = Ast.Matrix (List.map (List.map re) rows) }
   | Ast.Ident name ->
-      Source.error e.epos "unresolved identifier '%s' reached SSA" name
+      Source.error e.ann.pos "unresolved identifier '%s' reached SSA" name
   | Ast.Apply (name, _) ->
-      Source.error e.epos "unresolved application '%s' reached SSA" name
+      Source.error e.ann.pos "unresolved application '%s' reached SSA" name
 
 (* Base names assigned anywhere in a block (including nested blocks). *)
 let rec assigned_in_block acc (b : Ast.block) =

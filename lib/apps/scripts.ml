@@ -134,6 +134,64 @@ fprintf('tc: n=%%d squarings=%%d reachable=%%d\n', n, k, reach);
 |}
     n density
 
+(* --- rank-N tensor applications (beyond the paper's four) -------------- *)
+
+let paper_heat_n = 48
+let paper_heat_m = 32
+let paper_lm_pages = 64
+let paper_lm_m = 24
+
+(* Jacobi relaxation of the 3-D heat equation.  The grid is a rank-3
+   tensor block-distributed over the leading (page) axis: the two
+   stencil shifts along it exercise neighbor communication, the four
+   in-page shifts stay local. *)
+let heat3d ?(n = paper_heat_n) ?(m = paper_heat_m) ?(iters = 30) () =
+  Printf.sprintf
+    {|%% 3-D heat equation: Jacobi relaxation on an n x m x m tensor grid
+n = %d;
+m = %d;
+iters = %d;
+T = zeros(n, m, m);
+T(1, 1:m, 1:m) = ones(m, m);
+for it = 1:iters
+  up = T(1:n-2, 2:m-1, 2:m-1);
+  dn = T(3:n,   2:m-1, 2:m-1);
+  no = T(2:n-1, 1:m-2, 2:m-1);
+  so = T(2:n-1, 3:m,   2:m-1);
+  we = T(2:n-1, 2:m-1, 1:m-2);
+  ea = T(2:n-1, 2:m-1, 3:m);
+  T(2:n-1, 2:m-1, 2:m-1) = (up + dn + no + so + we + ea) ./ 6;
+end
+heat = sum(T);
+peak = max(T);
+core = T(2, 2, 2);
+fprintf('heat3d: n=%%d m=%%d total=%%.6f peak=%%.6f core=%%.6f\n', n, m, heat, peak, core);
+|}
+    n m iters
+
+(* Ensemble of logistic maps over a rank-3 state: pages of independent
+   m x m parameter grids.  The growth-rate matrix broadcasts across the
+   distributed page axis (frame broadcast), so the iteration is pure
+   element-wise work with no communication until the final statistics. *)
+let logistic ?(pages = paper_lm_pages) ?(m = paper_lm_m) ?(iters = 100) () =
+  Printf.sprintf
+    {|%% ensemble of logistic maps over a rank-3 state
+p = %d;
+m = %d;
+iters = %d;
+r = 3.5 + 0.5 .* rand(m, m);
+x = rand(p, m, m);
+for it = 1:iters
+  x = r .* x .* (1 - x);
+end
+xm = mean(x);
+xlo = min(x);
+xhi = max(x);
+x1 = x(1, 1, 1);
+fprintf('logistic: p=%%d m=%%d mean=%%.6f min=%%.6f max=%%.6f x1=%%.6f\n', p, m, xm, xlo, xhi, x1);
+|}
+    pages m iters
+
 type app = {
   name : string;
   key : string;
@@ -180,4 +238,36 @@ let apps =
     };
   ]
 
-let find key = List.find_opt (fun a -> a.key = key) apps
+(* Rank-N tensor applications.  Kept out of [apps] so the paper-shape
+   figures and tables keep reproducing the paper's four benchmarks;
+   [all] adds them to verification and the speedup bench. *)
+let tensor_apps =
+  [
+    {
+      name = "3-D Heat Equation";
+      key = "heat3d";
+      source =
+        (fun pct ->
+          heat3d
+            ~n:(scale_dim pct paper_heat_n)
+            ~m:(scale_dim pct paper_heat_m)
+            ~iters:30 ());
+      capture = [ "T"; "heat"; "peak"; "core" ];
+      grain = "rank-3 stencil, page-axis shifts communicate";
+    };
+    {
+      name = "Logistic-map Ensemble";
+      key = "logistic";
+      source =
+        (fun pct ->
+          logistic
+            ~pages:(scale_dim pct paper_lm_pages)
+            ~m:(scale_dim pct paper_lm_m)
+            ~iters:100 ());
+      capture = [ "x"; "xm"; "xhi"; "x1" ];
+      grain = "rank-3 element-wise, frame broadcast, no comm";
+    };
+  ]
+
+let all = apps @ tensor_apps
+let find key = List.find_opt (fun a -> a.key = key) all

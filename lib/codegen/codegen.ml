@@ -550,6 +550,24 @@ let emit_func buf (f : Spmd.Ir.func) =
 
 (* Emit the whole program as one C translation unit. *)
 let emit_c ?(name = "otter program") (p : Spmd.Ir.prog) : string =
+  (* The C runtime carries only scalars and rows-by-cols matrices; a
+     rank-N tensor anywhere in the program is a clear front-end error
+     rather than a downstream C compile failure. *)
+  let check_vars where vars =
+    List.iter
+      (fun (v, t) ->
+        if Analysis.Ty.is_tensor t then
+          failwith
+            (Printf.sprintf
+               "codegen: '%s' (%s) is a rank-N tensor; the C back end \
+                supports scalars and matrices only"
+               v where))
+      vars
+  in
+  check_vars "script" p.Spmd.Ir.p_vars;
+  List.iter
+    (fun (f : Spmd.Ir.func) -> check_vars f.Spmd.Ir.f_name f.Spmd.Ir.f_vars)
+    p.Spmd.Ir.p_funcs;
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf

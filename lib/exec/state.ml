@@ -11,13 +11,18 @@
 
 open Spmd
 module Dmat = Runtime.Dmat
+module Ndarr = Runtime.Ndarr
 module Ops = Runtime.Ops
 
 exception Runtime_error of string
 
 let error fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
 
-type value = Vscalar of float | Vmat of Dmat.t | Vstr of string
+type value =
+  | Vscalar of float
+  | Vmat of Dmat.t
+  | Vnd of Ndarr.t
+  | Vstr of string
 
 exception Break_exc
 exception Continue_exc
@@ -188,6 +193,9 @@ let mpi_encode op (v : value) : Mpisim.Sim.payload =
         (Array.append
            [| 1.; float_of_int m.Dmat.rows; float_of_int m.Dmat.cols |]
            m.Dmat.data)
+  | Vnd _ ->
+      error
+        "%s: cannot send a tensor; slice it into matrices or scalars first" op
   | Vstr _ -> error "%s: cannot send a string" op
 
 let mpi_decode op (p : Mpisim.Sim.payload) : value =
@@ -207,6 +215,16 @@ let mpi_check_rank op what r =
   if r < 0 || r >= nprocs then
     error "%s: %s rank %d is outside 0..%d" op what r (nprocs - 1)
 
+(* Receives and probes additionally admit the MPI_ANY_SOURCE wildcard,
+   spelled -1 at the MATLAB level. *)
+let mpi_any_source = -1
+
+let mpi_check_source op r =
+  let nprocs = Mpisim.Sim.size () in
+  if r <> mpi_any_source && (r < 0 || r >= nprocs) then
+    error "%s: source rank %d is outside 0..%d (use -1 for any source)" op r
+      (nprocs - 1)
+
 let mpi_send ~dst ~tag (v : value) =
   mpi_check_rank "MPI_Send" "destination" dst;
   Mpisim.Reliable.send ~dst ~tag:(mpi_user_tag tag) (mpi_encode "MPI_Send" v)
@@ -215,11 +233,13 @@ let mpi_send ~dst ~tag (v : value) =
    this tag; a scalar that arrives where the join says matrix (another
    send on the tag ships matrices) is promoted to a 1x1 replica. *)
 let mpi_recv ~src ~tag ~is_matrix : value =
-  mpi_check_rank "MPI_Recv" "source" src;
-  let v =
-    mpi_decode "MPI_Recv"
-      (Mpisim.Reliable.recv ~src ~tag:(mpi_user_tag tag))
+  mpi_check_source "MPI_Recv" src;
+  let payload =
+    if src = mpi_any_source then
+      snd (Mpisim.Reliable.recv_any ~tag:(mpi_user_tag tag))
+    else Mpisim.Reliable.recv ~src ~tag:(mpi_user_tag tag)
   in
+  let v = mpi_decode "MPI_Recv" payload in
   match v with
   | Vscalar f when is_matrix -> Vmat (Dmat.of_full ~rows:1 ~cols:1 [| f |])
   | Vmat _ when not is_matrix ->
@@ -227,7 +247,7 @@ let mpi_recv ~src ~tag ~is_matrix : value =
   | v -> v
 
 let mpi_probe ~src ~tag : float =
-  mpi_check_rank "MPI_Probe" "source" src;
+  mpi_check_source "MPI_Probe" src;
   if Mpisim.Sim.probe ~src ~tag:(mpi_user_tag tag) then 1. else 0.
 
 (* The explicit broadcast.  A distributed operand is executed by every
@@ -262,7 +282,10 @@ let is_lib_call : Ir.inst -> bool = function
 
 (* --- structured results --------------------------------------------------- *)
 
-type captured = Cscalar of float | Cmat of int * int * float array
+type captured =
+  | Cscalar of float
+  | Cmat of int * int * float array
+  | Cnd of int array * float array (* dims, row-major dense data *)
 
 type outcome = {
   output : string;
@@ -348,6 +371,7 @@ type snapshot = {
 
 let copy_value = function
   | Vmat m -> Vmat (Dmat.copy m)
+  | Vnd t -> Vnd (Ndarr.copy t)
   | (Vscalar _ | Vstr _) as v -> v
 
 (* Per-rank checkpoint cursor for one run attempt.  [ck_slots] is the

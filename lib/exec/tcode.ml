@@ -26,13 +26,18 @@
 
 open Spmd
 module Dmat = Runtime.Dmat
+module Ndarr = Runtime.Ndarr
 module Ops = Runtime.Ops
 
 exception Runtime_error = State.Runtime_error
 
 let error = State.error
 
-type value = State.value = Vscalar of float | Vmat of Dmat.t | Vstr of string
+type value = State.value =
+  | Vscalar of float
+  | Vmat of Dmat.t
+  | Vnd of Ndarr.t
+  | Vstr of string
 
 (* --- per-rank shared execution state ------------------------------------- *)
 
@@ -121,6 +126,8 @@ let t_mat = 2
 
 let t_str = 3
 
+let t_nd = 4
+
 let novalue = Vscalar nan
 
 type frame = {
@@ -144,10 +151,15 @@ let setstr fr slot s =
   fr.tags.(slot) <- t_str;
   fr.vals.(slot) <- Vstr s
 
+let setnd fr slot t =
+  fr.tags.(slot) <- t_nd;
+  fr.vals.(slot) <- Vnd t
+
 let setv fr slot = function
   | Vscalar x -> sets fr slot x
   | v ->
-      fr.tags.(slot) <- (match v with Vstr _ -> t_str | _ -> t_mat);
+      fr.tags.(slot) <-
+        (match v with Vstr _ -> t_str | Vnd _ -> t_nd | _ -> t_mat);
       fr.vals.(slot) <- v
 
 let getv fr slot =
@@ -168,6 +180,13 @@ let read_scalar fr slot =
   | 3 ->
       error "variable '%s' is a string where a scalar is required"
         fr.names.(slot)
+  | 4 -> (
+      match fr.vals.(slot) with
+      | Vnd t when Ndarr.numel t = 1 ->
+          Ops.nd_bcast_elem t (Array.make (Ndarr.rank t) 0)
+      | _ ->
+          error "variable '%s' is a tensor where a scalar is required"
+            fr.names.(slot))
   | _ -> error "variable '%s' used before it is defined" fr.names.(slot)
 
 let mat_of fr slot =
@@ -179,9 +198,14 @@ let mat_of fr slot =
   | 3 ->
       error "variable '%s' is a string where a matrix is required"
         fr.names.(slot)
+  | 4 ->
+      error "variable '%s' is a tensor where a matrix is required"
+        fr.names.(slot)
   | _ -> error "variable '%s' used before it is defined" fr.names.(slot)
 
 let dim_of fr slot code =
+  (* codes: 0 numel, 1 rows (trailing cell), 2 cols (trailing cell),
+     3 max over all dims, 4 leading-axis extent *)
   match fr.tags.(slot) with
   | 1 -> 1.
   | 3 -> error "size of a string"
@@ -193,7 +217,15 @@ let dim_of fr slot code =
           | 0 -> float_of_int (Dmat.numel m)
           | 1 -> float_of_int m.Dmat.rows
           | 2 -> float_of_int m.Dmat.cols
+          | 4 -> 1.
           | _ -> float_of_int (max m.Dmat.rows m.Dmat.cols))
+      | Vnd t -> (
+          match code with
+          | 0 -> float_of_int (Ndarr.numel t)
+          | 1 -> float_of_int (Ndarr.cell_rows t)
+          | 2 -> float_of_int (Ndarr.cell_cols t)
+          | 4 -> float_of_int t.Ndarr.dims.(0)
+          | _ -> float_of_int (Array.fold_left max 1 t.Ndarr.dims))
       | _ -> assert false)
 
 (* --- RPN scalar programs --------------------------------------------------- *)
@@ -428,7 +460,7 @@ let compile_sexpr dc (s : Ir.sexpr) : rpn =
               1
         | fid when argc = 1 -> emit 5 fid 0
         | fid -> emit 6 fid (-1))
-    | Ir.Sdim (v, code) -> emit 4 ((slot dc v * 4) lor (code land 3)) 1
+    | Ir.Sdim (v, code) -> emit 4 ((slot dc v * 8) lor (code land 7)) 1
   in
   go s;
   if !maxd + 1 > dc.maxdepth then dc.maxdepth <- !maxd + 1;
@@ -446,7 +478,7 @@ let compile_sexpr dc (s : Ir.sexpr) : rpn =
         fun fr -> read_scalar fr sl
     | Ir.Sdim (v, code) ->
         let sl = slot dc v in
-        let code = code land 3 in
+        let code = code land 7 in
         fun fr -> dim_of fr sl code
     | Ir.Sneg a ->
         let fa = cc a in
@@ -567,6 +599,7 @@ let compile_sexpr dc (s : Ir.sexpr) : rpn =
 type pstep =
   | Pfetch of int * int (* mats.(ix) <- data of matrix at slot *)
   | Peval of int * rpn (* esc.(ix) <- uncharged scalar evaluation *)
+  | Peye (* no-op for matrices; rejected in tree order under a tensor model *)
 
 (* Element opcodes reuse the scalar set, with the pushes redirected:
      0 push esc scratch (index)       1 push mat element (operand index)
@@ -605,7 +638,9 @@ let compile_eexpr dc (e : Ir.eexpr) : eplan =
         incr nmat;
         prelude := Pfetch (ix, slot dc v) :: !prelude;
         emit 1 ix 1
-    | Ir.Eeye -> emit 8 0 1
+    | Ir.Eeye ->
+        prelude := Peye :: !prelude;
+        emit 8 0 1
     | Ir.Escalar s ->
         let ix = !nsc in
         incr nsc;
@@ -672,7 +707,8 @@ let exec_eplan fr (p : eplan) ~(mats : float array array) ~(esc : float array)
                distributed one element-wise; MPI_Bcast the distributed \
                operand first";
           mats.(ix) <- m.Dmat.data
-      | Peval (ix, r) -> esc.(ix) <- exec_rpn fr r)
+      | Peval (ix, r) -> esc.(ix) <- exec_rpn fr r
+      | Peye -> ())
     p.e_prelude;
   let stack = fr.stack in
   let ops = p.e_ops and args = p.e_a in
@@ -694,6 +730,124 @@ let exec_eplan fr (p : eplan) ~(mats : float array array) ~(esc : float array)
           let r, c = Dmat.global_rc_of_local model i in
           stack.(!sp) <- (if r = c then 1.0 else 0.0);
           incr sp
+      | 2 -> stack.(!sp - 1) <- -.stack.(!sp - 1)
+      | 3 -> stack.(!sp - 1) <- of_bool (not (truthy stack.(!sp - 1)))
+      | 5 -> stack.(!sp - 1) <- call1 a stack.(!sp - 1)
+      | 6 ->
+          decr sp;
+          stack.(!sp - 1) <- call2 a stack.(!sp - 1) stack.(!sp)
+      | 7 -> error "%s" p.e_msgs.(a)
+      | 10 ->
+          decr sp;
+          stack.(!sp - 1) <- stack.(!sp - 1) +. stack.(!sp)
+      | 11 ->
+          decr sp;
+          stack.(!sp - 1) <- stack.(!sp - 1) -. stack.(!sp)
+      | 12 ->
+          decr sp;
+          stack.(!sp - 1) <- stack.(!sp - 1) *. stack.(!sp)
+      | 13 ->
+          decr sp;
+          stack.(!sp - 1) <- stack.(!sp - 1) /. stack.(!sp)
+      | 14 ->
+          decr sp;
+          stack.(!sp - 1) <- stack.(!sp) /. stack.(!sp - 1)
+      | 15 ->
+          decr sp;
+          stack.(!sp - 1) <- Float.pow stack.(!sp - 1) stack.(!sp)
+      | 16 ->
+          decr sp;
+          stack.(!sp - 1) <- of_bool (stack.(!sp - 1) < stack.(!sp))
+      | 17 ->
+          decr sp;
+          stack.(!sp - 1) <- of_bool (stack.(!sp - 1) <= stack.(!sp))
+      | 18 ->
+          decr sp;
+          stack.(!sp - 1) <- of_bool (stack.(!sp - 1) > stack.(!sp))
+      | 19 ->
+          decr sp;
+          stack.(!sp - 1) <- of_bool (stack.(!sp - 1) >= stack.(!sp))
+      | 20 ->
+          decr sp;
+          stack.(!sp - 1) <- of_bool (stack.(!sp - 1) = stack.(!sp))
+      | 21 ->
+          decr sp;
+          stack.(!sp - 1) <- of_bool (stack.(!sp - 1) <> stack.(!sp))
+      | 22 ->
+          decr sp;
+          stack.(!sp - 1) <-
+            of_bool (truthy stack.(!sp - 1) && truthy stack.(!sp))
+      | _ ->
+          decr sp;
+          stack.(!sp - 1) <-
+            of_bool (truthy stack.(!sp - 1) || truthy stack.(!sp))
+    done;
+    out.(i) <- stack.(0)
+  done;
+  Mpisim.Sim.flops (float_of_int (len * max 1 p.e_nops))
+
+(* The tensor variant of [exec_eplan]: the loop runs over the model
+   tensor's local elements.  A same-dims tensor operand reads its own
+   local element; a matrix operand whose shape matches the model's
+   trailing cell is frame-broadcast — an [i mod cell] read of its dense
+   form.  [mcell.(ix)] is 0 for a direct read, the broadcast modulus
+   otherwise. *)
+let exec_eplan_nd fr (p : eplan) ~(mats : float array array)
+    ~(mcell : int array) ~(esc : float array) ~(model : Ndarr.t)
+    ~(dst : Ndarr.t) =
+  Array.iter
+    (fun step ->
+      match step with
+      | Pfetch (ix, s) -> (
+          match getv fr s with
+          | Vnd t ->
+              if t.Ndarr.dims <> model.Ndarr.dims then
+                error "nonconformant element-wise tensor operands";
+              if not (Ndarr.same_locality t model) then
+                error
+                  "cannot mix a replicated (message-passing) tensor with a \
+                   distributed one element-wise";
+              mats.(ix) <- t.Ndarr.data;
+              mcell.(ix) <- 0
+          | Vmat m ->
+              if
+                m.Dmat.rows <> Ndarr.cell_rows model
+                || m.Dmat.cols <> Ndarr.cell_cols model
+              then
+                error
+                  "frame broadcast needs a %dx%d matrix matching the tensor \
+                   cell (got %dx%d)"
+                  (Ndarr.cell_rows model) (Ndarr.cell_cols model) m.Dmat.rows
+                  m.Dmat.cols;
+              mats.(ix) <- Dmat.to_dense m;
+              mcell.(ix) <- Ndarr.cell_numel model
+          | Vscalar f ->
+              mats.(ix) <- [| f |];
+              mcell.(ix) <- 1
+          | Vstr _ ->
+              error "variable '%s' is a string in an element-wise loop"
+                fr.names.(s))
+      | Peval (ix, r) -> esc.(ix) <- exec_rpn fr r
+      | Peye -> error "eye has no rank-N form")
+    p.e_prelude;
+  let stack = fr.stack in
+  let ops = p.e_ops and args = p.e_a in
+  let n = Array.length ops in
+  let out = dst.Ndarr.data in
+  let len = Ndarr.local_len dst in
+  for i = 0 to len - 1 do
+    let sp = ref 0 in
+    for k = 0 to n - 1 do
+      let a = args.(k) in
+      match ops.(k) with
+      | 0 ->
+          stack.(!sp) <- esc.(a);
+          incr sp
+      | 1 ->
+          let c = mcell.(a) in
+          stack.(!sp) <- (if c = 0 then mats.(a).(i) else mats.(a).(i mod c));
+          incr sp
+      | 8 -> error "eye has no rank-N form"
       | 2 -> stack.(!sp - 1) <- -.stack.(!sp - 1)
       | 3 -> stack.(!sp - 1) <- of_bool (not (truthy stack.(!sp - 1)))
       | 5 -> stack.(!sp - 1) <- call1 a stack.(!sp - 1)
@@ -838,6 +992,14 @@ let coords fr (m : Dmat.t) (idx : rpn list) =
       (a, b)
   | _ -> error "unsupported number of indices"
 
+(* Full multi-index of a tensor element, 0-based, leading axis first;
+   tensors take exactly one subscript per axis (no linear indexing). *)
+let nd_coords fr (t : Ndarr.t) (idx : rpn list) : int array =
+  if List.length idx <> Ndarr.rank t then
+    error "a rank-%d tensor must be indexed with exactly %d subscripts (got %d)"
+      (Ndarr.rank t) (Ndarr.rank t) (List.length idx);
+  Array.of_list (List.map (fun i -> int_of_float (eval_rpn fr i) - 1) idx)
+
 type dsel =
   | Dall
   | Dscalar of rpn
@@ -884,7 +1046,20 @@ let print_str fr name s =
 
 (* --- section / concat execution (mirrors the walker) ------------------------ *)
 
-let exec_section fr dslot sslot (sels : dsel list) =
+let rec exec_section fr dslot sslot (sels : dsel list) =
+  match getv fr sslot with
+  | Vnd t ->
+      if List.length sels <> Ndarr.rank t then
+        error "a rank-%d tensor must be sectioned with exactly %d subscripts"
+          (Ndarr.rank t) (Ndarr.rank t);
+      let idxs =
+        Array.of_list
+          (List.mapi (fun axis s -> sel_exec fr t.Ndarr.dims.(axis) s) sels)
+      in
+      setnd fr dslot (Ops.nd_section t idxs)
+  | _ -> exec_section_mat fr dslot sslot sels
+
+and exec_section_mat fr dslot sslot (sels : dsel list) =
   let m = mat_of fr sslot in
   match sels with
   | [ s ] ->
@@ -903,7 +1078,51 @@ let exec_section fr dslot sslot (sels : dsel list) =
 
 type dsrc = DSscalar of rpn | DSmat of int
 
-let exec_setsection fr dslot (sels : dsel list) (src : dsrc) =
+let rec exec_setsection fr dslot (sels : dsel list) (src : dsrc) =
+  match getv fr dslot with
+  | Vnd t ->
+      if List.length sels <> Ndarr.rank t then
+        error "a rank-%d tensor must be sectioned with exactly %d subscripts"
+          (Ndarr.rank t) (Ndarr.rank t);
+      let idxs =
+        Array.of_list
+          (List.mapi (fun axis s -> sel_exec fr t.Ndarr.dims.(axis) s) sels)
+      in
+      let n = Array.fold_left (fun acc s -> acc * Array.length s) 1 idxs in
+      let value =
+        match src with
+        | DSscalar r ->
+            let c = eval_rpn fr r in
+            fun _ -> c
+        | DSmat vs -> (
+            match getv fr vs with
+            | Vnd s ->
+                if s.Ndarr.full <> t.Ndarr.full then
+                  error
+                    "section assignment cannot mix a replicated \
+                     (message-passing) tensor with a distributed one";
+                if Ndarr.numel s <> n then
+                  error "section assignment size mismatch";
+                let dense = Ndarr.to_dense s in
+                fun k -> dense.(k)
+            | Vmat s ->
+                (* a matrix source fills the selection in row-major
+                   order when the element counts agree (T(k,:,:) = A) *)
+                if s.Dmat.full <> t.Ndarr.full then
+                  error
+                    "section assignment cannot mix a replicated \
+                     (message-passing) matrix with a distributed tensor";
+                if Dmat.numel s <> n then
+                  error "section assignment size mismatch";
+                let dense = Dmat.to_dense s in
+                fun k -> dense.(k)
+            | Vscalar c -> fun _ -> c
+            | Vstr _ -> error "cannot store a string into a tensor")
+      in
+      Ops.nd_set_section t idxs value
+  | _ -> exec_setsection_mat fr dslot sels src
+
+and exec_setsection_mat fr dslot (sels : dsel list) (src : dsrc) =
   let m = mat_of fr dslot in
   let value =
     match src with
@@ -1034,7 +1253,33 @@ let exec_concat fr dslot grid_rows grid_cols (parts : int list) =
 
 (* --- constructors ------------------------------------------------------------ *)
 
-let exec_construct_t fr dslot (kind : Ir.ckind) (rargs : rpn list) =
+let rec exec_construct_t fr dslot (kind : Ir.ckind) (rargs : rpn list) =
+  match (kind, rargs) with
+  | (Ir.Czeros | Ir.Cones | Ir.Crand | Ir.Crandn), _ :: _ :: _ :: _ ->
+      (* three or more size arguments: a rank-N tensor, distributed
+         over its leading axis.  rand/randn advance the replicated
+         sequence number first, exactly like the matrix forms. *)
+      (match kind with
+      | Ir.Crand | Ir.Crandn -> fr.st.rand_calls <- fr.st.rand_calls + 1
+      | _ -> ());
+      let seed = fr.st.seed + fr.st.rand_calls in
+      let dims =
+        Array.of_list (List.map (fun r -> int_of_float (eval_rpn fr r)) rargs)
+      in
+      let t =
+        match kind with
+        | Ir.Czeros -> Ndarr.create dims
+        | Ir.Cones -> Ndarr.init dims (fun _ -> 1.)
+        | Ir.Crand -> Ndarr.init dims (fun g -> Runtime.Rng.uniform ~seed g)
+        | Ir.Crandn -> Ndarr.init dims (fun g -> Runtime.Rng.normal ~seed g)
+        | _ -> assert false
+      in
+      let len = Ndarr.local_len t in
+      if len > 0 then Mpisim.Sim.flops (float_of_int len);
+      setnd fr dslot t
+  | _ -> exec_construct_mat fr dslot kind rargs
+
+and exec_construct_mat fr dslot (kind : Ir.ckind) (rargs : rpn list) =
   let arg n = List.nth rargs n in
   let dims () =
     match rargs with
@@ -1139,16 +1384,26 @@ let rec decode_inst dc cb ~lp ~fend (i : Ir.inst) =
       let ms = slot dc model in
       let p = compile_eexpr dc expr in
       let mats = Array.make (max 1 p.e_nmat) [||] in
+      let mcell = Array.make (max 1 p.e_nmat) 0 in
       let esc = Array.make (max 1 p.e_nsc) 0. in
       plain cb (Printf.sprintf "elem %s" dst) tid (fun fr ->
-          let m = mat_of fr ms in
-          let r =
-            if m.Dmat.full then
-              Dmat.create_full ~rows:m.Dmat.rows ~cols:m.Dmat.cols
-            else Dmat.create ~rows:m.Dmat.rows ~cols:m.Dmat.cols
-          in
-          exec_eplan fr p ~mats ~esc ~model:m ~dst:r;
-          setm fr d r)
+          match getv fr ms with
+          | Vnd t ->
+              let r =
+                if t.Ndarr.full then Ndarr.create_full t.Ndarr.dims
+                else Ndarr.create t.Ndarr.dims
+              in
+              exec_eplan_nd fr p ~mats ~mcell ~esc ~model:t ~dst:r;
+              setnd fr d r
+          | _ ->
+              let m = mat_of fr ms in
+              let r =
+                if m.Dmat.full then
+                  Dmat.create_full ~rows:m.Dmat.rows ~cols:m.Dmat.cols
+                else Dmat.create ~rows:m.Dmat.rows ~cols:m.Dmat.cols
+              in
+              exec_eplan fr p ~mats ~esc ~model:m ~dst:r;
+              setm fr d r)
   | Ir.Icopy (d, s) ->
       let ds = slot dc d in
       let ss = slot dc s in
@@ -1157,6 +1412,9 @@ let rec decode_inst dc cb ~lp ~fend (i : Ir.inst) =
           | Vmat m ->
               Mpisim.Sim.flops (float_of_int (Dmat.local_len m));
               setm fr ds (Dmat.copy m)
+          | Vnd t ->
+              Mpisim.Sim.flops (float_of_int (Ndarr.local_len t));
+              setnd fr ds (Ndarr.copy t)
           | v -> setv fr ds v)
   | Ir.Imatmul (d, a, b) ->
       let ds = slot dc d and sa = slot dc a and sb = slot dc b in
@@ -1189,8 +1447,15 @@ let rec decode_inst dc cb ~lp ~fend (i : Ir.inst) =
         | Ir.Rmean -> Ops.mean_all
         | _ -> Ops.reduce_all (State.rkind_to_red k)
       in
+      let fnd =
+        match k with
+        | Ir.Rmean -> Ops.nd_mean_all
+        | _ -> Ops.nd_reduce_all (State.rkind_to_red k)
+      in
       lib cb (Printf.sprintf "reduce_all %s" d) tid (fun fr ->
-          sets fr ds (f (mat_of fr sa)))
+          match getv fr sa with
+          | Vnd t -> sets fr ds (fnd t)
+          | _ -> sets fr ds (f (mat_of fr sa)))
   | Ir.Ireduce_cols (d, k, a) ->
       let ds = slot dc d and sa = slot dc a in
       let f =
@@ -1243,9 +1508,12 @@ let rec decode_inst dc cb ~lp ~fend (i : Ir.inst) =
       let ds = slot dc d and ms = slot dc m in
       let ridx = List.map (compile_sexpr dc) idx in
       lib cb (Printf.sprintf "bcast %s" d) tid (fun fr ->
-          let mm = mat_of fr ms in
-          let i, j = coords fr mm ridx in
-          sets fr ds (Ops.bcast_elem mm ~i ~j))
+          match getv fr ms with
+          | Vnd t -> sets fr ds (Ops.nd_bcast_elem t (nd_coords fr t ridx))
+          | _ ->
+              let mm = mat_of fr ms in
+              let i, j = coords fr mm ridx in
+              sets fr ds (Ops.bcast_elem mm ~i ~j))
   | Ir.Ibcast_batch (items, m) ->
       let ms = slot dc m in
       let ditems =
@@ -1290,10 +1558,16 @@ let rec decode_inst dc cb ~lp ~fend (i : Ir.inst) =
       let ridx = List.map (compile_sexpr dc) idx in
       let rv = compile_sexpr dc v in
       lib cb (Printf.sprintf "setelem %s" m) tid (fun fr ->
-          let mm = mat_of fr ms in
-          let i, j = coords fr mm ridx in
-          let value = eval_rpn fr rv in
-          Ops.set_elem mm ~i ~j value)
+          match getv fr ms with
+          | Vnd t ->
+              let ix = nd_coords fr t ridx in
+              let value = eval_rpn fr rv in
+              Ops.nd_set_elem t ix value
+          | _ ->
+              let mm = mat_of fr ms in
+              let i, j = coords fr mm ridx in
+              let value = eval_rpn fr rv in
+              Ops.set_elem mm ~i ~j value)
   | Ir.Iload { dst; file } ->
       let ds = slot dc dst in
       lib cb (Printf.sprintf "load %s" dst) tid (fun fr ->
@@ -1380,10 +1654,16 @@ let rec decode_inst dc cb ~lp ~fend (i : Ir.inst) =
   | Ir.Iprint (name, Ir.Pmat v) ->
       let vs = slot dc v in
       plain cb (Printf.sprintf "print mat %s" v) tid (fun fr ->
-          let m = mat_of fr vs in
-          match Dmat.format_root ~root:0 ~name m with
-          | Some text when is_root fr -> Buffer.add_string fr.st.out text
-          | _ -> ())
+          match getv fr vs with
+          | Vnd t -> (
+              match Ndarr.format_root ~root:0 ~name t with
+              | Some text when is_root fr -> Buffer.add_string fr.st.out text
+              | _ -> ())
+          | _ -> (
+              let m = mat_of fr vs in
+              match Dmat.format_root ~root:0 ~name m with
+              | Some text when is_root fr -> Buffer.add_string fr.st.out text
+              | _ -> ()))
   | Ir.Iprint (name, Ir.Pstr s) ->
       plain cb "print str" tid (fun fr -> print_str fr name s)
   | Ir.Iprintf args -> (
@@ -1529,7 +1809,8 @@ let rec decode_inst dc cb ~lp ~fend (i : Ir.inst) =
           match State.mpi_recv ~src ~tag ~is_matrix with
           | Vscalar f -> sets fr ds f
           | Vmat m -> setm fr ds m
-          | Vstr s -> setstr fr ds s)
+          | Vstr s -> setstr fr ds s
+          | Vnd _ -> assert false (* mpi_decode never builds tensors *))
   | Ir.Impi_bcast (d, root, v) ->
       let ds = slot dc d in
       let rr = compile_sexpr dc root in
@@ -1550,7 +1831,8 @@ let rec decode_inst dc cb ~lp ~fend (i : Ir.inst) =
           match State.mpi_bcast ~root value with
           | Vscalar f -> sets fr ds f
           | Vmat m -> setm fr ds m
-          | Vstr s -> setstr fr ds s)
+          | Vstr s -> setstr fr ds s
+          | Vnd _ -> assert false (* tensors are rejected before transport *))
   | Ir.Impi_probe (d, src, tag) ->
       let ds = slot dc d in
       let rs = compile_sexpr dc src in
@@ -1653,6 +1935,7 @@ and exec_call_t dc fr fname nargs (dargs : darg list) (ret_slots : int list) =
       | Dmarg s -> (
           match getv fr s with
           | Vmat m -> setm cfr pslot (Dmat.copy m) (* call by value *)
+          | Vnd t -> setnd cfr pslot (Ndarr.copy t)
           | v -> setv cfr pslot v))
     fe.fe_params dargs;
   (try run_code fe.fe_code cfr with State.Return_exc -> ());
@@ -1846,7 +2129,10 @@ let exec_top fr ck resume (units : unit_t array) =
 
 (* --- entry points -------------------------------------------------------------- *)
 
-type captured = State.captured = Cscalar of float | Cmat of int * int * float array
+type captured = State.captured =
+  | Cscalar of float
+  | Cmat of int * int * float array
+  | Cnd of int array * float array
 
 type outcome = State.outcome = {
   output : string;
@@ -1939,6 +2225,13 @@ let attempt ?(capture = []) ~seed ~datadir ~machine ~nprocs ~attempt:att
                       | Vmat m ->
                           let dense = Dmat.to_dense m in
                           Some (name, Cmat (m.Dmat.rows, m.Dmat.cols, dense))
+                      | _ -> None)
+                  | 4 -> (
+                      match fr.vals.(s) with
+                      | Vnd t ->
+                          Some
+                            ( name,
+                              Cnd (Array.copy t.Ndarr.dims, Ndarr.to_dense t) )
                       | _ -> None)
                   | _ -> None))
             capture

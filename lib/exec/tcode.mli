@@ -14,9 +14,16 @@ exception Runtime_error of string
 (** Any execution failure: undefined variables, bounds, conformability,
     user [error(...)] calls.  The same exception {!Vm} raises. *)
 
-type value = State.value = Vscalar of float | Vmat of Runtime.Dmat.t | Vstr of string
+type value = State.value =
+  | Vscalar of float
+  | Vmat of Runtime.Dmat.t
+  | Vnd of Runtime.Ndarr.t
+  | Vstr of string
 
-type captured = State.captured = Cscalar of float | Cmat of int * int * float array
+type captured = State.captured =
+  | Cscalar of float
+  | Cmat of int * int * float array
+  | Cnd of int array * float array
 
 type outcome = State.outcome = {
   output : string;

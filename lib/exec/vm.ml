@@ -17,6 +17,7 @@
 
 open Spmd
 module Dmat = Runtime.Dmat
+module Ndarr = Runtime.Ndarr
 module Ops = Runtime.Ops
 
 exception Runtime_error = State.Runtime_error
@@ -26,7 +27,11 @@ exception Return_exc = State.Return_exc
 
 let error = State.error
 
-type value = State.value = Vscalar of float | Vmat of Dmat.t | Vstr of string
+type value = State.value =
+  | Vscalar of float
+  | Vmat of Dmat.t
+  | Vnd of Ndarr.t
+  | Vstr of string
 
 let truthy = State.truthy
 let of_bool = State.of_bool
@@ -59,13 +64,17 @@ let scalar_of fr v =
   match lookup fr v with
   | Vscalar f -> f
   | Vmat m when Dmat.numel m = 1 -> Ops.bcast_elem m ~i:0 ~j:0
+  | Vnd t when Ndarr.numel t = 1 ->
+      Ops.nd_bcast_elem t (Array.make (Ndarr.rank t) 0)
   | Vmat _ -> error "variable '%s' is a matrix where a scalar is required" v
+  | Vnd _ -> error "variable '%s' is a tensor where a scalar is required" v
   | Vstr _ -> error "variable '%s' is a string where a scalar is required" v
 
 let mat_of fr v =
   match lookup fr v with
   | Vmat m -> m
   | Vscalar _ -> error "variable '%s' is a scalar where a matrix is required" v
+  | Vnd _ -> error "variable '%s' is a tensor where a matrix is required" v
   | Vstr _ -> error "variable '%s' is a string where a matrix is required" v
 
 (* --- scalar expression evaluation -------------------------------------- *)
@@ -92,6 +101,9 @@ let rec eval_s fr ops (s : Ir.sexpr) : float =
       incr ops;
       scalar_builtin name (List.map (eval_s fr ops) args)
   | Ir.Sdim (v, code) -> (
+      (* codes: 0 numel, 1 rows (trailing cell), 2 cols (trailing
+         cell), 3 max over all dims, 4 leading-axis extent (1 for
+         scalars and matrices, which have no frame axis) *)
       match lookup fr v with
       | Vscalar _ -> 1.
       | Vstr _ -> error "size of a string"
@@ -100,7 +112,15 @@ let rec eval_s fr ops (s : Ir.sexpr) : float =
           | 0 -> float_of_int (Dmat.numel m)
           | 1 -> float_of_int m.Dmat.rows
           | 2 -> float_of_int m.Dmat.cols
-          | _ -> float_of_int (max m.Dmat.rows m.Dmat.cols)))
+          | 4 -> 1.
+          | _ -> float_of_int (max m.Dmat.rows m.Dmat.cols))
+      | Vnd t -> (
+          match code with
+          | 0 -> float_of_int (Ndarr.numel t)
+          | 1 -> float_of_int (Ndarr.cell_rows t)
+          | 2 -> float_of_int (Ndarr.cell_cols t)
+          | 4 -> float_of_int t.Ndarr.dims.(0)
+          | _ -> float_of_int (Array.fold_left max 1 t.Ndarr.dims)))
 
 let eval_scalar fr s =
   let ops = ref 0 in
@@ -160,20 +180,97 @@ let rec compile_e fr ops (e : Ir.eexpr) (model : Dmat.t) : int -> float =
       let fb = compile_e fr ops b model in
       fun i -> scalar_builtin name [ fa i; fb i ]
 
+(* The tensor variant: the loop runs over the model tensor's local
+   elements.  A same-dims tensor operand reads its own local element; a
+   matrix operand whose shape matches the model's trailing cell is
+   frame-broadcast — replicated over every leading slice, which in the
+   row-major layout is an [i mod cell] read of its dense form. *)
+let rec compile_e_nd fr ops (e : Ir.eexpr) (model : Ndarr.t) : int -> float =
+  match e with
+  | Ir.Emat v -> (
+      match lookup fr v with
+      | Vnd t ->
+          if t.Ndarr.dims <> model.Ndarr.dims then
+            error "nonconformant element-wise tensor operands";
+          if not (Ndarr.same_locality t model) then
+            error
+              "cannot mix a replicated (message-passing) tensor with a \
+               distributed one element-wise";
+          let data = t.Ndarr.data in
+          fun i -> data.(i)
+      | Vmat m ->
+          if
+            m.Dmat.rows <> Ndarr.cell_rows model
+            || m.Dmat.cols <> Ndarr.cell_cols model
+          then
+            error
+              "frame broadcast needs a %dx%d matrix matching the tensor cell \
+               (got %dx%d)"
+              (Ndarr.cell_rows model) (Ndarr.cell_cols model) m.Dmat.rows
+              m.Dmat.cols;
+          let dense = Dmat.to_dense m in
+          let cell = Ndarr.cell_numel model in
+          fun i -> dense.(i mod cell)
+      | Vscalar f -> fun _ -> f
+      | Vstr _ -> error "variable '%s' is a string in an element-wise loop" v)
+  | Ir.Eeye -> error "eye has no rank-N form"
+  | Ir.Escalar s ->
+      let c = eval_s fr (ref 0) s in
+      fun _ -> c
+  | Ir.Ebin (op, a, b) ->
+      incr ops;
+      let fa = compile_e_nd fr ops a model in
+      let fb = compile_e_nd fr ops b model in
+      fun i -> scalar_binop op (fa i) (fb i)
+  | Ir.Eneg a ->
+      incr ops;
+      let fa = compile_e_nd fr ops a model in
+      fun i -> -.fa i
+  | Ir.Enot a ->
+      incr ops;
+      let fa = compile_e_nd fr ops a model in
+      fun i -> of_bool (not (truthy (fa i)))
+  | Ir.Ecall1 (name, a) ->
+      incr ops;
+      let fa = compile_e_nd fr ops a model in
+      fun i -> scalar_builtin name [ fa i ]
+  | Ir.Ecall2 (name, a, b) ->
+      incr ops;
+      let fa = compile_e_nd fr ops a model in
+      let fb = compile_e_nd fr ops b model in
+      fun i -> scalar_builtin name [ fa i; fb i ]
+
 let exec_elem fr ~dst ~model expr =
-  let m = mat_of fr model in
-  let ops = ref 0 in
-  let f = compile_e fr ops expr m in
-  let r =
-    if m.Dmat.full then Dmat.create_full ~rows:m.Dmat.rows ~cols:m.Dmat.cols
-    else Dmat.create ~rows:m.Dmat.rows ~cols:m.Dmat.cols
-  in
-  let len = Dmat.local_len r in
-  for i = 0 to len - 1 do
-    r.Dmat.data.(i) <- f i
-  done;
-  Mpisim.Sim.flops (float_of_int (len * max 1 !ops));
-  Hashtbl.replace fr.env dst (Vmat r)
+  match lookup fr model with
+  | Vmat m ->
+      let ops = ref 0 in
+      let f = compile_e fr ops expr m in
+      let r =
+        if m.Dmat.full then
+          Dmat.create_full ~rows:m.Dmat.rows ~cols:m.Dmat.cols
+        else Dmat.create ~rows:m.Dmat.rows ~cols:m.Dmat.cols
+      in
+      let len = Dmat.local_len r in
+      for i = 0 to len - 1 do
+        r.Dmat.data.(i) <- f i
+      done;
+      Mpisim.Sim.flops (float_of_int (len * max 1 !ops));
+      Hashtbl.replace fr.env dst (Vmat r)
+  | Vnd t ->
+      let ops = ref 0 in
+      let f = compile_e_nd fr ops expr t in
+      let r =
+        if t.Ndarr.full then Ndarr.create_full t.Ndarr.dims
+        else Ndarr.create t.Ndarr.dims
+      in
+      let len = Ndarr.local_len r in
+      for i = 0 to len - 1 do
+        r.Ndarr.data.(i) <- f i
+      done;
+      Mpisim.Sim.flops (float_of_int (len * max 1 !ops));
+      Hashtbl.replace fr.env dst (Vnd r)
+  | Vscalar _ | Vstr _ ->
+      error "element-wise model '%s' is not a matrix or tensor" model
 
 (* --- indices ------------------------------------------------------------ *)
 
@@ -191,6 +288,14 @@ let elem_coords fr (m : Dmat.t) idx =
       let b = int_of_float (eval_scalar fr j) - 1 in
       (a, b)
   | _ -> error "unsupported number of indices"
+
+(* Full multi-index of a tensor element, 0-based, leading axis first;
+   tensors take exactly one subscript per axis (no linear indexing). *)
+let nd_coords fr (t : Ndarr.t) idx : int array =
+  if List.length idx <> Ndarr.rank t then
+    error "a rank-%d tensor must be indexed with exactly %d subscripts (got %d)"
+      (Ndarr.rank t) (Ndarr.rank t) (List.length idx);
+  Array.of_list (List.map (fun i -> int_of_float (eval_scalar fr i) - 1) idx)
 
 let sel_indices fr (extent : int) (s : Ir.sel) : int array =
   match s with
@@ -236,6 +341,9 @@ let rec exec_inst fr (i : Ir.inst) =
           (* memory traffic of the copy, at roughly one word per flop *)
           Mpisim.Sim.flops (float_of_int (Dmat.local_len m));
           Hashtbl.replace fr.env d (Vmat (Dmat.copy m))
+      | Vnd t ->
+          Mpisim.Sim.flops (float_of_int (Ndarr.local_len t));
+          Hashtbl.replace fr.env d (Vnd (Ndarr.copy t))
       | v -> Hashtbl.replace fr.env d v)
   | Ir.Imatmul (d, a, b) ->
       Hashtbl.replace fr.env d (Vmat (Ops.matmul (mat_of fr a) (mat_of fr b)))
@@ -250,11 +358,17 @@ let rec exec_inst fr (i : Ir.inst) =
   | Ir.Iouter (d, a, b) ->
       Hashtbl.replace fr.env d (Vmat (Ops.outer (mat_of fr a) (mat_of fr b)))
   | Ir.Ireduce_all (d, k, a) ->
-      let m = mat_of fr a in
       let v =
-        match k with
-        | Ir.Rmean -> Ops.mean_all m
-        | _ -> Ops.reduce_all (rkind_to_red k) m
+        match lookup fr a with
+        | Vnd t -> (
+            match k with
+            | Ir.Rmean -> Ops.nd_mean_all t
+            | _ -> Ops.nd_reduce_all (rkind_to_red k) t)
+        | _ -> (
+            let m = mat_of fr a in
+            match k with
+            | Ir.Rmean -> Ops.mean_all m
+            | _ -> Ops.reduce_all (rkind_to_red k) m)
       in
       Hashtbl.replace fr.env d (Vscalar v)
   | Ir.Ireduce_cols (d, k, a) ->
@@ -289,10 +403,15 @@ let rec exec_inst fr (i : Ir.inst) =
   | Ir.Ishift (d, s, k) ->
       let k = int_of_float (eval_scalar fr k) in
       Hashtbl.replace fr.env d (Vmat (Ops.circshift (mat_of fr s) k))
-  | Ir.Ibcast (d, m, idx) ->
-      let mm = mat_of fr m in
-      let i, j = elem_coords fr mm idx in
-      Hashtbl.replace fr.env d (Vscalar (Ops.bcast_elem mm ~i ~j))
+  | Ir.Ibcast (d, m, idx) -> (
+      match lookup fr m with
+      | Vnd t ->
+          Hashtbl.replace fr.env d
+            (Vscalar (Ops.nd_bcast_elem t (nd_coords fr t idx)))
+      | _ ->
+          let mm = mat_of fr m in
+          let i, j = elem_coords fr mm idx in
+          Hashtbl.replace fr.env d (Vscalar (Ops.bcast_elem mm ~i ~j)))
   | Ir.Ibcast_batch (items, m) ->
       let mm = mat_of fr m in
       let coords = List.map (fun (_, idx) -> elem_coords fr mm idx) items in
@@ -315,11 +434,17 @@ let rec exec_inst fr (i : Ir.inst) =
       List.iteri
         (fun k (d, _) -> Hashtbl.replace fr.env d (Vscalar values.(k)))
         items
-  | Ir.Isetelem (m, idx, v) ->
-      let mm = mat_of fr m in
-      let i, j = elem_coords fr mm idx in
-      let value = eval_scalar fr v in
-      Ops.set_elem mm ~i ~j value
+  | Ir.Isetelem (m, idx, v) -> (
+      match lookup fr m with
+      | Vnd t ->
+          let ix = nd_coords fr t idx in
+          let value = eval_scalar fr v in
+          Ops.nd_set_elem t ix value
+      | _ ->
+          let mm = mat_of fr m in
+          let i, j = elem_coords fr mm idx in
+          let value = eval_scalar fr v in
+          Ops.set_elem mm ~i ~j value)
   | Ir.Iload { dst; file } -> (
       let path = Filename.concat fr.datadir file in
       match Mlang.Datafile.read path with
@@ -352,10 +477,16 @@ let rec exec_inst fr (i : Ir.inst) =
   | Ir.Iprint (name, Ir.Pmat v) -> (
       (* [format_root ~name:""] already omits the "name =" header for
          disp, so the text is used as is. *)
-      let m = mat_of fr v in
-      match Dmat.format_root ~root:0 ~name m with
-      | Some text when is_root () -> Buffer.add_string fr.out text
-      | _ -> ())
+      match lookup fr v with
+      | Vnd t -> (
+          match Ndarr.format_root ~root:0 ~name t with
+          | Some text when is_root () -> Buffer.add_string fr.out text
+          | _ -> ())
+      | _ -> (
+          let m = mat_of fr v in
+          match Dmat.format_root ~root:0 ~name m with
+          | Some text when is_root () -> Buffer.add_string fr.out text
+          | _ -> ()))
   | Ir.Iprint (name, Ir.Pstr s) ->
       if is_root () then
         if name = "" then Buffer.add_string fr.out (s ^ "\n")
@@ -441,6 +572,33 @@ let rec exec_inst fr (i : Ir.inst) =
   | Ir.Ireturn -> raise Return_exc
 
 and exec_construct fr dst kind args =
+  match (kind, args) with
+  | (Ir.Czeros | Ir.Cones | Ir.Crand | Ir.Crandn), _ :: _ :: _ :: _ ->
+      (* three or more size arguments: a rank-N tensor, distributed
+         over its leading axis.  rand/randn advance the replicated
+         sequence number first, exactly like the matrix forms. *)
+      (match kind with
+      | Ir.Crand | Ir.Crandn -> fr.rand_calls <- fr.rand_calls + 1
+      | _ -> ());
+      let seed = fr.seed + fr.rand_calls in
+      let dims =
+        Array.of_list
+          (List.map (fun a -> int_of_float (eval_scalar fr a)) args)
+      in
+      let t =
+        match kind with
+        | Ir.Czeros -> Ndarr.create dims
+        | Ir.Cones -> Ndarr.init dims (fun _ -> 1.)
+        | Ir.Crand -> Ndarr.init dims (fun g -> Runtime.Rng.uniform ~seed g)
+        | Ir.Crandn -> Ndarr.init dims (fun g -> Runtime.Rng.normal ~seed g)
+        | _ -> assert false
+      in
+      let len = Ndarr.local_len t in
+      if len > 0 then Mpisim.Sim.flops (float_of_int len);
+      Hashtbl.replace fr.env dst (Vnd t)
+  | _ -> exec_construct_mat fr dst kind args
+
+and exec_construct_mat fr dst kind args =
   let arg n = List.nth args n in
   let dims () =
     match args with
@@ -498,6 +656,20 @@ and exec_construct fr dst kind args =
   Hashtbl.replace fr.env dst (Vmat m)
 
 and exec_section fr dst src sels =
+  match lookup fr src with
+  | Vnd t ->
+      if List.length sels <> Ndarr.rank t then
+        error
+          "a rank-%d tensor must be sectioned with exactly %d subscripts"
+          (Ndarr.rank t) (Ndarr.rank t);
+      let idxs =
+        Array.of_list
+          (List.mapi (fun axis s -> sel_indices fr t.Ndarr.dims.(axis) s) sels)
+      in
+      Hashtbl.replace fr.env dst (Vnd (Ops.nd_section t idxs))
+  | _ -> exec_section_mat fr dst src sels
+
+and exec_section_mat fr dst src sels =
   let m = mat_of fr src in
   match sels with
   | [ s ] ->
@@ -517,6 +689,51 @@ and exec_section fr dst src sels =
 (* dst(sels) = src: every rank walks the selected positions and the
    owner of each target element stores the value (owner computes). *)
 and exec_setsection fr dst sels src =
+  match lookup fr dst with
+  | Vnd t ->
+      if List.length sels <> Ndarr.rank t then
+        error
+          "a rank-%d tensor must be sectioned with exactly %d subscripts"
+          (Ndarr.rank t) (Ndarr.rank t);
+      let idxs =
+        Array.of_list
+          (List.mapi (fun axis s -> sel_indices fr t.Ndarr.dims.(axis) s) sels)
+      in
+      let n = Array.fold_left (fun acc s -> acc * Array.length s) 1 idxs in
+      let value =
+        match src with
+        | Ir.Ascalar s ->
+            let c = eval_scalar fr s in
+            fun _ -> c
+        | Ir.Amat v -> (
+            match lookup fr v with
+            | Vnd s ->
+                if s.Ndarr.full <> t.Ndarr.full then
+                  error
+                    "section assignment cannot mix a replicated \
+                     (message-passing) tensor with a distributed one";
+                if Ndarr.numel s <> n then
+                  error "section assignment size mismatch";
+                let dense = Ndarr.to_dense s in
+                fun k -> dense.(k)
+            | Vmat s ->
+                (* a matrix source fills the selection in row-major
+                   order when the element counts agree (T(k,:,:) = A) *)
+                if s.Dmat.full <> t.Ndarr.full then
+                  error
+                    "section assignment cannot mix a replicated \
+                     (message-passing) matrix with a distributed tensor";
+                if Dmat.numel s <> n then
+                  error "section assignment size mismatch";
+                let dense = Dmat.to_dense s in
+                fun k -> dense.(k)
+            | Vscalar c -> fun _ -> c
+            | Vstr _ -> error "cannot store a string into a tensor")
+      in
+      Ops.nd_set_section t idxs value
+  | _ -> exec_setsection_mat fr dst sels src
+
+and exec_setsection_mat fr dst sels src =
   let m = mat_of fr dst in
   let value =
     match src with
@@ -677,6 +894,7 @@ and exec_call fr rets name args =
         | Ir.Amat v -> (
             match lookup fr v with
             | Vmat m -> Vmat (Dmat.copy m) (* call by value *)
+            | Vnd t -> Vnd (Ndarr.copy t)
             | other -> other)
       in
       Hashtbl.replace callee.env p v)
@@ -793,7 +1011,10 @@ let exec_top fr ck resume (body : Ir.block) =
 
 (* --- entry points -------------------------------------------------------- *)
 
-type captured = State.captured = Cscalar of float | Cmat of int * int * float array
+type captured = State.captured =
+  | Cscalar of float
+  | Cmat of int * int * float array
+  | Cnd of int array * float array
 
 type outcome = State.outcome = {
   output : string;
@@ -888,6 +1109,8 @@ let attempt ?(capture = []) ~seed ~datadir ~machine ~nprocs ~attempt:att
               | Some (Vmat m) ->
                   let dense = Dmat.to_dense m in
                   Some (name, Cmat (m.Dmat.rows, m.Dmat.cols, dense))
+              | Some (Vnd t) ->
+                  Some (name, Cnd (Array.copy t.Ndarr.dims, Ndarr.to_dense t))
               | Some (Vstr _) | None -> None)
             capture
         in

@@ -6,9 +6,16 @@ exception Runtime_error of string
 (** Any execution failure: undefined variables, bounds, conformability,
     user [error(...)] calls. *)
 
-type value = State.value = Vscalar of float | Vmat of Runtime.Dmat.t | Vstr of string
+type value = State.value =
+  | Vscalar of float
+  | Vmat of Runtime.Dmat.t
+  | Vnd of Runtime.Ndarr.t
+  | Vstr of string
 
-type captured = State.captured = Cscalar of float | Cmat of int * int * float array
+type captured = State.captured =
+  | Cscalar of float
+  | Cmat of int * int * float array
+  | Cnd of int array * float array
 (** A variable's final value, gathered dense (row-major). *)
 
 type outcome = State.outcome = {

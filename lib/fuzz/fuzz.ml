@@ -25,8 +25,15 @@ let procs = [ 1; 2; 3; 4 ]
 let cc_available =
   lazy (Sys.command "cc --version > /dev/null 2>&1" = 0)
 
-(* The sequential C back end refuses explicit message passing, so the
-   C leg only runs for scripts that never mention an MPI builtin. *)
+(* The sequential C back end refuses explicit message passing and
+   rank-N tensors, so the C leg only runs for scripts that never
+   mention an MPI builtin and whose inferred types stay on the
+   scalar/matrix floor of the lattice. *)
+let has_tensor (c : Otter.compiled) : bool =
+  Hashtbl.fold
+    (fun _ t acc -> acc || Analysis.Ty.is_tensor t)
+    c.Otter.info.Analysis.Infer.var_ty false
+
 let uses_mpi (script : string) : bool =
   let needle = "MPI_" in
   let nh = String.length script and nn = String.length needle in
@@ -238,7 +245,11 @@ let check_case ?(use_cc = true) (script : string) : case_result =
           match vm_failure with
           | Some d -> Fail d
           | None ->
-              if use_cc && (not (uses_mpi script)) && Lazy.force cc_available
+              if
+                use_cc
+                && (not (uses_mpi script))
+                && (not (has_tensor c))
+                && Lazy.force cc_available
               then
                 match check_c_leg c ref_run.Exec.State.output with
                 | Some d -> Fail d
@@ -253,7 +264,7 @@ type run_result =
   | All_passed of stats
   | Counterexample of { script : string; detail : string; shrink_steps : int }
 
-let run_random ?(use_cc = true) ~cases ~seed () : run_result =
+let run_random ?(use_cc = true) ?(rank3 = false) ~cases ~seed () : run_result =
   let passed = ref 0 and discarded = ref 0 in
   let last_fail = ref "" in
   let prop s =
@@ -271,7 +282,8 @@ let run_random ?(use_cc = true) ~cases ~seed () : run_result =
   let cell =
     QCheck2.Test.make_cell ~count:cases ~name:"differential"
       ~print:(fun s -> s)
-      Gen.script prop
+      (if rank3 then Gen.script_rank3 else Gen.script)
+      prop
   in
   let rand = Random.State.make [| seed |] in
   let result = QCheck2.Test.check_cell ~rand cell in

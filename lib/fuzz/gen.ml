@@ -20,7 +20,10 @@ module G = QCheck2.Gen
 
 let ( let* ) = G.( let* )
 
-type kind = Kscalar | Kmat of int * int
+type kind =
+  | Kscalar
+  | Kmat of int * int
+  | Ktens of int * int * int (* pages x rows x cols, rank-3 grammar only *)
 
 type env = {
   vars : (string * kind) list; (* newest first *)
@@ -30,9 +33,10 @@ type env = {
          can make the loop non-terminating) *)
   counter : int;
   funcs : string list; (* generated helper functions, arity 1 *)
+  rank3 : bool; (* admit rank-3 tensor statements into the grammar *)
 }
 
-let empty_env = { vars = []; ro = []; counter = 0; funcs = [] }
+let empty_env = { vars = []; ro = []; counter = 0; funcs = []; rank3 = false }
 
 let fresh env prefix =
   let name = Printf.sprintf "%s%d" prefix (env.counter + 1) in
@@ -53,6 +57,11 @@ let empties env =
     env.vars
 
 let vectors env = List.filter (fun (_, r, c) -> r = 1 || c = 1) (mats env)
+
+let tens env =
+  List.filter_map
+    (function n, Ktens (p, r, c) -> Some (n, p, r, c) | _ -> None)
+    env.vars
 
 (* --- scalar expressions -------------------------------------------------- *)
 
@@ -107,6 +116,23 @@ let rec sexpr env depth : string G.t =
                  else if c = 1 then Printf.sprintf "%s(%d)" n i
                  else Printf.sprintf "%s(%d, %d)" n i j) );
           ])
+      @ (match tens env with
+        | [] -> []
+        | ts ->
+            [
+              (* full reduction of a tensor to a scalar *)
+              ( 2,
+                let* n, _, _, _ = G.oneofl ts in
+                let* red = G.oneofl [ "sum"; "mean"; "max"; "min" ] in
+                G.return (Printf.sprintf "%s(%s)" red n) );
+              (* in-bounds element read *)
+              ( 2,
+                let* n, p, r, c = G.oneofl ts in
+                let* i = G.int_range 1 p in
+                let* j = G.int_range 1 r in
+                let* k = G.int_range 1 c in
+                G.return (Printf.sprintf "%s(%d, %d, %d)" n i j k) );
+            ])
       @
       match env.funcs with
       | [] -> []
@@ -319,6 +345,68 @@ let section_stmt env : stmt G.t =
         ( [ Printf.sprintf "%s = %s(1:%d, 1:%d);" name src k k2 ],
           { env with vars = (name, Kmat (k, k2)) :: env.vars } )
 
+(* --- rank-3 tensors (enabled by [env.rank3]) ------------------------------ *)
+
+(* Tensors are block-distributed over the leading (page) axis, so the
+   grammar sticks to the operations with bit-identical parallel
+   semantics: element-wise combination with equal-shape tensors,
+   frame-broadcast against a cell-shaped matrix or a scalar,
+   rank-preserving leading-axis sections, full reductions, and single
+   element reads/writes. *)
+
+let tensor_construct_stmt env : stmt G.t =
+  let name, env = fresh env "t" in
+  let* kind = G.oneofl [ "zeros"; "ones" ] in
+  let* p = G.int_range 1 3 in
+  let* r = G.int_range 1 3 in
+  let* c = G.int_range 1 3 in
+  G.return
+    ( [ Printf.sprintf "%s = %s(%d, %d, %d);" name kind p r c ],
+      { env with vars = (name, Ktens (p, r, c)) :: env.vars } )
+
+(* element-wise expression over tensors of one shape: a same-shape
+   tensor peer, a frame-broadcast cell matrix, or a scalar *)
+let tensor_elemwise_rhs env (p, r, c) : string G.t =
+  let peers =
+    List.filter_map
+      (function
+        | n, Ktens (p', r', c') when p' = p && r' = r && c' = c -> Some n
+        | _ -> None)
+      env.vars
+  in
+  let cells =
+    List.filter_map
+      (function n, Kmat (r', c') when r' = r && c' = c -> Some n | _ -> None)
+      env.vars
+  in
+  let* t1 = G.oneofl peers in
+  let* op = G.oneofl [ ".*"; "+"; "-"; "./" ] in
+  let* rhs =
+    G.frequency
+      ((2, sexpr env 1)
+      :: ((match peers with [] -> [] | _ -> [ (3, G.oneofl peers) ])
+         @ match cells with [] -> [] | _ -> [ (3, G.oneofl cells) ]))
+  in
+  G.return (Printf.sprintf "%s %s %s" t1 op rhs)
+
+let tensor_elemwise_stmt env : stmt G.t =
+  let* _, p, r, c = G.oneofl (tens env) in
+  let* rhs = tensor_elemwise_rhs env (p, r, c) in
+  let name, env = fresh env "t" in
+  G.return
+    ( [ Printf.sprintf "%s = %s;" name rhs ],
+      { env with vars = (name, Ktens (p, r, c)) :: env.vars } )
+
+(* rank-preserving section along the distributed leading axis *)
+let tensor_section_stmt env : stmt G.t =
+  let* src, p, r, c = G.oneofl (tens env) in
+  let* lo = G.int_range 1 p in
+  let* hi = G.int_range lo p in
+  let name, env = fresh env "t" in
+  G.return
+    ( [ Printf.sprintf "%s = %s(%d:%d, :, :);" name src lo hi ],
+      { env with vars = (name, Ktens (hi - lo + 1, r, c)) :: env.vars } )
+
 let scalar_stmt env : stmt G.t =
   let name, env = fresh env "s" in
   let* e = sexpr env 2 in
@@ -446,7 +534,27 @@ let mutate_stmt env : string G.t =
             G.return (Printf.sprintf "%s = %s;" n rhs) );
         ]
   in
-  match reassign_scalar @ setelem @ setsection @ reassign_mat with
+  let tensor_mut =
+    match tens env with
+    | [] -> []
+    | ts ->
+        [
+          (* single element write *)
+          ( 2,
+            let* n, p, r, c = G.oneofl ts in
+            let* i = G.int_range 1 p in
+            let* j = G.int_range 1 r in
+            let* k = G.int_range 1 c in
+            let* e = sexpr env 1 in
+            G.return (Printf.sprintf "%s(%d, %d, %d) = %s;" n i j k e) );
+          (* shape-preserving element-wise reassignment *)
+          ( 1,
+            let* n, p, r, c = G.oneofl ts in
+            let* rhs = tensor_elemwise_rhs env (p, r, c) in
+            G.return (Printf.sprintf "%s = %s;" n rhs) );
+        ]
+  in
+  match reassign_scalar @ setelem @ setsection @ reassign_mat @ tensor_mut with
   | [] -> G.return "" (* nothing mutable yet *)
   | choices -> G.frequency choices
 
@@ -552,7 +660,12 @@ let stmt env : stmt G.t =
     @ (if has_vecs then [ (2, vec_op_stmt env) ] else [])
     @ (if has_full then [ (1, colreduce_stmt env) ] else [])
     @ (if has_matmul then [ (2, matmul_stmt env) ] else [])
-    @ if has_concat then [ (2, concat_stmt env) ] else [])
+    @ (if has_concat then [ (2, concat_stmt env) ] else [])
+    @ (if env.rank3 then [ (2, tensor_construct_stmt env) ] else [])
+    @
+    if tens env <> [] then
+      [ (3, tensor_elemwise_stmt env); (2, tensor_section_stmt env) ]
+    else [])
 
 let rec stmts env n : (string list * env) G.t =
   if n <= 0 then G.return ([], env)
@@ -578,7 +691,17 @@ let epilogue env : string list =
               List.init c (fun j ->
                   Printf.sprintf "fprintf('%%.17g\\n', %s(%d, %d));" n (i + 1)
                     (j + 1)))
-            (List.init r (fun i -> i)))
+            (List.init r (fun i -> i))
+      | Ktens (p, r, c) ->
+          List.concat_map
+            (fun g ->
+              List.concat_map
+                (fun i ->
+                  List.init c (fun j ->
+                      Printf.sprintf "fprintf('%%.17g\\n', %s(%d, %d, %d));" n
+                        (g + 1) (i + 1) (j + 1)))
+                (List.init r (fun i -> i)))
+            (List.init p (fun g -> g)))
     (List.rev env.vars)
 
 let helper_func name : string list G.t =
@@ -587,13 +710,15 @@ let helper_func name : string list G.t =
   G.return
     [ Printf.sprintf "function r = %s(x)" name; Printf.sprintf "r = %s;" e ]
 
-let script : string G.t =
+let script_with ~rank3 : string G.t =
   let* with_func = G.frequency [ (3, G.return false); (1, G.return true) ] in
-  let env =
-    if with_func then { empty_env with funcs = [ "uf" ] } else empty_env
-  in
+  let env = { empty_env with rank3 } in
+  let env = if with_func then { env with funcs = [ "uf" ] } else env in
   let* n = G.int_range 3 12 in
   let* lines, env = stmts env n in
   let* func_lines = if with_func then helper_func "uf" else G.return [] in
   let all = lines @ epilogue env @ func_lines in
   G.return (String.concat "\n" all ^ "\n")
+
+let script : string G.t = script_with ~rank3:false
+let script_rank3 : string G.t = script_with ~rank3:true

@@ -16,7 +16,13 @@ exception Runtime_error of string
 
 let error fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
 
-type value = Scalar of float | Mat of Dense.t | Str of string
+type value =
+  | Scalar of float
+  | Mat of Dense.t
+  | Nd of Runtime.Nd.t (* rank >= 3; trailing two dims are the cell *)
+  | Str of string
+
+module Nda = Runtime.Nd
 
 exception Break_exc
 exception Continue_exc
@@ -42,21 +48,28 @@ let of_bool b = if b then 1. else 0.
 let truthy = function
   | Scalar f -> truthy_scalar f
   | Mat m -> Dense.numel m > 0 && Array.for_all (fun x -> x <> 0.) m.Dense.data
+  | Nd t -> Nda.numel t > 0 && Array.for_all (fun x -> x <> 0.) t.Nda.data
   | Str s -> s <> ""
 
 (* Normalize 1x1 matrices to scalars. *)
 let mat (m : Dense.t) : value =
   if Dense.numel m = 1 then Scalar m.Dense.data.(0) else Mat m
 
+(* Same normalization for tensors, so a fully collapsed section
+   behaves like the replicated scalar compiled code produces. *)
+let nd (t : Nda.t) : value = if Nda.numel t = 1 then Scalar t.Nda.data.(0) else Nd t
+
 let to_dense = function
   | Mat m -> m
   | Scalar f -> { Dense.rows = 1; cols = 1; data = [| f |] }
+  | Nd _ -> error "tensor used where a matrix is required"
   | Str _ -> error "string used as a numeric value"
 
 let as_scalar = function
   | Scalar f -> f
   | Mat m when Dense.numel m = 1 -> m.Dense.data.(0)
   | Mat _ -> error "matrix used where a scalar is required"
+  | Nd _ -> error "tensor used where a scalar is required"
   | Str _ -> error "string used where a scalar is required"
 
 let lookup fr v =
@@ -86,6 +99,16 @@ let scalar_binop (op : Ast.binop) a b =
 (* Element-wise application with scalar broadcasting; each operation
    makes one pass over the data (no fusion: this is what interpreters
    and library-call translators do, and what their cost models charge). *)
+(* Frame broadcasting (Remora-style): a matrix operand combined with a
+   tensor is lifted over the tensor's leading axes; in row-major layout
+   the cell element for tensor offset g is simply g mod cell_numel. *)
+let frame_cell (t : Nda.t) (m : Dense.t) =
+  if m.Dense.rows <> Nda.cell_rows t || m.Dense.cols <> Nda.cell_cols t then
+    error "nonconformant operands (%dx%d cell vs %dx%d matrix)"
+      (Nda.cell_rows t) (Nda.cell_cols t) m.Dense.rows m.Dense.cols;
+  let cell = Nda.cell_numel t in
+  fun g -> m.Dense.data.(g mod cell)
+
 let broadcast2 fr op a b =
   match (a, b) with
   | Scalar x, Scalar y -> Scalar (scalar_binop op x y)
@@ -98,6 +121,28 @@ let broadcast2 fr op a b =
   | Mat ma, Mat mb ->
       Cost.charge_elem fr.cost ~elems:(Dense.numel ma) ~ops:1;
       mat (Dense.map2 (fun x y -> scalar_binop op x y) ma mb)
+  | Nd t, Scalar y ->
+      Cost.charge_elem fr.cost ~elems:(Nda.numel t) ~ops:1;
+      nd (Nda.map (fun x -> scalar_binop op x y) t)
+  | Scalar x, Nd t ->
+      Cost.charge_elem fr.cost ~elems:(Nda.numel t) ~ops:1;
+      nd (Nda.map (fun y -> scalar_binop op x y) t)
+  | Nd ta, Nd tb ->
+      Cost.charge_elem fr.cost ~elems:(Nda.numel ta) ~ops:1;
+      (try nd (Nda.map2 (fun x y -> scalar_binop op x y) ta tb)
+       with Invalid_argument m -> error "%s" m)
+  | Nd t, Mat m ->
+      Cost.charge_elem fr.cost ~elems:(Nda.numel t) ~ops:1;
+      let cell = frame_cell t m in
+      nd
+        (Nda.init t.Nda.dims (fun g ->
+             scalar_binop op t.Nda.data.(g) (cell g)))
+  | Mat m, Nd t ->
+      Cost.charge_elem fr.cost ~elems:(Nda.numel t) ~ops:1;
+      let cell = frame_cell t m in
+      nd
+        (Nda.init t.Nda.dims (fun g ->
+             scalar_binop op (cell g) t.Nda.data.(g)))
   | (Str _, _ | _, Str _) -> error "arithmetic on strings"
 
 let eval_binop fr op a b =
@@ -116,6 +161,8 @@ let eval_binop fr op a b =
           in
           Cost.charge_kernel fr.cost ~flops;
           mat (Dense.matmul ma mb)
+      | (Nd _, (Mat _ | Nd _) | Mat _, Nd _) ->
+          error "matrix multiplication of a tensor is not supported; use .*"
       | _ -> broadcast2 fr Ast.Emul a b)
   | Ast.Div -> (
       match (a, b) with
@@ -186,13 +233,14 @@ let index_get extent idx k =
 let value_to_index = function
   | Scalar f -> Ivals [| int_of_float f - 1 |]
   | Mat m -> Ivals (Array.map (fun f -> int_of_float f - 1) m.Dense.data)
+  | Nd _ -> error "tensor used as an index"
   | Str _ -> error "string used as an index"
 
 (* --- expressions -------------------------------------------------------- *)
 
 let rec eval_expr fr (e : Ast.expr) : value =
   Cost.charge_dispatch fr.cost;
-  match e.desc with
+  match e.node with
   | Ast.Num f -> Scalar f
   | Ast.Str s -> Str s
   | Ast.Varref v -> lookup fr v
@@ -220,11 +268,11 @@ let rec eval_expr fr (e : Ast.expr) : value =
   | Ast.Matrix rows -> eval_matrix_literal fr rows
   | Ast.Index (v, args) -> eval_index fr (lookup fr v) args
   | Ast.Call (name, args) -> (
-      match eval_call fr e.epos name args ~nrets:1 with
+      match eval_call fr e.ann.pos name args ~nrets:1 with
       | r :: _ -> r
       | [] -> error "function '%s' returned no value" name)
   | Ast.Ident n | Ast.Apply (n, _) ->
-      Source.error e.epos "unresolved '%s' reached the interpreter" n
+      Source.error e.ann.pos "unresolved '%s' reached the interpreter" n
 
 and eval_unop fr op a =
   match op with
@@ -235,6 +283,9 @@ and eval_unop fr op a =
       | Mat m ->
           Cost.charge_elem fr.cost ~elems:(Dense.numel m) ~ops:1;
           mat (Dense.map (fun x -> -.x) m)
+      | Nd t ->
+          Cost.charge_elem fr.cost ~elems:(Nda.numel t) ~ops:1;
+          nd (Nda.map (fun x -> -.x) t)
       | Str _ -> error "negation of a string")
   | Ast.Not -> (
       match eval_expr fr a with
@@ -242,6 +293,9 @@ and eval_unop fr op a =
       | Mat m ->
           Cost.charge_elem fr.cost ~elems:(Dense.numel m) ~ops:1;
           mat (Dense.map (fun x -> of_bool (x = 0.)) m)
+      | Nd t ->
+          Cost.charge_elem fr.cost ~elems:(Nda.numel t) ~ops:1;
+          nd (Nda.map (fun x -> of_bool (x = 0.)) t)
       | Str _ -> error "negation of a string")
   | Ast.Transpose | Ast.Ctranspose -> (
       match eval_expr fr a with
@@ -249,6 +303,7 @@ and eval_unop fr op a =
       | Mat m ->
           Cost.charge_elem fr.cost ~elems:(Dense.numel m) ~ops:1;
           mat (Dense.transpose m)
+      | Nd _ -> error "transpose of a tensor is not supported"
       | Str s -> Str s)
 
 and eval_matrix_literal fr rows =
@@ -312,7 +367,7 @@ and eval_matrix_literal fr rows =
       mat r
 
 and eval_index_arg fr extent (a : Ast.expr) : index =
-  match a.desc with
+  match a.node with
   | Ast.Colon -> Iall
   | _ ->
       let saved = fr.end_extent in
@@ -361,6 +416,42 @@ and eval_index fr (base : value) args =
                  Dense.get m (index_get m.Dense.rows ri i)
                    (index_get m.Dense.cols rj j)))
       | _ -> error "unsupported number of indices")
+  | Nd t ->
+      let r = Nda.rank t in
+      if List.length args <> r then
+        error "a rank-%d tensor must be indexed with exactly %d subscripts \
+               (got %d)"
+          r r (List.length args);
+      let idxs =
+        List.mapi (fun axis a -> eval_index_arg fr t.Nda.dims.(axis) a) args
+      in
+      let scalar_read =
+        List.for_all (function Ivals [| _ |] -> true | _ -> false) idxs
+      in
+      let counts =
+        Array.of_list
+          (List.mapi (fun axis i -> index_count t.Nda.dims.(axis) i) idxs)
+      in
+      let idxs = Array.of_list idxs in
+      Cost.charge_elem fr.cost ~elems:(Array.fold_left ( * ) 1 counts) ~ops:1;
+      let fetch (sub : int array) =
+        let full =
+          Array.mapi (fun axis k -> index_get t.Nda.dims.(axis) idxs.(axis) k) sub
+        in
+        Nda.get t full
+      in
+      if scalar_read then Scalar (fetch (Array.make r 0))
+      else
+        (* a sectioning subscript keeps the rank: no dimension squeeze *)
+        nd
+          (Nda.init counts (fun g ->
+               let sub = Array.make r 0 in
+               let rem = ref g in
+               for axis = r - 1 downto 0 do
+                 sub.(axis) <- !rem mod counts.(axis);
+                 rem := !rem / counts.(axis)
+               done;
+               fetch sub))
 
 and eval_call fr pos name args ~nrets : value list =
   let module B = Analysis.Builtins in
@@ -388,6 +479,10 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
             (Dense.map
                (fun x -> finish m.Dense.rows x)
                (Dense.col_reduce op_comb op_init m))
+    | Nd t ->
+        (* Tensors reduce fully, to one scalar over every element. *)
+        Cost.charge_kernel fr.cost ~flops:(float_of_int (Nda.numel t));
+        Scalar (finish (Nda.numel t) (Nda.fold op_comb op_init t))
     | Str _ -> error "reduction of a string"
   in
   match (kind, vals) with
@@ -395,6 +490,9 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
   | B.Map1 _, [ Mat m ] ->
       Cost.charge_elem fr.cost ~elems:(Dense.numel m) ~ops:1;
       one (mat (Dense.map (scalar_fun1 name) m))
+  | B.Map1 _, [ Nd t ] ->
+      Cost.charge_elem fr.cost ~elems:(Nda.numel t) ~ops:1;
+      one (nd (Nda.map (scalar_fun1 name) t))
   | B.Map2 _, [ a; b ] -> (
       let f = scalar_fun2 name in
       match (a, b) with
@@ -408,6 +506,24 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
       | Mat ma, Mat mb ->
           Cost.charge_elem fr.cost ~elems:(Dense.numel ma) ~ops:1;
           one (mat (Dense.map2 f ma mb))
+      | Nd t, Scalar y ->
+          Cost.charge_elem fr.cost ~elems:(Nda.numel t) ~ops:1;
+          one (nd (Nda.map (fun x -> f x y) t))
+      | Scalar x, Nd t ->
+          Cost.charge_elem fr.cost ~elems:(Nda.numel t) ~ops:1;
+          one (nd (Nda.map (fun y -> f x y) t))
+      | Nd ta, Nd tb ->
+          Cost.charge_elem fr.cost ~elems:(Nda.numel ta) ~ops:1;
+          (try one (nd (Nda.map2 f ta tb))
+           with Invalid_argument m -> error "%s" m)
+      | Nd t, Mat m ->
+          Cost.charge_elem fr.cost ~elems:(Nda.numel t) ~ops:1;
+          let cell = frame_cell t m in
+          one (nd (Nda.init t.Nda.dims (fun g -> f t.Nda.data.(g) (cell g))))
+      | Mat m, Nd t ->
+          Cost.charge_elem fr.cost ~elems:(Nda.numel t) ~ops:1;
+          let cell = frame_cell t m in
+          one (nd (Nda.init t.Nda.dims (fun g -> f (cell g) t.Nda.data.(g))))
       | _ -> error "'%s' of a string" name)
   | B.Minmax _, [ v ] when nrets = 2 -> (
       (* [m, i] = min(v): extremum and the 1-based index of its first
@@ -431,6 +547,7 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
             m.Dense.data;
           [ Scalar !best; Scalar (float_of_int (!best_i + 1)) ]
       | Mat _ -> error "[m, i] = %s of a full matrix is not supported" name
+      | Nd _ -> error "[m, i] = %s of a tensor is not supported" name
       | Str _ -> error "%s of a string" name)
   | B.Minmax _, [ v ] ->
       (* MATLAB ignores NaNs: min/max over the non-NaN elements, NaN
@@ -456,6 +573,7 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
                     acc := combine !acc m.Dense.data.(g);
                     !acc)))
       | Mat _ -> error "%s of a full matrix is not supported" name
+      | Nd _ -> error "%s of a tensor is not supported" name
       | Str _ -> error "%s of a string" name)
   | B.Minmax _, [ _; _ ] -> eval_builtin fr name (B.Map2 name) vals ~nrets
   | B.Reduce _, [ v ] -> (
@@ -472,6 +590,7 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
                 ~flops:(2. *. float_of_int (Dense.numel m));
               one (Scalar (sqrt (Dense.fold (fun a x -> a +. (x *. x)) 0. m)))
           | Mat _ -> error "norm of a full matrix is not supported"
+          | Nd _ -> error "norm of a tensor is not supported"
           | Str _ -> error "norm of a string")
       | "any" ->
           one
@@ -479,6 +598,7 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
                (match v with
                | Scalar f -> of_bool (truthy_scalar f)
                | Mat m -> of_bool (Array.exists (fun x -> x <> 0.) m.Dense.data)
+               | Nd t -> of_bool (Array.exists (fun x -> x <> 0.) t.Nda.data)
                | Str _ -> error "any of a string"))
       | "all" -> one (Scalar (of_bool (truthy v)))
       | _ -> error "unknown reduction '%s'" name)
@@ -504,6 +624,13 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
       Cost.charge_elem fr.cost ~elems:(Dense.numel m) ~ops:1;
       one (mat (Dense.circshift m (int_of_float (as_scalar k))))
   | B.Constructor _, _ -> one (eval_constructor fr name vals)
+  | B.Query "size", [ Nd t ] ->
+      if nrets = 2 then error "two-output size of a tensor is not supported"
+      else
+        one
+          (mat
+             (Dense.init 1 (Nda.rank t) (fun g ->
+                  float_of_int t.Nda.dims.(g))))
   | B.Query "size", [ v ] ->
       let m = to_dense v in
       if nrets = 2 then
@@ -513,6 +640,12 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
           (mat
              (Dense.init 1 2 (fun g ->
                   float_of_int (if g = 0 then m.Dense.rows else m.Dense.cols))))
+  | B.Query "size", [ Nd t; d ] ->
+      let d = int_of_float (as_scalar d) in
+      one
+        (Scalar
+           (if d >= 1 && d <= Nda.rank t then float_of_int t.Nda.dims.(d - 1)
+            else 1.))
   | B.Query "size", [ v; d ] ->
       let m = to_dense v in
       one
@@ -521,9 +654,12 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
            | 1 -> float_of_int m.Dense.rows
            | 2 -> float_of_int m.Dense.cols
            | _ -> 1.))
+  | B.Query "length", [ Nd t ] ->
+      one (Scalar (float_of_int (Array.fold_left max 0 t.Nda.dims)))
   | B.Query "length", [ v ] ->
       let m = to_dense v in
       one (Scalar (float_of_int (max m.Dense.rows m.Dense.cols)))
+  | B.Query "numel", [ Nd t ] -> one (Scalar (float_of_int (Nda.numel t)))
   | B.Query "numel", [ v ] ->
       one (Scalar (float_of_int (Dense.numel (to_dense v))))
   | B.Output "disp", [ v ] ->
@@ -533,7 +669,10 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
       | Mat m ->
           Buffer.add_string fr.out
             (Fmtutil.format_matrix ~rows:m.Dense.rows ~cols:m.Dense.cols
-               m.Dense.data));
+               m.Dense.data)
+      | Nd t ->
+          Buffer.add_string fr.out
+            (Fmtutil.format_tensor ~dims:t.Nda.dims t.Nda.data));
       []
   | B.Output "fprintf", fmt :: rest ->
       (match fmt with
@@ -543,7 +682,7 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
               (function
                 | Scalar x -> Fmtutil.F x
                 | Str s -> Fmtutil.S s
-                | Mat _ -> error "fprintf of a whole matrix")
+                | Mat _ | Nd _ -> error "fprintf of a whole matrix")
               rest
           in
           Buffer.add_string fr.out (Fmtutil.format f args)
@@ -582,6 +721,7 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
             ]
           else [ mat sorted ]
       | Mat _ -> error "sort of a full matrix is not supported"
+      | Nd _ -> error "sort of a tensor is not supported"
       | Str _ -> error "sort of a string")
   | B.Diag, [ v ] -> (
       match v with
@@ -593,6 +733,7 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
             (mat
                (Dense.init_rc n n (fun i j ->
                     if i = j then Dense.get_linear m i else 0.)))
+      | Nd _ -> error "diag of a tensor is not supported"
       | Mat m ->
           let n = min m.Dense.rows m.Dense.cols in
           Cost.charge_elem fr.cost ~elems:n ~ops:1;
@@ -633,6 +774,14 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
         let r = int_of_float (as_scalar v) in
         if r <> 0 then error "%s: %s rank %d is outside 0..0" name what r
       in
+      (* Receives and probes admit the any-source wildcard (-1); on one
+         rank it is indistinguishable from source 0. *)
+      let source_arg v =
+        let r = int_of_float (as_scalar v) in
+        if r <> 0 && r <> -1 then
+          error "%s: source rank %d is outside 0..0 (use -1 for any source)"
+            name r
+      in
       let tag_arg v =
         let f = as_scalar v in
         let t = int_of_float f in
@@ -640,7 +789,11 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
           error "%s: message tags must be non-negative integers" name;
         t
       in
-      let copy = function Mat m -> Mat (Dense.copy m) | v -> v in
+      let copy = function
+        | Mat m -> Mat (Dense.copy m)
+        | Nd t -> Nd (Nda.copy t)
+        | v -> v
+      in
       match (op, vals) with
       | B.Mrank, [] -> one (Scalar 0.)
       | B.Msize, [] -> one (Scalar 1.)
@@ -649,10 +802,11 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
           let t = tag_arg tag in
           (match v with
           | Str _ -> error "MPI_Send: cannot send a string"
+          | Nd _ -> error "MPI_Send: cannot send a tensor"
           | v -> Queue.push (copy v) (q t));
           []
       | B.Mrecv, [ src; tag ] ->
-          rank_arg "source" src;
+          source_arg src;
           let t = tag_arg tag in
           let q = q t in
           if Queue.is_empty q then
@@ -665,15 +819,30 @@ and eval_builtin fr name kind (vals : value list) ~nrets : value list =
           rank_arg "root" root;
           match v with
           | Str _ -> error "MPI_Bcast: cannot send a string"
+          | Nd _ -> error "MPI_Bcast: cannot send a tensor"
           | v -> one (copy v))
       | B.Mprobe, [ src; tag ] ->
-          rank_arg "source" src;
+          source_arg src;
           let t = tag_arg tag in
           one (Scalar (if Queue.is_empty (q t) then 0. else 1.))
       | _ -> error "unsupported call to '%s'" name)
   | _ -> error "unsupported call to '%s'" name
 
 and eval_constructor fr name vals : value =
+  (* zeros/ones/rand/randn with three size arguments build a rank-3
+     tensor: pages x rows x cols, the page axis being the leading
+     (frame, block-distributed) axis. *)
+  let dims3 () =
+    match vals with
+    | [ p; r; c ] ->
+        Some
+          [|
+            int_of_float (as_scalar p);
+            int_of_float (as_scalar r);
+            int_of_float (as_scalar c);
+          |]
+    | _ -> None
+  in
   let dims () =
     match vals with
     | [ n ] ->
@@ -684,29 +853,45 @@ and eval_constructor fr name vals : value =
     | _ -> error "constructor expects at most 2 size arguments"
   in
   let charge r c = Cost.charge_elem fr.cost ~elems:(r * c) ~ops:1 in
+  let charge_nd d = Cost.charge_elem fr.cost ~elems:(Array.fold_left ( * ) 1 d) ~ops:1 in
   match name with
-  | "zeros" ->
-      let r, c = dims () in
-      charge r c;
-      mat (Dense.create r c)
-  | "ones" ->
-      let r, c = dims () in
-      charge r c;
-      mat (Dense.init r c (fun _ -> 1.))
+  | "zeros" -> (
+      match dims3 () with
+      | Some d ->
+          charge_nd d;
+          nd (Nda.create d)
+      | None ->
+          let r, c = dims () in
+          charge r c;
+          mat (Dense.create r c))
+  | "ones" -> (
+      match dims3 () with
+      | Some d ->
+          charge_nd d;
+          nd (Nda.init d (fun _ -> 1.))
+      | None ->
+          let r, c = dims () in
+          charge r c;
+          mat (Dense.init r c (fun _ -> 1.)))
   | "eye" ->
       let r, c = dims () in
       charge r c;
       mat (Dense.init_rc r c (fun i j -> if i = j then 1. else 0.))
-  | "rand" | "randn" ->
+  | "rand" | "randn" -> (
       fr.rand_calls <- fr.rand_calls + 1;
       let seed = fr.seed + fr.rand_calls in
       let gen =
         if name = "rand" then Runtime.Rng.uniform ~seed
         else Runtime.Rng.normal ~seed
       in
-      let r, c = dims () in
-      charge r c;
-      mat (Dense.init r c gen)
+      match dims3 () with
+      | Some d ->
+          charge_nd d;
+          nd (Nda.init d gen)
+      | None ->
+          let r, c = dims () in
+          charge r c;
+          mat (Dense.init r c gen))
   | "linspace" -> (
       match vals with
       | [ a; b; n ] ->
@@ -756,6 +941,9 @@ and display fr name v =
       Buffer.add_string fr.out
         (Fmtutil.format_matrix ~name ~rows:m.Dense.rows ~cols:m.Dense.cols
            m.Dense.data)
+  | Nd t ->
+      Buffer.add_string fr.out
+        (Fmtutil.format_tensor ~name ~dims:t.Nda.dims t.Nda.data)
 
 and assign_indexed fr (l : Ast.lhs) rhs_val =
   (* An out-of-bounds store grows the array MATLAB-style: vectors (and
@@ -782,6 +970,48 @@ and assign_indexed fr (l : Ast.lhs) rhs_val =
   in
   match lookup fr l.lv_name with
   | Str _ -> error "indexed assignment into a string"
+  | Nd t ->
+      let t = Nda.copy t in
+      let r = Nda.rank t in
+      let args = Option.get l.lv_indices in
+      if List.length args <> r then
+        error "a rank-%d tensor must be indexed with exactly %d subscripts \
+               (got %d)"
+          r r (List.length args);
+      let idxs =
+        Array.of_list
+          (List.mapi (fun axis a -> eval_index_arg fr t.Nda.dims.(axis) a) args)
+      in
+      (* Tensors never grow: every index must land in bounds. *)
+      let counts =
+        Array.mapi (fun axis i -> index_count t.Nda.dims.(axis) i) idxs
+      in
+      let total = Array.fold_left ( * ) 1 counts in
+      let src =
+        match rhs_val with
+        | Scalar f -> `Fill f
+        | Nd s ->
+            if Nda.numel s <> total then error "section assignment size mismatch";
+            `Data s.Nda.data
+        | Mat m ->
+            if Dense.numel m <> total then error "section assignment size mismatch";
+            `Data m.Dense.data
+        | Str _ -> error "cannot store a string into a tensor"
+      in
+      Cost.charge_elem fr.cost ~elems:total ~ops:1;
+      let sub = Array.make r 0 in
+      for g = 0 to total - 1 do
+        let rem = ref g in
+        for axis = r - 1 downto 0 do
+          sub.(axis) <- !rem mod counts.(axis);
+          rem := !rem / counts.(axis)
+        done;
+        let full =
+          Array.mapi (fun axis k -> index_get t.Nda.dims.(axis) idxs.(axis) k) sub
+        in
+        Nda.set t full (match src with `Fill f -> f | `Data d -> d.(g))
+      done;
+      Hashtbl.replace fr.env l.lv_name (Nd t)
   | (Scalar _ | Mat _) as base -> (
       let m = Dense.copy (to_dense base) in
       (* copy-on-write semantics *)
@@ -857,9 +1087,9 @@ and exec_stmt fr (s : Ast.stmt) =
       | Some _ -> assign_indexed fr l v);
       if disp then display fr l.lv_name (lookup fr l.lv_name))
   | Ast.Multi_assign (ls, rhs, disp) -> (
-      match rhs.desc with
+      match rhs.node with
       | Ast.Call (name, args) ->
-          let rets = eval_call fr rhs.epos name args ~nrets:(List.length ls) in
+          let rets = eval_call fr rhs.ann.pos name args ~nrets:(List.length ls) in
           List.iteri
             (fun i (l : Ast.lhs) ->
               match List.nth_opt rets i with
@@ -875,7 +1105,7 @@ and exec_stmt fr (s : Ast.stmt) =
               ls
       | _ -> error "multiple assignment requires a function call")
   | Ast.Expr (e, disp) -> (
-      match e.desc with
+      match e.node with
       | Ast.Call (name, args)
         when (not (Hashtbl.mem fr.funcs name))
              && (match Analysis.Builtins.find name with
@@ -889,7 +1119,7 @@ and exec_stmt fr (s : Ast.stmt) =
                     } ->
                     true
                 | _ -> false) ->
-          ignore (eval_call fr e.epos name args ~nrets:0)
+          ignore (eval_call fr e.ann.pos name args ~nrets:0)
       | _ ->
           let v = eval_expr fr e in
           if disp then display fr "ans" v)
@@ -926,6 +1156,7 @@ and exec_stmt fr (s : Ast.stmt) =
           iterate
             (Array.init m.Dense.cols (fun j ->
                  mat (Dense.init m.Dense.rows 1 (fun i -> Dense.get m i j))))
+      | Nd _ -> error "for over a tensor is not supported"
       | Str _ -> error "for over a string")
   | Ast.Break -> raise Break_exc
   | Ast.Continue -> raise Continue_exc
@@ -935,7 +1166,10 @@ and exec_block fr (b : Ast.block) = List.iter (exec_stmt fr) b
 
 (* --- entry point --------------------------------------------------------- *)
 
-type captured = Cscalar of float | Cmat of int * int * float array
+type captured =
+  | Cscalar of float
+  | Cmat of int * int * float array
+  | Cnd of int array * float array
 
 type outcome = {
   output : string;
@@ -978,6 +1212,8 @@ let run ?(capture = []) ?(seed = 42) ?(datadir = ".") ~mode ~machine
             | Some (Mat m) ->
                 Some
                   (name, Cmat (m.Dense.rows, m.Dense.cols, Array.copy m.Dense.data))
+            | Some (Nd t) ->
+                Some (name, Cnd (Array.copy t.Nda.dims, Array.copy t.Nda.data))
             | Some (Str _) | None -> None)
           capture)
   in

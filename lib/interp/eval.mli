@@ -4,9 +4,16 @@
 
 exception Runtime_error of string
 
-type value = Scalar of float | Mat of Dense.t | Str of string
+type value =
+  | Scalar of float
+  | Mat of Dense.t
+  | Nd of Runtime.Nd.t  (** rank >= 3; trailing two dims are the matrix cell *)
+  | Str of string
 
-type captured = Cscalar of float | Cmat of int * int * float array
+type captured =
+  | Cscalar of float
+  | Cmat of int * int * float array
+  | Cnd of int array * float array  (** dims, row-major data *)
 
 type outcome = {
   output : string;

@@ -47,12 +47,16 @@ let is_local i =
   | _ -> false
 
 (* A reduction eligible for fusion: every alternative combines by
-   summation, so one Sum allreduce can carry the batch. *)
-let fused_of = function
-  | Ir.Ireduce_all (d, Ir.Rsum, m) -> Some (d, Ir.Fsum m)
-  | Ir.Ireduce_all (d, Ir.Rmean, m) -> Some (d, Ir.Fmean m)
+   summation, so one Sum allreduce can carry the batch.  Tensor
+   operands are excluded — the batched runtime entry points
+   ([bcast_elems], [reduce_fused]) are matrix-only. *)
+let fused_of is_tensor = function
+  | Ir.Ireduce_all (d, Ir.Rsum, m) when not (is_tensor m) ->
+      Some (d, Ir.Fsum m)
+  | Ir.Ireduce_all (d, Ir.Rmean, m) when not (is_tensor m) ->
+      Some (d, Ir.Fmean m)
   | Ir.Idot (d, a, b) -> Some (d, Ir.Fdot (a, b))
-  | Ir.Inorm (d, m) -> Some (d, Ir.Fnorm m)
+  | Ir.Inorm (d, m) when not (is_tensor m) -> Some (d, Ir.Fnorm m)
   | _ -> None
 
 (* One collected run: slots in program order, locals hoisted before the
@@ -134,7 +138,8 @@ let rec find_matmul t a seen = function
       find_matmul t a (i :: seen) rest
   | _ -> None
 
-let rec rewrite_block stats counts (b : Ir.block) : Ir.block =
+let rec rewrite_block stats counts is_tensor (b : Ir.block) : Ir.block =
+  let rewrite_block stats counts = rewrite_block stats counts is_tensor in
   let descend = function
     | Ir.Iif (branches, els) ->
         Ir.Iif
@@ -161,7 +166,7 @@ let rec rewrite_block stats counts (b : Ir.block) : Ir.block =
                  multiply still skips the redistribution *)
               tr :: (seen @ (mm :: go rest'))
         | None -> tr :: go rest)
-    | (Ir.Ibcast (d, m, idx) as i) :: rest -> (
+    | (Ir.Ibcast (d, m, idx) as i) :: rest when not (is_tensor m) -> (
         let eligible = function
           | Ir.Ibcast (d', m', idx') when m' = m -> Some (d', idx')
           | _ -> None
@@ -173,9 +178,11 @@ let rec rewrite_block stats counts (b : Ir.block) : Ir.block =
             pre @ (Ir.Ibcast_batch (slots, m) :: post) @ go tail
         | _ -> i :: go rest)
     | i :: rest -> (
-        match fused_of i with
+        match fused_of is_tensor i with
         | Some first -> (
-            match scan fused_of first ~first_uses:(Ir.inst_uses i) rest with
+            match
+              scan (fused_of is_tensor) first ~first_uses:(Ir.inst_uses i) rest
+            with
             | { slots; pre; post; tail } when List.length slots >= 2 ->
                 stats.reductions_fused <-
                   stats.reductions_fused + List.length slots;
@@ -189,14 +196,24 @@ let run (p : Ir.prog) : Ir.prog * (string * int) list =
   let stats =
     { broadcasts_batched = 0; reductions_fused = 0; matmuls_detransposed = 0 }
   in
-  let rewrite_body b = rewrite_block stats (Dataflow.use_counts b) b in
+  let tensor_pred vars =
+    let h = Hashtbl.create 16 in
+    List.iter
+      (fun (v, t) -> if Analysis.Ty.is_tensor t then Hashtbl.replace h v ())
+      vars;
+    fun v -> Hashtbl.mem h v
+  in
+  let rewrite_body vars b =
+    rewrite_block stats (Dataflow.use_counts b) (tensor_pred vars) b
+  in
   let p' =
     {
       p with
-      Ir.p_body = rewrite_body p.Ir.p_body;
+      Ir.p_body = rewrite_body p.Ir.p_vars p.Ir.p_body;
       p_funcs =
         List.map
-          (fun (f : Ir.func) -> { f with Ir.f_body = rewrite_body f.f_body })
+          (fun (f : Ir.func) ->
+            { f with Ir.f_body = rewrite_body f.f_vars f.f_body })
           p.Ir.p_funcs;
     }
   in

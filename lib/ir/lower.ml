@@ -33,7 +33,9 @@ type operand = Oscalar of Ir.sexpr | Omat of Ir.var | Ostr of string
    resolve to user code even when a builtin shares the name. *)
 let user_funcs_marker : (string, unit) Hashtbl.t = Hashtbl.create 8
 
-let ty_of ctx (e : Ast.expr) = Analysis.Infer.expr_type ctx.info e
+(* Types now live on the node annotations; [ctx] is kept for symmetry
+   with the variable-type lookups. *)
+let ty_of _ctx (e : Ast.expr) = Analysis.Infer.expr_type e
 let is_scalar_node ctx e = (ty_of ctx e).Ty.rank = Ty.Rscalar
 
 let fresh ctx ty =
@@ -47,7 +49,7 @@ let emit out i = out := i :: !out
 (* Strip value-preserving unary wrappers (transposes of vectors do not
    change the element distribution, uplus is the identity). *)
 let rec strip_transpose (e : Ast.expr) =
-  match e.desc with
+  match e.node with
   | Ast.Unop ((Ast.Transpose | Ast.Ctranspose | Ast.Uplus), a) ->
       strip_transpose a
   | _ -> e
@@ -57,16 +59,16 @@ let is_vector_ty (t : Ty.t) = Ty.is_vector t
 (* --- expressions -------------------------------------------------------- *)
 
 let rec lower_expr ctx out (e : Ast.expr) : operand =
-  match e.desc with
+  match e.node with
   | Ast.Num f -> Oscalar (Ir.Sconst f)
   | Ast.Str s -> Ostr s
   | Ast.Varref v ->
       if is_scalar_node ctx e then Oscalar (Ir.Svar v) else Omat v
-  | Ast.Colon -> unsupported e.epos "':' outside an index"
+  | Ast.Colon -> unsupported e.ann.pos "':' outside an index"
   | Ast.End_marker -> (
       match ctx.end_subst with
       | Some s -> Oscalar s
-      | None -> unsupported e.epos "'end' outside an index")
+      | None -> unsupported e.ann.pos "'end' outside an index")
   | Ast.Binop (op, a, b) -> lower_binop ctx out e op a b
   | Ast.Unop (op, a) -> lower_unop ctx out e op a
   | Ast.Range (a, step, b) ->
@@ -80,7 +82,7 @@ let rec lower_expr ctx out (e : Ast.expr) : operand =
   | Ast.Index (v, args) -> lower_index ctx out e v args
   | Ast.Call (name, args) -> lower_call ctx out e name args
   | Ast.Ident n | Ast.Apply (n, _) ->
-      Source.error e.epos "unresolved '%s' reached code generation" n
+      Source.error e.ann.pos "unresolved '%s' reached code generation" n
 
 (* Lower in scalar context; a 1x1 matrix value is read out with a
    broadcast of its only element. *)
@@ -91,7 +93,7 @@ and scalar ctx out (e : Ast.expr) : Ir.sexpr =
       let t = fresh ctx Ty.real_scalar in
       emit out (Ir.Ibcast (t, v, [ Ir.Sconst 1. ]));
       Ir.Svar t
-  | Ostr _ -> unsupported e.epos "string used as a numeric value"
+  | Ostr _ -> unsupported e.ann.pos "string used as a numeric value"
 
 (* Lower to a matrix variable, materializing a temporary if needed. *)
 and mat_operand ctx out (e : Ast.expr) : Ir.var =
@@ -102,7 +104,7 @@ and mat_operand ctx out (e : Ast.expr) : Ir.var =
       let t = fresh ctx (Ty.matrix ~shape:Ty.scalar_shape Ty.Real) in
       emit out (Ir.Iliteral { dst = t; rows = 1; cols = 1; elems = [ s ] });
       t
-  | Ostr _ -> unsupported e.epos "string used as a matrix value"
+  | Ostr _ -> unsupported e.ann.pos "string used as a matrix value"
 
 and lower_binop ctx out e op a b =
   let scalar_result = is_scalar_node ctx e in
@@ -147,10 +149,10 @@ and lower_binop ctx out e op a b =
     | Ast.Div | Ast.Ldiv ->
         if is_scalar_node ctx b || is_scalar_node ctx a then
           fused_elementwise ctx out e
-        else unsupported e.epos "matrix division is not supported"
-    | Ast.Pow -> unsupported e.epos "matrix power is not supported; use .^"
+        else unsupported e.ann.pos "matrix division is not supported"
+    | Ast.Pow -> unsupported e.ann.pos "matrix power is not supported; use .^"
     | Ast.Shortand | Ast.Shortor ->
-        unsupported e.epos "&&/|| require scalar operands"
+        unsupported e.ann.pos "&&/|| require scalar operands"
     | Ast.Add | Ast.Sub | Ast.Emul | Ast.Ediv | Ast.Eldiv | Ast.Epow | Ast.Lt
     | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne | Ast.And | Ast.Or ->
         fused_elementwise ctx out e
@@ -172,20 +174,34 @@ and lower_unop ctx out e op a =
         Omat t
       end
 
-(* Fuse an element-wise expression tree into a single local loop. *)
+(* Fuse an element-wise expression tree into a single local loop.  The
+   loop's model operand fixes the iteration space: under frame/cell
+   broadcasting a tensor operand dominates any matrix operand, so the
+   first tensor-typed operand (in tree order) is preferred and the
+   first matrix operand is the fallback. *)
 and fused_elementwise ctx out (e : Ast.expr) : operand =
   let ee = build_eexpr ctx out e in
   let model =
-    let rec first_mat = function
-      | Ir.Emat v -> Some v
-      | Ir.Escalar _ | Ir.Eeye -> None
-      | Ir.Ebin (_, x, y) | Ir.Ecall2 (_, x, y) -> (
-          match first_mat x with Some v -> Some v | None -> first_mat y)
-      | Ir.Eneg x | Ir.Enot x | Ir.Ecall1 (_, x) -> first_mat x
+    let rec mats = function
+      | Ir.Emat v -> [ v ]
+      | Ir.Escalar _ | Ir.Eeye -> []
+      | Ir.Ebin (_, x, y) | Ir.Ecall2 (_, x, y) -> mats x @ mats y
+      | Ir.Eneg x | Ir.Enot x | Ir.Ecall1 (_, x) -> mats x
     in
-    match first_mat ee with
+    let vs = mats ee in
+    let is_tensor_var v =
+      match Hashtbl.find_opt ctx.vars v with
+      | Some t -> Ty.is_tensor t
+      | None -> false
+    in
+    match List.find_opt is_tensor_var vs with
     | Some v -> v
-    | None -> unsupported e.epos "element-wise expression has no matrix operand"
+    | None -> (
+        match vs with
+        | v :: _ -> v
+        | [] ->
+            unsupported e.ann.pos
+              "element-wise expression has no matrix operand")
   in
   let t = fresh ctx (ty_of ctx e) in
   emit out (Ir.Ielem { dst = t; model; expr = ee });
@@ -194,7 +210,7 @@ and fused_elementwise ctx out (e : Ast.expr) : operand =
 and build_eexpr ctx out (e : Ast.expr) : Ir.eexpr =
   if is_scalar_node ctx e then Ir.Escalar (scalar ctx out e)
   else
-    match e.desc with
+    match e.node with
     | Ast.Varref v -> Ir.Emat v
     | Ast.Binop (op, a, b) when Ast.is_elementwise op ->
         Ir.Ebin (op, build_eexpr ctx out a, build_eexpr ctx out b)
@@ -239,7 +255,7 @@ and lower_literal ctx out e rows =
   List.iter
     (fun r ->
       if List.length r <> ncols then
-        unsupported e.epos "matrix literal rows have different lengths")
+        unsupported e.ann.pos "matrix literal rows have different lengths")
     rows;
   if all_scalar then begin
     let elems = List.concat_map (List.map (fun el -> scalar ctx out el)) rows in
@@ -271,6 +287,7 @@ and lower_index ctx out e v args =
     | None -> Ty.real_matrix
   in
   if vty.Ty.rank = Ty.Rscalar then Oscalar (Ir.Svar v)
+  else if Ty.is_tensor vty then lower_tensor_index ctx out e v vty args
   else begin
     let nargs = List.length args in
     let slot_dim i =
@@ -296,7 +313,7 @@ and lower_index ctx out e v args =
     else begin
       let sel_of i (a : Ast.expr) =
         with_end i (fun () ->
-            match a.desc with
+            match a.node with
             | Ast.Colon -> Ir.Sel_all
             | Ast.Range (lo, step, hi) ->
                 let slo = scalar ctx out lo in
@@ -312,6 +329,62 @@ and lower_index ctx out e v args =
       emit out (Ir.Isection { dst = t; src = v; sels });
       Omat t
     end
+  end
+
+(* Tensor indexing: exactly one subscript per axis (no linear or
+   partial indexing); 'end' substitutes the per-axis extent.  The
+   leading (page) axis is Sdim code 4, the trailing cell reuses the
+   matrix row/col codes. *)
+and tensor_axis_dim v i =
+  match i with
+  | 0 -> Ir.Sdim (v, 4)
+  | 1 -> Ir.Sdim (v, 1)
+  | _ -> Ir.Sdim (v, 2)
+
+and lower_tensor_index ctx out e v vty args =
+  let rank = Ty.total_rank vty in
+  if rank <> 3 then
+    unsupported e.ann.pos "only rank-3 tensors can be indexed (got rank %d)"
+      rank;
+  let nargs = List.length args in
+  if nargs <> rank then
+    unsupported e.ann.pos
+      "a rank-%d tensor must be indexed with exactly %d subscripts (got %d)"
+      rank rank nargs;
+  let with_end i f =
+    let saved = ctx.end_subst in
+    ctx.end_subst <- Some (tensor_axis_dim v i);
+    let r = f () in
+    ctx.end_subst <- saved;
+    r
+  in
+  if is_scalar_node ctx e then begin
+    (* Element read -> ML_broadcast with one subscript per axis. *)
+    let idx =
+      List.mapi (fun i a -> with_end i (fun () -> scalar ctx out a)) args
+    in
+    let t = fresh ctx (Ty.scalar (ty_of ctx e).Ty.base) in
+    emit out (Ir.Ibcast (t, v, idx));
+    Oscalar (Ir.Svar t)
+  end
+  else begin
+    let sel_of i (a : Ast.expr) =
+      with_end i (fun () ->
+          match a.node with
+          | Ast.Colon -> Ir.Sel_all
+          | Ast.Range (lo, step, hi) ->
+              let slo = scalar ctx out lo in
+              let sstep = Option.map (scalar ctx out) step in
+              let shi = scalar ctx out hi in
+              Ir.Sel_range (slo, sstep, shi)
+          | _ ->
+              if is_scalar_node ctx a then Ir.Sel_scalar (scalar ctx out a)
+              else Ir.Sel_vec (mat_operand ctx out a))
+    in
+    let sels = List.mapi sel_of args in
+    let t = fresh ctx (ty_of ctx e) in
+    emit out (Ir.Isection { dst = t; src = v; sels });
+    Omat t
   end
 
 and lower_call ctx out (e : Ast.expr) name args =
@@ -344,7 +417,7 @@ and lower_call ctx out (e : Ast.expr) name args =
                 emit out (Ir.Iscan (t, kind, v));
                 Omat t
               end
-          | _ -> unsupported e.epos "'%s' takes one argument" name)
+          | _ -> unsupported e.ann.pos "'%s' takes one argument" name)
       | B.Dot -> (
           match args with
           | [ a; b ] ->
@@ -353,7 +426,7 @@ and lower_call ctx out (e : Ast.expr) name args =
               let t = fresh ctx Ty.real_scalar in
               emit out (Ir.Idot (t, va, vb));
               Oscalar (Ir.Svar t)
-          | _ -> unsupported e.epos "dot takes two arguments")
+          | _ -> unsupported e.ann.pos "dot takes two arguments")
       | B.Trapz -> (
           let t = fresh ctx Ty.real_scalar in
           match args with
@@ -365,7 +438,7 @@ and lower_call ctx out (e : Ast.expr) name args =
               let vy = mat_operand ctx out y in
               emit out (Ir.Itrapz (t, Some vx, vy));
               Oscalar (Ir.Svar t)
-          | _ -> unsupported e.epos "trapz takes one or two arguments")
+          | _ -> unsupported e.ann.pos "trapz takes one or two arguments")
       | B.Shift -> (
           match args with
           | [ v; _ ] when is_scalar_node ctx v ->
@@ -377,7 +450,7 @@ and lower_call ctx out (e : Ast.expr) name args =
               let t = fresh ctx (ty_of ctx e) in
               emit out (Ir.Ishift (t, vv, sk));
               Omat t
-          | _ -> unsupported e.epos "circshift takes two arguments")
+          | _ -> unsupported e.ann.pos "circshift takes two arguments")
       | B.Constructor _ -> lower_constructor ctx out e name args
       | B.Query q -> lower_query ctx out e q args
       | B.Constant c -> Oscalar (Ir.Sconst c)
@@ -391,7 +464,7 @@ and lower_call ctx out (e : Ast.expr) name args =
                 emit out (Ir.Isort { vdst = t; idst = None; arg = v });
                 Omat t
               end
-          | _ -> unsupported e.epos "sort takes one argument")
+          | _ -> unsupported e.ann.pos "sort takes one argument")
       | B.Diag -> (
           match args with
           | [ a ] ->
@@ -402,7 +475,7 @@ and lower_call ctx out (e : Ast.expr) name args =
                 emit out (Ir.Idiag (t, v));
                 Omat t
               end
-          | _ -> unsupported e.epos "diag takes one argument")
+          | _ -> unsupported e.ann.pos "diag takes one argument")
       | B.Repmat -> (
           (* desugar to a concat grid of the same block *)
           match args with
@@ -412,7 +485,7 @@ and lower_call ctx out (e : Ast.expr) name args =
                 | Ir.Sconst f when Float.is_integer f && f >= 1. ->
                     int_of_float f
                 | _ ->
-                    unsupported e.epos
+                    unsupported e.ann.pos
                       "repmat: tile counts must be positive compile-time \
                        constants"
               in
@@ -431,14 +504,14 @@ and lower_call ctx out (e : Ast.expr) name args =
                      });
                 Omat t
               end)
-          | _ -> unsupported e.epos "repmat takes three arguments")
+          | _ -> unsupported e.ann.pos "repmat takes three arguments")
       | B.Load -> (
           match args with
-          | [ { Ast.desc = Ast.Str fname; _ } ] ->
+          | [ { Ast.node = Ast.Str fname; _ } ] ->
               let t = fresh ctx (ty_of ctx e) in
               emit out (Ir.Iload { dst = t; file = fname });
               Omat t
-          | _ -> unsupported e.epos "load takes one literal filename")
+          | _ -> unsupported e.ann.pos "load takes one literal filename")
       | B.Mpi op -> (
           match (op, args) with
           | B.Mrank, [] ->
@@ -476,11 +549,11 @@ and lower_call ctx out (e : Ast.expr) name args =
               emit out (Ir.Impi_bcast (t, sroot, varg));
               if rty.Ty.rank = Ty.Rscalar then Oscalar (Ir.Svar t) else Omat t
           | B.Msend, _ ->
-              unsupported e.epos
+              unsupported e.ann.pos
                 "MPI_Send is a statement; its result cannot be used"
-          | _, _ -> unsupported e.epos "'%s': wrong arguments" name)
+          | _, _ -> unsupported e.ann.pos "'%s': wrong arguments" name)
       | B.Output _ | B.Error_fn ->
-          unsupported e.epos "'%s' cannot be used inside an expression" name)
+          unsupported e.ann.pos "'%s' cannot be used inside an expression" name)
   | _ ->
       (* User function call. *)
       let rty = ty_of ctx e in
@@ -506,7 +579,7 @@ and lower_reduction ctx out e name args =
     | "any" -> Ir.Rany
     | "all" -> Ir.Rall
     | _ when name = "norm" -> Ir.Rsum (* unused; norm handled below *)
-    | _ -> unsupported e.epos "unknown reduction '%s'" name
+    | _ -> unsupported e.ann.pos "unknown reduction '%s'" name
   in
   match args with
   | [ a ] -> (
@@ -516,7 +589,7 @@ and lower_reduction ctx out e name args =
          1x1 matrix literal would materialize a distributed matrix --
          deadlock bait inside rank-divergent (explicit-MPI) code. *)
       match lower_expr ctx out a with
-      | Ostr _ -> unsupported e.epos "string used as a numeric value"
+      | Ostr _ -> unsupported e.ann.pos "string used as a numeric value"
       | Oscalar s -> (
           (* Reducing a scalar is the identity (any/all compare with 0). *)
           match name with
@@ -531,8 +604,10 @@ and lower_reduction ctx out e name args =
         end
         else begin
           let aty = ty_of ctx a in
+          (* Tensors reduce over every element: one full allreduce, no
+             per-column form. *)
           let vector_like =
-            Ty.is_vector aty
+            Ty.is_tensor aty || Ty.is_vector aty
             || aty.Ty.shape.Ty.rows = Ty.Dunknown
             || aty.Ty.shape.Ty.cols = Ty.Dunknown
           in
@@ -547,7 +622,7 @@ and lower_reduction ctx out e name args =
             Omat t
           end
         end)
-  | _ -> unsupported e.epos "'%s' takes one argument" name
+  | _ -> unsupported e.ann.pos "'%s' takes one argument" name
 
 and lower_constructor ctx out e name args =
   let kind =
@@ -558,13 +633,13 @@ and lower_constructor ctx out e name args =
     | "rand" -> Ir.Crand
     | "randn" -> Ir.Crandn
     | "linspace" -> Ir.Clinspace
-    | _ -> unsupported e.epos "unknown constructor '%s'" name
+    | _ -> unsupported e.ann.pos "unknown constructor '%s'" name
   in
   match (name, args) with
   | "zeros", [] -> Oscalar (Ir.Sconst 0.)
   | "ones", [] -> Oscalar (Ir.Sconst 1.)
   | ("rand" | "randn"), [] ->
-      unsupported e.epos "scalar %s() is not supported in compiled code" name
+      unsupported e.ann.pos "scalar %s() is not supported in compiled code" name
   | _ ->
       let sargs = List.map (scalar ctx out) args in
       let t = fresh ctx (ty_of ctx e) in
@@ -581,6 +656,23 @@ and lower_query ctx out e q args =
              { dst = t; rows = 1; cols = 2; elems = [ Ir.Sconst 1.; Ir.Sconst 1. ] });
         Omat t
       end
+      else if Ty.is_tensor (ty_of ctx a) then begin
+        let rank = Ty.total_rank (ty_of ctx a) in
+        if rank <> 3 then
+          unsupported e.ann.pos "size of a rank-%d tensor is not supported"
+            rank;
+        let v = mat_operand ctx out a in
+        let t = fresh ctx (ty_of ctx e) in
+        emit out
+          (Ir.Iliteral
+             {
+               dst = t;
+               rows = 1;
+               cols = rank;
+               elems = List.init rank (tensor_axis_dim v);
+             });
+        Omat t
+      end
       else begin
         let v = mat_operand ctx out a in
         let t = fresh ctx (ty_of ctx e) in
@@ -591,19 +683,32 @@ and lower_query ctx out e q args =
       end
   | "size", [ a; d ] -> (
       if is_scalar_node ctx a then Oscalar (Ir.Sconst 1.)
+      else if Ty.is_tensor (ty_of ctx a) then
+        let aty = ty_of ctx a in
+        if Ty.total_rank aty <> 3 then
+          unsupported e.ann.pos "size of a rank-%d tensor is not supported"
+            (Ty.total_rank aty)
+        else
+          let v = mat_operand ctx out a in
+          match scalar ctx out d with
+          | Ir.Sconst f when f = 1. || f = 2. || f = 3. ->
+              Oscalar (tensor_axis_dim v (int_of_float f - 1))
+          | _ ->
+              unsupported e.ann.pos
+                "size(T, d): d must be the constant 1, 2 or 3"
       else
         let v = mat_operand ctx out a in
         match scalar ctx out d with
         | Ir.Sconst 1. -> Oscalar (Ir.Sdim (v, 1))
         | Ir.Sconst 2. -> Oscalar (Ir.Sdim (v, 2))
-        | _ -> unsupported e.epos "size(A, d): d must be the constant 1 or 2")
+        | _ -> unsupported e.ann.pos "size(A, d): d must be the constant 1 or 2")
   | "length", [ a ] ->
       if is_scalar_node ctx a then Oscalar (Ir.Sconst 1.)
       else Oscalar (Ir.Sdim (mat_operand ctx out a, 3))
   | "numel", [ a ] ->
       if is_scalar_node ctx a then Oscalar (Ir.Sconst 1.)
       else Oscalar (Ir.Sdim (mat_operand ctx out a, 0))
-  | _ -> unsupported e.epos "unsupported query '%s'" q
+  | _ -> unsupported e.ann.pos "unsupported query '%s'" q
 
 (* --- statements --------------------------------------------------------- *)
 
@@ -683,7 +788,7 @@ let rec lower_stmt ctx out (s : Ast.stmt) =
            interpreter supports but compiled code does not. *)
         List.iter
           (fun (a : Ast.expr) ->
-            match a.desc with
+            match a.node with
             | Ast.Num f when f <> 1. ->
                 unsupported lv_pos
                   "'%s(%g) = ...' stores beyond the current extent: matrix \
@@ -693,6 +798,66 @@ let rec lower_stmt ctx out (s : Ast.stmt) =
             | _ -> ())
           idx;
         emit out (Ir.Iscalar (lv_name, scalar ctx out rhs))
+      end
+      else if Ty.is_tensor vty then begin
+        (* Tensor element/section store: exactly one subscript per
+           axis; growth is never supported, so out-of-range constant
+           indices surface as run-time bounds errors. *)
+        let rank = Ty.total_rank vty in
+        if rank <> 3 then
+          unsupported lv_pos "only rank-3 tensors can be indexed (got rank %d)"
+            rank;
+        let nargs = List.length idx in
+        if nargs <> rank then
+          unsupported lv_pos
+            "a rank-%d tensor must be indexed with exactly %d subscripts \
+             (got %d)"
+            rank rank nargs;
+        let with_end i f =
+          let saved = ctx.end_subst in
+          ctx.end_subst <- Some (tensor_axis_dim lv_name i);
+          let r = f () in
+          ctx.end_subst <- saved;
+          r
+        in
+        let scalar_store =
+          is_scalar_node ctx rhs
+          && List.for_all
+               (fun (a : Ast.expr) ->
+                 match a.node with
+                 | Ast.Colon | Ast.Range _ -> false
+                 | _ -> is_scalar_node ctx a)
+               idx
+        in
+        if scalar_store then begin
+          let sidx =
+            List.mapi (fun i a -> with_end i (fun () -> scalar ctx out a)) idx
+          in
+          let sv = scalar ctx out rhs in
+          emit out (Ir.Isetelem (lv_name, sidx, sv))
+        end
+        else begin
+          let sel_of i (a : Ast.expr) =
+            with_end i (fun () ->
+                match a.node with
+                | Ast.Colon -> Ir.Sel_all
+                | Ast.Range (lo, step, hi) ->
+                    let slo = scalar ctx out lo in
+                    let sstep = Option.map (scalar ctx out) step in
+                    let shi = scalar ctx out hi in
+                    Ir.Sel_range (slo, sstep, shi)
+                | _ ->
+                    if is_scalar_node ctx a then
+                      Ir.Sel_scalar (scalar ctx out a)
+                    else Ir.Sel_vec (mat_operand ctx out a))
+          in
+          let sels = List.mapi sel_of idx in
+          let src =
+            if is_scalar_node ctx rhs then Ir.Ascalar (scalar ctx out rhs)
+            else Ir.Amat (mat_operand ctx out rhs)
+          in
+          emit out (Ir.Isetsection { dst = lv_name; sels; src })
+        end
       end
       else begin
         let nargs = List.length idx in
@@ -736,7 +901,7 @@ let rec lower_stmt ctx out (s : Ast.stmt) =
           is_scalar_node ctx rhs
           && List.for_all
                (fun (a : Ast.expr) ->
-                 match a.desc with
+                 match a.node with
                  | Ast.Colon | Ast.Range _ -> false
                  | _ -> is_scalar_node ctx a)
                idx
@@ -754,7 +919,7 @@ let rec lower_stmt ctx out (s : Ast.stmt) =
           (* a(sels) = rhs: owner-computes scatter of a section *)
           let sel_of i (a : Ast.expr) =
             with_end i (fun () ->
-                match a.desc with
+                match a.node with
                 | Ast.Colon -> Ir.Sel_all
                 | Ast.Range (lo, step, hi) ->
                     let slo = scalar ctx out lo in
@@ -796,19 +961,19 @@ let rec lower_stmt ctx out (s : Ast.stmt) =
       end;
       if display then emit out (display_inst lv_name vty)
   | Ast.Multi_assign (ls, rhs, display) -> lower_multi ctx out s ls rhs display
-  | Ast.Expr ({ desc = Ast.Call ("disp", [ arg ]); _ }, _) -> (
+  | Ast.Expr ({ node = Ast.Call ("disp", [ arg ]); _ }, _) -> (
       match lower_expr ctx out arg with
       | Oscalar se -> emit out (Ir.Iprint ("", Ir.Pscalar se))
       | Omat v -> emit out (Ir.Iprint ("", Ir.Pmat v))
       | Ostr str -> emit out (Ir.Iprint ("", Ir.Pstr str)))
-  | Ast.Expr ({ desc = Ast.Call ("fprintf", args); _ }, _) ->
+  | Ast.Expr ({ node = Ast.Call ("fprintf", args); _ }, _) ->
       let sargs =
         List.map
           (fun a ->
             match lower_expr ctx out a with
             | Oscalar se ->
                 if (ty_of ctx a).Ty.base = Ty.Literal then
-                  unsupported a.Ast.epos
+                  unsupported a.Ast.ann.pos
                     "fprintf of a string variable is not supported by \
                      compiled code; pass the string literal directly";
                 se
@@ -817,10 +982,10 @@ let rec lower_stmt ctx out (s : Ast.stmt) =
           args
       in
       emit out (Ir.Iprintf sargs)
-  | Ast.Expr ({ desc = Ast.Call ("error", [ { desc = Ast.Str msg; _ } ]); _ }, _)
+  | Ast.Expr ({ node = Ast.Call ("error", [ { node = Ast.Str msg; _ } ]); _ }, _)
     ->
       emit out (Ir.Ierror msg)
-  | Ast.Expr ({ desc = Ast.Call ("MPI_Send", [ dest; tag; value ]); _ }, _)
+  | Ast.Expr ({ node = Ast.Call ("MPI_Send", [ dest; tag; value ]); _ }, _)
     when not (Hashtbl.mem user_funcs_marker "MPI_Send") ->
       let sd = scalar ctx out dest in
       let st = scalar ctx out tag in
@@ -855,7 +1020,7 @@ let rec lower_stmt ctx out (s : Ast.stmt) =
       end
   | Ast.For (v, range, blk) ->
       Hashtbl.replace ctx.vars v Ty.int_scalar;
-      (match range.desc with
+      (match range.node with
       | Ast.Range (a, st, b) ->
           let start = scalar ctx out a in
           let step = Option.map (scalar ctx out) st in
@@ -868,6 +1033,10 @@ let rec lower_stmt ctx out (s : Ast.stmt) =
           emit out (Ir.Ifor (v, sv, None, sv, body))
       | _ ->
           let rty = ty_of ctx range in
+          if Ty.is_tensor rty then
+            unsupported s.spos
+              "for over a tensor is not supported; iterate over an index \
+               range";
           if not (Ty.is_vector rty || rty.Ty.shape = Ty.unknown_shape) then
             unsupported s.spos
               "for over the columns of a full matrix is not supported; \
@@ -885,8 +1054,11 @@ let rec lower_stmt ctx out (s : Ast.stmt) =
   | Ast.Return -> emit out Ir.Ireturn
 
 and lower_multi ctx out s ls rhs display =
-  match rhs.desc with
+  match rhs.node with
   | Ast.Call ("size", [ a ]) when List.length ls = 2 ->
+      if Ty.is_tensor (ty_of ctx a) then
+        unsupported s.spos
+          "[r, c] = size(...) is not defined for tensors; use size(T, d)";
       let v = mat_operand ctx out a in
       List.iteri
         (fun i (l : Ast.lhs) ->

@@ -1,10 +1,19 @@
 (* Abstract syntax for the MATLAB subset accepted by Otter.
 
-   Every expression and statement node carries a unique integer id; later
-   passes (type inference in particular) attach information to nodes
-   through these ids, so copies made by the compiler must either preserve
-   ids (when the copy denotes the same value, e.g. SSA renaming) or use
-   [fresh_id] (when it denotes a new computation). *)
+   The expression tree is in Remora-style delayed-recursion form: the
+   shape functor ['e expr_f] fixes what a node may contain without
+   fixing what a subexpression is, and ['a annotated] ties the knot
+   while threading an annotation of type ['a] through every node.  The
+   compiler instantiates the annotation with [ann] — source position, a
+   unique id, and mutable type/frame slots — so the analysis passes
+   write their facts directly onto the tree instead of keeping parallel
+   side tables keyed by node id.
+
+   Copies made with [{ e with node = ... }] share the annotation record
+   and therefore denote the *same* value as the original (SSA renaming
+   and name resolution rely on this: a fact attached to either copy is
+   visible through both).  Copies that denote a new computation must be
+   rebuilt with [mk], which allocates a fresh annotation. *)
 
 type binop =
   | Add
@@ -30,22 +39,38 @@ type binop =
 
 type unop = Neg | Uplus | Not | Transpose (* .' *) | Ctranspose (* ' *)
 
-type expr = { desc : desc; epos : Source.pos; eid : int }
-
-and desc =
+(* One layer of expression structure; ['e] stands for a subexpression. *)
+type 'e expr_f =
   | Num of float
   | Str of string
   | Ident of string (* unresolved name (variable or function) *)
   | Varref of string (* resolved variable reference *)
   | Colon (* bare ':' used as an index *)
   | End_marker (* 'end' used inside an index expression *)
-  | Binop of binop * expr * expr
-  | Unop of unop * expr
-  | Range of expr * expr option * expr (* start : step? : stop *)
-  | Apply of string * expr list (* unresolved name(args) *)
-  | Call of string * expr list (* resolved function call *)
-  | Index of string * expr list (* resolved variable indexing *)
-  | Matrix of expr list list (* [e, e; e, e] rows of elements *)
+  | Binop of binop * 'e * 'e
+  | Unop of unop * 'e
+  | Range of 'e * 'e option * 'e (* start : step? : stop *)
+  | Apply of string * 'e list (* unresolved name(args) *)
+  | Call of string * 'e list (* resolved function call *)
+  | Index of string * 'e list (* resolved variable indexing *)
+  | Matrix of 'e list list (* [e, e; e, e] rows of elements *)
+
+(* The knot: an annotated tree whose every node carries an ['a]. *)
+type 'a annotated = { ann : 'a; node : 'a annotated expr_f }
+
+(* The compiler's concrete annotation.  [ty] is written by type
+   inference (joined monotonically across fixpoint passes); [frame] is
+   the number of leading (frame) axes a lower-ranked operand is lifted
+   over at this node under the frame/cell broadcasting rule — 0 means
+   no lift. *)
+type ann = {
+  pos : Source.pos;
+  id : int;
+  mutable ty : Ty.vt;
+  mutable frame : int;
+}
+
+type expr = ann annotated
 
 type lhs = {
   lv_name : string;
@@ -83,7 +108,10 @@ let fresh_id () =
   incr counter;
   !counter
 
-let mk ?(pos = Source.no_pos) desc = { desc; epos = pos; eid = fresh_id () }
+let mk_ann ?(pos = Source.no_pos) () =
+  { pos; id = fresh_id (); ty = Ty.Bottom; frame = 0 }
+
+let mk ?pos node = { ann = mk_ann ?pos (); node }
 let mk_stmt ?(pos = Source.no_pos) sdesc = { sdesc; spos = pos; sid = fresh_id () }
 
 let binop_name = function
@@ -133,7 +161,7 @@ let is_comparison = function
 (* Structural fold over all expressions of a block, used by analyses. *)
 let rec iter_exprs_expr f e =
   f e;
-  match e.desc with
+  match e.node with
   | Num _ | Str _ | Ident _ | Varref _ | Colon | End_marker -> ()
   | Binop (_, a, b) ->
       iter_exprs_expr f a;

@@ -73,6 +73,39 @@ let format (fmt : string) (args : arg list) : string =
   done;
   Buffer.contents buf
 
+(* Rank-N rendering shared by both back ends: one matrix block per
+   leading-axis slice, headed by its subscript, e.g. "A(2,:,:) =". *)
+let format_tensor ?name ~(dims : int array) (dense : float array) : string =
+  let n = Array.length dims in
+  let rows = dims.(n - 2) and cols = dims.(n - 1) in
+  let cell = rows * cols in
+  let nslices = Array.fold_left ( * ) 1 (Array.sub dims 0 (n - 2)) in
+  let buf = Buffer.create 256 in
+  let base = match name with Some n when n <> "" -> n | _ -> "" in
+  for s = 0 to nslices - 1 do
+    (* decode the slice number into leading subscripts, slowest first *)
+    let subs = Array.make (n - 2) 0 in
+    let rem = ref s in
+    for axis = n - 3 downto 0 do
+      subs.(axis) <- !rem mod dims.(axis);
+      rem := !rem / dims.(axis)
+    done;
+    let head =
+      String.concat ","
+        (Array.to_list (Array.map (fun i -> string_of_int (i + 1)) subs))
+    in
+    Buffer.add_string buf (Printf.sprintf "%s(%s,:,:) =\n" base head);
+    for i = 0 to rows - 1 do
+      Buffer.add_string buf "  ";
+      for j = 0 to cols - 1 do
+        Buffer.add_string buf
+          (Printf.sprintf " %10.4f" dense.((s * cell) + (i * cols) + j))
+      done;
+      Buffer.add_char buf '\n'
+    done
+  done;
+  Buffer.contents buf
+
 (* Matrix rendering shared by both back ends (MATLAB-flavoured). *)
 let format_matrix ?name ~rows ~cols (dense : float array) : string =
   let buf = Buffer.create 256 in

@@ -271,11 +271,12 @@ let parse_display st =
   | _ -> true
 
 let lhs_of_expr (e : Ast.expr) =
-  match e.desc with
-  | Ast.Ident name -> { Ast.lv_name = name; lv_indices = None; lv_pos = e.epos }
+  match e.node with
+  | Ast.Ident name ->
+      { Ast.lv_name = name; lv_indices = None; lv_pos = e.ann.Ast.pos }
   | Ast.Apply (name, args) ->
-      { Ast.lv_name = name; lv_indices = Some args; lv_pos = e.epos }
-  | _ -> Source.error e.epos "invalid assignment target"
+      { Ast.lv_name = name; lv_indices = Some args; lv_pos = e.ann.Ast.pos }
+  | _ -> Source.error e.ann.Ast.pos "invalid assignment target"
 
 let rec parse_stmt st : Ast.stmt =
   let pos = cur_pos st in

@@ -23,7 +23,7 @@ let rec expr_prec ppf (prec, e) =
   let wrap p body =
     if p < prec then Fmt.pf ppf "(%t)" body else body ppf
   in
-  match e.desc with
+  match e.node with
   | Num f ->
       if Float.is_integer f && Float.abs f < 1e15 then
         Fmt.pf ppf "%.0f" f
@@ -132,3 +132,104 @@ let program ppf (p : Ast.program) =
 
 let expr_to_string e = Fmt.str "%a" expr e
 let program_to_string p = Fmt.str "%a" program p
+
+(* --- annotated dump ------------------------------------------------------ *)
+
+(* [annotated_program_to_string] renders the tree one node per line,
+   children indented two spaces, each node followed by the type/shape
+   that inference wrote into its annotation and, where the frame/cell
+   broadcasting rule lifts a lower-ranked operand, the number of frame
+   axes lifted over.  This is the [otterc dump --ast] format; the
+   golden tests pin it exactly. *)
+
+let num_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then Fmt.str "%.0f" f
+  else Fmt.str "%.17g" f
+
+let ann_to_string (a : Ast.ann) =
+  let frame = if a.frame > 0 then Fmt.str " [frame-lift %d]" a.frame else "" in
+  Fmt.str " : %a%s" Ty.pp_vt a.ty frame
+
+let rec dump_expr buf indent (e : Ast.expr) =
+  let pad = String.make indent ' ' in
+  let line label kids =
+    Buffer.add_string buf (Fmt.str "%s%s%s\n" pad label (ann_to_string e.ann));
+    List.iter (dump_expr buf (indent + 2)) kids
+  in
+  match e.node with
+  | Ast.Num f -> line (Fmt.str "Num %s" (num_to_string f)) []
+  | Ast.Str s -> line (Fmt.str "Str '%s'" s) []
+  | Ast.Ident name -> line (Fmt.str "Ident %s" name) []
+  | Ast.Varref name -> line (Fmt.str "Varref %s" name) []
+  | Ast.Colon -> line "Colon" []
+  | Ast.End_marker -> line "End" []
+  | Ast.Binop (op, a, b) ->
+      line (Fmt.str "Binop %s" (Ast.binop_name op)) [ a; b ]
+  | Ast.Unop (op, a) -> line (Fmt.str "Unop %s" (Ast.unop_name op)) [ a ]
+  | Ast.Range (a, None, b) -> line "Range" [ a; b ]
+  | Ast.Range (a, Some step, b) -> line "Range" [ a; step; b ]
+  | Ast.Apply (name, args) -> line (Fmt.str "Apply %s" name) args
+  | Ast.Call (name, args) -> line (Fmt.str "Call %s" name) args
+  | Ast.Index (name, args) -> line (Fmt.str "Index %s" name) args
+  | Ast.Matrix rows ->
+      let cols = match rows with row :: _ -> List.length row | [] -> 0 in
+      line (Fmt.str "Matrix %dx%d" (List.length rows) cols) (List.concat rows)
+
+let rec dump_stmt buf indent (s : Ast.stmt) =
+  let pad = String.make indent ' ' in
+  let line label = Buffer.add_string buf (Fmt.str "%s%s\n" pad label) in
+  match s.sdesc with
+  | Ast.Assign (l, e, _) ->
+      (match l.lv_indices with
+      | None -> line (Fmt.str "Assign %s" l.lv_name)
+      | Some args ->
+          line (Fmt.str "Assign %s(...)" l.lv_name);
+          List.iter (dump_expr buf (indent + 2)) args);
+      dump_expr buf (indent + 2) e
+  | Ast.Multi_assign (ls, e, _) ->
+      line
+        (Fmt.str "Multi_assign [%s]"
+           (String.concat ", " (List.map (fun l -> l.Ast.lv_name) ls)));
+      List.iter
+        (fun l ->
+          Option.iter (List.iter (dump_expr buf (indent + 2))) l.Ast.lv_indices)
+        ls;
+      dump_expr buf (indent + 2) e
+  | Ast.Expr (e, _) ->
+      line "Expr";
+      dump_expr buf (indent + 2) e
+  | Ast.If (branches, els) ->
+      List.iteri
+        (fun i (c, b) ->
+          line (if i = 0 then "If" else "Elseif");
+          dump_expr buf (indent + 2) c;
+          List.iter (dump_stmt buf (indent + 2)) b)
+        branches;
+      if els <> [] then begin
+        line "Else";
+        List.iter (dump_stmt buf (indent + 2)) els
+      end
+  | Ast.While (c, b) ->
+      line "While";
+      dump_expr buf (indent + 2) c;
+      List.iter (dump_stmt buf (indent + 2)) b
+  | Ast.For (v, e, b) ->
+      line (Fmt.str "For %s" v);
+      dump_expr buf (indent + 2) e;
+      List.iter (dump_stmt buf (indent + 2)) b
+  | Ast.Break -> line "Break"
+  | Ast.Continue -> line "Continue"
+  | Ast.Return -> line "Return"
+
+let annotated_program_to_string (p : Ast.program) =
+  let buf = Buffer.create 1024 in
+  List.iter (dump_stmt buf 0) p.script;
+  List.iter
+    (fun (f : Ast.func) ->
+      Buffer.add_string buf
+        (Fmt.str "Function %s(%s) -> [%s]\n" f.fname
+           (String.concat ", " f.params)
+           (String.concat ", " f.returns));
+      List.iter (dump_stmt buf 2) f.fbody)
+    p.funcs;
+  Buffer.contents buf

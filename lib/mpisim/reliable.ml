@@ -136,12 +136,31 @@ let protocol_recv ~src ~tag =
   in
   loop ()
 
+(* The wildcard receive: the simulator picks the source, then the
+   per-channel sequencing of [protocol_recv] applies to whichever
+   channel the message rode in on; duplicates are dropped and the wait
+   resumes, still wildcard. *)
+let rec protocol_recv_any ~tag =
+  let src, env = Sim.recv_any ~tag in
+  let seq, data = open_envelope ~src ~tag env in
+  let h = Sim.scratch () in
+  let key = (dir_recv, src, tag) in
+  let expected = Option.value ~default:0 (Hashtbl.find_opt h key) in
+  if seq = expected then begin
+    Hashtbl.replace h key (expected + 1);
+    (src, data)
+  end
+  else protocol_recv_any ~tag
+
 let send ~dst ~tag data =
   if Sim.reliable_on () then protocol_send ~dst ~tag data
   else Sim.send ~dst ~tag data
 
 let recv ~src ~tag =
   if Sim.reliable_on () then protocol_recv ~src ~tag else Sim.recv ~src ~tag
+
+let recv_any ~tag =
+  if Sim.reliable_on () then protocol_recv_any ~tag else Sim.recv_any ~tag
 
 let recv_floats ~src ~tag =
   match recv ~src ~tag with

@@ -27,5 +27,11 @@ val send : dst:int -> tag:int -> Sim.payload -> unit
 val recv : src:int -> tag:int -> Sim.payload
 (** Receive the next in-sequence message, discarding duplicates. *)
 
+val recv_any : tag:int -> int * Sim.payload
+(** Wildcard-source receive: the simulator picks the source (earliest
+    arrival, ties to the lowest rank); returns (source, data).
+    Per-channel sequencing still applies to the discovered source, and
+    a duplicate resumes the wildcard wait. *)
+
 val recv_floats : src:int -> tag:int -> float array
 val recv_ints : src:int -> tag:int -> int array

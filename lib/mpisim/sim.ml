@@ -44,9 +44,15 @@ type _ Effect.t +=
   | E_recv : int * int -> payload Effect.t (* src, tag *)
   | E_recv_opt : int * int * float -> payload option Effect.t
       (* src, tag, timeout: [None] once the deadline passes *)
+  | E_recv_any : int -> (int * payload) Effect.t
+      (* tag: wildcard-source receive -- block until a message with
+         this tag arrives from ANY rank; returns (source, data).  Among
+         pending candidates the earliest arrival wins, ties going to
+         the lowest source rank, so the match is deterministic. *)
   | E_probe : int * int -> bool Effect.t
       (* src, tag: has a matching message already arrived (in virtual
-         time) at this rank's mailbox?  Non-blocking. *)
+         time) at this rank's mailbox?  Non-blocking.  [src = -1] is
+         the wildcard: any source. *)
   | E_compute : float -> unit Effect.t (* seconds *)
   | E_flops : float -> unit Effect.t (* floating-point operations *)
   | E_rank : int Effect.t
@@ -176,6 +182,7 @@ let note_retry () =
   | Some c -> c.x_stats.retries <- c.x_stats.retries + 1
   | None -> perform E_note_retry
 let recv_opt ~src ~tag ~timeout = perform (E_recv_opt (src, tag, timeout))
+let recv_any ~tag = perform (E_recv_any tag)
 let probe ~src ~tag = perform (E_probe (src, tag))
 
 (* A receive that raises a typed [Timeout] at its deadline. *)
@@ -287,6 +294,8 @@ type 'a suspended =
       (* waiting on (src, tag) *)
   | Wants_recv_t of int * int * float * ('a, payload option) blocked_k
       (* waiting on (src, tag) until the absolute deadline *)
+  | Wants_recv_any of int * ('a, int * payload) blocked_k
+      (* waiting on (any source, tag) *)
 
 and ('a, 'b) blocked_k = ('b, 'a suspended) continuation
 
@@ -298,6 +307,23 @@ let mailbox st ~dst ~src ~tag =
       let q = Queue.create () in
       Hashtbl.add st.mailboxes key q;
       q
+
+(* The wildcard match: scan every source's queue for (dst, tag) and
+   return the source holding the earliest pending arrival, ties going
+   to the lowest source rank.  The ascending scan updating only on a
+   strictly earlier arrival implements the tie-break. *)
+let any_mailbox st ~dst ~tag : (int * float) option =
+  let best = ref None in
+  for src = 0 to st.nprocs - 1 do
+    match Hashtbl.find_opt st.mailboxes (dst, src, tag) with
+    | Some q when not (Queue.is_empty q) -> (
+        let arrival = fst (Queue.peek q) in
+        match !best with
+        | Some (_, a) when a <= arrival -> ()
+        | _ -> best := Some (src, arrival))
+    | _ -> ()
+  done;
+  !best
 
 (* --- the fault model ----------------------------------------------------- *)
 
@@ -519,15 +545,21 @@ let handler st my_rank (body : int -> 'a) : 'a suspended =
                     invalid_arg "recv: bad source rank";
                   if timeout < 0. then invalid_arg "recv: negative timeout";
                   Wants_recv_t (src, tag, st.clocks.(my_rank) +. timeout, k))
+          | E_recv_any tag -> Some (fun k -> Wants_recv_any (tag, k))
           | E_probe (src, tag) ->
               Some
                 (fun k ->
-                  if src < 0 || src >= st.nprocs then
+                  if src < -1 || src >= st.nprocs then
                     invalid_arg "probe: bad source rank";
-                  let q = mailbox st ~dst:my_rank ~src ~tag in
                   let arrived =
-                    (not (Queue.is_empty q))
-                    && fst (Queue.peek q) <= st.clocks.(my_rank)
+                    if src = -1 then
+                      match any_mailbox st ~dst:my_rank ~tag with
+                      | Some (_, arrival) -> arrival <= st.clocks.(my_rank)
+                      | None -> false
+                    else
+                      let q = mailbox st ~dst:my_rank ~src ~tag in
+                      (not (Queue.is_empty q))
+                      && fst (Queue.peek q) <= st.clocks.(my_rank)
                   in
                   continue k arrived)
           | _ -> None);
@@ -626,6 +658,12 @@ let run_report ?(attempt = 0) ~machine ~nprocs (body : int -> 'a) :
       | Some (Wants_recv (src, tag, _)) ->
           if Queue.is_empty (mailbox st ~dst:r ~src ~tag) then detector_key src
           else st.clocks.(r)
+      | Some (Wants_recv_any (tag, _)) ->
+          (* no single peer to watch for death: a wildcard wait with no
+             pending message simply stays blocked (total silence ends
+             the run as a [Deadlock] with this wait in the diagnostic) *)
+          if any_mailbox st ~dst:r ~tag = None then Float.nan
+          else st.clocks.(r)
       | Some (Wants_recv_t (src, tag, deadline, _)) ->
           let q = mailbox st ~dst:r ~src ~tag in
           if (not (Queue.is_empty q)) && fst (Queue.peek q) <= deadline then
@@ -677,6 +715,10 @@ let run_report ?(attempt = 0) ~machine ~nprocs (body : int -> 'a) :
                       (Printf.sprintf "  rank %d waits for (src=%d, tag=%d)%s\n"
                          rr src tag
                          (if dead.(src) then " [source is dead]" else ""))
+                | Some (Wants_recv_any (tag, _)) ->
+                    Buffer.add_string buf
+                      (Printf.sprintf
+                         "  rank %d waits for (src=any, tag=%d)\n" rr tag)
                 | Some (Wants_send (dst, tag, _, _, _)) ->
                     Buffer.add_string buf
                       (Printf.sprintf
@@ -726,6 +768,20 @@ let run_report ?(attempt = 0) ~machine ~nprocs (body : int -> 'a) :
                       +. st.machine.Machine.recv_overhead;
                     continue k data
                   end
+              | Some (Wants_recv_any (tag, k)) -> (
+                  match any_mailbox st ~dst:r ~tag with
+                  | Some (src, _) ->
+                      let arrival, data =
+                        Queue.pop (mailbox st ~dst:r ~src ~tag)
+                      in
+                      st.clocks.(r) <-
+                        Float.max st.clocks.(r) arrival
+                        +. st.machine.Machine.recv_overhead;
+                      continue k (src, data)
+                  | None ->
+                      (* unreachable: the scheduler only resumes a
+                         wildcard wait once a message is pending *)
+                      assert false)
               | Some (Wants_recv_t (src, tag, deadline, k)) ->
                   let q = mailbox st ~dst:r ~src ~tag in
                   if (not (Queue.is_empty q)) && fst (Queue.peek q) <= deadline

@@ -47,9 +47,18 @@ val recv_wait : ?min_timeout:float -> src:int -> tag:int -> unit -> payload
     reliable layer passes its worst-case retransmission window as
     [min_timeout] so a lawful retry storm is not condemned early. *)
 
+val recv_any : tag:int -> int * payload
+(** Wildcard-source receive: blocks until a message with [tag] arrives
+    from any rank; returns (source, data).  Among pending candidates
+    the earliest arrival wins, ties going to the lowest source rank,
+    so the match is deterministic.  A wildcard wait no sender ever
+    satisfies ends the run as a {!Deadlock} whose diagnostic lists the
+    wait as [(src=any, tag=...)]. *)
+
 val probe : src:int -> tag:int -> bool
 (** Has a matching message already arrived (in virtual time) at this
-    rank's mailbox?  Non-blocking; never advances the clock. *)
+    rank's mailbox?  Non-blocking; never advances the clock.
+    [src = -1] is the wildcard: any source. *)
 
 val recv_floats : src:int -> tag:int -> float array
 (** Raises {!Protocol_error} on an integer payload. *)

@@ -21,6 +21,7 @@ let compile ?path ?datadir ?(opt = Spmd.Pass.O2) ?passes ?validate ?dump_after
   let ast = Mlang.Parser.parse_program source in
   let ast = Analysis.Resolve.run ?path ast in
   let info = Analysis.Infer.program ?datadir ast in
+  Analysis.Ast_check.validate ast;
   let prog = Spmd.Lower.lower_program info ast in
   let names =
     match passes with Some ps -> ps | None -> Spmd.Pass.level_passes opt
@@ -45,6 +46,7 @@ let compile_frontend ?path ?datadir (source : string) : frontend =
   let ast = Mlang.Parser.parse_program source in
   let ast = Analysis.Resolve.run ?path ast in
   let info = Analysis.Infer.program ?datadir ast in
+  Analysis.Ast_check.validate ast;
   { fe_source = source; fe_ast = ast; fe_info = info }
 
 (* --- the run configuration ---------------------------------------------- *)
@@ -229,7 +231,8 @@ let outcome_of_interp (o : Interp.Eval.outcome) : Exec.State.outcome =
           ( name,
             match c with
             | Interp.Eval.Cscalar x -> Exec.State.Cscalar x
-            | Interp.Eval.Cmat (r, cc, d) -> Exec.State.Cmat (r, cc, d) ))
+            | Interp.Eval.Cmat (r, cc, d) -> Exec.State.Cmat (r, cc, d)
+            | Interp.Eval.Cnd (dims, d) -> Exec.State.Cnd (dims, d) ))
         o.Interp.Eval.captures;
     lib_calls = 0;
     report;
@@ -333,6 +336,25 @@ let compare_values ~tol (a : Interp.Eval.captured) (b : Exec.Vm.captured) :
         !bad
       end
   | Interp.Eval.Cmat (1, 1, [| x |]), Exec.Vm.Cscalar y ->
+      if close x y then None else Some (Printf.sprintf "%g vs %g" x y)
+  | Interp.Eval.Cnd (d1, a1), Exec.Vm.Cnd (d2, a2) ->
+      if d1 <> d2 then
+        let show d =
+          String.concat "x" (Array.to_list (Array.map string_of_int d))
+        in
+        Some (Printf.sprintf "dims %s vs %s" (show d1) (show d2))
+      else begin
+        let bad = ref None in
+        Array.iteri
+          (fun i x ->
+            if !bad = None && not (close x a2.(i)) then
+              bad := Some (Printf.sprintf "element %d: %g vs %g" i x a2.(i)))
+          a1;
+        !bad
+      end
+  | Interp.Eval.Cscalar x, Exec.Vm.Cnd (_, [| y |]) ->
+      if close x y then None else Some (Printf.sprintf "%g vs %g" x y)
+  | Interp.Eval.Cnd (_, [| x |]), Exec.Vm.Cscalar y ->
       if close x y then None else Some (Printf.sprintf "%g vs %g" x y)
   | _ -> Some "rank mismatch"
 

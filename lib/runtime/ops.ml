@@ -748,3 +748,117 @@ let section_linear (v : Dmat.t) (idx : int array) ~rows ~cols : Dmat.t =
     idx;
   if v.full then Dmat.init_full ~rows ~cols (fun g -> dense.(idx.(g)))
   else Dmat.init ~rows ~cols (fun g -> dense.(idx.(g)))
+
+(* --- rank-N tensor operations ------------------------------------------ *)
+
+(* The tensor analogues of the operations above, over [Ndarr] values
+   distributed block-contiguously along the leading (frame) axis.  The
+   communication patterns mirror the matrix forms exactly: a full
+   reduction is a local fold plus one scalar allreduce, an element read
+   is an owner broadcast, an element store is an owner-guarded write,
+   and general sections gather the operand. *)
+
+let nd_reduce_all op (t : Ndarr.t) : float =
+  let acc = ref (red_init op) in
+  for i = 0 to Ndarr.local_len t - 1 do
+    acc := red_combine op !acc t.Ndarr.data.(i)
+  done;
+  Sim.flops (float_of_int (Ndarr.local_len t));
+  if t.Ndarr.full then !acc
+  else Coll.allreduce_scalar ~op:(coll_op op) !acc
+
+let nd_mean_all (t : Ndarr.t) =
+  nd_reduce_all Rsum t /. float_of_int (Ndarr.numel t)
+
+let nd_check_bounds (t : Ndarr.t) (idx : int array) =
+  Array.iteri
+    (fun axis i ->
+      if i < 0 || i >= t.Ndarr.dims.(axis) then
+        failwith
+          (Printf.sprintf "tensor index %d out of bounds (extent %d, axis %d)"
+             (i + 1) t.Ndarr.dims.(axis) (axis + 1)))
+    idx
+
+(* The owner of the element's leading slice broadcasts its value. *)
+let nd_bcast_elem (t : Ndarr.t) (idx : int array) : float =
+  nd_check_bounds t idx;
+  if t.Ndarr.full then Ndarr.get_local t idx
+  else
+    let root = Ndarr.owner_rank t ~d0:idx.(0) in
+    let v = if Ndarr.owner t ~d0:idx.(0) then Ndarr.get_local t idx else 0. in
+    Coll.bcast_scalar ~root v
+
+(* Guarded store: only the owner of the leading slice writes. *)
+let nd_set_elem (t : Ndarr.t) (idx : int array) v =
+  nd_check_bounds t idx;
+  if Ndarr.owner t ~d0:idx.(0) then Ndarr.set_local t idx v
+
+(* result(k0, ..., kn) = t(sels.(0).(k0), ..., sels.(n).(kn)) with
+   replicated 0-based index vectors; the operand is gathered and the
+   result block selected locally, like the matrix [section]. *)
+let nd_section (t : Ndarr.t) (sels : int array array) : Ndarr.t =
+  Array.iteri
+    (fun axis s ->
+      Array.iter
+        (fun i ->
+          if i < 0 || i >= t.Ndarr.dims.(axis) then
+            failwith
+              (Printf.sprintf
+                 "section: index %d out of bounds (extent %d, axis %d)"
+                 (i + 1) t.Ndarr.dims.(axis) (axis + 1)))
+        s)
+    sels;
+  let dense = Ndarr.to_dense t in
+  let rdims = Array.map Array.length sels in
+  let n = Array.length rdims in
+  let src_offset g =
+    (* decode the result's row-major index [g], map each axis through
+       its selector, re-encode against the source extents *)
+    let idx = Array.make n 0 in
+    let rem = ref g in
+    for axis = n - 1 downto 0 do
+      idx.(axis) <- sels.(axis).(!rem mod rdims.(axis));
+      rem := !rem / rdims.(axis)
+    done;
+    let off = ref 0 in
+    for axis = 0 to n - 1 do
+      off := (!off * t.Ndarr.dims.(axis)) + idx.(axis)
+    done;
+    !off
+  in
+  let r = if t.Ndarr.full then Ndarr.create_full rdims else Ndarr.create rdims in
+  for li = 0 to Ndarr.local_len r - 1 do
+    r.Ndarr.data.(li) <- dense.(src_offset (Ndarr.global_of_local r li))
+  done;
+  r
+
+(* t(sels) = value: every rank walks the selected positions in row-major
+   selection order and the owner of each target's leading slice stores
+   the value (owner computes, like the matrix section assignment). *)
+let nd_set_section (t : Ndarr.t) (sels : int array array) (value : int -> float)
+    =
+  Array.iteri
+    (fun axis s ->
+      Array.iter
+        (fun i ->
+          if i < 0 || i >= t.Ndarr.dims.(axis) then
+            failwith
+              (Printf.sprintf
+                 "section assignment: index %d out of bounds (extent %d, axis \
+                  %d)"
+                 (i + 1) t.Ndarr.dims.(axis) (axis + 1)))
+        s)
+    sels;
+  let rdims = Array.map Array.length sels in
+  let n = Array.length rdims in
+  let total = Array.fold_left ( * ) 1 rdims in
+  let idx = Array.make n 0 in
+  for k = 0 to total - 1 do
+    let rem = ref k in
+    for axis = n - 1 downto 0 do
+      idx.(axis) <- sels.(axis).(!rem mod rdims.(axis));
+      rem := !rem / rdims.(axis)
+    done;
+    if Ndarr.owner t ~d0:idx.(0) then Ndarr.set_local t idx (value k)
+  done;
+  Sim.flops (float_of_int total)

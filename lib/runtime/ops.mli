@@ -93,3 +93,30 @@ val section : Dmat.t -> int array -> int array -> Dmat.t
 (** result(i, j) = a(ri(i), rj(j)) with replicated 0-based indices. *)
 
 val section_linear : Dmat.t -> int array -> rows:int -> cols:int -> Dmat.t
+
+(** {2 Rank-N tensor operations}
+
+    The tensor analogues over {!Ndarr} values distributed along the
+    leading (frame) axis; communication patterns mirror the matrix
+    forms (local fold + allreduce, owner broadcast, owner-guarded
+    store, gather-then-select sections). *)
+
+val nd_reduce_all : red -> Ndarr.t -> float
+(** Reduce every element of a tensor to one scalar. *)
+
+val nd_mean_all : Ndarr.t -> float
+
+val nd_bcast_elem : Ndarr.t -> int array -> float
+(** The owner of the element's leading slice broadcasts its value.
+    Full 0-based multi-index; raises [Failure] when out of bounds. *)
+
+val nd_set_elem : Ndarr.t -> int array -> float -> unit
+(** Guarded store: only the owner of the leading slice writes. *)
+
+val nd_section : Ndarr.t -> int array array -> Ndarr.t
+(** Per-axis 0-based index vectors -> same-rank tensor of the selected
+    extents (no squeezing). *)
+
+val nd_set_section : Ndarr.t -> int array array -> (int -> float) -> unit
+(** [nd_set_section t sels value] stores [value k] at the k-th selected
+    position (row-major selection order); owners write. *)

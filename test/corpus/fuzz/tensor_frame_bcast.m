@@ -1,0 +1,15 @@
+% Rank-3 grammar anchor: frame broadcast of a cell matrix and a scalar
+% over the distributed leading axis, then full reductions.
+t1 = ones(3, 2, 2);
+m1 = [1, 2; 3, 5];
+t2 = t1 .* m1;
+t3 = t2 + 0.5;
+t4 = t3 - t1;
+s1 = sum(t4);
+s2 = max(t2);
+s3 = mean(t3);
+fprintf('%.17g\n', s1);
+fprintf('%.17g\n', s2);
+fprintf('%.17g\n', s3);
+fprintf('%.17g\n', t4(2, 1, 2));
+fprintf('%.17g\n', t3(3, 2, 1));

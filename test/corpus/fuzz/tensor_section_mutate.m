@@ -1,0 +1,14 @@
+% Rank-3 grammar anchor: leading-axis sections stay rank-preserving and
+% element writes land on the owning rank, inside and outside a loop.
+t1 = zeros(3, 2, 3);
+t1(1, 2, 3) = 7;
+t1(3, 1, 1) = -2;
+for i1 = 1:2
+  t1(2, 1, 2) = i1 + t1(2, 1, 2);
+end
+t2 = t1(2:3, :, :);
+t3 = t2 ./ 4;
+s1 = sum(t2);
+s2 = min(t3);
+fprintf('%.17g %.17g\n', s1, s2);
+fprintf('%.17g %.17g\n', t2(1, 1, 2), t3(2, 1, 1));

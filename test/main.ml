@@ -6,6 +6,7 @@ let () =
       ("resolve", Test_resolve.suite);
       ("ssa", Test_ssa.suite);
       ("infer", Test_infer.suite);
+      ("dump", Test_dump.suite);
       ("lower", Test_lower.suite);
       ("peephole", Test_peephole.suite);
       ("passes", Test_passes.suite);

@@ -17,21 +17,34 @@ let engine_time ~engine ~machine ~nprocs c =
     .Exec.Vm.report
     .Mpisim.Sim.makespan
 
-let verify_app key ~scale ~nprocs =
+let verify_app ?(machine = Mpisim.Machine.meiko_cs2) key ~scale ~nprocs =
   let app = Option.get (Apps.Scripts.find key) in
   let c = Otter.compile (app.source scale) in
   let mm =
     Otter.verify_list
-      (Otter.config ~tol:1e-6 ~machine:Mpisim.Machine.meiko_cs2 ~nprocs
-         ~capture:app.capture ())
+      (Otter.config ~tol:1e-6 ~machine ~nprocs ~capture:app.capture ())
       c
   in
   if mm <> [] then
-    Alcotest.failf "%s P=%d: %s" key nprocs
+    Alcotest.failf "%s %s P=%d: %s" key machine.Mpisim.Machine.name nprocs
       (String.concat "; "
          (List.map (fun m -> m.Otter.variable ^ ": " ^ m.Otter.detail) mm))
 
 let test_verify key () = List.iter (fun p -> verify_app key ~scale:8 ~nprocs:p) [ 1; 3; 8; 16 ]
+
+(* The rank-N applications verify against the interpreter at
+   P in {1,2,4,8} on all three machine models. *)
+let test_verify_tensor key () =
+  List.iter
+    (fun machine ->
+      List.iter
+        (fun p -> verify_app ~machine key ~scale:8 ~nprocs:p)
+        [ 1; 2; 4; 8 ])
+    [
+      Mpisim.Machine.meiko_cs2;
+      Mpisim.Machine.enterprise_smp;
+      Mpisim.Machine.sparc20_cluster;
+    ]
 
 let times key ~scale ~machine =
   let app = Option.get (Apps.Scripts.find key) in
@@ -98,6 +111,38 @@ let test_ocean_signal () =
   in
   Alcotest.(check bool) "rms below max" true (get "Frms" < get "Fmax");
   Alcotest.(check bool) "nonzero force" true (get "Frms" > 0.)
+
+let test_heat3d_physics () =
+  (* a hot face diffusing into a cold grid: the peak stays at the
+     boundary value, interior temperatures lie strictly between the
+     boundary extremes, and total heat is positive *)
+  let src = Apps.Scripts.heat3d ~n:10 ~m:8 ~iters:12 () in
+  let c = Otter.compile src in
+  let o = run4 ~capture:[ "heat"; "peak"; "core" ] c in
+  let get n =
+    match List.assoc n o.Exec.Vm.captures with
+    | Exec.Vm.Cscalar f -> f
+    | _ -> nan
+  in
+  Testutil.check_close "peak is the hot face" 1. (get "peak");
+  Alcotest.(check bool) "core warmed" true (get "core" > 0.);
+  Alcotest.(check bool) "core below the hot face" true (get "core" < 1.);
+  Alcotest.(check bool) "total heat positive" true (get "heat" > 0.)
+
+let test_logistic_range () =
+  (* every trajectory of the logistic map stays inside (0, 1) *)
+  let src = Apps.Scripts.logistic ~pages:8 ~m:8 ~iters:40 () in
+  let c = Otter.compile src in
+  let o = run4 ~capture:[ "xlo"; "xhi"; "xm" ] c in
+  let get n =
+    match List.assoc n o.Exec.Vm.captures with
+    | Exec.Vm.Cscalar f -> f
+    | _ -> nan
+  in
+  Alcotest.(check bool) "bounded below" true (get "xlo" > 0.);
+  Alcotest.(check bool) "bounded above" true (get "xhi" < 1.);
+  Alcotest.(check bool) "mean inside the bounds" true
+    (get "xlo" <= get "xm" && get "xm" <= get "xhi")
 
 (* --- paper-shape assertions (the headline claims) ----------------------- *)
 
@@ -184,7 +229,11 @@ let suite =
     t "ocean verifies across P" (test_verify "ocean");
     t "nbody verifies across P" (test_verify "nbody");
     t "tc verifies across P" (test_verify "tc");
+    t "heat3d verifies across P and machines" (test_verify_tensor "heat3d");
+    t "logistic verifies across P and machines" (test_verify_tensor "logistic");
     t "cg converges" test_cg_converges;
+    t "heat3d physics" test_heat3d_physics;
+    t "logistic range" test_logistic_range;
     t "tc closure properties" test_tc_closure_properties;
     t "nbody physics" test_nbody_physics;
     t "ocean signal" test_ocean_signal;

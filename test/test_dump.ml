@@ -1,0 +1,210 @@
+(* The annotation layer itself: golden listings of the annotated-AST
+   dump (the [otterc dump --ast] format) pinning the inferred
+   type/shape/frame annotations per node, plus unit tests of the AST
+   invariant validator that [Otter.compile] runs on every program. *)
+
+open Mlang
+
+let dump src =
+  let fe = Otter.compile_frontend src in
+  Pp.annotated_program_to_string fe.Otter.fe_ast
+
+let check_golden name src expected () =
+  Alcotest.(check string) name expected (dump src)
+
+(* Scalars, a matrix, indexing and a function call: every node carries
+   an inferred type, and constant shapes are derived. *)
+let golden_scalar_matrix =
+  check_golden "scalar/matrix listing"
+    "a = 2;\nb = a + 3;\nM = zeros(2, 3);\nr = M(1, 2) * b;\n"
+    "Assign a\n\
+     \  Num 2 : integer scalar\n\
+     Assign b\n\
+     \  Binop + : integer scalar\n\
+     \    Varref a : integer scalar\n\
+     \    Num 3 : integer scalar\n\
+     Assign M\n\
+     \  Call zeros : real matrix [2x3]\n\
+     \    Num 2 : integer scalar\n\
+     \    Num 3 : integer scalar\n\
+     Assign r\n\
+     \  Binop * : real scalar\n\
+     \    Index M : real scalar\n\
+     \      Num 1 : integer scalar\n\
+     \      Num 2 : integer scalar\n\
+     \    Varref b : integer scalar\n"
+
+(* A rank-3 tensor broadcast against a matrix cell: the Binop node
+   records the frame lift, and the tensor shape threads through. *)
+let golden_tensor_frame =
+  check_golden "tensor frame-lift listing"
+    "T = zeros(2, 3, 3);\nc = ones(3, 3);\nU = T + c;\ns = sum(U);\n"
+    "Assign T\n\
+     \  Call zeros : real tensor [2x3x3]\n\
+     \    Num 2 : integer scalar\n\
+     \    Num 3 : integer scalar\n\
+     \    Num 3 : integer scalar\n\
+     Assign c\n\
+     \  Call ones : real matrix [3x3]\n\
+     \    Num 3 : integer scalar\n\
+     \    Num 3 : integer scalar\n\
+     Assign U\n\
+     \  Binop + : real tensor [2x3x3] [frame-lift 1]\n\
+     \    Varref T : real tensor [2x3x3]\n\
+     \    Varref c : real matrix [3x3]\n\
+     Assign s\n\
+     \  Call sum : real scalar\n\
+     \    Varref U : real tensor [2x3x3]\n"
+
+(* Control flow, indexed assignment and a leading-axis section. *)
+let golden_control_flow =
+  check_golden "control-flow listing"
+    "T = zeros(4, 2, 2);\nfor i = 1:3\n  T(1, 1, 1) = i;\nend\nS = T(2:3, :, :);\n"
+    "Assign T\n\
+     \  Call zeros : real tensor [4x2x2]\n\
+     \    Num 4 : integer scalar\n\
+     \    Num 2 : integer scalar\n\
+     \    Num 2 : integer scalar\n\
+     For i\n\
+     \  Range : integer matrix [1x3]\n\
+     \    Num 1 : integer scalar\n\
+     \    Num 3 : integer scalar\n\
+     \  Assign T(...)\n\
+     \    Num 1 : integer scalar\n\
+     \    Num 1 : integer scalar\n\
+     \    Num 1 : integer scalar\n\
+     \    Varref i : integer scalar\n\
+     Assign S\n\
+     \  Index T : real tensor [2x2x2]\n\
+     \    Range : integer matrix [1x2]\n\
+     \      Num 2 : integer scalar\n\
+     \      Num 3 : integer scalar\n\
+     \    Colon : integer scalar\n\
+     \    Colon : integer scalar\n"
+
+(* --- the invariant validator --------------------------------------------- *)
+
+let no_pos = Source.no_pos
+
+(* A fresh annotated node, as [Ast.mk] builds them. *)
+let mk = Ast.mk ~pos:no_pos
+
+let script_of e =
+  { Ast.script = [ Ast.mk_stmt (Ast.Expr (e, false)) ]; funcs = [] }
+
+let test_validator_clean () =
+  let fe =
+    Otter.compile_frontend
+      "T = zeros(2, 3, 3);\nU = T + ones(3, 3);\ns = sum(U);\nfprintf('%g\\n', s);\n"
+  in
+  Alcotest.(check (list string))
+    "no violations" []
+    (Analysis.Ast_check.errors fe.Otter.fe_ast)
+
+let test_validator_unresolved () =
+  let p = script_of (mk (Ast.Ident "x")) in
+  match Analysis.Ast_check.errors p with
+  | [ msg ] ->
+      Alcotest.(check bool)
+        "mentions the identifier" true
+        (Testutil.contains msg "unresolved identifier 'x'")
+  | errs ->
+      Alcotest.failf "expected exactly one violation, got %d" (List.length errs)
+
+let test_validator_duplicate_id () =
+  (* Two distinct ann records claiming the same id: the discipline says
+     equal ids must mean one shared (physically equal) record. *)
+  let dup_ann () = { Ast.pos = no_pos; id = 424242; ty = Ty.Bottom; frame = 0 } in
+  let a = { Ast.ann = dup_ann (); node = Ast.Num 1. } in
+  let b = { Ast.ann = dup_ann (); node = Ast.Num 2. } in
+  let p = script_of (mk (Ast.Binop (Ast.Add, a, b))) in
+  match Analysis.Ast_check.errors p with
+  | [ msg ] ->
+      Alcotest.(check bool)
+        "reports the reuse" true
+        (Testutil.contains msg "annotation id 424242 reused")
+  | errs ->
+      Alcotest.failf "expected exactly one violation, got %d" (List.length errs)
+
+let test_validator_shared_ann_ok () =
+  (* The sanctioned form of id reuse: a [{ e with node = ... }] copy
+     shares the ann record, and both copies may appear in the tree. *)
+  let original = mk (Ast.Varref "x") in
+  let copy = { original with Ast.node = Ast.Varref "x" } in
+  let p = script_of (mk (Ast.Binop (Ast.Add, original, copy))) in
+  Alcotest.(check (list string)) "sharing is legal" [] (Analysis.Ast_check.errors p)
+
+let test_validator_frame_on_scalar () =
+  let e = mk (Ast.Num 7.) in
+  e.Ast.ann.ty <- Ty.Known Ty.int_scalar;
+  e.Ast.ann.frame <- 1;
+  let p = script_of e in
+  match Analysis.Ast_check.errors p with
+  | [ msg ] ->
+      Alcotest.(check bool)
+        "rejects the lift" true
+        (Testutil.contains msg "frame lift 1 on non-tensor")
+  | errs ->
+      Alcotest.failf "expected exactly one violation, got %d" (List.length errs)
+
+let test_validator_frame_too_deep () =
+  let e = mk (Ast.Varref "T") in
+  e.Ast.ann.ty <- Ty.Known (Ty.tensor ~outer:[ Ty.Dconst 4 ] Ty.Real);
+  e.Ast.ann.frame <- 2;
+  let p = script_of e in
+  match Analysis.Ast_check.errors p with
+  | [ msg ] ->
+      Alcotest.(check bool)
+        "rejects the over-lift" true
+        (Testutil.contains msg "frame lift 2 exceeds the 1 frame axes")
+  | errs ->
+      Alcotest.failf "expected exactly one violation, got %d" (List.length errs)
+
+let test_validator_scalar_shape () =
+  let e = mk (Ast.Num 7.) in
+  e.Ast.ann.ty <-
+    Ty.Known
+      { Ty.base = Ty.Integer; rank = Ty.Rscalar; shape = Ty.unknown_shape };
+  let p = script_of e in
+  match Analysis.Ast_check.errors p with
+  | [ msg ] ->
+      Alcotest.(check bool)
+        "rejects the shape" true
+        (Testutil.contains msg "non-1x1 shape")
+  | errs ->
+      Alcotest.failf "expected exactly one violation, got %d" (List.length errs)
+
+(* Every promoted app passes the validator end to end (Otter.compile
+   itself raises on violation; this keeps the check visible in the
+   suite even if the pipeline wiring changes). *)
+let test_validator_apps () =
+  List.iter
+    (fun (app : Apps.Scripts.app) ->
+      let c = Otter.compile (app.Apps.Scripts.source 10) in
+      Alcotest.(check (list string))
+        (app.Apps.Scripts.key ^ " invariants") []
+        (Analysis.Ast_check.errors c.Otter.ast))
+    Apps.Scripts.all
+
+let suite =
+  [
+    Alcotest.test_case "golden: scalar/matrix" `Quick golden_scalar_matrix;
+    Alcotest.test_case "golden: tensor frame lift" `Quick golden_tensor_frame;
+    Alcotest.test_case "golden: control flow" `Quick golden_control_flow;
+    Alcotest.test_case "validator accepts clean program" `Quick
+      test_validator_clean;
+    Alcotest.test_case "validator rejects unresolved ident" `Quick
+      test_validator_unresolved;
+    Alcotest.test_case "validator rejects duplicate ids" `Quick
+      test_validator_duplicate_id;
+    Alcotest.test_case "validator allows shared ann copies" `Quick
+      test_validator_shared_ann_ok;
+    Alcotest.test_case "validator rejects frame lift on scalar" `Quick
+      test_validator_frame_on_scalar;
+    Alcotest.test_case "validator rejects over-deep frame lift" `Quick
+      test_validator_frame_too_deep;
+    Alcotest.test_case "validator rejects malformed scalar shape" `Quick
+      test_validator_scalar_shape;
+    Alcotest.test_case "all apps satisfy AST invariants" `Quick
+      test_validator_apps;
+  ]

@@ -35,6 +35,15 @@ let test_random_cases () =
   | Fuzz.Counterexample { script; detail; _ } ->
       Alcotest.failf "counterexample (%s):\n%s" detail script
 
+(* The rank-N grammar the nightly job enables with --rank3. *)
+let test_random_rank3 () =
+  match Fuzz.run_random ~rank3:true ~cases:25 ~seed:7 () with
+  | Fuzz.All_passed s ->
+      Alcotest.(check int) "all compared" s.Fuzz.cases
+        (s.Fuzz.passed + s.Fuzz.discarded)
+  | Fuzz.Counterexample { script; detail; _ } ->
+      Alcotest.failf "rank-3 counterexample (%s):\n%s" detail script
+
 (* The oracle infrastructure itself: output comparison must absorb
    benign formatting differences but reject real ones. *)
 let test_outputs_agree () =
@@ -51,5 +60,6 @@ let suite =
   [
     t "corpus replay" test_corpus_replay;
     t "random differential cases" test_random_cases;
+    t "random rank-3 cases" test_random_rank3;
     t "output comparison" test_outputs_agree;
   ]

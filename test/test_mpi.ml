@@ -111,6 +111,72 @@ MPI_Send(1 - r, 3, r + 1);
         (contains msg "no message pending")
   | _ -> Alcotest.fail "expected an interpreter error"
 
+(* --- wildcard source: MPI_Recv(-1, tag) / MPI_Probe(-1, tag) ------------- *)
+
+let anysrc_src =
+  {|r = MPI_Comm_rank();
+p = MPI_Comm_size();
+n = 64;
+chunk = n / p;
+lo = r * chunk + 1;
+hi = lo + chunk - 1;
+part = (hi * (hi + 1) - (lo - 1) * lo) / 2;
+total = part;
+if r == 0
+  for k = 2:p
+    total = total + MPI_Recv(-1, 9);
+  end
+else
+  MPI_Send(0, 9, part);
+end
+leftover = MPI_Probe(-1, 9);
+total = MPI_Bcast(0, total);
+fprintf('any-source gather: total = %d leftover = %d\n', total, leftover);
+|}
+
+let test_any_source_gather () =
+  let expected = "any-source gather: total = 2080 leftover = 0\n" in
+  List.iter
+    (fun nprocs ->
+      let a = run_engine ~engine:Otter.Config.Etcode ~nprocs anysrc_src in
+      let b = run_engine ~engine:Otter.Config.Eir ~nprocs anysrc_src in
+      check Alcotest.string
+        (Printf.sprintf "any-source gather P=%d" nprocs)
+        expected a.Exec.State.output;
+      check Alcotest.string
+        (Printf.sprintf "engines agree P=%d" nprocs)
+        a.Exec.State.output b.Exec.State.output)
+    [ 1; 2; 4; 8 ];
+  let out, _ = run_interp anysrc_src in
+  check Alcotest.string "interpreter (any source = source 0)" expected out
+
+let test_any_source_deadlock_diagnosed () =
+  (* A wildcard receive nobody satisfies: the deadlock diagnostic must
+     name the wildcard wait, not a phantom source rank. *)
+  let src =
+    {|r = MPI_Comm_rank();
+if r > 100
+  MPI_Send(0, 3, 1);
+end
+x = MPI_Recv(-1, 3);
+|}
+  in
+  let c = compile src in
+  match Otter.run (Otter.config ~nprocs:2 ()) c |> Otter.outcome_exn with
+  | exception Mpisim.Sim.Deadlock msg ->
+      Alcotest.(check bool) "wildcard named in diagnosis" true
+        (contains msg "waits for (src=any, tag=2000003)")
+  | _ -> Alcotest.fail "expected a deadlock"
+
+let test_any_source_bad_rank () =
+  let src = "MPI_Send(0, 1, 7);\nx = MPI_Recv(-2, 1);\n" in
+  let c = compile src in
+  match Otter.run (Otter.config ~nprocs:4 ()) c |> Otter.outcome_exn with
+  | exception Exec.Vm.Runtime_error msg ->
+      Alcotest.(check bool) "wildcard hinted" true
+        (contains msg "source rank -2 is outside 0..3 (use -1 for any source)")
+  | _ -> Alcotest.fail "expected a runtime error"
+
 (* --- tag mismatch: receiving a tag nothing sends is rejected ------------- *)
 
 let test_tag_mismatch () =
@@ -262,7 +328,7 @@ let test_examples_bit_identical () =
                 a.Exec.State.report.Mpisim.Sim.makespan
                 b.Exec.State.report.Mpisim.Sim.makespan)
             [ 2; 4; 8 ])
-        [ "pingpong.m"; "mpi_filter.m" ]
+        [ "pingpong.m"; "mpi_filter.m"; "mpi_anysrc.m" ]
 
 (* --- bandwidth is monotone in message size ------------------------------- *)
 
@@ -378,6 +444,10 @@ let suite =
     t "pingpong engines agree at P in {2,4,8}" test_pingpong_engines;
     t "self-send queue is FIFO" test_self_send;
     t "circular receives deadlock" test_deadlock;
+    t "any-source gather verifies across P" test_any_source_gather;
+    t "unsatisfied any-source recv names the wildcard"
+      test_any_source_deadlock_diagnosed;
+    t "bad source rank hints the wildcard" test_any_source_bad_rank;
     t "receiving a never-sent tag is rejected" test_tag_mismatch;
     t "out-of-range ranks are diagnosed" test_rank_bounds;
     t "mixed explicit+implicit verifies on 4 apps x 3 machines"

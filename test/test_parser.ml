@@ -18,97 +18,97 @@ let test_precedence () =
   check_parse "power over unary minus" "-2 ^ 2" "-2 ^ 2";
   (* -2^2 parses as -(2^2) *)
   Alcotest.(check bool) "neg of pow" true
-    (match (parse_e "-2^2").desc with
-    | Ast.Unop (Ast.Neg, { desc = Ast.Binop (Ast.Pow, _, _); _ }) -> true
+    (match (parse_e "-2^2").node with
+    | Ast.Unop (Ast.Neg, { node = Ast.Binop (Ast.Pow, _, _); _ }) -> true
     | _ -> false);
   (* 2^-3 allows signed exponent *)
   Alcotest.(check bool) "signed exponent" true
-    (match (parse_e "2^-3").desc with
-    | Ast.Binop (Ast.Pow, _, { desc = Ast.Unop (Ast.Neg, _); _ }) -> true
+    (match (parse_e "2^-3").node with
+    | Ast.Binop (Ast.Pow, _, { node = Ast.Unop (Ast.Neg, _); _ }) -> true
     | _ -> false);
   (* power is left associative *)
   Alcotest.(check bool) "pow left assoc" true
-    (match (parse_e "2^3^2").desc with
-    | Ast.Binop (Ast.Pow, { desc = Ast.Binop (Ast.Pow, _, _); _ }, _) -> true
+    (match (parse_e "2^3^2").node with
+    | Ast.Binop (Ast.Pow, { node = Ast.Binop (Ast.Pow, _, _); _ }, _) -> true
     | _ -> false);
   (* colon binds looser than + *)
   Alcotest.(check bool) "range of sums" true
-    (match (parse_e "1:n-1").desc with
-    | Ast.Range (_, None, { desc = Ast.Binop (Ast.Sub, _, _); _ }) -> true
+    (match (parse_e "1:n-1").node with
+    | Ast.Range (_, None, { node = Ast.Binop (Ast.Sub, _, _); _ }) -> true
     | _ -> false);
   (* comparison looser than colon *)
   Alcotest.(check bool) "cmp of range" true
-    (match (parse_e "x < 1:3").desc with
-    | Ast.Binop (Ast.Lt, _, { desc = Ast.Range _; _ }) -> true
+    (match (parse_e "x < 1:3").node with
+    | Ast.Binop (Ast.Lt, _, { node = Ast.Range _; _ }) -> true
     | _ -> false);
   (* && looser than || ? no: || loosest *)
   Alcotest.(check bool) "or of and" true
-    (match (parse_e "a && b || c").desc with
-    | Ast.Binop (Ast.Shortor, { desc = Ast.Binop (Ast.Shortand, _, _); _ }, _) ->
+    (match (parse_e "a && b || c").node with
+    | Ast.Binop (Ast.Shortor, { node = Ast.Binop (Ast.Shortand, _, _); _ }, _) ->
         true
     | _ -> false)
 
 let test_transpose () =
   Alcotest.(check bool) "postfix after index" true
-    (match (parse_e "a(i)'").desc with
-    | Ast.Unop (Ast.Ctranspose, { desc = Ast.Apply ("a", _); _ }) -> true
+    (match (parse_e "a(i)'").node with
+    | Ast.Unop (Ast.Ctranspose, { node = Ast.Apply ("a", _); _ }) -> true
     | _ -> false);
   Alcotest.(check bool) "dot-quote is Transpose" true
-    (match (parse_e "a.'").desc with
+    (match (parse_e "a.'").node with
     | Ast.Unop (Ast.Transpose, _) -> true
     | _ -> false);
   (* r'*r is (r') * r *)
   Alcotest.(check bool) "transpose then mul" true
-    (match (parse_e "r'*r").desc with
-    | Ast.Binop (Ast.Mul, { desc = Ast.Unop (Ast.Ctranspose, _); _ }, _) -> true
+    (match (parse_e "r'*r").node with
+    | Ast.Binop (Ast.Mul, { node = Ast.Unop (Ast.Ctranspose, _); _ }, _) -> true
     | _ -> false)
 
 let test_ranges () =
   Alcotest.(check bool) "two-part" true
-    (match (parse_e "1:10").desc with
+    (match (parse_e "1:10").node with
     | Ast.Range (_, None, _) -> true
     | _ -> false);
   Alcotest.(check bool) "three-part middle is step" true
-    (match (parse_e "0:0.1:1").desc with
+    (match (parse_e "0:0.1:1").node with
     | Ast.Range
-        ( { desc = Ast.Num 0.; _ },
-          Some { desc = Ast.Num 0.1; _ },
-          { desc = Ast.Num 1.; _ } ) ->
+        ( { node = Ast.Num 0.; _ },
+          Some { node = Ast.Num 0.1; _ },
+          { node = Ast.Num 1.; _ } ) ->
         true
     | _ -> false)
 
 let test_matrix_literals () =
   Alcotest.(check bool) "2x2" true
-    (match (parse_e "[1, 2; 3, 4]").desc with
+    (match (parse_e "[1, 2; 3, 4]").node with
     | Ast.Matrix [ [ _; _ ]; [ _; _ ] ] -> true
     | _ -> false);
   Alcotest.(check bool) "empty" true
-    (match (parse_e "[]").desc with Ast.Matrix [] -> true | _ -> false);
+    (match (parse_e "[]").node with Ast.Matrix [] -> true | _ -> false);
   (* newline acts as a row separator inside brackets *)
   Alcotest.(check bool) "newline rows" true
-    (match (parse_e "[1, 2\n3, 4]").desc with
+    (match (parse_e "[1, 2\n3, 4]").node with
     | Ast.Matrix [ [ _; _ ]; [ _; _ ] ] -> true
     | _ -> false)
 
 let test_index_syntax () =
   Alcotest.(check bool) "colon argument" true
-    (match (parse_e "a(:, 2)").desc with
-    | Ast.Apply ("a", [ { desc = Ast.Colon; _ }; _ ]) -> true
+    (match (parse_e "a(:, 2)").node with
+    | Ast.Apply ("a", [ { node = Ast.Colon; _ }; _ ]) -> true
     | _ -> false);
   Alcotest.(check bool) "end arithmetic" true
-    (match (parse_e "a(end - 1)").desc with
-    | Ast.Apply ("a", [ { desc = Ast.Binop (Ast.Sub, { desc = Ast.End_marker; _ }, _); _ } ])
+    (match (parse_e "a(end - 1)").node with
+    | Ast.Apply ("a", [ { node = Ast.Binop (Ast.Sub, { node = Ast.End_marker; _ }, _); _ } ])
       ->
         true
     | _ -> false);
   Alcotest.(check bool) "range with end" true
-    (match (parse_e "a(2:end)").desc with
-    | Ast.Apply ("a", [ { desc = Ast.Range (_, None, { desc = Ast.End_marker; _ }); _ } ])
+    (match (parse_e "a(2:end)").node with
+    | Ast.Apply ("a", [ { node = Ast.Range (_, None, { node = Ast.End_marker; _ }); _ } ])
       ->
         true
     | _ -> false);
   Alcotest.(check bool) "empty call" true
-    (match (parse_e "f()").desc with Ast.Apply ("f", []) -> true | _ -> false)
+    (match (parse_e "f()").node with Ast.Apply ("f", []) -> true | _ -> false)
 
 let parse_p src = Parser.parse_program src
 
@@ -129,7 +129,7 @@ let test_statements () =
   | _ -> Alcotest.fail "while shape");
   let p = parse_p "for i = 1:3\n s = s + i;\nend" in
   (match p.script with
-  | [ { sdesc = Ast.For ("i", { desc = Ast.Range _; _ }, [ _ ]); _ } ] -> ()
+  | [ { sdesc = Ast.For ("i", { node = Ast.Range _; _ }, [ _ ]); _ } ] -> ()
   | _ -> Alcotest.fail "for shape");
   let p = parse_p "a(2, 3) = 7;" in
   (match p.script with
@@ -139,14 +139,14 @@ let test_statements () =
   | _ -> Alcotest.fail "indexed assignment");
   let p = parse_p "[r, c] = size(A);" in
   (match p.script with
-  | [ { sdesc = Ast.Multi_assign ([ _; _ ], { desc = Ast.Apply ("size", _); _ }, false); _ } ]
+  | [ { sdesc = Ast.Multi_assign ([ _; _ ], { node = Ast.Apply ("size", _); _ }, false); _ } ]
     ->
       ()
   | _ -> Alcotest.fail "multi assignment");
   (* [1, 2] as an expression statement must NOT parse as multi-assign *)
   let p = parse_p "[1, 2];" in
   (match p.script with
-  | [ { sdesc = Ast.Expr ({ desc = Ast.Matrix _; _ }, false); _ } ] -> ()
+  | [ { sdesc = Ast.Expr ({ node = Ast.Matrix _; _ }, false); _ } ] -> ()
   | _ -> Alcotest.fail "matrix literal statement")
 
 let test_functions () =
@@ -235,7 +235,7 @@ let gen_expr : Ast.expr QCheck.Gen.t =
     4
 
 let rec expr_equal (a : Ast.expr) (b : Ast.expr) =
-  match (a.desc, b.desc) with
+  match (a.node, b.node) with
   | Ast.Num x, Ast.Num y -> x = y
   | Ast.Str x, Ast.Str y -> x = y
   | Ast.Ident x, Ast.Ident y | Ast.Varref x, Ast.Varref y -> x = y

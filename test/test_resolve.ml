@@ -21,29 +21,29 @@ let nth_rhs n (p : Ast.program) =
 let test_variable_vs_function () =
   (* x defined, then x(2) is indexing; sum is a builtin call *)
   let p = resolve "x = ones(3, 1);\ny = x(2);\nz = sum(x);" in
-  (match (nth_rhs 1 p).desc with
+  (match (nth_rhs 1 p).node with
   | Ast.Index ("x", _) -> ()
   | _ -> Alcotest.fail "x(2) should resolve to indexing");
-  match (nth_rhs 2 p).desc with
+  match (nth_rhs 2 p).node with
   | Ast.Call ("sum", _) -> ()
   | _ -> Alcotest.fail "sum(x) should resolve to a call"
 
 let test_zero_arg_builtin () =
   let p = resolve "x = pi;" in
-  match (first_rhs p).desc with
+  match (first_rhs p).node with
   | Ast.Call ("pi", []) -> ()
   | _ -> Alcotest.fail "pi should resolve to a 0-argument call"
 
 let test_variable_shadows_function () =
   (* After sum is assigned, sum(2) indexes the variable. *)
   let p = resolve "sum = ones(4, 1);\ny = sum(2);" in
-  match (nth_rhs 1 p).desc with
+  match (nth_rhs 1 p).node with
   | Ast.Index ("sum", _) -> ()
   | _ -> Alcotest.fail "variable should shadow builtin"
 
 let test_local_function_resolution () =
   let p = resolve "y = f(3);\nfunction r = f(x)\n  r = x + 1;\nend" in
-  (match (first_rhs p).desc with
+  (match (first_rhs p).node with
   | Ast.Call ("f", _) -> ()
   | _ -> Alcotest.fail "f should resolve to the local function");
   Alcotest.(check int) "function kept" 1 (List.length p.funcs)
@@ -111,7 +111,7 @@ let test_for_var_defined () =
   match p.script with
   | [ { sdesc = Ast.For (_, _, [ { sdesc = Ast.Assign (_, rhs, _); _ } ]); _ } ]
     -> (
-      match rhs.desc with
+      match rhs.node with
       | Ast.Varref "i" -> ()
       | _ -> Alcotest.fail "loop variable should be a variable reference")
   | _ -> Alcotest.fail "for shape"

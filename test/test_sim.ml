@@ -224,6 +224,106 @@ let test_exception_after_communication () =
       Alcotest.(check string) "message" "late fault" msg
   | _ -> Alcotest.fail "late exception must propagate"
 
+(* --- wildcard-source receive -------------------------------------------- *)
+
+let test_recv_any_earliest_arrival () =
+  (* Three workers finish at staggered times; the wildcard receive must
+     deliver in arrival order, not rank order. *)
+  let results, _ =
+    Sim.run ~machine:(lab ()) ~nprocs:4 (fun rank ->
+        if rank = 0 then
+          List.init 3 (fun _ -> Sim.recv_any ~tag:7)
+          |> List.map (fun (src, p) ->
+                 match p with
+                 | Sim.Floats [| v |] -> (src, v)
+                 | _ -> Alcotest.fail "unexpected payload")
+        else begin
+          (* rank 3 finishes first, then 2, then 1 *)
+          Sim.compute (float_of_int (4 - rank) *. 0.1);
+          Sim.send ~dst:0 ~tag:7 (Sim.Floats [| float_of_int (10 * rank) |]);
+          []
+        end)
+  in
+  Alcotest.(check (list (pair int (float 0.))))
+    "arrival order, value matches source"
+    [ (3, 30.); (2, 20.); (1, 10.) ]
+    results.(0)
+
+let test_recv_any_tie_lowest_source () =
+  (* Both workers send at t=0 over identical links: the tie must go to
+     the lowest source rank, deterministically. *)
+  let results, _ =
+    Sim.run ~machine:(lab ()) ~nprocs:3 (fun rank ->
+        if rank = 0 then begin
+          let first = fst (Sim.recv_any ~tag:7) in
+          let second = fst (Sim.recv_any ~tag:7) in
+          (first, second)
+        end
+        else begin
+          Sim.send ~dst:0 ~tag:7 (Sim.Floats [| 1. |]);
+          (-1, -1)
+        end)
+  in
+  Alcotest.(check (pair int int)) "lowest source wins the tie" (1, 2)
+    results.(0)
+
+let test_probe_any_source () =
+  let results, _ =
+    Sim.run ~machine:(lab ()) ~nprocs:3 (fun rank ->
+        if rank = 0 then begin
+          let before = Sim.probe ~src:(-1) ~tag:7 in
+          ignore (Sim.recv ~src:2 ~tag:9); (* wait until the send landed *)
+          let after = Sim.probe ~src:(-1) ~tag:7 in
+          ignore (Sim.recv_any ~tag:7);
+          let drained = Sim.probe ~src:(-1) ~tag:7 in
+          (before, after, drained)
+        end
+        else if rank = 1 then begin
+          Sim.send ~dst:0 ~tag:7 (Sim.Floats [| 5. |]);
+          (false, false, false)
+        end
+        else begin
+          Sim.compute 0.5;
+          Sim.send ~dst:0 ~tag:9 (Sim.Floats [| 0. |]);
+          (false, false, false)
+        end)
+  in
+  Alcotest.(check (triple bool bool bool))
+    "probe any: empty, pending, drained" (false, true, false) results.(0)
+
+let test_recv_any_deadlock_diagnostic () =
+  (* A wildcard wait nobody satisfies must end the run as a deadlock
+     whose diagnostic names the wildcard. *)
+  match
+    Sim.run ~machine:(lab ()) ~nprocs:2 (fun rank ->
+        if rank = 0 then ignore (Sim.recv_any ~tag:9))
+  with
+  | exception Sim.Deadlock msg ->
+      Alcotest.(check bool) "diagnostic names the wildcard wait" true
+        (Testutil.contains msg "rank 0 waits for (src=any, tag=9)")
+  | _ -> Alcotest.fail "unsatisfied wildcard recv must deadlock"
+
+let test_reliable_recv_any () =
+  (* The wildcard composes with the reliable (ack/retry) transport:
+     sequence numbers are tracked per discovered source. *)
+  let machine = Machine.with_faults ~reliable:true (lab ()) in
+  let results, _ =
+    Sim.run ~machine ~nprocs:3 (fun rank ->
+        if rank = 0 then
+          List.init 4 (fun _ ->
+              match Mpisim.Reliable.recv_any ~tag:7 with
+              | src, Sim.Floats [| v |] -> (src, v)
+              | _ -> Alcotest.fail "unexpected payload")
+          |> List.fold_left (fun acc (src, v) -> acc +. (v *. 1.) +. float_of_int src) 0.
+        else begin
+          Mpisim.Reliable.send ~dst:0 ~tag:7 (Sim.Floats [| float_of_int rank |]);
+          Mpisim.Reliable.send ~dst:0 ~tag:7 (Sim.Floats [| float_of_int (10 * rank) |]);
+          0.
+        end)
+  in
+  (* 1 + 10 + 2 + 20 payload, 1 + 1 + 2 + 2 source ranks *)
+  Testutil.check_close "all four messages, sources attributed" 39. results.(0)
+
 (* --- timeouts and failure attribution ---------------------------------- *)
 
 let contains = Testutil.contains
@@ -340,6 +440,12 @@ let suite =
     t "rank exception propagates" test_rank_exception_propagates;
     t "exception after communication" test_exception_after_communication;
     t "deadlock diagnosis names parties" test_deadlock_names_parties;
+    t "recv_any delivers in arrival order" test_recv_any_earliest_arrival;
+    t "recv_any tie goes to lowest source" test_recv_any_tie_lowest_source;
+    t "probe with any-source wildcard" test_probe_any_source;
+    t "unsatisfied recv_any deadlocks with diagnosis"
+      test_recv_any_deadlock_diagnostic;
+    t "recv_any over the reliable transport" test_reliable_recv_any;
     t "recv timeout expires" test_recv_timeout_expires;
     t "recv timeout raises typed" test_recv_timeout_typed_exception;
     t "recv within timeout delivers" test_recv_within_timeout_delivers;

@@ -38,7 +38,7 @@ let test_straight_line_versions () =
 let test_use_sees_previous_version () =
   let b, _ = convert "x = 1;\ny = x + x;" in
   match b with
-  | [ _; Ssa.Sassign (_, { desc = Ast.Binop (_, { desc = Ast.Varref a; _ }, { desc = Ast.Varref b2; _ }); _ }, _) ]
+  | [ _; Ssa.Sassign (_, { node = Ast.Binop (_, { node = Ast.Varref a; _ }, { node = Ast.Varref b2; _ }); _ }, _) ]
     ->
       Alcotest.(check string) "lhs use" "x@1" a;
       Alcotest.(check string) "rhs use" "x@1" b2
@@ -78,8 +78,8 @@ let test_while_condition_uses_phi () =
   let b, _ = convert "x = 10;\nwhile x > 0\n  x = x - 1;\nend" in
   match b with
   | [ _; Ssa.Swhile ([ { Ssa.target; _ } ], cond, _) ] -> (
-      match cond.desc with
-      | Ast.Binop (_, { desc = Ast.Varref v; _ }, _) ->
+      match cond.node with
+      | Ast.Binop (_, { node = Ast.Varref v; _ }, _) ->
           Alcotest.(check string) "condition reads phi" target v
       | _ -> Alcotest.fail "condition shape")
   | _ -> Alcotest.fail "while shape"

@@ -45,12 +45,24 @@ let vm_scalar captures name =
   | Some (Exec.Vm.Cmat (1, 1, [| f |])) -> f
   | Some (Exec.Vm.Cmat (r, c, _)) ->
       Alcotest.failf "%s: expected scalar, got %dx%d matrix" name r c
+  | Some (Exec.Vm.Cnd (dims, _)) ->
+      Alcotest.failf "%s: expected scalar, got rank-%d tensor" name
+        (Array.length dims)
   | None -> Alcotest.failf "%s: not captured" name
 
 let vm_matrix captures name =
   match List.assoc_opt name captures with
   | Some (Exec.Vm.Cmat (r, c, d)) -> (r, c, d)
   | Some (Exec.Vm.Cscalar f) -> (1, 1, [| f |])
+  | Some (Exec.Vm.Cnd (dims, _)) ->
+      Alcotest.failf "%s: expected matrix, got rank-%d tensor" name
+        (Array.length dims)
+  | None -> Alcotest.failf "%s: not captured" name
+
+let vm_tensor captures name =
+  match List.assoc_opt name captures with
+  | Some (Exec.Vm.Cnd (dims, d)) -> (dims, d)
+  | Some _ -> Alcotest.failf "%s: expected tensor" name
   | None -> Alcotest.failf "%s: not captured" name
 
 let interp_scalar captures name =
@@ -59,12 +71,24 @@ let interp_scalar captures name =
   | Some (Interp.Eval.Cmat (1, 1, [| f |])) -> f
   | Some (Interp.Eval.Cmat (r, c, _)) ->
       Alcotest.failf "%s: expected scalar, got %dx%d matrix" name r c
+  | Some (Interp.Eval.Cnd (dims, _)) ->
+      Alcotest.failf "%s: expected scalar, got rank-%d tensor" name
+        (Array.length dims)
   | None -> Alcotest.failf "%s: not captured" name
 
 let interp_matrix captures name =
   match List.assoc_opt name captures with
   | Some (Interp.Eval.Cmat (r, c, d)) -> (r, c, d)
   | Some (Interp.Eval.Cscalar f) -> (1, 1, [| f |])
+  | Some (Interp.Eval.Cnd (dims, _)) ->
+      Alcotest.failf "%s: expected matrix, got rank-%d tensor" name
+        (Array.length dims)
+  | None -> Alcotest.failf "%s: not captured" name
+
+let interp_tensor captures name =
+  match List.assoc_opt name captures with
+  | Some (Interp.Eval.Cnd (dims, d)) -> (dims, d)
+  | Some _ -> Alcotest.failf "%s: expected tensor" name
   | None -> Alcotest.failf "%s: not captured" name
 
 (* Shorthand: evaluate a script in the interpreter and give one scalar. *)
