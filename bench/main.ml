@@ -2,7 +2,7 @@
 
    Usage:
      main.exe [table1|fig2|fig3|fig4|fig5|fig6|all|faults|speedup|vmspeed|
-               chaos|throughput|bandwidth|micro]
+               chaos|throughput|scale|bandwidth|micro]
               [--scale PCT] [--full] [--out FILE] [--baseline FILE]
 
    --scale chooses the problem size as a percentage of the paper's
@@ -1521,6 +1521,252 @@ let throughput_bench scale out baseline =
         exit 1
       end
 
+(* --- scale benchmark: BENCH_scale.json ---------------------------------- *)
+
+(* Large-P scaling of the simulator itself: every paper app on the
+   parametric fat-tree at P = 32 .. 1024 virtual ranks, the 1998 trio
+   oversubscribed (P virtual ranks block-mapped onto their real CPU
+   counts), and the non-block distributions on a representative pair.
+   Modeled results (makespan, messages, bytes, scheduler picks) are
+   deterministic, so the committed baseline is a regression gate:
+   >10%% modeled-time growth or any message increase fails.  Host wall
+   clock and scheduler picks/second are recorded for the scaling story
+   but never gated (they depend on the machine running the bench). *)
+
+type scale_entry = {
+  sc_app : string;
+  sc_machine : string;
+  sc_procs : int;
+  sc_cpus : int; (* physical CPUs under oversubscription; 0 = one per rank *)
+  sc_dist : string;
+  sc_time : float; (* modeled seconds *)
+  sc_messages : int;
+  sc_bytes : int;
+  sc_picks : int; (* scheduler pick count (deterministic) *)
+  sc_wall : float; (* host seconds; informational only *)
+}
+
+let scale_fattree_procs = [ 32; 64; 128; 256; 512; 1024 ]
+let scale_oversub_procs = [ 32; 64 ]
+
+let scale_entries scale : scale_entry list =
+  let entries = ref [] in
+  let record ~app ~mname ~procs ~cpus ~dist cfg c =
+    let t0 = Unix.gettimeofday () in
+    let r = (run_outcome cfg c).Exec.Vm.report in
+    let wall = Unix.gettimeofday () -. t0 in
+    entries :=
+      {
+        sc_app = app;
+        sc_machine = mname;
+        sc_procs = procs;
+        sc_cpus = cpus;
+        sc_dist = dist;
+        sc_time = r.Mpisim.Sim.makespan;
+        sc_messages = r.Mpisim.Sim.messages;
+        sc_bytes = r.Mpisim.Sim.bytes;
+        sc_picks = r.Mpisim.Sim.sched_picks;
+        sc_wall = wall;
+      }
+      :: !entries
+  in
+  let fattree = Mpisim.Machine.fattree_default in
+  (* every app across the fat-tree P sweep *)
+  List.iter
+    (fun (app : Apps.Scripts.app) ->
+      let c = compile_app app scale in
+      List.iter
+        (fun procs ->
+          record ~app:app.key ~mname:"fattree" ~procs ~cpus:0 ~dist:"block"
+            (Otter.config ~machine:fattree ~nprocs:procs ())
+            c)
+        scale_fattree_procs)
+    Apps.Scripts.apps;
+  (* the 1998 trio, oversubscribed: P virtual ranks block-mapped onto
+     each machine's real CPU count *)
+  List.iter
+    (fun (app : Apps.Scripts.app) ->
+      let c = compile_app app scale in
+      List.iter
+        (fun (mname, (m : Mpisim.Machine.t)) ->
+          let cpus = m.Mpisim.Machine.max_procs in
+          let pm =
+            Mpisim.Machine.with_placement ~cpus ~map:Mpisim.Machine.Map_block m
+          in
+          List.iter
+            (fun procs ->
+              record ~app:app.key ~mname ~procs ~cpus ~dist:"block"
+                (Otter.config ~machine:pm ~nprocs:procs ())
+                c)
+            scale_oversub_procs)
+        speedup_machines)
+    Apps.Scripts.apps;
+  (* non-block distributions on a representative pair (the 2-D grid leg
+     rides on tc only: its dense matmul fallback on cg's n is too slow
+     for a CI gate) *)
+  List.iter
+    (fun (key, dist, layout) ->
+      match Apps.Scripts.find key with
+      | None -> ()
+      | Some app ->
+          let c = compile_app app scale in
+          record ~app:app.key ~mname:"fattree" ~procs:64 ~cpus:0 ~dist
+            (Otter.config ~machine:fattree ~nprocs:64 ~layout ())
+            c)
+    [
+      ("cg", "cyclic:4", Runtime.Dmat.Lcyclic 4);
+      ("tc", "cyclic:4", Runtime.Dmat.Lcyclic 4);
+      ("tc", "grid:8x8", Runtime.Dmat.Lgrid (8, 8));
+    ];
+  List.rev !entries
+
+let scale_entry_line e =
+  Printf.sprintf
+    "{\"app\": %S, \"machine\": %S, \"procs\": %d, \"cpus\": %d, \"dist\": \
+     %S, \"time\": %.9f, \"messages\": %d, \"bytes\": %d, \"picks\": %d, \
+     \"wall\": %.4f}"
+    e.sc_app e.sc_machine e.sc_procs e.sc_cpus e.sc_dist e.sc_time
+    e.sc_messages e.sc_bytes e.sc_picks e.sc_wall
+
+let write_scale_json ~file ~scale entries =
+  let oc = open_out file in
+  Printf.fprintf oc "{\n  \"benchmark\": \"scale\",\n  \"scale\": %d,\n" scale;
+  Printf.fprintf oc "  \"entries\": [\n";
+  let n = List.length entries in
+  List.iteri
+    (fun i e ->
+      Printf.fprintf oc "    %s%s\n" (scale_entry_line e)
+        (if i = n - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let read_scale_json file =
+  let ic = open_in file in
+  let scale = ref (-1) in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       (try Scanf.sscanf line " \"scale\": %d" (fun s -> scale := s)
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> ());
+       try
+         Scanf.sscanf line
+           " {\"app\": %S, \"machine\": %S, \"procs\": %d, \"cpus\": %d, \
+            \"dist\": %S, \"time\": %f, \"messages\": %d, \"bytes\": %d, \
+            \"picks\": %d, \"wall\": %f}"
+           (fun a m p cp d t ms b pk w ->
+             entries :=
+               {
+                 sc_app = a;
+                 sc_machine = m;
+                 sc_procs = p;
+                 sc_cpus = cp;
+                 sc_dist = d;
+                 sc_time = t;
+                 sc_messages = ms;
+                 sc_bytes = b;
+                 sc_picks = pk;
+                 sc_wall = w;
+               }
+               :: !entries)
+       with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  (!scale, List.rev !entries)
+
+let scale_bench scale out baseline =
+  Printf.printf
+    "Scale benchmark: %d apps on the fat-tree at P in {%s},\n\
+    \  the 1998 trio oversubscribed at P in {%s}, cyclic/grid layouts at \
+     P=64\n"
+    (List.length Apps.Scripts.apps)
+    (String.concat "," (List.map string_of_int scale_fattree_procs))
+    (String.concat "," (List.map string_of_int scale_oversub_procs));
+  Printf.printf "  problem scale: %d%% of paper sizes\n\n" scale;
+  let entries = scale_entries scale in
+  write_scale_json ~file:out ~scale entries;
+  Printf.printf "wrote %s (%d entries)\n\n" out (List.length entries);
+  Printf.printf "%-8s %-9s %6s %5s %-9s %12s %10s %9s %10s\n" "App" "Machine"
+    "P" "CPUs" "dist" "modeled s" "messages" "wall s" "picks/s";
+  print_endline (String.make 88 '-');
+  List.iter
+    (fun e ->
+      Printf.printf "%-8s %-9s %6d %5d %-9s %12.6f %10d %9.3f %10.0f\n"
+        e.sc_app e.sc_machine e.sc_procs e.sc_cpus e.sc_dist e.sc_time
+        e.sc_messages e.sc_wall
+        (float_of_int e.sc_picks /. Float.max 1e-9 e.sc_wall))
+    entries;
+  print_endline (String.make 88 '-');
+  print_newline ();
+  match baseline with
+  | None -> ()
+  | Some file ->
+      let bscale, bentries = read_scale_json file in
+      if bentries = [] then begin
+        Printf.eprintf "baseline %s has no entries\n" file;
+        exit 2
+      end;
+      if bscale <> scale then begin
+        Printf.eprintf
+          "baseline %s was recorded at scale %d%%, this run is %d%%\n" file
+          bscale scale;
+        exit 2
+      end;
+      let find b =
+        List.find_opt
+          (fun e ->
+            e.sc_app = b.sc_app && e.sc_machine = b.sc_machine
+            && e.sc_procs = b.sc_procs && e.sc_cpus = b.sc_cpus
+            && e.sc_dist = b.sc_dist)
+          entries
+      in
+      (* modeled time (>10%% slower fails) and message count (any
+         increase fails; counts are deterministic) — wall clock and
+         picks/s are host-dependent and never gated *)
+      let time_regressions =
+        List.filter_map
+          (fun b ->
+            match find b with
+            | Some e when e.sc_time > (b.sc_time *. 1.10) +. 1e-12 ->
+                Some (b, e)
+            | _ -> None)
+          bentries
+      in
+      let msg_regressions =
+        List.filter_map
+          (fun b ->
+            match find b with
+            | Some e when e.sc_messages > b.sc_messages -> Some (b, e)
+            | _ -> None)
+          bentries
+      in
+      if time_regressions = [] && msg_regressions = [] then
+        Printf.printf
+          "baseline check: no configuration regressed (>10%% modeled time or \
+           any message-count increase) vs %s\n"
+          file
+      else begin
+        List.iter
+          (fun (b, e) ->
+            Printf.printf
+              "REGRESSION %s/%s p=%d cpus=%d %s: %.6f s vs baseline %.6f s \
+               (+%.1f%%)\n"
+              b.sc_app b.sc_machine b.sc_procs b.sc_cpus b.sc_dist e.sc_time
+              b.sc_time
+              (100. *. ((e.sc_time /. b.sc_time) -. 1.)))
+          time_regressions;
+        List.iter
+          (fun (b, e) ->
+            Printf.printf
+              "REGRESSION %s/%s p=%d cpus=%d %s: %d messages vs baseline %d\n"
+              b.sc_app b.sc_machine b.sc_procs b.sc_cpus b.sc_dist
+              e.sc_messages b.sc_messages)
+          msg_regressions;
+        exit 1
+      end
+
 (* --- bandwidth benchmark ------------------------------------------------- *)
 
 (* MatlabMPI's first experiment: point-to-point bandwidth against
@@ -1663,6 +1909,10 @@ let () =
         throughput_bench !scale
           (Option.value !out ~default:"BENCH_throughput.json")
           !baseline
+    | "scale" ->
+        scale_bench !scale
+          (Option.value !out ~default:"BENCH_scale.json")
+          !baseline
     | "bandwidth" -> bandwidth_bench ()
     | "all" ->
         Tables.print ();
@@ -1672,8 +1922,8 @@ let () =
         Printf.eprintf
           "unknown command '%s' (expected \
            table1|fig2|fig3|fig4|fig5|fig6|all|ablation|extrapolate|\
-           sensitivity|faults|speedup|vmspeed|chaos|throughput|bandwidth|\
-           micro)\n"
+           sensitivity|faults|speedup|vmspeed|chaos|throughput|scale|\
+           bandwidth|micro)\n"
           other;
         exit 2
   in

@@ -184,13 +184,17 @@ let procs_arg =
 
 let machine_arg =
   Arg.(value & opt string "meiko" & info [ "m"; "machine" ] ~docv:"NAME"
-         ~doc:"Machine model: meiko, smp, cluster or workstation.")
+         ~doc:"Machine model: meiko, smp, cluster, workstation, or \
+               $(b,fattree) (a parametric fat-tree for large-P scaling; \
+               $(b,fattree:RxL) picks radix R and L levels).")
 
 let get_machine name =
   match Mpisim.Machine.by_name name with
   | Some m -> m
   | None ->
-      Fmt.epr "unknown machine '%s' (try meiko, smp, cluster, workstation)@."
+      Fmt.epr
+        "unknown machine '%s' (try meiko, smp, cluster, workstation, \
+         fattree or fattree:RxL)@."
         name;
       exit 2
 
@@ -254,13 +258,64 @@ let apply_faults machine spec reliable =
           Fmt.epr "bad --faults spec: %s@." msg;
           exit 2)
 
+(* Oversubscription flags: P virtual ranks on C simulated CPUs. *)
+let cpus_arg =
+  Arg.(value & opt int 0 & info [ "cpus" ] ~docv:"C"
+         ~doc:"Oversubscribe: place the -p virtual ranks on $(docv) \
+               physical CPUs (0 = one CPU per rank, the classical model).  \
+               Compute serializes per CPU; message semantics stay \
+               per-rank.")
+
+let map_arg =
+  Arg.(value & opt string "block" & info [ "map" ] ~docv:"POLICY"
+         ~doc:"Rank-to-CPU mapping policy under --cpus: $(b,block) \
+               (contiguous slabs, default), $(b,cyclic) (round-robin), or \
+               $(b,random) (seeded by --map-seed).")
+
+let map_seed_arg =
+  Arg.(value & opt int 0 & info [ "map-seed" ] ~docv:"S"
+         ~doc:"Seed for $(b,--map random) (same seed, same placement).")
+
+let dist_arg =
+  Arg.(value & opt string "block" & info [ "dist" ] ~docv:"LAYOUT"
+         ~doc:"Matrix distribution: $(b,block) (the paper's layout, \
+               default), $(b,cyclic) or $(b,cyclic:B) (block-cyclic with \
+               block size B, default 1), or $(b,grid:PRxPC) (2-D block on \
+               a PR x PC process grid; PR*PC must equal -p).")
+
+let get_layout dist nprocs =
+  match Otter.Config.layout_of_string dist with
+  | Some (Runtime.Dmat.Lgrid (pr, pc)) when pr * pc <> nprocs ->
+      Fmt.epr "--dist grid:%dx%d needs %d ranks, but -p is %d@." pr pc
+        (pr * pc) nprocs;
+      exit 2
+  | Some l -> l
+  | None ->
+      Fmt.epr
+        "bad --dist '%s' (try block, cyclic, cyclic:B or grid:PRxPC)@." dist;
+      exit 2
+
+(* Attach an oversubscription placement to the machine. *)
+let apply_placement machine ~nprocs:_ ~cpus ~map ~map_seed =
+  if cpus = 0 then machine
+  else
+    match Mpisim.Machine.mapping_of_string ~seed:map_seed map with
+    | Some m -> Mpisim.Machine.with_placement ~cpus ~map:m machine
+    | None ->
+        Fmt.epr "unknown --map policy '%s' (try block, cyclic or random)@."
+          map;
+        exit 2
+
 (* One run configuration from the shared command-line flags: this is
-   the only place otterc turns its eight knobs into an [Otter.Config.t]. *)
+   the only place otterc turns its knobs into an [Otter.Config.t]. *)
 let config_of_flags ?capture ?tol ~nprocs ~machine ~engine ~faults ~reliable
-    ~chaos ~ckpt_interval ~max_recoveries () =
+    ~chaos ~ckpt_interval ~max_recoveries ?(cpus = 0) ?(map = "block")
+    ?(map_seed = 0) ?(dist = "block") () =
   let machine = apply_faults (get_machine machine) faults reliable in
+  let machine = apply_placement machine ~nprocs ~cpus ~map ~map_seed in
+  let layout = get_layout dist nprocs in
   Otter.config ~machine ~nprocs ~engine:(get_engine engine) ?capture ?tol
-    ~chaos ~ckpt_interval ~max_recoveries ()
+    ~chaos ~ckpt_interval ~max_recoveries ~layout ()
 
 let print_fault_counters (r : Mpisim.Sim.report) =
   Fmt.pr
@@ -289,12 +344,13 @@ let print_abort ~gave_up ~recoveries failed_rank operation detail
 
 let run_cmd =
   let run input nprocs machine engine timing stats faults reliable chaos
-      ckpt_interval max_recoveries opt passes validate dumps =
+      ckpt_interval max_recoveries cpus map map_seed dist opt passes validate
+      dumps =
     handle_errors (fun () ->
         let c = compile_input input opt passes validate dumps in
         let cfg =
           config_of_flags ~nprocs ~machine ~engine ~faults ~reliable ~chaos
-            ~ckpt_interval ~max_recoveries ()
+            ~ckpt_interval ~max_recoveries ~cpus ~map ~map_seed ~dist ()
         in
         let machine = cfg.Otter.Config.machine in
         let recovering =
@@ -349,8 +405,8 @@ let run_cmd =
        ~doc:"Compile and execute on a simulated parallel machine.")
     Term.(const run $ input_arg $ procs_arg $ machine_arg $ engine_arg
           $ timing_arg $ stats_arg $ faults_arg $ reliable_arg $ chaos_arg
-          $ ckpt_arg $ max_recoveries_arg $ opt_arg $ passes_arg
-          $ validate_arg $ dump_after_arg)
+          $ ckpt_arg $ max_recoveries_arg $ cpus_arg $ map_arg $ map_seed_arg
+          $ dist_arg $ opt_arg $ passes_arg $ validate_arg $ dump_after_arg)
 
 (* --- interp --------------------------------------------------------------- *)
 
@@ -429,12 +485,14 @@ let dump_cmd =
 
 let verify_cmd =
   let run input nprocs machine engine vars tol faults reliable chaos
-      ckpt_interval max_recoveries opt passes validate dumps =
+      ckpt_interval max_recoveries cpus map map_seed dist opt passes validate
+      dumps =
     handle_errors (fun () ->
         let c = compile_input input opt passes validate dumps in
         let cfg =
           config_of_flags ~capture:vars ~tol ~nprocs ~machine ~engine ~faults
-            ~reliable ~chaos ~ckpt_interval ~max_recoveries ()
+            ~reliable ~chaos ~ckpt_interval ~max_recoveries ~cpus ~map
+            ~map_seed ~dist ()
         in
         let max_recoveries = cfg.Otter.Config.max_recoveries in
         let n_compared =
@@ -487,8 +545,8 @@ let verify_cmd =
        ~doc:"Check compiled results against the reference interpreter.")
     Term.(const run $ input_arg $ procs_arg $ machine_arg $ engine_arg
           $ vars_arg $ tol_arg $ faults_arg $ reliable_arg $ chaos_arg
-          $ ckpt_arg $ max_recoveries_arg $ opt_arg $ passes_arg
-          $ validate_arg $ dump_after_arg)
+          $ ckpt_arg $ max_recoveries_arg $ cpus_arg $ map_arg $ map_seed_arg
+          $ dist_arg $ opt_arg $ passes_arg $ validate_arg $ dump_after_arg)
 
 (* --- serve ----------------------------------------------------------------- *)
 

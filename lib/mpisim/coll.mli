@@ -33,7 +33,10 @@ val gatherv : root:int -> counts:int array -> float array -> float array
     return [[||]]. *)
 
 val allgatherv : counts:int array -> float array -> float array
-(** Ring allgather: every rank returns the full concatenation. *)
+(** Allgather: every rank returns the full concatenation.  Ring
+    exchange (P-1 neighbour rounds) up to 64 ranks; a Bruck-style
+    doubling schedule (O(P log P) messages) beyond, so large-P runs
+    are not quadratic in messages. *)
 
 val exscan : op:op -> identity:float -> float -> float
 (** Exclusive prefix scan of one scalar per rank (recursive doubling):

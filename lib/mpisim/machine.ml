@@ -104,6 +104,29 @@ let faults_of_spec spec : (faults, string) result =
   in
   List.fold_left parse_field (Ok no_faults) (String.split_on_char ',' spec)
 
+(* How virtual ranks are laid out over the machine's simulated CPUs
+   when a run oversubscribes (more ranks than [max_procs]).  The
+   placement decides which CPU executes each rank -- compute charges
+   serialize per CPU -- and which physical endpoints a message's link
+   is looked up for; message semantics stay per-rank. *)
+type mapping =
+  | Map_block (* rank r on CPU r*C/P: contiguous slabs *)
+  | Map_cyclic (* rank r on CPU r mod C: round-robin *)
+  | Map_random of int (* seeded uniform draw per rank *)
+
+type placement = { cpus : int; map : mapping }
+
+let mapping_of_string ?(seed = 0) = function
+  | "block" -> Some Map_block
+  | "cyclic" -> Some Map_cyclic
+  | "random" -> Some (Map_random seed)
+  | _ -> None
+
+let mapping_name = function
+  | Map_block -> "block"
+  | Map_cyclic -> "cyclic"
+  | Map_random _ -> "random"
+
 type t = {
   name : string;
   max_procs : int;
@@ -114,12 +137,21 @@ type t = {
   link : int -> int -> link;
   faults : faults option; (* None = the perfect network of the paper *)
   reliable : bool; (* route messaging through the ack/retry layer *)
+  placement : placement option;
+      (* None = one rank per CPU (the paper's setup, capped at
+         [max_procs]); [Some _] = oversubscribed virtual ranks *)
 }
 
 (* [with_faults ?reliable ?faults m] is [m] with the fault model and/or
    the reliable-messaging flag switched on. *)
 let with_faults ?(reliable = false) ?faults m =
   { m with faults; reliable }
+
+(* [with_placement ~cpus ~map m] oversubscribes [m]: ranks beyond
+   [cpus] time-share the machine's CPUs under [map].  Validation of
+   cpus against the rank count happens when the run starts (the rank
+   count is not known here). *)
+let with_placement ~cpus ~map m = { m with placement = Some { cpus; map } }
 
 (* [with_procs n m] is [m] scaled out to [n] ranks: the same CPUs and
    links, more of them.  The multi-tenant scheduler benches space-share
@@ -134,7 +166,10 @@ let mbytes x = x *. 1e6
 (* Meiko CS-2: 16 nodes, fat-tree network with dedicated per-pair
    bandwidth; the best-balanced machine of the three (paper section 6). *)
 let meiko_cs2 =
-  let link _ _ = { latency = 45e-6; bandwidth = mbytes 40.; channel = None } in
+  (* one shared record: [link] is called once per simulated message on
+     the hot path, so it must not allocate *)
+  let l = { latency = 45e-6; bandwidth = mbytes 40.; channel = None } in
+  let link _ _ = l in
   {
     name = "Meiko CS-2";
     max_procs = 16;
@@ -145,15 +180,15 @@ let meiko_cs2 =
     link;
     faults = None;
     reliable = false;
+    placement = None;
   }
 
 (* Sun Enterprise SMP: 8 CPUs over a shared memory bus.  Message passing
    maps to memory copies: very low latency, high bandwidth, but a single
    shared bus (channel 0) that serializes transfers. *)
 let enterprise_smp =
-  let link _ _ =
-    { latency = 2.5e-6; bandwidth = mbytes 180.; channel = Some 0 }
-  in
+  let l = { latency = 2.5e-6; bandwidth = mbytes 180.; channel = Some 0 } in
+  let link _ _ = l in
   {
     name = "Sun Enterprise SMP";
     max_procs = 8;
@@ -164,6 +199,7 @@ let enterprise_smp =
     link;
     faults = None;
     reliable = false;
+    placement = None;
   }
 
 (* Cluster of four SPARCserver 20 SMPs (4 CPUs each) on one 10 Mb/s
@@ -173,10 +209,22 @@ let enterprise_smp =
    the paper's observation. *)
 let sparc20_cluster =
   let node r = r / 4 in
+  (* the inter-node record is constant; intra-node records differ only
+     by node id, so they are built once per node and cached.  The
+     Ethernet channel is -1 so it can never collide with a node id
+     when [with_procs] scales the cluster out. *)
+  let inter = { latency = 800e-6; bandwidth = mbytes 1.0; channel = Some (-1) } in
+  let intra : (int, link) Hashtbl.t = Hashtbl.create 8 in
   let link src dst =
-    if node src = node dst then
-      { latency = 4e-6; bandwidth = mbytes 100.; channel = Some (node src) }
-    else { latency = 800e-6; bandwidth = mbytes 1.0; channel = Some 100 }
+    if node src = node dst then (
+      let nd = node src in
+      match Hashtbl.find_opt intra nd with
+      | Some l -> l
+      | None ->
+          let l = { latency = 4e-6; bandwidth = mbytes 100.; channel = Some nd } in
+          Hashtbl.add intra nd l;
+          l)
+    else inter
   in
   {
     name = "SPARC-20 SMP cluster";
@@ -188,12 +236,14 @@ let sparc20_cluster =
     link;
     faults = None;
     reliable = false;
+    placement = None;
   }
 
 (* Single-workstation model used for the sequential comparisons of
    Figure 2 (one UltraSPARC CPU of the Meiko CS-2). *)
 let workstation =
-  let link _ _ = { latency = 1e-6; bandwidth = mbytes 200.; channel = None } in
+  let l = { latency = 1e-6; bandwidth = mbytes 200.; channel = None } in
+  let link _ _ = l in
   {
     name = "UltraSPARC workstation";
     max_procs = 1;
@@ -204,6 +254,7 @@ let workstation =
     link;
     faults = None;
     reliable = false;
+    placement = None;
   }
 
 (* Extrapolation beyond the paper: a 1999-era Beowulf -- 16 commodity
@@ -211,9 +262,8 @@ let workstation =
    nodes but the TCP/IP latency is also ~3x worse, so the
    compute/communication balance the paper analyzes shifts again. *)
 let beowulf =
-  let link _ _ =
-    { latency = 120e-6; bandwidth = mbytes 11.; channel = None }
-  in
+  let l = { latency = 120e-6; bandwidth = mbytes 11.; channel = None } in
+  let link _ _ = l in
   {
     name = "Beowulf (1999)";
     max_procs = 16;
@@ -224,21 +274,110 @@ let beowulf =
     link;
     faults = None;
     reliable = false;
+    placement = None;
   }
+
+(* Parametric fat-tree cluster, the post-paper machine model for the
+   scaling studies: [radix^levels] nodes under [levels] tiers of
+   switches.  A message climbs to the lowest common ancestor switch
+   and comes back down; each switch is one contention channel, and
+   link bandwidth grows by the radix per tier ("fat" links), which is
+   what keeps the bisection usable as P grows.  Links are computed on
+   demand -- one integer-division loop to find the LCA tier -- and the
+   per-switch records are cached, so nothing O(P^2) is ever built. *)
+let fattree ?(radix = 16) ?(levels = 3) () =
+  if radix < 2 then invalid_arg "fattree: radix must be at least 2";
+  if levels < 1 || levels > 10 then
+    invalid_arg "fattree: levels must be between 1 and 10";
+  let max_procs =
+    let rec go acc l =
+      if l = 0 || acc >= 1 lsl 19 then acc else go (acc * radix) (l - 1)
+    in
+    go 1 levels
+  in
+  (* pow.(l) = nodes under one tier-l switch; offset.(l) = first channel
+     id of tier l, so channel ids are unique across tiers *)
+  let pow = Array.make (levels + 1) 1 in
+  for l = 1 to levels do
+    pow.(l) <- pow.(l - 1) * radix
+  done;
+  let offset = Array.make (levels + 1) 0 in
+  for l = 2 to levels do
+    offset.(l) <-
+      offset.(l - 1) + ((max_procs + pow.(l - 1) - 1) / pow.(l - 1))
+  done;
+  let self = { latency = 0.5e-6; bandwidth = mbytes 2000.; channel = None } in
+  let leaf_bw = mbytes 250. in
+  let cache : (int, link) Hashtbl.t = Hashtbl.create 64 in
+  let link src dst =
+    if src = dst then self
+    else begin
+      let tier = ref 1 in
+      while src / pow.(!tier) <> dst / pow.(!tier) do
+        incr tier
+      done;
+      let t = !tier in
+      let ch = offset.(t) + (src / pow.(t)) in
+      match Hashtbl.find_opt cache ch with
+      | Some l -> l
+      | None ->
+          let l =
+            {
+              (* two hops per tier crossed, up and back down *)
+              latency = 1.4e-6 +. (float_of_int (2 * t) *. 0.9e-6);
+              bandwidth = leaf_bw *. float_of_int pow.(t - 1);
+              channel = Some ch;
+            }
+          in
+          Hashtbl.add cache ch l;
+          l
+    end
+  in
+  {
+    name = Printf.sprintf "fat-tree %dx%d" radix levels;
+    max_procs;
+    flop_time = mflops 500.;
+    interp_overhead = 0.3e-6;
+    send_overhead = 2.5e-6;
+    recv_overhead = 2.5e-6;
+    link;
+    faults = None;
+    reliable = false;
+    placement = None;
+  }
+
+let fattree_default = fattree ()
 
 let all = [ meiko_cs2; enterprise_smp; sparc20_cluster ]
 
 let by_name name =
-  let norm s = String.lowercase_ascii s in
-  List.find_opt
-    (fun m ->
-      norm m.name = norm name
-      ||
-      match norm name with
-      | "meiko" | "cs2" | "cs-2" -> m == meiko_cs2
-      | "smp" | "enterprise" -> m == enterprise_smp
-      | "cluster" | "sparc20" -> m == sparc20_cluster
-      | "workstation" | "ultrasparc" -> m == workstation
-      | "beowulf" -> m == beowulf
-      | _ -> false)
-    (workstation :: beowulf :: all)
+  let norm = String.lowercase_ascii (String.trim name) in
+  (* "fattree:8x2" picks radix 8 with two switch tiers *)
+  let custom_fattree () =
+    if String.length norm > 8 && String.sub norm 0 8 = "fattree:" then
+      let spec = String.sub norm 8 (String.length norm - 8) in
+      match String.split_on_char 'x' spec with
+      | [ r; l ] -> (
+          match (int_of_string_opt r, int_of_string_opt l) with
+          | Some r, Some l when r >= 2 && l >= 1 && l <= 10 ->
+              Some (fattree ~radix:r ~levels:l ())
+          | _ -> None)
+      | _ -> None
+    else None
+  in
+  match custom_fattree () with
+  | Some m -> Some m
+  | None ->
+      List.find_opt
+        (fun m ->
+          String.lowercase_ascii m.name = norm
+          ||
+          match norm with
+          | "meiko" | "cs2" | "cs-2" -> m == meiko_cs2
+          | "smp" | "enterprise" -> m == enterprise_smp
+          | "cluster" | "sparc20" -> m == sparc20_cluster
+          | "workstation" | "ultrasparc" -> m == workstation
+          | "beowulf" -> m == beowulf
+          | "fattree" | "fat-tree" -> m == fattree_default
+          | _ -> false)
+        (workstation :: beowulf :: fattree_default :: all)

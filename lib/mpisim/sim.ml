@@ -103,6 +103,7 @@ type stats = {
   mutable retries : int;
   mutable acks : int;
   mutable kills : int;
+  mutable sched_picks : int;
 }
 
 (* --- the fast path for non-blocking operations --------------------------- *)
@@ -130,6 +131,9 @@ type ctx = {
   x_flop_time : float;
   x_nprocs : int;
   x_scratch : (int * int * int, int) Hashtbl.t array;
+  x_place : (int array * float array) option;
+      (* oversubscription: (rank -> CPU, per-CPU busy-until).  [None]
+         (one rank per CPU) keeps the exact historical arithmetic. *)
   mutable x_rank : int;
 }
 
@@ -141,19 +145,29 @@ let send ~dst ~tag data = perform (E_send (dst, tag, data))
 let send_acked ~dst ~tag ~ack_tag ~seq data =
   perform (E_send_acked (dst, tag, ack_tag, seq, data))
 
+(* One compute charge of [t] seconds against rank [r].  Without a
+   placement this is a plain clock advance; with one, the charge also
+   serializes on the rank's CPU: it starts when both the rank and the
+   CPU are free, and occupies the CPU until it ends.  That is the whole
+   oversubscription cost model -- messages stay per-rank. *)
+let charge_compute c r t =
+  (match c.x_place with
+  | None -> c.x_clocks.(r) <- c.x_clocks.(r) +. t
+  | Some (cpu_of, cpu_free) ->
+      let cpu = cpu_of.(r) in
+      let fin = Float.max c.x_clocks.(r) cpu_free.(cpu) +. t in
+      c.x_clocks.(r) <- fin;
+      cpu_free.(cpu) <- fin);
+  c.x_stats.compute_time <- c.x_stats.compute_time +. t
+
 let compute seconds =
   match !current with
-  | Some c ->
-      c.x_clocks.(c.x_rank) <- c.x_clocks.(c.x_rank) +. seconds;
-      c.x_stats.compute_time <- c.x_stats.compute_time +. seconds
+  | Some c -> charge_compute c c.x_rank seconds
   | None -> perform (E_compute seconds)
 
 let flops n =
   match !current with
-  | Some c ->
-      let t = n *. c.x_flop_time in
-      c.x_clocks.(c.x_rank) <- c.x_clocks.(c.x_rank) +. t;
-      c.x_stats.compute_time <- c.x_stats.compute_time +. t
+  | Some c -> charge_compute c c.x_rank (n *. c.x_flop_time)
   | None -> perform (E_flops n)
 
 let rank () =
@@ -265,6 +279,7 @@ type report = {
   retries : int; (* retransmissions by the reliable layer *)
   acks : int; (* transport acknowledgements delivered *)
   kills : int; (* ranks the fault model permanently killed *)
+  sched_picks : int; (* scheduling steps the event core executed *)
 }
 
 exception Deadlock of string
@@ -273,15 +288,34 @@ type 'a run_state = {
   machine : Machine.t;
   nprocs : int;
   clocks : float array;
-  mailboxes : (int * int * int, (float * payload) Queue.t) Hashtbl.t;
-      (* (dst, src, tag) -> queued (arrival, data) *)
+  mailboxes : (int, (float * payload) Queue.t) Hashtbl.t array;
+      (* per destination rank, keyed [(tag lsl 20) lor src] -> queued
+         (arrival, data).  One small table per rank beats one big table
+         keyed by an allocated (dst, src, tag) triple: the packed int
+         key hashes in nanoseconds and allocates nothing on lookup. *)
   channel_free : (int, float) Hashtbl.t; (* contention channel -> busy-until *)
   stats : stats;
   results : 'a option array;
   scratch : (int * int * int, int) Hashtbl.t array; (* per rank *)
   mutable fault_ix : int; (* fault-decision counter (the RNG index) *)
   death : float array; (* per-rank scheduled death time; infinity = never *)
+  place : (int array * float array) option;
+      (* oversubscription: (rank -> CPU, per-CPU busy-until) *)
 }
+
+(* Mailbox keys pack (src, tag) into one int: 20 bits of source rank,
+   the rest tag.  Every internal tag fits (collectives use 1001-1006,
+   the runtime library 3001-3004, transport acks live at tag + 0x400000,
+   and user MPI tags are bounded by 1e6 then offset by 2e6); the bound
+   is validated at send/receive time. *)
+let src_bits = 20
+let max_tag = 1 lsl 40
+
+let check_tag tag =
+  if tag < 0 || tag >= max_tag then
+    invalid_arg (Printf.sprintf "message tag %d out of range [0, 2^40)" tag)
+
+let mbox_key ~src ~tag = (tag lsl src_bits) lor src
 
 type 'a suspended =
   | Finished
@@ -300,12 +334,13 @@ type 'a suspended =
 and ('a, 'b) blocked_k = ('b, 'a suspended) continuation
 
 let mailbox st ~dst ~src ~tag =
-  let key = (dst, src, tag) in
-  match Hashtbl.find_opt st.mailboxes key with
+  let t = st.mailboxes.(dst) in
+  let key = mbox_key ~src ~tag in
+  match Hashtbl.find_opt t key with
   | Some q -> q
   | None ->
       let q = Queue.create () in
-      Hashtbl.add st.mailboxes key q;
+      Hashtbl.add t key q;
       q
 
 (* The wildcard match: scan every source's queue for (dst, tag) and
@@ -313,9 +348,10 @@ let mailbox st ~dst ~src ~tag =
    to the lowest source rank.  The ascending scan updating only on a
    strictly earlier arrival implements the tie-break. *)
 let any_mailbox st ~dst ~tag : (int * float) option =
+  let t = st.mailboxes.(dst) in
   let best = ref None in
   for src = 0 to st.nprocs - 1 do
-    match Hashtbl.find_opt st.mailboxes (dst, src, tag) with
+    match Hashtbl.find_opt t (mbox_key ~src ~tag) with
     | Some q when not (Queue.is_empty q) -> (
         let arrival = fst (Queue.peek q) in
         match !best with
@@ -324,6 +360,20 @@ let any_mailbox st ~dst ~tag : (int * float) option =
     | _ -> ()
   done;
   !best
+
+(* Physical endpoint of a virtual rank: identity without a placement. *)
+let phys st r = match st.place with None -> r | Some (cpu_of, _) -> cpu_of.(r)
+
+(* Scheduler-side mirror of [charge_compute], for the effect path. *)
+let st_charge st r t =
+  (match st.place with
+  | None -> st.clocks.(r) <- st.clocks.(r) +. t
+  | Some (cpu_of, cpu_free) ->
+      let cpu = cpu_of.(r) in
+      let fin = Float.max st.clocks.(r) cpu_free.(cpu) +. t in
+      st.clocks.(r) <- fin;
+      cpu_free.(cpu) <- fin);
+  st.stats.compute_time <- st.stats.compute_time +. t
 
 (* --- the fault model ----------------------------------------------------- *)
 
@@ -395,10 +445,13 @@ let deliver st ~src ~dst ~tag ?ack data =
       st.clocks.(src) <- st.clocks.(src) +. f.Machine.stall_time;
       st.stats.stalls <- st.stats.stalls + 1
   | _ -> ());
-  let link = st.machine.Machine.link src dst in
+  (* the network sees physical endpoints: two ranks sharing a CPU talk
+     over that machine's local link, not a remote one *)
+  let psrc = phys st src and pdst = phys st dst in
+  let link = st.machine.Machine.link psrc pdst in
   let latency, bandwidth =
     match faults with
-    | Some f when degraded f ~src ~dst ~now:st.clocks.(src) ->
+    | Some f when degraded f ~src:psrc ~dst:pdst ~now:st.clocks.(src) ->
         ( link.Machine.latency *. f.Machine.degrade_factor,
           link.Machine.bandwidth /. f.Machine.degrade_factor )
     | _ -> (link.Machine.latency, link.Machine.bandwidth)
@@ -461,7 +514,7 @@ let deliver st ~src ~dst ~tag ?ack data =
          ack is what makes the sender's reliable layer notice the
          failure (retries, then [Exhausted]). *)
       if (not dropped) && arrival < st.death.(dst) then begin
-        let back = st.machine.Machine.link dst src in
+        let back = st.machine.Machine.link pdst psrc in
         let ack_arrival =
           arrival +. back.Machine.latency +. (8. /. back.Machine.bandwidth)
         in
@@ -500,15 +553,12 @@ let handler st my_rank (body : int -> 'a) : 'a suspended =
           | E_compute t ->
               Some
                 (fun (k : (b, _) continuation) ->
-                  st.clocks.(my_rank) <- st.clocks.(my_rank) +. t;
-                  st.stats.compute_time <- st.stats.compute_time +. t;
+                  st_charge st my_rank t;
                   continue k ())
           | E_flops n ->
               Some
                 (fun k ->
-                  let t = n *. st.machine.Machine.flop_time in
-                  st.clocks.(my_rank) <- st.clocks.(my_rank) +. t;
-                  st.stats.compute_time <- st.stats.compute_time +. t;
+                  st_charge st my_rank (n *. st.machine.Machine.flop_time);
                   continue k ())
           | E_rank -> Some (fun k -> continue k my_rank)
           | E_size -> Some (fun k -> continue k st.nprocs)
@@ -525,27 +575,36 @@ let handler st my_rank (body : int -> 'a) : 'a suspended =
                 (fun k ->
                   if dst < 0 || dst >= st.nprocs then
                     invalid_arg "send: bad destination rank";
+                  check_tag tag;
                   Wants_send (dst, tag, None, data, k))
           | E_send_acked (dst, tag, ack_tag, seq, data) ->
               Some
                 (fun k ->
                   if dst < 0 || dst >= st.nprocs then
                     invalid_arg "send: bad destination rank";
+                  check_tag tag;
+                  check_tag ack_tag;
                   Wants_send (dst, tag, Some (ack_tag, seq), data, k))
           | E_recv (src, tag) ->
               Some
                 (fun k ->
                   if src < 0 || src >= st.nprocs then
                     invalid_arg "recv: bad source rank";
+                  check_tag tag;
                   Wants_recv (src, tag, k))
           | E_recv_opt (src, tag, timeout) ->
               Some
                 (fun k ->
                   if src < 0 || src >= st.nprocs then
                     invalid_arg "recv: bad source rank";
+                  check_tag tag;
                   if timeout < 0. then invalid_arg "recv: negative timeout";
                   Wants_recv_t (src, tag, st.clocks.(my_rank) +. timeout, k))
-          | E_recv_any tag -> Some (fun k -> Wants_recv_any (tag, k))
+          | E_recv_any tag ->
+              Some
+                (fun k ->
+                  check_tag tag;
+                  Wants_recv_any (tag, k))
           | E_probe (src, tag) ->
               Some
                 (fun k ->
@@ -573,17 +632,58 @@ let handler st my_rank (body : int -> 'a) : 'a suspended =
    schedule so each recovery retry sees fresh deaths. *)
 let run_report ?(attempt = 0) ~machine ~nprocs (body : int -> 'a) :
     ('a array, exn) result * report =
-  if nprocs < 1 then invalid_arg "run: nprocs must be positive";
-  if nprocs > machine.Machine.max_procs then
+  if nprocs < 1 then
     invalid_arg
-      (Printf.sprintf "run: %s has at most %d processors" machine.Machine.name
-         machine.Machine.max_procs);
+      (Printf.sprintf "run: need at least one rank, got -p %d" nprocs);
+  if nprocs >= 1 lsl src_bits then
+    invalid_arg
+      (Printf.sprintf "run: at most %d ranks are supported, got -p %d"
+         ((1 lsl src_bits) - 1)
+         nprocs);
+  let place =
+    match machine.Machine.placement with
+    | None ->
+        if nprocs > machine.Machine.max_procs then
+          invalid_arg
+            (Printf.sprintf
+               "run: %s has at most %d processors; to oversubscribe, map the \
+                %d ranks onto its CPUs with --cpus C --map POLICY (or \
+                Machine.with_placement)"
+               machine.Machine.name machine.Machine.max_procs nprocs);
+        None
+    | Some { Machine.cpus; map } ->
+        if cpus < 1 then
+          invalid_arg
+            (Printf.sprintf "run: need at least one CPU, got --cpus %d" cpus);
+        if cpus > machine.Machine.max_procs then
+          invalid_arg
+            (Printf.sprintf "run: %s has at most %d processors, got --cpus %d"
+               machine.Machine.name machine.Machine.max_procs cpus);
+        if cpus > nprocs then
+          invalid_arg
+            (Printf.sprintf
+               "run: more CPUs (--cpus %d) than ranks (-p %d); lower --cpus \
+                or raise -p"
+               cpus nprocs);
+        let cpu_of =
+          Array.init nprocs (fun r ->
+              match map with
+              | Machine.Map_block -> r * cpus / nprocs
+              | Machine.Map_cyclic -> r mod cpus
+              | Machine.Map_random seed ->
+                  min (cpus - 1)
+                    (int_of_float
+                       (Rng.uniform ~seed:(seed lxor 0x6d61) r
+                       *. float_of_int cpus)))
+        in
+        Some (cpu_of, Array.make cpus 0.)
+  in
   let st =
     {
       machine;
       nprocs;
       clocks = Array.make nprocs 0.;
-      mailboxes = Hashtbl.create 64;
+      mailboxes = Array.init nprocs (fun _ -> Hashtbl.create 8);
       channel_free = Hashtbl.create 8;
       stats =
         {
@@ -597,11 +697,13 @@ let run_report ?(attempt = 0) ~machine ~nprocs (body : int -> 'a) :
           retries = 0;
           acks = 0;
           kills = 0;
+          sched_picks = 0;
         };
       results = Array.make nprocs None;
       scratch = Array.init nprocs (fun _ -> Hashtbl.create 16);
       fault_ix = 0;
       death = death_schedule machine.Machine.faults ~nprocs ~attempt;
+      place;
     }
   in
   (* Publish the fast-path context for the whole run, restoring the
@@ -615,6 +717,7 @@ let run_report ?(attempt = 0) ~machine ~nprocs (body : int -> 'a) :
       x_flop_time = machine.Machine.flop_time;
       x_nprocs = nprocs;
       x_scratch = st.scratch;
+      x_place = place;
       x_rank = 0;
     }
   in
@@ -686,21 +789,131 @@ let run_report ?(attempt = 0) ~machine ~nprocs (body : int -> 'a) :
       if dies_now r key then st.death.(r) else key
   in
   let finished = ref 0 in
-  let pick () =
-    let best = ref (-1) and best_key = ref Float.nan in
-    for r = nprocs - 1 downto 0 do
-      let key = step_key r in
-      if (not (Float.is_nan key)) && (!best < 0 || key <= !best_key) then begin
-        best := r;
-        best_key := key
+  (* O(log P) pick: a binary min-heap of (step_key, rank) ordered
+     lexicographically, so the pop order -- smallest key, ties to the
+     lowest rank -- reproduces the old linear scan bit-for-bit.
+     Entries go stale lazily: [hkey.(r)] remembers the key rank [r] is
+     currently enqueued under (nan = none); a popped entry is discarded
+     unless it matches, then re-validated against a freshly computed
+     [step_key] before it wins.  A rank's key only changes when the
+     rank itself steps or when a message lands in its mailbox, which
+     is exactly where [wake] is called; should a wake ever be missed,
+     an empty heap triggers one full rebuild before declaring
+     deadlock, so the failure mode is lost time, never a wrong
+     schedule or a spurious deadlock. *)
+  let heap_k = ref (Array.make (max 16 nprocs) 0.) in
+  let heap_r = ref (Array.make (max 16 nprocs) 0) in
+  let heap_n = ref 0 in
+  let hkey = Array.make nprocs Float.nan in
+  let hless ka ra kb rb = ka < kb || (ka = kb && ra < rb) in
+  let hpush key r =
+    let k = !heap_k and rr = !heap_r in
+    let k, rr =
+      if !heap_n < Array.length k then (k, rr)
+      else begin
+        let cap = 2 * Array.length k in
+        let nk = Array.make cap 0. and nr = Array.make cap 0 in
+        Array.blit k 0 nk 0 !heap_n;
+        Array.blit rr 0 nr 0 !heap_n;
+        heap_k := nk;
+        heap_r := nr;
+        (nk, nr)
       end
-    done;
-    !best
+    in
+    let i = ref !heap_n in
+    incr heap_n;
+    k.(!i) <- key;
+    rr.(!i) <- r;
+    let continue_up = ref true in
+    while !continue_up && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if hless k.(!i) rr.(!i) k.(p) rr.(p) then begin
+        let tk = k.(!i) and tr = rr.(!i) in
+        k.(!i) <- k.(p);
+        rr.(!i) <- rr.(p);
+        k.(p) <- tk;
+        rr.(p) <- tr;
+        i := p
+      end
+      else continue_up := false
+    done
   in
+  let hpop_root () =
+    let k = !heap_k and rr = !heap_r in
+    decr heap_n;
+    let n = !heap_n in
+    if n > 0 then begin
+      k.(0) <- k.(n);
+      rr.(0) <- rr.(n);
+      let i = ref 0 in
+      let continue_down = ref true in
+      while !continue_down do
+        let l = (2 * !i) + 1 and r2 = (2 * !i) + 2 in
+        let s = ref !i in
+        if l < n && hless k.(l) rr.(l) k.(!s) rr.(!s) then s := l;
+        if r2 < n && hless k.(r2) rr.(r2) k.(!s) rr.(!s) then s := r2;
+        if !s <> !i then begin
+          let tk = k.(!i) and tr = rr.(!i) in
+          k.(!i) <- k.(!s);
+          rr.(!i) <- rr.(!s);
+          k.(!s) <- tk;
+          rr.(!s) <- tr;
+          i := !s
+        end
+        else continue_down := false
+      done
+    end
+  in
+  (* Re-enqueue [r] if its key changed since it was last enqueued.
+     Pushed keys are never nan, so the float [<>] below is nan-safe:
+     nan (not enqueued) compares unequal to any fresh key. *)
+  let wake r =
+    let key = step_key r in
+    if (not (Float.is_nan key)) && key <> hkey.(r) then begin
+      hkey.(r) <- key;
+      hpush key r
+    end
+  in
+  let rec pick () =
+    if !heap_n = 0 then begin
+      (* safety net: rebuild from scratch before giving up *)
+      Array.fill hkey 0 nprocs Float.nan;
+      let any = ref false in
+      for r = 0 to nprocs - 1 do
+        let key = step_key r in
+        if not (Float.is_nan key) then begin
+          hkey.(r) <- key;
+          hpush key r;
+          any := true
+        end
+      done;
+      if !any then pick () else -1
+    end
+    else begin
+      let key = !heap_k.(0) and r = !heap_r.(0) in
+      hpop_root ();
+      if key <> hkey.(r) then pick () (* stale entry *)
+      else begin
+        hkey.(r) <- Float.nan;
+        let fresh = step_key r in
+        if Float.is_nan fresh then pick ()
+        else if fresh <> key then begin
+          hkey.(r) <- fresh;
+          hpush fresh r;
+          pick ()
+        end
+        else r
+      end
+    end
+  in
+  for r = 0 to nprocs - 1 do
+    wake r
+  done;
   let outcome =
     try
       while !finished < nprocs do
         let r = pick () in
+        st.stats.sched_picks <- st.stats.sched_picks + 1;
         if r < 0 then begin
           let buf = Buffer.create 128 in
           Array.iteri
@@ -752,6 +965,9 @@ let run_report ?(attempt = 0) ~machine ~nprocs (body : int -> 'a) :
               match states.(r) with
               | Some (Wants_send (dst, tag, ack, data, k)) ->
                   deliver st ~src:r ~dst ~tag ?ack data;
+                  (* the delivery may have unblocked the destination;
+                     [r] itself is re-enqueued after the step *)
+                  if dst <> r then wake dst;
                   continue k ()
               | Some (Wants_recv (src, tag, k)) ->
                   let q = mailbox st ~dst:r ~src ~tag in
@@ -806,7 +1022,8 @@ let run_report ?(attempt = 0) ~machine ~nprocs (body : int -> 'a) :
               | Some Finished | None -> assert false
           in
           states.(r) <- Some next;
-          match next with Finished -> incr finished | _ -> ()
+          (match next with Finished -> incr finished | _ -> ());
+          wake r
         end
       done;
       (* Even a kill nobody was waiting on (a rank the others never
@@ -840,6 +1057,7 @@ let run_report ?(attempt = 0) ~machine ~nprocs (body : int -> 'a) :
       retries = st.stats.retries;
       acks = st.stats.acks;
       kills = st.stats.kills;
+      sched_picks = st.stats.sched_picks;
     }
   in
   (outcome, report)

@@ -118,6 +118,10 @@ type report = {
   retries : int;  (** retransmissions by the reliable layer *)
   acks : int;  (** transport acknowledgements delivered *)
   kills : int;  (** ranks the fault model permanently killed *)
+  sched_picks : int;
+      (** scheduling steps (rank resumes + kill events) the
+          discrete-event core executed; picks divided by wall-clock is
+          the scheduler-throughput figure tracked in EXPERIMENTS.md *)
 }
 
 exception Deadlock of string
@@ -160,7 +164,14 @@ val run :
     report.  Deterministic: identical inputs give identical reports.
     [attempt] (default 0) re-salts the permanent-kill schedule so a
     recovery retry re-rolls which ranks die and when; the explicit
-    [kill_rank] pin fires on attempt 0 only. *)
+    [kill_rank] pin fires on attempt 0 only.
+
+    Without a {!Machine.placement}, [nprocs] is capped by the machine's
+    CPU count, one rank per CPU — the paper's setup.  With one, ranks
+    are virtual: any [nprocs] (up to 2^20-1) time-share the placement's
+    [cpus] CPUs under its mapping policy.  Compute charges serialize on
+    the rank's CPU, links and contention are looked up between physical
+    CPUs, and message semantics stay per-rank. *)
 
 val run_report :
   ?attempt:int ->

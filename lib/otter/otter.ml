@@ -70,6 +70,7 @@ module Config = struct
     tol : float;
     ckpt_interval : float;
     max_recoveries : int;
+    layout : Runtime.Dmat.layout;
   }
 
   let default_engine = Etcode
@@ -87,10 +88,36 @@ module Config = struct
     | Einterp -> "interp"
     | Ematcom -> "matcom"
 
+  let layout_of_string (s : string) : Runtime.Dmat.layout option =
+    match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
+    | [ "block" ] -> Some Runtime.Dmat.Lblock
+    | [ "cyclic" ] -> Some (Runtime.Dmat.Lcyclic 1)
+    | [ "cyclic"; b ] -> (
+        match int_of_string_opt b with
+        | Some b when b >= 1 -> Some (Runtime.Dmat.Lcyclic b)
+        | _ -> None)
+    | [ "grid"; g ] -> (
+        match String.split_on_char 'x' g with
+        | [ pr; pc ] -> (
+            match (int_of_string_opt pr, int_of_string_opt pc) with
+            | Some pr, Some pc when pr >= 1 && pc >= 1 ->
+                Some (Runtime.Dmat.Lgrid (pr, pc))
+            | _ -> None)
+        | _ -> None)
+    | _ -> None
+
+  let layout_name = function
+    | Runtime.Dmat.Lblock -> "block"
+    | Runtime.Dmat.Lcyclic b -> Printf.sprintf "cyclic:%d" b
+    | Runtime.Dmat.Lgrid (pr, pc) -> Printf.sprintf "grid:%dx%d" pr pc
+
   let make ?(machine = Mpisim.Machine.meiko_cs2) ?(nprocs = 4)
       ?(engine = default_engine) ?(seed = 42) ?(datadir = ".") ?(capture = [])
       ?(tol = 1e-9) ?(chaos = false) ?(ckpt_interval = 0.)
-      ?(max_recoveries = 0) () : t =
+      ?(max_recoveries = 0) ?(layout = Runtime.Dmat.Lblock) () : t =
+    if nprocs < 1 then
+      invalid_arg
+        (Printf.sprintf "run: need at least one rank, got -p %d" nprocs);
     (* [chaos] is the one-flag shorthand for "survive the fault model":
        it fills in the recovery knobs the caller left at their
        defaults. *)
@@ -110,6 +137,7 @@ module Config = struct
       tol;
       ckpt_interval;
       max_recoveries;
+      layout;
     }
 end
 
@@ -221,6 +249,7 @@ let outcome_of_interp (o : Interp.Eval.outcome) : Exec.State.outcome =
       retries = 0;
       acks = 0;
       kills = 0;
+      sched_picks = 0;
     }
   in
   {
@@ -266,6 +295,7 @@ let run (cfg : Config.t) (c : compiled) : Exec.State.recovery =
     capture;
     ckpt_interval;
     max_recoveries;
+    layout;
     tol = _;
   } =
     cfg
@@ -279,21 +309,30 @@ let run (cfg : Config.t) (c : compiled) : Exec.State.recovery =
       let o = Interp.Eval.run ~capture ~seed ~datadir ~mode ~machine c.ast in
       wrap_result (Exec.State.Complete (outcome_of_interp o))
   | Config.Etcode | Config.Eir ->
-      let recovering = ckpt_interval > 0. || max_recoveries > 0 in
-      if recovering then
-        if engine = Config.Eir then
-          Exec.Vm.run_recovering ~capture ~seed ~datadir ~ckpt_interval
-            ~max_recoveries ~machine ~nprocs c.prog
-        else
-          Exec.Tcode.run_recovering ~capture ~seed ~datadir ~ckpt_interval
-            ~max_recoveries ~machine ~nprocs c.prog
-      else
-        wrap_result
-          (if engine = Config.Eir then
-             Exec.Vm.run_result ~capture ~seed ~datadir ~machine ~nprocs c.prog
-           else
-             Exec.Tcode.run_result ~capture ~seed ~datadir ~machine ~nprocs
-               c.prog)
+      (* The distribution policy is ambient state read at matrix
+         creation: set it for the whole parallel run (checkpointed
+         replays included) and restore it afterwards. *)
+      let saved = !Runtime.Dmat.default_layout in
+      Runtime.Dmat.default_layout := layout;
+      Fun.protect
+        ~finally:(fun () -> Runtime.Dmat.default_layout := saved)
+        (fun () ->
+          let recovering = ckpt_interval > 0. || max_recoveries > 0 in
+          if recovering then
+            if engine = Config.Eir then
+              Exec.Vm.run_recovering ~capture ~seed ~datadir ~ckpt_interval
+                ~max_recoveries ~machine ~nprocs c.prog
+            else
+              Exec.Tcode.run_recovering ~capture ~seed ~datadir ~ckpt_interval
+                ~max_recoveries ~machine ~nprocs c.prog
+          else
+            wrap_result
+              (if engine = Config.Eir then
+                 Exec.Vm.run_result ~capture ~seed ~datadir ~machine ~nprocs
+                   c.prog
+               else
+                 Exec.Tcode.run_result ~capture ~seed ~datadir ~machine ~nprocs
+                   c.prog))
 
 (* The outcome of a recovery, or [Exec.Vm.Runtime_error] if the final
    attempt still failed — the raising entry point most callers want. *)

@@ -74,6 +74,10 @@ module Config : sig
     ckpt_interval : float;
         (** simulated seconds between checkpoints (0 = none) *)
     max_recoveries : int;  (** rollback/replay budget (0 = no retries) *)
+    layout : Runtime.Dmat.layout;
+        (** the data-distribution policy for the SPMD engines: block
+            (the paper's layout, the default), block-cyclic, or 2-D
+            grid.  Sequential baselines ignore it. *)
   }
 
   val default_engine : engine
@@ -82,6 +86,11 @@ module Config : sig
   (** ["tcode"] / ["ir"] / ["interp"] / ["matcom"]. *)
 
   val engine_name : engine -> string
+
+  val layout_of_string : string -> Runtime.Dmat.layout option
+  (** ["block"] / ["cyclic"] / ["cyclic:B"] / ["grid:PRxPC"]. *)
+
+  val layout_name : Runtime.Dmat.layout -> string
 
   val make :
     ?machine:Mpisim.Machine.t ->
@@ -94,6 +103,7 @@ module Config : sig
     ?chaos:bool ->
     ?ckpt_interval:float ->
     ?max_recoveries:int ->
+    ?layout:Runtime.Dmat.layout ->
     unit ->
     t
   (** See {!config}. *)
@@ -110,14 +120,15 @@ val config :
   ?chaos:bool ->
   ?ckpt_interval:float ->
   ?max_recoveries:int ->
+  ?layout:Runtime.Dmat.layout ->
   unit ->
   Config.t
 (** The smart constructor (= {!Config.make}).  Defaults: the Meiko
     CS-2, 4 processors, the [Etcode] engine, seed 42, datadir ["."],
-    no captures, tolerance 1e-9, no checkpointing or recovery.
-    [~chaos:true] is shorthand for "survive the fault model": it fills
-    in [ckpt_interval = 0.05] and [max_recoveries = 3] unless those
-    were given explicitly. *)
+    no captures, tolerance 1e-9, no checkpointing or recovery, the
+    block data layout.  [~chaos:true] is shorthand for "survive the
+    fault model": it fills in [ckpt_interval = 0.05] and
+    [max_recoveries = 3] unless those were given explicitly. *)
 
 val interpret : Config.t -> frontend -> Interp.Eval.outcome
 (** Run the reference interpreter over a front-end-only compile (which

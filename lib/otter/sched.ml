@@ -118,6 +118,7 @@ let run ~machine ~procs (jobs : job list) : schedule =
       retries = sum (fun r -> r.Sim.retries);
       acks = sum (fun r -> r.Sim.acks);
       kills = sum (fun r -> r.Sim.kills);
+      sched_picks = sum (fun r -> r.Sim.sched_picks);
     }
   in
   let throughput =

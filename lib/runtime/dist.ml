@@ -24,3 +24,77 @@ let owner ~nprocs ~n i =
   end
 
 let counts ~nprocs ~n = Array.init nprocs (fun r -> size ~rank:r ~nprocs ~n)
+
+(* Block-cyclic distribution: [n] items split into blocks of [b]
+   consecutive items, block j owned by rank [j mod p] -- the ScaLAPACK
+   layout.  Locally a rank stores its blocks concatenated in global
+   order; only the globally-last block can be short. *)
+module Cyclic = struct
+  let check b = if b < 1 then invalid_arg "cyclic: block size must be >= 1"
+
+  let owner ~nprocs ~b i =
+    check b;
+    i / b mod nprocs
+
+  (* Local offset of global index [i] on its owning rank. *)
+  let local_of_global ~nprocs ~b i =
+    check b;
+    (i / b / nprocs * b) + (i mod b)
+
+  (* Global index of local offset [l] on rank [r]: inverse of
+     [local_of_global] restricted to [r]'s items. *)
+  let global_of_local ~rank ~nprocs ~b l =
+    check b;
+    (((l / b * nprocs) + rank) * b) + (l mod b)
+
+  let count ~rank ~nprocs ~b ~n =
+    check b;
+    if n = 0 then 0
+    else begin
+      let nblocks = (n + b - 1) / b in
+      if rank >= nblocks then 0
+      else begin
+        let owned = ((nblocks - 1 - rank) / nprocs) + 1 in
+        let full = owned * b in
+        (* the short tail block belongs to the owner of block nblocks-1 *)
+        if (nblocks - 1) mod nprocs = rank then full - ((nblocks * b) - n)
+        else full
+      end
+    end
+
+  let counts ~nprocs ~b ~n =
+    Array.init nprocs (fun r -> count ~rank:r ~nprocs ~b ~n)
+end
+
+(* 2-D block distribution: a [pr] x [pc] process grid over a
+   rows x cols index space, rank = (row coordinate) * pc + (column
+   coordinate), each axis split with the 1-D block arithmetic above.
+   Locally a rank stores its rcount x ccount tile row-major. *)
+module Grid = struct
+  let check ~pr ~pc =
+    if pr < 1 || pc < 1 then invalid_arg "grid: process grid must be >= 1x1"
+
+  let coords ~pc rank = (rank / pc, rank mod pc)
+
+  let row_block ~pr ~pc ~rows rank =
+    check ~pr ~pc;
+    let pi = rank / pc in
+    (low ~rank:pi ~nprocs:pr ~n:rows, size ~rank:pi ~nprocs:pr ~n:rows)
+
+  let col_block ~pr ~pc ~cols rank =
+    check ~pr ~pc;
+    let pj = rank mod pc in
+    (low ~rank:pj ~nprocs:pc ~n:cols, size ~rank:pj ~nprocs:pc ~n:cols)
+
+  let owner ~pr ~pc ~rows ~cols ~i ~j =
+    check ~pr ~pc;
+    (owner ~nprocs:pr ~n:rows i * pc) + owner ~nprocs:pc ~n:cols j
+
+  let count ~pr ~pc ~rows ~cols rank =
+    let _, rc = row_block ~pr ~pc ~rows rank in
+    let _, cc = col_block ~pr ~pc ~cols rank in
+    rc * cc
+
+  let counts ~pr ~pc ~rows ~cols =
+    Array.init (pr * pc) (fun r -> count ~pr ~pc ~rows ~cols r)
+end

@@ -1,61 +1,145 @@
 (* The distributed MATRIX structure of the run-time library (paper
    section 4).  Every rank holds the global header (rows, columns,
-   distribution) plus its local block:
+   distribution) plus its local part.
+
+   Under the paper's layout (the default):
 
    - a matrix with more than one row is distributed row-contiguously
      (rank r owns rows [Dist.low r, Dist.high r), all columns);
    - a single-row matrix (row vector) is distributed by column blocks;
    - scalars are not MATRIX values; they are replicated by the VM.
 
-   Matrices of identical size are distributed identically, so
-   element-wise operations never communicate (paper's assumption 2). *)
+   Two further layouts exist for the scaling studies and are selected
+   per run through [default_layout]: block-cyclic (ScaLAPACK-style,
+   blocks of [b] dealt round-robin along the distribution axis) and 2-D
+   block (a pr x pc process grid owning row-major tiles; vectors fall
+   back to the 1-D block layout).  Matrices of identical size are
+   distributed identically, so element-wise operations never
+   communicate (paper's assumption 2) under every layout. *)
 
 type axis = By_rows | By_cols
+
+type layout =
+  | Lblock (* contiguous blocks along the distribution axis *)
+  | Lcyclic of int (* block-cyclic with the given block size *)
+  | Lgrid of int * int (* pr x pc process grid, 2-D tiles *)
+
+(* The run-wide distribution policy.  Set (and restored) by the driver
+   around one parallel run; everything created inside the run follows
+   it.  Mutating it mid-run would desynchronize ranks -- only the
+   driver touches it. *)
+let default_layout = ref Lblock
 
 type t = {
   rows : int;
   cols : int;
   axis : axis;
-  low : int; (* first owned row (By_rows) or column (By_cols) *)
+  layout : layout;
+  low : int; (* first owned row (By_rows/grid) or column (By_cols);
+                0 under a cyclic layout (ownership is not contiguous) *)
   count : int; (* number of owned rows/columns *)
-  data : float array; (* By_rows: count*cols row-major; By_cols: count *)
+  clow : int; (* grid only: first owned column (else 0) *)
+  ccount : int; (* grid only: owned columns (else cols) *)
+  data : float array;
+      (* By_rows: count*cols row-major; By_cols: count; grid: the
+         count x ccount tile row-major *)
   full : bool;
       (* a rank-local replica: this rank holds every element (low = 0,
-         count covers the whole axis).  Explicit message passing
-         (MPI_Recv, MPI_Bcast) produces these; operations on them stay
-         local, so they are safe inside rank-divergent control flow
-         where a collective would deadlock. *)
+         count covers the whole axis, layout Lblock).  Explicit message
+         passing (MPI_Recv, MPI_Bcast) produces these; operations on
+         them stay local, so they are safe inside rank-divergent
+         control flow where a collective would deadlock. *)
 }
 
 let axis_of_dims ~rows ~cols:_ = if rows = 1 then By_cols else By_rows
 
-(* Local block geometry for an [rows] x [cols] matrix on this rank. *)
+(* The layout a fresh rows x cols matrix takes under the current
+   policy.  One rank, or a vector under a grid policy, degenerates to
+   the plain block layout (same data, simpler arithmetic). *)
+let effective_layout ~rows ~cols ~nprocs =
+  if nprocs = 1 then Lblock
+  else
+    match !default_layout with
+    | Lblock -> Lblock
+    | Lcyclic b ->
+        if b < 1 then
+          invalid_arg "cyclic distribution: block size must be at least 1";
+        Lcyclic b
+    | Lgrid (pr, pc) ->
+        if pr < 1 || pc < 1 then
+          invalid_arg "grid distribution: the process grid must be at least 1x1";
+        if pr * pc <> nprocs then
+          invalid_arg
+            (Printf.sprintf
+               "grid distribution %dx%d needs %d ranks, but the run has %d"
+               pr pc (pr * pc) nprocs);
+        if rows <= 1 || cols <= 1 then Lblock else Lgrid (pr, pc)
+
+(* Local geometry of an [rows] x [cols] matrix on this rank:
+   (axis, layout, low, count, clow, ccount, local length). *)
 let geometry ~rows ~cols =
   let rank = Mpisim.Sim.rank () and nprocs = Mpisim.Sim.size () in
   let axis = axis_of_dims ~rows ~cols in
-  let n = match axis with By_rows -> rows | By_cols -> cols in
-  let low = Dist.low ~rank ~nprocs ~n in
-  let count = Dist.size ~rank ~nprocs ~n in
-  (axis, low, count)
+  let layout = effective_layout ~rows ~cols ~nprocs in
+  match layout with
+  | Lblock ->
+      let n = match axis with By_rows -> rows | By_cols -> cols in
+      let low = Dist.low ~rank ~nprocs ~n in
+      let count = Dist.size ~rank ~nprocs ~n in
+      let len = match axis with By_rows -> count * cols | By_cols -> count in
+      (axis, layout, low, count, 0, cols, len)
+  | Lcyclic b ->
+      let n = match axis with By_rows -> rows | By_cols -> cols in
+      let count = Dist.Cyclic.count ~rank ~nprocs ~b ~n in
+      let len = match axis with By_rows -> count * cols | By_cols -> count in
+      (axis, layout, 0, count, 0, cols, len)
+  | Lgrid (pr, pc) ->
+      let rlow, rcount = Dist.Grid.row_block ~pr ~pc ~rows rank in
+      let clow, ccount = Dist.Grid.col_block ~pr ~pc ~cols rank in
+      (axis, layout, rlow, rcount, clow, ccount, rcount * ccount)
 
 let local_len m =
-  match m.axis with By_rows -> m.count * m.cols | By_cols -> m.count
+  match m.layout with
+  | Lgrid _ -> m.count * m.ccount
+  | Lblock | Lcyclic _ -> (
+      match m.axis with By_rows -> m.count * m.cols | By_cols -> m.count)
 
 (* Paper's ML_local_els. *)
 let local_els = local_len
 
 let create ~rows ~cols =
-  let axis, low, count = geometry ~rows ~cols in
-  let len = match axis with By_rows -> count * cols | By_cols -> count in
-  { rows; cols; axis; low; count; data = Array.make len 0.; full = false }
+  let axis, layout, low, count, clow, ccount, len = geometry ~rows ~cols in
+  {
+    rows;
+    cols;
+    axis;
+    layout;
+    low;
+    count;
+    clow;
+    ccount;
+    data = Array.make len 0.;
+    full = false;
+  }
 
 (* A rank-local replica: every element lives on this rank, regardless of
-   the machine size.  The geometry covers the whole distribution axis so
-   every local-index helper below works unchanged. *)
+   the machine size.  Always laid out as one full block so every
+   local-index helper below works unchanged, whatever the run policy. *)
 let create_full ~rows ~cols =
   let axis = axis_of_dims ~rows ~cols in
   let count = match axis with By_rows -> rows | By_cols -> cols in
-  { rows; cols; axis; low = 0; count; data = Array.make (rows * cols) 0.; full = true }
+  {
+    rows;
+    cols;
+    axis;
+    layout = Lblock;
+    low = 0;
+    count;
+    clow = 0;
+    ccount = cols;
+    data = Array.make (rows * cols) 0.;
+    full = true;
+  }
 
 let of_full ~rows ~cols (dense : float array) =
   if Array.length dense <> rows * cols then invalid_arg "of_full: size mismatch";
@@ -70,7 +154,8 @@ let init_full ~rows ~cols f =
 
 (* Do two same-shaped matrices share local geometry (so element-wise
    loops over their data arrays line up)?  A replica and a distributed
-   block of the same shape do not. *)
+   block of the same shape do not.  Two distributed matrices of one
+   shape always do: they were created under the same run policy. *)
 let same_locality a b = a.full = b.full
 
 let numel m = m.rows * m.cols
@@ -79,7 +164,19 @@ let same_shape a b = a.rows = b.rows && a.cols = b.cols
 
 (* Global row-major linear index of local element [i]. *)
 let global_of_local m i =
-  match m.axis with By_rows -> (m.low * m.cols) + i | By_cols -> m.low + i
+  match m.layout with
+  | Lblock -> (
+      match m.axis with By_rows -> (m.low * m.cols) + i | By_cols -> m.low + i)
+  | Lcyclic b -> (
+      let rank = Mpisim.Sim.rank () and nprocs = Mpisim.Sim.size () in
+      match m.axis with
+      | By_rows ->
+          let gr =
+            Dist.Cyclic.global_of_local ~rank ~nprocs ~b (i / m.cols)
+          in
+          (gr * m.cols) + (i mod m.cols)
+      | By_cols -> Dist.Cyclic.global_of_local ~rank ~nprocs ~b i)
+  | Lgrid _ -> ((m.low + (i / m.ccount)) * m.cols) + m.clow + (i mod m.ccount)
 
 (* Global (row, col) of local element [i]. *)
 let global_rc_of_local m i =
@@ -88,51 +185,143 @@ let global_rc_of_local m i =
 
 (* Does this rank own global element (i, j)?  Paper's ML_owner. *)
 let owner m ~i ~j =
-  match m.axis with
-  | By_rows -> i >= m.low && i < m.low + m.count
-  | By_cols -> j >= m.low && j < m.low + m.count
+  match m.layout with
+  | Lblock -> (
+      match m.axis with
+      | By_rows -> i >= m.low && i < m.low + m.count
+      | By_cols -> j >= m.low && j < m.low + m.count)
+  | Lcyclic b -> (
+      let rank = Mpisim.Sim.rank () and nprocs = Mpisim.Sim.size () in
+      match m.axis with
+      | By_rows -> Dist.Cyclic.owner ~nprocs ~b i = rank
+      | By_cols -> Dist.Cyclic.owner ~nprocs ~b j = rank)
+  | Lgrid _ ->
+      i >= m.low && i < m.low + m.count && j >= m.clow && j < m.clow + m.ccount
 
 (* Rank that owns global element (i, j). *)
 let owner_rank m ~i ~j =
   let nprocs = Mpisim.Sim.size () in
-  match m.axis with
-  | By_rows -> Dist.owner ~nprocs ~n:m.rows i
-  | By_cols -> Dist.owner ~nprocs ~n:m.cols j
+  match m.layout with
+  | Lblock -> (
+      match m.axis with
+      | By_rows -> Dist.owner ~nprocs ~n:m.rows i
+      | By_cols -> Dist.owner ~nprocs ~n:m.cols j)
+  | Lcyclic b -> (
+      match m.axis with
+      | By_rows -> Dist.Cyclic.owner ~nprocs ~b i
+      | By_cols -> Dist.Cyclic.owner ~nprocs ~b j)
+  | Lgrid (pr, pc) -> Dist.Grid.owner ~pr ~pc ~rows:m.rows ~cols:m.cols ~i ~j
 
-(* Local load/store of a globally indexed element; the caller must own
-   it (the compiler emits the owner guard). *)
-let get_local m ~i ~j =
-  match m.axis with
-  | By_rows -> m.data.(((i - m.low) * m.cols) + j)
-  | By_cols -> m.data.(j - m.low)
+(* Index into [data] of global element (i, j); the caller must own it
+   (the compiler emits the owner guard). *)
+let local_index m ~i ~j =
+  match m.layout with
+  | Lblock -> (
+      match m.axis with
+      | By_rows -> ((i - m.low) * m.cols) + j
+      | By_cols -> j - m.low)
+  | Lcyclic b -> (
+      let nprocs = Mpisim.Sim.size () in
+      match m.axis with
+      | By_rows -> (Dist.Cyclic.local_of_global ~nprocs ~b i * m.cols) + j
+      | By_cols -> Dist.Cyclic.local_of_global ~nprocs ~b j)
+  | Lgrid _ -> ((i - m.low) * m.ccount) + (j - m.clow)
 
-let set_local m ~i ~j v =
-  match m.axis with
-  | By_rows -> m.data.(((i - m.low) * m.cols) + j) <- v
-  | By_cols -> m.data.(j - m.low) <- v
+let get_local m ~i ~j = m.data.(local_index m ~i ~j)
+let set_local m ~i ~j v = m.data.(local_index m ~i ~j) <- v
 
-(* Fill from a function of the global linear index. *)
+(* Fill from a function of the global linear index.  The block layout
+   (the default, and the common case in every inner loop) is kept free
+   of the per-element layout dispatch: its global indices are one add. *)
 let init ~rows ~cols f =
   let m = create ~rows ~cols in
-  for i = 0 to local_len m - 1 do
-    m.data.(i) <- f (global_of_local m i)
-  done;
+  (match m.layout with
+  | Lblock ->
+      let base =
+        match m.axis with By_rows -> m.low * m.cols | By_cols -> m.low
+      in
+      for i = 0 to local_len m - 1 do
+        m.data.(i) <- f (base + i)
+      done
+  | Lcyclic _ | Lgrid _ ->
+      for i = 0 to local_len m - 1 do
+        m.data.(i) <- f (global_of_local m i)
+      done);
   m
 
 let init_rc ~rows ~cols f =
   let m = create ~rows ~cols in
-  for i = 0 to local_len m - 1 do
-    let r, c = global_rc_of_local m i in
-    m.data.(i) <- f r c
-  done;
+  (match m.layout with
+  | Lblock ->
+      let base =
+        match m.axis with By_rows -> m.low * m.cols | By_cols -> m.low
+      in
+      for i = 0 to local_len m - 1 do
+        let g = base + i in
+        m.data.(i) <- f (g / m.cols) (g mod m.cols)
+      done
+  | Lcyclic _ | Lgrid _ ->
+      for i = 0 to local_len m - 1 do
+        let r, c = global_rc_of_local m i in
+        m.data.(i) <- f r c
+      done);
   m
+
+let counts_for ~layout ~axis ~rows ~cols ~nprocs =
+  match layout with
+  | Lblock -> (
+      match axis with
+      | By_rows -> Array.map (fun c -> c * cols) (Dist.counts ~nprocs ~n:rows)
+      | By_cols -> Dist.counts ~nprocs ~n:cols)
+  | Lcyclic b -> (
+      match axis with
+      | By_rows ->
+          Array.map (fun c -> c * cols) (Dist.Cyclic.counts ~nprocs ~b ~n:rows)
+      | By_cols -> Dist.Cyclic.counts ~nprocs ~b ~n:cols)
+  | Lgrid (pr, pc) -> Dist.Grid.counts ~pr ~pc ~rows ~cols
 
 let counts_of ~rows ~cols =
   let nprocs = Mpisim.Sim.size () in
-  match axis_of_dims ~rows ~cols with
-  | By_rows ->
-      Array.map (fun c -> c * cols) (Dist.counts ~nprocs ~n:rows)
-  | By_cols -> Dist.counts ~nprocs ~n:cols
+  let axis = axis_of_dims ~rows ~cols in
+  let layout = effective_layout ~rows ~cols ~nprocs in
+  counts_for ~layout ~axis ~rows ~cols ~nprocs
+
+(* Global row-major index of rank [rank]'s local element [l] -- the
+   per-rank generalization of [global_of_local], used to unpack a
+   gathered non-block matrix into dense order. *)
+let global_of_local_for ~layout ~axis ~rows ~cols ~nprocs ~rank l =
+  match layout with
+  | Lblock -> (
+      let n = match axis with By_rows -> rows | By_cols -> cols in
+      let lo = Dist.low ~rank ~nprocs ~n in
+      match axis with By_rows -> (lo * cols) + l | By_cols -> lo + l)
+  | Lcyclic b -> (
+      match axis with
+      | By_rows ->
+          let gr = Dist.Cyclic.global_of_local ~rank ~nprocs ~b (l / cols) in
+          (gr * cols) + (l mod cols)
+      | By_cols -> Dist.Cyclic.global_of_local ~rank ~nprocs ~b l)
+  | Lgrid (pr, pc) ->
+      let rlow, _ = Dist.Grid.row_block ~pr ~pc ~rows rank in
+      let clow, cc = Dist.Grid.col_block ~pr ~pc ~cols rank in
+      ((rlow + (l / cc)) * cols) + clow + (l mod cc)
+
+(* Rearrange rank-order gathered local arrays into dense row-major
+   order.  The block layout needs no rearranging: concatenating the
+   blocks in rank order IS dense order, so callers skip this. *)
+let permute_gathered m counts (gathered : float array) =
+  let nprocs = Array.length counts in
+  let dense = Array.make (m.rows * m.cols) 0. in
+  let off = ref 0 in
+  for r = 0 to nprocs - 1 do
+    for l = 0 to counts.(r) - 1 do
+      dense.(global_of_local_for ~layout:m.layout ~axis:m.axis ~rows:m.rows
+               ~cols:m.cols ~nprocs ~rank:r l) <-
+        gathered.(!off + l)
+    done;
+    off := !off + counts.(r)
+  done;
+  dense
 
 (* Replicated dense copy (an allgather); used by operations that need a
    whole operand (matmul, transpose) and by verification.  A rank-local
@@ -140,19 +329,37 @@ let counts_of ~rows ~cols =
    rank-divergent control flow. *)
 let to_dense m : float array =
   if m.full then Array.copy m.data
-  else
-    let counts = counts_of ~rows:m.rows ~cols:m.cols in
-    Mpisim.Coll.allgatherv ~counts m.data
+  else begin
+    let nprocs = Mpisim.Sim.size () in
+    let counts =
+      counts_for ~layout:m.layout ~axis:m.axis ~rows:m.rows ~cols:m.cols
+        ~nprocs
+    in
+    let gathered = Mpisim.Coll.allgatherv ~counts m.data in
+    match m.layout with
+    | Lblock -> gathered
+    | Lcyclic _ | Lgrid _ -> permute_gathered m counts gathered
+  end
 
 (* Dense copy on the root only (cheaper; used for printing / output). *)
 let to_dense_root ~root m : float array =
   if m.full then Array.copy m.data
-  else
-    let counts = counts_of ~rows:m.rows ~cols:m.cols in
-    Mpisim.Coll.gatherv ~root ~counts m.data
+  else begin
+    let nprocs = Mpisim.Sim.size () in
+    let counts =
+      counts_for ~layout:m.layout ~axis:m.axis ~rows:m.rows ~cols:m.cols
+        ~nprocs
+    in
+    let gathered = Mpisim.Coll.gatherv ~root ~counts m.data in
+    if Mpisim.Sim.rank () <> root then gathered
+    else
+      match m.layout with
+      | Lblock -> gathered
+      | Lcyclic _ | Lgrid _ -> permute_gathered m counts gathered
+  end
 
 (* Build from replicated dense data (no communication: every rank takes
-   its block of data it already holds). *)
+   the part of [dense] it owns under the run's layout). *)
 let of_dense ~rows ~cols (dense : float array) =
   if Array.length dense <> rows * cols then
     invalid_arg "of_dense: size mismatch";

@@ -1,18 +1,38 @@
 (** The distributed MATRIX structure of the run-time library (paper
-    section 4).  Matrices with more than one row are distributed by
-    contiguous row blocks; single-row matrices by column blocks;
-    matrices of identical size are distributed identically, so
-    element-wise operations never communicate. *)
+    section 4).  Under the paper's (default) layout, matrices with more
+    than one row are distributed by contiguous row blocks and
+    single-row matrices by column blocks; {!default_layout} selects the
+    block-cyclic or 2-D block layouts instead for a whole run.
+    Matrices of identical size are distributed identically under every
+    layout, so element-wise operations never communicate. *)
 
 type axis = By_rows | By_cols
+
+type layout =
+  | Lblock  (** contiguous blocks along the distribution axis *)
+  | Lcyclic of int  (** block-cyclic (ScaLAPACK) with the given block size *)
+  | Lgrid of int * int  (** pr x pc process grid owning 2-D tiles *)
+
+val default_layout : layout ref
+(** The run-wide distribution policy; everything created while it is
+    set follows it.  Set (and restored) by the driver around one
+    parallel run — mutating it mid-run would desynchronize ranks.
+    Under [Lgrid], vectors and single ranks fall back to [Lblock]. *)
 
 type t = {
   rows : int;
   cols : int;
   axis : axis;
-  low : int; (** first owned row (By_rows) or column (By_cols) *)
+  layout : layout;
+  low : int;
+      (** first owned row (By_rows / grid) or column (By_cols); 0 under
+          a cyclic layout, whose ownership is not contiguous *)
   count : int; (** number of owned rows/columns *)
-  data : float array; (** By_rows: count*cols row-major; By_cols: count *)
+  clow : int; (** grid only: first owned column (else 0) *)
+  ccount : int; (** grid only: owned column count (else cols) *)
+  data : float array;
+      (** By_rows: count*cols row-major; By_cols: count; grid: the
+          count x ccount tile row-major *)
   full : bool;
       (** a rank-local replica: this rank holds every element.  Produced
           by explicit message passing (MPI_Recv, MPI_Bcast); operations
@@ -21,7 +41,7 @@ type t = {
 }
 
 val create : rows:int -> cols:int -> t
-(** Zero-filled matrix with this rank's local block allocated. *)
+(** Zero-filled matrix with this rank's local part allocated. *)
 
 val create_full : rows:int -> cols:int -> t
 (** Zero-filled rank-local replica (no communication, ever). *)
@@ -35,7 +55,7 @@ val init_full : rows:int -> cols:int -> (int -> float) -> t
 val same_locality : t -> t -> bool
 (** Do two same-shaped matrices share local geometry (element-wise
     loops over their data arrays line up)?  False when one is a replica
-    and the other a distributed block. *)
+    and the other distributed. *)
 
 val local_len : t -> int
 val local_els : t -> int (** paper's ML_local_els *)
@@ -65,10 +85,12 @@ val init : rows:int -> cols:int -> (int -> float) -> t
 val init_rc : rows:int -> cols:int -> (int -> int -> float) -> t
 
 val counts_of : rows:int -> cols:int -> int array
-(** Per-rank local element counts for this shape. *)
+(** Per-rank local element counts for this shape under the current
+    policy. *)
 
 val to_dense : t -> float array
-(** Replicated dense copy (an allgather). *)
+(** Replicated dense copy (an allgather, plus a local permutation for
+    non-block layouts). *)
 
 val to_dense_root : root:int -> t -> float array
 (** Dense copy on the root only (a gather). *)

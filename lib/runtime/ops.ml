@@ -24,6 +24,15 @@ let locality_error op =
    ^ ": cannot mix a replicated (message-passing) matrix with a distributed \
       one; MPI_Bcast the distributed operand first")
 
+(* Layouts whose local data is whole matrix rows in ascending global
+   order -- the assumption baked into the row-sliced kernels below.
+   True for the block and block-cyclic layouts; the 2-D grid layout
+   stores tiles, so grid operands take a gather-based fallback. *)
+let row_sliced (m : Dmat.t) =
+  match m.Dmat.layout with
+  | Dmat.Lgrid _ -> false
+  | Dmat.Lblock | Dmat.Lcyclic _ -> true
+
 (* --- matrix multiply family ------------------------------------------- *)
 
 (* C = A * B for distributed operands.  The row-distributed common case
@@ -51,6 +60,23 @@ let matmul (a : Dmat.t) (b : Dmat.t) : Dmat.t =
     Sim.flops (2. *. float_of_int (m * n * k));
     c
   end
+  else if not (row_sliced a && row_sliced b) then begin
+    (* Grid tiles do not slice into whole rows; replicate both operands
+       and compute the full product everywhere (like the interpreter). *)
+    let ad = Dmat.to_dense a and bd = Dmat.to_dense b in
+    let cd = Array.make (m * n) 0. in
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        let acc = ref 0. in
+        for kk = 0 to k - 1 do
+          acc := !acc +. (ad.((i * k) + kk) *. bd.((kk * n) + j))
+        done;
+        cd.((i * n) + j) <- !acc
+      done
+    done;
+    Sim.flops (2. *. float_of_int (m * n * k));
+    Dmat.of_dense ~rows:m ~cols:n cd
+  end
   else if m > 1 then begin
     let bf = Dmat.to_dense b in
     let c = Dmat.create ~rows:m ~cols:n in
@@ -70,10 +96,23 @@ let matmul (a : Dmat.t) (b : Dmat.t) : Dmat.t =
     (* (1 x k) * (k x n): partial sums over B's owned rows. *)
     let af = Dmat.to_dense a in
     let partial = Array.make n 0. in
+    (* hoist the layout dispatch out of the element loops: under the
+       default block layout the global row/column is one add *)
+    let grow =
+      match b.Dmat.layout with
+      | Dmat.Lblock -> fun lr -> b.Dmat.low + lr
+      | Dmat.Lcyclic _ | Dmat.Lgrid _ ->
+          fun lr -> fst (Dmat.global_rc_of_local b (lr * n))
+    in
+    let gcol =
+      match b.Dmat.layout with
+      | Dmat.Lblock -> fun lj -> b.Dmat.low + lj
+      | Dmat.Lcyclic _ | Dmat.Lgrid _ -> fun lj -> Dmat.global_of_local b lj
+    in
     (match b.axis with
     | Dmat.By_rows ->
         for lr = 0 to b.count - 1 do
-          let i = b.low + lr in
+          let i = grow lr in
           for j = 0 to n - 1 do
             partial.(j) <- partial.(j) +. (af.(i) *. b.data.((lr * n) + j))
           done
@@ -82,7 +121,7 @@ let matmul (a : Dmat.t) (b : Dmat.t) : Dmat.t =
     | Dmat.By_cols ->
         (* B is 1 x n, hence k = 1: scalar-style outer case. *)
         for lj = 0 to b.count - 1 do
-          partial.(b.low + lj) <- af.(0) *. b.data.(lj)
+          partial.(gcol lj) <- af.(0) *. b.data.(lj)
         done;
         Sim.flops (float_of_int b.count));
     let full = Coll.allreduce ~op:Coll.Sum partial in
@@ -131,9 +170,17 @@ let transpose (m : Dmat.t) : Dmat.t =
     r
   end
   else if m.rows = 1 || m.cols = 1 then begin
+    (* An n x 1 column and 1 x n row share the same element layout
+       (also under the cyclic layouts), so the transpose is a blit. *)
     let r = Dmat.create ~rows:m.cols ~cols:m.rows in
     Array.blit m.data 0 r.data 0 (Array.length m.data);
     r
+  end
+  else if m.layout <> Dmat.Lblock then begin
+    (* The pairwise exchange below speaks contiguous row blocks;
+       other layouts replicate and select the local part instead. *)
+    let dense = Dmat.to_dense m in
+    Dmat.init_rc ~rows:m.cols ~cols:m.rows (fun i j -> dense.((j * m.cols) + i))
   end
   else begin
     let nprocs = Sim.size () and me = Sim.rank () in
@@ -208,6 +255,22 @@ let matmul_t (a : Dmat.t) (b : Dmat.t) : Dmat.t =
     matmul (transpose a) b
   end
   else if a.rows = 1 then matmul (transpose a) b
+  else if not (row_sliced a && row_sliced b) then begin
+    (* Grid tiles: replicate and form the full product everywhere. *)
+    let ad = Dmat.to_dense a and bd = Dmat.to_dense b in
+    let m = a.cols and k = b.cols and r = a.rows in
+    let cd = Array.make (m * k) 0. in
+    for i = 0 to r - 1 do
+      for ja = 0 to m - 1 do
+        let av = ad.((i * m) + ja) in
+        for jb = 0 to k - 1 do
+          cd.((ja * k) + jb) <- cd.((ja * k) + jb) +. (av *. bd.((i * k) + jb))
+        done
+      done
+    done;
+    Sim.flops (2. *. float_of_int (r * m * k));
+    Dmat.of_dense ~rows:m ~cols:k cd
+  end
   else begin
     let m = a.cols and k = b.cols in
     let partial = Array.make (m * k) 0. in
@@ -321,6 +384,19 @@ let reduce_all op (m : Dmat.t) : float =
 (* Column-wise reduction of a row-distributed matrix -> 1 x cols. *)
 let reduce_cols op (m : Dmat.t) : Dmat.t =
   let n = m.cols in
+  if not (row_sliced m) then begin
+    (* Grid tiles: replicate and fold whole columns in global order. *)
+    let dense = Dmat.to_dense m in
+    let partial = Array.make n (red_init op) in
+    for i = 0 to m.rows - 1 do
+      for j = 0 to n - 1 do
+        partial.(j) <- red_combine op partial.(j) dense.((i * n) + j)
+      done
+    done;
+    Sim.flops (float_of_int (m.rows * n));
+    Dmat.of_dense ~rows:1 ~cols:n partial
+  end
+  else begin
   let partial = Array.make n (red_init op) in
   for li = 0 to m.count - 1 do
     for j = 0 to n - 1 do
@@ -332,6 +408,7 @@ let reduce_cols op (m : Dmat.t) : Dmat.t =
   else
     let full = Coll.allreduce ~op:(coll_op op) partial in
     Dmat.of_dense ~rows:1 ~cols:n full
+  end
 
 let mean_all (m : Dmat.t) = reduce_all Rsum m /. float_of_int (Dmat.numel m)
 
@@ -393,6 +470,24 @@ type scan = Cumsum | Cumprod
 let cumulative op (v : Dmat.t) : Dmat.t =
   if not (Dmat.is_vector v) then
     failwith "cumsum/cumprod of a whole matrix is not supported";
+  if (not v.full) && v.layout <> Dmat.Lblock then begin
+    (* Under a cyclic layout rank order is not global order, so the
+       exscan-of-totals trick below does not apply: replicate, scan
+       densely (every rank computes the same values), keep the owned
+       part. *)
+    let combine, identity =
+      match op with Cumsum -> (( +. ), 0.) | Cumprod -> (( *. ), 1.)
+    in
+    let dense = Dmat.to_dense v in
+    let acc = ref identity in
+    for i = 0 to Array.length dense - 1 do
+      acc := combine !acc dense.(i);
+      dense.(i) <- !acc
+    done;
+    Sim.flops (float_of_int (Array.length dense));
+    Dmat.of_dense ~rows:v.rows ~cols:v.cols dense
+  end
+  else begin
   let r =
     if v.full then Dmat.create_full ~rows:v.rows ~cols:v.cols
     else Dmat.create ~rows:v.rows ~cols:v.cols
@@ -417,6 +512,7 @@ let cumulative op (v : Dmat.t) : Dmat.t =
     Sim.flops (float_of_int len)
   end;
   r
+  end
 
 (* min/max with the (1-based, MATLAB column-order) index of the first
    extremum: local best, then every rank picks the winner from the
@@ -603,6 +699,13 @@ let circshift (v : Dmat.t) s : Dmat.t =
     else if v.full then
       Dmat.init_full ~rows:v.rows ~cols:v.cols (fun g ->
           v.data.(((g - s) mod n + n) mod n))
+    else if v.layout <> Dmat.Lblock then begin
+      (* The run-shipping plan below speaks contiguous blocks; cyclic
+         layouts replicate and select instead. *)
+      let dense = Dmat.to_dense v in
+      Dmat.init ~rows:v.rows ~cols:v.cols (fun g ->
+          dense.(((g - s) mod n + n) mod n))
+    end
     else begin
       let nprocs = Sim.size () and me = Sim.rank () in
       let r = Dmat.create ~rows:v.rows ~cols:v.cols in
@@ -671,6 +774,24 @@ let trapz ?x (y : Dmat.t) : float =
     for i = 0 to n - 2 do
       let dx = sx (i + 1) -. sx i in
       acc := !acc +. (dx *. (y.data.(i) +. y.data.(i + 1)) *. 0.5)
+    done;
+    Sim.flops (5. *. float_of_int (n - 1));
+    !acc
+  end
+  else if y.layout <> Dmat.Lblock then begin
+    (* Neighbour-boundary shipping below assumes contiguous blocks;
+       cyclic layouts replicate and integrate densely (every rank
+       computes the same total, so no combining collective needed). *)
+    (match x with
+    | Some x ->
+        if Dmat.numel x <> n then failwith "trapz: x and y sizes disagree"
+    | None -> ());
+    let yd = Dmat.to_dense y in
+    let xd = Option.map Dmat.to_dense x in
+    let sx i = match xd with Some x -> x.(i) | None -> float_of_int i in
+    let acc = ref 0. in
+    for i = 0 to n - 2 do
+      acc := !acc +. ((sx (i + 1) -. sx i) *. (yd.(i) +. yd.(i + 1)) *. 0.5)
     done;
     Sim.flops (5. *. float_of_int (n - 1));
     !acc

@@ -16,6 +16,7 @@ let () =
       ("faults", Test_faults.suite);
       ("recovery", Test_recovery.suite);
       ("runtime", Test_runtime.suite);
+      ("dist", Test_dist.suite);
       ("fmtutil", Test_fmtutil.suite);
       ("vm", Test_vm.suite);
       ("tcode", Test_tcode.suite);

@@ -19,6 +19,7 @@ let lab ?(channel = None) () =
     link = (fun _ _ -> { Machine.latency = 1e-6; bandwidth = 1e6; channel });
     faults = None;
     reliable = false;
+    placement = None;
   }
 
 let test_compute_advances_clock () =
@@ -418,9 +419,109 @@ let test_cluster_topology () =
   Alcotest.(check bool) "intra faster" true
     (intra.Machine.latency < inter.Machine.latency /. 10.);
   Alcotest.(check bool) "ethernet shared" true
-    (inter.Machine.channel = Some 100);
+    (inter.Machine.channel <> None
+    && inter.Machine.channel = (m.Machine.link 8 0).Machine.channel);
+  Alcotest.(check bool) "ethernet is not a node bus" true
+    (List.for_all
+       (fun node_pair ->
+         (m.Machine.link node_pair (node_pair + 1)).Machine.channel
+         <> inter.Machine.channel)
+       [ 0; 4; 8; 12 ]);
   Alcotest.(check bool) "node buses distinct" true
     ((m.Machine.link 0 1).Machine.channel <> (m.Machine.link 4 5).Machine.channel)
+
+(* --- virtual-rank placement and the fat-tree model --------------------- *)
+
+(* A ring exchange whose per-rank results capture finish times. *)
+let ring_spmd nprocs rank =
+  let next = (rank + 1) mod nprocs and prev = (rank + nprocs - 1) mod nprocs in
+  Sim.compute 1e-4;
+  Sim.send ~dst:next ~tag:7 (Sim.Floats (Array.make 64 (float_of_int rank)));
+  ignore (Sim.recv ~src:prev ~tag:7);
+  Sim.time ()
+
+let test_placement_identity () =
+  (* one CPU per rank under Map_block is the identity mapping: the run
+     must be bit-identical to the same machine without a placement *)
+  let m = lab () in
+  let mp = Machine.with_placement ~cpus:8 ~map:Machine.Map_block m in
+  let r1, rep1 = Sim.run ~machine:m ~nprocs:8 (ring_spmd 8) in
+  let r2, rep2 = Sim.run ~machine:mp ~nprocs:8 (ring_spmd 8) in
+  Alcotest.(check (array (float 0.))) "per-rank times identical" r1 r2;
+  Alcotest.(check (float 0.)) "makespan identical" rep1.Sim.makespan
+    rep2.Sim.makespan;
+  Alcotest.(check int) "messages identical" rep1.Sim.messages rep2.Sim.messages
+
+let test_placement_serializes_compute () =
+  (* 8 ranks on 1 CPU: the compute phases cannot overlap, so the
+     makespan is at least 8x the single-rank compute *)
+  let work = 1e-3 in
+  let run cpus =
+    let m = Machine.with_placement ~cpus ~map:Machine.Map_block (lab ()) in
+    let _, r = Sim.run ~machine:m ~nprocs:8 (fun _ -> Sim.compute work) in
+    r.Sim.makespan
+  in
+  Alcotest.(check bool) "1 CPU serializes" true (run 1 >= 8. *. work -. 1e-12);
+  Alcotest.(check bool) "8 CPUs overlap" true (run 8 < 2. *. work)
+
+let test_placement_random_deterministic () =
+  let time seed =
+    let m =
+      Machine.with_placement ~cpus:4 ~map:(Machine.Map_random seed) (lab ())
+    in
+    let _, r = Sim.run ~machine:m ~nprocs:16 (ring_spmd 16) in
+    r.Sim.makespan
+  in
+  Alcotest.(check (float 0.)) "same seed, same schedule" (time 11) (time 11)
+
+let test_mapping_of_string () =
+  Alcotest.(check bool) "block" true
+    (Machine.mapping_of_string "block" = Some Machine.Map_block);
+  Alcotest.(check bool) "cyclic" true
+    (Machine.mapping_of_string "cyclic" = Some Machine.Map_cyclic);
+  Alcotest.(check bool) "random seeded" true
+    (Machine.mapping_of_string ~seed:9 "random" = Some (Machine.Map_random 9));
+  Alcotest.(check bool) "unknown" true
+    (Machine.mapping_of_string "spiral" = None)
+
+let test_oversubscribe_needs_placement () =
+  (* more ranks than CPUs without a placement: the diagnostic points at
+     --cpus/--map rather than failing with a bare bounds error *)
+  match Sim.run ~machine:(lab ()) ~nprocs:65 (fun _ -> ()) with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "mentions --cpus" true
+        (Testutil.contains msg "--cpus")
+  | _ -> Alcotest.fail "65 ranks on a 64-CPU machine should be rejected"
+
+let test_fattree_topology () =
+  (* radix 2, 3 levels: 8 leaves; 0<->1 share a leaf switch, 0<->7 cross
+     the root, so the far link is strictly slower and uses a different
+     contention channel *)
+  let m = Machine.fattree ~radix:2 ~levels:3 () in
+  let near = m.Machine.link 0 1 and far = m.Machine.link 0 7 in
+  Alcotest.(check bool) "far latency higher" true
+    (far.Machine.latency > near.Machine.latency);
+  Alcotest.(check bool) "near channel exists" true
+    (near.Machine.channel <> None);
+  Alcotest.(check bool) "channels differ" true
+    (near.Machine.channel <> far.Machine.channel);
+  Alcotest.(check bool) "self link local" true
+    ((m.Machine.link 3 3).Machine.latency <= near.Machine.latency)
+
+let test_fattree_large_p_smoke () =
+  (* the heap scheduler sustains a 1024-rank ring on the default tree *)
+  let m = Machine.fattree_default in
+  let _, r = Sim.run ~machine:m ~nprocs:1024 (ring_spmd 1024) in
+  Alcotest.(check int) "all messages delivered" 1024 r.Sim.messages;
+  Alcotest.(check bool) "scheduler picks counted" true (r.Sim.sched_picks > 0)
+
+let test_fattree_bad_shape () =
+  (match Machine.fattree ~radix:1 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "radix 1 should be rejected");
+  match Machine.fattree ~levels:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "0 levels should be rejected"
 
 let suite =
   [
@@ -452,4 +553,14 @@ let suite =
     t "protocol error is typed" test_protocol_error_on_wrong_kind;
     t "machine lookup" test_machine_lookup;
     t "cluster topology" test_cluster_topology;
+    t "placement: identity mapping is bit-identical" test_placement_identity;
+    t "placement: one CPU serializes compute"
+      test_placement_serializes_compute;
+    t "placement: random map is seed-deterministic"
+      test_placement_random_deterministic;
+    t "placement: mapping names parse" test_mapping_of_string;
+    t "oversubscription needs a placement" test_oversubscribe_needs_placement;
+    t "fat-tree: near/far latency and channels" test_fattree_topology;
+    t "fat-tree: 1024-rank ring smoke" test_fattree_large_p_smoke;
+    t "fat-tree: bad shapes rejected" test_fattree_bad_shape;
   ]
